@@ -1,0 +1,40 @@
+// A6 — ablation of the TD-control algorithm: plain Q-learning (what the
+// paper's hardware implements) vs Double Q-learning (overestimation-bias
+// correction) vs Expected SARSA (on-policy expectation). Shows that plain
+// Q-learning is adequate at this problem size — the justification for the
+// simple single-Q-memory datapath.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+int main() {
+  bench::print_banner("A6", "TD-control algorithm ablation",
+                      "single-Q-memory hardware design justification");
+
+  auto engine = bench::make_default_engine();
+  TextTable table({"algorithm", "mean E/QoS [J]", "violation rate",
+                   "mean energy [J]"});
+  for (const auto algorithm :
+       {rl::TdAlgorithm::QLearning, rl::TdAlgorithm::DoubleQ,
+        rl::TdAlgorithm::ExpectedSarsa}) {
+    rl::RlGovernorConfig config;
+    config.learning.algorithm = algorithm;
+    auto trained = bench::train_default_policy(
+        engine, bench::kDefaultEpisodes, bench::kTrainSeed, config);
+    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+    table.add_row({rl::td_algorithm_name(algorithm),
+                   TextTable::num(summary.mean_energy_per_qos(), 5),
+                   TextTable::percent(summary.mean_violation_rate()),
+                   TextTable::num(summary.mean_energy_j(), 1)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: all three land within a few percent — tabular "
+      "overestimation bias is mild at this state size, so the hardware's "
+      "plain Q-learning loses nothing.\n");
+  return 0;
+}

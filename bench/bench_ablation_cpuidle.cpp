@@ -1,0 +1,83 @@
+// A5 — ablation of the cpuidle (C-state) substrate: how much of the energy
+// story depends on idle-state power management, and where the cores spend
+// their time. DVFS and cpuidle are complementary on real devices; the table
+// quantifies that interaction per scenario.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "governors/registry.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+int main() {
+  bench::print_banner("A5", "cpuidle (C-state) substrate ablation",
+                      "idle-power substrate interaction with DVFS policies");
+
+  auto run_with = [](bool cpuidle_enabled, governors::Governor& governor,
+                     workload::ScenarioKind kind) {
+    soc::SocConfig soc_config = soc::default_mobile_soc_config();
+    soc_config.cpuidle.enabled = cpuidle_enabled;
+    core::SimEngine engine(soc_config, core::EngineConfig{});
+    auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
+    return engine.run(*scenario, governor);
+  };
+
+  // Train the RL policy once per substrate variant (it adapts to whichever
+  // power model it lives on).
+  soc::SocConfig with_idle = soc::default_mobile_soc_config();
+  with_idle.cpuidle.enabled = true;
+  soc::SocConfig without_idle = soc::default_mobile_soc_config();
+  without_idle.cpuidle.enabled = false;
+  core::SimEngine engine_with(with_idle, core::EngineConfig{});
+  core::SimEngine engine_without(without_idle, core::EngineConfig{});
+  auto rl_with = bench::train_default_policy(engine_with);
+  auto rl_without = bench::train_default_policy(engine_without);
+
+  TextTable table({"scenario", "policy", "energy w/o C-states [J]",
+                   "energy w/ C-states [J]", "saving"});
+  for (const auto kind : workload::all_scenario_kinds()) {
+    auto ondemand = governors::make_governor("ondemand");
+    const auto od_off = run_with(false, *ondemand, kind);
+    const auto od_on = run_with(true, *ondemand, kind);
+    table.add_row({workload::scenario_kind_name(kind), "ondemand",
+                   TextTable::num(od_off.energy_j, 1),
+                   TextTable::num(od_on.energy_j, 1),
+                   TextTable::percent(
+                       (od_off.energy_j - od_on.energy_j) / od_off.energy_j)});
+    auto sc1 = workload::make_scenario(kind, bench::kEvalSeed);
+    auto sc2 = workload::make_scenario(kind, bench::kEvalSeed);
+    const auto rl_off = engine_without.run(*sc1, *rl_without.governor);
+    const auto rl_on = engine_with.run(*sc2, *rl_with.governor);
+    table.add_row({workload::scenario_kind_name(kind), "rl",
+                   TextTable::num(rl_off.energy_j, 1),
+                   TextTable::num(rl_on.energy_j, 1),
+                   TextTable::percent(
+                       (rl_off.energy_j - rl_on.energy_j) /
+                       rl_off.energy_j)});
+  }
+  table.print();
+
+  // Idle-state residency of the RL policy on the near-idle scenario.
+  std::printf("\nidle-state residency (rl, audioidle):\n");
+  auto scenario = workload::make_scenario(workload::ScenarioKind::AudioIdle,
+                                          bench::kEvalSeed);
+  const auto run = engine_with.run(*scenario, *rl_with.governor);
+  TextTable residency({"cluster", "C1-wfi", "C2-retention", "C3-off",
+                       "active"});
+  const char* names[] = {"little", "big"};
+  for (std::size_t c = 0; c < run.idle_residency_fraction.size(); ++c) {
+    const auto& row = run.idle_residency_fraction[c];
+    residency.add_row({names[c], TextTable::percent(row[0]),
+                       TextTable::percent(row[1]),
+                       TextTable::percent(row[2]),
+                       TextTable::percent(row[3])});
+  }
+  residency.print();
+  std::printf(
+      "\nexpected shape: C-states cut idle-heavy scenarios' energy by a "
+      "double-digit percentage and barely change gaming; most idle time "
+      "lands in the deepest state.\n");
+  return 0;
+}

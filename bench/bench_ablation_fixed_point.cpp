@@ -1,0 +1,54 @@
+// A2 — ablation over the hardware number format: the fixed-point policy
+// (bit-exact with the FPGA datapath model) swept across fractional widths,
+// against the double-precision software policy. Shows how little precision
+// tabular Q-learning needs — the basis for the 16-bit hardware Q memory.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+int main() {
+  bench::print_banner("A2", "fixed-point precision ablation",
+                      "hardware number-format design choice (Q-format sweep)");
+
+  auto engine = bench::make_default_engine();
+  TextTable table({"agent arithmetic", "Q lsb", "mean E/QoS [J]",
+                   "violation rate", "mean energy [J]"});
+
+  // Float reference.
+  {
+    auto trained = bench::train_default_policy(engine);
+    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+    table.add_row({"double (software)", "-",
+                   TextTable::num(summary.mean_energy_per_qos(), 5),
+                   TextTable::percent(summary.mean_violation_rate()),
+                   TextTable::num(summary.mean_energy_j(), 1)});
+  }
+
+  for (const unsigned frac : {4u, 6u, 8u, 10u, 12u}) {
+    rl::RlGovernorConfig config;
+    config.backend = rl::AgentBackend::Fixed;
+    config.fixed_total_bits = 16;
+    config.fixed_frac_bits = frac;
+    auto trained = bench::train_default_policy(
+        engine, bench::kDefaultEpisodes, bench::kTrainSeed, config);
+    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+    char label[32];
+    std::snprintf(label, sizeof label, "Q%u.%u fixed", 15 - frac, frac);
+    char lsb[32];
+    std::snprintf(lsb, sizeof lsb, "2^-%u", frac);
+    table.add_row({label, lsb,
+                   TextTable::num(summary.mean_energy_per_qos(), 5),
+                   TextTable::percent(summary.mean_violation_rate()),
+                   TextTable::num(summary.mean_energy_j(), 1)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: >= 8 fractional bits matches the float policy "
+      "closely (Q6.10 is the hardware default); 4 bits quantizes the "
+      "TD updates too coarsely.\n");
+  return 0;
+}

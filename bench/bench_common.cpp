@@ -1,0 +1,56 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "governors/registry.hpp"
+
+namespace pmrl::bench {
+
+core::SimEngine make_default_engine() {
+  return core::SimEngine(soc::default_mobile_soc_config(),
+                         core::EngineConfig{});
+}
+
+TrainedPolicy train_default_policy(core::SimEngine& engine,
+                                   std::size_t episodes, std::uint64_t seed,
+                                   rl::RlGovernorConfig config) {
+  TrainedPolicy result;
+  result.governor = std::make_unique<rl::RlGovernor>(
+      config, engine.soc_config().clusters.size());
+  rl::TrainerConfig train_cfg;
+  train_cfg.episodes = episodes;
+  train_cfg.workload_seed = seed;
+  rl::Trainer trainer(engine, *result.governor, train_cfg);
+  result.curve = trainer.train();
+  return result;
+}
+
+core::PolicySummary evaluate_policy(
+    core::SimEngine& engine, governors::Governor& governor,
+    std::uint64_t seed, const std::vector<workload::ScenarioKind>& kinds) {
+  core::PolicySummary summary;
+  summary.governor = governor.name();
+  for (const auto kind : kinds) {
+    auto scenario = workload::make_scenario(kind, seed);
+    summary.runs.push_back(engine.run(*scenario, governor));
+  }
+  return summary;
+}
+
+std::vector<core::PolicySummary> evaluate_baselines(core::SimEngine& engine,
+                                                    std::uint64_t seed) {
+  std::vector<core::PolicySummary> summaries;
+  for (const auto& name : governors::baseline_governor_names()) {
+    auto governor = governors::make_governor(name);
+    summaries.push_back(evaluate_policy(engine, *governor, seed));
+  }
+  return summaries;
+}
+
+void print_banner(const char* exp_id, const char* title,
+                  const char* paper_ref) {
+  std::printf("=== %s: %s ===\n", exp_id, title);
+  std::printf("reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace pmrl::bench

@@ -1,0 +1,57 @@
+#pragma once
+// Shared harness pieces for the reproduction benches: default engine
+// construction, policy training, multi-scenario evaluation, and uniform
+// headers so every bench's output is self-describing.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "rl/trainer.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::bench {
+
+/// Workload seed used for all held-out evaluations (training uses a
+/// different base seed, so evaluation job sequences are unseen).
+inline constexpr std::uint64_t kEvalSeed = 9001;
+/// Base seed for training workloads.
+inline constexpr std::uint64_t kTrainSeed = 42;
+/// Default training length (episodes); the learning curve flattens by ~40.
+inline constexpr std::size_t kDefaultEpisodes = 60;
+
+/// Engine over the default big.LITTLE mobile SoC.
+core::SimEngine make_default_engine();
+
+/// A trained RL policy plus its learning curve.
+struct TrainedPolicy {
+  std::unique_ptr<rl::RlGovernor> governor;
+  std::vector<rl::EpisodeResult> curve;
+};
+
+/// Trains the default (factored, float) policy across all six scenarios.
+TrainedPolicy train_default_policy(core::SimEngine& engine,
+                                   std::size_t episodes = kDefaultEpisodes,
+                                   std::uint64_t seed = kTrainSeed,
+                                   rl::RlGovernorConfig config = {});
+
+/// Evaluates a policy on the given scenarios (default: all six) with the
+/// held-out seed.
+core::PolicySummary evaluate_policy(
+    core::SimEngine& engine, governors::Governor& governor,
+    std::uint64_t seed = kEvalSeed,
+    const std::vector<workload::ScenarioKind>& kinds =
+        workload::all_scenario_kinds());
+
+/// Evaluates all six baseline governors.
+std::vector<core::PolicySummary> evaluate_baselines(
+    core::SimEngine& engine, std::uint64_t seed = kEvalSeed);
+
+/// Prints the bench banner: experiment id, title, and which paper artifact
+/// it regenerates.
+void print_banner(const char* exp_id, const char* title,
+                  const char* paper_ref);
+
+}  // namespace pmrl::bench

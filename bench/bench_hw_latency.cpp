@@ -1,0 +1,119 @@
+// E2 — hardware vs software policy decision latency. The journal extension
+// reports hardware decision-making 3.92x faster than software end to end;
+// the LBR reports "up to 40x" average-latency reduction for the raw
+// datapath. Both implementations run the same fixed-point Q-learning
+// algorithm; the stream of (state, reward) invocations is captured from a
+// real simulated run so the replay exercises realistic addresses.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hw/latency.hpp"
+#include "rl/rl_governor.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+/// Joint-policy configuration matching the modeled accelerator: one Q
+/// memory of 1024 states x 9 actions in Q5.10 fixed point.
+rl::RlGovernorConfig hw_joint_config() {
+  rl::RlGovernorConfig config;
+  config.structure = rl::PolicyStructure::Joint;
+  config.backend = rl::AgentBackend::Fixed;
+  config.state.util_bins = 4;
+  config.state.opp_bins = 4;
+  config.state.qos_bins = 4;  // 4*(4*4)^2 = 1024 joint states
+  config.action.jump = 0;     // 3^2 = 9 joint actions
+  return config;
+}
+
+/// Captures the encoded state + reward of every decision epoch while the
+/// wrapped policy controls the SoC.
+class CapturingGovernor : public governors::Governor {
+ public:
+  CapturingGovernor(rl::RlGovernor& inner,
+                    std::vector<hw::InvocationRecord>& out)
+      : inner_(inner), out_(out) {}
+  std::string name() const override { return inner_.name(); }
+  void reset(const governors::PolicyObservation& initial) override {
+    inner_.reset(initial);
+  }
+  void decide(const governors::PolicyObservation& obs,
+              governors::OppRequest& request) override {
+    out_.push_back({inner_.encoder().encode(obs),
+                    inner_.reward()(obs, false)});
+    inner_.decide(obs, request);
+  }
+
+ private:
+  rl::RlGovernor& inner_;
+  std::vector<hw::InvocationRecord>& out_;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "E2", "policy decision latency: hardware vs software",
+      "3.92x end-to-end speedup (journal) / up to 40x raw (LBR)");
+
+  // Capture a realistic invocation stream: the joint policy controlling the
+  // SoC through the mixed scenario.
+  auto engine = bench::make_default_engine();
+  rl::RlGovernor policy(hw_joint_config(),
+                        engine.soc_config().clusters.size());
+  std::vector<hw::InvocationRecord> stream;
+  CapturingGovernor capture(policy, stream);
+  for (std::size_t episode = 0; episode < 4; ++episode) {
+    auto scenario = workload::make_scenario(workload::ScenarioKind::Mixed,
+                                            bench::kTrainSeed + episode);
+    policy.begin_episode();
+    engine.run(*scenario, capture);
+  }
+  std::printf("captured %zu policy invocations from simulation\n\n",
+              stream.size());
+
+  hw::LatencyExperimentConfig config;
+  config.hw.agent.learning = hw_joint_config().learning;
+  const std::size_t states = policy.encoder().state_count();
+  const std::size_t actions = policy.actions().action_count();
+  const auto result =
+      hw::run_latency_experiment(config, states, actions, stream);
+
+  hw::HwPolicyEngine probe(config.hw, states, actions);
+  std::printf("accelerator: %zu states x %zu actions, %u-bit Q words "
+              "(%.1f kbit BRAM), %.0f MHz\n",
+              states, actions, config.hw.agent.total_bits,
+              probe.datapath().qmem_bits() / 1000.0,
+              config.hw.fpga_clock_hz / 1e6);
+  std::printf("datapath: decide %u cycles + update %u cycles; "
+              "interface %.0f ns/invocation\n\n",
+              probe.datapath().decide_cycle_count(),
+              probe.datapath().update_cycle_count(),
+              probe.interface_latency_s() * 1e9);
+
+  TextTable table({"implementation", "mean [us]", "p50 [us]", "p99 [us]",
+                   "max [us]"});
+  auto row = [&](const char* name, const SampleSet& s) {
+    table.add_row({name, TextTable::num(s.mean() * 1e6, 3),
+                   TextTable::num(s.quantile(0.5) * 1e6, 3),
+                   TextTable::num(s.quantile(0.99) * 1e6, 3),
+                   TextTable::num(s.max() * 1e6, 3)});
+  };
+  row("software (kernel governor)", result.sw_latency_s);
+  row("hardware, end-to-end (AXI)", result.hw_end_to_end_s);
+  row("hardware, raw datapath", result.hw_raw_s);
+  table.print();
+
+  std::printf("\nspeedup end-to-end (mean): %5.2fx   (paper: 3.92x)\n",
+              result.mean_speedup_end_to_end());
+  std::printf("speedup raw datapath (mean): %5.2fx\n",
+              result.mean_speedup_raw());
+  std::printf("speedup raw datapath (p99 SW / raw): %5.2fx   "
+              "(paper LBR: up to 40x)\n",
+              result.sw_latency_s.quantile(0.99) / result.hw_raw_s.mean());
+  return 0;
+}

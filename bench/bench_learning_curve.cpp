@@ -1,0 +1,105 @@
+// E3 — learning curve: energy per QoS across training episodes, over three
+// seeds. Because training rotates through the six scenarios (whose E/QoS
+// scales differ by 3x), each episode is normalized by the ondemand
+// governor's E/QoS on the *same* scenario and seed; a ratio below 1.0
+// means the policy beats ondemand on that workload.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "governors/registry.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+int main() {
+  bench::print_banner("E3", "learning curve over training episodes",
+                      "policy convergence figure (3 seeds, normalized to "
+                      "ondemand)");
+
+  constexpr std::size_t kEpisodes = 100;
+  constexpr std::uint64_t kSeeds[] = {11, 22, 33};
+
+  auto engine = bench::make_default_engine();
+
+  // Reference E/QoS of ondemand per (scenario, workload seed).
+  auto ondemand = governors::make_governor("ondemand");
+  std::map<std::pair<std::string, std::uint64_t>, double> reference;
+  auto reference_for = [&](const std::string& scenario_name,
+                           workload::ScenarioKind kind, std::uint64_t seed) {
+    const auto key = std::make_pair(scenario_name, seed);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      auto scenario = workload::make_scenario(kind, seed);
+      const auto run = engine.run(*scenario, *ondemand);
+      it = reference.emplace(key, run.energy_per_qos).first;
+    }
+    return it->second;
+  };
+
+  const auto kinds = workload::all_scenario_kinds();
+  // ratio[seed][episode]
+  std::vector<std::vector<double>> ratios;
+  std::vector<std::vector<double>> violations;
+  for (const auto seed : kSeeds) {
+    rl::RlGovernorConfig config;
+    config.learning.seed = seed;
+    rl::RlGovernor governor(config, engine.soc_config().clusters.size());
+    rl::TrainerConfig train_cfg;
+    train_cfg.episodes = kEpisodes;
+    train_cfg.workload_seed = seed;
+    rl::Trainer trainer(engine, governor, train_cfg);
+    std::vector<double> seed_ratios;
+    std::vector<double> seed_viol;
+    for (std::size_t e = 0; e < kEpisodes; ++e) {
+      const auto kind = kinds[e % kinds.size()];
+      const auto result = trainer.train_episode(e, kind);
+      const double ref = reference_for(result.scenario, kind, seed + e);
+      seed_ratios.push_back(ref > 0.0 ? result.energy_per_qos / ref : 1.0);
+      seed_viol.push_back(result.violation_rate);
+    }
+    ratios.push_back(std::move(seed_ratios));
+    violations.push_back(std::move(seed_viol));
+  }
+
+  TextTable table({"episode", "epsilon", "E/QoS vs ondemand (mean of 3)",
+                   "violation rate"});
+  const double eps_start = 0.60;
+  const double eps_end = 0.02;
+  for (std::size_t e = 0; e < kEpisodes; e += 6) {
+    // Smooth over a full 6-episode scenario rotation.
+    double ratio = 0.0;
+    double viol = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = e; k < std::min(e + 6, kEpisodes); ++k) {
+      for (std::size_t s = 0; s < ratios.size(); ++s) {
+        ratio += ratios[s][k];
+        viol += violations[s][k];
+        ++n;
+      }
+    }
+    const double progress = std::min(1.0, (e + 1) / 40.0);
+    table.add_row(
+        {std::to_string(e) + "-" + std::to_string(e + 5),
+         TextTable::num(eps_start + (eps_end - eps_start) * progress, 3),
+         TextTable::num(ratio / n, 3), TextTable::percent(viol / n)});
+  }
+  table.print();
+
+  double head = 0.0;
+  double tail = 0.0;
+  for (std::size_t s = 0; s < ratios.size(); ++s) {
+    for (std::size_t e = 0; e < 18; ++e) head += ratios[s][e];
+    for (std::size_t e = kEpisodes - 18; e < kEpisodes; ++e) {
+      tail += ratios[s][e];
+    }
+  }
+  head /= 3 * 18;
+  tail /= 3 * 18;
+  std::printf("\nE/QoS vs ondemand, first 18 episodes: %.3f\n", head);
+  std::printf("E/QoS vs ondemand, last 18 episodes:  %.3f\n", tail);
+  std::printf("expected shape: ratio starts well above 1 (exploring) and "
+              "converges to ~1 or below as epsilon decays.\n");
+  return 0;
+}

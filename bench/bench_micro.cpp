@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the policy hot paths: state
+// encoding, Q selection/update in both arithmetics, the hardware datapath
+// invocation, and the simulator tick itself. These measure the *host*
+// implementation speed (how fast the simulation runs), not the modeled
+// device latencies (those are E2).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "hw/hw_policy.hpp"
+#include "rl/rl_governor.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+governors::PolicyObservation sample_observation() {
+  governors::PolicyObservation obs;
+  obs.soc.clusters.resize(2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    auto& ct = obs.soc.clusters[c];
+    ct.cluster_id = c;
+    ct.opp_index = 7;
+    ct.opp_count = c == 0 ? 13 : 19;
+    ct.freq_hz = 900e6;
+    ct.max_freq_hz = c == 0 ? 1.4e9 : 2.0e9;
+    ct.util_avg = 0.42;
+    ct.util_max = 0.61;
+    ct.max_power_w = c == 0 ? 0.8 : 6.8;
+  }
+  obs.epoch_duration_s = 0.02;
+  obs.epoch_energy_j = 0.02;
+  obs.epoch_quality = 4.5;
+  obs.epoch_releases = 5;
+  obs.cluster_feedback.resize(2);
+  obs.cluster_feedback[1].epoch_energy_j = 0.015;
+  obs.cluster_feedback[1].epoch_deadline_quality = 3.0;
+  obs.cluster_feedback[1].epoch_deadline_completed = 3;
+  return obs;
+}
+
+void BM_StateEncode(benchmark::State& state) {
+  const rl::StateEncoder encoder(rl::StateConfig{}, 2);
+  const auto obs = sample_observation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode_cluster(obs, 1));
+  }
+}
+BENCHMARK(BM_StateEncode);
+
+void BM_FloatAgentStep(benchmark::State& state) {
+  rl::QLearningAgent agent(rl::QLearningConfig{}, 240, 3);
+  std::size_t s = 0;
+  for (auto _ : state) {
+    const std::size_t a = agent.select_action(s);
+    agent.learn(s, a, -0.3, (s + 1) % 240);
+    s = (s + 7) % 240;
+  }
+}
+BENCHMARK(BM_FloatAgentStep);
+
+void BM_FixedAgentStep(benchmark::State& state) {
+  rl::FixedAgentConfig config;
+  rl::FixedPointQAgent agent(config, 1024, 9);
+  std::size_t s = 0;
+  for (auto _ : state) {
+    const std::size_t a = agent.select_action(s);
+    agent.learn(s, a, -0.3, (s + 1) % 1024);
+    s = (s + 13) % 1024;
+  }
+}
+BENCHMARK(BM_FixedAgentStep);
+
+void BM_HwDatapathInvoke(benchmark::State& state) {
+  hw::HwPolicyEngine engine(hw::HwPolicyConfig{}, 1024, 9);
+  hw::PolicyLatency latency;
+  std::size_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.invoke(s, -0.3, latency));
+    s = (s + 13) % 1024;
+  }
+}
+BENCHMARK(BM_HwDatapathInvoke);
+
+void BM_SocTick(benchmark::State& state) {
+  soc::Soc soc(soc::default_mobile_soc_config());
+  const auto task = soc.create_task("bench", soc::Affinity::Any, 1.0);
+  std::vector<soc::CompletedJob> completed;
+  std::uint64_t job_id = 0;
+  for (auto _ : state) {
+    soc::Job job;
+    job.id = ++job_id;
+    job.work_cycles = 1e6;
+    soc.submit(task, job);
+    completed.clear();
+    soc.step(0.001, completed);
+    benchmark::DoNotOptimize(completed.size());
+  }
+}
+BENCHMARK(BM_SocTick);
+
+void BM_EngineSecondSimulated(benchmark::State& state) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         core::EngineConfig{0.001, 0.02, 1.0, 0.25});
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto scenario =
+        workload::make_scenario(workload::ScenarioKind::VideoPlayback,
+                                seed++);
+    benchmark::DoNotOptimize(engine.run(*scenario, governor).energy_j);
+  }
+}
+BENCHMARK(BM_EngineSecondSimulated)->Unit(benchmark::kMillisecond);
+
+}  // namespace

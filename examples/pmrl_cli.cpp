@@ -1,0 +1,217 @@
+// pmrl_cli — command-line driver over the library, for using the system
+// without writing C++:
+//
+//   pmrl_cli list
+//       Registered governors and available scenarios.
+//   pmrl_cli train [--episodes N] [--seed S] [--out policy.pmrl]
+//       Train the RL policy across the scenario rotation and checkpoint it.
+//   pmrl_cli eval <governor|policy.pmrl> [--scenario NAME] [--seed S]
+//                 [--duration SEC]
+//       Evaluate a baseline governor by name, or a trained RL checkpoint,
+//       on one scenario (or all six when omitted).
+//   pmrl_cli latency [--invocations N]
+//       Run the HW-vs-SW decision-latency comparison.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "governors/registry.hpp"
+#include "hw/latency.hpp"
+#include "rl/policy_io.hpp"
+#include "rl/trainer.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::size_t episodes = 60;
+  std::uint64_t seed = 42;
+  double duration_s = 60.0;
+  std::string out = "policy.pmrl";
+  std::optional<std::string> scenario;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--episodes") {
+      args.episodes = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (arg == "--duration") {
+      args.duration_s = std::stod(next());
+    } else if (arg == "--out") {
+      args.out = next();
+    } else if (arg == "--scenario") {
+      args.scenario = next();
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::optional<workload::ScenarioKind> kind_by_name(const std::string& name) {
+  for (const auto kind : workload::all_scenario_kinds()) {
+    if (name == workload::scenario_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+int cmd_list() {
+  std::printf("governors:\n");
+  for (const auto& name : governors::registered_governor_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("scenarios:\n");
+  for (const auto kind : workload::all_scenario_kinds()) {
+    std::printf("  %s\n", workload::scenario_kind_name(kind));
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         core::EngineConfig{});
+  rl::RlGovernor policy(rl::RlGovernorConfig{},
+                        engine.soc_config().clusters.size());
+  rl::TrainerConfig config;
+  config.episodes = args.episodes;
+  config.workload_seed = args.seed;
+  rl::Trainer trainer(engine, policy, config);
+  std::printf("training %zu episodes (seed %llu)...\n", args.episodes,
+              static_cast<unsigned long long>(args.seed));
+  const auto curve = trainer.train();
+  if (!curve.empty()) {
+    std::printf("final episode: %s, E/QoS %.5f J, violations %.2f%%\n",
+                curve.back().scenario.c_str(), curve.back().energy_per_qos,
+                100.0 * curve.back().violation_rate);
+  }
+  std::ofstream out(args.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  rl::save_policy(policy, out);
+  std::printf("checkpoint written to %s\n", args.out.c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "eval needs a governor name or checkpoint path\n");
+    return 1;
+  }
+  const std::string& target = args.positional[1];
+
+  core::EngineConfig engine_config;
+  engine_config.duration_s = args.duration_s;
+  core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+
+  // Resolve the policy: a registered governor name, else an RL checkpoint.
+  governors::GovernorPtr baseline;
+  std::optional<rl::RlGovernor> rl_policy;
+  governors::Governor* policy = nullptr;
+  if (governors::has_governor(target)) {
+    baseline = governors::make_governor(target);
+    policy = baseline.get();
+  } else {
+    std::ifstream in(target);
+    if (!in) {
+      std::fprintf(stderr, "no governor or readable checkpoint '%s'\n",
+                   target.c_str());
+      return 1;
+    }
+    rl_policy.emplace(rl::RlGovernorConfig{},
+                      engine.soc_config().clusters.size());
+    rl::load_policy(*rl_policy, in);
+    policy = &*rl_policy;
+    std::printf("loaded RL checkpoint %s\n", target.c_str());
+  }
+
+  std::vector<workload::ScenarioKind> kinds;
+  if (args.scenario) {
+    const auto kind = kind_by_name(*args.scenario);
+    if (!kind) {
+      std::fprintf(stderr, "unknown scenario '%s'\n",
+                   args.scenario->c_str());
+      return 1;
+    }
+    kinds.push_back(*kind);
+  } else {
+    kinds = workload::all_scenario_kinds();
+  }
+
+  TextTable table({"scenario", "energy [J]", "E/QoS [J]", "viol rate",
+                   "f_little [MHz]", "f_big [MHz]"});
+  for (const auto kind : kinds) {
+    auto scenario = workload::make_scenario(kind, args.seed);
+    const auto run = engine.run(*scenario, *policy);
+    table.add_row({run.scenario, TextTable::num(run.energy_j, 1),
+                   TextTable::num(run.energy_per_qos, 5),
+                   TextTable::percent(run.violation_rate),
+                   TextTable::num(run.mean_freq_hz.front() / 1e6, 0),
+                   TextTable::num(run.mean_freq_hz.back() / 1e6, 0)});
+  }
+  std::printf("policy: %s\n", policy->name().c_str());
+  table.print();
+  return 0;
+}
+
+int cmd_latency(const Args& args) {
+  const std::size_t invocations =
+      args.positional.size() > 1 ? std::stoul(args.positional[1]) : 10000;
+  hw::LatencyExperimentConfig config;
+  const auto stream = hw::synthetic_stream(1024, invocations, args.seed);
+  const auto result = hw::run_latency_experiment(config, 1024, 9, stream);
+  std::printf("software  %.3f us mean\n", result.sw_latency_s.mean() * 1e6);
+  std::printf("hw e2e    %.3f us mean  (%.2fx)\n",
+              result.hw_end_to_end_s.mean() * 1e6,
+              result.mean_speedup_end_to_end());
+  std::printf("hw raw    %.3f us mean  (%.2fx)\n",
+              result.hw_raw_s.mean() * 1e6, result.mean_speedup_raw());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.positional.empty() || args.positional[0] == "help") {
+      std::printf(
+          "usage: pmrl_cli <list|train|eval|latency> [options]\n"
+          "  list\n"
+          "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
+          "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
+          "         [--duration SEC]\n"
+          "  latency [N] [--seed S]\n");
+      return args.positional.empty() ? 1 : 0;
+    }
+    const std::string& cmd = args.positional[0];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "latency") return cmd_latency(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

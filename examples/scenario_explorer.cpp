@@ -1,0 +1,84 @@
+// Scenario explorer: runs every scenario under a chosen policy and prints
+// per-scenario energy/QoS detail plus a coarse OPP/utilization trace of one
+// scenario. Useful for understanding what a policy actually does.
+//
+//   ./build/examples/scenario_explorer [governor] [train_episodes]
+//
+// `governor` is one of the registered names (performance, powersave,
+// userspace, ondemand, conservative, interactive, rl). For "rl" the policy
+// is trained for `train_episodes` (default 60) before the frozen evaluation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "governors/registry.hpp"
+#include "rl/trainer.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace pmrl;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "rl";
+  const std::size_t episodes =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 60;
+
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         core::EngineConfig{});
+
+  std::unique_ptr<rl::RlGovernor> rl_policy;
+  governors::GovernorPtr baseline;
+  governors::Governor* policy = nullptr;
+  if (name == "rl") {
+    rl_policy = std::make_unique<rl::RlGovernor>(
+        rl::RlGovernorConfig{}, engine.soc_config().clusters.size());
+    rl::Trainer trainer(engine, *rl_policy, rl::TrainerConfig{.episodes = episodes});
+    trainer.train();
+    rl_policy->set_frozen(true);
+    policy = rl_policy.get();
+  } else {
+    baseline = governors::make_governor(name);
+    policy = baseline.get();
+  }
+
+  TextTable table({"scenario", "energy [J]", "E/QoS [J]", "viol rate",
+                   "deadline jobs", "mean f_little [MHz]",
+                   "mean f_big [MHz]", "peak T [C]"});
+  for (const auto kind : workload::all_scenario_kinds()) {
+    auto scenario = workload::make_scenario(kind, 9001);
+    const auto run = engine.run(*scenario, *policy);
+    table.add_row({run.scenario, TextTable::num(run.energy_j, 1),
+                   TextTable::num(run.energy_per_qos, 5),
+                   TextTable::percent(run.violation_rate),
+                   std::to_string(run.released_deadline),
+                   TextTable::num(run.mean_freq_hz.front() / 1e6, 0),
+                   TextTable::num(run.mean_freq_hz.back() / 1e6, 0),
+                   TextTable::num(run.peak_temp_c.back(), 1)});
+  }
+  std::printf("policy: %s\n", policy->name().c_str());
+  table.print();
+
+  // Coarse trace of the gaming scenario: OPP indices + utilization once/s.
+  std::printf("\ngaming trace (1 sample/s):\n");
+  TextTable trace({"t [s]", "opp little", "opp big", "util little",
+                   "util big", "power [W]"});
+  auto scenario = workload::make_scenario(workload::ScenarioKind::Gaming,
+                                          9001);
+  int next_sample = 0;
+  engine.run(*scenario, *policy, [&](const core::EpochRecord& rec) {
+    if (rec.time_s >= next_sample) {
+      trace.add_row({TextTable::num(rec.time_s, 1),
+                     std::to_string(rec.opp_index.front()),
+                     std::to_string(rec.opp_index.back()),
+                     TextTable::num(rec.util_avg.front(), 2),
+                     TextTable::num(rec.util_avg.back(), 2),
+                     TextTable::num(rec.total_power_w, 2)});
+      next_sample += 5;
+    }
+  });
+  trace.print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Trace record & replay: records the exact job stream of a gaming-scenario
+// run to CSV, replays it from the trace, and verifies the replayed run is
+// bit-identical (same energy, same QoS) — the mechanism for evaluating
+// every governor on the same workload.
+//
+//   ./build/examples/trace_record_replay [out.csv]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "governors/registry.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/trace.hpp"
+
+using namespace pmrl;
+
+namespace {
+/// Scenario wrapper that records everything the inner scenario submits.
+class RecordingScenario : public workload::Scenario {
+ public:
+  explicit RecordingScenario(workload::Scenario& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name(); }
+  void setup(workload::WorkloadHost& host) override {
+    recorder_.emplace(host);
+    inner_.setup(*recorder_);
+  }
+  void tick(workload::WorkloadHost&, double now_s, double dt_s) override {
+    recorder_->set_now(now_s);
+    inner_.tick(*recorder_, now_s, dt_s);
+  }
+  workload::Trace take_trace() { return recorder_->take_trace(); }
+
+ private:
+  workload::Scenario& inner_;
+  std::optional<workload::TraceRecorder> recorder_;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         core::EngineConfig{});
+  auto governor = governors::make_governor("ondemand");
+
+  // 1. Record a run.
+  auto inner = workload::make_scenario(workload::ScenarioKind::Gaming, 123);
+  RecordingScenario recording(*inner);
+  const auto original = engine.run(recording, *governor);
+  workload::Trace trace = recording.take_trace();
+  std::printf("recorded: %zu tasks, %zu jobs\n", trace.tasks.size(),
+              trace.jobs.size());
+
+  // 2. Round-trip through CSV.
+  std::stringstream csv;
+  trace.save(csv);
+  if (argc > 1) {
+    std::ofstream file(argv[1]);
+    file << csv.str();
+    std::printf("trace written to %s\n", argv[1]);
+  }
+  workload::Trace loaded = workload::Trace::load(csv);
+
+  // 3. Replay and compare.
+  workload::TraceScenario replay(std::move(loaded), inner->name());
+  const auto replayed = engine.run(replay, *governor);
+
+  std::printf("original: energy %.6f J, quality %.3f, violations %zu\n",
+              original.energy_j, original.quality, original.violations);
+  std::printf("replayed: energy %.6f J, quality %.3f, violations %zu\n",
+              replayed.energy_j, replayed.quality, replayed.violations);
+  const bool identical = original.energy_j == replayed.energy_j &&
+                         original.quality == replayed.quality &&
+                         original.violations == replayed.violations;
+  std::printf("replay %s\n", identical ? "bit-identical: OK" : "DIVERGED");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Trains the RL power-management policy across the mobile scenarios, then
+// evaluates it against the six conventional DVFS governors — the workflow
+// behind the paper's headline comparison. Prints per-scenario and average
+// energy/QoS for every policy.
+//
+//   ./build/examples/train_and_compare [episodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "governors/registry.hpp"
+#include "rl/policy_io.hpp"
+#include "rl/trainer.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace pmrl;
+
+namespace {
+constexpr std::uint64_t kEvalSeed = 9001;
+
+core::PolicySummary evaluate(core::SimEngine& engine,
+                             governors::Governor& governor) {
+  core::PolicySummary summary;
+  summary.governor = governor.name();
+  for (const auto kind : workload::all_scenario_kinds()) {
+    auto scenario = workload::make_scenario(kind, kEvalSeed);
+    summary.runs.push_back(engine.run(*scenario, governor));
+  }
+  return summary;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t episodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         core::EngineConfig{});
+
+  // Train the policy across all scenarios (round-robin).
+  rl::RlGovernor rl_policy(rl::RlGovernorConfig{},
+                           engine.soc_config().clusters.size());
+  rl::TrainerConfig train_cfg;
+  train_cfg.episodes = episodes;
+  rl::Trainer trainer(engine, rl_policy, train_cfg);
+  std::printf("training %zu episodes...\n", episodes);
+  trainer.train();
+  // online evaluation: the policy keeps learning (paper: "adapts to variations")
+
+  // Evaluate everything on held-out seeds.
+  std::vector<core::PolicySummary> baselines;
+  for (const auto& name : governors::baseline_governor_names()) {
+    auto governor = governors::make_governor(name);
+    baselines.push_back(evaluate(engine, *governor));
+  }
+  const core::PolicySummary ours = evaluate(engine, rl_policy);
+
+  TextTable table({"policy", "mean E/QoS [J]", "mean energy [J]",
+                   "violation rate", "vs RL"});
+  auto add = [&](const core::PolicySummary& s) {
+    const double rel = ours.mean_energy_per_qos() > 0.0
+                           ? s.mean_energy_per_qos() /
+                                 ours.mean_energy_per_qos()
+                           : 0.0;
+    table.add_row({s.governor, TextTable::num(s.mean_energy_per_qos(), 5),
+                   TextTable::num(s.mean_energy_j(), 1),
+                   TextTable::percent(s.mean_violation_rate()),
+                   TextTable::num(rel, 2) + "x"});
+  };
+  for (const auto& b : baselines) add(b);
+  add(ours);
+  table.print();
+
+  std::printf(
+      "\nRL improvement, mean of per-governor savings: %.2f%%\n",
+      100.0 * core::mean_improvement_vs_baselines(ours, baselines));
+  std::printf(
+      "RL improvement vs six-governor average E/QoS:  %.2f%% "
+      "(paper: 31.66%%)\n",
+      100.0 * core::improvement_vs_mean_baseline(ours, baselines));
+
+  // Checkpoint the trained policy and prove a fresh governor restored from
+  // it decides identically (how a pretrained policy would ship).
+  {
+    std::ofstream out("trained_policy.pmrl");
+    rl::save_policy(rl_policy, out);
+  }
+  rl::RlGovernor restored(rl::RlGovernorConfig{},
+                          engine.soc_config().clusters.size());
+  {
+    std::ifstream in("trained_policy.pmrl");
+    rl::load_policy(restored, in);
+  }
+  restored.set_frozen(true);
+  rl_policy.set_frozen(true);
+  auto check_a = workload::make_scenario(workload::ScenarioKind::Mixed, 7);
+  auto check_b = workload::make_scenario(workload::ScenarioKind::Mixed, 7);
+  const auto run_a = engine.run(*check_a, rl_policy);
+  const auto run_b = engine.run(*check_b, restored);
+  std::printf(
+      "\ncheckpoint round-trip (trained_policy.pmrl): restored policy %s "
+      "(energy %.6f J vs %.6f J)\n",
+      run_a.energy_j == run_b.energy_j ? "bit-identical" : "DIVERGED",
+      run_a.energy_j, run_b.energy_j);
+  return run_a.energy_j == run_b.energy_j ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace pmrl::core {
+
+double PolicySummary::mean_energy_per_qos() const {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& run : runs) sum += run.energy_per_qos;
+  return sum / static_cast<double>(runs.size());
+}
+
+double PolicySummary::mean_violation_rate() const {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& run : runs) sum += run.violation_rate;
+  return sum / static_cast<double>(runs.size());
+}
+
+double PolicySummary::mean_energy_j() const {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& run : runs) sum += run.energy_j;
+  return sum / static_cast<double>(runs.size());
+}
+
+double PolicySummary::total_quality() const {
+  double sum = 0.0;
+  for (const auto& run : runs) sum += run.quality;
+  return sum;
+}
+
+double energy_per_qos_improvement(const PolicySummary& candidate,
+                                  const PolicySummary& baseline) {
+  const double base = baseline.mean_energy_per_qos();
+  if (base <= 0.0) return 0.0;
+  return (base - candidate.mean_energy_per_qos()) / base;
+}
+
+double mean_improvement_vs_baselines(
+    const PolicySummary& candidate,
+    const std::vector<PolicySummary>& baselines) {
+  if (baselines.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& baseline : baselines) {
+    sum += energy_per_qos_improvement(candidate, baseline);
+  }
+  return sum / static_cast<double>(baselines.size());
+}
+
+double improvement_vs_mean_baseline(
+    const PolicySummary& candidate,
+    const std::vector<PolicySummary>& baselines) {
+  if (baselines.empty()) return 0.0;
+  double mean_base = 0.0;
+  for (const auto& baseline : baselines) {
+    mean_base += baseline.mean_energy_per_qos();
+  }
+  mean_base /= static_cast<double>(baselines.size());
+  if (mean_base <= 0.0) return 0.0;
+  return (mean_base - candidate.mean_energy_per_qos()) / mean_base;
+}
+
+const RunResult& run_for_scenario(const PolicySummary& summary,
+                                  const std::string& scenario) {
+  for (const auto& run : summary.runs) {
+    if (run.scenario == scenario) return run;
+  }
+  throw std::invalid_argument("no run for scenario " + scenario);
+}
+
+}  // namespace pmrl::core

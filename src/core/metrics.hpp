@@ -1,0 +1,49 @@
+#pragma once
+// Cross-run aggregation: the paper's comparison is "average energy per unit
+// QoS of the proposed policy vs the previous six DVFS governors". These
+// helpers compute that improvement and assemble the comparison matrix the
+// benches print.
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace pmrl::core {
+
+/// Results of one policy across several scenarios.
+struct PolicySummary {
+  std::string governor;
+  std::vector<RunResult> runs;  // one per scenario
+
+  double mean_energy_per_qos() const;
+  double mean_violation_rate() const;
+  double mean_energy_j() const;
+  double total_quality() const;
+};
+
+/// Relative improvement of `candidate` over `baseline` in mean energy/QoS:
+/// positive means the candidate uses less energy per QoS unit.
+/// (baseline - candidate) / baseline.
+double energy_per_qos_improvement(const PolicySummary& candidate,
+                                  const PolicySummary& baseline);
+
+/// Mean of the per-baseline improvements (averages the six relative
+/// savings).
+double mean_improvement_vs_baselines(
+    const PolicySummary& candidate,
+    const std::vector<PolicySummary>& baselines);
+
+/// Improvement of the candidate against the *average* of the baselines'
+/// energy/QoS — the aggregation matching the paper's phrasing ("average
+/// energy per unit QoS ... lower than that of the previous six DVFS
+/// governors by 31.66%").
+double improvement_vs_mean_baseline(
+    const PolicySummary& candidate,
+    const std::vector<PolicySummary>& baselines);
+
+/// Finds a run by scenario name; throws std::invalid_argument if absent.
+const RunResult& run_for_scenario(const PolicySummary& summary,
+                                  const std::string& scenario);
+
+}  // namespace pmrl::core

@@ -1,0 +1,26 @@
+#include "governors/conservative.hpp"
+
+#include <algorithm>
+
+namespace pmrl::governors {
+
+ConservativeGovernor::ConservativeGovernor(ConservativeParams params)
+    : params_(params) {}
+
+void ConservativeGovernor::decide(const PolicyObservation& obs,
+                                  OppRequest& request) {
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    const auto& cluster = obs.soc.clusters[c];
+    const double load = cluster.util_max;
+    const std::size_t top = cluster.opp_count - 1;
+    std::size_t next = cluster.opp_index;
+    if (load >= params_.up_threshold) {
+      next = std::min(top, next + params_.freq_step);
+    } else if (load <= params_.down_threshold) {
+      next = next >= params_.freq_step ? next - params_.freq_step : 0;
+    }
+    request[c] = next;
+  }
+}
+
+}  // namespace pmrl::governors

@@ -1,0 +1,30 @@
+#pragma once
+// The conservative governor: like ondemand but moves gradually — one
+// frequency step up when load exceeds the up-threshold, one step down when
+// it falls below the down-threshold (Linux cpufreq_conservative).
+
+#include "governors/governor.hpp"
+
+namespace pmrl::governors {
+
+struct ConservativeParams {
+  double up_threshold = 0.80;
+  double down_threshold = 0.20;
+  /// OPP indices moved per decision.
+  std::size_t freq_step = 1;
+};
+
+class ConservativeGovernor : public Governor {
+ public:
+  explicit ConservativeGovernor(ConservativeParams params = {});
+  std::string name() const override { return "conservative"; }
+  void reset(const PolicyObservation&) override {}
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+
+  const ConservativeParams& params() const { return params_; }
+
+ private:
+  ConservativeParams params_;
+};
+
+}  // namespace pmrl::governors

@@ -1,0 +1,71 @@
+#pragma once
+// The governor (power-management policy) interface. Every policy — the six
+// Linux-style baselines and the paper's RL policy — implements this. A
+// governor is invoked once per decision epoch with the observation below
+// and answers with a requested OPP index per cluster.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/telemetry.hpp"
+
+namespace pmrl::governors {
+
+/// Everything a policy observes at a decision epoch. Baseline governors use
+/// only the utilization fields; the RL policy additionally consumes the
+/// per-epoch energy/QoS feedback as its reward signal (on a real device
+/// this comes from the PMIC energy counters and the frame pipeline, both of
+/// which the paper's policy reads).
+struct PolicyObservation {
+  soc::SocTelemetry soc;
+  /// Seconds since the previous decision.
+  double epoch_duration_s = 0.0;
+  /// Energy consumed during the previous epoch (J).
+  double epoch_energy_j = 0.0;
+  /// QoS quality units delivered during the previous epoch.
+  double epoch_quality = 0.0;
+  /// Deadline violations during the previous epoch.
+  std::size_t epoch_violations = 0;
+  /// Deadline jobs released during the previous epoch.
+  std::size_t epoch_releases = 0;
+
+  /// Per-DVFS-domain feedback for the previous epoch (index = cluster id).
+  /// Jobs are attributed to the cluster whose core completed them, so each
+  /// domain's policy sees its own energy and its own QoS outcome.
+  struct ClusterFeedback {
+    double epoch_energy_j = 0.0;
+    /// Quality delivered by deadline jobs completed on this cluster.
+    double epoch_deadline_quality = 0.0;
+    /// Deadline jobs completed on this cluster.
+    std::size_t epoch_deadline_completed = 0;
+    std::size_t epoch_violations = 0;
+  };
+  std::vector<ClusterFeedback> cluster_feedback;
+};
+
+/// A per-epoch DVFS decision: one OPP index request per cluster, in cluster
+/// order. The SoC may cap a request (thermal throttle).
+using OppRequest = std::vector<std::size_t>;
+
+/// Power-management policy interface.
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called before a run starts; the observation describes the initial
+  /// system state (cluster count, OPP table sizes). Policies reset their
+  /// internal state but keep anything learned (the RL policy keeps its
+  /// Q-table unless explicitly cleared).
+  virtual void reset(const PolicyObservation& initial) = 0;
+
+  /// One decision: fills `request` (pre-sized to the cluster count).
+  virtual void decide(const PolicyObservation& obs, OppRequest& request) = 0;
+};
+
+using GovernorPtr = std::unique_ptr<Governor>;
+
+}  // namespace pmrl::governors

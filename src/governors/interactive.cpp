@@ -1,0 +1,61 @@
+#include "governors/interactive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmrl::governors {
+
+InteractiveGovernor::InteractiveGovernor(InteractiveParams params)
+    : params_(params) {}
+
+void InteractiveGovernor::reset(const PolicyObservation& initial) {
+  const std::size_t n = initial.soc.clusters.size();
+  floor_expires_s_.assign(n, -1.0);
+  floor_index_.assign(n, 0);
+}
+
+void InteractiveGovernor::decide(const PolicyObservation& obs,
+                                 OppRequest& request) {
+  if (floor_expires_s_.size() != obs.soc.clusters.size()) {
+    reset(obs);
+  }
+  const double now = obs.soc.time_s;
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    const auto& cluster = obs.soc.clusters[c];
+    const double load = cluster.util_max;
+    const std::size_t top = cluster.opp_count - 1;
+    auto index_for_fraction = [&](double fraction) {
+      fraction = std::clamp(fraction, 0.0, 1.0);
+      const double idx = fraction * static_cast<double>(top);
+      return static_cast<std::size_t>(std::ceil(idx - 1e-9));
+    };
+
+    std::size_t target;
+    if (load >= params_.go_hispeed_load) {
+      // Spike: jump at least to hispeed, higher if already above it.
+      const std::size_t hispeed =
+          index_for_fraction(params_.hispeed_freq_fraction);
+      target = std::max(hispeed, cluster.opp_index);
+      if (load > params_.go_hispeed_load && cluster.opp_index >= hispeed) {
+        target = top;  // sustained spike above hispeed: go to max
+      }
+    } else {
+      // Proportional: frequency where current demand sits at target_load.
+      const double needed_hz = cluster.freq_hz * load / params_.target_load;
+      target = index_for_fraction(
+          cluster.max_freq_hz > 0.0 ? needed_hz / cluster.max_freq_hz : 0.0);
+    }
+
+    if (target > cluster.opp_index) {
+      // Raising: arm the hold-down floor.
+      floor_index_[c] = target;
+      floor_expires_s_[c] = now + params_.min_sample_time;
+    } else if (now < floor_expires_s_[c]) {
+      // Within the hold window: do not drop below the armed floor.
+      target = std::max(target, floor_index_[c]);
+    }
+    request[c] = std::min(target, top);
+  }
+}
+
+}  // namespace pmrl::governors

@@ -1,0 +1,40 @@
+#pragma once
+// The interactive governor (Android's historical touch-boost governor):
+// on a load spike it jumps immediately to a "hispeed" frequency, holds at
+// least min_sample_time before ramping down, and otherwise targets the
+// frequency at which the observed load would sit at target_load.
+
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace pmrl::governors {
+
+struct InteractiveParams {
+  /// Load that triggers the hispeed jump.
+  double go_hispeed_load = 0.85;
+  /// Hispeed frequency as a fraction of f_max.
+  double hispeed_freq_fraction = 0.80;
+  /// Target steady-state load used for proportional scaling.
+  double target_load = 0.90;
+  /// Minimum time a raised frequency is held before dropping (seconds).
+  double min_sample_time = 0.080;
+};
+
+class InteractiveGovernor : public Governor {
+ public:
+  explicit InteractiveGovernor(InteractiveParams params = {});
+  std::string name() const override { return "interactive"; }
+  void reset(const PolicyObservation& initial) override;
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+
+  const InteractiveParams& params() const { return params_; }
+
+ private:
+  InteractiveParams params_;
+  /// Per-cluster time at which the current raised frequency may drop.
+  std::vector<double> floor_expires_s_;
+  std::vector<std::size_t> floor_index_;
+};
+
+}  // namespace pmrl::governors

@@ -1,0 +1,34 @@
+#include "governors/ondemand.hpp"
+
+#include <algorithm>
+
+namespace pmrl::governors {
+
+OndemandGovernor::OndemandGovernor(OndemandParams params) : params_(params) {}
+
+void OndemandGovernor::decide(const PolicyObservation& obs,
+                              OppRequest& request) {
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    const auto& cluster = obs.soc.clusters[c];
+    const double load = cluster.util_max;  // busiest core rules the domain
+    const std::size_t top = cluster.opp_count - 1;
+    if (load >= params_.up_threshold) {
+      request[c] = top;
+      continue;
+    }
+    // Required absolute capacity: current freq times load, headroom so the
+    // new point would sit at up_threshold load.
+    const double needed_hz = cluster.freq_hz * load / params_.up_threshold;
+    const double biased_hz = needed_hz * (1.0 - params_.powersave_bias);
+    // Lowest OPP covering the needed frequency. OPP tables here are
+    // uniform-step, so the index maps linearly onto the frequency fraction
+    // of f_max.
+    const double fraction =
+        cluster.max_freq_hz > 0.0 ? biased_hz / cluster.max_freq_hz : 0.0;
+    const double idx = fraction * static_cast<double>(top);
+    const double ceil_idx = idx > 0.0 ? idx + 0.999999 : 0.0;
+    request[c] = std::min(top, static_cast<std::size_t>(ceil_idx));
+  }
+}
+
+}  // namespace pmrl::governors

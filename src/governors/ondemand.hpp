@@ -1,0 +1,33 @@
+#pragma once
+// The ondemand governor, following the classic Linux cpufreq algorithm:
+// when the load crosses the up-threshold the cluster jumps straight to its
+// maximum frequency; otherwise the next frequency is proportional to load,
+// chosen as the lowest OPP that covers load/up_threshold of max capacity.
+
+#include "governors/governor.hpp"
+
+namespace pmrl::governors {
+
+struct OndemandParams {
+  /// Load fraction above which the governor jumps to max (Linux default
+  /// up_threshold = 80-95 depending on era; 0.80 here).
+  double up_threshold = 0.80;
+  /// Multiplier applied when scaling below max (powersave_bias = 0 means
+  /// none; kept for ablation).
+  double powersave_bias = 0.0;
+};
+
+class OndemandGovernor : public Governor {
+ public:
+  explicit OndemandGovernor(OndemandParams params = {});
+  std::string name() const override { return "ondemand"; }
+  void reset(const PolicyObservation&) override {}
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+
+  const OndemandParams& params() const { return params_; }
+
+ private:
+  OndemandParams params_;
+};
+
+}  // namespace pmrl::governors

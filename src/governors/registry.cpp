@@ -1,0 +1,69 @@
+#include "governors/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "governors/conservative.hpp"
+#include "governors/interactive.hpp"
+#include "governors/ondemand.hpp"
+#include "governors/schedutil.hpp"
+#include "governors/static_governors.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+std::map<std::string, GovernorFactory>& registry() {
+  static std::map<std::string, GovernorFactory> instance = [] {
+    std::map<std::string, GovernorFactory> m;
+    m.emplace("performance",
+              [] { return GovernorPtr(new PerformanceGovernor()); });
+    m.emplace("powersave", [] { return GovernorPtr(new PowersaveGovernor()); });
+    m.emplace("userspace", [] { return GovernorPtr(new UserspaceGovernor()); });
+    m.emplace("ondemand", [] { return GovernorPtr(new OndemandGovernor()); });
+    m.emplace("conservative",
+              [] { return GovernorPtr(new ConservativeGovernor()); });
+    m.emplace("interactive",
+              [] { return GovernorPtr(new InteractiveGovernor()); });
+    m.emplace("schedutil",
+              [] { return GovernorPtr(new SchedutilGovernor()); });
+    return m;
+  }();
+  return instance;
+}
+
+}  // namespace
+
+void register_governor(const std::string& name, GovernorFactory factory) {
+  auto [it, inserted] = registry().emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("governor already registered: " + name);
+  }
+}
+
+bool has_governor(const std::string& name) {
+  return registry().count(name) != 0;
+}
+
+GovernorPtr make_governor(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::invalid_argument("unknown governor: " + name);
+  }
+  return it->second();
+}
+
+std::vector<std::string> baseline_governor_names() {
+  return {"performance", "powersave",    "userspace",
+          "ondemand",    "conservative", "interactive"};
+}
+
+std::vector<std::string> registered_governor_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace pmrl::governors

@@ -1,0 +1,34 @@
+#pragma once
+// Factory for the baseline governors, addressed by name as in
+// /sys/devices/system/cpu/cpufreq. The RL policy registers here too (from
+// src/rl) so harnesses can instantiate every policy uniformly.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace pmrl::governors {
+
+using GovernorFactory = std::function<GovernorPtr()>;
+
+/// Registers a governor under a unique name; throws std::invalid_argument
+/// on duplicates.
+void register_governor(const std::string& name, GovernorFactory factory);
+
+/// True if a governor with this name is registered.
+bool has_governor(const std::string& name);
+
+/// Instantiates a registered governor; throws std::invalid_argument for an
+/// unknown name.
+GovernorPtr make_governor(const std::string& name);
+
+/// Names of the six conventional baseline governors, in the reporting order
+/// of the paper's comparison.
+std::vector<std::string> baseline_governor_names();
+
+/// All registered governor names (sorted).
+std::vector<std::string> registered_governor_names();
+
+}  // namespace pmrl::governors

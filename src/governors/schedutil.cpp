@@ -1,0 +1,44 @@
+#include "governors/schedutil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmrl::governors {
+
+SchedutilGovernor::SchedutilGovernor(SchedutilParams params)
+    : params_(params) {}
+
+void SchedutilGovernor::reset(const PolicyObservation& initial) {
+  last_change_s_.assign(initial.soc.clusters.size(), -1e9);
+}
+
+void SchedutilGovernor::decide(const PolicyObservation& obs,
+                               OppRequest& request) {
+  if (last_change_s_.size() != obs.soc.clusters.size()) reset(obs);
+  const double now = obs.soc.time_s;
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    const auto& cluster = obs.soc.clusters[c];
+    const std::size_t top = cluster.opp_count - 1;
+    // Frequency-invariant utilization of the busiest core: util_max is
+    // relative to the current frequency, so scale it to f_max terms.
+    const double util_inv =
+        cluster.util_max * cluster.freq_hz /
+        std::max(cluster.max_freq_hz, 1.0);
+    const double target_hz =
+        params_.headroom * util_inv * cluster.max_freq_hz;
+    const double fraction =
+        cluster.max_freq_hz > 0.0 ? target_hz / cluster.max_freq_hz : 0.0;
+    const double idx = std::clamp(fraction, 0.0, 1.0) *
+                       static_cast<double>(top);
+    std::size_t next = static_cast<std::size_t>(std::ceil(idx - 1e-9));
+    next = std::min(next, top);
+    if (params_.rate_limit_s > 0.0 && next != cluster.opp_index &&
+        now - last_change_s_[c] < params_.rate_limit_s) {
+      next = cluster.opp_index;  // rate-limited: hold
+    }
+    if (next != cluster.opp_index) last_change_s_[c] = now;
+    request[c] = next;
+  }
+}
+
+}  // namespace pmrl::governors

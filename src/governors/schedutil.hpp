@@ -1,0 +1,36 @@
+#pragma once
+// The schedutil governor: the modern Linux default that drives frequency
+// directly from the scheduler's PELT utilization with a fixed headroom,
+// f = C * util_invariant * f_max with C = 1.25 (the kernel's
+// "util + util/4"), plus an optional rate limit between changes. Included
+// as a seventh, newer baseline beyond the paper's six.
+
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace pmrl::governors {
+
+struct SchedutilParams {
+  /// Headroom multiplier (kernel: 1.25).
+  double headroom = 1.25;
+  /// Minimum time between frequency changes per cluster (kernel
+  /// rate_limit_us; seconds here). 0 disables rate limiting.
+  double rate_limit_s = 0.0;
+};
+
+class SchedutilGovernor : public Governor {
+ public:
+  explicit SchedutilGovernor(SchedutilParams params = {});
+  std::string name() const override { return "schedutil"; }
+  void reset(const PolicyObservation& initial) override;
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+
+  const SchedutilParams& params() const { return params_; }
+
+ private:
+  SchedutilParams params_;
+  std::vector<double> last_change_s_;
+};
+
+}  // namespace pmrl::governors

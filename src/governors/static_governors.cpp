@@ -1,0 +1,40 @@
+#include "governors/static_governors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl::governors {
+
+void PerformanceGovernor::decide(const PolicyObservation& obs,
+                                 OppRequest& request) {
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    request[c] = obs.soc.clusters[c].opp_count - 1;
+  }
+}
+
+void PowersaveGovernor::decide(const PolicyObservation& obs,
+                               OppRequest& request) {
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    (void)obs;
+    request[c] = 0;
+  }
+}
+
+UserspaceGovernor::UserspaceGovernor(double table_fraction)
+    : fraction_(table_fraction) {
+  if (table_fraction < 0.0 || table_fraction > 1.0) {
+    throw std::invalid_argument("userspace fraction must be in [0,1]");
+  }
+}
+
+void UserspaceGovernor::decide(const PolicyObservation& obs,
+                               OppRequest& request) {
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    const std::size_t count = obs.soc.clusters[c].opp_count;
+    const double pos = fraction_ * static_cast<double>(count - 1);
+    request[c] = static_cast<std::size_t>(std::lround(pos));
+  }
+}
+
+}  // namespace pmrl::governors

@@ -1,0 +1,41 @@
+#pragma once
+// The three stateless baseline governors: performance (always max),
+// powersave (always min), and userspace (pinned to a configured fraction of
+// the table, defaulting to the middle OPP) — matching their Linux cpufreq
+// namesakes.
+
+#include "governors/governor.hpp"
+
+namespace pmrl::governors {
+
+/// Always requests the highest OPP: best QoS, worst energy.
+class PerformanceGovernor : public Governor {
+ public:
+  std::string name() const override { return "performance"; }
+  void reset(const PolicyObservation&) override {}
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+};
+
+/// Always requests the lowest OPP: best-case power, QoS suffers under load.
+class PowersaveGovernor : public Governor {
+ public:
+  std::string name() const override { return "powersave"; }
+  void reset(const PolicyObservation&) override {}
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+};
+
+/// Pins each cluster to a fixed position within its OPP table, expressed as
+/// a fraction of the table (0 = lowest, 1 = highest). Models a user/vendor
+/// fixed-frequency setting.
+class UserspaceGovernor : public Governor {
+ public:
+  explicit UserspaceGovernor(double table_fraction = 0.5);
+  std::string name() const override { return "userspace"; }
+  void reset(const PolicyObservation&) override {}
+  void decide(const PolicyObservation& obs, OppRequest& request) override;
+
+ private:
+  double fraction_;
+};
+
+}  // namespace pmrl::governors

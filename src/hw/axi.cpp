@@ -1,0 +1,32 @@
+#include "hw/axi.hpp"
+
+#include <stdexcept>
+
+namespace pmrl::hw {
+
+AxiLiteModel::AxiLiteModel(AxiParams params) : params_(params) {
+  if (params_.bus_clock_hz <= 0.0) {
+    throw std::invalid_argument("bus clock must be positive");
+  }
+}
+
+double AxiLiteModel::write_latency_s(std::size_t n_writes) const {
+  const double bus_s =
+      static_cast<double>(params_.write_cycles) / params_.bus_clock_hz;
+  return static_cast<double>(n_writes) *
+         (bus_s + params_.cpu_mmio_overhead_s);
+}
+
+double AxiLiteModel::read_latency_s(std::size_t n_reads) const {
+  const double bus_s =
+      static_cast<double>(params_.read_cycles) / params_.bus_clock_hz;
+  return static_cast<double>(n_reads) * (bus_s + params_.cpu_mmio_overhead_s);
+}
+
+double AxiLiteModel::invocation_latency_s(std::size_t n_writes,
+                                          std::size_t n_reads) const {
+  return params_.driver_overhead_s + write_latency_s(n_writes) +
+         read_latency_s(n_reads);
+}
+
+}  // namespace pmrl::hw

@@ -1,0 +1,50 @@
+#pragma once
+// AXI-Lite transaction model for the CPU <-> policy-accelerator interface
+// the paper constructs. Latency is modeled from the CPU's side: each MMIO
+// access to the device is uncached and strongly ordered, so its cost is
+// dominated by the interconnect round trip plus the bus-clock handshake.
+
+#include <cstddef>
+
+namespace pmrl::hw {
+
+/// Interface timing parameters.
+struct AxiParams {
+  /// Bus clock of the AXI-Lite slave (the accelerator side).
+  double bus_clock_hz = 100e6;
+  /// Bus cycles to complete one write (address + data + response phases).
+  unsigned write_cycles = 5;
+  /// Bus cycles to complete one read (address + data phases).
+  unsigned read_cycles = 4;
+  /// CPU-side fixed cost per uncached MMIO access (interconnect round trip,
+  /// store buffer drain / load stall), in seconds.
+  double cpu_mmio_overhead_s = 250e-9;
+  /// One-time driver entry/exit cost per policy invocation (seconds):
+  /// argument marshalling and the memory barriers around the doorbell.
+  double driver_overhead_s = 450e-9;
+};
+
+/// Accumulates the latency of a sequence of MMIO transactions.
+class AxiLiteModel {
+ public:
+  explicit AxiLiteModel(AxiParams params = {});
+
+  /// Latency of n back-to-back register writes (seconds).
+  double write_latency_s(std::size_t n_writes) const;
+  /// Latency of n back-to-back register reads (seconds).
+  double read_latency_s(std::size_t n_reads) const;
+  /// Fixed per-invocation driver cost (seconds).
+  double driver_overhead_s() const { return params_.driver_overhead_s; }
+
+  /// Full cost of one policy invocation over the interface:
+  /// `n_writes` state/reward/doorbell writes plus `n_reads` result reads
+  /// plus the driver overhead.
+  double invocation_latency_s(std::size_t n_writes, std::size_t n_reads) const;
+
+  const AxiParams& params() const { return params_; }
+
+ private:
+  AxiParams params_;
+};
+
+}  // namespace pmrl::hw

@@ -1,0 +1,57 @@
+#include "hw/datapath.hpp"
+
+#include <cmath>
+
+namespace pmrl::hw {
+
+QDatapath::QDatapath(rl::FixedAgentConfig agent_config, std::size_t states,
+                     std::size_t actions, DatapathTiming timing)
+    : agent_(agent_config, states, actions),
+      timing_(timing),
+      actions_(actions) {}
+
+unsigned QDatapath::argmax_tree_depth() const {
+  unsigned depth = 0;
+  std::size_t n = actions_;
+  while (n > 1) {
+    n = (n + 1) / 2;
+    ++depth;
+  }
+  return depth;
+}
+
+unsigned QDatapath::decide_cycle_count() const {
+  // capture + address + banked read + max(argmax tree, lfsr) + mux.
+  const unsigned tree = argmax_tree_depth() * timing_.compare_stage_cycles;
+  const unsigned select = tree > timing_.lfsr_cycles ? tree
+                                                     : timing_.lfsr_cycles;
+  return 1 /*capture*/ + 1 /*addr*/ + timing_.bram_read_cycles + select +
+         timing_.mux_cycles;
+}
+
+unsigned QDatapath::update_cycle_count() const {
+  // next-row read + max tree + gamma*max (DSP) + (+r) + (-Qold, read folded
+  // into the same banked read) + alpha*delta (DSP) + accumulate + write.
+  const unsigned tree = argmax_tree_depth() * timing_.compare_stage_cycles;
+  return timing_.bram_read_cycles + tree + timing_.mult_cycles +
+         timing_.add_cycles + timing_.add_cycles + timing_.mult_cycles +
+         timing_.add_cycles + timing_.writeback_cycles;
+}
+
+std::size_t QDatapath::decide(std::size_t state, CycleBreakdown& cycles) {
+  cycles.decide_cycles += decide_cycle_count();
+  return agent_.select_action(state);
+}
+
+void QDatapath::update(std::size_t state, std::size_t action, double reward,
+                       std::size_t next_state, CycleBreakdown& cycles) {
+  cycles.update_cycles += update_cycle_count();
+  agent_.learn(state, action, reward, next_state);
+}
+
+std::size_t QDatapath::qmem_bits() const {
+  return agent_.state_count() * agent_.action_count() *
+         agent_.format().total_bits();
+}
+
+}  // namespace pmrl::hw

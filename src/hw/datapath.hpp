@@ -1,0 +1,77 @@
+#pragma once
+// Cycle-accurate model of the FPGA Q-policy datapath. The pipeline mirrors
+// a straightforward RTL implementation of tabular Q-learning:
+//
+//   decide:  state capture -> Q-row address -> banked BRAM read (all action
+//            words in parallel) -> comparator argmax tree -> epsilon LFSR
+//            test -> action mux
+//   update:  next-state row read -> max tree -> gamma multiply -> reward add
+//            -> old-Q subtract -> alpha multiply -> accumulate -> write-back
+//
+// Values are computed by the bit-exact FixedPointQAgent; this class only
+// accounts cycles, so the "hardware" produces the same numbers as the
+// fixed-point software agent while modeling its latency.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rl/fixed_agent.hpp"
+
+namespace pmrl::hw {
+
+/// Datapath timing parameters (cycles at the FPGA clock).
+struct DatapathTiming {
+  unsigned bram_read_cycles = 2;   ///< synchronous BRAM with output register
+  unsigned mult_cycles = 2;        ///< pipelined DSP multiply
+  unsigned add_cycles = 1;
+  unsigned compare_stage_cycles = 1;  ///< per level of the argmax tree
+  unsigned lfsr_cycles = 1;           ///< runs in parallel with the read
+  unsigned mux_cycles = 1;
+  unsigned writeback_cycles = 1;
+};
+
+/// Per-phase cycle breakdown of one policy iteration.
+struct CycleBreakdown {
+  unsigned decide_cycles = 0;
+  unsigned update_cycles = 0;
+  unsigned total() const { return decide_cycles + update_cycles; }
+};
+
+/// The modeled accelerator datapath.
+class QDatapath {
+ public:
+  QDatapath(rl::FixedAgentConfig agent_config, std::size_t states,
+            std::size_t actions, DatapathTiming timing = {});
+
+  /// Action selection: returns the chosen action and accounts the cycles.
+  std::size_t decide(std::size_t state, CycleBreakdown& cycles);
+
+  /// TD update for the previous transition; accounts the cycles.
+  void update(std::size_t state, std::size_t action, double reward,
+              std::size_t next_state, CycleBreakdown& cycles);
+
+  /// Cycles of a decide phase (constant: the pipeline has no data-dependent
+  /// stalls).
+  unsigned decide_cycle_count() const;
+  /// Cycles of an update phase.
+  unsigned update_cycle_count() const;
+
+  /// Depth of the argmax comparator tree: ceil(log2(actions)).
+  unsigned argmax_tree_depth() const;
+
+  rl::FixedPointQAgent& agent() { return agent_; }
+  const rl::FixedPointQAgent& agent() const { return agent_; }
+  const DatapathTiming& timing() const { return timing_; }
+
+  /// BRAM bits required for the Q memory (states x actions x word width) —
+  /// reported by the resource table in EXPERIMENTS.md.
+  std::size_t qmem_bits() const;
+
+ private:
+  rl::FixedPointQAgent agent_;
+  DatapathTiming timing_;
+  std::size_t actions_;
+};
+
+}  // namespace pmrl::hw

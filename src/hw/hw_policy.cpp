@@ -1,0 +1,42 @@
+#include "hw/hw_policy.hpp"
+
+#include <stdexcept>
+
+namespace pmrl::hw {
+
+HwPolicyEngine::HwPolicyEngine(HwPolicyConfig config, std::size_t states,
+                               std::size_t actions)
+    : config_(config),
+      datapath_(config.agent, states, actions, config.timing),
+      axi_(config.axi) {
+  if (config_.fpga_clock_hz <= 0.0) {
+    throw std::invalid_argument("fpga clock must be positive");
+  }
+}
+
+double HwPolicyEngine::interface_latency_s() const {
+  return axi_.invocation_latency_s(config_.invocation_writes,
+                                   config_.invocation_reads);
+}
+
+std::size_t HwPolicyEngine::invoke(std::size_t state, double reward,
+                                   PolicyLatency& latency) {
+  CycleBreakdown cycles;
+  if (has_prev_) {
+    datapath_.update(prev_state_, prev_action_, reward, state, cycles);
+  }
+  const std::size_t action = datapath_.decide(state, cycles);
+  prev_state_ = state;
+  prev_action_ = action;
+  has_prev_ = true;
+
+  latency.datapath_cycles = cycles.total();
+  latency.raw_s =
+      static_cast<double>(cycles.total()) / config_.fpga_clock_hz;
+  latency.end_to_end_s = latency.raw_s + interface_latency_s();
+  return action;
+}
+
+void HwPolicyEngine::reset_chain() { has_prev_ = false; }
+
+}  // namespace pmrl::hw

@@ -1,0 +1,68 @@
+#pragma once
+// The hardware-implemented policy engine: the Q-datapath plus the CPU
+// interface, invoked once per decision epoch exactly like the software
+// governor. Decision values are bit-exact with FixedPointQAgent; latency is
+// the sum of the interface cost (paid by the CPU) and the datapath cycles
+// (paid at the FPGA clock).
+
+#include "hw/axi.hpp"
+#include "hw/datapath.hpp"
+
+namespace pmrl::hw {
+
+/// Accelerator + interface configuration.
+struct HwPolicyConfig {
+  double fpga_clock_hz = 100e6;
+  DatapathTiming timing;
+  AxiParams axi;
+  /// MMIO writes per invocation: packed state word, packed reward word,
+  /// doorbell.
+  std::size_t invocation_writes = 3;
+  /// MMIO reads per invocation: the action/status word.
+  std::size_t invocation_reads = 1;
+  rl::FixedAgentConfig agent;
+};
+
+/// Latency of one policy invocation.
+struct PolicyLatency {
+  /// Datapath-only latency (the "raw" hardware decision time).
+  double raw_s = 0.0;
+  /// CPU-observed latency including driver + AXI transfers.
+  double end_to_end_s = 0.0;
+  unsigned datapath_cycles = 0;
+};
+
+/// One hardware policy instance.
+class HwPolicyEngine {
+ public:
+  HwPolicyEngine(HwPolicyConfig config, std::size_t states,
+                 std::size_t actions);
+
+  /// One governor invocation: applies the TD update for the previous
+  /// transition (using `reward`) and selects the action for `state`.
+  /// The first invocation skips the update (no previous transition).
+  std::size_t invoke(std::size_t state, double reward,
+                     PolicyLatency& latency);
+
+  /// Clears the previous-transition chain (not the Q memory).
+  void reset_chain();
+
+  rl::FixedPointQAgent& agent() { return datapath_.agent(); }
+  const rl::FixedPointQAgent& agent() const { return datapath_.agent(); }
+  QDatapath& datapath() { return datapath_; }
+  const AxiLiteModel& axi() const { return axi_; }
+  const HwPolicyConfig& config() const { return config_; }
+
+  /// Constant per-invocation interface latency (seconds).
+  double interface_latency_s() const;
+
+ private:
+  HwPolicyConfig config_;
+  QDatapath datapath_;
+  AxiLiteModel axi_;
+  bool has_prev_ = false;
+  std::size_t prev_state_ = 0;
+  std::size_t prev_action_ = 0;
+};
+
+}  // namespace pmrl::hw

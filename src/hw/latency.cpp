@@ -1,0 +1,62 @@
+#include "hw/latency.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace pmrl::hw {
+
+double LatencyComparison::mean_speedup_end_to_end() const {
+  if (hw_end_to_end_s.mean() <= 0.0) return 0.0;
+  return sw_latency_s.mean() / hw_end_to_end_s.mean();
+}
+
+double LatencyComparison::mean_speedup_raw() const {
+  if (hw_raw_s.mean() <= 0.0) return 0.0;
+  return sw_latency_s.mean() / hw_raw_s.mean();
+}
+
+double LatencyComparison::max_speedup_raw() const {
+  if (hw_raw_s.count() == 0 || hw_raw_s.min() <= 0.0) return 0.0;
+  return sw_latency_s.max() / hw_raw_s.min();
+}
+
+LatencyComparison run_latency_experiment(
+    const LatencyExperimentConfig& config, std::size_t states,
+    std::size_t actions, const std::vector<InvocationRecord>& stream) {
+  LatencyComparison result;
+  HwPolicyEngine hw(config.hw, states, actions);
+  SwPolicyCostModel sw(config.sw, actions);
+  Rng jitter(config.jitter_seed);
+
+  result.sw_latency_s.reserve(stream.size());
+  result.hw_raw_s.reserve(stream.size());
+  result.hw_end_to_end_s.reserve(stream.size());
+
+  for (const auto& record : stream) {
+    PolicyLatency latency;
+    hw.invoke(record.state, record.reward, latency);
+    result.hw_raw_s.add(latency.raw_s);
+    result.hw_end_to_end_s.add(latency.end_to_end_s);
+    result.sw_latency_s.add(sw.sample_latency_s(jitter));
+  }
+  return result;
+}
+
+std::vector<InvocationRecord> synthetic_stream(std::size_t states,
+                                               std::size_t count,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<InvocationRecord> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    InvocationRecord record;
+    record.state = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(states) - 1));
+    record.reward = rng.uniform(-2.0, 0.0);
+    stream.push_back(record);
+  }
+  return stream;
+}
+
+}  // namespace pmrl::hw

@@ -1,0 +1,56 @@
+#pragma once
+// The HW-vs-SW decision-latency experiment (the paper's second result).
+// Replays one stream of (state, reward) invocations through both policy
+// implementations and collects latency distributions:
+//   software  — kernel-governor cost model (SwPolicyCostModel)
+//   hardware  — AXI interface + datapath cycles (HwPolicyEngine)
+// Reported speedups: end-to-end (the journal's 3.92x) and raw datapath
+// (the LBR's "up to 40x").
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/hw_policy.hpp"
+#include "hw/sw_cost.hpp"
+#include "util/stats.hpp"
+
+namespace pmrl::hw {
+
+/// One replayed policy invocation.
+struct InvocationRecord {
+  std::size_t state = 0;
+  double reward = 0.0;
+};
+
+/// Latency distributions and derived speedups.
+struct LatencyComparison {
+  SampleSet sw_latency_s;
+  SampleSet hw_raw_s;
+  SampleSet hw_end_to_end_s;
+
+  double mean_speedup_end_to_end() const;
+  double mean_speedup_raw() const;
+  /// Max per-invocation raw speedup observed (the "up to N x" number).
+  double max_speedup_raw() const;
+};
+
+/// Experiment configuration.
+struct LatencyExperimentConfig {
+  HwPolicyConfig hw;
+  SwCostParams sw;
+  std::uint64_t jitter_seed = 2024;
+};
+
+/// Runs the comparison over a recorded invocation stream.
+LatencyComparison run_latency_experiment(
+    const LatencyExperimentConfig& config, std::size_t states,
+    std::size_t actions, const std::vector<InvocationRecord>& stream);
+
+/// Generates a synthetic invocation stream (uniform random states, rewards
+/// in [-2, 0]) for microbenchmarks and tests; real-workload streams come
+/// from a simulation capture.
+std::vector<InvocationRecord> synthetic_stream(std::size_t states,
+                                               std::size_t count,
+                                               std::uint64_t seed);
+
+}  // namespace pmrl::hw

@@ -1,0 +1,44 @@
+#include "hw/sw_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl::hw {
+
+SwPolicyCostModel::SwPolicyCostModel(SwCostParams params,
+                                     std::size_t action_count,
+                                     std::uint64_t seed)
+    : params_(params), action_count_(action_count) {
+  (void)seed;
+  if (params_.cpu_clock_hz <= 0.0) {
+    throw std::invalid_argument("cpu clock must be positive");
+  }
+  if (action_count_ == 0) {
+    throw std::invalid_argument("action count must be positive");
+  }
+}
+
+double SwPolicyCostModel::mean_latency_s() const {
+  const double cycle_s = 1.0 / params_.cpu_clock_hz;
+  const double invoke = params_.invoke_overhead_s;
+  const double telemetry =
+      static_cast<double>(params_.counters_read) * params_.counter_read_s;
+  const double featurize = params_.featurize_cycles * cycle_s;
+  const double q_access =
+      static_cast<double>(params_.q_line_fills) * params_.line_fill_s +
+      static_cast<double>(action_count_) * params_.per_action_cycles *
+          cycle_s;
+  const double update = params_.update_cycles * cycle_s;
+  return invoke + telemetry + featurize + q_access + update;
+}
+
+double SwPolicyCostModel::sample_latency_s(Rng& rng) const {
+  const double mean = mean_latency_s();
+  if (params_.jitter_sigma <= 0.0) return mean;
+  // Lognormal multiplier with unit mean: exp(N(-sigma^2/2, sigma)).
+  const double sigma = params_.jitter_sigma;
+  const double factor = std::exp(rng.normal(-0.5 * sigma * sigma, sigma));
+  return mean * factor;
+}
+
+}  // namespace pmrl::hw

@@ -1,0 +1,66 @@
+#pragma once
+// Latency cost model of the *software* policy implementation running inside
+// the kernel of a mobile CPU — the baseline the paper measures its FPGA
+// implementation against. The cost is assembled from the same phases the
+// kernel-governor path pays on real silicon:
+//
+//   invoke      timer/softirq entry into the governor callback
+//   telemetry   uncached reads of per-core activity/energy counters
+//   featurize   state discretization arithmetic
+//   q_access    Q-row loads (cold in cache at governor cadence) + argmax
+//   update      TD arithmetic + store
+//
+// Per-invocation jitter (preemption, cache state) is modeled with a
+// lognormal multiplier so latency *distributions*, not just means, can be
+// compared.
+
+#include "util/rng.hpp"
+
+namespace pmrl::hw {
+
+/// Software-policy cost parameters (mobile-CPU class defaults: 2 GHz core,
+/// LPDDR-backed last-level cache).
+struct SwCostParams {
+  double cpu_clock_hz = 2.0e9;
+  /// Fixed governor-invocation overhead (timer softirq, callback dispatch),
+  /// seconds.
+  double invoke_overhead_s = 2.8e-6;
+  /// Uncached counter read cost (seconds) and how many are read per
+  /// decision (utilization + energy per cluster, QoS counters).
+  double counter_read_s = 400e-9;
+  unsigned counters_read = 8;
+  /// Featurization arithmetic, CPU cycles.
+  unsigned featurize_cycles = 320;
+  /// Cache-miss cost of one Q-table line fill (seconds) and the expected
+  /// number of line fills per decision (Q row + neighbors; cold at ~50 ms
+  /// cadence).
+  double line_fill_s = 150e-9;
+  unsigned q_line_fills = 6;
+  /// Per-action compare/ALU cycles for argmax.
+  unsigned per_action_cycles = 8;
+  /// TD-update arithmetic + store, CPU cycles.
+  unsigned update_cycles = 260;
+  /// Lognormal jitter sigma applied multiplicatively (0 disables).
+  double jitter_sigma = 0.12;
+};
+
+/// Samples per-invocation software decision latency.
+class SwPolicyCostModel {
+ public:
+  SwPolicyCostModel(SwCostParams params, std::size_t action_count,
+                    std::uint64_t seed = 7);
+
+  /// Deterministic mean latency of one decide+update invocation (seconds).
+  double mean_latency_s() const;
+
+  /// One jittered latency sample (seconds).
+  double sample_latency_s(Rng& rng) const;
+
+  const SwCostParams& params() const { return params_; }
+
+ private:
+  SwCostParams params_;
+  std::size_t action_count_;
+};
+
+}  // namespace pmrl::hw

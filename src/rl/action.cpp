@@ -1,0 +1,75 @@
+#include "rl/action.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmrl::rl {
+
+ActionSpace::ActionSpace(ActionConfig config, std::size_t cluster_count)
+    : config_(config), cluster_count_(cluster_count) {
+  if (cluster_count_ == 0) {
+    throw std::invalid_argument("action space needs >= 1 cluster");
+  }
+  if (config_.step == 0) throw std::invalid_argument("action step must be >=1");
+  const int s = static_cast<int>(config_.step);
+  // "hold" is deliberately move 0: joint action 0 is then (hold, hold, ...),
+  // which is what Q-ties — and therefore never-visited states — resolve to
+  // in both the software argmax and the hardware comparator tree.
+  moves_ = {0, -s, s};
+  if (config_.jump > 0) {
+    moves_.push_back(static_cast<int>(config_.jump));
+  }
+  action_count_ = 1;
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    action_count_ *= moves_.size();
+  }
+}
+
+int ActionSpace::delta(std::size_t action, std::size_t cluster) const {
+  if (action >= action_count_) throw std::out_of_range("action index");
+  if (cluster >= cluster_count_) throw std::out_of_range("cluster index");
+  // Mixed-radix decode: cluster 0 is the least-significant digit.
+  std::size_t rest = action;
+  for (std::size_t c = 0; c < cluster; ++c) rest /= moves_.size();
+  return moves_[rest % moves_.size()];
+}
+
+void ActionSpace::apply(std::size_t action,
+                        const governors::PolicyObservation& obs,
+                        governors::OppRequest& request) const {
+  if (obs.soc.clusters.size() != cluster_count_) {
+    throw std::invalid_argument("action apply: cluster count mismatch");
+  }
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    const auto& cluster = obs.soc.clusters[c];
+    const int current = static_cast<int>(cluster.opp_index);
+    const int top = static_cast<int>(cluster.opp_count) - 1;
+    const int next = std::clamp(current + delta(action, c), 0, top);
+    request[c] = static_cast<std::size_t>(next);
+  }
+}
+
+std::size_t ActionSpace::hold_action() const {
+  return 0;  // move 0 of every digit is "hold" by construction
+}
+
+int ActionSpace::move_value(std::size_t move_index) const {
+  if (move_index >= moves_.size()) throw std::out_of_range("move index");
+  return moves_[move_index];
+}
+
+void ActionSpace::apply_move(std::size_t move_index,
+                             const governors::PolicyObservation& obs,
+                             std::size_t cluster,
+                             governors::OppRequest& request) const {
+  if (cluster >= obs.soc.clusters.size()) {
+    throw std::out_of_range("apply_move: cluster");
+  }
+  const auto& ct = obs.soc.clusters[cluster];
+  const int current = static_cast<int>(ct.opp_index);
+  const int top = static_cast<int>(ct.opp_count) - 1;
+  const int next = std::clamp(current + move_value(move_index), 0, top);
+  request[cluster] = static_cast<std::size_t>(next);
+}
+
+}  // namespace pmrl::rl

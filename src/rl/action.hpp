@@ -1,0 +1,66 @@
+#pragma once
+// Action space: the joint per-cluster OPP moves. The default is
+// {down, hold, up} per cluster — 3^2 = 9 joint actions on a two-cluster
+// SoC — with a configurable step size and an optional wider move set for
+// the ablation study.
+
+#include <cstddef>
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace pmrl::rl {
+
+/// Action-space configuration.
+struct ActionConfig {
+  /// OPP indices moved per fine "up"/"down" action component.
+  std::size_t step = 1;
+  /// Optional coarse *upward* move distance; adds {+jump} to the
+  /// per-cluster move set. Disabled by default: an asymmetric jump biases
+  /// epsilon-greedy exploration upward (mean drift ~ +1 index per epoch)
+  /// and starves the low-OPP states, while a symmetric +-jump crashes
+  /// frequency into backlog whose violation cost arrives too delayed for a
+  /// myopic learner to attribute. Fast ramp-up after phase changes is
+  /// instead provided by the RL governor's deterministic QoS guard.
+  std::size_t jump = 0;
+};
+
+/// Enumerates and applies joint DVFS actions.
+class ActionSpace {
+ public:
+  ActionSpace(ActionConfig config, std::size_t cluster_count);
+
+  /// Number of joint actions (moves_per_cluster ^ cluster_count).
+  std::size_t action_count() const { return action_count_; }
+  std::size_t cluster_count() const { return cluster_count_; }
+  std::size_t moves_per_cluster() const { return moves_.size(); }
+
+  /// Per-cluster signed OPP delta of a joint action.
+  int delta(std::size_t action, std::size_t cluster) const;
+
+  /// Applies a joint action to the clusters' current OPP indices, clamping
+  /// to each cluster's table, and writes the result into `request`.
+  void apply(std::size_t action, const governors::PolicyObservation& obs,
+             governors::OppRequest& request) const;
+
+  /// The joint action index whose every component is "hold".
+  std::size_t hold_action() const;
+
+  /// Signed OPP delta of one per-cluster move index (factored mode, where
+  /// each cluster has its own agent choosing among moves_per_cluster()).
+  int move_value(std::size_t move_index) const;
+
+  /// Applies one per-cluster move to a single cluster's OPP (clamped) and
+  /// writes it into `request[cluster]`.
+  void apply_move(std::size_t move_index,
+                  const governors::PolicyObservation& obs,
+                  std::size_t cluster, governors::OppRequest& request) const;
+
+ private:
+  ActionConfig config_;
+  std::size_t cluster_count_;
+  std::vector<int> moves_;  // per-cluster move set, ascending
+  std::size_t action_count_;
+};
+
+}  // namespace pmrl::rl

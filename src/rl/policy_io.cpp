@@ -1,0 +1,82 @@
+#include "rl/policy_io.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace pmrl::rl {
+
+void save_policy(const RlGovernor& governor, std::ostream& out) {
+  out << "pmrl-policy,1," << governor.agent_count() << ','
+      << governor.agent(0).state_count() << ','
+      << governor.agent(0).action_count() << '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < governor.agent_count(); ++i) {
+    const QAgent& agent = governor.agent(i);
+    for (std::size_t s = 0; s < agent.state_count(); ++s) {
+      for (std::size_t a = 0; a < agent.action_count(); ++a) {
+        if (a) out << ',';
+        std::snprintf(buf, sizeof buf, "%.17g", agent.q_value(s, a));
+        out << buf;
+      }
+      out << '\n';
+    }
+  }
+}
+
+namespace {
+std::size_t parse_field(const std::string& line, std::size_t& pos) {
+  const std::size_t next = line.find(',', pos);
+  const std::string field = line.substr(
+      pos, next == std::string::npos ? std::string::npos : next - pos);
+  pos = next == std::string::npos ? line.size() : next + 1;
+  return static_cast<std::size_t>(std::stoul(field));
+}
+}  // namespace
+
+void load_policy(RlGovernor& governor, std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header.rfind("pmrl-policy,1,", 0) != 0) {
+    throw std::runtime_error("policy checkpoint: bad header");
+  }
+  std::size_t pos = std::string("pmrl-policy,1,").size();
+  const std::size_t agents = parse_field(header, pos);
+  const std::size_t states = parse_field(header, pos);
+  const std::size_t actions = parse_field(header, pos);
+  if (agents != governor.agent_count() ||
+      states != governor.agent(0).state_count() ||
+      actions != governor.agent(0).action_count()) {
+    throw std::runtime_error(
+        "policy checkpoint: shape mismatch (checkpoint " +
+        std::to_string(agents) + "x" + std::to_string(states) + "x" +
+        std::to_string(actions) + ", governor " +
+        std::to_string(governor.agent_count()) + "x" +
+        std::to_string(governor.agent(0).state_count()) + "x" +
+        std::to_string(governor.agent(0).action_count()) + ")");
+  }
+  std::string line;
+  for (std::size_t i = 0; i < agents; ++i) {
+    QAgent& agent = governor.agent(i);
+    for (std::size_t s = 0; s < states; ++s) {
+      if (!std::getline(in, line)) {
+        throw std::runtime_error("policy checkpoint: truncated");
+      }
+      std::size_t cursor = 0;
+      for (std::size_t a = 0; a < actions; ++a) {
+        const std::size_t next = line.find(',', cursor);
+        if (a + 1 < actions && next == std::string::npos) {
+          throw std::runtime_error("policy checkpoint: short row");
+        }
+        const std::string field = line.substr(
+            cursor,
+            next == std::string::npos ? std::string::npos : next - cursor);
+        agent.set_q_value(s, a, std::stod(field));
+        cursor = next == std::string::npos ? line.size() : next + 1;
+      }
+    }
+  }
+}
+
+}  // namespace pmrl::rl

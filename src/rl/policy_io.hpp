@@ -1,0 +1,29 @@
+#pragma once
+// Policy checkpointing: serialize a trained RlGovernor's Q-tables so a
+// policy trained offline can be shipped and deployed (or flashed into the
+// accelerator's Q memory) without retraining. The format is line-oriented:
+//
+//   pmrl-policy,1,<agents>,<states>,<actions>
+//   <QTable CSV of agent 0: states rows x actions columns>
+//   <QTable CSV of agent 1>
+//   ...
+//
+// Only the learned values travel; the structural configuration must match
+// at load time (checked, with clear errors on mismatch).
+
+#include <iosfwd>
+
+#include "rl/rl_governor.hpp"
+
+namespace pmrl::rl {
+
+/// Writes the governor's Q-table(s).
+void save_policy(const RlGovernor& governor, std::ostream& out);
+
+/// Restores Q-values into an existing governor of matching shape; throws
+/// std::runtime_error on format or shape mismatch. Fixed-point agents
+/// re-quantize the stored values (lossless for checkpoints produced by a
+/// fixed-point agent, rounding for cross-backend restores).
+void load_policy(RlGovernor& governor, std::istream& in);
+
+}  // namespace pmrl::rl

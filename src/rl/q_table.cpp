@@ -1,0 +1,110 @@
+#include "rl/q_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace pmrl::rl {
+
+QTable::QTable(std::size_t states, std::size_t actions, double initial_value)
+    : states_(states),
+      actions_(actions),
+      values_(states * actions, initial_value),
+      visit_counts_(states * actions, 0) {
+  if (states == 0 || actions == 0) {
+    throw std::invalid_argument("QTable dimensions must be positive");
+  }
+}
+
+std::size_t QTable::index(std::size_t state, std::size_t action) const {
+  if (state >= states_ || action >= actions_) {
+    throw std::out_of_range("QTable index");
+  }
+  return state * actions_ + action;
+}
+
+double QTable::get(std::size_t state, std::size_t action) const {
+  return values_[index(state, action)];
+}
+
+void QTable::set(std::size_t state, std::size_t action, double value) {
+  values_[index(state, action)] = value;
+}
+
+std::size_t QTable::argmax(std::size_t state) const {
+  const std::size_t base = index(state, 0);
+  std::size_t best = 0;
+  double best_value = values_[base];
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (values_[base + a] > best_value) {
+      best_value = values_[base + a];
+      best = a;
+    }
+  }
+  return best;
+}
+
+double QTable::max_value(std::size_t state) const {
+  return get(state, argmax(state));
+}
+
+void QTable::record_visit(std::size_t state, std::size_t action) {
+  ++visit_counts_[index(state, action)];
+}
+
+std::size_t QTable::visits(std::size_t state, std::size_t action) const {
+  return visit_counts_[index(state, action)];
+}
+
+std::size_t QTable::visited_pairs() const {
+  std::size_t n = 0;
+  for (auto count : visit_counts_) n += count > 0 ? 1 : 0;
+  return n;
+}
+
+std::size_t QTable::visited_states() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < states_; ++s) {
+    for (std::size_t a = 0; a < actions_; ++a) {
+      if (visit_counts_[s * actions_ + a] > 0) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void QTable::fill(double value) {
+  std::fill(values_.begin(), values_.end(), value);
+}
+
+void QTable::save(std::ostream& out) const {
+  CsvWriter writer(out);
+  for (std::size_t s = 0; s < states_; ++s) {
+    std::vector<double> row(values_.begin() + s * actions_,
+                            values_.begin() + (s + 1) * actions_);
+    writer.write_row_values(row);
+  }
+}
+
+QTable QTable::load(std::istream& in) {
+  const auto rows = CsvReader::parse(in);
+  if (rows.empty()) throw std::runtime_error("QTable::load: empty input");
+  const std::size_t actions = rows.front().size();
+  QTable table(rows.size(), actions);
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    if (rows[s].size() != actions) {
+      throw std::runtime_error("QTable::load: ragged rows");
+    }
+    for (std::size_t a = 0; a < actions; ++a) {
+      table.set(s, a, std::stod(rows[s][a]));
+    }
+  }
+  return table;
+}
+
+}  // namespace pmrl::rl

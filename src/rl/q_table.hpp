@@ -1,0 +1,53 @@
+#pragma once
+// Dense tabular Q-function with deterministic argmax, visit counting, and
+// CSV (de)serialization for checkpointing trained policies.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace pmrl::rl {
+
+/// Q(s, a) storage: row-major [state][action].
+class QTable {
+ public:
+  QTable(std::size_t states, std::size_t actions, double initial_value = 0.0);
+
+  std::size_t states() const { return states_; }
+  std::size_t actions() const { return actions_; }
+
+  double get(std::size_t state, std::size_t action) const;
+  void set(std::size_t state, std::size_t action, double value);
+
+  /// Greedy action for a state; ties break toward the lowest action index
+  /// (deterministic, and matches the hardware comparator tree).
+  std::size_t argmax(std::size_t state) const;
+  /// Value of the greedy action.
+  double max_value(std::size_t state) const;
+
+  /// Visit bookkeeping (updated by agents on learn()).
+  void record_visit(std::size_t state, std::size_t action);
+  std::size_t visits(std::size_t state, std::size_t action) const;
+  /// Number of (s, a) pairs visited at least once.
+  std::size_t visited_pairs() const;
+  /// Number of states with at least one visited action.
+  std::size_t visited_states() const;
+
+  void fill(double value);
+
+  /// CSV: one row per state, `actions` columns.
+  void save(std::ostream& out) const;
+  /// Parses a CSV produced by save(); throws std::runtime_error on shape
+  /// mismatch.
+  static QTable load(std::istream& in);
+
+ private:
+  std::size_t index(std::size_t state, std::size_t action) const;
+  std::size_t states_;
+  std::size_t actions_;
+  std::vector<double> values_;
+  std::vector<std::uint32_t> visit_counts_;
+};
+
+}  // namespace pmrl::rl

@@ -1,0 +1,82 @@
+#include "rl/reward.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmrl::rl {
+
+RewardFunction::RewardFunction(RewardConfig config) : config_(config) {
+  if (config_.power_ref_w <= 0.0) {
+    throw std::invalid_argument("power_ref_w must be positive");
+  }
+  if (config_.lambda_qos < 0.0) {
+    throw std::invalid_argument("lambda_qos must be >= 0");
+  }
+}
+
+double RewardFunction::energy_term(
+    const governors::PolicyObservation& obs) const {
+  if (obs.epoch_duration_s <= 0.0) return 0.0;
+  const double norm =
+      obs.epoch_energy_j / (config_.power_ref_w * obs.epoch_duration_s);
+  return -std::min(norm, 2.0);  // clip runaway readings
+}
+
+double RewardFunction::qos_deficit(
+    const governors::PolicyObservation& obs) const {
+  if (obs.epoch_releases == 0) return 0.0;
+  // Quality actually delivered vs quality owed this epoch. Completions can
+  // exceed releases in an epoch (backlog draining), so clamp at 0 deficit.
+  const double owed = static_cast<double>(obs.epoch_releases);
+  const double deficit = (owed - obs.epoch_quality) / owed;
+  return std::clamp(deficit, 0.0, 1.0);
+}
+
+double RewardFunction::cluster_energy_term(
+    const governors::PolicyObservation& obs, std::size_t cluster) const {
+  if (obs.epoch_duration_s <= 0.0 ||
+      cluster >= obs.cluster_feedback.size() ||
+      cluster >= obs.soc.clusters.size()) {
+    return 0.0;
+  }
+  const double ref_w = obs.soc.clusters[cluster].max_power_w;
+  if (ref_w <= 0.0) return 0.0;
+  const double norm = obs.cluster_feedback[cluster].epoch_energy_j /
+                      (ref_w * obs.epoch_duration_s);
+  return -std::min(norm, 2.0);
+}
+
+double RewardFunction::cluster_qos_deficit(
+    const governors::PolicyObservation& obs, std::size_t cluster) const {
+  if (cluster >= obs.cluster_feedback.size()) return 0.0;
+  const auto& fb = obs.cluster_feedback[cluster];
+  // Overdue queued jobs count as owed-and-undelivered: a drowning cluster
+  // must feel the full penalty even though its late jobs have not completed.
+  const double overdue =
+      cluster < obs.soc.clusters.size()
+          ? static_cast<double>(obs.soc.clusters[cluster].overdue_jobs)
+          : 0.0;
+  const double owed =
+      static_cast<double>(fb.epoch_deadline_completed) + overdue;
+  if (owed <= 0.0) return 0.0;
+  const double deficit = (owed - fb.epoch_deadline_quality) / owed;
+  return std::clamp(deficit, 0.0, 1.0);
+}
+
+double RewardFunction::cluster_reward(const governors::PolicyObservation& obs,
+                                      std::size_t cluster,
+                                      bool opp_changed) const {
+  double reward = cluster_energy_term(obs, cluster) -
+                  config_.lambda_qos * cluster_qos_deficit(obs, cluster);
+  if (opp_changed) reward -= config_.transition_penalty;
+  return reward;
+}
+
+double RewardFunction::operator()(const governors::PolicyObservation& obs,
+                                  bool opp_changed) const {
+  double reward = energy_term(obs) - config_.lambda_qos * qos_deficit(obs);
+  if (opp_changed) reward -= config_.transition_penalty;
+  return reward;
+}
+
+}  // namespace pmrl::rl

@@ -1,0 +1,69 @@
+#pragma once
+// Reward shaping. The paper's objective is lower energy per unit QoS
+// "without compromising the user satisfaction": the reward combines a
+// normalized energy term with a weighted QoS-deficit penalty, so the agent
+// learns the lowest operating points that still meet deadlines.
+
+#include "governors/governor.hpp"
+
+namespace pmrl::rl {
+
+/// Reward configuration.
+struct RewardConfig {
+  /// Power that normalizes the energy term (W). Chosen near the SoC's
+  /// *typical* sustained power rather than its worst case so that the
+  /// energy differences between neighbouring OPPs remain visible to the
+  /// agent against QoS-penalty noise.
+  double power_ref_w = 2.0;
+  /// Weight of the QoS-deficit penalty relative to the energy term. Higher
+  /// values trade energy savings for stricter deadline adherence (ablated
+  /// in bench_ablation_reward).
+  double lambda_qos = 2.0;
+  /// Small penalty per epoch in which the domain's OPP changed: DVFS
+  /// relocks stall the domain ~50 us and thrashing between neighbouring
+  /// OPPs buys nothing, so indifferent states should learn to hold. Far
+  /// below any real energy/QoS signal, so legitimate tracking moves are
+  /// unaffected (0 disables).
+  double transition_penalty = 0.01;
+};
+
+/// Computes the reward earned by the previous epoch's action.
+class RewardFunction {
+ public:
+  explicit RewardFunction(RewardConfig config);
+
+  /// Reward from the epoch feedback carried by the observation.
+  /// `opp_changed` reports whether the previous action moved any OPP.
+  double operator()(const governors::PolicyObservation& obs,
+                    bool opp_changed) const;
+
+  /// The energy component alone (negated normalized energy), exposed for
+  /// tests/diagnostics.
+  double energy_term(const governors::PolicyObservation& obs) const;
+
+  /// The QoS-deficit component alone (>= 0: fraction of quality not
+  /// delivered this epoch).
+  double qos_deficit(const governors::PolicyObservation& obs) const;
+
+  // ---- Per-domain (factored) reward ----------------------------------------
+
+  /// Reward for one cluster: its own epoch energy normalized by its
+  /// worst-case power, minus lambda times its own QoS deficit.
+  double cluster_reward(const governors::PolicyObservation& obs,
+                        std::size_t cluster, bool opp_changed) const;
+
+  /// Normalized energy term of one cluster (<= 0).
+  double cluster_energy_term(const governors::PolicyObservation& obs,
+                             std::size_t cluster) const;
+
+  /// QoS deficit among deadline jobs completed on one cluster (0..1).
+  double cluster_qos_deficit(const governors::PolicyObservation& obs,
+                             std::size_t cluster) const;
+
+  const RewardConfig& config() const { return config_; }
+
+ private:
+  RewardConfig config_;
+};
+
+}  // namespace pmrl::rl

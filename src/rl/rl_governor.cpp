@@ -1,0 +1,160 @@
+#include "rl/rl_governor.hpp"
+
+#include "governors/registry.hpp"
+
+namespace pmrl::rl {
+
+namespace {
+std::unique_ptr<QAgent> make_agent(const RlGovernorConfig& config,
+                                   std::size_t states, std::size_t actions,
+                                   std::uint64_t seed_offset) {
+  if (config.backend == AgentBackend::Fixed) {
+    FixedAgentConfig fixed;
+    fixed.total_bits = config.fixed_total_bits;
+    fixed.frac_bits = config.fixed_frac_bits;
+    fixed.learning = config.learning;
+    fixed.learning.seed += seed_offset;
+    return std::make_unique<FixedPointQAgent>(fixed, states, actions);
+  }
+  QLearningConfig learning = config.learning;
+  learning.seed += seed_offset;
+  return std::make_unique<QLearningAgent>(learning, states, actions);
+}
+}  // namespace
+
+RlGovernor::RlGovernor(RlGovernorConfig config, std::size_t cluster_count)
+    : config_(config),
+      cluster_count_(cluster_count),
+      encoder_(config.state, cluster_count),
+      actions_(config.action, cluster_count),
+      reward_(config.reward) {
+  if (config_.structure == PolicyStructure::Joint) {
+    agents_.push_back(make_agent(config_, encoder_.state_count(),
+                                 actions_.action_count(), 0));
+  } else {
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      agents_.push_back(make_agent(config_, encoder_.cluster_state_count(),
+                                   actions_.moves_per_cluster(), c));
+    }
+  }
+  if (config_.down_bias > 0.0) {
+    if (config_.structure == PolicyStructure::Joint) {
+      // Joint action: bias proportional to the number of lowering digits.
+      std::vector<double> bias(actions_.action_count(), 0.0);
+      for (std::size_t a = 0; a < bias.size(); ++a) {
+        for (std::size_t c = 0; c < cluster_count_; ++c) {
+          if (actions_.delta(a, c) < 0) bias[a] += config_.down_bias;
+        }
+      }
+      agents_.front()->set_action_bias(std::move(bias));
+    } else {
+      std::vector<double> bias(actions_.moves_per_cluster(), 0.0);
+      for (std::size_t m = 0; m < bias.size(); ++m) {
+        if (actions_.move_value(m) < 0) bias[m] = config_.down_bias;
+      }
+      for (auto& agent : agents_) agent->set_action_bias(bias);
+    }
+  }
+}
+
+std::string RlGovernor::name() const {
+  return config_.backend == AgentBackend::Fixed ? "rl-fixed" : "rl";
+}
+
+void RlGovernor::begin_episode() {
+  for (auto& agent : agents_) agent->begin_episode();
+}
+
+void RlGovernor::set_frozen(bool frozen) {
+  for (auto& agent : agents_) agent->set_frozen(frozen);
+}
+
+void RlGovernor::reset(const governors::PolicyObservation&) {
+  prev_states_.reset();
+  prev_actions_.assign(agents_.size(), 0);
+  prev_moved_.assign(agents_.size(), false);
+  run_reward_ = 0.0;
+  run_decisions_ = 0;
+}
+
+void RlGovernor::decide(const governors::PolicyObservation& obs,
+                        governors::OppRequest& request) {
+  if (config_.structure == PolicyStructure::Joint) {
+    decide_joint(obs, request);
+  } else {
+    decide_factored(obs, request);
+  }
+  ++run_decisions_;
+}
+
+void RlGovernor::decide_joint(const governors::PolicyObservation& obs,
+                              governors::OppRequest& request) {
+  QAgent& agent = *agents_.front();
+  const std::size_t state = encoder_.encode(obs);
+  if (prev_states_ && run_decisions_ > config_.warmup_decisions) {
+    const double r = reward_(obs, prev_moved_.front());
+    run_reward_ += r;
+    agent.learn(prev_states_->front(), prev_actions_.front(), r, state);
+  }
+  const std::size_t action = agent.select_action(state);
+  actions_.apply(action, obs, request);
+
+  bool moved = false;
+  for (std::size_t c = 0; c < request.size(); ++c) {
+    if (request[c] != obs.soc.clusters[c].opp_index) {
+      moved = true;
+      break;
+    }
+  }
+  prev_states_.emplace(1, state);
+  prev_actions_.assign(1, action);
+  prev_moved_.assign(1, moved);
+}
+
+void RlGovernor::decide_factored(const governors::PolicyObservation& obs,
+                                 governors::OppRequest& request) {
+  std::vector<std::size_t> states(cluster_count_);
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    states[c] = encoder_.encode_cluster(obs, c);
+  }
+  if (prev_states_ && run_decisions_ > config_.warmup_decisions) {
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      const double r = reward_.cluster_reward(obs, c, prev_moved_[c]);
+      run_reward_ += r;
+      agents_[c]->learn((*prev_states_)[c], prev_actions_[c], r, states[c]);
+    }
+  }
+  prev_moved_.assign(cluster_count_, false);
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    const std::size_t move = agents_[c]->select_action(states[c]);
+    actions_.apply_move(move, obs, c, request);
+    apply_qos_guard(obs, c, request);
+    prev_actions_[c] = move;
+    prev_moved_[c] = request[c] != obs.soc.clusters[c].opp_index;
+  }
+  prev_states_ = std::move(states);
+}
+
+void RlGovernor::apply_qos_guard(const governors::PolicyObservation& obs,
+                                 std::size_t cluster,
+                                 governors::OppRequest& request) const {
+  if (config_.qos_guard_fraction <= 0.0) return;
+  const std::size_t top_bin = config_.state.qos_bins - 1;
+  if (top_bin == 0) return;
+  if (encoder_.cluster_qos_bin(obs, cluster) < top_bin) return;
+  const auto& ct = obs.soc.clusters[cluster];
+  const auto floor_idx = static_cast<std::size_t>(
+      config_.qos_guard_fraction *
+      static_cast<double>(ct.opp_count - 1) + 0.5);
+  if (request[cluster] < floor_idx) request[cluster] = floor_idx;
+}
+
+void register_rl_governor() {
+  if (governors::has_governor("rl")) return;
+  governors::register_governor("rl", [] {
+    return governors::GovernorPtr(
+        new RlGovernor(RlGovernorConfig{}, /*cluster_count=*/2));
+  });
+}
+
+}  // namespace pmrl::rl

@@ -1,0 +1,140 @@
+#pragma once
+// The proposed policy: a Governor that wraps Q-learning agents behind the
+// same observe/act interface the baseline governors use. Each decision
+// epoch it (1) scores the previous action with the reward function,
+// (2) performs the TD update, and (3) epsilon-greedily selects the next
+// DVFS action — the learn-while-controlling loop the paper describes.
+//
+// Two policy structures are supported:
+//   factored (default) — one agent per DVFS domain. Each cluster's agent
+//     sees that cluster's utilization/OPP/QoS-pressure state and is rewarded
+//     with that cluster's own energy and the QoS of the jobs *it* completed.
+//     This per-domain credit assignment is what lets the policy park an idle
+//     cluster while another is busy.
+//   joint — one agent over the joint state/action space (used by the
+//     hardware latency experiment's single-Q-memory configuration and the
+//     state-space ablation).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "governors/governor.hpp"
+#include "rl/action.hpp"
+#include "rl/agent.hpp"
+#include "rl/fixed_agent.hpp"
+#include "rl/reward.hpp"
+#include "rl/state.hpp"
+
+namespace pmrl::rl {
+
+/// Which arithmetic backs the agents.
+enum class AgentBackend {
+  Float,  ///< double-precision software policy
+  Fixed,  ///< fixed-point policy, bit-exact with the hardware model
+};
+
+/// Policy structure.
+enum class PolicyStructure {
+  Factored,  ///< one agent per DVFS domain (default)
+  Joint,     ///< one agent over the joint state/action space
+};
+
+/// Complete policy configuration.
+struct RlGovernorConfig {
+  StateConfig state;
+  ActionConfig action;
+  RewardConfig reward;
+  QLearningConfig learning;
+  AgentBackend backend = AgentBackend::Float;
+  PolicyStructure structure = PolicyStructure::Factored;
+  /// Number format when backend == Fixed.
+  unsigned fixed_total_bits = 16;
+  unsigned fixed_frac_bits = 10;
+  /// Selection prior added to every OPP-lowering action when choosing
+  /// greedily: "when indifferent, step down". The per-step energy saving
+  /// between adjacent OPPs (~0.01-0.02 reward units) sits below tabular
+  /// Q noise, so without this prior descent chains stall at arbitrary
+  /// indices; any real QoS penalty (>= lambda * deficit) dwarfs the prior.
+  /// Implemented inside the agents (a bias constant ahead of the hardware
+  /// comparator tree). 0 disables.
+  double down_bias = 0.05;
+  /// Decisions at the start of each run during which the agent acts but
+  /// does not update: the PELT utilization signal needs ~100-200 ms to warm
+  /// up from zero, and learning from those cold observations poisons the
+  /// high-OPP/low-util states (a heavy scenario booting looks identical to
+  /// true idle there).
+  std::size_t warmup_decisions = 4;
+  /// QoS guard: when a domain's epoch violation pressure reaches the top
+  /// pressure bin, the OPP request is floored at this fraction of the
+  /// table — a deterministic hispeed boost (cf. the interactive governor)
+  /// that recovers from workload phase changes in one epoch instead of one
+  /// OPP step per epoch. 0 disables the guard. The guard is an environment
+  /// assist: the agent still learns on its own chosen action.
+  double qos_guard_fraction = 0.8;
+};
+
+/// The RL power-management policy.
+class RlGovernor : public governors::Governor {
+ public:
+  RlGovernor(RlGovernorConfig config, std::size_t cluster_count);
+
+  std::string name() const override;
+  /// Clears the per-run decision chain (NOT the learned Q-tables).
+  void reset(const governors::PolicyObservation& initial) override;
+  void decide(const governors::PolicyObservation& obs,
+              governors::OppRequest& request) override;
+
+  /// Advances the exploration schedule; call between training episodes.
+  void begin_episode();
+
+  /// Freezes learning and exploration (pure greedy evaluation).
+  void set_frozen(bool frozen);
+  bool frozen() const { return agents_.front()->frozen(); }
+
+  /// Number of agents: 1 (joint) or cluster_count (factored).
+  std::size_t agent_count() const { return agents_.size(); }
+  QAgent& agent(std::size_t i = 0) { return *agents_.at(i); }
+  const QAgent& agent(std::size_t i = 0) const { return *agents_.at(i); }
+
+  const StateEncoder& encoder() const { return encoder_; }
+  const ActionSpace& actions() const { return actions_; }
+  const RewardFunction& reward() const { return reward_; }
+  const RlGovernorConfig& config() const { return config_; }
+  std::size_t cluster_count() const { return cluster_count_; }
+
+  /// Cumulative reward (summed over agents) and decision count of the
+  /// current run (reset() zeroes them).
+  double run_reward() const { return run_reward_; }
+  std::size_t run_decisions() const { return run_decisions_; }
+
+ private:
+  void decide_joint(const governors::PolicyObservation& obs,
+                    governors::OppRequest& request);
+  void decide_factored(const governors::PolicyObservation& obs,
+                       governors::OppRequest& request);
+  void apply_qos_guard(const governors::PolicyObservation& obs,
+                       std::size_t cluster,
+                       governors::OppRequest& request) const;
+
+  RlGovernorConfig config_;
+  std::size_t cluster_count_;
+  StateEncoder encoder_;
+  ActionSpace actions_;
+  RewardFunction reward_;
+  std::vector<std::unique_ptr<QAgent>> agents_;
+  /// Previous (state, action) per agent; empty until the first decision of
+  /// a run.
+  std::optional<std::vector<std::size_t>> prev_states_;
+  std::vector<std::size_t> prev_actions_;
+  std::vector<bool> prev_moved_;
+  double run_reward_ = 0.0;
+  std::size_t run_decisions_ = 0;
+};
+
+/// Registers the "rl" policy (fresh, untrained, default config for a
+/// two-cluster SoC) in the governors registry. Harnesses that need a
+/// *trained* policy hold an RlGovernor instance directly.
+void register_rl_governor();
+
+}  // namespace pmrl::rl

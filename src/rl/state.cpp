@@ -1,0 +1,111 @@
+#include "rl/state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmrl::rl {
+
+StateEncoder::StateEncoder(StateConfig config, std::size_t cluster_count)
+    : config_(config), cluster_count_(cluster_count) {
+  if (config_.util_bins == 0 || config_.opp_bins == 0 ||
+      config_.qos_bins == 0) {
+    throw std::invalid_argument("state bins must be >= 1");
+  }
+  if (cluster_count_ == 0) {
+    throw std::invalid_argument("state encoder needs >= 1 cluster");
+  }
+  state_count_ = config_.qos_bins;
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    state_count_ *= config_.util_bins * config_.opp_bins;
+  }
+}
+
+std::size_t StateEncoder::util_bin(double util) const {
+  const double clamped = std::clamp(util, 0.0, 1.0);
+  const auto bin = static_cast<std::size_t>(
+      clamped * static_cast<double>(config_.util_bins));
+  return std::min(bin, config_.util_bins - 1);
+}
+
+std::size_t StateEncoder::opp_bin(std::size_t opp_index,
+                                  std::size_t opp_count) const {
+  if (opp_count <= 1) return 0;
+  // Exact encoding when the table fits: every OPP is its own state, so a
+  // greedy descent can distinguish "one step down" all the way to index 0.
+  if (opp_count <= config_.opp_bins) {
+    return std::min(opp_index, config_.opp_bins - 1);
+  }
+  const double fraction = static_cast<double>(opp_index) /
+                          static_cast<double>(opp_count - 1);
+  const auto bin = static_cast<std::size_t>(
+      fraction * static_cast<double>(config_.opp_bins));
+  return std::min(bin, config_.opp_bins - 1);
+}
+
+std::size_t StateEncoder::qos_bin(
+    const governors::PolicyObservation& obs) const {
+  if (config_.qos_bins == 1) return 0;
+  double pressure = 0.0;
+  if (obs.epoch_releases > 0) {
+    pressure = static_cast<double>(obs.epoch_violations) /
+               static_cast<double>(obs.epoch_releases);
+  }
+  const double fraction =
+      std::clamp(pressure / config_.qos_pressure_cap, 0.0, 1.0);
+  const auto bin = static_cast<std::size_t>(
+      fraction * static_cast<double>(config_.qos_bins));
+  return std::min(bin, config_.qos_bins - 1);
+}
+
+std::size_t StateEncoder::cluster_qos_bin(
+    const governors::PolicyObservation& obs, std::size_t cluster) const {
+  if (config_.qos_bins == 1) return 0;
+  // Pressure counts both completed-late jobs and *overdue queued* jobs —
+  // without the latter, a drowning cluster (whose late frames never
+  // complete) looks healthy to a completion-only metric.
+  const double overdue =
+      cluster < obs.soc.clusters.size()
+          ? static_cast<double>(obs.soc.clusters[cluster].overdue_jobs)
+          : 0.0;
+  double violations = overdue;
+  double resolved = overdue;
+  if (cluster < obs.cluster_feedback.size()) {
+    const auto& fb = obs.cluster_feedback[cluster];
+    violations += static_cast<double>(fb.epoch_violations);
+    resolved += static_cast<double>(fb.epoch_deadline_completed);
+  }
+  const double pressure = resolved > 0.0 ? violations / resolved : 0.0;
+  const double fraction =
+      std::clamp(pressure / config_.qos_pressure_cap, 0.0, 1.0);
+  const auto bin = static_cast<std::size_t>(
+      fraction * static_cast<double>(config_.qos_bins));
+  return std::min(bin, config_.qos_bins - 1);
+}
+
+std::size_t StateEncoder::encode_cluster(
+    const governors::PolicyObservation& obs, std::size_t cluster) const {
+  if (cluster >= obs.soc.clusters.size()) {
+    throw std::invalid_argument("encode_cluster: cluster out of range");
+  }
+  const auto& ct = obs.soc.clusters[cluster];
+  std::size_t index = cluster_qos_bin(obs, cluster);
+  index = index * config_.util_bins + util_bin(ct.util_max);
+  index = index * config_.opp_bins + opp_bin(ct.opp_index, ct.opp_count);
+  return index;
+}
+
+std::size_t StateEncoder::encode(
+    const governors::PolicyObservation& obs) const {
+  if (obs.soc.clusters.size() != cluster_count_) {
+    throw std::invalid_argument("observation cluster count mismatch");
+  }
+  std::size_t index = qos_bin(obs);
+  for (const auto& cluster : obs.soc.clusters) {
+    index = index * config_.util_bins + util_bin(cluster.util_max);
+    index = index * config_.opp_bins +
+            opp_bin(cluster.opp_index, cluster.opp_count);
+  }
+  return index;
+}
+
+}  // namespace pmrl::rl

@@ -1,0 +1,74 @@
+#pragma once
+// State featurization/discretization of the policy observation. The paper's
+// policy "predicts a system's characteristics": the state captures, per
+// cluster, the utilization level and the current OPP position, plus a
+// system-wide QoS-pressure level — discretized into a compact index for the
+// tabular Q-learning agent (and for the hardware Q-table address).
+
+#include <cstddef>
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace pmrl::rl {
+
+/// Discretization configuration.
+///
+/// Defaults suit the factored (per-domain) policy: when a cluster's OPP
+/// table fits within `opp_bins` the OPP index is encoded *exactly* (no
+/// binning), which the per-domain policy needs — coarse OPP bins alias the
+/// low indices together and the greedy policy then parks mid-table instead
+/// of descending to the floor. The joint-policy configuration used for the
+/// hardware experiment narrows this to 4x4x4 per cluster (1024 joint
+/// states, the hardware Q-memory depth).
+struct StateConfig {
+  std::size_t util_bins = 4;
+  std::size_t opp_bins = 20;
+  std::size_t qos_bins = 3;
+  /// Upper bound of the top QoS-pressure bin: violations per released
+  /// deadline job in the epoch at or above this saturate the bin.
+  double qos_pressure_cap = 0.30;
+};
+
+/// Encodes observations into dense state indices.
+class StateEncoder {
+ public:
+  StateEncoder(StateConfig config, std::size_t cluster_count);
+
+  /// Total number of states (Q-table depth).
+  std::size_t state_count() const { return state_count_; }
+  std::size_t cluster_count() const { return cluster_count_; }
+  const StateConfig& config() const { return config_; }
+
+  /// Maps an observation to a state index in [0, state_count()).
+  std::size_t encode(const governors::PolicyObservation& obs) const;
+
+  /// Per-domain (factored) encoding: the state of one cluster only —
+  /// its utilization bin, OPP bin, and its *own* QoS-pressure bin (from the
+  /// per-cluster feedback). Range [0, cluster_state_count()).
+  std::size_t encode_cluster(const governors::PolicyObservation& obs,
+                             std::size_t cluster) const;
+
+  /// Number of per-domain states (util_bins * opp_bins * qos_bins).
+  std::size_t cluster_state_count() const {
+    return config_.util_bins * config_.opp_bins * config_.qos_bins;
+  }
+
+  /// QoS-pressure bin of one cluster: violations per completed deadline job
+  /// on that cluster during the epoch.
+  std::size_t cluster_qos_bin(const governors::PolicyObservation& obs,
+                              std::size_t cluster) const;
+
+  /// Individual feature extractors (exposed for tests and for the hardware
+  /// state-packing model, which concatenates exactly these fields).
+  std::size_t util_bin(double util) const;
+  std::size_t opp_bin(std::size_t opp_index, std::size_t opp_count) const;
+  std::size_t qos_bin(const governors::PolicyObservation& obs) const;
+
+ private:
+  StateConfig config_;
+  std::size_t cluster_count_;
+  std::size_t state_count_;
+};
+
+}  // namespace pmrl::rl

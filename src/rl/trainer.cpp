@@ -1,0 +1,50 @@
+#include "rl/trainer.hpp"
+
+#include <stdexcept>
+
+namespace pmrl::rl {
+
+Trainer::Trainer(core::SimEngine& engine, RlGovernor& governor,
+                 TrainerConfig config)
+    : engine_(engine), governor_(governor), config_(std::move(config)) {
+  if (config_.scenarios.empty()) {
+    config_.scenarios = workload::all_scenario_kinds();
+  }
+}
+
+EpisodeResult Trainer::train_episode(std::size_t episode_index,
+                                     workload::ScenarioKind kind) {
+  const std::uint64_t seed =
+      config_.vary_seed_per_episode
+          ? config_.workload_seed + episode_index
+          : config_.workload_seed;
+  const auto scenario = workload::make_scenario(kind, seed);
+  governor_.begin_episode();
+  const core::RunResult run = engine_.run(*scenario, governor_);
+
+  EpisodeResult result;
+  result.episode = episode_index;
+  result.scenario = run.scenario;
+  result.energy_per_qos = run.energy_per_qos;
+  result.violation_rate = run.violation_rate;
+  result.energy_j = run.energy_j;
+  result.mean_reward =
+      governor_.run_decisions() > 0
+          ? governor_.run_reward() /
+                static_cast<double>(governor_.run_decisions())
+          : 0.0;
+  result.epsilon = governor_.agent().epsilon();
+  return result;
+}
+
+std::vector<EpisodeResult> Trainer::train() {
+  std::vector<EpisodeResult> curve;
+  curve.reserve(config_.episodes);
+  for (std::size_t e = 0; e < config_.episodes; ++e) {
+    const auto kind = config_.scenarios[e % config_.scenarios.size()];
+    curve.push_back(train_episode(e, kind));
+  }
+  return curve;
+}
+
+}  // namespace pmrl::rl

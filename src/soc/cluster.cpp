@@ -1,0 +1,139 @@
+#include "soc/cluster.hpp"
+
+#include <algorithm>
+
+namespace pmrl::soc {
+
+Cluster::Cluster(ClusterId id, ClusterConfig config, OppTable opps,
+                 CorePowerParams power_params, CpuidleConfig cpuidle)
+    : id_(id),
+      config_(std::move(config)),
+      opps_(std::move(opps)),
+      power_model_(power_params),
+      opp_index_(0) {
+  opp_index_ = std::min(config_.initial_opp, opps_.size() - 1);
+  if (cpuidle.enabled) {
+    idle_states_ = std::make_shared<const std::vector<IdleState>>(
+        cpuidle.states.empty() ? default_idle_states()
+                               : std::move(cpuidle.states));
+  }
+  cores_.reserve(config_.core_count);
+  for (std::size_t i = 0; i < config_.core_count; ++i) {
+    cores_.emplace_back(i, config_.core_type, config_.ipc_factor);
+    if (idle_states_) cores_.back().attach_idle_states(idle_states_.get());
+  }
+}
+
+void Cluster::set_opp(std::size_t idx) {
+  idx = std::min(idx, opps_.size() - 1);
+  if (idx == opp_index_) return;
+  opp_index_ = idx;
+  pending_stall_s_ += config_.transition_latency_s;
+  ++transitions_;
+}
+
+double Cluster::run_tick(TaskSet& tasks, double dt_s, double tick_start_s,
+                         std::vector<CompletedJob>& completed,
+                         double capacity_scale) {
+  // Consume any pending relock stall out of this tick's usable time.
+  const double stall = std::min(pending_stall_s_, dt_s);
+  pending_stall_s_ -= stall;
+  const double usable_dt = dt_s - stall;
+  const double freq = freq_hz();
+  const std::size_t first_completed = completed.size();
+  double busy_sum = 0.0;
+  for (auto& core : cores_) {
+    // The core sees the full tick for PELT purposes but only gets capacity
+    // for the usable window; model this by scaling frequency.
+    const double effective_freq = freq * (usable_dt / dt_s) * capacity_scale;
+    busy_sum += core.run_tick(tasks, effective_freq, dt_s, tick_start_s,
+                              completed);
+  }
+  for (std::size_t i = first_completed; i < completed.size(); ++i) {
+    completed[i].cluster = id_;
+  }
+  last_busy_avg_ = cores_.empty() ? 0.0 : busy_sum / cores_.size();
+  return last_busy_avg_;
+}
+
+double Cluster::power_w(double temp_c) const {
+  double total = 0.0;
+  for (const auto& core : cores_) {
+    total += power_model_.total_power_w(
+        freq_hz(), voltage_v(), core.last_busy_fraction(), temp_c,
+        core.idle_dynamic_scale(), core.idle_leakage_scale());
+  }
+  return total;
+}
+
+double Cluster::max_power_w(double temp_c) const {
+  const auto& top = opps_.highest();
+  return static_cast<double>(cores_.size()) *
+         power_model_.total_power_w(top.freq_hz, top.voltage_v, 1.0, temp_c);
+}
+
+double Cluster::util_avg() const {
+  if (cores_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& core : cores_) sum += core.util_pelt();
+  return sum / cores_.size();
+}
+
+double Cluster::util_max() const {
+  double best = 0.0;
+  for (const auto& core : cores_) best = std::max(best, core.util_pelt());
+  return best;
+}
+
+double Cluster::busy_avg() const { return last_busy_avg_; }
+
+double Cluster::util_scale_invariant() const {
+  return util_avg() * freq_hz() / opps_.highest().freq_hz;
+}
+
+std::size_t Cluster::nr_running(const TaskSet& tasks) const {
+  std::size_t n = 0;
+  for (const auto& core : cores_) n += core.nr_running(tasks);
+  return n;
+}
+
+std::size_t Cluster::overdue_jobs(const TaskSet& tasks, double now_s) const {
+  std::size_t n = 0;
+  for (const auto& core : cores_) {
+    for (const auto task_id : core.runqueue()) {
+      n += tasks.at(task_id).overdue_jobs(now_s);
+    }
+  }
+  return n;
+}
+
+const std::vector<IdleState>& Cluster::idle_states() const {
+  static const std::vector<IdleState> kEmpty;
+  return idle_states_ ? *idle_states_ : kEmpty;
+}
+
+std::vector<double> Cluster::idle_residency_s() const {
+  std::vector<double> total(idle_states().size(), 0.0);
+  for (const auto& core : cores_) {
+    const auto& residency = core.idle_tracker().residency_s();
+    for (std::size_t i = 0; i < residency.size() && i < total.size(); ++i) {
+      total[i] += residency[i];
+    }
+  }
+  return total;
+}
+
+double Cluster::active_core_s() const {
+  double total = 0.0;
+  for (const auto& core : cores_) total += core.idle_tracker().active_s();
+  return total;
+}
+
+void Cluster::reset_tracking() {
+  for (auto& core : cores_) core.reset_tracking();
+  pending_stall_s_ = 0.0;
+  transitions_ = 0;
+  last_busy_avg_ = 0.0;
+}
+
+}  // namespace pmrl::soc

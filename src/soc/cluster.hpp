@@ -1,0 +1,109 @@
+#pragma once
+// A DVFS cluster: a group of identical cores sharing one voltage/frequency
+// domain (one OPP table), as in big.LITTLE parts where the big and LITTLE
+// clusters scale independently. The cluster also models the DVFS transition
+// cost: each OPP change freezes the domain for a short relock time.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/core.hpp"
+#include "soc/cpuidle.hpp"
+#include "soc/opp.hpp"
+#include "soc/power_model.hpp"
+#include "soc/task.hpp"
+
+namespace pmrl::soc {
+
+/// Static description of a cluster.
+struct ClusterConfig {
+  std::string name;
+  CoreType core_type = CoreType::Big;
+  std::size_t core_count = 4;
+  double ipc_factor = 1.0;
+  /// PLL/regulator relock time per OPP change, during which cores stall.
+  double transition_latency_s = 50e-6;
+  /// Initial OPP index; SIZE_MAX means "highest".
+  std::size_t initial_opp = static_cast<std::size_t>(-1);
+};
+
+/// One frequency domain with its cores and power model.
+class Cluster {
+ public:
+  Cluster(ClusterId id, ClusterConfig config, OppTable opps,
+          CorePowerParams power_params, CpuidleConfig cpuidle = {});
+
+  ClusterId id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  CoreType core_type() const { return config_.core_type; }
+  std::size_t core_count() const { return cores_.size(); }
+  Core& core(std::size_t i) { return cores_.at(i); }
+  const Core& core(std::size_t i) const { return cores_.at(i); }
+  std::vector<Core>& cores() { return cores_; }
+  const std::vector<Core>& cores() const { return cores_; }
+
+  const OppTable& opps() const { return opps_; }
+  std::size_t opp_index() const { return opp_index_; }
+  const OperatingPoint& current_opp() const { return opps_.at(opp_index_); }
+  double freq_hz() const { return current_opp().freq_hz; }
+  double voltage_v() const { return current_opp().voltage_v; }
+
+  /// Requests an OPP change. Clamps to the table, accrues the transition
+  /// stall, and counts the transition. No-op if idx already current.
+  void set_opp(std::size_t idx);
+
+  std::size_t dvfs_transitions() const { return transitions_; }
+
+  /// Runs all cores for one tick. The usable fraction of the tick shrinks
+  /// by any pending DVFS relock stall; `capacity_scale` (0..1] further
+  /// derates execution (memory-bandwidth stalls). Returns the mean busy
+  /// fraction.
+  double run_tick(TaskSet& tasks, double dt_s, double tick_start_s,
+                  std::vector<CompletedJob>& completed,
+                  double capacity_scale = 1.0);
+
+  /// Cluster power over the last tick at the given die temperature, using
+  /// each core's last busy fraction.
+  double power_w(double temp_c) const;
+
+  /// Worst-case cluster power: every core fully busy at the highest OPP at
+  /// the given temperature. Used to normalize per-domain energy feedback.
+  double max_power_w(double temp_c) const;
+
+  /// Mean / max PELT utilization across cores.
+  double util_avg() const;
+  double util_max() const;
+  /// Mean instantaneous busy fraction of the last tick.
+  double busy_avg() const;
+  /// Frequency-invariant mean utilization: busy scaled by f/f_max.
+  double util_scale_invariant() const;
+  std::size_t nr_running(const TaskSet& tasks) const;
+  /// Overdue queued deadline jobs across tasks placed on this cluster.
+  std::size_t overdue_jobs(const TaskSet& tasks, double now_s) const;
+
+  /// Idle-state table in effect (empty when cpuidle is disabled).
+  const std::vector<IdleState>& idle_states() const;
+  /// Cumulative core-seconds per idle state, summed over cores
+  /// (index-aligned with idle_states()).
+  std::vector<double> idle_residency_s() const;
+  /// Cumulative active core-seconds.
+  double active_core_s() const;
+
+  void reset_tracking();
+
+ private:
+  ClusterId id_;
+  ClusterConfig config_;
+  OppTable opps_;
+  /// Shared so that moving the Cluster keeps the cores' raw pointers valid.
+  std::shared_ptr<const std::vector<IdleState>> idle_states_;
+  std::vector<Core> cores_;
+  CorePowerModel power_model_;
+  std::size_t opp_index_;
+  double pending_stall_s_ = 0.0;
+  std::size_t transitions_ = 0;
+  double last_busy_avg_ = 0.0;
+};
+
+}  // namespace pmrl::soc

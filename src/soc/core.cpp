@@ -1,0 +1,92 @@
+#include "soc/core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmrl::soc {
+
+Core::Core(CoreId id, CoreType type, double ipc_factor)
+    : id_(id), type_(type), ipc_factor_(ipc_factor) {
+  if (ipc_factor <= 0.0) throw std::invalid_argument("ipc factor must be > 0");
+}
+
+void Core::set_runqueue(std::vector<TaskId> task_ids) {
+  runqueue_ = std::move(task_ids);
+}
+
+std::size_t Core::nr_running(const TaskSet& tasks) const {
+  std::size_t n = 0;
+  for (TaskId id : runqueue_) n += tasks.at(id).runnable() ? 1 : 0;
+  return n;
+}
+
+void Core::attach_idle_states(const std::vector<IdleState>* states) {
+  idle_ = CoreIdleTracker(states);
+}
+
+double Core::run_tick(TaskSet& tasks, double freq_hz, double dt_s,
+                      double tick_start_s,
+                      std::vector<CompletedJob>& completed) {
+  bool will_run = false;
+  for (TaskId id : runqueue_) {
+    if (tasks.at(id).runnable()) {
+      will_run = true;
+      break;
+    }
+  }
+  // Idle-state bookkeeping: a wake-up pays the exit latency out of this
+  // tick's execution time.
+  const double wake_penalty_s =
+      idle_.on_tick(will_run && freq_hz > 0.0, dt_s);
+  if (wake_penalty_s > 0.0) {
+    const double usable = dt_s - std::min(wake_penalty_s, dt_s);
+    freq_hz *= usable / dt_s;
+  }
+
+  const double capacity = capacity_cycles(freq_hz, dt_s);
+  double used_total = 0.0;
+  if (capacity > 0.0 && !runqueue_.empty()) {
+    // Weighted max-min fair share with spill: rounds of proportional
+    // allocation; tasks that drain return their unused share to the pool.
+    std::vector<TaskId> active;
+    active.reserve(runqueue_.size());
+    for (TaskId id : runqueue_) {
+      if (tasks.at(id).runnable()) active.push_back(id);
+    }
+    double remaining = capacity;
+    // Each round either consumes all remaining capacity or retires at least
+    // one task, so this terminates in <= active.size() rounds.
+    while (remaining > 1e-9 && !active.empty()) {
+      double weight_sum = 0.0;
+      for (TaskId id : active) weight_sum += tasks.at(id).weight();
+      double consumed_this_round = 0.0;
+      std::vector<TaskId> still_active;
+      for (TaskId id : active) {
+        Task& task = tasks.at(id);
+        const double share = remaining * task.weight() / weight_sum;
+        const double used = task.execute(share, tick_start_s, dt_s, completed);
+        consumed_this_round += used;
+        if (task.runnable()) still_active.push_back(id);
+      }
+      remaining -= consumed_this_round;
+      if (still_active.size() == active.size() &&
+          consumed_this_round <= 1e-9) {
+        break;  // nothing progressed; avoid spinning on float dust
+      }
+      active = std::move(still_active);
+    }
+    used_total = capacity - std::max(remaining, 0.0);
+  }
+  last_busy_ = capacity > 0.0 ? std::clamp(used_total / capacity, 0.0, 1.0)
+                              : 0.0;
+  pelt_.add_sample(last_busy_, dt_s);
+  return last_busy_;
+}
+
+void Core::reset_tracking() {
+  pelt_.reset();
+  idle_.reset();
+  last_busy_ = 0.0;
+}
+
+}  // namespace pmrl::soc

@@ -1,0 +1,70 @@
+#pragma once
+// A single CPU core: executes its run-queue of tasks each tick using
+// weighted fair sharing of its cycle capacity, and tracks utilization with a
+// PELT signal plus the instantaneous busy fraction of the last tick.
+
+#include <vector>
+
+#include "soc/cpuidle.hpp"
+#include "soc/pelt.hpp"
+#include "soc/task.hpp"
+#include "soc/types.hpp"
+
+namespace pmrl::soc {
+
+/// One CPU core. Frequency/voltage come from its cluster each tick; the core
+/// itself only knows its type, its IPC factor, and its run-queue.
+class Core {
+ public:
+  Core(CoreId id, CoreType type, double ipc_factor);
+
+  CoreId id() const { return id_; }
+  CoreType type() const { return type_; }
+  /// Reference cycles delivered per clock cycle (big = 1.0 baseline).
+  double ipc_factor() const { return ipc_factor_; }
+
+  /// Scheduler interface: replaces the run-queue contents.
+  void set_runqueue(std::vector<TaskId> task_ids);
+  const std::vector<TaskId>& runqueue() const { return runqueue_; }
+  std::size_t nr_running(const TaskSet& tasks) const;
+
+  /// Reference-cycle capacity over dt at the given clock frequency.
+  double capacity_cycles(double freq_hz, double dt_s) const {
+    return freq_hz * dt_s * ipc_factor_;
+  }
+
+  /// Runs one tick: distributes capacity across runnable queued tasks by
+  /// weighted max-min fair sharing (unused share spills to backlogged
+  /// tasks). Appends finished jobs to `completed`, updates utilization
+  /// signals, and returns the busy fraction of the tick.
+  double run_tick(TaskSet& tasks, double freq_hz, double dt_s,
+                  double tick_start_s, std::vector<CompletedJob>& completed);
+
+  /// Busy fraction of the most recent tick (0..1).
+  double last_busy_fraction() const { return last_busy_; }
+  /// PELT-decayed utilization (0..1) at the current frequency.
+  double util_pelt() const { return pelt_.util(); }
+
+  /// Attaches the cluster's idle-state table (nullptr disables cpuidle —
+  /// an idle core then stays in C0). The table must outlive the core.
+  void attach_idle_states(const std::vector<IdleState>* states);
+
+  /// Idle-power scales of the current tick (1.0/1.0 when active or when
+  /// cpuidle is disabled).
+  double idle_dynamic_scale() const { return idle_.dynamic_scale(); }
+  double idle_leakage_scale() const { return idle_.leakage_scale(); }
+  const CoreIdleTracker& idle_tracker() const { return idle_; }
+
+  void reset_tracking();
+
+ private:
+  CoreId id_;
+  CoreType type_;
+  double ipc_factor_;
+  std::vector<TaskId> runqueue_;
+  PeltTracker pelt_;
+  CoreIdleTracker idle_;
+  double last_busy_ = 0.0;
+};
+
+}  // namespace pmrl::soc

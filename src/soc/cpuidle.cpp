@@ -1,0 +1,70 @@
+#include "soc/cpuidle.hpp"
+
+namespace pmrl::soc {
+
+std::vector<IdleState> default_idle_states() {
+  return {
+      // WFI: clocks gated, logic powered. Cheap to enter/leave.
+      {"C1-wfi", /*dyn=*/0.25, /*leak=*/1.00, /*exit=*/5e-6,
+       /*residency=*/0.0},
+      // Core retention: caches retained at low voltage.
+      {"C2-retention", 0.0, 0.55, 150e-6, 2e-3},
+      // Core power-off: state saved, rail gated. Vendor tables demand tens
+      // of milliseconds of residency before this pays off, so it engages
+      // only in genuinely idle stretches.
+      {"C3-off", 0.0, 0.08, 1.2e-3, 25e-3},
+  };
+}
+
+CoreIdleTracker::CoreIdleTracker(const std::vector<IdleState>* states)
+    : states_(states) {
+  reset();
+}
+
+double CoreIdleTracker::on_tick(bool busy, double dt_s) {
+  if (states_ == nullptr || states_->empty()) {
+    active_s_ += dt_s;
+    return 0.0;
+  }
+  if (busy) {
+    double penalty = 0.0;
+    if (state_ >= 0) {
+      penalty = (*states_)[static_cast<std::size_t>(state_)].exit_latency_s;
+      state_ = -1;
+      streak_s_ = 0.0;
+    }
+    active_s_ += dt_s;
+    return penalty;
+  }
+  // Idle tick: enter the shallowest state immediately, then promote down
+  // the ladder as the streak exceeds deeper states' residency demands.
+  if (state_ < 0) state_ = 0;
+  streak_s_ += dt_s;
+  while (state_ + 1 < static_cast<int>(states_->size()) &&
+         streak_s_ >=
+             (*states_)[static_cast<std::size_t>(state_ + 1)]
+                 .min_residency_s) {
+    ++state_;
+  }
+  residency_s_[static_cast<std::size_t>(state_)] += dt_s;
+  return 0.0;
+}
+
+double CoreIdleTracker::dynamic_scale() const {
+  if (state_ < 0 || states_ == nullptr) return 1.0;
+  return (*states_)[static_cast<std::size_t>(state_)].dynamic_scale;
+}
+
+double CoreIdleTracker::leakage_scale() const {
+  if (state_ < 0 || states_ == nullptr) return 1.0;
+  return (*states_)[static_cast<std::size_t>(state_)].leakage_scale;
+}
+
+void CoreIdleTracker::reset() {
+  state_ = -1;
+  streak_s_ = 0.0;
+  active_s_ = 0.0;
+  residency_s_.assign(states_ != nullptr ? states_->size() : 0, 0.0);
+}
+
+}  // namespace pmrl::soc

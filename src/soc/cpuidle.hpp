@@ -1,0 +1,84 @@
+#pragma once
+// CPU idle-state (C-state) substrate. Real mobile SoCs do not burn full
+// idle power on an idle core: the cpuidle subsystem drops cores into
+// progressively deeper states (WFI clock gating, core retention/power-off)
+// that trade lower power against wake-up latency. This model implements a
+// ladder-style idle governor per core: an idle streak promotes the core to
+// the next deeper state once it has stayed idle past that state's minimum
+// residency, and a wake-up pays the state's exit latency out of the tick's
+// compute capacity.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pmrl::soc {
+
+/// One idle state. Scales apply to the core's idle power components.
+struct IdleState {
+  std::string name;
+  /// Fraction of the idle dynamic (clock-tree) power still burned.
+  double dynamic_scale = 1.0;
+  /// Fraction of leakage still burned (power gating / retention).
+  double leakage_scale = 1.0;
+  /// Time to resume execution after wake-up (seconds).
+  double exit_latency_s = 0.0;
+  /// Idle streak required before the ladder promotes into this state.
+  double min_residency_s = 0.0;
+};
+
+/// Mobile-class ladder: C1 (WFI) -> C2 (core retention) -> C3 (core off).
+/// Parameters follow published big-core cpuidle tables (exit latencies in
+/// the tens of microseconds to a millisecond).
+std::vector<IdleState> default_idle_states();
+
+/// Idle-state configuration for a SoC.
+///
+/// Disabled by default: the paper's measured gaps between DVFS governors
+/// imply a platform whose idle power was not deep-idle-managed during the
+/// experiments (aggressive C-states compress exactly those gaps — see
+/// bench_ablation_cpuidle). Enable for studies of the DVFS/cpuidle
+/// interaction.
+struct CpuidleConfig {
+  bool enabled = false;
+  std::vector<IdleState> states;  ///< empty => default_idle_states()
+};
+
+/// Per-core idle bookkeeping + ladder governor.
+class CoreIdleTracker {
+ public:
+  /// `states` must outlive the tracker (owned by the cluster).
+  explicit CoreIdleTracker(const std::vector<IdleState>* states = nullptr);
+
+  /// Accounts one tick. `busy` means the core executed work this tick.
+  /// Returns the wake-up penalty (seconds of lost execution time) to apply
+  /// to this tick, which is nonzero only on an idle->busy transition out
+  /// of a state with exit latency.
+  double on_tick(bool busy, double dt_s);
+
+  /// True when the core is currently in an idle state (not C0).
+  bool idle() const { return state_ >= 0; }
+  /// Index into the state table, or -1 when active.
+  int state() const { return state_; }
+
+  /// Power scales for the current tick (1.0 / 1.0 when active or when no
+  /// table is attached).
+  double dynamic_scale() const;
+  double leakage_scale() const;
+
+  /// Cumulative seconds spent per idle state (index-aligned with the state
+  /// table) plus active time.
+  const std::vector<double>& residency_s() const { return residency_s_; }
+  double active_s() const { return active_s_; }
+
+  void reset();
+
+ private:
+  const std::vector<IdleState>* states_;
+  int state_ = -1;  // -1 = active
+  double streak_s_ = 0.0;
+  std::vector<double> residency_s_;
+  double active_s_ = 0.0;
+};
+
+}  // namespace pmrl::soc

@@ -1,0 +1,66 @@
+#include "soc/mem_domain.hpp"
+
+#include <algorithm>
+
+namespace pmrl::soc {
+
+OppTable default_mem_opps() {
+  // LPDDR4-class operating points (controller clock, rail voltage).
+  return OppTable({{400e6, 0.60},
+                   {666e6, 0.65},
+                   {800e6, 0.70},
+                   {1066e6, 0.80},
+                   {1333e6, 0.90},
+                   {1600e6, 1.00},
+                   {1866e6, 1.10}});
+}
+
+MemDomain::MemDomain(MemDomainParams params)
+    : params_(std::move(params)),
+      opps_(params_.opps.empty() ? default_mem_opps()
+                                 : OppTable(params_.opps)),
+      opp_index_(opps_.size() - 1) {}
+
+void MemDomain::set_opp(std::size_t idx) {
+  idx = std::min(idx, opps_.size() - 1);
+  if (idx == opp_index_) return;
+  opp_index_ = idx;
+  ++transitions_;
+}
+
+double MemDomain::on_tick(double executed_cycles, double dt_s) {
+  const double demand = executed_cycles * params_.traffic_intensity;
+  const double capacity = capacity_cycles_per_s() * dt_s;
+  last_util_raw_ = capacity > 0.0 ? demand / capacity : 0.0;
+  stall_factor_ =
+      last_util_raw_ > 1.0 ? 1.0 / last_util_raw_ : 1.0;
+  energy_j_ += power_w() * dt_s;
+  return last_util_raw_;
+}
+
+double MemDomain::util() const {
+  return std::clamp(last_util_raw_, 0.0, 1.0);
+}
+
+double MemDomain::power_w() const {
+  const double v = voltage_v();
+  const double activity =
+      params_.idle_activity + (1.0 - params_.idle_activity) * util();
+  return params_.static_power_w * v +
+         params_.c_eff_f * v * v * freq_hz() * activity;
+}
+
+double MemDomain::max_power_w() const {
+  const auto& top = opps_.highest();
+  return params_.static_power_w * top.voltage_v +
+         params_.c_eff_f * top.voltage_v * top.voltage_v * top.freq_hz;
+}
+
+void MemDomain::reset_tracking() {
+  last_util_raw_ = 0.0;
+  stall_factor_ = 1.0;
+  energy_j_ = 0.0;
+  transitions_ = 0;
+}
+
+}  // namespace pmrl::soc

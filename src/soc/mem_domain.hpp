@@ -1,0 +1,89 @@
+#pragma once
+// Memory (DRAM/interconnect) DVFS domain — an optional third frequency
+// domain beyond the CPU clusters, as on real MPSoCs where devfreq scales
+// the memory controller. The model is throughput-coupled: executed CPU
+// work generates memory traffic (a configurable intensity fraction); when
+// demanded traffic exceeds the domain's bandwidth at its current OPP, all
+// clusters stall proportionally during the next tick.
+//
+// To power-management policies the domain looks like one more cluster in
+// the telemetry (its "utilization" is bandwidth utilization), so every
+// governor — and a third factored RL agent — can control it unchanged.
+
+#include "soc/opp.hpp"
+
+namespace pmrl::soc {
+
+/// Memory-domain configuration.
+struct MemDomainParams {
+  bool enabled = false;
+  /// Memory OPP table; empty => default_mem_opps().
+  std::vector<OperatingPoint> opps;
+  /// Reference cycles of CPU work serviceable per memory-clock cycle at
+  /// full bandwidth (channels x prefetch). Sized so the default table's top
+  /// OPP covers ~125% of the whole CPU complex flat out.
+  double service_per_cycle = 7.0;
+  /// Fraction of executed CPU reference cycles that demand memory service.
+  double traffic_intensity = 0.35;
+  /// Static controller+PHY power at 1 V (W); scales linearly with voltage.
+  double static_power_w = 0.12;
+  /// Effective switched capacitance of the controller/IO (F).
+  double c_eff_f = 0.30e-9;
+  /// Fraction of dynamic power burned when the bus idles (clocking, ODT).
+  double idle_activity = 0.15;
+};
+
+/// LPDDR-class table: 400 MHz .. 1866 MHz.
+OppTable default_mem_opps();
+
+/// The memory DVFS domain.
+class MemDomain {
+ public:
+  explicit MemDomain(MemDomainParams params);
+
+  const OppTable& opps() const { return opps_; }
+  std::size_t opp_index() const { return opp_index_; }
+  double freq_hz() const { return opps_.at(opp_index_).freq_hz; }
+  double voltage_v() const { return opps_.at(opp_index_).voltage_v; }
+  void set_opp(std::size_t idx);
+  std::size_t dvfs_transitions() const { return transitions_; }
+
+  /// Bandwidth capacity in CPU reference cycles serviceable per second.
+  double capacity_cycles_per_s() const {
+    return freq_hz() * params_.service_per_cycle;
+  }
+
+  /// Accounts one tick given the CPU work executed (reference cycles).
+  /// Returns the bandwidth utilization of this tick (may exceed 1 when
+  /// oversubscribed).
+  double on_tick(double executed_cycles, double dt_s);
+
+  /// Stall factor (0..1] to apply to CPU execution in the *next* tick:
+  /// 1 when bandwidth sufficed, capacity/demand when oversubscribed.
+  double stall_factor() const { return stall_factor_; }
+
+  /// Bandwidth utilization of the last tick, clamped to [0, 1] for
+  /// telemetry.
+  double util() const;
+
+  /// Power over the last tick (W).
+  double power_w() const;
+  /// Worst-case power at the top OPP (W) — reward normalization reference.
+  double max_power_w() const;
+
+  double energy_j() const { return energy_j_; }
+  const MemDomainParams& params() const { return params_; }
+
+  void reset_tracking();
+
+ private:
+  MemDomainParams params_;
+  OppTable opps_;
+  std::size_t opp_index_;
+  double last_util_raw_ = 0.0;
+  double stall_factor_ = 1.0;
+  double energy_j_ = 0.0;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace pmrl::soc

@@ -1,0 +1,85 @@
+#include "soc/opp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl::soc {
+
+OppTable::OppTable(std::vector<OperatingPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("OPP table is empty");
+  double prev_freq = 0.0;
+  for (const auto& p : points_) {
+    if (p.freq_hz <= prev_freq) {
+      throw std::invalid_argument("OPP frequencies must ascend");
+    }
+    if (p.voltage_v <= 0.0) {
+      throw std::invalid_argument("OPP voltage must be positive");
+    }
+    prev_freq = p.freq_hz;
+  }
+}
+
+const OperatingPoint& OppTable::at(std::size_t idx) const {
+  if (idx >= points_.size()) throw std::out_of_range("OPP index");
+  return points_[idx];
+}
+
+std::size_t OppTable::index_for_min_freq(double freq_hz) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].freq_hz >= freq_hz) return i;
+  }
+  return points_.size() - 1;
+}
+
+std::size_t OppTable::nearest_index(double freq_hz) const {
+  std::size_t best = 0;
+  double best_dist = std::abs(points_[0].freq_hz - freq_hz);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dist = std::abs(points_[i].freq_hz - freq_hz);
+    if (dist < best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Builds a table with linearly interpolated voltage between the endpoints.
+// Real OPP voltage curves are convex-ish step tables; linear interpolation
+// between measured endpoints is within a few percent of published Exynos
+// tables and preserves the V^2*f energy ordering that matters here.
+std::vector<OperatingPoint> linear_table(double f_lo, double f_hi,
+                                         double f_step, double v_lo,
+                                         double v_hi) {
+  std::vector<OperatingPoint> pts;
+  const int steps = static_cast<int>(std::lround((f_hi - f_lo) / f_step));
+  for (int i = 0; i <= steps; ++i) {
+    const double f = f_lo + f_step * i;
+    const double t = (f - f_lo) / (f_hi - f_lo);
+    pts.push_back({f, v_lo + (v_hi - v_lo) * t});
+  }
+  return pts;
+}
+
+}  // namespace
+
+OppTable big_cluster_opps() {
+  return OppTable(linear_table(200e6, 2000e6, 100e6, 0.9000, 1.3625));
+}
+
+OppTable little_cluster_opps() {
+  return OppTable(linear_table(200e6, 1400e6, 100e6, 0.9000, 1.2500));
+}
+
+OppTable tiny_test_opps() {
+  return OppTable({{200e6, 0.90},
+                   {500e6, 0.95},
+                   {1000e6, 1.05},
+                   {1500e6, 1.20},
+                   {2000e6, 1.36}});
+}
+
+}  // namespace pmrl::soc

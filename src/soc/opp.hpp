@@ -1,0 +1,55 @@
+#pragma once
+// Operating performance points (OPPs): the discrete voltage/frequency pairs
+// a cluster's DVFS domain can run at. Mirrors the Linux OPP tables of an
+// Exynos 5422-class mobile SoC (the board family the authors' group used in
+// their mobile power-management work).
+
+#include <cstddef>
+#include <vector>
+
+namespace pmrl::soc {
+
+/// One voltage/frequency pair.
+struct OperatingPoint {
+  double freq_hz = 0.0;
+  double voltage_v = 0.0;
+};
+
+/// Ordered table of operating points (ascending frequency). Index 0 is the
+/// slowest/lowest-voltage point.
+class OppTable {
+ public:
+  /// Throws std::invalid_argument if points are empty, unsorted, or have
+  /// non-positive frequency/voltage.
+  explicit OppTable(std::vector<OperatingPoint> points);
+
+  std::size_t size() const { return points_.size(); }
+  const OperatingPoint& at(std::size_t idx) const;
+  const OperatingPoint& lowest() const { return points_.front(); }
+  const OperatingPoint& highest() const { return points_.back(); }
+
+  /// Index of the slowest OPP whose frequency is >= freq_hz; returns the
+  /// highest index if no OPP is fast enough (cpufreq "ceiling" relation).
+  std::size_t index_for_min_freq(double freq_hz) const;
+
+  /// Index of the OPP closest in frequency to freq_hz.
+  std::size_t nearest_index(double freq_hz) const;
+
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+/// OPP table modeled on the Exynos 5422 big (Cortex-A15) DVFS domain:
+/// 200 MHz .. 2.0 GHz in 100 MHz steps, 0.9 V .. 1.3625 V.
+OppTable big_cluster_opps();
+
+/// OPP table modeled on the Exynos 5422 LITTLE (Cortex-A7) DVFS domain:
+/// 200 MHz .. 1.4 GHz in 100 MHz steps, 0.9 V .. 1.25 V.
+OppTable little_cluster_opps();
+
+/// Reduced 5-point table used by unit tests and the state-ablation bench.
+OppTable tiny_test_opps();
+
+}  // namespace pmrl::soc

@@ -1,0 +1,23 @@
+#include "soc/pelt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl::soc {
+
+PeltTracker::PeltTracker(double half_life_s) : half_life_s_(half_life_s) {
+  if (half_life_s <= 0.0) {
+    throw std::invalid_argument("PELT half-life must be positive");
+  }
+}
+
+void PeltTracker::add_sample(double busy_fraction, double dt_s) {
+  const double clamped = std::clamp(busy_fraction, 0.0, 1.0);
+  // decay factor so that after half_life_s seconds the old value halves:
+  // decay = 0.5^(dt / half_life).
+  const double decay = std::exp2(-dt_s / half_life_s_);
+  util_ = util_ * decay + clamped * (1.0 - decay);
+}
+
+}  // namespace pmrl::soc

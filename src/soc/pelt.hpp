@@ -1,0 +1,32 @@
+#pragma once
+// Per-entity load tracking (PELT) in the style of the Linux scheduler: a
+// geometrically decaying average of the busy signal with a 32 ms half-life.
+// Governors consume this; it is the "system characteristic" signal the
+// paper's policy observes.
+
+namespace pmrl::soc {
+
+/// Geometric-decay utilization tracker. `add_sample` feeds the busy fraction
+/// of one simulation tick; the tracked value converges to the true duty
+/// cycle with a 32 ms (configurable) half-life.
+class PeltTracker {
+ public:
+  /// half_life_s: time for an old contribution to decay to half weight.
+  explicit PeltTracker(double half_life_s = 0.032);
+
+  /// Feeds the busy fraction (0..1) observed over a tick of dt seconds.
+  void add_sample(double busy_fraction, double dt_s);
+
+  /// Current decayed utilization estimate in [0, 1].
+  double util() const { return util_; }
+
+  void reset() { util_ = 0.0; }
+
+  double half_life_s() const { return half_life_s_; }
+
+ private:
+  double half_life_s_;
+  double util_ = 0.0;
+};
+
+}  // namespace pmrl::soc

@@ -1,0 +1,67 @@
+#include "soc/power_model.hpp"
+
+#include <cmath>
+
+namespace pmrl::soc {
+
+CorePowerParams big_core_power_params() {
+  CorePowerParams p;
+  // 1.5 W per core at 2 GHz / 1.3625 V full load:
+  // c_eff = 1.5 / (1.3625^2 * 2e9) ~= 0.404 nF.
+  p.c_eff_f = 0.404e-9;
+  // ~0.20 W leakage per core at 1.3625 V / 65 C:
+  // I0 = 0.20 / (1.3625 * exp(0.03 * 40)) ~= 0.0442 A.
+  p.leak_i0_a = 0.0442;
+  p.leak_temp_coeff = 0.03;
+  p.leak_ref_temp_c = 25.0;
+  p.idle_activity = 0.05;
+  return p;
+}
+
+CorePowerParams little_core_power_params() {
+  CorePowerParams p;
+  // 0.15 W per core at 1.4 GHz / 1.25 V:
+  // c_eff = 0.15 / (1.25^2 * 1.4e9) ~= 0.0686 nF.
+  p.c_eff_f = 0.0686e-9;
+  // ~0.03 W leakage per core at 1.25 V / 65 C.
+  p.leak_i0_a = 0.00723;
+  p.leak_temp_coeff = 0.03;
+  p.leak_ref_temp_c = 25.0;
+  p.idle_activity = 0.05;
+  return p;
+}
+
+double CorePowerModel::dynamic_power_w(double freq_hz, double voltage_v,
+                                       double busy_fraction) const {
+  const double activity =
+      params_.idle_activity +
+      (1.0 - params_.idle_activity) * busy_fraction;
+  return params_.c_eff_f * voltage_v * voltage_v * freq_hz * activity;
+}
+
+double CorePowerModel::leakage_power_w(double voltage_v, double temp_c) const {
+  const double temp_factor =
+      std::exp(params_.leak_temp_coeff * (temp_c - params_.leak_ref_temp_c));
+  return params_.leak_i0_a * voltage_v * temp_factor;
+}
+
+double CorePowerModel::total_power_w(double freq_hz, double voltage_v,
+                                     double busy_fraction,
+                                     double temp_c) const {
+  return dynamic_power_w(freq_hz, voltage_v, busy_fraction) +
+         leakage_power_w(voltage_v, temp_c);
+}
+
+double CorePowerModel::total_power_w(double freq_hz, double voltage_v,
+                                     double busy_fraction, double temp_c,
+                                     double idle_dynamic_scale,
+                                     double leakage_scale) const {
+  const double idle_component = params_.idle_activity * idle_dynamic_scale;
+  const double activity =
+      idle_component + (1.0 - params_.idle_activity) * busy_fraction;
+  const double dynamic =
+      params_.c_eff_f * voltage_v * voltage_v * freq_hz * activity;
+  return dynamic + leakage_power_w(voltage_v, temp_c) * leakage_scale;
+}
+
+}  // namespace pmrl::soc

@@ -1,0 +1,72 @@
+#pragma once
+// Per-core power model: switching power C_eff * V^2 * f scaled by activity,
+// plus voltage- and temperature-dependent leakage. Parameters default to an
+// Exynos 5422-class big.LITTLE part (quad A15 + quad A7).
+
+#include "soc/types.hpp"
+
+namespace pmrl::soc {
+
+/// Electrical parameters of one core type.
+struct CorePowerParams {
+  /// Effective switched capacitance in farads (P_dyn = c_eff * V^2 * f).
+  double c_eff_f = 0.0;
+  /// Leakage scale in amperes at V = 1 V and T = leak_ref_temp_c.
+  double leak_i0_a = 0.0;
+  /// Exponential leakage-vs-temperature coefficient (1/K).
+  double leak_temp_coeff = 0.03;
+  /// Temperature at which leak_i0_a is specified (Celsius).
+  double leak_ref_temp_c = 25.0;
+  /// Fraction of c_eff still switching when the core idles clock-gated.
+  double idle_activity = 0.05;
+};
+
+/// Returns parameters calibrated so a 4-core big cluster dissipates ~6 W at
+/// 2 GHz / 1.3625 V full load, matching published Exynos 5422 measurements.
+CorePowerParams big_core_power_params();
+
+/// Parameters for a LITTLE core: ~0.6 W for the 4-core cluster flat out at
+/// 1.4 GHz / 1.25 V.
+CorePowerParams little_core_power_params();
+
+/// Stateless power evaluation for one core.
+class CorePowerModel {
+ public:
+  explicit CorePowerModel(CorePowerParams params) : params_(params) {}
+
+  /// Dynamic (switching) power in watts given the operating point and the
+  /// busy fraction (0..1) of the evaluation interval. An idle core still
+  /// burns idle_activity of the dynamic power (clock tree, snoops).
+  double dynamic_power_w(double freq_hz, double voltage_v,
+                         double busy_fraction) const;
+
+  /// Leakage power in watts at the given voltage and die temperature.
+  double leakage_power_w(double voltage_v, double temp_c) const;
+
+  /// Total power for the interval.
+  double total_power_w(double freq_hz, double voltage_v, double busy_fraction,
+                       double temp_c) const;
+
+  /// Total power with cpuidle scaling: `idle_dynamic_scale` multiplies the
+  /// idle (clock-tree) dynamic component and `leakage_scale` multiplies
+  /// leakage — both 1.0 for an active core, smaller in deep idle states.
+  double total_power_w(double freq_hz, double voltage_v, double busy_fraction,
+                       double temp_c, double idle_dynamic_scale,
+                       double leakage_scale) const;
+
+  const CorePowerParams& params() const { return params_; }
+
+ private:
+  CorePowerParams params_;
+};
+
+/// SoC-level always-on power (memory controller, interconnect, display
+/// pipeline share attributed to the CPU subsystem).
+struct UncorePowerParams {
+  double static_power_w = 0.25;
+  /// Extra watts per unit of aggregate normalized CPU throughput, modeling
+  /// DRAM traffic that scales with executed work.
+  double per_throughput_w = 0.35;
+};
+
+}  // namespace pmrl::soc

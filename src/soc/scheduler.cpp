@@ -1,0 +1,152 @@
+#include "soc/scheduler.hpp"
+
+#include <algorithm>
+
+namespace pmrl::soc {
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(config) {}
+
+void Scheduler::invalidate() { last_rebalance_s_ = -1.0; }
+
+Scheduler::Placement Scheduler::placement_of(TaskId id) const {
+  if (id < placements_.size()) return placements_[id];
+  return {};
+}
+
+void Scheduler::schedule(TaskSet& tasks, std::vector<Cluster>& clusters,
+                         double now_s) {
+  placements_.resize(tasks.size());
+  bool need_rebalance =
+      last_rebalance_s_ < 0.0 ||
+      now_s - last_rebalance_s_ >= config_.rebalance_period_s;
+  if (!need_rebalance) {
+    for (const auto& task : tasks.tasks()) {
+      if (task.runnable() && !placements_[task.id()].valid()) {
+        need_rebalance = true;
+        break;
+      }
+    }
+  }
+  if (need_rebalance) {
+    rebalance(tasks, clusters);
+    last_rebalance_s_ = now_s;
+  }
+  apply(tasks, clusters);
+}
+
+void Scheduler::rebalance(TaskSet& tasks, std::vector<Cluster>& clusters) {
+  // Per-core normalized load = sum of weights of tasks placed there divided
+  // by the core's relative capacity at the current OPP.
+  struct Slot {
+    std::size_t cluster;
+    std::size_t core;
+    CoreType type;
+    double capacity;  // relative reference-cycle rate
+    double load = 0.0;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const auto& cluster = clusters[c];
+    const double cap =
+        cluster.freq_hz() * cluster.cores().front().ipc_factor();
+    for (std::size_t k = 0; k < cluster.core_count(); ++k) {
+      slots.push_back({c, k, cluster.core_type(), cap, 0.0});
+    }
+  }
+
+  // Deterministic order: heaviest tasks first, ties by id.
+  std::vector<const Task*> order;
+  for (const auto& task : tasks.tasks()) {
+    if (task.runnable()) order.push_back(&task);
+  }
+  std::sort(order.begin(), order.end(), [](const Task* a, const Task* b) {
+    if (a->weight() != b->weight()) return a->weight() > b->weight();
+    return a->id() < b->id();
+  });
+
+  // History gives the sticky tie-break: on load ties a task stays where it
+  // last ran (cache affinity — and it stops every newly-runnable task from
+  // piling onto core 0, which would concentrate staggered periodic tasks
+  // onto one core and inflate util_max).
+  history_.resize(placements_.size());
+  for (auto& p : placements_) p = {};
+
+  auto pick = [&](const Task& task) -> Slot* {
+    // Two passes: preferred core type, then any. Affinity::Any prefers the
+    // LITTLE side when loads tie (energy-aware tie-break).
+    auto better = [&](const Slot& a, const Slot& b) {
+      if (a.load != b.load) return a.load < b.load;
+      if (task.affinity() == Affinity::PreferBig) {
+        if (a.type != b.type) return a.type == CoreType::Big;
+      } else {
+        if (a.type != b.type) return a.type == CoreType::Little;
+      }
+      if (a.cluster != b.cluster) return a.cluster < b.cluster;
+      return a.core < b.core;
+    };
+    const CoreType preferred =
+        task.affinity() == Affinity::PreferBig ? CoreType::Big
+                                               : CoreType::Little;
+    Slot* best = nullptr;
+    if (task.affinity() != Affinity::Any) {
+      for (auto& slot : slots) {
+        if (slot.type != preferred) continue;
+        // Spill to the other cluster once every preferred core already has
+        // a task; a loaded preferred core is worse than an idle other core.
+        if (slot.load > 0.0) continue;
+        if (!best || better(slot, *best)) best = &slot;
+      }
+    }
+    if (!best) {
+      for (auto& slot : slots) {
+        if (!best || better(slot, *best)) best = &slot;
+      }
+    }
+    return best;
+  };
+
+  auto slot_of = [&](const Placement& p) -> Slot* {
+    if (!p.valid()) return nullptr;
+    for (auto& slot : slots) {
+      if (slot.cluster == p.cluster && slot.core == p.core) return &slot;
+    }
+    return nullptr;
+  };
+
+  for (const Task* task : order) {
+    Slot* slot = pick(*task);
+    // Sticky tie-break: stay on the last core this task ran on when it is
+    // no worse and of the same core type the balancer picked (so affinity
+    // spills still return to the preferred cluster once it frees up).
+    if (task->id() < history_.size()) {
+      Slot* prev = slot_of(history_[task->id()]);
+      if (prev != nullptr && prev->type == slot->type &&
+          prev->load <= slot->load) {
+        slot = prev;
+      }
+    }
+    placements_[task->id()] = {slot->cluster, slot->core};
+    history_[task->id()] = placements_[task->id()];
+    slot->load += task->weight() / (slot->capacity / 1e9);
+  }
+}
+
+void Scheduler::apply(TaskSet& tasks, std::vector<Cluster>& clusters) {
+  std::vector<std::vector<std::vector<TaskId>>> queues(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    queues[c].resize(clusters[c].core_count());
+  }
+  for (const auto& task : tasks.tasks()) {
+    const Placement& p = placements_[task.id()];
+    if (task.runnable() && p.valid()) {
+      queues[p.cluster][p.core].push_back(task.id());
+    }
+  }
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t k = 0; k < clusters[c].core_count(); ++k) {
+      clusters[c].core(k).set_runqueue(std::move(queues[c][k]));
+    }
+  }
+}
+
+}  // namespace pmrl::soc

@@ -1,0 +1,56 @@
+#pragma once
+// Load-balancing task placement across the heterogeneous clusters, in the
+// spirit of a mobile EAS/CFS scheduler: affinity-aware, capacity-normalized
+// least-loaded placement with periodic rebalancing and sticky assignment
+// between rebalances (to avoid migration thrash that would pollute the
+// per-core PELT signals the governors read).
+
+#include <vector>
+
+#include "soc/cluster.hpp"
+#include "soc/task.hpp"
+
+namespace pmrl::soc {
+
+/// Scheduler tuning knobs.
+struct SchedulerConfig {
+  /// Seconds between full rebalances; newly runnable tasks are placed
+  /// immediately regardless.
+  double rebalance_period_s = 0.010;
+};
+
+/// Deterministic affinity-aware load balancer.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config = {});
+
+  /// Places runnable tasks onto cores. Called every tick; performs a full
+  /// rebalance only when the rebalance period elapses or a task has no
+  /// placement yet. Updates each core's run-queue.
+  void schedule(TaskSet& tasks, std::vector<Cluster>& clusters, double now_s);
+
+  /// Forces a full rebalance on the next call.
+  void invalidate();
+
+  /// Core currently hosting a task, or (cluster, core) = (SIZE_MAX, ...) if
+  /// unplaced. Exposed for tests.
+  struct Placement {
+    std::size_t cluster = static_cast<std::size_t>(-1);
+    std::size_t core = static_cast<std::size_t>(-1);
+    bool valid() const { return cluster != static_cast<std::size_t>(-1); }
+  };
+  Placement placement_of(TaskId id) const;
+
+ private:
+  void rebalance(TaskSet& tasks, std::vector<Cluster>& clusters);
+  void apply(TaskSet& tasks, std::vector<Cluster>& clusters);
+
+  SchedulerConfig config_;
+  double last_rebalance_s_ = -1.0;
+  std::vector<Placement> placements_;
+  /// Last core each task ever ran on (persists across idle periods; used
+  /// for the sticky tie-break).
+  std::vector<Placement> history_;
+};
+
+}  // namespace pmrl::soc

@@ -1,0 +1,253 @@
+#include "soc/soc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace pmrl::soc {
+
+SocConfig default_mobile_soc_config() {
+  SocConfig cfg;
+
+  SocConfig::ClusterSpec little{
+      ClusterConfig{"little", CoreType::Little, 4, /*ipc=*/0.5,
+                    /*transition_latency_s=*/50e-6,
+                    /*initial_opp=*/static_cast<std::size_t>(-1)},
+      little_cluster_opps(), little_core_power_params(),
+      // LITTLE cluster: small silicon area -> higher Rth, small Cth.
+      ThermalNodeParams{/*r_th=*/8.0, /*c_th=*/0.5, /*initial=*/35.0}};
+
+  SocConfig::ClusterSpec big{
+      ClusterConfig{"big", CoreType::Big, 4, /*ipc=*/1.0,
+                    /*transition_latency_s=*/50e-6,
+                    /*initial_opp=*/static_cast<std::size_t>(-1)},
+      big_cluster_opps(), big_core_power_params(),
+      ThermalNodeParams{/*r_th=*/4.0, /*c_th=*/1.2, /*initial=*/35.0}};
+
+  cfg.clusters.push_back(std::move(little));
+  cfg.clusters.push_back(std::move(big));
+  return cfg;
+}
+
+SocConfig tiny_test_soc_config() {
+  SocConfig cfg;
+  SocConfig::ClusterSpec only{
+      ClusterConfig{"test", CoreType::Big, 2, /*ipc=*/1.0,
+                    /*transition_latency_s=*/0.0,
+                    /*initial_opp=*/static_cast<std::size_t>(-1)},
+      tiny_test_opps(), big_core_power_params(),
+      ThermalNodeParams{4.0, 1.0, 35.0}};
+  cfg.clusters.push_back(std::move(only));
+  cfg.throttle.enabled = false;
+  return cfg;
+}
+
+namespace {
+std::vector<ThermalNodeParams> thermal_nodes(const SocConfig& cfg) {
+  std::vector<ThermalNodeParams> nodes;
+  nodes.reserve(cfg.clusters.size());
+  for (const auto& spec : cfg.clusters) nodes.push_back(spec.thermal);
+  return nodes;
+}
+}  // namespace
+
+Soc::Soc(SocConfig config)
+    : config_(std::move(config)),
+      scheduler_(config_.scheduler),
+      thermal_(thermal_nodes(config_), config_.ambient_c) {
+  if (config_.clusters.empty()) {
+    throw std::invalid_argument("SoC needs at least one cluster");
+  }
+  clusters_.reserve(config_.clusters.size());
+  for (std::size_t i = 0; i < config_.clusters.size(); ++i) {
+    const auto& spec = config_.clusters[i];
+    clusters_.emplace_back(i, spec.cluster, spec.opps, spec.power,
+                           config_.cpuidle);
+  }
+  if (config_.memory.enabled) mem_.emplace(config_.memory);
+  throttled_.assign(clusters_.size(), false);
+  throttled_s_.assign(clusters_.size(), 0.0);
+  cluster_energy_j_.assign(clusters_.size(), 0.0);
+}
+
+double Soc::domain_freq_hz(std::size_t domain) const {
+  if (domain < clusters_.size()) return clusters_[domain].freq_hz();
+  if (mem_ && domain == clusters_.size()) return mem_->freq_hz();
+  throw std::out_of_range("domain id");
+}
+
+std::size_t Soc::domain_dvfs_transitions(std::size_t domain) const {
+  if (domain < clusters_.size()) return clusters_[domain].dvfs_transitions();
+  if (mem_ && domain == clusters_.size()) return mem_->dvfs_transitions();
+  throw std::out_of_range("domain id");
+}
+
+TaskId Soc::create_task(std::string name, Affinity affinity, double weight) {
+  return tasks_.create(std::move(name), affinity, weight);
+}
+
+void Soc::submit(TaskId task, Job job) {
+  job.release_s = now_s_;
+  tasks_.at(task).submit(job);
+}
+
+void Soc::set_cluster_opp(std::size_t cluster, std::size_t opp_index) {
+  if (mem_ && cluster == clusters_.size()) {
+    mem_->set_opp(opp_index);
+    return;
+  }
+  if (cluster >= clusters_.size()) throw std::out_of_range("cluster id");
+  if (config_.throttle.enabled && throttled_[cluster]) {
+    opp_index = std::min(opp_index, config_.throttle.throttle_cap_index);
+  }
+  clusters_[cluster].set_opp(opp_index);
+}
+
+void Soc::apply_throttle() {
+  if (!config_.throttle.enabled) return;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const double temp = thermal_.temperature_c(i);
+    if (!throttled_[i] && temp >= config_.throttle.trip_temp_c) {
+      throttled_[i] = true;
+      PMRL_WARN("soc") << clusters_[i].name() << " thermal throttle at "
+                       << temp << " C";
+    } else if (throttled_[i] && temp <= config_.throttle.clear_temp_c) {
+      throttled_[i] = false;
+    }
+    if (throttled_[i] &&
+        clusters_[i].opp_index() > config_.throttle.throttle_cap_index) {
+      clusters_[i].set_opp(config_.throttle.throttle_cap_index);
+    }
+  }
+}
+
+void Soc::step(double dt_s, std::vector<CompletedJob>& completed) {
+  if (dt_s <= 0.0) throw std::invalid_argument("dt must be positive");
+  scheduler_.schedule(tasks_, clusters_, now_s_);
+
+  // Memory-bandwidth stall from the previous tick derates this tick.
+  const double capacity_scale = mem_ ? mem_->stall_factor() : 1.0;
+
+  double executed_norm = 0.0;  // normalized executed throughput for uncore
+  double executed_cycles = 0.0;
+  std::vector<double> cluster_power(clusters_.size(), 0.0);
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    auto& cluster = clusters_[i];
+    const double busy =
+        cluster.run_tick(tasks_, dt_s, now_s_, completed, capacity_scale);
+    executed_norm += busy * static_cast<double>(cluster.core_count()) *
+                     cluster.freq_hz() /
+                     cluster.opps().highest().freq_hz;
+    executed_cycles += busy * static_cast<double>(cluster.core_count()) *
+                       cluster.freq_hz() * capacity_scale * dt_s *
+                       cluster.cores().front().ipc_factor();
+    const double power = cluster.power_w(thermal_.temperature_c(i));
+    cluster_power[i] = power;
+    cluster_energy_j_[i] += power * dt_s;
+  }
+  if (mem_) {
+    mem_->on_tick(executed_cycles, dt_s);
+    if (mem_->stall_factor() < 1.0) mem_stalled_s_ += dt_s;
+  }
+
+  last_uncore_power_w_ = config_.uncore.static_power_w +
+                         config_.uncore.per_throughput_w * executed_norm /
+                             std::max<std::size_t>(1, clusters_.size());
+  uncore_energy_j_ += last_uncore_power_w_ * dt_s;
+
+  double tick_power = last_uncore_power_w_;
+  for (double p : cluster_power) tick_power += p;
+  if (mem_) tick_power += mem_->power_w();
+  total_energy_j_ += tick_power * dt_s;
+
+  thermal_.step(cluster_power, dt_s);
+  apply_throttle();
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (throttled_[i]) throttled_s_[i] += dt_s;
+  }
+
+  now_s_ += dt_s;
+}
+
+SocTelemetry Soc::telemetry() const {
+  SocTelemetry t;
+  t.time_s = now_s_;
+  t.clusters.reserve(clusters_.size());
+  double power_sum = 0.0;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const auto& c = clusters_[i];
+    ClusterTelemetry ct;
+    ct.cluster_id = i;
+    ct.opp_index = c.opp_index();
+    ct.opp_count = c.opps().size();
+    ct.freq_hz = c.freq_hz();
+    ct.max_freq_hz = c.opps().highest().freq_hz;
+    ct.voltage_v = c.voltage_v();
+    ct.util_avg = c.util_avg();
+    ct.util_max = c.util_max();
+    ct.util_invariant = c.util_scale_invariant();
+    ct.busy_avg = c.busy_avg();
+    ct.power_w = c.power_w(thermal_.temperature_c(i));
+    ct.max_power_w = c.max_power_w(thermal_.temperature_c(i));
+    ct.energy_j = cluster_energy_j_[i];
+    ct.temp_c = thermal_.temperature_c(i);
+    ct.nr_running = c.nr_running(tasks_);
+    ct.overdue_jobs = c.overdue_jobs(tasks_, now_s_);
+    ct.dvfs_transitions = c.dvfs_transitions();
+    power_sum += ct.power_w;
+    t.clusters.push_back(ct);
+  }
+  if (mem_) {
+    ClusterTelemetry ct;
+    ct.cluster_id = clusters_.size();
+    ct.opp_index = mem_->opp_index();
+    ct.opp_count = mem_->opps().size();
+    ct.freq_hz = mem_->freq_hz();
+    ct.max_freq_hz = mem_->opps().highest().freq_hz;
+    ct.voltage_v = mem_->voltage_v();
+    // Bandwidth utilization plays the role of per-domain utilization.
+    ct.util_avg = mem_->util();
+    ct.util_max = mem_->util();
+    ct.util_invariant =
+        mem_->util() * mem_->freq_hz() / mem_->opps().highest().freq_hz;
+    ct.busy_avg = mem_->util();
+    ct.power_w = mem_->power_w();
+    ct.max_power_w = mem_->max_power_w();
+    ct.energy_j = mem_->energy_j();
+    ct.temp_c = config_.ambient_c;
+    // When the bus is the bottleneck, every overdue job is its problem.
+    if (mem_->stall_factor() < 1.0) {
+      for (const auto& c : clusters_) {
+        ct.overdue_jobs += c.overdue_jobs(tasks_, now_s_);
+      }
+    }
+    ct.dvfs_transitions = mem_->dvfs_transitions();
+    power_sum += ct.power_w;
+    t.clusters.push_back(ct);
+  }
+  t.uncore_power_w = last_uncore_power_w_;
+  t.total_power_w = power_sum + last_uncore_power_w_;
+  t.total_energy_j = total_energy_j_;
+  t.runnable_tasks = tasks_.runnable_count();
+  t.backlog_cycles = tasks_.total_backlog_cycles();
+  return t;
+}
+
+void Soc::reset() {
+  for (auto& task : tasks_.tasks()) task.clear();
+  for (auto& cluster : clusters_) cluster.reset_tracking();
+  scheduler_.invalidate();
+  if (mem_) mem_->reset_tracking();
+  mem_stalled_s_ = 0.0;
+  thermal_.reset();
+  throttled_.assign(clusters_.size(), false);
+  throttled_s_.assign(clusters_.size(), 0.0);
+  cluster_energy_j_.assign(clusters_.size(), 0.0);
+  uncore_energy_j_ = 0.0;
+  total_energy_j_ = 0.0;
+  last_uncore_power_w_ = 0.0;
+  now_s_ = 0.0;
+}
+
+}  // namespace pmrl::soc

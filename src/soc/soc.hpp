@@ -1,0 +1,133 @@
+#pragma once
+// The MPSoC assembly: clusters + scheduler + power/thermal models + energy
+// accounting, advanced tick by tick. Governors interact with it only through
+// telemetry() (observe) and set_cluster_opp() (act), mirroring the
+// cpufreq-policy interface on a real mobile SoC.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/cluster.hpp"
+#include "soc/mem_domain.hpp"
+#include "soc/scheduler.hpp"
+#include "soc/task.hpp"
+#include "soc/telemetry.hpp"
+#include "soc/thermal.hpp"
+
+namespace pmrl::soc {
+
+/// Thermal-throttle safety valve: above trip_temp_c the affected cluster's
+/// OPP is capped at throttle_cap_index until it cools below the hysteresis
+/// point.
+struct ThrottleConfig {
+  bool enabled = true;
+  double trip_temp_c = 95.0;
+  double clear_temp_c = 85.0;
+  std::size_t throttle_cap_index = 4;
+};
+
+/// Full SoC description.
+struct SocConfig {
+  struct ClusterSpec {
+    ClusterConfig cluster;
+    OppTable opps;
+    CorePowerParams power;
+    ThermalNodeParams thermal;
+  };
+  std::vector<ClusterSpec> clusters;
+  UncorePowerParams uncore;
+  SchedulerConfig scheduler;
+  ThrottleConfig throttle;
+  /// Idle-state (C-state) model, applied to every cluster.
+  CpuidleConfig cpuidle;
+  /// Optional memory DVFS domain (disabled by default; the paper's policy
+  /// controls CPU clusters — the memory domain is the E7 extension).
+  MemDomainParams memory;
+  double ambient_c = 25.0;
+};
+
+/// Default big.LITTLE mobile SoC: 4 big (A15-class) + 4 LITTLE (A7-class)
+/// cores with Exynos 5422-style OPP tables and calibrated power parameters.
+SocConfig default_mobile_soc_config();
+
+/// Reduced single-cluster SoC for unit tests.
+SocConfig tiny_test_soc_config();
+
+/// The simulated MPSoC.
+class Soc {
+ public:
+  explicit Soc(SocConfig config);
+
+  // ---- Task/workload side -------------------------------------------------
+  TaskSet& tasks() { return tasks_; }
+  const TaskSet& tasks() const { return tasks_; }
+  /// Creates a schedulable task; returns its id.
+  TaskId create_task(std::string name, Affinity affinity, double weight = 1.0);
+  /// Releases a job into a task's queue.
+  void submit(TaskId task, Job job);
+
+  // ---- Governor-facing control surface ------------------------------------
+  std::size_t cluster_count() const { return clusters_.size(); }
+  Cluster& cluster(std::size_t i) { return clusters_.at(i); }
+  const Cluster& cluster(std::size_t i) const { return clusters_.at(i); }
+
+  /// DVFS domains a governor controls: the CPU clusters plus the optional
+  /// memory domain (which, when enabled, is telemetry cluster index
+  /// cluster_count()).
+  std::size_t domain_count() const {
+    return clusters_.size() + (mem_ ? 1 : 0);
+  }
+  bool has_memory_domain() const { return mem_.has_value(); }
+  MemDomain& memory_domain() { return *mem_; }
+  const MemDomain& memory_domain() const { return *mem_; }
+  /// Current frequency / transition count of any domain (cluster or mem).
+  double domain_freq_hz(std::size_t domain) const;
+  std::size_t domain_dvfs_transitions(std::size_t domain) const;
+  /// Cumulative seconds the memory domain throttled CPU execution.
+  double mem_stalled_s() const { return mem_stalled_s_; }
+
+  /// Requests an OPP for a domain; the thermal throttle may cap CPU
+  /// clusters. Index cluster_count() addresses the memory domain.
+  void set_cluster_opp(std::size_t cluster, std::size_t opp_index);
+
+  /// Current observation snapshot.
+  SocTelemetry telemetry() const;
+
+  // ---- Simulation side -----------------------------------------------------
+  /// Advances one tick of dt seconds. Completed jobs are appended to
+  /// `completed`.
+  void step(double dt_s, std::vector<CompletedJob>& completed);
+
+  double now_s() const { return now_s_; }
+  double total_energy_j() const { return total_energy_j_; }
+  bool throttled(std::size_t cluster) const { return throttled_.at(cluster); }
+  /// Cumulative seconds this cluster spent thermally throttled.
+  double throttled_s(std::size_t cluster) const {
+    return throttled_s_.at(cluster);
+  }
+
+  /// Clears time, energy, tracking and task queues (config and OPPs remain).
+  void reset();
+
+ private:
+  void apply_throttle();
+
+  SocConfig config_;
+  TaskSet tasks_;
+  std::vector<Cluster> clusters_;
+  std::optional<MemDomain> mem_;
+  Scheduler scheduler_;
+  ThermalModel thermal_;
+  std::vector<bool> throttled_;
+  std::vector<double> throttled_s_;
+  std::vector<double> cluster_energy_j_;
+  double uncore_energy_j_ = 0.0;
+  double total_energy_j_ = 0.0;
+  double last_uncore_power_w_ = 0.0;
+  double mem_stalled_s_ = 0.0;
+  double now_s_ = 0.0;
+};
+
+}  // namespace pmrl::soc

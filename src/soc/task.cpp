@@ -1,0 +1,87 @@
+#include "soc/task.hpp"
+
+#include <stdexcept>
+
+namespace pmrl::soc {
+
+Task::Task(TaskId id, std::string name, Affinity affinity, double weight)
+    : id_(id), name_(std::move(name)), affinity_(affinity), weight_(weight) {
+  if (weight <= 0.0) throw std::invalid_argument("task weight must be > 0");
+}
+
+void Task::submit(Job job) {
+  if (job.work_cycles <= 0.0) {
+    throw std::invalid_argument("job work must be positive");
+  }
+  job.task = id_;
+  backlog_cycles_ += job.work_cycles;
+  queue_.push_back(job);
+}
+
+double Task::execute(double cycles, double tick_start_s, double dt_s,
+                     std::vector<CompletedJob>& completed) {
+  double used = 0.0;
+  while (cycles > used && !queue_.empty()) {
+    Job& front = queue_.front();
+    const double need = front.work_cycles - front_progress_;
+    const double available = cycles - used;
+    if (available >= need) {
+      used += need;
+      // Uniform-rate interpolation of the finish instant inside the tick.
+      const double fraction = cycles > 0.0 ? used / cycles : 1.0;
+      completed.push_back({front, tick_start_s + dt_s * fraction});
+      backlog_cycles_ -= front.work_cycles;
+      queue_.pop_front();
+      front_progress_ = 0.0;
+    } else {
+      front_progress_ += available;
+      used = cycles;
+    }
+  }
+  if (backlog_cycles_ < 0.0) backlog_cycles_ = 0.0;  // float dust
+  return used;
+}
+
+std::size_t Task::overdue_jobs(double now_s) const {
+  std::size_t n = 0;
+  for (const auto& job : queue_) {
+    if (job.has_deadline() && job.deadline_s < now_s) ++n;
+  }
+  return n;
+}
+
+void Task::clear() {
+  queue_.clear();
+  front_progress_ = 0.0;
+  backlog_cycles_ = 0.0;
+}
+
+TaskId TaskSet::create(std::string name, Affinity affinity, double weight) {
+  const TaskId id = tasks_.size();
+  tasks_.emplace_back(id, std::move(name), affinity, weight);
+  return id;
+}
+
+Task& TaskSet::at(TaskId id) {
+  if (id >= tasks_.size()) throw std::out_of_range("task id");
+  return tasks_[id];
+}
+
+const Task& TaskSet::at(TaskId id) const {
+  if (id >= tasks_.size()) throw std::out_of_range("task id");
+  return tasks_[id];
+}
+
+double TaskSet::total_backlog_cycles() const {
+  double total = 0.0;
+  for (const auto& t : tasks_) total += t.backlog_cycles();
+  return total;
+}
+
+std::size_t TaskSet::runnable_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) n += t.runnable() ? 1 : 0;
+  return n;
+}
+
+}  // namespace pmrl::soc

@@ -1,0 +1,111 @@
+#pragma once
+// Jobs and tasks. A *task* models a schedulable thread (render thread, worker
+// pool member, background service); a *job* is one unit of work with a
+// release time and an optional QoS deadline (e.g. one display frame). Tasks
+// execute their job queue in FIFO order on whichever core the scheduler
+// placed them on.
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/types.hpp"
+
+namespace pmrl::soc {
+
+/// One releasable unit of work.
+struct Job {
+  JobId id = 0;
+  TaskId task = 0;
+  /// Total demand in reference cycles (big-core cycles at IPC 1).
+  double work_cycles = 0.0;
+  /// Absolute release time in seconds.
+  double release_s = 0.0;
+  /// Absolute deadline in seconds; negative means best-effort (no deadline).
+  double deadline_s = -1.0;
+
+  bool has_deadline() const { return deadline_s >= 0.0; }
+};
+
+/// A completed job along with its measured completion time and the cluster
+/// whose core finished it (for per-domain QoS attribution).
+struct CompletedJob {
+  Job job;
+  double completion_s = 0.0;
+  ClusterId cluster = static_cast<ClusterId>(-1);
+
+  bool met_deadline() const {
+    return !job.has_deadline() || completion_s <= job.deadline_s;
+  }
+  double latency_s() const { return completion_s - job.release_s; }
+};
+
+/// A schedulable thread with a FIFO job queue.
+class Task {
+ public:
+  Task(TaskId id, std::string name, Affinity affinity, double weight = 1.0);
+
+  TaskId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Affinity affinity() const { return affinity_; }
+  /// Scheduling weight (relative share when competing on one core).
+  double weight() const { return weight_; }
+
+  /// Enqueues a released job.
+  void submit(Job job);
+
+  bool runnable() const { return !queue_.empty(); }
+  std::size_t queued_jobs() const { return queue_.size(); }
+  /// Total outstanding work in reference cycles.
+  double backlog_cycles() const { return backlog_cycles_; }
+
+  /// Queued deadline jobs whose deadline has already passed — work that is
+  /// drowning. These jobs have not completed, so they are invisible to
+  /// completion-based QoS signals; policies read this count instead.
+  std::size_t overdue_jobs(double now_s) const;
+
+  /// Consumes up to `cycles` reference cycles of work during the tick
+  /// [tick_start_s, tick_start_s + dt_s). Jobs that finish are appended to
+  /// `completed` with a completion time interpolated within the tick
+  /// (assuming a uniform execution rate across the tick). Returns the number
+  /// of cycles actually consumed (less than `cycles` if the queue drains).
+  double execute(double cycles, double tick_start_s, double dt_s,
+                 std::vector<CompletedJob>& completed);
+
+  /// Drops all queued work (used when a scenario phase is aborted).
+  void clear();
+
+ private:
+  TaskId id_;
+  std::string name_;
+  Affinity affinity_;
+  double weight_;
+  std::deque<Job> queue_;
+  /// Cycles already spent on the front job.
+  double front_progress_ = 0.0;
+  double backlog_cycles_ = 0.0;
+};
+
+/// Owns all tasks of a simulation and allocates ids.
+class TaskSet {
+ public:
+  /// Creates a task and returns its id.
+  TaskId create(std::string name, Affinity affinity, double weight = 1.0);
+
+  Task& at(TaskId id);
+  const Task& at(TaskId id) const;
+  std::size_t size() const { return tasks_.size(); }
+
+  std::vector<Task>& tasks() { return tasks_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// Sum of backlog across all tasks (reference cycles).
+  double total_backlog_cycles() const;
+  std::size_t runnable_count() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace pmrl::soc

@@ -1,0 +1,52 @@
+#pragma once
+// Telemetry snapshots exposed to governors. This is the entire observation
+// surface a power-management policy gets — identical for the six baseline
+// governors and for the RL policy, matching the paper's setup where the
+// policy reads the same counters the kernel governors read.
+
+#include <cstddef>
+#include <vector>
+
+namespace pmrl::soc {
+
+/// Per-cluster observation at a governor decision point.
+struct ClusterTelemetry {
+  std::size_t cluster_id = 0;
+  std::size_t opp_index = 0;
+  std::size_t opp_count = 0;
+  double freq_hz = 0.0;
+  /// Frequency of the table's highest OPP (the cluster's f_max).
+  double max_freq_hz = 0.0;
+  double voltage_v = 0.0;
+  /// Mean / max PELT utilization across the cluster's cores (0..1, relative
+  /// to the *current* frequency).
+  double util_avg = 0.0;
+  double util_max = 0.0;
+  /// Frequency-invariant utilization: util_avg * f / f_max.
+  double util_invariant = 0.0;
+  /// Instantaneous busy fraction of the last tick.
+  double busy_avg = 0.0;
+  double power_w = 0.0;
+  /// Worst-case cluster power at the current temperature (normalization
+  /// reference for energy feedback).
+  double max_power_w = 0.0;
+  double energy_j = 0.0;
+  double temp_c = 0.0;
+  std::size_t nr_running = 0;
+  /// Queued deadline jobs on this cluster already past their deadline.
+  std::size_t overdue_jobs = 0;
+  std::size_t dvfs_transitions = 0;
+};
+
+/// Whole-SoC observation.
+struct SocTelemetry {
+  double time_s = 0.0;
+  std::vector<ClusterTelemetry> clusters;
+  double uncore_power_w = 0.0;
+  double total_power_w = 0.0;
+  double total_energy_j = 0.0;
+  std::size_t runnable_tasks = 0;
+  double backlog_cycles = 0.0;
+};
+
+}  // namespace pmrl::soc

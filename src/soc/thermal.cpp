@@ -1,0 +1,45 @@
+#include "soc/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl::soc {
+
+ThermalModel::ThermalModel(std::vector<ThermalNodeParams> nodes,
+                           double ambient_c)
+    : params_(std::move(nodes)), ambient_c_(ambient_c) {
+  if (params_.empty()) throw std::invalid_argument("thermal: no nodes");
+  for (const auto& p : params_) {
+    if (p.r_th_k_per_w <= 0.0 || p.c_th_j_per_k <= 0.0) {
+      throw std::invalid_argument("thermal: R and C must be positive");
+    }
+  }
+  reset();
+}
+
+double ThermalModel::temperature_c(std::size_t node) const {
+  if (node >= temp_c_.size()) throw std::out_of_range("thermal node");
+  return temp_c_[node];
+}
+
+void ThermalModel::step(const std::vector<double>& power_w, double dt_s) {
+  if (power_w.size() != params_.size()) {
+    throw std::invalid_argument("thermal: power vector size mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& p = params_[i];
+    // Steady state for constant power: T_inf = T_amb + P * R.
+    const double t_inf = ambient_c_ + power_w[i] * p.r_th_k_per_w;
+    const double tau = p.r_th_k_per_w * p.c_th_j_per_k;
+    const double decay = std::exp(-dt_s / tau);
+    temp_c_[i] = t_inf + (temp_c_[i] - t_inf) * decay;
+  }
+}
+
+void ThermalModel::reset() {
+  temp_c_.clear();
+  temp_c_.reserve(params_.size());
+  for (const auto& p : params_) temp_c_.push_back(p.initial_temp_c);
+}
+
+}  // namespace pmrl::soc

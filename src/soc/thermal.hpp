@@ -1,0 +1,45 @@
+#pragma once
+// Lumped RC thermal model: one thermal node per cluster coupled to ambient.
+// Die temperature feeds back into the leakage model and (optionally) into a
+// thermal throttle that caps the OPP, both of which real mobile governors
+// contend with.
+
+#include <cstddef>
+#include <vector>
+
+namespace pmrl::soc {
+
+/// Thermal parameters of one node.
+struct ThermalNodeParams {
+  /// Thermal resistance to ambient (K/W).
+  double r_th_k_per_w = 4.0;
+  /// Thermal capacitance (J/K). tau = R*C.
+  double c_th_j_per_k = 1.0;
+  double initial_temp_c = 35.0;
+};
+
+/// First-order RC thermal network with independent nodes (cluster-to-cluster
+/// coupling is second-order for the power levels involved and is omitted;
+/// both clusters still heat with their own dissipation).
+class ThermalModel {
+ public:
+  ThermalModel(std::vector<ThermalNodeParams> nodes, double ambient_c = 25.0);
+
+  std::size_t node_count() const { return params_.size(); }
+  double temperature_c(std::size_t node) const;
+  double ambient_c() const { return ambient_c_; }
+
+  /// Advances node temperatures by dt seconds given per-node power (W).
+  /// Uses the exact exponential solution of the RC step, so the update is
+  /// stable for any dt.
+  void step(const std::vector<double>& power_w, double dt_s);
+
+  void reset();
+
+ private:
+  std::vector<ThermalNodeParams> params_;
+  std::vector<double> temp_c_;
+  double ambient_c_;
+};
+
+}  // namespace pmrl::soc

@@ -1,0 +1,42 @@
+#pragma once
+// Shared vocabulary types for the MPSoC simulator. The simulator is a
+// discrete-time model: time advances in fixed ticks of `dt` seconds; work is
+// measured in *reference cycles* (cycles of a big core at IPC 1.0), so a
+// core's per-tick capacity is freq_hz * dt * ipc_factor reference cycles.
+
+#include <cstdint>
+#include <string>
+
+namespace pmrl::soc {
+
+/// Simulation tick index (tick * dt = seconds since simulation start).
+using Tick = std::int64_t;
+
+/// Identifier types. Plain integers with distinct aliases; the simulator is
+/// single-threaded and ids are array indices into the owning containers.
+using CoreId = std::size_t;
+using ClusterId = std::size_t;
+using TaskId = std::size_t;
+using JobId = std::uint64_t;
+
+/// Heterogeneous core types of a big.LITTLE MPSoC.
+enum class CoreType { Little, Big };
+
+inline const char* core_type_name(CoreType t) {
+  return t == CoreType::Big ? "big" : "little";
+}
+
+/// Scheduling affinity hint carried by tasks (mobile schedulers steer
+/// foreground/render threads to big cores and background work to LITTLE).
+enum class Affinity { Any, PreferLittle, PreferBig };
+
+inline const char* affinity_name(Affinity a) {
+  switch (a) {
+    case Affinity::Any: return "any";
+    case Affinity::PreferLittle: return "little";
+    case Affinity::PreferBig: return "big";
+  }
+  return "?";
+}
+
+}  // namespace pmrl::soc

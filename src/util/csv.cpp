@@ -1,0 +1,121 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmrl {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out), header_pending_(false) {}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), header_(std::move(header)), header_pending_(true) {}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::maybe_write_header() {
+  if (!header_pending_) return;
+  header_pending_ = false;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(header_[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (!header_.empty() && fields.size() != header_.size()) {
+    throw std::invalid_argument("CSV row width does not match header");
+  }
+  maybe_write_header();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    fields.emplace_back(buf);
+  }
+  write_row(fields);
+}
+
+std::vector<std::vector<std::string>> CsvReader::parse(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  char c;
+  auto end_field = [&] {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    if (!row.empty() || field_started || !field.empty()) {
+      end_field();
+      rows.push_back(row);
+      row.clear();
+    }
+  };
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        throw std::runtime_error("CSV: quote inside unquoted field");
+      }
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+      field_started = true;  // comma implies a following field exists
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("CSV: unterminated quoted field");
+  end_row();
+  return rows;
+}
+
+std::vector<std::vector<std::string>> CsvReader::parse_string(
+    const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+}  // namespace pmrl

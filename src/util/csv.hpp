@@ -1,0 +1,49 @@
+#pragma once
+// Minimal CSV reading/writing for trace record & replay and for exporting
+// bench results. Handles quoting of fields that contain commas, quotes or
+// newlines; no external dependencies.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmrl {
+
+/// Writes rows to any std::ostream. The header (if given) is emitted on the
+/// first row write.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out);
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one row; throws std::invalid_argument if a header was set and
+  /// the row width does not match it.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.9g.
+  void write_row_values(const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Quotes a single field per RFC 4180 when needed.
+  static std::string escape(const std::string& field);
+
+ private:
+  void maybe_write_header();
+  std::ostream& out_;
+  std::vector<std::string> header_;
+  bool header_pending_;
+  std::size_t rows_ = 0;
+};
+
+/// Fully parses a CSV document from a stream or string. Small traces only —
+/// everything is held in memory.
+class CsvReader {
+ public:
+  /// Parses the whole stream; throws std::runtime_error on malformed quoting.
+  static std::vector<std::vector<std::string>> parse(std::istream& in);
+  static std::vector<std::vector<std::string>> parse_string(
+      const std::string& text);
+};
+
+}  // namespace pmrl

@@ -1,0 +1,148 @@
+#pragma once
+// Signed Q-format fixed-point arithmetic used by the hardware policy model.
+// The FPGA datapath in the paper stores Q-values and learning constants in
+// fixed point; this header gives a bit-exact software model of that
+// arithmetic (saturating, truncating-toward-negative-infinity on shifts),
+// so the software agent in src/rl and the cycle model in src/hw compute the
+// exact same numbers.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace pmrl {
+
+/// Runtime-parameterized signed fixed-point value: `total_bits` wide with
+/// `frac_bits` fractional bits, stored sign-extended in int64. Arithmetic
+/// saturates at the format bounds exactly like a saturating RTL datapath.
+///
+/// A runtime (rather than template) parameterization is deliberate: the
+/// precision ablation (bench_ablation_fixed_point) sweeps the format at
+/// runtime.
+class FixedFormat {
+ public:
+  constexpr FixedFormat(unsigned total_bits, unsigned frac_bits)
+      : total_bits_(total_bits), frac_bits_(frac_bits) {
+    if (total_bits < 2 || total_bits > 48 || frac_bits >= total_bits) {
+      throw std::invalid_argument("invalid fixed-point format");
+    }
+  }
+
+  constexpr unsigned total_bits() const { return total_bits_; }
+  constexpr unsigned frac_bits() const { return frac_bits_; }
+  constexpr unsigned int_bits() const { return total_bits_ - frac_bits_ - 1; }
+
+  /// Largest representable raw value.
+  constexpr std::int64_t raw_max() const {
+    return (std::int64_t{1} << (total_bits_ - 1)) - 1;
+  }
+  /// Smallest representable raw value.
+  constexpr std::int64_t raw_min() const {
+    return -(std::int64_t{1} << (total_bits_ - 1));
+  }
+  /// Value of one least-significant bit.
+  constexpr double lsb() const {
+    return 1.0 / static_cast<double>(std::int64_t{1} << frac_bits_);
+  }
+  constexpr double value_max() const {
+    return static_cast<double>(raw_max()) * lsb();
+  }
+  constexpr double value_min() const {
+    return static_cast<double>(raw_min()) * lsb();
+  }
+
+  /// Quantizes a double to raw representation (round-to-nearest, saturating).
+  std::int64_t from_double(double v) const;
+
+  /// Raw representation back to double.
+  constexpr double to_double(std::int64_t raw) const {
+    return static_cast<double>(raw) * lsb();
+  }
+
+  /// Saturating add of two raw values.
+  std::int64_t add(std::int64_t a, std::int64_t b) const {
+    return saturate(a + b);
+  }
+  /// Saturating subtract.
+  std::int64_t sub(std::int64_t a, std::int64_t b) const {
+    return saturate(a - b);
+  }
+  /// Fixed-point multiply: full-width product then arithmetic right shift by
+  /// frac_bits (truncation toward negative infinity, as >> does in RTL),
+  /// then saturation.
+  std::int64_t mul(std::int64_t a, std::int64_t b) const;
+
+  /// Saturates an arbitrary raw value into this format's range.
+  std::int64_t saturate(std::int64_t raw) const {
+    return std::clamp(raw, raw_min(), raw_max());
+  }
+
+  friend constexpr bool operator==(const FixedFormat& a,
+                                   const FixedFormat& b) {
+    return a.total_bits_ == b.total_bits_ && a.frac_bits_ == b.frac_bits_;
+  }
+
+ private:
+  unsigned total_bits_;
+  unsigned frac_bits_;
+};
+
+/// A fixed-point value bound to its format. Convenience wrapper over
+/// FixedFormat raw operations for readable call sites.
+class Fixed {
+ public:
+  Fixed(FixedFormat fmt, double v) : fmt_(fmt), raw_(fmt.from_double(v)) {}
+  static Fixed from_raw(FixedFormat fmt, std::int64_t raw) {
+    Fixed f(fmt, 0.0);
+    f.raw_ = fmt.saturate(raw);
+    return f;
+  }
+
+  double value() const { return fmt_.to_double(raw_); }
+  std::int64_t raw() const { return raw_; }
+  const FixedFormat& format() const { return fmt_; }
+
+  Fixed operator+(const Fixed& o) const { return with(fmt_.add(raw_, o.raw_)); }
+  Fixed operator-(const Fixed& o) const { return with(fmt_.sub(raw_, o.raw_)); }
+  Fixed operator*(const Fixed& o) const { return with(fmt_.mul(raw_, o.raw_)); }
+
+  bool operator<(const Fixed& o) const { return raw_ < o.raw_; }
+  bool operator>(const Fixed& o) const { return raw_ > o.raw_; }
+  bool operator==(const Fixed& o) const { return raw_ == o.raw_; }
+
+ private:
+  Fixed with(std::int64_t raw) const { return from_raw(fmt_, raw); }
+  FixedFormat fmt_;
+  std::int64_t raw_;
+};
+
+inline std::int64_t FixedFormat::from_double(double v) const {
+  const double scaled = v * static_cast<double>(std::int64_t{1} << frac_bits_);
+  const double bounded =
+      std::clamp(scaled, static_cast<double>(raw_min()),
+                 static_cast<double>(raw_max()));
+  // Round half away from zero, matching a typical RTL rounding stage.
+  const double rounded = bounded >= 0.0 ? bounded + 0.5 : bounded - 0.5;
+  return saturate(static_cast<std::int64_t>(rounded));
+}
+
+inline std::int64_t FixedFormat::mul(std::int64_t a, std::int64_t b) const {
+  // Formats are capped at 48 bits so the full product fits in __int128 with
+  // room to spare; on 48x48 the product needs 96 bits.
+  const __int128 product = static_cast<__int128>(a) * static_cast<__int128>(b);
+  const __int128 shifted = product >> frac_bits_;
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  std::int64_t narrowed;
+  if (shifted > static_cast<__int128>(hi)) {
+    narrowed = hi;
+  } else if (shifted < static_cast<__int128>(lo)) {
+    narrowed = lo;
+  } else {
+    narrowed = static_cast<std::int64_t>(shifted);
+  }
+  return saturate(narrowed);
+}
+
+}  // namespace pmrl

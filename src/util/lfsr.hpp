@@ -1,0 +1,45 @@
+#pragma once
+// 16-bit Fibonacci LFSR (taps 16,15,13,4 — maximal length). This is the
+// pseudo-random source a small FPGA datapath would actually use for
+// epsilon-greedy exploration; the software fixed-point agent uses the same
+// generator so hardware and software decide identically bit for bit.
+
+#include <cstdint>
+
+namespace pmrl {
+
+/// Maximal-length 16-bit LFSR. Period 65535; never emits 0 from a non-zero
+/// seed (a zero seed is remapped to 0xACE1).
+class Lfsr16 {
+ public:
+  explicit constexpr Lfsr16(std::uint16_t seed = 0xACE1u)
+      : state_(seed == 0 ? 0xACE1u : seed) {}
+
+  /// Advances one step and returns the new 16-bit state.
+  constexpr std::uint16_t next() {
+    const std::uint16_t bit = static_cast<std::uint16_t>(
+        ((state_ >> 0) ^ (state_ >> 2) ^ (state_ >> 3) ^ (state_ >> 5)) & 1u);
+    state_ = static_cast<std::uint16_t>((state_ >> 1) | (bit << 15));
+    return state_;
+  }
+
+  constexpr std::uint16_t state() const { return state_; }
+
+  /// Draws a value in [0, n) by modulo reduction (n <= 65535). The small
+  /// modulo bias is part of the hardware's behaviour and is reproduced
+  /// deliberately.
+  constexpr std::uint32_t next_mod(std::uint32_t n) {
+    return n == 0 ? 0 : next() % n;
+  }
+
+  /// True with probability threshold/65536 — the hardware comparator used
+  /// for the epsilon test.
+  constexpr bool below(std::uint32_t threshold) {
+    return next() < threshold;
+  }
+
+ private:
+  std::uint16_t state_;
+};
+
+}  // namespace pmrl

@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pmrl {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_write_mutex;
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel Log::level() { return g_level.load(); }
+
+bool Log::enabled(LogLevel level) {
+  return level >= g_level.load() && level != LogLevel::Off;
+}
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace pmrl

@@ -1,0 +1,61 @@
+#pragma once
+// Leveled logging with a process-global threshold. Simulation components log
+// sparingly (warnings for model-limit saturation, info for experiment
+// phases); benches run with the default Warn threshold so tables stay clean.
+
+#include <sstream>
+#include <string>
+
+namespace pmrl {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Returns the printable name of a level ("INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Process-global log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level);
+  /// Writes one line to stderr: "[LEVEL] component: message".
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pmrl
+
+// Streaming log macros; the expression arguments are not evaluated when the
+// level is disabled.
+#define PMRL_LOG(level, component)                    \
+  if (!::pmrl::Log::enabled(level)) {                 \
+  } else                                              \
+    ::pmrl::detail::LogLine(level, component)
+
+#define PMRL_DEBUG(component) PMRL_LOG(::pmrl::LogLevel::Debug, component)
+#define PMRL_INFO(component) PMRL_LOG(::pmrl::LogLevel::Info, component)
+#define PMRL_WARN(component) PMRL_LOG(::pmrl::LogLevel::Warn, component)
+#define PMRL_ERROR(component) PMRL_LOG(::pmrl::LogLevel::Error, component)

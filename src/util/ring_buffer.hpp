@@ -1,0 +1,54 @@
+#pragma once
+// Fixed-capacity ring buffer used for sliding telemetry windows (recent
+// utilization, recent frame latencies) where only the last N samples matter.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pmrl {
+
+/// Overwriting ring buffer: push beyond capacity drops the oldest element.
+/// Index 0 is the oldest retained element.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity 0");
+  }
+
+  void push(const T& value) {
+    data_[(head_ + size_) % data_.size()] = value;
+    if (size_ < data_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % data_.size();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return data_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == data_.size(); }
+
+  /// Oldest-first access; throws on out-of-range.
+  const T& operator[](std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer index");
+    return data_[(head_ + i) % data_.size()];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pmrl

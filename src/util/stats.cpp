@@ -1,0 +1,194 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+}
+
+void Histogram::add(double x) {
+  const double scaled = (x - lo_) / (hi_ - lo_) * static_cast<double>(bins());
+  std::size_t idx = 0;
+  if (scaled >= static_cast<double>(bins())) {
+    idx = bins() - 1;
+  } else if (scaled > 0.0) {
+    idx = static_cast<std::size_t>(scaled);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("Ewma alpha must be in (0, 1]");
+  }
+}
+
+void Ewma::add(double x) {
+  if (empty_) {
+    value_ = x;
+    empty_ = false;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  empty_ = true;
+}
+
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean_of(const std::vector<double>& xs) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      log_sum += std::log(x);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace pmrl

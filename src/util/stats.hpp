@@ -1,0 +1,112 @@
+#pragma once
+// Streaming statistics used throughout the simulator for telemetry
+// aggregation (utilization windows, power/energy accounting, latency
+// distributions in the hardware model).
+
+#include <cstddef>
+#include <vector>
+
+namespace pmrl {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples; supports exact quantiles. Used where distributions
+/// (not just moments) are reported, e.g. decision-latency percentiles.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  /// Exact quantile by linear interpolation; q clamped to [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins. Used for utilization and latency summaries in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exponential moving average with a configurable smoothing factor.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  double value() const { return value_; }
+  bool empty() const { return empty_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool empty_ = true;
+};
+
+/// Pearson correlation of two equal-length series; returns 0 when either
+/// series is constant or the series are shorter than two points.
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Arithmetic mean of a series (0 for an empty series).
+double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean of positive entries (0 if none are positive).
+double geomean_of(const std::vector<double>& xs);
+
+}  // namespace pmrl

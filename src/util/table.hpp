@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table rendering for bench output. Every reproduction bench prints
+// its paper table/figure series through this, so the rows the paper reports
+// appear in a uniform format.
+
+#include <string>
+#include <vector>
+
+namespace pmrl {
+
+/// Column-aligned ASCII table. Column widths auto-fit content; numeric
+/// convenience setters format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a fully-formatted row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double v, int decimals = 3);
+  /// Formats a percentage (value 0.37 -> "37.00%").
+  static std::string percent(double fraction, int decimals = 2);
+
+  /// Renders the table with a separator under the header.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmrl

@@ -1,0 +1,95 @@
+#include "workload/qos.hpp"
+
+#include <algorithm>
+
+namespace pmrl::workload {
+
+double job_quality(const soc::CompletedJob& job, double best_effort_credit) {
+  if (!job.job.has_deadline()) return best_effort_credit;
+  const double window = job.job.deadline_s - job.job.release_s;
+  if (window <= 0.0) {
+    return job.completion_s <= job.job.deadline_s ? 1.0 : 0.0;
+  }
+  const double tardiness = job.completion_s - job.job.deadline_s;
+  if (tardiness <= 0.0) return 1.0;
+  return std::max(0.0, 1.0 - tardiness / window);
+}
+
+QosTracker::QosTracker(double best_effort_credit)
+    : best_effort_credit_(best_effort_credit) {}
+
+void QosTracker::on_release(const soc::Job& job) {
+  ++released_;
+  if (job.has_deadline()) {
+    ++released_deadline_;
+    outstanding_.emplace(job.id, job.deadline_s);
+  }
+}
+
+void QosTracker::on_complete(const soc::CompletedJob& job) {
+  ++completed_;
+  const double quality = job_quality(job, best_effort_credit_);
+  total_quality_ += quality;
+  if (job.job.has_deadline()) {
+    ++completed_deadline_;
+    outstanding_.erase(job.job.id);
+    latencies_.add(job.latency_s());
+    const bool violated = !job.met_deadline();
+    if (violated) ++violations_;
+    if (job.cluster != static_cast<soc::ClusterId>(-1)) {
+      if (job.cluster >= cluster_quality_.size()) {
+        cluster_quality_.resize(job.cluster + 1, 0.0);
+        cluster_completed_.resize(job.cluster + 1, 0);
+        cluster_violations_.resize(job.cluster + 1, 0);
+      }
+      cluster_quality_[job.cluster] += quality;
+      ++cluster_completed_[job.cluster];
+      if (violated) ++cluster_violations_[job.cluster];
+    }
+  }
+}
+
+double QosTracker::cluster_deadline_quality(std::size_t cluster) const {
+  return cluster < cluster_quality_.size() ? cluster_quality_[cluster] : 0.0;
+}
+
+std::size_t QosTracker::cluster_deadline_completed(std::size_t cluster) const {
+  return cluster < cluster_completed_.size() ? cluster_completed_[cluster]
+                                             : 0;
+}
+
+std::size_t QosTracker::cluster_violations(std::size_t cluster) const {
+  return cluster < cluster_violations_.size() ? cluster_violations_[cluster]
+                                              : 0;
+}
+
+void QosTracker::finalize(double now_s) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second < now_s) {
+      ++violations_;
+      ++condemned_;
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double QosTracker::violation_rate() const {
+  if (released_deadline_ == 0) return 0.0;
+  return static_cast<double>(violations_) /
+         static_cast<double>(released_deadline_);
+}
+
+double QosTracker::mean_quality() const {
+  const std::size_t resolved = completed_deadline_ + condemned_;
+  if (resolved == 0) return 1.0;
+  // Quality sum excluding best-effort credits.
+  const double be_credit =
+      best_effort_credit_ *
+      static_cast<double>(completed_ - completed_deadline_);
+  return std::max(0.0, total_quality_ - be_credit) /
+         static_cast<double>(resolved);
+}
+
+}  // namespace pmrl::workload

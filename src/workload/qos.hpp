@@ -1,0 +1,83 @@
+#pragma once
+// Quality-of-service accounting. QoS follows the paper's framing: each job
+// (frame, page render, launch, audio buffer) delivers up to one unit of
+// quality, degraded linearly by tardiness relative to its deadline window.
+// "Energy per unit QoS" — the paper's headline metric — is then
+// total energy / total delivered quality.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "soc/task.hpp"
+#include "util/stats.hpp"
+
+namespace pmrl::workload {
+
+/// Per-job quality in [0, 1]: 1.0 if the deadline is met, then linearly
+/// decaying with tardiness over one deadline window, 0 beyond. Best-effort
+/// jobs (no deadline) score a fixed small credit so pure-throughput work
+/// still counts toward QoS without dominating it.
+double job_quality(const soc::CompletedJob& job,
+                   double best_effort_credit = 0.25);
+
+/// Streaming QoS bookkeeping across a simulation run.
+class QosTracker {
+ public:
+  explicit QosTracker(double best_effort_credit = 0.25);
+
+  /// Records a released job (called at submission time).
+  void on_release(const soc::Job& job);
+
+  /// Records a completion and scores it.
+  void on_complete(const soc::CompletedJob& job);
+
+  /// Marks end-of-run: jobs released with a deadline but never completed
+  /// count as zero-quality violations. `now_s` is the final sim time; only
+  /// jobs whose deadline has already passed are condemned.
+  void finalize(double now_s);
+
+  /// Sum of delivered quality units.
+  double total_quality() const { return total_quality_; }
+  /// Deadline jobs that missed (tardiness > 0), including never-completed.
+  std::size_t violations() const { return violations_; }
+  std::size_t released() const { return released_; }
+  std::size_t released_with_deadline() const { return released_deadline_; }
+  std::size_t completed() const { return completed_; }
+
+  /// Violation ratio among deadline jobs (0 when none released).
+  double violation_rate() const;
+  /// Mean quality over deadline jobs that have resolved (completed or
+  /// condemned).
+  double mean_quality() const;
+
+  /// Latency distribution of completed deadline jobs (seconds).
+  const SampleSet& latencies() const { return latencies_; }
+
+  // ---- Per-cluster attribution (deadline jobs only) ------------------------
+  // Completed jobs are credited to the cluster whose core finished them,
+  // enabling per-DVFS-domain reward feedback. Cumulative counters; callers
+  // take epoch deltas.
+  double cluster_deadline_quality(std::size_t cluster) const;
+  std::size_t cluster_deadline_completed(std::size_t cluster) const;
+  std::size_t cluster_violations(std::size_t cluster) const;
+
+ private:
+  double best_effort_credit_;
+  double total_quality_ = 0.0;
+  std::size_t released_ = 0;
+  std::size_t released_deadline_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t completed_deadline_ = 0;
+  std::size_t violations_ = 0;
+  std::size_t condemned_ = 0;
+  SampleSet latencies_;
+  /// Outstanding deadline jobs: id -> absolute deadline.
+  std::unordered_map<soc::JobId, double> outstanding_;
+  // Per-cluster cumulative attribution (index = cluster id; grown lazily).
+  std::vector<double> cluster_quality_;
+  std::vector<std::size_t> cluster_completed_;
+  std::vector<std::size_t> cluster_violations_;
+};
+
+}  // namespace pmrl::workload

@@ -1,0 +1,46 @@
+#pragma once
+// Scenario abstraction: a scenario stands in for one of the paper's mobile
+// user scenarios (video playback, web browsing, gaming, ...). It creates
+// tasks on a host and releases jobs over time. Scenarios talk to the system
+// only through the WorkloadHost interface so they can be unit-tested against
+// a mock host and replayed identically across governors.
+
+#include <memory>
+#include <string>
+
+#include "soc/task.hpp"
+#include "soc/types.hpp"
+
+namespace pmrl::workload {
+
+/// Submission surface a scenario sees. Implemented by the simulation engine
+/// (forwarding to the SoC and the QoS tracker) and by test mocks.
+class WorkloadHost {
+ public:
+  virtual ~WorkloadHost() = default;
+
+  /// Creates a schedulable task and returns its id.
+  virtual soc::TaskId create_task(std::string name, soc::Affinity affinity,
+                                  double weight) = 0;
+
+  /// Releases a job into a task queue. The host stamps release time and a
+  /// unique job id.
+  virtual void submit(soc::TaskId task, double work_cycles,
+                      double deadline_s) = 0;
+};
+
+/// A reproducible workload scenario.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates this scenario's tasks. Called once before the first tick.
+  virtual void setup(WorkloadHost& host) = 0;
+
+  /// Releases the jobs for the tick window [now_s, now_s + dt_s).
+  virtual void tick(WorkloadHost& host, double now_s, double dt_s) = 0;
+};
+
+}  // namespace pmrl::workload

@@ -1,0 +1,266 @@
+#include "workload/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace pmrl::workload {
+
+const char* scenario_kind_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::VideoPlayback: return "video";
+    case ScenarioKind::WebBrowsing: return "web";
+    case ScenarioKind::Gaming: return "game";
+    case ScenarioKind::AppLaunch: return "applaunch";
+    case ScenarioKind::AudioIdle: return "audioidle";
+    case ScenarioKind::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+std::vector<ScenarioKind> all_scenario_kinds() {
+  return {ScenarioKind::VideoPlayback, ScenarioKind::WebBrowsing,
+          ScenarioKind::Gaming,        ScenarioKind::AppLaunch,
+          ScenarioKind::AudioIdle,     ScenarioKind::Mixed};
+}
+
+std::unique_ptr<Scenario> make_scenario(ScenarioKind kind,
+                                        std::uint64_t seed) {
+  switch (kind) {
+    case ScenarioKind::VideoPlayback:
+      return std::make_unique<VideoPlaybackScenario>(seed);
+    case ScenarioKind::WebBrowsing:
+      return std::make_unique<WebBrowsingScenario>(seed);
+    case ScenarioKind::Gaming:
+      return std::make_unique<GamingScenario>(seed);
+    case ScenarioKind::AppLaunch:
+      return std::make_unique<AppLaunchScenario>(seed);
+    case ScenarioKind::AudioIdle:
+      return std::make_unique<AudioIdleScenario>(seed);
+    case ScenarioKind::Mixed:
+      return std::make_unique<MixedScenario>(seed);
+  }
+  throw std::invalid_argument("unknown scenario kind");
+}
+
+// ---- Video playback --------------------------------------------------------
+
+VideoPlaybackScenario::VideoPlaybackScenario(std::uint64_t seed)
+    : rng_(seed ^ 0x76696465ULL) {}
+
+void VideoPlaybackScenario::setup(WorkloadHost& host) {
+  const soc::TaskId decode =
+      host.create_task("video.decode", soc::Affinity::Any, 1.0);
+  const soc::TaskId audio =
+      host.create_task("video.audio", soc::Affinity::PreferLittle, 1.0);
+  // 30 fps decode: ~8 Mcycles mean per frame, 25% CV, 8% I-frame spikes.
+  WorkDistribution decode_work{8e6, 0.25, 0.08, 2.5};
+  decode_.emplace(decode, 1.0 / 30.0, decode_work, /*deadline_factor=*/1.0);
+  WorkDistribution audio_work{0.3e6, 0.10, 0.0, 1.0};
+  audio_.emplace(audio, 0.010, audio_work, /*deadline_factor=*/1.0);
+}
+
+void VideoPlaybackScenario::tick(WorkloadHost& host, double now_s,
+                                 double dt_s) {
+  decode_->tick(host, now_s, dt_s, rng_);
+  audio_->tick(host, now_s, dt_s, rng_);
+}
+
+// ---- Web browsing ----------------------------------------------------------
+
+WebBrowsingScenario::WebBrowsingScenario(std::uint64_t seed)
+    : rng_(seed ^ 0x77656221ULL) {}
+
+void WebBrowsingScenario::setup(WorkloadHost& host) {
+  std::vector<soc::TaskId> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.push_back(host.create_task("web.worker" + std::to_string(i),
+                                       soc::Affinity::Any, 1.0));
+  }
+  const soc::TaskId render =
+      host.create_task("web.render", soc::Affinity::PreferBig, 2.0);
+
+  // Page load: 24 jobs x ~10 Mcycles = ~240 Mcycles total, 1.2 s budget.
+  WorkDistribution load_work{10e6, 0.4, 0.05, 2.0};
+  page_load_.emplace(workers, load_work, 24, 1.2);
+
+  // Scrolling: light 60 fps frames.
+  WorkDistribution scroll_work{4e6, 0.2, 0.0, 1.0};
+  scroll_frames_.emplace(render, 1.0 / 60.0, scroll_work, 1.0);
+  scroll_frames_->set_active(false);
+
+  phases_.emplace(
+      std::vector<PhaseMachine::Phase>{{"idle", 2.5},
+                                       {"load", 0.8},
+                                       {"scroll", 3.0}},
+      // idle -> load; load -> scroll; scroll -> idle or another load.
+      std::vector<std::vector<double>>{{0.0, 1.0, 0.0},
+                                       {0.0, 0.0, 1.0},
+                                       {0.55, 0.45, 0.0}},
+      rng_.split(), kIdle);
+}
+
+void WebBrowsingScenario::tick(WorkloadHost& host, double now_s,
+                               double dt_s) {
+  phases_->tick(now_s, dt_s);
+  const std::size_t phase = phases_->phase();
+  if (phase != last_phase_) {
+    if (phase == kLoad) page_load_->fire(host, now_s, rng_);
+    scroll_frames_->set_active(phase == kScroll);
+    last_phase_ = phase;
+  }
+  scroll_frames_->tick(host, now_s, dt_s, rng_);
+}
+
+// ---- Gaming ----------------------------------------------------------------
+
+GamingScenario::GamingScenario(std::uint64_t seed)
+    : rng_(seed ^ 0x67616d65ULL) {}
+
+void GamingScenario::setup(WorkloadHost& host) {
+  const soc::TaskId render =
+      host.create_task("game.render", soc::Affinity::PreferBig, 2.0);
+  const soc::TaskId physics =
+      host.create_task("game.physics", soc::Affinity::PreferBig, 1.0);
+  const soc::TaskId audio =
+      host.create_task("game.audio", soc::Affinity::PreferLittle, 1.0);
+
+  WorkDistribution render_light{6e6, 0.2, 0.0, 1.0};
+  render_.emplace(render, 1.0 / 60.0, render_light, 1.0);
+  WorkDistribution physics_work{2e6, 0.15, 0.0, 1.0};
+  physics_.emplace(physics, 1.0 / 120.0, physics_work, 1.0);
+  WorkDistribution audio_work{0.3e6, 0.10, 0.0, 1.0};
+  audio_.emplace(audio, 0.010, audio_work, 1.0);
+
+  scenes_.emplace(
+      std::vector<PhaseMachine::Phase>{{"light", 4.0},
+                                       {"medium", 5.0},
+                                       {"heavy", 4.0}},
+      std::vector<std::vector<double>>{{0.0, 0.8, 0.2},
+                                       {0.35, 0.0, 0.65},
+                                       {0.2, 0.8, 0.0}},
+      rng_.split(), 0);
+}
+
+void GamingScenario::tick(WorkloadHost& host, double now_s, double dt_s) {
+  scenes_->tick(now_s, dt_s);
+  if (scenes_->phase() != applied_scene_) {
+    applied_scene_ = scenes_->phase();
+    // Scene intensity changes the per-frame render cost.
+    static constexpr double kMeans[] = {6e6, 12e6, 20e6};
+    render_->set_work(WorkDistribution{kMeans[applied_scene_], 0.2, 0.03, 1.6});
+  }
+  render_->tick(host, now_s, dt_s, rng_);
+  physics_->tick(host, now_s, dt_s, rng_);
+  audio_->tick(host, now_s, dt_s, rng_);
+}
+
+// ---- App launch ------------------------------------------------------------
+
+AppLaunchScenario::AppLaunchScenario(std::uint64_t seed)
+    : rng_(seed ^ 0x6c61756eULL) {}
+
+void AppLaunchScenario::setup(WorkloadHost& host) {
+  std::vector<soc::TaskId> loaders;
+  for (int i = 0; i < 4; ++i) {
+    loaders.push_back(host.create_task("launch.loader" + std::to_string(i),
+                                       soc::Affinity::PreferBig, 1.5));
+  }
+  const soc::TaskId ui =
+      host.create_task("launch.ui", soc::Affinity::PreferBig, 2.0);
+
+  // Cold launch: 16 jobs x ~25 Mcycles = ~400 Mcycles, 2 s budget.
+  WorkDistribution launch_work{25e6, 0.35, 0.05, 1.8};
+  launch_burst_.emplace(loaders, launch_work, 16, 2.0);
+
+  WorkDistribution settle_work{3e6, 0.2, 0.0, 1.0};
+  settle_frames_.emplace(ui, 1.0 / 60.0, settle_work, 1.0);
+  settle_frames_->set_active(false);
+}
+
+void AppLaunchScenario::tick(WorkloadHost& host, double now_s, double dt_s) {
+  const double window_end = now_s + dt_s;
+  if (next_launch_s_ < window_end) {
+    launch_burst_->fire(host, next_launch_s_ >= now_s ? next_launch_s_ : now_s,
+                        rng_);
+    settle_until_s_ = next_launch_s_ + 2.0 + 1.5;  // burst budget + animation
+    settle_frames_->set_active(true);
+    next_launch_s_ += rng_.uniform(5.0, 8.0);
+  }
+  if (settle_until_s_ >= 0.0 && now_s > settle_until_s_) {
+    settle_frames_->set_active(false);
+    settle_until_s_ = -1.0;
+  }
+  settle_frames_->tick(host, now_s, dt_s, rng_);
+}
+
+// ---- Audio + idle ----------------------------------------------------------
+
+AudioIdleScenario::AudioIdleScenario(std::uint64_t seed)
+    : rng_(seed ^ 0x6175696fULL) {}
+
+void AudioIdleScenario::setup(WorkloadHost& host) {
+  const soc::TaskId audio =
+      host.create_task("idle.audio", soc::Affinity::PreferLittle, 1.0);
+  sync_task_ = host.create_task("idle.sync", soc::Affinity::PreferLittle, 0.5);
+  WorkDistribution audio_work{0.3e6, 0.10, 0.0, 1.0};
+  audio_.emplace(audio, 0.010, audio_work, 1.0);
+  next_sync_s_ = rng_.uniform(2.0, 10.0);
+}
+
+void AudioIdleScenario::tick(WorkloadHost& host, double now_s, double dt_s) {
+  audio_->tick(host, now_s, dt_s, rng_);
+  const double window_end = now_s + dt_s;
+  while (next_sync_s_ < window_end) {
+    // Best-effort background sync (no deadline).
+    host.submit(sync_task_, rng_.uniform(10e6, 30e6), -1.0);
+    next_sync_s_ += rng_.exponential(1.0 / 8.0);
+  }
+}
+
+// ---- Mixed -----------------------------------------------------------------
+
+namespace {
+/// Host wrapper that forwards task creation but drops job submissions —
+/// used to keep inactive children's release clocks advancing.
+class DroppingHost : public WorkloadHost {
+ public:
+  explicit DroppingHost(WorkloadHost& inner) : inner_(inner) {}
+  soc::TaskId create_task(std::string name, soc::Affinity affinity,
+                          double weight) override {
+    return inner_.create_task(std::move(name), affinity, weight);
+  }
+  void submit(soc::TaskId, double, double) override {}
+
+ private:
+  WorkloadHost& inner_;
+};
+}  // namespace
+
+MixedScenario::MixedScenario(std::uint64_t seed) : rng_(seed ^ 0x6d697865ULL) {
+  children_.push_back(std::make_unique<VideoPlaybackScenario>(seed + 1));
+  children_.push_back(std::make_unique<GamingScenario>(seed + 2));
+  children_.push_back(std::make_unique<WebBrowsingScenario>(seed + 3));
+  children_.push_back(std::make_unique<AudioIdleScenario>(seed + 4));
+  children_.push_back(std::make_unique<AppLaunchScenario>(seed + 5));
+}
+
+void MixedScenario::setup(WorkloadHost& host) {
+  for (auto& child : children_) child->setup(host);
+  next_switch_s_ = rng_.uniform(6.0, 12.0);
+}
+
+void MixedScenario::tick(WorkloadHost& host, double now_s, double dt_s) {
+  if (now_s >= next_switch_s_) {
+    active_ = (active_ + 1) % children_.size();
+    next_switch_s_ = now_s + rng_.uniform(6.0, 12.0);
+  }
+  DroppingHost dropper(host);
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i == active_) {
+      children_[i]->tick(host, now_s, dt_s);
+    } else {
+      children_[i]->tick(dropper, now_s, dt_s);
+    }
+  }
+}
+
+}  // namespace pmrl::workload

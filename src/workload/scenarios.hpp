@@ -1,0 +1,147 @@
+#pragma once
+// The concrete mobile user scenarios of the evaluation. Each stands in for
+// one of the "diverse scenarios" the paper runs on the device: media
+// playback, browsing, gaming, app launches, near-idle audio, and a mixed
+// scenario that chains the others (the paper's point being that the policy
+// must adapt across all of them without per-scenario tuning).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/sources.hpp"
+
+namespace pmrl::workload {
+
+/// Scenario identifiers used by benches and the factory.
+enum class ScenarioKind {
+  VideoPlayback,
+  WebBrowsing,
+  Gaming,
+  AppLaunch,
+  AudioIdle,
+  Mixed,
+};
+
+const char* scenario_kind_name(ScenarioKind kind);
+
+/// All six evaluation scenarios, in reporting order.
+std::vector<ScenarioKind> all_scenario_kinds();
+
+/// Builds a scenario with its own RNG stream derived from `seed`; the same
+/// (kind, seed) pair releases an identical job sequence, so every governor
+/// is evaluated on the same workload.
+std::unique_ptr<Scenario> make_scenario(ScenarioKind kind,
+                                        std::uint64_t seed);
+
+/// 30 fps video decode plus a 100 Hz audio pipeline. Decode work is
+/// lognormal with I-frame spikes; fits on the LITTLE cluster at mid
+/// frequency, so race-to-idle policies waste energy here.
+class VideoPlaybackScenario : public Scenario {
+ public:
+  explicit VideoPlaybackScenario(std::uint64_t seed);
+  std::string name() const override { return "video"; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+ private:
+  Rng rng_;
+  std::optional<PeriodicSource> decode_;
+  std::optional<PeriodicSource> audio_;
+};
+
+/// Bursty browsing: idle / page-load / scroll phases. Page loads fire a
+/// parallel burst with a ~1.2 s render deadline; scrolling renders 60 fps
+/// light frames; idle releases nothing.
+class WebBrowsingScenario : public Scenario {
+ public:
+  explicit WebBrowsingScenario(std::uint64_t seed);
+  std::string name() const override { return "web"; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+ private:
+  enum Phase : std::size_t { kIdle = 0, kLoad = 1, kScroll = 2 };
+  Rng rng_;
+  std::optional<PhaseMachine> phases_;
+  std::optional<BurstSource> page_load_;
+  std::optional<PeriodicSource> scroll_frames_;
+  std::size_t last_phase_ = kIdle;
+};
+
+/// Sustained 60 fps game rendering with light/medium/heavy scene phases,
+/// plus 120 Hz physics and audio. The heaviest scenario: needs the big
+/// cluster near its top OPP during heavy scenes.
+class GamingScenario : public Scenario {
+ public:
+  explicit GamingScenario(std::uint64_t seed);
+  std::string name() const override { return "game"; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+ private:
+  Rng rng_;
+  std::optional<PhaseMachine> scenes_;
+  std::optional<PeriodicSource> render_;
+  std::optional<PeriodicSource> physics_;
+  std::optional<PeriodicSource> audio_;
+  std::size_t applied_scene_ = static_cast<std::size_t>(-1);
+};
+
+/// Repeated cold app launches: a large parallel burst with a 2 s deadline,
+/// a short 60 fps settle animation, then idle until the next launch.
+class AppLaunchScenario : public Scenario {
+ public:
+  explicit AppLaunchScenario(std::uint64_t seed);
+  std::string name() const override { return "applaunch"; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+ private:
+  Rng rng_;
+  std::optional<BurstSource> launch_burst_;
+  std::optional<PeriodicSource> settle_frames_;
+  double next_launch_s_ = 0.5;
+  double settle_until_s_ = -1.0;
+};
+
+/// Near-idle: 100 Hz audio with tight deadlines plus rare best-effort
+/// background syncs. Exposes policies that cannot scale all the way down.
+class AudioIdleScenario : public Scenario {
+ public:
+  explicit AudioIdleScenario(std::uint64_t seed);
+  std::string name() const override { return "audioidle"; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+ private:
+  Rng rng_;
+  std::optional<PeriodicSource> audio_;
+  soc::TaskId sync_task_ = 0;
+  double next_sync_s_ = 0.0;
+};
+
+/// Chains child scenarios, switching every 6-12 s. Inactive children keep
+/// ticking against a job-dropping host so their timers stay current (the
+/// app is "paused", not rewound).
+class MixedScenario : public Scenario {
+ public:
+  explicit MixedScenario(std::uint64_t seed);
+  std::string name() const override { return "mixed"; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+  /// Index into the child list of the currently active scenario.
+  std::size_t active_child() const { return active_; }
+  std::size_t child_count() const { return children_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<std::unique_ptr<Scenario>> children_;
+  std::size_t active_ = 0;
+  double next_switch_s_ = 0.0;
+};
+
+}  // namespace pmrl::workload

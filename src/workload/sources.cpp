@@ -1,0 +1,103 @@
+#include "workload/sources.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pmrl::workload {
+
+double WorkDistribution::sample(Rng& rng) const {
+  if (mean_cycles <= 0.0) {
+    throw std::invalid_argument("work mean must be positive");
+  }
+  // Lognormal parameterized so that E[X] = mean_cycles and CV = cv.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean_cycles) - 0.5 * sigma2;
+  double work = rng.lognormal(mu, std::sqrt(sigma2));
+  if (spike_probability > 0.0 && rng.bernoulli(spike_probability)) {
+    work *= spike_factor;
+  }
+  return std::max(work, 1.0);
+}
+
+PeriodicSource::PeriodicSource(soc::TaskId task, double period_s,
+                               WorkDistribution work, double deadline_factor,
+                               double phase_s)
+    : task_(task),
+      period_s_(period_s),
+      work_(work),
+      deadline_factor_(deadline_factor),
+      phase_s_(phase_s) {
+  if (period_s <= 0.0) throw std::invalid_argument("period must be positive");
+}
+
+void PeriodicSource::tick(WorkloadHost& host, double now_s, double dt_s,
+                          Rng& rng) {
+  const double window_end = now_s + dt_s;
+  while (release_time(release_index_) < window_end) {
+    if (active_) {
+      const double deadline =
+          release_time(release_index_) + period_s_ * deadline_factor_;
+      host.submit(task_, work_.sample(rng), deadline);
+    }
+    ++release_index_;
+  }
+}
+
+BurstSource::BurstSource(std::vector<soc::TaskId> tasks, WorkDistribution work,
+                         std::size_t job_count, double deadline_s)
+    : tasks_(std::move(tasks)),
+      work_(work),
+      job_count_(job_count),
+      deadline_s_(deadline_s) {
+  if (tasks_.empty()) throw std::invalid_argument("burst needs tasks");
+  if (job_count_ == 0) throw std::invalid_argument("burst needs jobs");
+}
+
+void BurstSource::fire(WorkloadHost& host, double now_s, Rng& rng) {
+  for (std::size_t i = 0; i < job_count_; ++i) {
+    host.submit(tasks_[i % tasks_.size()], work_.sample(rng),
+                now_s + deadline_s_);
+  }
+}
+
+PhaseMachine::PhaseMachine(std::vector<Phase> phases,
+                           std::vector<std::vector<double>> transition,
+                           Rng rng, std::size_t initial_phase)
+    : phases_(std::move(phases)),
+      transition_(std::move(transition)),
+      rng_(rng),
+      current_(initial_phase) {
+  if (phases_.empty()) throw std::invalid_argument("phase machine empty");
+  if (transition_.size() != phases_.size()) {
+    throw std::invalid_argument("transition matrix row count mismatch");
+  }
+  for (const auto& row : transition_) {
+    if (row.size() != phases_.size()) {
+      throw std::invalid_argument("transition matrix column count mismatch");
+    }
+  }
+  if (current_ >= phases_.size()) {
+    throw std::invalid_argument("initial phase out of range");
+  }
+}
+
+void PhaseMachine::schedule_next(double now_s) {
+  const double dwell =
+      rng_.exponential(1.0 / phases_[current_].mean_dwell_s);
+  next_change_s_ = now_s + dwell;
+  scheduled_ = true;
+}
+
+bool PhaseMachine::tick(double now_s, double dt_s) {
+  if (!scheduled_) schedule_next(now_s);
+  bool changed = false;
+  const double window_end = now_s + dt_s;
+  while (next_change_s_ < window_end) {
+    current_ = rng_.weighted_choice(transition_[current_]);
+    changed = true;
+    schedule_next(next_change_s_);
+  }
+  return changed;
+}
+
+}  // namespace pmrl::workload

@@ -1,0 +1,119 @@
+#pragma once
+// Reusable job-release machinery the concrete scenarios are assembled from:
+// periodic frame sources (display/audio pipelines), burst sources
+// (page loads, app launches), and a Markov phase machine (scene changes in
+// games, browse/idle alternation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace pmrl::workload {
+
+/// Per-job work distribution: lognormal around a mean with an optional
+/// heavy-spike mixture (e.g. video I-frames).
+struct WorkDistribution {
+  double mean_cycles = 1e6;
+  /// Coefficient of variation of the lognormal body.
+  double cv = 0.2;
+  /// Probability that a job is a spike.
+  double spike_probability = 0.0;
+  /// Spike multiplier applied to mean_cycles.
+  double spike_factor = 2.5;
+
+  double sample(Rng& rng) const;
+};
+
+/// Releases one job every `period_s` with `deadline = release + period *
+/// deadline_factor`. Models a display/audio frame pipeline.
+class PeriodicSource {
+ public:
+  PeriodicSource(soc::TaskId task, double period_s, WorkDistribution work,
+                 double deadline_factor = 1.0, double phase_s = 0.0);
+
+  /// Releases all jobs due in [now, now+dt).
+  void tick(WorkloadHost& host, double now_s, double dt_s, Rng& rng);
+
+  /// Enables/disables releases (used by phase machines).
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+  double period_s() const { return period_s_; }
+  soc::TaskId task() const { return task_; }
+  /// Overrides the per-job work distribution (phase-dependent intensity).
+  void set_work(WorkDistribution work) { work_ = work; }
+
+ private:
+  /// Scheduled time of release `index` (computed multiplicatively so that
+  /// thousands of periods accumulate no floating-point drift).
+  double release_time(std::uint64_t index) const {
+    return phase_s_ + period_s_ * static_cast<double>(index);
+  }
+
+  soc::TaskId task_;
+  double period_s_;
+  WorkDistribution work_;
+  double deadline_factor_;
+  double phase_s_;
+  std::uint64_t release_index_ = 0;
+  bool active_ = true;
+};
+
+/// Releases bursts of work: at each trigger, `job_count` jobs (spread across
+/// the given tasks round-robin) with a common absolute deadline
+/// `now + deadline_s`. Triggers are external (call `fire`).
+class BurstSource {
+ public:
+  BurstSource(std::vector<soc::TaskId> tasks, WorkDistribution work,
+              std::size_t job_count, double deadline_s);
+
+  /// Releases one burst now.
+  void fire(WorkloadHost& host, double now_s, Rng& rng);
+
+  std::size_t job_count() const { return job_count_; }
+  double deadline_s() const { return deadline_s_; }
+
+ private:
+  std::vector<soc::TaskId> tasks_;
+  WorkDistribution work_;
+  std::size_t job_count_;
+  double deadline_s_;
+};
+
+/// Discrete-time Markov phase machine with mean dwell times per phase.
+/// Phase transitions are sampled when the dwell expires; the row of the
+/// transition matrix gives the next-phase distribution.
+class PhaseMachine {
+ public:
+  struct Phase {
+    std::string name;
+    double mean_dwell_s = 1.0;
+  };
+
+  /// `transition[i][j]` = probability of moving to phase j when leaving
+  /// phase i (rows need not be normalized; they are treated as weights).
+  PhaseMachine(std::vector<Phase> phases,
+               std::vector<std::vector<double>> transition, Rng rng,
+               std::size_t initial_phase = 0);
+
+  /// Advances time; returns true if the phase changed during this window.
+  bool tick(double now_s, double dt_s);
+
+  std::size_t phase() const { return current_; }
+  const std::string& phase_name() const { return phases_[current_].name; }
+  std::size_t phase_count() const { return phases_.size(); }
+
+ private:
+  void schedule_next(double now_s);
+  std::vector<Phase> phases_;
+  std::vector<std::vector<double>> transition_;
+  Rng rng_;
+  std::size_t current_;
+  double next_change_s_ = 0.0;
+  bool scheduled_ = false;
+};
+
+}  // namespace pmrl::workload

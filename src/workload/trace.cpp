@@ -1,0 +1,122 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace pmrl::workload {
+
+namespace {
+soc::Affinity affinity_from_name(const std::string& s) {
+  if (s == "any") return soc::Affinity::Any;
+  if (s == "little") return soc::Affinity::PreferLittle;
+  if (s == "big") return soc::Affinity::PreferBig;
+  throw std::runtime_error("trace: unknown affinity '" + s + "'");
+}
+}  // namespace
+
+void Trace::save(std::ostream& out) const {
+  CsvWriter writer(out);
+  for (const auto& task : tasks) {
+    writer.write_row({"task", task.name, soc::affinity_name(task.affinity),
+                      std::to_string(task.weight)});
+  }
+  // %.17g round-trips doubles exactly, keeping replay bit-identical.
+  char buf[64];
+  for (const auto& job : jobs) {
+    std::vector<std::string> row{"job"};
+    std::snprintf(buf, sizeof buf, "%.17g", job.time_s);
+    row.emplace_back(buf);
+    row.push_back(std::to_string(job.task_index));
+    std::snprintf(buf, sizeof buf, "%.17g", job.work_cycles);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.17g", job.deadline_s);
+    row.emplace_back(buf);
+    writer.write_row(row);
+  }
+}
+
+Trace Trace::load(std::istream& in) {
+  Trace trace;
+  const auto rows = CsvReader::parse(in);
+  for (const auto& row : rows) {
+    if (row.empty()) continue;
+    if (row[0] == "task") {
+      if (row.size() != 4) throw std::runtime_error("trace: bad task row");
+      trace.tasks.push_back(
+          {row[1], affinity_from_name(row[2]), std::stod(row[3])});
+    } else if (row[0] == "job") {
+      if (row.size() != 5) throw std::runtime_error("trace: bad job row");
+      TraceJob job;
+      job.time_s = std::stod(row[1]);
+      job.task_index = static_cast<std::size_t>(std::stoul(row[2]));
+      job.work_cycles = std::stod(row[3]);
+      job.deadline_s = std::stod(row[4]);
+      if (job.task_index >= trace.tasks.size()) {
+        throw std::runtime_error("trace: job references unknown task");
+      }
+      trace.jobs.push_back(job);
+    } else {
+      throw std::runtime_error("trace: unknown row tag '" + row[0] + "'");
+    }
+  }
+  std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return trace;
+}
+
+soc::TaskId TraceRecorder::create_task(std::string name,
+                                       soc::Affinity affinity, double weight) {
+  const soc::TaskId inner_id = inner_->create_task(name, affinity, weight);
+  trace_.tasks.push_back({std::move(name), affinity, weight});
+  inner_ids_.push_back(inner_id);
+  return inner_id;
+}
+
+void TraceRecorder::submit(soc::TaskId task, double work_cycles,
+                           double deadline_s) {
+  inner_->submit(task, work_cycles, deadline_s);
+  const auto it = std::find(inner_ids_.begin(), inner_ids_.end(), task);
+  if (it == inner_ids_.end()) {
+    throw std::runtime_error("trace: submission to task not created here");
+  }
+  trace_.jobs.push_back(
+      {now_s_, static_cast<std::size_t>(it - inner_ids_.begin()), work_cycles,
+       deadline_s});
+}
+
+TraceScenario::TraceScenario(Trace trace, std::string name)
+    : trace_(std::move(trace)), name_(std::move(name)) {
+  std::stable_sort(trace_.jobs.begin(), trace_.jobs.end(),
+                   [](const TraceJob& a, const TraceJob& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+void TraceScenario::setup(WorkloadHost& host) {
+  host_ids_.clear();
+  host_ids_.reserve(trace_.tasks.size());
+  for (const auto& task : trace_.tasks) {
+    host_ids_.push_back(host.create_task(task.name, task.affinity,
+                                         task.weight));
+  }
+  cursor_ = 0;
+}
+
+void TraceScenario::tick(WorkloadHost& host, double now_s, double dt_s) {
+  const double window_end = now_s + dt_s;
+  while (cursor_ < trace_.jobs.size() &&
+         trace_.jobs[cursor_].time_s < window_end) {
+    const TraceJob& job = trace_.jobs[cursor_];
+    host.submit(host_ids_.at(job.task_index), job.work_cycles,
+                job.deadline_s);
+    ++cursor_;
+  }
+}
+
+}  // namespace pmrl::workload

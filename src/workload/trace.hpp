@@ -1,0 +1,86 @@
+#pragma once
+// Workload trace record & replay. A recorded trace captures the exact job
+// stream a scenario produced (task definitions + timed submissions) so a run
+// can be replayed bit-identically — across governors, across machines, or
+// from a trace file captured elsewhere.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace pmrl::workload {
+
+/// One recorded task definition.
+struct TraceTask {
+  std::string name;
+  soc::Affinity affinity = soc::Affinity::Any;
+  double weight = 1.0;
+};
+
+/// One recorded job submission (deadline is absolute; < 0 = best effort).
+struct TraceJob {
+  double time_s = 0.0;
+  std::size_t task_index = 0;
+  double work_cycles = 0.0;
+  double deadline_s = -1.0;
+};
+
+/// In-memory trace.
+struct Trace {
+  std::vector<TraceTask> tasks;
+  std::vector<TraceJob> jobs;  // sorted by time_s
+
+  /// Serializes to CSV ("task"/"job" tagged rows).
+  void save(std::ostream& out) const;
+  /// Parses a CSV produced by save(); throws std::runtime_error on format
+  /// errors.
+  static Trace load(std::istream& in);
+};
+
+/// WorkloadHost decorator that records everything passing through it while
+/// forwarding to the real host. The driver must call set_now() each tick so
+/// submissions are timestamped.
+class TraceRecorder : public WorkloadHost {
+ public:
+  explicit TraceRecorder(WorkloadHost& inner) : inner_(&inner) {}
+
+  void set_now(double now_s) { now_s_ = now_s; }
+
+  soc::TaskId create_task(std::string name, soc::Affinity affinity,
+                          double weight) override;
+  void submit(soc::TaskId task, double work_cycles,
+              double deadline_s) override;
+
+  const Trace& trace() const { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+
+ private:
+  WorkloadHost* inner_;
+  Trace trace_;
+  double now_s_ = 0.0;
+  /// Maps inner task ids to trace task indices.
+  std::vector<soc::TaskId> inner_ids_;
+};
+
+/// Scenario that replays a recorded trace.
+class TraceScenario : public Scenario {
+ public:
+  explicit TraceScenario(Trace trace, std::string name = "trace");
+
+  std::string name() const override { return name_; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+  /// Jobs replayed so far.
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  Trace trace_;
+  std::string name_;
+  std::vector<soc::TaskId> host_ids_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace pmrl::workload

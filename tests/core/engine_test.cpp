@@ -1,0 +1,172 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "governors/registry.hpp"
+#include "governors/static_governors.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::core {
+namespace {
+
+EngineConfig short_run(double duration = 2.0) {
+  EngineConfig config;
+  config.duration_s = duration;
+  return config;
+}
+
+TEST(EngineTest, RejectsBadTiming) {
+  EXPECT_THROW(SimEngine(soc::tiny_test_soc_config(),
+                         EngineConfig{0.0, 0.02, 1.0, 0.25}),
+               std::invalid_argument);
+  EXPECT_THROW(SimEngine(soc::tiny_test_soc_config(),
+                         EngineConfig{0.01, 0.001, 1.0, 0.25}),
+               std::invalid_argument);
+  EXPECT_THROW(SimEngine(soc::tiny_test_soc_config(),
+                         EngineConfig{0.001, 0.02, 0.0, 0.25}),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, RunProducesConsistentResult) {
+  SimEngine engine(soc::default_mobile_soc_config(), short_run());
+  auto scenario = workload::make_scenario(
+      workload::ScenarioKind::VideoPlayback, 1);
+  governors::PerformanceGovernor governor;
+  const RunResult result = engine.run(*scenario, governor);
+  EXPECT_EQ(result.scenario, "video");
+  EXPECT_EQ(result.governor, "performance");
+  EXPECT_NEAR(result.duration_s, 2.0, 1e-9);
+  EXPECT_GT(result.energy_j, 0.0);
+  EXPECT_GT(result.quality, 0.0);
+  EXPECT_GT(result.energy_per_qos, 0.0);
+  EXPECT_NEAR(result.avg_power_w, result.energy_j / result.duration_s,
+              1e-9);
+  EXPECT_GT(result.released, 0u);
+  EXPECT_GE(result.released, result.completed);
+  ASSERT_EQ(result.mean_freq_hz.size(), 2u);
+  // Performance governor pins both clusters at max for the whole run.
+  EXPECT_NEAR(result.mean_freq_hz[0], 1.4e9, 1e6);
+  EXPECT_NEAR(result.mean_freq_hz[1], 2.0e9, 1e6);
+}
+
+TEST(EngineTest, PerformanceVsPowersaveShape) {
+  SimEngine engine(soc::default_mobile_soc_config(), short_run(5.0));
+  governors::PerformanceGovernor performance;
+  governors::PowersaveGovernor powersave;
+  auto s1 = workload::make_scenario(workload::ScenarioKind::Gaming, 3);
+  auto s2 = workload::make_scenario(workload::ScenarioKind::Gaming, 3);
+  const RunResult fast = engine.run(*s1, performance);
+  const RunResult slow = engine.run(*s2, powersave);
+  EXPECT_GT(fast.energy_j, slow.energy_j);
+  EXPECT_LT(fast.violation_rate, slow.violation_rate);
+  EXPECT_GT(slow.violation_rate, 0.2);  // gaming drowns at min frequency
+}
+
+TEST(EngineTest, IdenticalRunsAreDeterministic) {
+  SimEngine engine(soc::default_mobile_soc_config(), short_run());
+  auto run_once = [&] {
+    auto scenario = workload::make_scenario(
+        workload::ScenarioKind::Mixed, 17);
+    auto governor = governors::make_governor("ondemand");
+    return engine.run(*scenario, *governor);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+}
+
+TEST(EngineTest, EpochCallbackCadence) {
+  EngineConfig config;
+  config.duration_s = 1.0;
+  config.decision_period_s = 0.05;
+  SimEngine engine(soc::default_mobile_soc_config(), config);
+  auto scenario = workload::make_scenario(
+      workload::ScenarioKind::AudioIdle, 1);
+  governors::PerformanceGovernor governor;
+  std::size_t epochs = 0;
+  double last_time = 0.0;
+  engine.run(*scenario, governor, [&](const EpochRecord& record) {
+    ++epochs;
+    EXPECT_GT(record.time_s, last_time);
+    last_time = record.time_s;
+    EXPECT_EQ(record.opp_index.size(), 2u);
+    EXPECT_EQ(record.util_avg.size(), 2u);
+    EXPECT_GE(record.epoch_energy_j, 0.0);
+  });
+  EXPECT_EQ(epochs, 20u);
+}
+
+TEST(EngineTest, EpochEnergySumsToTotal) {
+  EngineConfig config;
+  config.duration_s = 1.0;
+  SimEngine engine(soc::default_mobile_soc_config(), config);
+  auto scenario = workload::make_scenario(
+      workload::ScenarioKind::VideoPlayback, 2);
+  governors::PerformanceGovernor governor;
+  double epoch_sum = 0.0;
+  const RunResult result = engine.run(
+      *scenario, governor,
+      [&](const EpochRecord& record) { epoch_sum += record.epoch_energy_j; });
+  EXPECT_NEAR(epoch_sum, result.energy_j, result.energy_j * 1e-9);
+}
+
+TEST(EngineTest, GovernorReceivesRewardFeedbackFields) {
+  // A governor that asserts on its observations.
+  class ProbeGovernor : public governors::Governor {
+   public:
+    std::string name() const override { return "probe"; }
+    void reset(const governors::PolicyObservation& initial) override {
+      EXPECT_EQ(initial.soc.clusters.size(), 2u);
+      EXPECT_EQ(initial.cluster_feedback.size(), 2u);
+    }
+    void decide(const governors::PolicyObservation& obs,
+                governors::OppRequest& request) override {
+      ++decisions;
+      EXPECT_EQ(obs.cluster_feedback.size(), 2u);
+      if (decisions > 1) {
+        EXPECT_GT(obs.epoch_duration_s, 0.0);
+        EXPECT_GT(obs.epoch_energy_j, 0.0);  // leakage alone is > 0
+        // Per-cluster energies sum below the total (uncore remainder).
+        const double cluster_sum =
+            obs.cluster_feedback[0].epoch_energy_j +
+            obs.cluster_feedback[1].epoch_energy_j;
+        EXPECT_LT(cluster_sum, obs.epoch_energy_j + 1e-12);
+      }
+      for (std::size_t c = 0; c < request.size(); ++c) {
+        request[c] = obs.soc.clusters[c].opp_count - 1;
+      }
+    }
+    int decisions = 0;
+  };
+  SimEngine engine(soc::default_mobile_soc_config(), short_run(1.0));
+  auto scenario = workload::make_scenario(
+      workload::ScenarioKind::VideoPlayback, 1);
+  ProbeGovernor probe;
+  engine.run(*scenario, probe);
+  EXPECT_GT(probe.decisions, 10);
+}
+
+TEST(EngineTest, EnergyPerQosInfiniteWithoutQuality) {
+  // An empty scenario delivers no QoS: the metric must not divide by zero.
+  class EmptyScenario : public workload::Scenario {
+   public:
+    std::string name() const override { return "empty"; }
+    void setup(workload::WorkloadHost&) override {}
+    void tick(workload::WorkloadHost&, double, double) override {}
+  };
+  SimEngine engine(soc::tiny_test_soc_config(),
+                   EngineConfig{0.001, 0.02, 0.5, 0.25});
+  EmptyScenario scenario;
+  governors::PowersaveGovernor governor;
+  const RunResult result = engine.run(scenario, governor);
+  EXPECT_TRUE(std::isinf(result.energy_per_qos));
+  EXPECT_EQ(result.released, 0u);
+}
+
+}  // namespace
+}  // namespace pmrl::core

@@ -1,0 +1,80 @@
+#include "governors/conservative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+TEST(ConservativeTest, StepsUpAboveThreshold) {
+  ConservativeGovernor governor;
+  const auto obs = test::single_cluster(0.9, 5);
+  OppRequest request(1);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 6u);
+}
+
+TEST(ConservativeTest, StepsDownBelowThreshold) {
+  ConservativeGovernor governor;
+  const auto obs = test::single_cluster(0.1, 5);
+  OppRequest request(1);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 4u);
+}
+
+TEST(ConservativeTest, HoldsInDeadband) {
+  ConservativeGovernor governor;
+  for (double load : {0.25, 0.5, 0.75}) {
+    const auto obs = test::single_cluster(load, 7);
+    OppRequest request(1);
+    governor.decide(obs, request);
+    EXPECT_EQ(request[0], 7u) << load;
+  }
+}
+
+TEST(ConservativeTest, ClampsAtTableEnds) {
+  ConservativeGovernor governor;
+  OppRequest request(1);
+  governor.decide(test::single_cluster(1.0, 18), request);
+  EXPECT_EQ(request[0], 18u);
+  governor.decide(test::single_cluster(0.0, 0), request);
+  EXPECT_EQ(request[0], 0u);
+}
+
+TEST(ConservativeTest, CustomStepSize) {
+  ConservativeGovernor governor(ConservativeParams{0.80, 0.20, 3});
+  OppRequest request(1);
+  governor.decide(test::single_cluster(0.9, 5), request);
+  EXPECT_EQ(request[0], 8u);
+  governor.decide(test::single_cluster(0.1, 5), request);
+  EXPECT_EQ(request[0], 2u);
+  // Step larger than remaining room clamps to 0.
+  governor.decide(test::single_cluster(0.1, 2), request);
+  EXPECT_EQ(request[0], 0u);
+}
+
+TEST(ConservativeTest, GradualRampToMax) {
+  // Sustained overload walks one step per decision: 18 decisions from 0.
+  ConservativeGovernor governor;
+  std::size_t opp = 0;
+  for (int i = 0; i < 18; ++i) {
+    OppRequest request(1);
+    governor.decide(test::single_cluster(1.0, opp), request);
+    EXPECT_EQ(request[0], opp + 1);
+    opp = request[0];
+  }
+  EXPECT_EQ(opp, 18u);
+}
+
+TEST(ConservativeTest, ThresholdBoundariesInclusive) {
+  ConservativeGovernor governor(ConservativeParams{0.80, 0.20, 1});
+  OppRequest request(1);
+  governor.decide(test::single_cluster(0.80, 5), request);
+  EXPECT_EQ(request[0], 6u);  // >= up_threshold steps up
+  governor.decide(test::single_cluster(0.20, 5), request);
+  EXPECT_EQ(request[0], 4u);  // <= down_threshold steps down
+}
+
+}  // namespace
+}  // namespace pmrl::governors

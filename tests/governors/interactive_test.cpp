@@ -1,0 +1,99 @@
+#include "governors/interactive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+governors::PolicyObservation at_time(double util, std::size_t opp,
+                                     double time_s) {
+  auto obs = test::single_cluster(util, opp);
+  obs.soc.time_s = time_s;
+  return obs;
+}
+
+TEST(InteractiveTest, SpikeJumpsToHispeed) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(0.9, 2, 0.0), request);
+  // hispeed = ceil(0.8 * 18) = 15.
+  EXPECT_EQ(request[0], 15u);
+}
+
+TEST(InteractiveTest, SustainedSpikeAboveHispeedGoesToMax) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(0.95, 16, 0.0), request);
+  EXPECT_EQ(request[0], 18u);
+}
+
+TEST(InteractiveTest, ProportionalBelowSpike) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  // 50% load at opp 9 (f ~= 1.1 GHz): needed = 1.1e9 * 0.5/0.9 = 0.611 GHz
+  // -> fraction 0.306 -> ceil(5.5) = 6.
+  governor.decide(at_time(0.5, 9, 0.0), request);
+  EXPECT_EQ(request[0], 6u);
+}
+
+TEST(InteractiveTest, HoldsRaisedFloorForMinSampleTime) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  // Spike raises to 15 and arms the floor.
+  governor.decide(at_time(0.9, 2, 0.0), request);
+  EXPECT_EQ(request[0], 15u);
+  // 40 ms later (within the 80 ms hold) load drops: floor holds.
+  governor.decide(at_time(0.05, 15, 0.040), request);
+  EXPECT_EQ(request[0], 15u);
+  // After the hold expires, the proportional target applies.
+  governor.decide(at_time(0.05, 15, 0.200), request);
+  EXPECT_LT(request[0], 15u);
+}
+
+TEST(InteractiveTest, FloorDoesNotPreventRaising) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(0.9, 2, 0.0), request);   // floor 15
+  governor.decide(at_time(0.99, 15, 0.01), request);  // further spike
+  EXPECT_EQ(request[0], 18u);
+}
+
+TEST(InteractiveTest, IdleEventuallyReachesBottom) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(0.0, 10, 10.0), request);
+  EXPECT_EQ(request[0], 0u);
+}
+
+TEST(InteractiveTest, ResetClearsFloors) {
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(0.9, 2, 0.0), request);  // arm floor
+  governor.reset(at_time(0.0, 0, 0.0));
+  governor.decide(at_time(0.05, 15, 0.010), request);
+  EXPECT_LT(request[0], 15u);  // floor gone after reset
+}
+
+TEST(InteractiveTest, AdaptsWhenClusterCountChanges) {
+  // decide() on an observation with more clusters than reset() saw must
+  // not crash (defensive re-init path).
+  InteractiveGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  const auto obs = test::make_observation(
+      {test::ClusterSpec{0, 13, 1.4e9, 0.5},
+       test::ClusterSpec{0, 19, 2.0e9, 0.5}});
+  OppRequest request(2);
+  EXPECT_NO_THROW(governor.decide(obs, request));
+}
+
+}  // namespace
+}  // namespace pmrl::governors

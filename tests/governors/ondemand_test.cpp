@@ -1,0 +1,89 @@
+#include "governors/ondemand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+TEST(OndemandTest, JumpsToMaxAboveThreshold) {
+  OndemandGovernor governor;
+  const auto obs = test::single_cluster(/*util=*/0.85, /*opp=*/3);
+  OppRequest request(1);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 18u);
+}
+
+TEST(OndemandTest, ExactThresholdJumps) {
+  OndemandGovernor governor(OndemandParams{0.80, 0.0});
+  const auto obs = test::single_cluster(0.80, 3);
+  OppRequest request(1);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 18u);
+}
+
+TEST(OndemandTest, ScalesProportionallyBelowThreshold) {
+  OndemandGovernor governor;
+  // At opp 9 (mid table) with 40% load: needed = f(9) * 0.4 / 0.8.
+  const auto obs = test::single_cluster(0.40, 9);
+  OppRequest request(1);
+  governor.decide(obs, request);
+  // f(9) ~= 1.1 GHz -> needed ~0.55 GHz -> fraction 0.275 -> ceil(4.95)=5.
+  EXPECT_EQ(request[0], 5u);
+}
+
+TEST(OndemandTest, IdleDropsToBottom) {
+  OndemandGovernor governor;
+  const auto obs = test::single_cluster(0.0, 12);
+  OppRequest request(1);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 0u);
+}
+
+TEST(OndemandTest, RequestedOppCoversDemand) {
+  // Property: the chosen OPP always provides at least load*f_cur capacity
+  // (at up_threshold occupancy) for any sub-threshold load.
+  OndemandGovernor governor;
+  for (std::size_t opp = 0; opp < 19; ++opp) {
+    for (double load = 0.05; load < 0.8; load += 0.1) {
+      const auto obs = test::single_cluster(load, opp);
+      OppRequest request(1);
+      governor.decide(obs, request);
+      const double f_cur = obs.soc.clusters[0].freq_hz;
+      const double needed = f_cur * load / governor.params().up_threshold;
+      const double granted =
+          obs.soc.clusters[0].max_freq_hz *
+          static_cast<double>(request[0]) / 18.0;
+      // Index-linear model is conservative: granted >= needed - small slack
+      // from the nonzero table base frequency.
+      EXPECT_GE(granted + 0.1 * obs.soc.clusters[0].max_freq_hz, needed)
+          << "opp=" << opp << " load=" << load;
+    }
+  }
+}
+
+TEST(OndemandTest, PowersaveBiasLowersChoice) {
+  OndemandGovernor plain(OndemandParams{0.80, 0.0});
+  OndemandGovernor biased(OndemandParams{0.80, 0.4});
+  const auto obs = test::single_cluster(0.5, 12);
+  OppRequest a(1);
+  OppRequest b(1);
+  plain.decide(obs, a);
+  biased.decide(obs, b);
+  EXPECT_LT(b[0], a[0]);
+}
+
+TEST(OndemandTest, PerClusterIndependence) {
+  OndemandGovernor governor;
+  const auto obs = test::make_observation(
+      {test::ClusterSpec{5, 13, 1.4e9, 0.95},
+       test::ClusterSpec{10, 19, 2.0e9, 0.05}});
+  OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 12u);  // overloaded little -> top
+  EXPECT_LE(request[1], 2u);   // idle big -> near bottom
+}
+
+}  // namespace
+}  // namespace pmrl::governors

@@ -1,0 +1,69 @@
+#include "governors/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rl/rl_governor.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+TEST(RegistryTest, BaselineNamesInPaperOrder) {
+  const auto names = baseline_governor_names();
+  const std::vector<std::string> expected = {
+      "performance", "powersave",    "userspace",
+      "ondemand",    "conservative", "interactive"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(RegistryTest, AllBaselinesConstructible) {
+  for (const auto& name : baseline_governor_names()) {
+    ASSERT_TRUE(has_governor(name)) << name;
+    const auto governor = make_governor(name);
+    ASSERT_NE(governor, nullptr);
+    EXPECT_EQ(governor->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  EXPECT_FALSE(has_governor("does-not-exist"));
+  EXPECT_THROW(make_governor("does-not-exist"), std::invalid_argument);
+}
+
+TEST(RegistryTest, FactoriesReturnFreshInstances) {
+  const auto a = make_governor("ondemand");
+  const auto b = make_governor("ondemand");
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(RegistryTest, CustomRegistrationAndDuplicateRejection) {
+  if (!has_governor("test-custom")) {
+    register_governor("test-custom", [] {
+      return make_governor("performance");
+    });
+  }
+  EXPECT_TRUE(has_governor("test-custom"));
+  EXPECT_THROW(register_governor("test-custom",
+                                 [] { return make_governor("powersave"); }),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, RlGovernorRegistersOnce) {
+  rl::register_rl_governor();
+  rl::register_rl_governor();  // idempotent
+  ASSERT_TRUE(has_governor("rl"));
+  const auto governor = make_governor("rl");
+  EXPECT_EQ(governor->name(), "rl");
+}
+
+TEST(RegistryTest, RegisteredNamesSortedAndComplete) {
+  const auto names = registered_governor_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& baseline : baseline_governor_names()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), baseline), names.end());
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::governors

@@ -1,0 +1,91 @@
+#include "governors/schedutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "governors/registry.hpp"
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+governors::PolicyObservation at_time(double util, std::size_t opp,
+                                     double time_s) {
+  auto obs = test::single_cluster(util, opp);
+  obs.soc.time_s = time_s;
+  return obs;
+}
+
+TEST(SchedutilTest, IdleDropsToBottom) {
+  SchedutilGovernor governor;
+  governor.reset(at_time(0.0, 12, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(0.0, 12, 0.0), request);
+  EXPECT_EQ(request[0], 0u);
+}
+
+TEST(SchedutilTest, SaturatedGoesToMax) {
+  SchedutilGovernor governor;
+  governor.reset(at_time(1.0, 18, 0.0));
+  OppRequest request(1);
+  governor.decide(at_time(1.0, 18, 0.0), request);
+  EXPECT_EQ(request[0], 18u);
+}
+
+TEST(SchedutilTest, HeadroomFormula) {
+  SchedutilGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  // At opp 9 (f ~= 1.145 GHz of 2 GHz max in the helper's table): util 0.5
+  // -> util_inv ~0.286 -> target = 1.25*0.286*fmax -> fraction 0.358 ->
+  // ceil(6.44) = 7.
+  governor.decide(at_time(0.5, 9, 0.0), request);
+  EXPECT_EQ(request[0], 7u);
+}
+
+TEST(SchedutilTest, FrequencyInvariantAcrossOpps) {
+  // Same absolute demand observed at different current frequencies must
+  // give the same target (the signature property of schedutil).
+  SchedutilGovernor governor;
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest a(1);
+  OppRequest b(1);
+  // Demand = 0.4 * f(9). Observed at opp 9: util 0.4. At opp 18
+  // (f = 2 GHz): util = 0.4 * f(9)/f(18).
+  auto obs9 = at_time(0.4, 9, 0.0);
+  const double f9 = obs9.soc.clusters[0].freq_hz;
+  auto obs18 = at_time(0.4 * f9 / 2.0e9, 18, 0.0);
+  governor.decide(obs9, a);
+  governor.decide(obs18, b);
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(SchedutilTest, RateLimitHoldsFrequency) {
+  SchedutilParams params;
+  params.rate_limit_s = 0.100;
+  SchedutilGovernor governor(params);
+  governor.reset(at_time(0.0, 0, 0.0));
+  OppRequest request(1);
+  // First change allowed: drop from max to the floor at t = 0.
+  governor.decide(at_time(0.0, 18, 0.0), request);
+  EXPECT_EQ(request[0], 0u);
+  // 50 ms later demand spikes: the rate limit forces a hold.
+  governor.decide(at_time(1.0, 0, 0.050), request);
+  EXPECT_EQ(request[0], 0u);
+  // 150 ms later the change is allowed.
+  governor.decide(at_time(1.0, 0, 0.150), request);
+  EXPECT_GT(request[0], 0u);
+}
+
+TEST(SchedutilTest, RegisteredInRegistry) {
+  // schedutil is an extra (post-paper) baseline: registered but not in the
+  // six-governor comparison set.
+  EXPECT_TRUE(has_governor("schedutil"));
+  const auto six = baseline_governor_names();
+  EXPECT_EQ(std::count(six.begin(), six.end(), "schedutil"), 0);
+}
+
+}  // namespace
+}  // namespace pmrl::governors

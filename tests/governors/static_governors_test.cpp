@@ -1,0 +1,83 @@
+#include "governors/static_governors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::governors {
+namespace {
+
+using test::ClusterSpec;
+using test::make_observation;
+
+TEST(PerformanceGovernorTest, AlwaysRequestsTop) {
+  PerformanceGovernor governor;
+  const auto obs = make_observation(
+      {ClusterSpec{3, 13, 1.4e9, 0.0}, ClusterSpec{5, 19, 2.0e9, 0.9}});
+  OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 12u);
+  EXPECT_EQ(request[1], 18u);
+}
+
+TEST(PowersaveGovernorTest, AlwaysRequestsBottom) {
+  PowersaveGovernor governor;
+  const auto obs = make_observation(
+      {ClusterSpec{3, 13, 1.4e9, 1.0}, ClusterSpec{18, 19, 2.0e9, 1.0}});
+  OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 0u);
+  EXPECT_EQ(request[1], 0u);
+}
+
+TEST(UserspaceGovernorTest, PinsToFraction) {
+  UserspaceGovernor half(0.5);
+  const auto obs = make_observation(
+      {ClusterSpec{0, 13, 1.4e9, 0.5}, ClusterSpec{0, 19, 2.0e9, 0.5}});
+  OppRequest request(2);
+  half.decide(obs, request);
+  EXPECT_EQ(request[0], 6u);  // round(0.5 * 12)
+  EXPECT_EQ(request[1], 9u);  // round(0.5 * 18)
+}
+
+TEST(UserspaceGovernorTest, ExtremesMapToEnds) {
+  UserspaceGovernor bottom(0.0);
+  UserspaceGovernor top(1.0);
+  const auto obs = make_observation({ClusterSpec{5, 19, 2.0e9, 0.5}});
+  OppRequest request(1);
+  bottom.decide(obs, request);
+  EXPECT_EQ(request[0], 0u);
+  top.decide(obs, request);
+  EXPECT_EQ(request[0], 18u);
+}
+
+TEST(UserspaceGovernorTest, RejectsOutOfRangeFraction) {
+  EXPECT_THROW(UserspaceGovernor(-0.1), std::invalid_argument);
+  EXPECT_THROW(UserspaceGovernor(1.1), std::invalid_argument);
+}
+
+TEST(StaticGovernorsTest, UtilizationIgnored) {
+  // These governors must not react to load: sweep util and compare.
+  PerformanceGovernor performance;
+  PowersaveGovernor powersave;
+  UserspaceGovernor userspace(0.3);
+  for (double util : {0.0, 0.5, 1.0}) {
+    const auto obs = test::single_cluster(util, 9);
+    OppRequest request(1);
+    performance.decide(obs, request);
+    EXPECT_EQ(request[0], 18u);
+    powersave.decide(obs, request);
+    EXPECT_EQ(request[0], 0u);
+    userspace.decide(obs, request);
+    EXPECT_EQ(request[0], 5u);
+  }
+}
+
+TEST(StaticGovernorsTest, Names) {
+  EXPECT_EQ(PerformanceGovernor().name(), "performance");
+  EXPECT_EQ(PowersaveGovernor().name(), "powersave");
+  EXPECT_EQ(UserspaceGovernor().name(), "userspace");
+}
+
+}  // namespace
+}  // namespace pmrl::governors

@@ -1,0 +1,60 @@
+#pragma once
+// Test helper: builds PolicyObservation fixtures without running a full
+// simulation, so governor/agent unit tests can probe specific operating
+// points directly.
+
+#include "governors/governor.hpp"
+
+namespace pmrl::test {
+
+/// Parameters of one synthetic cluster observation.
+struct ClusterSpec {
+  std::size_t opp_index = 0;
+  std::size_t opp_count = 19;
+  double max_freq_hz = 2.0e9;
+  double util_max = 0.0;
+  double util_avg = 0.0;
+  std::size_t overdue = 0;
+  double max_power_w = 6.8;
+};
+
+inline governors::PolicyObservation make_observation(
+    const std::vector<ClusterSpec>& specs, double time_s = 1.0) {
+  governors::PolicyObservation obs;
+  obs.soc.time_s = time_s;
+  obs.epoch_duration_s = 0.02;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    soc::ClusterTelemetry ct;
+    ct.cluster_id = i;
+    ct.opp_index = spec.opp_index;
+    ct.opp_count = spec.opp_count;
+    ct.max_freq_hz = spec.max_freq_hz;
+    // Uniform-step table starting at 10% of f_max (Exynos-like shape).
+    const double f_lo = spec.max_freq_hz * 0.1;
+    ct.freq_hz = f_lo + (spec.max_freq_hz - f_lo) *
+                            static_cast<double>(spec.opp_index) /
+                            static_cast<double>(spec.opp_count - 1);
+    ct.voltage_v = 1.0;
+    ct.util_max = spec.util_max;
+    ct.util_avg = spec.util_avg > 0.0 ? spec.util_avg : spec.util_max;
+    ct.util_invariant = ct.util_avg * ct.freq_hz / ct.max_freq_hz;
+    ct.busy_avg = ct.util_avg;
+    ct.overdue_jobs = spec.overdue;
+    ct.max_power_w = spec.max_power_w;
+    obs.soc.clusters.push_back(ct);
+    obs.cluster_feedback.emplace_back();
+  }
+  return obs;
+}
+
+/// Single-cluster convenience.
+inline governors::PolicyObservation single_cluster(double util_max,
+                                                   std::size_t opp_index,
+                                                   std::size_t opp_count =
+                                                       19) {
+  return make_observation({ClusterSpec{opp_index, opp_count, 2.0e9,
+                                       util_max, util_max, 0, 6.8}});
+}
+
+}  // namespace pmrl::test

@@ -1,0 +1,71 @@
+#include "hw/axi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::hw {
+namespace {
+
+TEST(AxiTest, RejectsBadClock) {
+  AxiParams params;
+  params.bus_clock_hz = 0.0;
+  EXPECT_THROW(AxiLiteModel{params}, std::invalid_argument);
+}
+
+TEST(AxiTest, WriteLatencyLinearInCount) {
+  const AxiLiteModel axi;
+  const double one = axi.write_latency_s(1);
+  EXPECT_GT(one, 0.0);
+  EXPECT_DOUBLE_EQ(axi.write_latency_s(3), 3.0 * one);
+  EXPECT_DOUBLE_EQ(axi.write_latency_s(0), 0.0);
+}
+
+TEST(AxiTest, ReadLatencyLinearInCount) {
+  const AxiLiteModel axi;
+  EXPECT_DOUBLE_EQ(axi.read_latency_s(2), 2.0 * axi.read_latency_s(1));
+}
+
+TEST(AxiTest, DefaultWriteCostsMoreThanRead) {
+  // Write = 5 bus cycles vs read = 4 at the same MMIO overhead.
+  const AxiLiteModel axi;
+  EXPECT_GT(axi.write_latency_s(1), axi.read_latency_s(1));
+}
+
+TEST(AxiTest, LatencyComposition) {
+  AxiParams params;
+  params.bus_clock_hz = 100e6;   // 10 ns cycle
+  params.write_cycles = 5;       // 50 ns bus
+  params.read_cycles = 4;        // 40 ns bus
+  params.cpu_mmio_overhead_s = 250e-9;
+  params.driver_overhead_s = 450e-9;
+  const AxiLiteModel axi(params);
+  EXPECT_NEAR(axi.write_latency_s(1), 300e-9, 1e-12);
+  EXPECT_NEAR(axi.read_latency_s(1), 290e-9, 1e-12);
+  EXPECT_NEAR(axi.invocation_latency_s(3, 1), 450e-9 + 900e-9 + 290e-9,
+              1e-12);
+}
+
+TEST(AxiTest, FasterBusReducesLatency) {
+  AxiParams slow;
+  slow.bus_clock_hz = 50e6;
+  AxiParams fast;
+  fast.bus_clock_hz = 200e6;
+  EXPECT_GT(AxiLiteModel(slow).invocation_latency_s(3, 1),
+            AxiLiteModel(fast).invocation_latency_s(3, 1));
+}
+
+TEST(AxiTest, MmioOverheadDominatesAtHighBusClock) {
+  // At mobile-class MMIO costs the interconnect round trip, not the bus
+  // handshake, dominates — the reason the paper packs the interface into
+  // few registers.
+  AxiParams params;
+  params.bus_clock_hz = 400e6;
+  const AxiLiteModel axi(params);
+  const double bus_part =
+      params.write_cycles / params.bus_clock_hz;
+  EXPECT_GT(params.cpu_mmio_overhead_s, 5.0 * bus_part);
+  EXPECT_NEAR(axi.write_latency_s(1),
+              params.cpu_mmio_overhead_s + bus_part, 1e-12);
+}
+
+}  // namespace
+}  // namespace pmrl::hw

@@ -1,0 +1,94 @@
+#include "hw/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::hw {
+namespace {
+
+rl::FixedAgentConfig greedy_agent() {
+  rl::FixedAgentConfig config;
+  config.learning.epsilon_start = 0.0;
+  config.learning.epsilon_end = 0.0;
+  return config;
+}
+
+TEST(DatapathTest, ArgmaxTreeDepth) {
+  EXPECT_EQ(QDatapath(greedy_agent(), 16, 2).argmax_tree_depth(), 1u);
+  EXPECT_EQ(QDatapath(greedy_agent(), 16, 3).argmax_tree_depth(), 2u);
+  EXPECT_EQ(QDatapath(greedy_agent(), 16, 9).argmax_tree_depth(), 4u);
+  EXPECT_EQ(QDatapath(greedy_agent(), 16, 16).argmax_tree_depth(), 4u);
+  EXPECT_EQ(QDatapath(greedy_agent(), 16, 1).argmax_tree_depth(), 0u);
+}
+
+TEST(DatapathTest, CycleCountsForNineActionConfig) {
+  QDatapath dp(greedy_agent(), 1024, 9);
+  // decide: capture(1) + addr(1) + bram(2) + tree(4) + mux(1) = 9.
+  EXPECT_EQ(dp.decide_cycle_count(), 9u);
+  // update: bram(2) + tree(4) + mult(2) + add(1) + sub(1) + mult(2) +
+  //         add(1) + writeback(1) = 14.
+  EXPECT_EQ(dp.update_cycle_count(), 14u);
+}
+
+TEST(DatapathTest, CycleCountsScaleWithTiming) {
+  DatapathTiming slow;
+  slow.bram_read_cycles = 3;
+  slow.mult_cycles = 4;
+  QDatapath dp(greedy_agent(), 64, 4);
+  QDatapath slow_dp(greedy_agent(), 64, 4, slow);
+  EXPECT_GT(slow_dp.decide_cycle_count(), dp.decide_cycle_count());
+  EXPECT_GT(slow_dp.update_cycle_count(), dp.update_cycle_count());
+}
+
+TEST(DatapathTest, LfsrRunsInShadowOfDeepTree) {
+  // With a deep argmax tree the 1-cycle LFSR is fully hidden.
+  DatapathTiming timing;
+  timing.lfsr_cycles = 1;
+  QDatapath wide(greedy_agent(), 16, 16, timing);  // tree depth 4
+  timing.lfsr_cycles = 4;
+  QDatapath slow_lfsr(greedy_agent(), 16, 16, timing);
+  EXPECT_EQ(wide.decide_cycle_count(), slow_lfsr.decide_cycle_count());
+  // With a single action (tree depth 0) the LFSR becomes the critical path.
+  QDatapath narrow(greedy_agent(), 16, 1, timing);
+  EXPECT_EQ(narrow.decide_cycle_count(), 1u + 1u + 2u + 4u + 1u);
+}
+
+TEST(DatapathTest, DecideAccumulatesCycles) {
+  QDatapath dp(greedy_agent(), 64, 9);
+  CycleBreakdown cycles;
+  dp.decide(0, cycles);
+  dp.decide(1, cycles);
+  EXPECT_EQ(cycles.decide_cycles, 2 * dp.decide_cycle_count());
+  EXPECT_EQ(cycles.update_cycles, 0u);
+  dp.update(0, 1, -0.5, 1, cycles);
+  EXPECT_EQ(cycles.update_cycles, dp.update_cycle_count());
+  EXPECT_EQ(cycles.total(),
+            2 * dp.decide_cycle_count() + dp.update_cycle_count());
+}
+
+TEST(DatapathTest, DecisionsMatchEmbeddedAgent) {
+  // The datapath is a cycle-counting wrapper: its decisions must be
+  // exactly the embedded fixed-point agent's.
+  rl::FixedAgentConfig config = greedy_agent();
+  QDatapath dp(config, 32, 5);
+  rl::FixedPointQAgent reference(config, 32, 5);
+  CycleBreakdown cycles;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i) % 32;
+    EXPECT_EQ(dp.decide(s, cycles), reference.select_action(s));
+    dp.update(s, 1, -0.3, (s + 1) % 32, cycles);
+    reference.learn(s, 1, -0.3, (s + 1) % 32);
+  }
+  for (std::size_t s = 0; s < 32; ++s) {
+    for (std::size_t a = 0; a < 5; ++a) {
+      EXPECT_EQ(dp.agent().q_raw(s, a), reference.q_raw(s, a));
+    }
+  }
+}
+
+TEST(DatapathTest, QmemBits) {
+  QDatapath dp(greedy_agent(), 1024, 9);
+  EXPECT_EQ(dp.qmem_bits(), 1024u * 9u * 16u);
+}
+
+}  // namespace
+}  // namespace pmrl::hw

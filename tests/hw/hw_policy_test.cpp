@@ -1,0 +1,94 @@
+#include "hw/hw_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pmrl::hw {
+namespace {
+
+TEST(HwPolicyTest, RejectsBadClock) {
+  HwPolicyConfig config;
+  config.fpga_clock_hz = 0.0;
+  EXPECT_THROW(HwPolicyEngine(config, 16, 3), std::invalid_argument);
+}
+
+TEST(HwPolicyTest, FirstInvocationSkipsUpdate) {
+  HwPolicyEngine engine(HwPolicyConfig{}, 64, 9);
+  PolicyLatency latency;
+  engine.invoke(5, -1.0, latency);
+  // decide only: 9 cycles at default timing.
+  EXPECT_EQ(latency.datapath_cycles,
+            engine.datapath().decide_cycle_count());
+}
+
+TEST(HwPolicyTest, SubsequentInvocationsIncludeUpdate) {
+  HwPolicyEngine engine(HwPolicyConfig{}, 64, 9);
+  PolicyLatency latency;
+  engine.invoke(5, -1.0, latency);
+  engine.invoke(6, -0.5, latency);
+  EXPECT_EQ(latency.datapath_cycles,
+            engine.datapath().decide_cycle_count() +
+                engine.datapath().update_cycle_count());
+}
+
+TEST(HwPolicyTest, ResetChainSkipsNextUpdate) {
+  HwPolicyEngine engine(HwPolicyConfig{}, 64, 9);
+  PolicyLatency latency;
+  engine.invoke(5, -1.0, latency);
+  engine.reset_chain();
+  engine.invoke(6, -0.5, latency);
+  EXPECT_EQ(latency.datapath_cycles,
+            engine.datapath().decide_cycle_count());
+}
+
+TEST(HwPolicyTest, LatencyDecomposition) {
+  HwPolicyEngine engine(HwPolicyConfig{}, 64, 9);
+  PolicyLatency latency;
+  engine.invoke(0, 0.0, latency);
+  EXPECT_NEAR(latency.raw_s,
+              latency.datapath_cycles / engine.config().fpga_clock_hz,
+              1e-15);
+  EXPECT_NEAR(latency.end_to_end_s,
+              latency.raw_s + engine.interface_latency_s(), 1e-15);
+  EXPECT_GT(engine.interface_latency_s(), latency.raw_s);
+}
+
+TEST(HwPolicyTest, UpdateActuallyLearns) {
+  rl::FixedAgentConfig agent_config;
+  agent_config.learning.epsilon_start = 0.0;
+  agent_config.learning.epsilon_end = 0.0;
+  HwPolicyConfig config;
+  config.agent = agent_config;
+  HwPolicyEngine engine(config, 4, 2);
+  PolicyLatency latency;
+  // Invoke on state 0 repeatedly with a strongly negative reward for the
+  // previous (state 0, chosen action) transition: Q must move.
+  engine.invoke(0, 0.0, latency);
+  for (int i = 0; i < 20; ++i) engine.invoke(0, -2.0, latency);
+  const auto& agent = engine.agent();
+  double min_q = 0.0;
+  for (std::size_t a = 0; a < 2; ++a) {
+    min_q = std::min(min_q, agent.q_value(0, a));
+  }
+  EXPECT_LT(min_q, -0.5);
+}
+
+TEST(HwPolicyTest, FasterClockLowersRawLatencyOnly) {
+  HwPolicyConfig slow;
+  slow.fpga_clock_hz = 50e6;
+  HwPolicyConfig fast;
+  fast.fpga_clock_hz = 200e6;
+  HwPolicyEngine slow_engine(slow, 64, 9);
+  HwPolicyEngine fast_engine(fast, 64, 9);
+  PolicyLatency slow_lat;
+  PolicyLatency fast_lat;
+  slow_engine.invoke(0, 0.0, slow_lat);
+  fast_engine.invoke(0, 0.0, fast_lat);
+  EXPECT_GT(slow_lat.raw_s, fast_lat.raw_s);
+  EXPECT_DOUBLE_EQ(slow_engine.interface_latency_s(),
+                   fast_engine.interface_latency_s());
+}
+
+}  // namespace
+}  // namespace pmrl::hw

@@ -1,0 +1,81 @@
+#include "hw/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::hw {
+namespace {
+
+TEST(LatencyExperimentTest, SyntheticStreamProperties) {
+  const auto stream = synthetic_stream(128, 1000, 42);
+  ASSERT_EQ(stream.size(), 1000u);
+  for (const auto& record : stream) {
+    EXPECT_LT(record.state, 128u);
+    EXPECT_LE(record.reward, 0.0);
+    EXPECT_GE(record.reward, -2.0);
+  }
+  // Deterministic per seed.
+  const auto again = synthetic_stream(128, 1000, 42);
+  EXPECT_EQ(stream[500].state, again[500].state);
+  const auto other = synthetic_stream(128, 1000, 43);
+  bool differs = false;
+  for (std::size_t i = 0; i < 1000 && !differs; ++i) {
+    differs = stream[i].state != other[i].state;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LatencyExperimentTest, SampleCountsMatchStream) {
+  LatencyExperimentConfig config;
+  const auto stream = synthetic_stream(1024, 500, 1);
+  const auto result = run_latency_experiment(config, 1024, 9, stream);
+  EXPECT_EQ(result.sw_latency_s.count(), 500u);
+  EXPECT_EQ(result.hw_raw_s.count(), 500u);
+  EXPECT_EQ(result.hw_end_to_end_s.count(), 500u);
+}
+
+TEST(LatencyExperimentTest, OrderingInvariant) {
+  // raw < end-to-end < software, sample by sample in the mean.
+  LatencyExperimentConfig config;
+  const auto stream = synthetic_stream(1024, 2000, 2);
+  const auto result = run_latency_experiment(config, 1024, 9, stream);
+  EXPECT_LT(result.hw_raw_s.mean(), result.hw_end_to_end_s.mean());
+  EXPECT_LT(result.hw_end_to_end_s.mean(), result.sw_latency_s.mean());
+  EXPECT_GT(result.mean_speedup_raw(), result.mean_speedup_end_to_end());
+  EXPECT_GT(result.mean_speedup_end_to_end(), 1.0);
+}
+
+TEST(LatencyExperimentTest, PaperShapeReproduced) {
+  // The calibrated defaults must land near the paper's numbers:
+  // ~3.9x end-to-end and raw "up to" tens of x.
+  LatencyExperimentConfig config;
+  const auto stream = synthetic_stream(1024, 10000, 3);
+  const auto result = run_latency_experiment(config, 1024, 9, stream);
+  EXPECT_NEAR(result.mean_speedup_end_to_end(), 3.92, 0.6);
+  EXPECT_GT(result.mean_speedup_raw(), 20.0);
+  EXPECT_LT(result.mean_speedup_raw(), 60.0);
+  const double up_to =
+      result.sw_latency_s.quantile(0.99) / result.hw_raw_s.mean();
+  EXPECT_NEAR(up_to, 40.0, 12.0);
+}
+
+TEST(LatencyExperimentTest, EmptyStreamSafe) {
+  LatencyExperimentConfig config;
+  const auto result = run_latency_experiment(config, 64, 9, {});
+  EXPECT_EQ(result.sw_latency_s.count(), 0u);
+  EXPECT_EQ(result.mean_speedup_end_to_end(), 0.0);
+  EXPECT_EQ(result.mean_speedup_raw(), 0.0);
+  EXPECT_EQ(result.max_speedup_raw(), 0.0);
+}
+
+TEST(LatencyExperimentTest, HwLatencyIsNearlyConstant) {
+  // The datapath is unconditional: raw latency varies only between the
+  // first invocation (no update) and the rest.
+  LatencyExperimentConfig config;
+  const auto stream = synthetic_stream(1024, 100, 4);
+  const auto result = run_latency_experiment(config, 1024, 9, stream);
+  EXPECT_LT(result.hw_raw_s.stddev(), result.hw_raw_s.mean() * 0.2);
+  EXPECT_GT(result.sw_latency_s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace pmrl::hw

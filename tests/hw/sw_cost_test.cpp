@@ -1,0 +1,76 @@
+#include "hw/sw_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::hw {
+namespace {
+
+TEST(SwCostTest, RejectsBadConfig) {
+  SwCostParams params;
+  params.cpu_clock_hz = 0.0;
+  EXPECT_THROW(SwPolicyCostModel(params, 9), std::invalid_argument);
+  EXPECT_THROW(SwPolicyCostModel(SwCostParams{}, 0), std::invalid_argument);
+}
+
+TEST(SwCostTest, MeanLatencyComposition) {
+  SwCostParams params;
+  params.cpu_clock_hz = 2e9;
+  params.invoke_overhead_s = 2e-6;
+  params.counter_read_s = 400e-9;
+  params.counters_read = 8;
+  params.featurize_cycles = 200;
+  params.line_fill_s = 150e-9;
+  params.q_line_fills = 6;
+  params.per_action_cycles = 8;
+  params.update_cycles = 200;
+  const SwPolicyCostModel model(params, 9);
+  const double expected = 2e-6 + 8 * 400e-9 + 200 / 2e9 + 6 * 150e-9 +
+                          9 * 8 / 2e9 + 200 / 2e9;
+  EXPECT_NEAR(model.mean_latency_s(), expected, 1e-15);
+}
+
+TEST(SwCostTest, DefaultLatencyIsMicroseconds) {
+  const SwPolicyCostModel model(SwCostParams{}, 9);
+  // The calibrated kernel-governor path lands in the single-digit
+  // microseconds (the regime the paper's software policy measures in).
+  EXPECT_GT(model.mean_latency_s(), 3e-6);
+  EXPECT_LT(model.mean_latency_s(), 15e-6);
+}
+
+TEST(SwCostTest, MoreActionsCostMore) {
+  const SwPolicyCostModel small(SwCostParams{}, 3);
+  const SwPolicyCostModel large(SwCostParams{}, 81);
+  EXPECT_GT(large.mean_latency_s(), small.mean_latency_s());
+}
+
+TEST(SwCostTest, JitterHasUnitMeanMultiplier) {
+  SwCostParams params;
+  params.jitter_sigma = 0.2;
+  const SwPolicyCostModel model(params, 9);
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += model.sample_latency_s(rng);
+  EXPECT_NEAR(sum / n, model.mean_latency_s(),
+              model.mean_latency_s() * 0.01);
+}
+
+TEST(SwCostTest, ZeroJitterIsDeterministic) {
+  SwCostParams params;
+  params.jitter_sigma = 0.0;
+  const SwPolicyCostModel model(params, 9);
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(model.sample_latency_s(rng), model.mean_latency_s());
+  EXPECT_DOUBLE_EQ(model.sample_latency_s(rng), model.mean_latency_s());
+}
+
+TEST(SwCostTest, SamplesAlwaysPositive) {
+  const SwPolicyCostModel model(SwCostParams{}, 9);
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(model.sample_latency_s(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::hw

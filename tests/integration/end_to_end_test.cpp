@@ -1,0 +1,114 @@
+// End-to-end behaviour of the whole stack: scenarios -> SoC -> governors,
+// checking the qualitative orderings the paper's evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "governors/registry.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl {
+namespace {
+
+core::RunResult run_policy(const std::string& governor_name,
+                           workload::ScenarioKind kind, double duration,
+                           std::uint64_t seed = 11) {
+  core::EngineConfig config;
+  config.duration_s = duration;
+  core::SimEngine engine(soc::default_mobile_soc_config(), config);
+  auto scenario = workload::make_scenario(kind, seed);
+  auto governor = governors::make_governor(governor_name);
+  return engine.run(*scenario, *governor);
+}
+
+TEST(EndToEndTest, PerformanceGovernorUsesMostEnergy) {
+  const auto kind = workload::ScenarioKind::VideoPlayback;
+  const auto performance = run_policy("performance", kind, 10.0);
+  for (const char* other : {"powersave", "ondemand", "conservative",
+                            "interactive", "userspace"}) {
+    EXPECT_GT(performance.energy_j, run_policy(other, kind, 10.0).energy_j)
+        << other;
+  }
+}
+
+TEST(EndToEndTest, PowersaveViolatesUnderLoad) {
+  const auto powersave =
+      run_policy("powersave", workload::ScenarioKind::Gaming, 10.0);
+  const auto performance =
+      run_policy("performance", workload::ScenarioKind::Gaming, 10.0);
+  EXPECT_GT(powersave.violation_rate, 0.10);
+  EXPECT_LT(performance.violation_rate, 0.02);
+}
+
+TEST(EndToEndTest, OndemandTracksLoad) {
+  // On the near-idle scenario ondemand's mean frequency sits near the
+  // bottom; on gaming its big-cluster frequency is far higher.
+  const auto idle =
+      run_policy("ondemand", workload::ScenarioKind::AudioIdle, 10.0);
+  const auto game =
+      run_policy("ondemand", workload::ScenarioKind::Gaming, 10.0);
+  EXPECT_LT(idle.mean_freq_hz[1], 0.35e9);
+  EXPECT_GT(game.mean_freq_hz[1], 0.7e9);
+}
+
+TEST(EndToEndTest, AdaptiveGovernorsBeatStaticOnEnergyPerQos) {
+  // ondemand/interactive must beat both static extremes on E/QoS for the
+  // bursty web scenario (the premise of DVFS).
+  const auto kind = workload::ScenarioKind::WebBrowsing;
+  const double ondemand =
+      run_policy("ondemand", kind, 15.0).energy_per_qos;
+  const double interactive =
+      run_policy("interactive", kind, 15.0).energy_per_qos;
+  const double performance =
+      run_policy("performance", kind, 15.0).energy_per_qos;
+  const double powersave =
+      run_policy("powersave", kind, 15.0).energy_per_qos;
+  EXPECT_LT(ondemand, performance);
+  EXPECT_LT(interactive, performance);
+  EXPECT_LT(ondemand, powersave);
+}
+
+TEST(EndToEndTest, GamingIsHeaviestScenario) {
+  double game_energy = 0.0;
+  double idle_energy = 0.0;
+  game_energy =
+      run_policy("ondemand", workload::ScenarioKind::Gaming, 10.0).energy_j;
+  idle_energy =
+      run_policy("ondemand", workload::ScenarioKind::AudioIdle, 10.0)
+          .energy_j;
+  EXPECT_GT(game_energy, idle_energy * 1.5);
+}
+
+TEST(EndToEndTest, DvfsTransitionCountsSaneAcrossGovernors) {
+  // Static governors transition (almost) never; step/jump governors do.
+  const auto kind = workload::ScenarioKind::Mixed;
+  const auto performance = run_policy("performance", kind, 10.0);
+  const auto conservative = run_policy("conservative", kind, 10.0);
+  EXPECT_LE(performance.dvfs_transitions, 2u);
+  EXPECT_GT(conservative.dvfs_transitions, 10u);
+}
+
+TEST(EndToEndTest, ViolationRateBoundedByOne) {
+  for (const auto& name : governors::baseline_governor_names()) {
+    const auto result =
+        run_policy(name, workload::ScenarioKind::AppLaunch, 8.0);
+    EXPECT_GE(result.violation_rate, 0.0) << name;
+    EXPECT_LE(result.violation_rate, 1.0) << name;
+    EXPECT_GE(result.mean_quality, 0.0) << name;
+    EXPECT_LE(result.mean_quality, 1.0) << name;
+  }
+}
+
+TEST(EndToEndTest, TemperatureStaysPhysical) {
+  const auto result =
+      run_policy("performance", workload::ScenarioKind::Gaming, 20.0);
+  ASSERT_EQ(result.peak_temp_c.size(), 2u);
+  for (double t : result.peak_temp_c) {
+    EXPECT_GT(t, 25.0);   // above ambient
+    EXPECT_LT(t, 120.0);  // below silicon limits (throttle engages first)
+  }
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,127 @@
+// Bit-exactness of the hardware policy: the cycle-accurate datapath model
+// and a standalone fixed-point agent fed the same invocation stream must
+// produce identical actions and identical Q memories — the property that
+// lets the latency experiment claim "same algorithm, different latency".
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "hw/latency.hpp"
+#include "rl/trainer.hpp"
+#include "rl/rl_governor.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl {
+namespace {
+
+rl::FixedAgentConfig exploring_agent(std::uint16_t seed = 0x5a5a) {
+  rl::FixedAgentConfig config;
+  config.learning.epsilon_start = 0.2;
+  config.learning.epsilon_end = 0.2;
+  config.learning.seed = seed;
+  return config;
+}
+
+TEST(HwSwEquivalenceTest, SyntheticStreamBitExact) {
+  constexpr std::size_t kStates = 256;
+  constexpr std::size_t kActions = 9;
+  hw::HwPolicyConfig hw_config;
+  hw_config.agent = exploring_agent();
+  hw::HwPolicyEngine accelerator(hw_config, kStates, kActions);
+  rl::FixedPointQAgent reference(exploring_agent(), kStates, kActions);
+
+  const auto stream = hw::synthetic_stream(kStates, 5000, 99);
+  bool has_prev = false;
+  std::size_t prev_state = 0;
+  std::size_t prev_action = 0;
+  for (const auto& record : stream) {
+    hw::PolicyLatency latency;
+    const auto hw_action =
+        accelerator.invoke(record.state, record.reward, latency);
+    if (has_prev) {
+      reference.learn(prev_state, prev_action, record.reward, record.state);
+    }
+    const auto sw_action = reference.select_action(record.state);
+    ASSERT_EQ(hw_action, sw_action);
+    prev_state = record.state;
+    prev_action = sw_action;
+    has_prev = true;
+  }
+  for (std::size_t s = 0; s < kStates; ++s) {
+    for (std::size_t a = 0; a < kActions; ++a) {
+      ASSERT_EQ(accelerator.agent().q_raw(s, a), reference.q_raw(s, a))
+          << "Q mismatch at (" << s << ", " << a << ")";
+    }
+  }
+}
+
+TEST(HwSwEquivalenceTest, FixedBackendGovernorsIdenticalInSimulation) {
+  // Two RL governors with the fixed backend and identical seeds, run on
+  // identical workloads, must produce byte-identical results — i.e. the
+  // "hardware" policy is a faithful drop-in for the fixed software policy.
+  auto run_once = [] {
+    core::EngineConfig engine_config;
+    engine_config.duration_s = 10.0;
+    core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+    rl::RlGovernorConfig config;
+    config.backend = rl::AgentBackend::Fixed;
+    rl::RlGovernor governor(config, 2);
+    auto scenario =
+        workload::make_scenario(workload::ScenarioKind::Mixed, 5);
+    return engine.run(*scenario, governor);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(HwSwEquivalenceTest, FixedTracksFloatPolicyQuality) {
+  // The Q5.10 fixed-point policy must reach an energy/QoS within a few
+  // percent of the float policy after identical training.
+  core::EngineConfig engine_config;
+  engine_config.duration_s = 20.0;
+  core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+
+  auto train_and_eval = [&](rl::AgentBackend backend) {
+    rl::RlGovernorConfig config;
+    config.backend = backend;
+    rl::RlGovernor governor(config, 2);
+    rl::Trainer trainer(engine, governor, rl::TrainerConfig{.episodes = 30});
+    trainer.train();
+    double sum = 0.0;
+    for (const auto kind : workload::all_scenario_kinds()) {
+      auto scenario = workload::make_scenario(kind, 777);
+      sum += engine.run(*scenario, governor).energy_per_qos;
+    }
+    return sum;
+  };
+
+  const double float_epqos = train_and_eval(rl::AgentBackend::Float);
+  const double fixed_epqos = train_and_eval(rl::AgentBackend::Fixed);
+  EXPECT_NEAR(fixed_epqos, float_epqos, float_epqos * 0.10);
+}
+
+TEST(HwSwEquivalenceTest, LatencyModelsShareDecisionValues) {
+  // run_latency_experiment replays through HwPolicyEngine; its decisions
+  // must not depend on the latency configuration (timing is observational).
+  hw::LatencyExperimentConfig slow;
+  slow.hw.fpga_clock_hz = 25e6;
+  hw::LatencyExperimentConfig fast;
+  fast.hw.fpga_clock_hz = 400e6;
+  const auto stream = hw::synthetic_stream(128, 500, 3);
+
+  hw::HwPolicyEngine slow_engine(slow.hw, 128, 9);
+  hw::HwPolicyEngine fast_engine(fast.hw, 128, 9);
+  for (const auto& record : stream) {
+    hw::PolicyLatency l1;
+    hw::PolicyLatency l2;
+    EXPECT_EQ(slow_engine.invoke(record.state, record.reward, l1),
+              fast_engine.invoke(record.state, record.reward, l2));
+    EXPECT_GT(l1.raw_s, l2.raw_s);
+  }
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,140 @@
+// Training-loop integration: the RL policy must actually learn — improving
+// over its own untrained start and landing in the baseline governors'
+// energy/QoS league — and the trainer must be reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "governors/registry.hpp"
+#include "rl/trainer.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl {
+namespace {
+
+core::EngineConfig fast_engine_config() {
+  core::EngineConfig config;
+  config.duration_s = 20.0;  // shorter episodes keep the test quick
+  return config;
+}
+
+TEST(TrainingTest, CurveHasConfiguredShape) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         fast_engine_config());
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  rl::TrainerConfig config;
+  config.episodes = 12;
+  rl::Trainer trainer(engine, governor, config);
+  const auto curve = trainer.train();
+  ASSERT_EQ(curve.size(), 12u);
+  // Scenario rotation covers all six kinds in order.
+  EXPECT_EQ(curve[0].scenario, "video");
+  EXPECT_EQ(curve[5].scenario, "mixed");
+  EXPECT_EQ(curve[6].scenario, "video");
+  // Epsilon decays monotonically.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].epsilon, curve[i - 1].epsilon + 1e-12);
+  }
+  for (const auto& episode : curve) {
+    EXPECT_GT(episode.energy_per_qos, 0.0);
+    EXPECT_GT(episode.energy_j, 0.0);
+    EXPECT_LT(episode.mean_reward, 0.0);  // rewards are costs
+  }
+}
+
+TEST(TrainingTest, LearningImprovesOverUntrained) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         fast_engine_config());
+
+  // Untrained, frozen (greedy over empty Q + down bias + guard).
+  rl::RlGovernor untrained(rl::RlGovernorConfig{}, 2);
+  untrained.set_frozen(true);
+  auto eval_scenario =
+      workload::make_scenario(workload::ScenarioKind::VideoPlayback, 900);
+  const auto before = engine.run(*eval_scenario, untrained);
+
+  // Trained on video.
+  rl::RlGovernor trained(rl::RlGovernorConfig{}, 2);
+  rl::TrainerConfig config;
+  config.episodes = 30;
+  config.scenarios = {workload::ScenarioKind::VideoPlayback};
+  rl::Trainer trainer(engine, trained, config);
+  trainer.train();
+  trained.set_frozen(true);
+  auto eval_scenario2 =
+      workload::make_scenario(workload::ScenarioKind::VideoPlayback, 900);
+  const auto after = engine.run(*eval_scenario2, trained);
+
+  // Training must not be worse on E/QoS and must respect QoS far better
+  // than the untrained bias-descent policy.
+  EXPECT_LE(after.violation_rate, before.violation_rate + 0.01);
+  EXPECT_LT(after.energy_per_qos, before.energy_per_qos * 1.10);
+}
+
+TEST(TrainingTest, TrainedPolicyCompetitiveWithOndemand) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         fast_engine_config());
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  rl::Trainer trainer(engine, governor, rl::TrainerConfig{.episodes = 40});
+  trainer.train();
+
+  auto ondemand = governors::make_governor("ondemand");
+  double rl_sum = 0.0;
+  double od_sum = 0.0;
+  for (const auto kind : workload::all_scenario_kinds()) {
+    auto s1 = workload::make_scenario(kind, 4242);
+    auto s2 = workload::make_scenario(kind, 4242);
+    rl_sum += engine.run(*s1, governor).energy_per_qos;
+    od_sum += engine.run(*s2, *ondemand).energy_per_qos;
+  }
+  // Within 10% of ondemand on the mean (usually better; the full-length
+  // benches show the paper-scale margins).
+  EXPECT_LT(rl_sum, od_sum * 1.10);
+}
+
+TEST(TrainingTest, TrainingIsReproducible) {
+  auto train_once = [] {
+    core::SimEngine engine(soc::default_mobile_soc_config(),
+                           fast_engine_config());
+    rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+    rl::TrainerConfig config;
+    config.episodes = 6;
+    rl::Trainer trainer(engine, governor, config);
+    std::vector<double> curve;
+    for (const auto& episode : trainer.train()) {
+      curve.push_back(episode.energy_per_qos);
+    }
+    return curve;
+  };
+  EXPECT_EQ(train_once(), train_once());
+}
+
+TEST(TrainingTest, SeedVariationChangesWorkloads) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         fast_engine_config());
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  rl::TrainerConfig config;
+  config.episodes = 2;
+  config.scenarios = {workload::ScenarioKind::VideoPlayback};
+  config.vary_seed_per_episode = true;
+  rl::Trainer trainer(engine, governor, config);
+  const auto curve = trainer.train();
+  // Different seeds -> different workloads -> different outcomes.
+  EXPECT_NE(curve[0].energy_j, curve[1].energy_j);
+}
+
+TEST(TrainingTest, SingleEpisodeApi) {
+  core::SimEngine engine(soc::default_mobile_soc_config(),
+                         fast_engine_config());
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  rl::Trainer trainer(engine, governor, rl::TrainerConfig{.episodes = 1});
+  const auto episode =
+      trainer.train_episode(7, workload::ScenarioKind::Gaming);
+  EXPECT_EQ(episode.episode, 7u);
+  EXPECT_EQ(episode.scenario, "game");
+  EXPECT_GT(episode.energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,144 @@
+#include "rl/action.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+using test::ClusterSpec;
+using test::make_observation;
+
+ActionConfig no_jump() {
+  ActionConfig config;
+  config.jump = 0;
+  return config;
+}
+
+TEST(ActionSpaceTest, RejectsDegenerateConfig) {
+  EXPECT_THROW(ActionSpace(ActionConfig{}, 0), std::invalid_argument);
+  ActionConfig zero_step;
+  zero_step.step = 0;
+  EXPECT_THROW(ActionSpace(zero_step, 2), std::invalid_argument);
+}
+
+TEST(ActionSpaceTest, JointCountWithoutJump) {
+  const ActionSpace space(no_jump(), 2);
+  EXPECT_EQ(space.moves_per_cluster(), 3u);
+  EXPECT_EQ(space.action_count(), 9u);
+  const ActionSpace three(no_jump(), 3);
+  EXPECT_EQ(three.action_count(), 27u);
+}
+
+TEST(ActionSpaceTest, JumpAddsUpwardMove) {
+  ActionConfig config;
+  config.jump = 4;
+  const ActionSpace space(config, 2);
+  EXPECT_EQ(space.moves_per_cluster(), 4u);
+  EXPECT_EQ(space.action_count(), 16u);
+  // The move set contains exactly one move of +jump and none of -jump.
+  int plus_jump = 0;
+  int minus_jump = 0;
+  for (std::size_t m = 0; m < space.moves_per_cluster(); ++m) {
+    if (space.move_value(m) == 4) ++plus_jump;
+    if (space.move_value(m) == -4) ++minus_jump;
+  }
+  EXPECT_EQ(plus_jump, 1);
+  EXPECT_EQ(minus_jump, 0);
+}
+
+TEST(ActionSpaceTest, ActionZeroIsJointHold) {
+  const ActionSpace space(no_jump(), 2);
+  EXPECT_EQ(space.hold_action(), 0u);
+  EXPECT_EQ(space.delta(0, 0), 0);
+  EXPECT_EQ(space.delta(0, 1), 0);
+}
+
+TEST(ActionSpaceTest, MixedRadixDecodeCoversAllCombinations) {
+  const ActionSpace space(no_jump(), 2);
+  std::set<std::pair<int, int>> combos;
+  for (std::size_t a = 0; a < space.action_count(); ++a) {
+    combos.insert({space.delta(a, 0), space.delta(a, 1)});
+  }
+  EXPECT_EQ(combos.size(), 9u);
+  for (int d0 : {-1, 0, 1}) {
+    for (int d1 : {-1, 0, 1}) {
+      EXPECT_TRUE(combos.count({d0, d1}));
+    }
+  }
+}
+
+TEST(ActionSpaceTest, StepScalesDeltas) {
+  ActionConfig config = no_jump();
+  config.step = 2;
+  const ActionSpace space(config, 1);
+  std::set<int> values;
+  for (std::size_t m = 0; m < space.moves_per_cluster(); ++m) {
+    values.insert(space.move_value(m));
+  }
+  EXPECT_EQ(values, (std::set<int>{-2, 0, 2}));
+}
+
+TEST(ActionSpaceTest, ApplyClampsAtTableEnds) {
+  const ActionSpace space(no_jump(), 2);
+  const auto obs = make_observation(
+      {ClusterSpec{0, 13, 1.4e9, 0.5}, ClusterSpec{18, 19, 2.0e9, 0.5}});
+  governors::OppRequest request(2);
+  // Find the joint action (down, up).
+  for (std::size_t a = 0; a < space.action_count(); ++a) {
+    if (space.delta(a, 0) == -1 && space.delta(a, 1) == 1) {
+      space.apply(a, obs, request);
+      EXPECT_EQ(request[0], 0u);   // clamped at bottom
+      EXPECT_EQ(request[1], 18u);  // clamped at top
+      return;
+    }
+  }
+  FAIL() << "joint action (down, up) not found";
+}
+
+TEST(ActionSpaceTest, ApplyMovesRelativeToCurrent) {
+  const ActionSpace space(no_jump(), 1);
+  const auto obs = test::single_cluster(0.5, 9);
+  governors::OppRequest request(1);
+  for (std::size_t m = 0; m < space.moves_per_cluster(); ++m) {
+    space.apply_move(m, obs, 0, request);
+    EXPECT_EQ(static_cast<int>(request[0]), 9 + space.move_value(m));
+  }
+}
+
+TEST(ActionSpaceTest, ApplyMoveJumpClamps) {
+  ActionConfig config;
+  config.jump = 10;
+  const ActionSpace space(config, 1);
+  const auto obs = test::single_cluster(0.5, 12);
+  governors::OppRequest request(1);
+  for (std::size_t m = 0; m < space.moves_per_cluster(); ++m) {
+    if (space.move_value(m) == 10) {
+      space.apply_move(m, obs, 0, request);
+      EXPECT_EQ(request[0], 18u);
+      return;
+    }
+  }
+  FAIL() << "jump move not found";
+}
+
+TEST(ActionSpaceTest, OutOfRangeQueriesThrow) {
+  const ActionSpace space(no_jump(), 2);
+  EXPECT_THROW(space.delta(99, 0), std::out_of_range);
+  EXPECT_THROW(space.delta(0, 9), std::out_of_range);
+  EXPECT_THROW(space.move_value(17), std::out_of_range);
+  const auto obs = test::single_cluster(0.5, 9);
+  governors::OppRequest request(1);
+  EXPECT_THROW(space.apply_move(0, obs, 3, request), std::out_of_range);
+}
+
+TEST(ActionSpaceTest, ApplyClusterCountMismatchThrows) {
+  const ActionSpace space(no_jump(), 2);
+  const auto obs = test::single_cluster(0.5, 9);  // one cluster only
+  governors::OppRequest request(2);
+  EXPECT_THROW(space.apply(0, obs, request), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,160 @@
+#include "rl/agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::rl {
+namespace {
+
+QLearningConfig greedy_config() {
+  QLearningConfig config;
+  config.epsilon_start = 0.0;
+  config.epsilon_end = 0.0;
+  return config;
+}
+
+TEST(QLearningAgentTest, RejectsBadHyperparameters) {
+  QLearningConfig config;
+  config.alpha = 0.0;
+  EXPECT_THROW(QLearningAgent(config, 4, 2), std::invalid_argument);
+  config = QLearningConfig{};
+  config.gamma = 1.0;
+  EXPECT_THROW(QLearningAgent(config, 4, 2), std::invalid_argument);
+  config = QLearningConfig{};
+  config.epsilon_end = 0.9;  // end > start
+  EXPECT_THROW(QLearningAgent(config, 4, 2), std::invalid_argument);
+}
+
+TEST(QLearningAgentTest, TdUpdateFormula) {
+  QLearningConfig config = greedy_config();
+  config.alpha = 0.5;
+  config.gamma = 0.5;
+  QLearningAgent agent(config, 3, 2);
+  agent.table().set(1, 0, 4.0);  // max Q(s'=1) = 4
+  agent.learn(/*s=*/0, /*a=*/1, /*r=*/2.0, /*s'=*/1);
+  // target = 2 + 0.5*4 = 4; Q = 0 + 0.5*(4-0) = 2.
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 1), 2.0);
+  EXPECT_EQ(agent.table().visits(0, 1), 1u);
+}
+
+TEST(QLearningAgentTest, ConvergesToImmediateRewardBandit) {
+  // Single state, gamma small: Q(a) -> r(a)/(1-gamma) under repeated play.
+  QLearningConfig config = greedy_config();
+  config.alpha = 0.2;
+  config.gamma = 0.0;
+  QLearningAgent agent(config, 1, 2);
+  for (int i = 0; i < 500; ++i) {
+    agent.learn(0, 0, -1.0, 0);
+    agent.learn(0, 1, -0.2, 0);
+  }
+  EXPECT_NEAR(agent.q_value(0, 0), -1.0, 1e-6);
+  EXPECT_NEAR(agent.q_value(0, 1), -0.2, 1e-6);
+  EXPECT_EQ(agent.greedy_action(0), 1u);
+}
+
+TEST(QLearningAgentTest, ValuePropagatesAlongChain) {
+  // Chain s0 -> s1 -> terminal-ish loop. Reward only at the end; the value
+  // must flow back through gamma.
+  QLearningConfig config = greedy_config();
+  config.alpha = 0.5;
+  config.gamma = 0.8;
+  QLearningAgent agent(config, 3, 1);
+  for (int i = 0; i < 200; ++i) {
+    agent.learn(0, 0, 0.0, 1);
+    agent.learn(1, 0, 0.0, 2);
+    agent.learn(2, 0, 1.0, 2);
+  }
+  // V(2) = 1/(1-0.8) = 5; V(1) = 0.8*5 = 4; V(0) = 0.8*4 = 3.2.
+  EXPECT_NEAR(agent.q_value(2, 0), 5.0, 0.01);
+  EXPECT_NEAR(agent.q_value(1, 0), 4.0, 0.01);
+  EXPECT_NEAR(agent.q_value(0, 0), 3.2, 0.01);
+}
+
+TEST(QLearningAgentTest, GreedyWhenEpsilonZero) {
+  QLearningAgent agent(greedy_config(), 2, 3);
+  agent.table().set(0, 2, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(agent.select_action(0), 2u);
+}
+
+TEST(QLearningAgentTest, ExploresWhenEpsilonOne) {
+  QLearningConfig config;
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 1.0;
+  QLearningAgent agent(config, 1, 4);
+  agent.table().set(0, 3, 100.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[agent.select_action(0)];
+  // Uniform exploration: each action ~1000.
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(QLearningAgentTest, EpsilonDecaysLinearly) {
+  QLearningConfig config;
+  config.epsilon_start = 0.6;
+  config.epsilon_end = 0.1;
+  config.epsilon_decay_episodes = 5;
+  QLearningAgent agent(config, 1, 2);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.6);
+  agent.begin_episode();
+  EXPECT_NEAR(agent.epsilon(), 0.5, 1e-12);
+  for (int i = 0; i < 10; ++i) agent.begin_episode();
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.1);  // clamps at end
+}
+
+TEST(QLearningAgentTest, FrozenNeitherLearnsNorExplores) {
+  QLearningConfig config;
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 1.0;
+  QLearningAgent agent(config, 2, 3);
+  agent.table().set(0, 1, 5.0);
+  agent.set_frozen(true);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(agent.select_action(0), 1u);
+  agent.learn(0, 0, 10.0, 1);
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 0.0);
+  agent.set_frozen(false);
+  agent.learn(0, 0, 10.0, 1);
+  EXPECT_GT(agent.q_value(0, 0), 0.0);
+}
+
+TEST(QLearningAgentTest, ActionBiasSteersGreedyOnly) {
+  QLearningAgent agent(greedy_config(), 2, 3);
+  agent.table().set(0, 0, 0.10);
+  agent.table().set(0, 1, 0.12);
+  EXPECT_EQ(agent.greedy_action(0), 1u);
+  // Bias of +0.05 on action 0 flips the near-tie...
+  agent.set_action_bias({0.05, 0.0, 0.0});
+  EXPECT_EQ(agent.greedy_action(0), 0u);
+  // ...but cannot override a decisive gap.
+  agent.table().set(0, 1, 1.0);
+  EXPECT_EQ(agent.greedy_action(0), 1u);
+  // And the TD target stays unbiased: learn toward max Q(s')=1.0, not
+  // max(Q+bias).
+  QLearningConfig config = greedy_config();
+  config.alpha = 1.0;
+  config.gamma = 0.5;
+  QLearningAgent learner(config, 2, 2);
+  learner.table().set(1, 0, 2.0);
+  learner.set_action_bias({0.0, 100.0});  // biased argmax would pick a1=0
+  learner.learn(0, 0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(learner.q_value(0, 0), 1.0);  // 0.5 * max(2.0, 0.0)
+}
+
+TEST(QLearningAgentTest, ActionBiasSizeMismatchThrows) {
+  QLearningAgent agent(greedy_config(), 2, 3);
+  EXPECT_THROW(agent.set_action_bias({1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(agent.set_action_bias({}));  // empty disables
+}
+
+TEST(QLearningAgentTest, DeterministicWithSameSeed) {
+  QLearningConfig config;
+  config.epsilon_start = 0.5;
+  config.epsilon_end = 0.5;
+  config.seed = 99;
+  QLearningAgent a(config, 4, 3);
+  QLearningAgent b(config, 4, 3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.select_action(i % 4), b.select_action(i % 4));
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,119 @@
+// TD-control algorithm variants of the float agent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rl/agent.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+QLearningConfig variant(TdAlgorithm algorithm, double eps = 0.0) {
+  QLearningConfig config;
+  config.algorithm = algorithm;
+  config.epsilon_start = eps;
+  config.epsilon_end = eps;
+  return config;
+}
+
+TEST(TdAlgorithmTest, Names) {
+  EXPECT_STREQ(td_algorithm_name(TdAlgorithm::QLearning), "q-learning");
+  EXPECT_STREQ(td_algorithm_name(TdAlgorithm::DoubleQ), "double-q");
+  EXPECT_STREQ(td_algorithm_name(TdAlgorithm::ExpectedSarsa),
+               "expected-sarsa");
+}
+
+TEST(DoubleQTest, SecondTableOnlyForDoubleQ) {
+  QLearningAgent plain(variant(TdAlgorithm::QLearning), 4, 2);
+  EXPECT_EQ(plain.table_b(), nullptr);
+  QLearningAgent dbl(variant(TdAlgorithm::DoubleQ), 4, 2);
+  EXPECT_NE(dbl.table_b(), nullptr);
+}
+
+TEST(DoubleQTest, ConvergesToBanditValues) {
+  QLearningConfig config = variant(TdAlgorithm::DoubleQ);
+  config.alpha = 0.2;
+  config.gamma = 0.0;
+  QLearningAgent agent(config, 1, 2);
+  for (int i = 0; i < 2000; ++i) {
+    agent.learn(0, 0, -1.0, 0);
+    agent.learn(0, 1, -0.2, 0);
+  }
+  EXPECT_NEAR(agent.q_value(0, 0), -1.0, 1e-3);
+  EXPECT_NEAR(agent.q_value(0, 1), -0.2, 1e-3);
+  EXPECT_EQ(agent.greedy_action(0), 1u);
+}
+
+TEST(DoubleQTest, QValueIsMeanOfTables) {
+  QLearningAgent agent(variant(TdAlgorithm::DoubleQ), 2, 2);
+  agent.table().set(0, 0, 4.0);
+  // table_b stays 0 -> combined = 2.0.
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 2.0);
+}
+
+TEST(DoubleQTest, SetQValueWritesBothTables) {
+  QLearningAgent agent(variant(TdAlgorithm::DoubleQ), 2, 2);
+  agent.set_q_value(1, 1, 3.0);
+  EXPECT_DOUBLE_EQ(agent.q_value(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(agent.table().get(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(agent.table_b()->get(1, 1), 3.0);
+}
+
+TEST(DoubleQTest, LessOverestimationThanQLearning) {
+  // Classic overestimation setup: one state, many actions whose true value
+  // is 0 but whose sampled rewards are noisy. Q-learning's max operator
+  // inflates the state value; Double Q stays closer to 0.
+  auto run = [](TdAlgorithm algorithm) {
+    QLearningConfig config = variant(algorithm);
+    config.alpha = 0.1;
+    config.gamma = 0.9;
+    config.seed = 5;
+    QLearningAgent agent(config, 1, 8);
+    Rng noise(42);
+    for (int i = 0; i < 5000; ++i) {
+      const auto a = static_cast<std::size_t>(i % 8);
+      agent.learn(0, a, noise.normal(0.0, 1.0), 0);
+    }
+    double v = -1e9;
+    for (std::size_t a = 0; a < 8; ++a) v = std::max(v, agent.q_value(0, a));
+    return v;
+  };
+  const double q_value = run(TdAlgorithm::QLearning);
+  const double double_q_value = run(TdAlgorithm::DoubleQ);
+  EXPECT_GT(q_value, double_q_value);
+  EXPECT_GT(q_value, 0.5);  // visibly inflated
+}
+
+TEST(ExpectedSarsaTest, MatchesQLearningAtZeroEpsilon) {
+  // With eps = 0 the expectation collapses to the max: identical updates.
+  QLearningConfig cfg_q = variant(TdAlgorithm::QLearning);
+  QLearningConfig cfg_es = variant(TdAlgorithm::ExpectedSarsa);
+  QLearningAgent q(cfg_q, 3, 2);
+  QLearningAgent es(cfg_es, 3, 2);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i) % 3;
+    q.learn(s, i % 2, -0.5, (s + 1) % 3);
+    es.learn(s, i % 2, -0.5, (s + 1) % 3);
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      EXPECT_DOUBLE_EQ(q.q_value(s, a), es.q_value(s, a));
+    }
+  }
+}
+
+TEST(ExpectedSarsaTest, TargetBlendsMaxAndMean) {
+  QLearningConfig config = variant(TdAlgorithm::ExpectedSarsa, /*eps=*/0.5);
+  config.alpha = 1.0;
+  config.gamma = 0.5;
+  QLearningAgent agent(config, 2, 2);
+  agent.table().set(1, 0, 4.0);
+  agent.table().set(1, 1, 0.0);
+  agent.learn(0, 0, 0.0, 1);
+  // expectation = 0.5*max(4) + 0.5*mean(2) = 3; target = 0.5*3 = 1.5.
+  EXPECT_DOUBLE_EQ(agent.q_value(0, 0), 1.5);
+}
+
+}  // namespace
+}  // namespace pmrl::rl

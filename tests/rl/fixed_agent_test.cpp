@@ -1,0 +1,178 @@
+#include "rl/fixed_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pmrl::rl {
+namespace {
+
+FixedAgentConfig greedy_fixed(unsigned frac = 10) {
+  FixedAgentConfig config;
+  config.frac_bits = frac;
+  config.learning.epsilon_start = 0.0;
+  config.learning.epsilon_end = 0.0;
+  return config;
+}
+
+TEST(FixedAgentTest, RejectsDegenerateDimensions) {
+  EXPECT_THROW(FixedPointQAgent(greedy_fixed(), 0, 3),
+               std::invalid_argument);
+  EXPECT_THROW(FixedPointQAgent(greedy_fixed(), 3, 0),
+               std::invalid_argument);
+}
+
+TEST(FixedAgentTest, RejectsAlphaQuantizingToZero) {
+  FixedAgentConfig config = greedy_fixed(/*frac=*/2);  // lsb 0.25
+  config.learning.alpha = 0.05;                        // rounds to 0
+  EXPECT_THROW(FixedPointQAgent(config, 4, 2), std::invalid_argument);
+}
+
+TEST(FixedAgentTest, ConstantsQuantized) {
+  FixedAgentConfig config = greedy_fixed(10);
+  config.learning.alpha = 0.15;
+  config.learning.gamma = 0.5;
+  FixedPointQAgent agent(config, 4, 2);
+  EXPECT_EQ(agent.alpha_raw(), agent.format().from_double(0.15));
+  EXPECT_EQ(agent.gamma_raw(), agent.format().from_double(0.5));
+}
+
+TEST(FixedAgentTest, TdUpdateMatchesFixedArithmetic) {
+  FixedAgentConfig config = greedy_fixed(10);
+  config.learning.alpha = 0.5;
+  config.learning.gamma = 0.5;
+  FixedPointQAgent agent(config, 3, 2);
+  agent.learn(0, 1, 2.0, 1);  // next-state Q all zero
+  // target = 2 + 0.5*0 = 2; delta = 0.5 * 2 = 1.
+  EXPECT_NEAR(agent.q_value(0, 1), 1.0, agent.format().lsb() * 2);
+}
+
+TEST(FixedAgentTest, BanditConvergesWithinQuantization) {
+  FixedAgentConfig config = greedy_fixed(10);
+  config.learning.alpha = 0.25;
+  config.learning.gamma = 0.0;
+  FixedPointQAgent agent(config, 1, 2);
+  for (int i = 0; i < 300; ++i) {
+    agent.learn(0, 0, -1.0, 0);
+    agent.learn(0, 1, -0.25, 0);
+  }
+  EXPECT_NEAR(agent.q_value(0, 0), -1.0, 0.02);
+  EXPECT_NEAR(agent.q_value(0, 1), -0.25, 0.02);
+  EXPECT_EQ(agent.greedy_action(0), 1u);
+}
+
+TEST(FixedAgentTest, SaturatesInsteadOfWrapping) {
+  FixedAgentConfig config = greedy_fixed(12);  // range ~[-8, 8)
+  config.learning.alpha = 1.0;
+  config.learning.gamma = 0.0;
+  FixedPointQAgent agent(config, 1, 1);
+  for (int i = 0; i < 10; ++i) agent.learn(0, 0, -100.0, 0);
+  EXPECT_NEAR(agent.q_value(0, 0), agent.format().value_min(), 0.01);
+  for (int i = 0; i < 10; ++i) agent.learn(0, 0, 100.0, 0);
+  EXPECT_NEAR(agent.q_value(0, 0), agent.format().value_max(), 0.01);
+}
+
+TEST(FixedAgentTest, GreedyTieBreaksLowestLikeComparatorTree) {
+  FixedPointQAgent agent(greedy_fixed(), 1, 4);
+  EXPECT_EQ(agent.greedy_action(0), 0u);
+}
+
+TEST(FixedAgentTest, EpsilonThresholdTracksSchedule) {
+  FixedAgentConfig config;
+  config.learning.epsilon_start = 0.5;
+  config.learning.epsilon_end = 0.0;
+  config.learning.epsilon_decay_episodes = 2;
+  FixedPointQAgent agent(config, 2, 2);
+  EXPECT_EQ(agent.epsilon_threshold(), 32768u);
+  agent.begin_episode();
+  EXPECT_EQ(agent.epsilon_threshold(), 16384u);
+  agent.begin_episode();
+  EXPECT_EQ(agent.epsilon_threshold(), 0u);
+}
+
+TEST(FixedAgentTest, LfsrExplorationFrequency) {
+  FixedAgentConfig config;
+  config.learning.epsilon_start = 0.25;
+  config.learning.epsilon_end = 0.25;
+  FixedPointQAgent agent(config, 1, 4);
+  // Raise action 0 so greedy picks it; exploration picks uniformly.
+  agent.set_frozen(false);
+  // Manually bump Q(0,0) by learning positive reward there.
+  for (int i = 0; i < 50; ++i) agent.learn(0, 0, 1.0, 0);
+  int non_greedy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (agent.select_action(0) != 0) ++non_greedy;
+  }
+  // Idealized P(non-greedy) = epsilon * 3/4 ~= 0.1875. The hardware LFSR
+  // draws the epsilon test and the action pick from *consecutive* shifts
+  // of one register, which correlates them (a deliberate hardware
+  // fidelity); assert the achieved rate stays in a sane band around the
+  // ideal rather than matching it exactly.
+  const double rate = non_greedy / static_cast<double>(n);
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST(FixedAgentTest, FrozenIsGreedyAndImmutable) {
+  FixedAgentConfig config;
+  config.learning.epsilon_start = 1.0;
+  config.learning.epsilon_end = 1.0;
+  FixedPointQAgent agent(config, 2, 3);
+  agent.learn(0, 2, 4.0, 1);
+  const auto q_before = agent.q_raw(0, 2);
+  agent.set_frozen(true);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(agent.select_action(0), 2u);
+  agent.learn(0, 0, 100.0, 1);
+  EXPECT_EQ(agent.q_raw(0, 2), q_before);
+  EXPECT_EQ(agent.q_raw(0, 0), 0);
+}
+
+TEST(FixedAgentTest, ActionBiasQuantizedAndApplied) {
+  FixedPointQAgent agent(greedy_fixed(), 1, 3);
+  agent.set_action_bias({0.0, 0.05, 0.0});
+  EXPECT_EQ(agent.greedy_action(0), 1u);  // bias wins on all-zero Q
+  EXPECT_THROW(agent.set_action_bias({1.0}), std::invalid_argument);
+}
+
+TEST(FixedAgentTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    FixedAgentConfig config;
+    config.learning.epsilon_start = 0.3;
+    config.learning.epsilon_end = 0.3;
+    config.learning.seed = 0x1234;
+    FixedPointQAgent agent(config, 8, 3);
+    std::vector<std::size_t> actions;
+    for (int i = 0; i < 500; ++i) {
+      const std::size_t s = i % 8;
+      const std::size_t a = agent.select_action(s);
+      agent.learn(s, a, -0.1 * static_cast<double>(a), (s + 1) % 8);
+      actions.push_back(a);
+    }
+    return actions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Precision sweep: the fixed agent's bandit solution approaches the float
+// agent's as fractional bits grow.
+class FixedPrecisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FixedPrecisionSweep, BanditErrorBoundedByLsb) {
+  const unsigned frac = GetParam();
+  FixedAgentConfig config = greedy_fixed(frac);
+  config.learning.alpha = 0.25;
+  config.learning.gamma = 0.0;
+  FixedPointQAgent agent(config, 1, 1);
+  const double target = -0.8125;  // exactly representable at frac >= 4
+  for (int i = 0; i < 400; ++i) agent.learn(0, 0, target, 0);
+  // Steady-state error is bounded by a few LSBs (truncation bias in the
+  // alpha multiply).
+  EXPECT_NEAR(agent.q_value(0, 0), target, 8.0 * agent.format().lsb());
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, FixedPrecisionSweep,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u));
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,128 @@
+#include "rl/policy_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+RlGovernorConfig quiet() {
+  RlGovernorConfig config;
+  config.learning.epsilon_start = 0.3;
+  config.learning.epsilon_end = 0.3;
+  config.warmup_decisions = 0;
+  return config;
+}
+
+governors::PolicyObservation obs() {
+  auto o = test::make_observation(
+      {test::ClusterSpec{6, 13, 1.4e9, 0.4, 0.4, 0, 0.8},
+       test::ClusterSpec{9, 19, 2.0e9, 0.6, 0.6, 0, 6.8}});
+  o.epoch_duration_s = 0.02;
+  o.cluster_feedback[0].epoch_energy_j = 0.004;
+  o.cluster_feedback[1].epoch_energy_j = 0.02;
+  return o;
+}
+
+void exercise(RlGovernor& governor, int decisions = 300) {
+  const auto observation = obs();
+  governor.reset(observation);
+  governors::OppRequest request(2);
+  for (int i = 0; i < decisions; ++i) governor.decide(observation, request);
+}
+
+TEST(PolicyIoTest, RoundTripPreservesAllQValues) {
+  RlGovernor original(quiet(), 2);
+  exercise(original);
+  std::stringstream checkpoint;
+  save_policy(original, checkpoint);
+
+  RlGovernor restored(quiet(), 2);
+  load_policy(restored, checkpoint);
+  for (std::size_t i = 0; i < original.agent_count(); ++i) {
+    for (std::size_t s = 0; s < original.agent(i).state_count(); ++s) {
+      for (std::size_t a = 0; a < original.agent(i).action_count(); ++a) {
+        ASSERT_DOUBLE_EQ(restored.agent(i).q_value(s, a),
+                         original.agent(i).q_value(s, a));
+      }
+    }
+  }
+}
+
+TEST(PolicyIoTest, RestoredPolicyDecidesIdentically) {
+  RlGovernor original(quiet(), 2);
+  exercise(original);
+  original.set_frozen(true);
+  std::stringstream checkpoint;
+  save_policy(original, checkpoint);
+
+  RlGovernor restored(quiet(), 2);
+  load_policy(restored, checkpoint);
+  restored.set_frozen(true);
+
+  const auto observation = obs();
+  original.reset(observation);
+  restored.reset(observation);
+  governors::OppRequest a(2);
+  governors::OppRequest b(2);
+  for (int i = 0; i < 100; ++i) {
+    original.decide(observation, a);
+    restored.decide(observation, b);
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(PolicyIoTest, FixedBackendRoundTripsLosslessly) {
+  RlGovernorConfig config = quiet();
+  config.backend = AgentBackend::Fixed;
+  RlGovernor original(config, 2);
+  exercise(original);
+  std::stringstream checkpoint;
+  save_policy(original, checkpoint);
+
+  RlGovernor restored(config, 2);
+  load_policy(restored, checkpoint);
+  // Dequantize -> %.17g -> requantize must be exact.
+  const auto& orig_agent =
+      dynamic_cast<const FixedPointQAgent&>(original.agent(0));
+  const auto& rest_agent =
+      dynamic_cast<const FixedPointQAgent&>(restored.agent(0));
+  for (std::size_t s = 0; s < orig_agent.state_count(); ++s) {
+    for (std::size_t a = 0; a < orig_agent.action_count(); ++a) {
+      ASSERT_EQ(rest_agent.q_raw(s, a), orig_agent.q_raw(s, a));
+    }
+  }
+}
+
+TEST(PolicyIoTest, RejectsBadHeader) {
+  RlGovernor governor(quiet(), 2);
+  std::stringstream bad("not-a-policy\n");
+  EXPECT_THROW(load_policy(governor, bad), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsShapeMismatch) {
+  RlGovernor big(quiet(), 2);
+  std::stringstream checkpoint;
+  save_policy(big, checkpoint);
+  RlGovernorConfig small_config = quiet();
+  small_config.state.util_bins = 2;
+  RlGovernor small(small_config, 2);
+  EXPECT_THROW(load_policy(small, checkpoint), std::runtime_error);
+}
+
+TEST(PolicyIoTest, RejectsTruncatedCheckpoint) {
+  RlGovernor governor(quiet(), 2);
+  std::stringstream checkpoint;
+  save_policy(governor, checkpoint);
+  std::string text = checkpoint.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  RlGovernor target(quiet(), 2);
+  EXPECT_THROW(load_policy(target, truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pmrl::rl

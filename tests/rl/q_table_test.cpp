@@ -1,0 +1,105 @@
+#include "rl/q_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmrl::rl {
+namespace {
+
+TEST(QTableTest, RejectsZeroDimensions) {
+  EXPECT_THROW(QTable(0, 3), std::invalid_argument);
+  EXPECT_THROW(QTable(3, 0), std::invalid_argument);
+}
+
+TEST(QTableTest, InitialValueFills) {
+  const QTable table(4, 3, -1.5);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_DOUBLE_EQ(table.get(s, a), -1.5);
+    }
+  }
+}
+
+TEST(QTableTest, SetGetRoundTrip) {
+  QTable table(4, 3);
+  table.set(2, 1, 3.25);
+  EXPECT_DOUBLE_EQ(table.get(2, 1), 3.25);
+  EXPECT_DOUBLE_EQ(table.get(2, 0), 0.0);
+}
+
+TEST(QTableTest, OutOfRangeThrows) {
+  QTable table(4, 3);
+  EXPECT_THROW(table.get(4, 0), std::out_of_range);
+  EXPECT_THROW(table.get(0, 3), std::out_of_range);
+  EXPECT_THROW(table.set(9, 9, 1.0), std::out_of_range);
+}
+
+TEST(QTableTest, ArgmaxAndTieBreakLowest) {
+  QTable table(2, 4);
+  table.set(0, 2, 5.0);
+  EXPECT_EQ(table.argmax(0), 2u);
+  EXPECT_DOUBLE_EQ(table.max_value(0), 5.0);
+  // All equal -> lowest index wins (hardware comparator-tree convention).
+  EXPECT_EQ(table.argmax(1), 0u);
+  table.set(1, 1, 7.0);
+  table.set(1, 3, 7.0);
+  EXPECT_EQ(table.argmax(1), 1u);
+}
+
+TEST(QTableTest, ArgmaxWithNegativeValues) {
+  QTable table(1, 3, -10.0);
+  table.set(0, 2, -3.0);
+  EXPECT_EQ(table.argmax(0), 2u);
+}
+
+TEST(QTableTest, VisitBookkeeping) {
+  QTable table(3, 2);
+  EXPECT_EQ(table.visited_pairs(), 0u);
+  table.record_visit(0, 1);
+  table.record_visit(0, 1);
+  table.record_visit(2, 0);
+  EXPECT_EQ(table.visits(0, 1), 2u);
+  EXPECT_EQ(table.visits(0, 0), 0u);
+  EXPECT_EQ(table.visited_pairs(), 2u);
+  EXPECT_EQ(table.visited_states(), 2u);
+}
+
+TEST(QTableTest, FillOverwrites) {
+  QTable table(2, 2);
+  table.set(0, 0, 9.0);
+  table.fill(1.0);
+  EXPECT_DOUBLE_EQ(table.get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.get(1, 1), 1.0);
+}
+
+TEST(QTableTest, SaveLoadRoundTrip) {
+  QTable table(3, 2);
+  table.set(0, 0, 1.5);
+  table.set(1, 1, -2.25);
+  table.set(2, 0, 1e-7);
+  std::stringstream io;
+  table.save(io);
+  const QTable loaded = QTable::load(io);
+  ASSERT_EQ(loaded.states(), 3u);
+  ASSERT_EQ(loaded.actions(), 2u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      EXPECT_DOUBLE_EQ(loaded.get(s, a), table.get(s, a));
+    }
+  }
+}
+
+TEST(QTableTest, LoadRejectsBadInput) {
+  {
+    std::stringstream io("");
+    EXPECT_THROW(QTable::load(io), std::runtime_error);
+  }
+  {
+    std::stringstream io("1,2\n3\n");  // ragged
+    EXPECT_THROW(QTable::load(io), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,157 @@
+#include "rl/reward.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+using test::ClusterSpec;
+using test::make_observation;
+
+governors::PolicyObservation feedback_obs(double energy_j, double quality,
+                                          std::size_t releases,
+                                          double duration = 0.02) {
+  auto obs = test::single_cluster(0.5, 9);
+  obs.epoch_duration_s = duration;
+  obs.epoch_energy_j = energy_j;
+  obs.epoch_quality = quality;
+  obs.epoch_releases = releases;
+  return obs;
+}
+
+TEST(RewardTest, RejectsBadConfig) {
+  RewardConfig bad_power;
+  bad_power.power_ref_w = 0.0;
+  EXPECT_THROW(RewardFunction{bad_power}, std::invalid_argument);
+  RewardConfig bad_lambda;
+  bad_lambda.lambda_qos = -1.0;
+  EXPECT_THROW(RewardFunction{bad_lambda}, std::invalid_argument);
+}
+
+TEST(RewardTest, EnergyTermNormalization) {
+  RewardConfig config;
+  config.power_ref_w = 2.0;
+  const RewardFunction reward(config);
+  // 0.04 J over 20 ms = 2 W = exactly the reference -> term = -1.
+  EXPECT_DOUBLE_EQ(reward.energy_term(feedback_obs(0.04, 5, 5)), -1.0);
+  // Half the power -> -0.5.
+  EXPECT_DOUBLE_EQ(reward.energy_term(feedback_obs(0.02, 5, 5)), -0.5);
+}
+
+TEST(RewardTest, EnergyTermClipped) {
+  RewardConfig config;
+  config.power_ref_w = 1.0;
+  const RewardFunction reward(config);
+  EXPECT_DOUBLE_EQ(reward.energy_term(feedback_obs(100.0, 5, 5)), -2.0);
+}
+
+TEST(RewardTest, QosDeficitFraction) {
+  const RewardFunction reward{RewardConfig{}};
+  // 10 owed, 7.5 delivered -> deficit 0.25.
+  EXPECT_DOUBLE_EQ(reward.qos_deficit(feedback_obs(0.0, 7.5, 10)), 0.25);
+  // Full delivery -> 0.
+  EXPECT_DOUBLE_EQ(reward.qos_deficit(feedback_obs(0.0, 10.0, 10)), 0.0);
+  // Over-delivery (backlog draining) clamps at 0.
+  EXPECT_DOUBLE_EQ(reward.qos_deficit(feedback_obs(0.0, 15.0, 10)), 0.0);
+  // No releases -> no deficit.
+  EXPECT_DOUBLE_EQ(reward.qos_deficit(feedback_obs(0.0, 0.0, 0)), 0.0);
+}
+
+TEST(RewardTest, CombinedRewardAndTransitionPenalty) {
+  RewardConfig config;
+  config.power_ref_w = 2.0;
+  config.lambda_qos = 2.0;
+  config.transition_penalty = 0.05;
+  const RewardFunction reward(config);
+  const auto obs = feedback_obs(0.02, 7.5, 10);  // energy -0.5, deficit .25
+  EXPECT_DOUBLE_EQ(reward(obs, false), -0.5 - 2.0 * 0.25);
+  EXPECT_DOUBLE_EQ(reward(obs, true), -0.5 - 2.0 * 0.25 - 0.05);
+}
+
+TEST(RewardTest, MoreEnergyIsWorse) {
+  const RewardFunction reward{RewardConfig{}};
+  EXPECT_GT(reward(feedback_obs(0.01, 10, 10), false),
+            reward(feedback_obs(0.03, 10, 10), false));
+}
+
+TEST(RewardTest, MoreViolationsIsWorse) {
+  const RewardFunction reward{RewardConfig{}};
+  EXPECT_GT(reward(feedback_obs(0.02, 10, 10), false),
+            reward(feedback_obs(0.02, 6, 10), false));
+}
+
+TEST(RewardTest, ZeroDurationIsNeutralEnergy) {
+  const RewardFunction reward{RewardConfig{}};
+  EXPECT_DOUBLE_EQ(reward.energy_term(feedback_obs(0.5, 5, 5, 0.0)), 0.0);
+}
+
+// ---- per-cluster reward ----------------------------------------------------
+
+governors::PolicyObservation cluster_obs() {
+  auto obs = make_observation(
+      {ClusterSpec{5, 13, 1.4e9, 0.5, 0.5, 0, /*max_power=*/0.8},
+       ClusterSpec{9, 19, 2.0e9, 0.5, 0.5, 0, /*max_power=*/6.8}});
+  obs.epoch_duration_s = 0.02;
+  return obs;
+}
+
+TEST(ClusterRewardTest, EnergyNormalizedByOwnMaxPower) {
+  const RewardFunction reward{RewardConfig{}};
+  auto obs = cluster_obs();
+  // Cluster 0: 0.8 W max; 0.008 J / 20 ms = 0.4 W -> 50% of max -> -0.5.
+  obs.cluster_feedback[0].epoch_energy_j = 0.008;
+  // Cluster 1: 6.8 W max; 0.0136 J / 20 ms = 0.68 W -> 10% -> -0.1.
+  obs.cluster_feedback[1].epoch_energy_j = 0.0136;
+  EXPECT_NEAR(reward.cluster_energy_term(obs, 0), -0.5, 1e-12);
+  EXPECT_NEAR(reward.cluster_energy_term(obs, 1), -0.1, 1e-12);
+}
+
+TEST(ClusterRewardTest, DeficitFromOwnCompletions) {
+  const RewardFunction reward{RewardConfig{}};
+  auto obs = cluster_obs();
+  obs.cluster_feedback[0].epoch_deadline_completed = 4;
+  obs.cluster_feedback[0].epoch_deadline_quality = 3.0;
+  EXPECT_DOUBLE_EQ(reward.cluster_qos_deficit(obs, 0), 0.25);
+  EXPECT_DOUBLE_EQ(reward.cluster_qos_deficit(obs, 1), 0.0);
+}
+
+TEST(ClusterRewardTest, OverdueCountsAsFullDeficitWeight) {
+  const RewardFunction reward{RewardConfig{}};
+  auto obs = cluster_obs();
+  // Nothing completed but 3 jobs drowning: deficit = 1.
+  obs.soc.clusters[0].overdue_jobs = 3;
+  EXPECT_DOUBLE_EQ(reward.cluster_qos_deficit(obs, 0), 1.0);
+  // 3 perfect completions + 3 overdue: deficit = 0.5.
+  obs.cluster_feedback[0].epoch_deadline_completed = 3;
+  obs.cluster_feedback[0].epoch_deadline_quality = 3.0;
+  EXPECT_DOUBLE_EQ(reward.cluster_qos_deficit(obs, 0), 0.5);
+}
+
+TEST(ClusterRewardTest, IndependentAcrossClusters) {
+  // A violation on cluster 1 must not change cluster 0's reward.
+  RewardConfig config;
+  config.lambda_qos = 2.0;
+  const RewardFunction reward(config);
+  auto clean = cluster_obs();
+  auto dirty = cluster_obs();
+  dirty.cluster_feedback[1].epoch_deadline_completed = 5;
+  dirty.cluster_feedback[1].epoch_violations = 5;
+  EXPECT_DOUBLE_EQ(reward.cluster_reward(clean, 0, false),
+                   reward.cluster_reward(dirty, 0, false));
+  EXPECT_LE(reward.cluster_reward(dirty, 1, false),
+            reward.cluster_reward(clean, 1, false));
+}
+
+TEST(ClusterRewardTest, OutOfRangeClusterIsNeutral) {
+  const RewardFunction reward{RewardConfig{}};
+  const auto obs = cluster_obs();
+  EXPECT_DOUBLE_EQ(reward.cluster_energy_term(obs, 7), 0.0);
+  EXPECT_DOUBLE_EQ(reward.cluster_qos_deficit(obs, 7), 0.0);
+}
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,209 @@
+#include "rl/rl_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+using test::ClusterSpec;
+using test::make_observation;
+
+RlGovernorConfig quiet_config() {
+  RlGovernorConfig config;
+  config.learning.epsilon_start = 0.0;
+  config.learning.epsilon_end = 0.0;
+  config.warmup_decisions = 0;
+  return config;
+}
+
+governors::PolicyObservation two_cluster_obs(std::size_t opp0 = 6,
+                                             std::size_t opp1 = 9) {
+  auto obs = make_observation(
+      {ClusterSpec{opp0, 13, 1.4e9, 0.4, 0.4, 0, 0.8},
+       ClusterSpec{opp1, 19, 2.0e9, 0.4, 0.4, 0, 6.8}});
+  obs.epoch_duration_s = 0.02;
+  obs.epoch_energy_j = 0.02;
+  obs.cluster_feedback[0].epoch_energy_j = 0.004;
+  obs.cluster_feedback[1].epoch_energy_j = 0.016;
+  return obs;
+}
+
+TEST(RlGovernorTest, FactoredCreatesOneAgentPerCluster) {
+  RlGovernor governor(quiet_config(), 2);
+  EXPECT_EQ(governor.agent_count(), 2u);
+  EXPECT_EQ(governor.agent(0).state_count(),
+            governor.encoder().cluster_state_count());
+  EXPECT_EQ(governor.agent(0).action_count(),
+            governor.actions().moves_per_cluster());
+}
+
+TEST(RlGovernorTest, JointCreatesSingleAgent) {
+  RlGovernorConfig config = quiet_config();
+  config.structure = PolicyStructure::Joint;
+  config.action.jump = 0;
+  RlGovernor governor(config, 2);
+  EXPECT_EQ(governor.agent_count(), 1u);
+  EXPECT_EQ(governor.agent().state_count(),
+            governor.encoder().state_count());
+  EXPECT_EQ(governor.agent().action_count(), 9u);
+}
+
+TEST(RlGovernorTest, NameReflectsBackend) {
+  RlGovernor float_gov(quiet_config(), 2);
+  EXPECT_EQ(float_gov.name(), "rl");
+  RlGovernorConfig fixed = quiet_config();
+  fixed.backend = AgentBackend::Fixed;
+  RlGovernor fixed_gov(fixed, 2);
+  EXPECT_EQ(fixed_gov.name(), "rl-fixed");
+}
+
+TEST(RlGovernorTest, DecideFillsValidRequest) {
+  RlGovernor governor(quiet_config(), 2);
+  const auto obs = two_cluster_obs();
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  for (int i = 0; i < 50; ++i) {
+    governor.decide(obs, request);
+    EXPECT_LT(request[0], 13u);
+    EXPECT_LT(request[1], 19u);
+  }
+  EXPECT_EQ(governor.run_decisions(), 50u);
+}
+
+TEST(RlGovernorTest, RequestsAreOneStepFromCurrent) {
+  // Without a jump move, every request differs from the current OPP by at
+  // most the step size (or is guard-boosted, which needs QoS pressure).
+  RlGovernorConfig config = quiet_config();
+  config.action.jump = 0;
+  RlGovernor governor(config, 2);
+  const auto obs = two_cluster_obs(6, 9);
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_LE(std::abs(static_cast<int>(request[0]) - 6), 1);
+  EXPECT_LE(std::abs(static_cast<int>(request[1]) - 9), 1);
+}
+
+TEST(RlGovernorTest, DownBiasDescendsFromColdStart) {
+  // With zero epsilon and an untouched Q-table, the down-bias prior makes
+  // the greedy policy walk toward OPP 0.
+  RlGovernor governor(quiet_config(), 2);
+  auto obs = two_cluster_obs(6, 9);
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_EQ(request[0], 5u);
+  EXPECT_EQ(request[1], 8u);
+}
+
+TEST(RlGovernorTest, QosGuardBoostsUnderPressure) {
+  RlGovernorConfig config = quiet_config();
+  config.qos_guard_fraction = 0.8;
+  RlGovernor governor(config, 2);
+  auto obs = two_cluster_obs(2, 2);
+  // Cluster 1 is drowning: pressure hits the top bin.
+  obs.soc.clusters[1].overdue_jobs = 10;
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_LE(request[0], 2u);   // unaffected cluster keeps descending
+  EXPECT_EQ(request[1], 14u);  // guard floor = round(0.8 * 18)
+}
+
+TEST(RlGovernorTest, QosGuardDisabledByZeroFraction) {
+  RlGovernorConfig config = quiet_config();
+  config.qos_guard_fraction = 0.0;
+  RlGovernor governor(config, 2);
+  auto obs = two_cluster_obs(2, 2);
+  obs.soc.clusters[1].overdue_jobs = 10;
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  governor.decide(obs, request);
+  EXPECT_LE(request[1], 3u);
+}
+
+TEST(RlGovernorTest, LearnsFromRewardFeedback) {
+  RlGovernorConfig config = quiet_config();
+  config.learning.epsilon_start = 0.3;
+  config.learning.epsilon_end = 0.3;
+  RlGovernor governor(config, 2);
+  auto obs = two_cluster_obs();
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  for (int i = 0; i < 200; ++i) governor.decide(obs, request);
+  // Q-tables received updates (visited pairs > 0 for the float agent).
+  double nonzero = 0;
+  for (std::size_t s = 0; s < governor.agent(0).state_count(); ++s) {
+    for (std::size_t a = 0; a < governor.agent(0).action_count(); ++a) {
+      nonzero += governor.agent(0).q_value(s, a) != 0.0 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(nonzero, 0);
+  EXPECT_NE(governor.run_reward(), 0.0);
+}
+
+TEST(RlGovernorTest, WarmupSkipsEarlyLearning) {
+  RlGovernorConfig config = quiet_config();
+  config.warmup_decisions = 10;
+  config.learning.epsilon_start = 0.0;
+  RlGovernor governor(config, 2);
+  auto obs = two_cluster_obs();
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  for (int i = 0; i < 10; ++i) governor.decide(obs, request);
+  double nonzero = 0;
+  for (std::size_t s = 0; s < governor.agent(0).state_count(); ++s) {
+    for (std::size_t a = 0; a < governor.agent(0).action_count(); ++a) {
+      nonzero += governor.agent(0).q_value(s, a) != 0.0 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(nonzero, 0);
+}
+
+TEST(RlGovernorTest, ResetClearsRunStatsButKeepsQ) {
+  RlGovernorConfig config = quiet_config();
+  RlGovernor governor(config, 2);
+  auto obs = two_cluster_obs();
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  for (int i = 0; i < 50; ++i) governor.decide(obs, request);
+  const double q_before = governor.agent(1).q_value(
+      governor.encoder().encode_cluster(obs, 1), 1);
+  governor.reset(obs);
+  EXPECT_EQ(governor.run_decisions(), 0u);
+  EXPECT_EQ(governor.run_reward(), 0.0);
+  EXPECT_DOUBLE_EQ(governor.agent(1).q_value(
+                       governor.encoder().encode_cluster(obs, 1), 1),
+                   q_before);
+}
+
+TEST(RlGovernorTest, SetFrozenPropagatesToAllAgents) {
+  RlGovernor governor(quiet_config(), 2);
+  governor.set_frozen(true);
+  EXPECT_TRUE(governor.frozen());
+  EXPECT_TRUE(governor.agent(0).frozen());
+  EXPECT_TRUE(governor.agent(1).frozen());
+  governor.set_frozen(false);
+  EXPECT_FALSE(governor.frozen());
+}
+
+TEST(RlGovernorTest, FixedBackendBehavesLikeGovernor) {
+  RlGovernorConfig config = quiet_config();
+  config.backend = AgentBackend::Fixed;
+  RlGovernor governor(config, 2);
+  auto obs = two_cluster_obs();
+  governor.reset(obs);
+  governors::OppRequest request(2);
+  for (int i = 0; i < 100; ++i) {
+    governor.decide(obs, request);
+    EXPECT_LT(request[0], 13u);
+    EXPECT_LT(request[1], 19u);
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,152 @@
+#include "rl/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../helpers/observation.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+using test::ClusterSpec;
+using test::make_observation;
+
+TEST(StateEncoderTest, RejectsDegenerateConfig) {
+  EXPECT_THROW(StateEncoder(StateConfig{0, 4, 4}, 2), std::invalid_argument);
+  EXPECT_THROW(StateEncoder(StateConfig{4, 0, 4}, 2), std::invalid_argument);
+  EXPECT_THROW(StateEncoder(StateConfig{4, 4, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(StateEncoder(StateConfig{4, 4, 4}, 0), std::invalid_argument);
+}
+
+TEST(StateEncoderTest, StateCountFormula) {
+  const StateEncoder enc(StateConfig{4, 4, 4}, 2);
+  EXPECT_EQ(enc.state_count(), 1024u);  // 4 * (4*4)^2
+  EXPECT_EQ(enc.cluster_state_count(), 64u);
+  const StateEncoder enc1(StateConfig{4, 20, 3}, 1);
+  EXPECT_EQ(enc1.cluster_state_count(), 240u);
+}
+
+TEST(StateEncoderTest, UtilBinning) {
+  const StateEncoder enc(StateConfig{4, 4, 4}, 2);
+  EXPECT_EQ(enc.util_bin(0.0), 0u);
+  EXPECT_EQ(enc.util_bin(0.24), 0u);
+  EXPECT_EQ(enc.util_bin(0.25), 1u);
+  EXPECT_EQ(enc.util_bin(0.74), 2u);
+  EXPECT_EQ(enc.util_bin(0.99), 3u);
+  EXPECT_EQ(enc.util_bin(1.0), 3u);   // saturates
+  EXPECT_EQ(enc.util_bin(5.0), 3u);   // clamps
+  EXPECT_EQ(enc.util_bin(-1.0), 0u);  // clamps
+}
+
+TEST(StateEncoderTest, OppBinExactWhenTableFits) {
+  const StateEncoder enc(StateConfig{4, 20, 3}, 2);
+  for (std::size_t i = 0; i < 19; ++i) {
+    EXPECT_EQ(enc.opp_bin(i, 19), i);
+  }
+}
+
+TEST(StateEncoderTest, OppBinProportionalWhenTableLarger) {
+  const StateEncoder enc(StateConfig{4, 4, 3}, 2);
+  EXPECT_EQ(enc.opp_bin(0, 19), 0u);
+  EXPECT_EQ(enc.opp_bin(18, 19), 3u);
+  EXPECT_EQ(enc.opp_bin(9, 19), 2u);
+  EXPECT_EQ(enc.opp_bin(4, 19), 0u);
+}
+
+TEST(StateEncoderTest, SingleOppTableAlwaysBinZero) {
+  const StateEncoder enc(StateConfig{4, 4, 3}, 1);
+  EXPECT_EQ(enc.opp_bin(0, 1), 0u);
+}
+
+TEST(StateEncoderTest, QosBinFromGlobalPressure) {
+  StateConfig config{4, 4, 4};
+  config.qos_pressure_cap = 0.30;
+  const StateEncoder enc(config, 1);
+  auto obs = test::single_cluster(0.5, 5);
+  obs.epoch_releases = 10;
+  obs.epoch_violations = 0;
+  EXPECT_EQ(enc.qos_bin(obs), 0u);
+  obs.epoch_violations = 1;  // pressure 0.1 / cap 0.3 -> bin 1
+  EXPECT_EQ(enc.qos_bin(obs), 1u);
+  obs.epoch_violations = 3;  // saturates at cap -> top bin
+  EXPECT_EQ(enc.qos_bin(obs), 3u);
+  obs.epoch_violations = 10;
+  EXPECT_EQ(enc.qos_bin(obs), 3u);
+}
+
+TEST(StateEncoderTest, QosBinNoReleasesIsZero) {
+  const StateEncoder enc(StateConfig{4, 4, 4}, 1);
+  auto obs = test::single_cluster(0.5, 5);
+  obs.epoch_releases = 0;
+  obs.epoch_violations = 0;
+  EXPECT_EQ(enc.qos_bin(obs), 0u);
+}
+
+TEST(StateEncoderTest, ClusterQosBinUsesOwnFeedbackAndOverdue) {
+  const StateEncoder enc(StateConfig{4, 20, 3}, 2);
+  auto obs = make_observation({ClusterSpec{}, ClusterSpec{}});
+  obs.cluster_feedback[0].epoch_deadline_completed = 10;
+  obs.cluster_feedback[0].epoch_violations = 0;
+  obs.cluster_feedback[1].epoch_deadline_completed = 10;
+  obs.cluster_feedback[1].epoch_violations = 5;
+  EXPECT_EQ(enc.cluster_qos_bin(obs, 0), 0u);
+  EXPECT_EQ(enc.cluster_qos_bin(obs, 1), 2u);  // 0.5 > cap -> top of 3
+}
+
+TEST(StateEncoderTest, OverdueJobsCountAsPressure) {
+  // A drowning cluster with NO completions must still reach the top
+  // pressure bin via the overdue-queued signal.
+  const StateEncoder enc(StateConfig{4, 20, 3}, 1);
+  auto obs = make_observation({ClusterSpec{0, 19, 2.0e9, 1.0, 1.0, 5}});
+  obs.cluster_feedback[0].epoch_deadline_completed = 0;
+  EXPECT_EQ(enc.cluster_qos_bin(obs, 0), 2u);
+}
+
+TEST(StateEncoderTest, EncodeIsInjectiveOverFeatureGrid) {
+  // Every distinct (qos, util0, opp0, util1, opp1) combination maps to a
+  // distinct joint state index.
+  const StateEncoder enc(StateConfig{2, 2, 2}, 2);
+  std::set<std::size_t> seen;
+  for (std::size_t viol : {0u, 9u}) {
+    for (double u0 : {0.1, 0.9}) {
+      for (std::size_t o0 : {0u, 18u}) {
+        for (double u1 : {0.1, 0.9}) {
+          for (std::size_t o1 : {0u, 18u}) {
+            auto obs = make_observation(
+                {ClusterSpec{o0, 19, 1.4e9, u0},
+                 ClusterSpec{o1, 19, 2.0e9, u1}});
+            obs.epoch_releases = 10;
+            obs.epoch_violations = viol;
+            seen.insert(enc.encode(obs));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+  EXPECT_EQ(enc.state_count(), 32u);
+}
+
+TEST(StateEncoderTest, EncodeInRange) {
+  const StateEncoder enc(StateConfig{}, 2);
+  for (std::size_t o = 0; o < 19; ++o) {
+    for (double u = 0.0; u <= 1.0; u += 0.19) {
+      auto obs = make_observation({ClusterSpec{o, 13, 1.4e9, u},
+                                   ClusterSpec{o, 19, 2.0e9, 1.0 - u}});
+      EXPECT_LT(enc.encode(obs), enc.state_count());
+      EXPECT_LT(enc.encode_cluster(obs, 0), enc.cluster_state_count());
+      EXPECT_LT(enc.encode_cluster(obs, 1), enc.cluster_state_count());
+    }
+  }
+}
+
+TEST(StateEncoderTest, ClusterCountMismatchThrows) {
+  const StateEncoder enc(StateConfig{}, 2);
+  const auto obs = test::single_cluster(0.5, 5);
+  EXPECT_THROW(enc.encode(obs), std::invalid_argument);
+  EXPECT_THROW(enc.encode_cluster(obs, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pmrl::rl

@@ -1,0 +1,154 @@
+#include "soc/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::soc {
+namespace {
+
+Cluster make_cluster(std::size_t cores = 2, double transition_s = 0.0) {
+  ClusterConfig config{"test", CoreType::Big, cores, 1.0, transition_s,
+                       static_cast<std::size_t>(-1)};
+  return Cluster(0, config, tiny_test_opps(), big_core_power_params());
+}
+
+Job make_job(JobId id, double work, double deadline = -1.0) {
+  Job job;
+  job.id = id;
+  job.work_cycles = work;
+  job.deadline_s = deadline;
+  return job;
+}
+
+TEST(ClusterTest, InitialOppIsHighestByDefault) {
+  auto cluster = make_cluster();
+  EXPECT_EQ(cluster.opp_index(), 4u);
+  EXPECT_DOUBLE_EQ(cluster.freq_hz(), 2000e6);
+}
+
+TEST(ClusterTest, ExplicitInitialOpp) {
+  ClusterConfig config{"t", CoreType::Big, 1, 1.0, 0.0, 2};
+  Cluster cluster(0, config, tiny_test_opps(), big_core_power_params());
+  EXPECT_EQ(cluster.opp_index(), 2u);
+}
+
+TEST(ClusterTest, SetOppClampsAndCounts) {
+  auto cluster = make_cluster();
+  cluster.set_opp(1);
+  EXPECT_EQ(cluster.opp_index(), 1u);
+  EXPECT_EQ(cluster.dvfs_transitions(), 1u);
+  cluster.set_opp(1);  // no-op
+  EXPECT_EQ(cluster.dvfs_transitions(), 1u);
+  cluster.set_opp(99);  // clamps to top
+  EXPECT_EQ(cluster.opp_index(), 4u);
+  EXPECT_EQ(cluster.dvfs_transitions(), 2u);
+}
+
+TEST(ClusterTest, RunTickExecutesAndStampsClusterId) {
+  ClusterConfig config{"t", CoreType::Big, 1, 1.0, 0.0,
+                       static_cast<std::size_t>(-1)};
+  Cluster cluster(3, config, tiny_test_opps(), big_core_power_params());
+  TaskSet tasks;
+  const TaskId t = tasks.create("t", Affinity::Any);
+  tasks.at(t).submit(make_job(1, 1e6));
+  cluster.core(0).set_runqueue({t});
+  std::vector<CompletedJob> done;
+  cluster.run_tick(tasks, 0.001, 0.0, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].cluster, 3u);
+}
+
+TEST(ClusterTest, TransitionStallReducesCapacity) {
+  // With a transition latency of half a tick, the tick after an OPP change
+  // delivers only half the work.
+  auto cluster = make_cluster(1, 0.0005);
+  TaskSet tasks;
+  const TaskId t = tasks.create("t", Affinity::Any);
+  cluster.core(0).set_runqueue({t});
+  std::vector<CompletedJob> done;
+
+  // Without transition: 2e6 cycles available at 2 GHz over 1 ms.
+  tasks.at(t).submit(make_job(1, 1.5e6));
+  cluster.run_tick(tasks, 0.001, 0.0, done);
+  EXPECT_EQ(done.size(), 1u);
+
+  cluster.set_opp(3);
+  cluster.set_opp(4);  // two transitions -> 1 ms of accumulated stall
+  done.clear();
+  tasks.at(t).submit(make_job(2, 1.5e6));
+  cluster.run_tick(tasks, 0.001, 0.001, done);
+  EXPECT_TRUE(done.empty());  // whole tick stalled
+}
+
+TEST(ClusterTest, PowerIncreasesWithOppAndLoad) {
+  auto cluster = make_cluster();
+  TaskSet tasks;
+  const TaskId t = tasks.create("t", Affinity::Any);
+  cluster.core(0).set_runqueue({t});
+  std::vector<CompletedJob> done;
+
+  cluster.set_opp(0);
+  cluster.run_tick(tasks, 0.001, 0.0, done);
+  const double idle_low = cluster.power_w(40.0);
+
+  cluster.set_opp(4);
+  cluster.run_tick(tasks, 0.001, 0.001, done);
+  const double idle_high = cluster.power_w(40.0);
+  EXPECT_GT(idle_high, idle_low);
+
+  tasks.at(t).submit(make_job(1, 1e12));
+  cluster.run_tick(tasks, 0.001, 0.002, done);
+  const double busy_high = cluster.power_w(40.0);
+  EXPECT_GT(busy_high, idle_high);
+}
+
+TEST(ClusterTest, MaxPowerIsUpperBound) {
+  auto cluster = make_cluster();
+  TaskSet tasks;
+  const TaskId t = tasks.create("t", Affinity::Any);
+  tasks.at(t).submit(make_job(1, 1e12));
+  cluster.core(0).set_runqueue({t});
+  std::vector<CompletedJob> done;
+  cluster.run_tick(tasks, 0.001, 0.0, done);
+  EXPECT_LE(cluster.power_w(40.0), cluster.max_power_w(40.0) + 1e-9);
+  EXPECT_GT(cluster.max_power_w(40.0), 0.0);
+}
+
+TEST(ClusterTest, UtilAggregates) {
+  auto cluster = make_cluster(2);
+  TaskSet tasks;
+  const TaskId t = tasks.create("t", Affinity::Any);
+  cluster.core(0).set_runqueue({t});
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 300; ++i) {
+    tasks.at(t).submit(make_job(static_cast<JobId>(i + 1), 10e6));
+    cluster.run_tick(tasks, 0.001, i * 0.001, done);
+  }
+  // One of two cores saturated: max ~1.0, avg ~0.5.
+  EXPECT_GT(cluster.util_max(), 0.95);
+  EXPECT_NEAR(cluster.util_avg(), 0.5, 0.05);
+  // Invariant utilization scales by f/f_max (cluster at top OPP: equal).
+  EXPECT_NEAR(cluster.util_scale_invariant(), cluster.util_avg(), 1e-9);
+}
+
+TEST(ClusterTest, OverdueJobsAcrossRunqueues) {
+  auto cluster = make_cluster(2);
+  TaskSet tasks;
+  const TaskId t = tasks.create("t", Affinity::Any);
+  Job job = make_job(1, 1e6, 0.5);
+  tasks.at(t).submit(job);
+  cluster.core(1).set_runqueue({t});
+  EXPECT_EQ(cluster.overdue_jobs(tasks, 0.0), 0u);
+  EXPECT_EQ(cluster.overdue_jobs(tasks, 1.0), 1u);
+}
+
+TEST(ClusterTest, ResetTrackingClearsTransitionsAndPelt) {
+  auto cluster = make_cluster();
+  cluster.set_opp(0);
+  EXPECT_EQ(cluster.dvfs_transitions(), 1u);
+  cluster.reset_tracking();
+  EXPECT_EQ(cluster.dvfs_transitions(), 0u);
+  EXPECT_EQ(cluster.util_avg(), 0.0);
+}
+
+}  // namespace
+}  // namespace pmrl::soc

@@ -1,0 +1,168 @@
+#include "soc/cpuidle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/cluster.hpp"
+#include "soc/opp.hpp"
+#include "soc/power_model.hpp"
+#include "soc/soc.hpp"
+
+namespace pmrl::soc {
+namespace {
+
+TEST(IdleStatesTest, DefaultLadderShape) {
+  const auto states = default_idle_states();
+  ASSERT_EQ(states.size(), 3u);
+  // Deeper states save more power but cost more to leave.
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_LE(states[i].dynamic_scale, states[i - 1].dynamic_scale);
+    EXPECT_LT(states[i].leakage_scale, states[i - 1].leakage_scale);
+    EXPECT_GT(states[i].exit_latency_s, states[i - 1].exit_latency_s);
+    EXPECT_GT(states[i].min_residency_s, states[i - 1].min_residency_s);
+  }
+}
+
+TEST(CoreIdleTrackerTest, NoTableMeansAlwaysActive) {
+  CoreIdleTracker tracker(nullptr);
+  EXPECT_EQ(tracker.on_tick(false, 0.001), 0.0);
+  EXPECT_FALSE(tracker.idle());
+  EXPECT_DOUBLE_EQ(tracker.dynamic_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.leakage_scale(), 1.0);
+}
+
+TEST(CoreIdleTrackerTest, LadderPromotesWithStreak) {
+  const auto states = default_idle_states();
+  CoreIdleTracker tracker(&states);
+  const double tick = 0.0005;
+  // First idle tick: C1.
+  tracker.on_tick(false, tick);
+  EXPECT_EQ(tracker.state(), 0);
+  // Idle until just before C2's residency: still C1.
+  double idle_s = tick;
+  while (idle_s + tick < states[1].min_residency_s) {
+    tracker.on_tick(false, tick);
+    idle_s += tick;
+  }
+  EXPECT_EQ(tracker.state(), 0);
+  // Crossing the C2 residency promotes.
+  tracker.on_tick(false, tick);
+  idle_s += tick;
+  EXPECT_EQ(tracker.state(), 1);
+  // Idle past C3's residency promotes again.
+  while (idle_s < states[2].min_residency_s + tick) {
+    tracker.on_tick(false, tick);
+    idle_s += tick;
+  }
+  EXPECT_EQ(tracker.state(), 2);
+  EXPECT_LT(tracker.leakage_scale(), 0.1);
+}
+
+TEST(CoreIdleTrackerTest, WakeupPaysExitLatencyOnce) {
+  const auto states = default_idle_states();
+  CoreIdleTracker tracker(&states);
+  const int deep_ticks =
+      static_cast<int>(states[2].min_residency_s / 0.001) + 2;
+  for (int i = 0; i < deep_ticks; ++i) tracker.on_tick(false, 0.001);
+  EXPECT_EQ(tracker.state(), 2);
+  const double penalty = tracker.on_tick(true, 0.001);
+  EXPECT_DOUBLE_EQ(penalty, states[2].exit_latency_s);
+  EXPECT_FALSE(tracker.idle());
+  // Staying busy costs nothing further.
+  EXPECT_EQ(tracker.on_tick(true, 0.001), 0.0);
+}
+
+TEST(CoreIdleTrackerTest, ShallowWakeupIsCheap) {
+  const auto states = default_idle_states();
+  CoreIdleTracker tracker(&states);
+  tracker.on_tick(false, 0.0001);  // only C1
+  const double penalty = tracker.on_tick(true, 0.001);
+  EXPECT_DOUBLE_EQ(penalty, states[0].exit_latency_s);
+}
+
+TEST(CoreIdleTrackerTest, ResidencyAccounting) {
+  const auto states = default_idle_states();
+  CoreIdleTracker tracker(&states);
+  tracker.on_tick(true, 0.001);
+  for (int i = 0; i < 100; ++i) tracker.on_tick(false, 0.001);
+  tracker.on_tick(true, 0.001);
+  const auto& residency = tracker.residency_s();
+  ASSERT_EQ(residency.size(), 3u);
+  double idle_total = 0.0;
+  for (double r : residency) idle_total += r;
+  EXPECT_NEAR(idle_total, 0.100, 1e-9);
+  EXPECT_NEAR(tracker.active_s(), 0.002, 1e-12);
+  // A 100 ms streak spends most of its time in the deepest state.
+  EXPECT_GT(residency[2], residency[0]);
+  EXPECT_GT(residency[2], residency[1]);
+}
+
+TEST(CoreIdleTrackerTest, ResetClears) {
+  const auto states = default_idle_states();
+  CoreIdleTracker tracker(&states);
+  tracker.on_tick(false, 0.01);
+  tracker.reset();
+  EXPECT_FALSE(tracker.idle());
+  EXPECT_EQ(tracker.active_s(), 0.0);
+  for (double r : tracker.residency_s()) EXPECT_EQ(r, 0.0);
+}
+
+TEST(CpuidleClusterTest, IdleClusterBurnsLessWithCpuidle) {
+  auto make = [](bool enabled) {
+    CpuidleConfig cpuidle;
+    cpuidle.enabled = enabled;
+    return Cluster(0,
+                   ClusterConfig{"t", CoreType::Big, 4, 1.0, 0.0,
+                                 static_cast<std::size_t>(-1)},
+                   big_cluster_opps(), big_core_power_params(), cpuidle);
+  };
+  auto with = make(true);
+  auto without = make(false);
+  TaskSet tasks;
+  std::vector<CompletedJob> done;
+  // 100 ms fully idle: the cpuidle cluster descends the ladder.
+  for (int i = 0; i < 100; ++i) {
+    with.run_tick(tasks, 0.001, i * 0.001, done);
+    without.run_tick(tasks, 0.001, i * 0.001, done);
+  }
+  EXPECT_LT(with.power_w(40.0), 0.5 * without.power_w(40.0));
+  EXPECT_EQ(with.idle_states().size(), 3u);
+  EXPECT_TRUE(without.idle_states().empty());
+}
+
+TEST(CpuidleSocTest, RunResultExposesResidency) {
+  SocConfig config = tiny_test_soc_config();
+  config.cpuidle.enabled = true;
+  Soc soc(config);
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 100; ++i) soc.step(0.001, done);
+  const auto residency = soc.cluster(0).idle_residency_s();
+  ASSERT_EQ(residency.size(), 3u);
+  double total = 0.0;
+  for (double r : residency) total += r;
+  // 2 cores x 100 ms fully idle.
+  EXPECT_NEAR(total, 0.2, 1e-9);
+}
+
+TEST(CpuidleSocTest, WakeLatencyDelaysFirstJob) {
+  // A job arriving after a long idle period completes slightly later with
+  // cpuidle (C3 exit latency) than without.
+  auto run = [](bool enabled) {
+    SocConfig config = tiny_test_soc_config();
+    config.cpuidle.enabled = enabled;
+    Soc soc(config);
+    const TaskId t = soc.create_task("t", Affinity::Any);
+    std::vector<CompletedJob> done;
+    for (int i = 0; i < 50; ++i) soc.step(0.001, done);  // idle to C3
+    Job job;
+    job.id = 1;
+    job.work_cycles = 1.5e6;
+    soc.submit(t, job);
+    done.clear();
+    while (done.empty()) soc.step(0.001, done);
+    return done[0].completion_s;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace pmrl::soc

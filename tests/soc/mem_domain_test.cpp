@@ -1,0 +1,158 @@
+#include "soc/mem_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/soc.hpp"
+
+namespace pmrl::soc {
+namespace {
+
+MemDomainParams enabled_params() {
+  MemDomainParams params;
+  params.enabled = true;
+  return params;
+}
+
+TEST(MemDomainTest, DefaultTableShape) {
+  const OppTable table = default_mem_opps();
+  EXPECT_EQ(table.size(), 7u);
+  EXPECT_DOUBLE_EQ(table.lowest().freq_hz, 400e6);
+  EXPECT_DOUBLE_EQ(table.highest().freq_hz, 1866e6);
+}
+
+TEST(MemDomainTest, StartsAtTopOpp) {
+  MemDomain mem(enabled_params());
+  EXPECT_EQ(mem.opp_index(), 6u);
+  EXPECT_DOUBLE_EQ(mem.stall_factor(), 1.0);
+}
+
+TEST(MemDomainTest, SetOppClampsAndCounts) {
+  MemDomain mem(enabled_params());
+  mem.set_opp(2);
+  EXPECT_EQ(mem.opp_index(), 2u);
+  EXPECT_EQ(mem.dvfs_transitions(), 1u);
+  mem.set_opp(99);
+  EXPECT_EQ(mem.opp_index(), 6u);
+  mem.set_opp(6);  // no-op
+  EXPECT_EQ(mem.dvfs_transitions(), 2u);
+}
+
+TEST(MemDomainTest, UtilizationAndStall) {
+  MemDomain mem(enabled_params());
+  const double dt = 0.001;
+  // Demand exactly half the capacity: util 0.5, no stall.
+  const double cap = mem.capacity_cycles_per_s() * dt;
+  mem.on_tick(0.5 * cap / mem.params().traffic_intensity, dt);
+  EXPECT_NEAR(mem.util(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mem.stall_factor(), 1.0);
+  // Demand double the capacity: util clamps at 1, stall factor 0.5.
+  mem.on_tick(2.0 * cap / mem.params().traffic_intensity, dt);
+  EXPECT_DOUBLE_EQ(mem.util(), 1.0);
+  EXPECT_NEAR(mem.stall_factor(), 0.5, 1e-12);
+}
+
+TEST(MemDomainTest, LowerOppMeansLessBandwidthAndPower) {
+  MemDomain fast(enabled_params());
+  MemDomain slow(enabled_params());
+  slow.set_opp(0);
+  EXPECT_GT(fast.capacity_cycles_per_s(), slow.capacity_cycles_per_s());
+  fast.on_tick(0.0, 0.001);
+  slow.on_tick(0.0, 0.001);
+  EXPECT_GT(fast.power_w(), slow.power_w());
+  EXPECT_LE(fast.power_w(), fast.max_power_w() + 1e-12);
+}
+
+TEST(MemDomainTest, EnergyAccumulates) {
+  MemDomain mem(enabled_params());
+  for (int i = 0; i < 100; ++i) mem.on_tick(0.0, 0.001);
+  EXPECT_GT(mem.energy_j(), 0.0);
+  mem.reset_tracking();
+  EXPECT_EQ(mem.energy_j(), 0.0);
+  EXPECT_EQ(mem.dvfs_transitions(), 0u);
+}
+
+// ---- SoC integration -------------------------------------------------------
+
+SocConfig mem_soc_config() {
+  SocConfig config = tiny_test_soc_config();
+  config.memory.enabled = true;
+  return config;
+}
+
+TEST(MemSocTest, DomainCountAndTelemetry) {
+  Soc soc(mem_soc_config());
+  EXPECT_EQ(soc.cluster_count(), 1u);
+  EXPECT_EQ(soc.domain_count(), 2u);
+  ASSERT_TRUE(soc.has_memory_domain());
+  const auto telemetry = soc.telemetry();
+  ASSERT_EQ(telemetry.clusters.size(), 2u);
+  EXPECT_EQ(telemetry.clusters[1].opp_count, 7u);
+  EXPECT_DOUBLE_EQ(telemetry.clusters[1].max_freq_hz, 1866e6);
+}
+
+TEST(MemSocTest, SetOppRoutesToMemoryDomain) {
+  Soc soc(mem_soc_config());
+  soc.set_cluster_opp(1, 0);
+  EXPECT_EQ(soc.memory_domain().opp_index(), 0u);
+  EXPECT_DOUBLE_EQ(soc.domain_freq_hz(1), 400e6);
+  EXPECT_THROW(soc.set_cluster_opp(5, 0), std::out_of_range);
+}
+
+TEST(MemSocTest, BandwidthStarvationSlowsExecution) {
+  // Same CPU work with memory at min vs max OPP: the starved system
+  // completes later.
+  auto time_to_finish = [](std::size_t mem_opp) {
+    SocConfig config = tiny_test_soc_config();
+    config.memory.enabled = true;
+    // Make memory the bottleneck: high intensity, weak service rate.
+    config.memory.traffic_intensity = 1.0;
+    config.memory.service_per_cycle = 1.0;
+    Soc soc(config);
+    soc.set_cluster_opp(1, mem_opp);
+    const TaskId t = soc.create_task("t", Affinity::Any);
+    Job job;
+    job.id = 1;
+    job.work_cycles = 50e6;
+    soc.submit(t, job);
+    std::vector<CompletedJob> done;
+    while (done.empty()) soc.step(0.001, done);
+    return done[0].completion_s;
+  };
+  EXPECT_GT(time_to_finish(0), 1.5 * time_to_finish(6));
+}
+
+TEST(MemSocTest, StallTimeTracked) {
+  SocConfig config = tiny_test_soc_config();
+  config.memory.enabled = true;
+  config.memory.traffic_intensity = 1.0;
+  config.memory.service_per_cycle = 0.5;
+  Soc soc(config);
+  soc.set_cluster_opp(1, 0);  // weakest memory
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 100; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i + 1);
+    job.work_cycles = 10e6;
+    soc.submit(t, job);
+    soc.step(0.001, done);
+  }
+  EXPECT_GT(soc.mem_stalled_s(), 0.01);
+  // The stalled memory reports overdue pressure once jobs pile up past
+  // deadlines... (these jobs have no deadline, so overdue stays 0).
+  EXPECT_EQ(soc.telemetry().clusters[1].overdue_jobs, 0u);
+}
+
+TEST(MemSocTest, MemoryEnergyCountsTowardTotal) {
+  Soc with(mem_soc_config());
+  Soc without(tiny_test_soc_config());
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 100; ++i) {
+    with.step(0.001, done);
+    without.step(0.001, done);
+  }
+  EXPECT_GT(with.total_energy_j(), without.total_energy_j());
+}
+
+}  // namespace
+}  // namespace pmrl::soc

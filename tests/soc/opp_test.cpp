@@ -1,0 +1,73 @@
+#include "soc/opp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::soc {
+namespace {
+
+TEST(OppTableTest, RejectsEmptyAndUnsorted) {
+  EXPECT_THROW(OppTable({}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{2e9, 1.0}, {1e9, 0.9}}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{1e9, 1.0}, {1e9, 1.1}}), std::invalid_argument);
+}
+
+TEST(OppTableTest, RejectsNonPositiveVoltage) {
+  EXPECT_THROW(OppTable({{1e9, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(OppTable({{1e9, -1.0}}), std::invalid_argument);
+}
+
+TEST(OppTableTest, AccessorsAndBounds) {
+  const OppTable t = tiny_test_opps();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.lowest().freq_hz, 200e6);
+  EXPECT_DOUBLE_EQ(t.highest().freq_hz, 2000e6);
+  EXPECT_THROW(t.at(5), std::out_of_range);
+}
+
+TEST(OppTableTest, IndexForMinFreq) {
+  const OppTable t = tiny_test_opps();  // 200/500/1000/1500/2000 MHz
+  EXPECT_EQ(t.index_for_min_freq(0.0), 0u);
+  EXPECT_EQ(t.index_for_min_freq(200e6), 0u);
+  EXPECT_EQ(t.index_for_min_freq(201e6), 1u);
+  EXPECT_EQ(t.index_for_min_freq(1000e6), 2u);
+  EXPECT_EQ(t.index_for_min_freq(1600e6), 4u);
+  // Demands beyond the table cap at the top OPP.
+  EXPECT_EQ(t.index_for_min_freq(9e9), 4u);
+}
+
+TEST(OppTableTest, NearestIndex) {
+  const OppTable t = tiny_test_opps();
+  EXPECT_EQ(t.nearest_index(180e6), 0u);
+  EXPECT_EQ(t.nearest_index(700e6), 1u);
+  EXPECT_EQ(t.nearest_index(770e6), 2u);
+  EXPECT_EQ(t.nearest_index(5e9), 4u);
+}
+
+TEST(OppTableTest, BigClusterTableShape) {
+  const OppTable t = big_cluster_opps();
+  EXPECT_EQ(t.size(), 19u);  // 200..2000 MHz in 100 MHz steps
+  EXPECT_DOUBLE_EQ(t.lowest().freq_hz, 200e6);
+  EXPECT_DOUBLE_EQ(t.lowest().voltage_v, 0.9);
+  EXPECT_DOUBLE_EQ(t.highest().freq_hz, 2000e6);
+  EXPECT_DOUBLE_EQ(t.highest().voltage_v, 1.3625);
+}
+
+TEST(OppTableTest, LittleClusterTableShape) {
+  const OppTable t = little_cluster_opps();
+  EXPECT_EQ(t.size(), 13u);  // 200..1400 MHz
+  EXPECT_DOUBLE_EQ(t.highest().freq_hz, 1400e6);
+  EXPECT_DOUBLE_EQ(t.highest().voltage_v, 1.25);
+}
+
+TEST(OppTableTest, VoltageMonotoneInFrequency) {
+  for (const auto& table : {big_cluster_opps(), little_cluster_opps()}) {
+    double prev_v = 0.0;
+    for (const auto& p : table.points()) {
+      EXPECT_GT(p.voltage_v, prev_v);
+      prev_v = p.voltage_v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::soc

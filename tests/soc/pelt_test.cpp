@@ -1,0 +1,68 @@
+#include "soc/pelt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::soc {
+namespace {
+
+TEST(PeltTest, RejectsNonPositiveHalfLife) {
+  EXPECT_THROW(PeltTracker(0.0), std::invalid_argument);
+  EXPECT_THROW(PeltTracker(-1.0), std::invalid_argument);
+}
+
+TEST(PeltTest, StartsAtZero) {
+  PeltTracker pelt;
+  EXPECT_EQ(pelt.util(), 0.0);
+}
+
+TEST(PeltTest, ConvergesToDutyCycle) {
+  PeltTracker pelt(0.032);
+  for (int i = 0; i < 1000; ++i) pelt.add_sample(0.6, 0.001);
+  EXPECT_NEAR(pelt.util(), 0.6, 0.001);
+}
+
+TEST(PeltTest, HalfLifeSemantics) {
+  PeltTracker pelt(0.032);
+  // Saturate at 1.0, then go idle for exactly one half-life.
+  for (int i = 0; i < 2000; ++i) pelt.add_sample(1.0, 0.001);
+  EXPECT_NEAR(pelt.util(), 1.0, 0.001);
+  for (int i = 0; i < 32; ++i) pelt.add_sample(0.0, 0.001);
+  EXPECT_NEAR(pelt.util(), 0.5, 0.005);
+}
+
+TEST(PeltTest, StepSizeInvariance) {
+  // One 32 ms sample decays the same as 32 x 1 ms samples of the same
+  // busy value (geometric decay is exact, not Euler).
+  PeltTracker coarse(0.032);
+  PeltTracker fine(0.032);
+  coarse.add_sample(1.0, 0.032);
+  for (int i = 0; i < 32; ++i) fine.add_sample(1.0, 0.001);
+  EXPECT_NEAR(coarse.util(), fine.util(), 1e-9);
+}
+
+TEST(PeltTest, ClampsOutOfRangeSamples) {
+  PeltTracker pelt(0.032);
+  for (int i = 0; i < 1000; ++i) pelt.add_sample(7.0, 0.001);
+  EXPECT_LE(pelt.util(), 1.0);
+  for (int i = 0; i < 1000; ++i) pelt.add_sample(-3.0, 0.001);
+  EXPECT_GE(pelt.util(), 0.0);
+}
+
+TEST(PeltTest, ResetClears) {
+  PeltTracker pelt(0.032);
+  pelt.add_sample(1.0, 0.01);
+  EXPECT_GT(pelt.util(), 0.0);
+  pelt.reset();
+  EXPECT_EQ(pelt.util(), 0.0);
+}
+
+TEST(PeltTest, WarmupSpeed) {
+  // From cold, 50 ms of full busy reaches ~66% (1 - 2^(-50/32)); governors
+  // rely on this responsiveness.
+  PeltTracker pelt(0.032);
+  for (int i = 0; i < 50; ++i) pelt.add_sample(1.0, 0.001);
+  EXPECT_NEAR(pelt.util(), 0.662, 0.01);
+}
+
+}  // namespace
+}  // namespace pmrl::soc

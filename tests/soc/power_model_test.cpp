@@ -1,0 +1,98 @@
+#include "soc/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::soc {
+namespace {
+
+TEST(PowerModelTest, DynamicPowerScalesWithVSquaredF) {
+  const CorePowerModel model(big_core_power_params());
+  const double base = model.dynamic_power_w(1e9, 1.0, 1.0);
+  EXPECT_NEAR(model.dynamic_power_w(2e9, 1.0, 1.0), 2.0 * base, 1e-12);
+  EXPECT_NEAR(model.dynamic_power_w(1e9, 2.0, 1.0), 4.0 * base, 1e-12);
+}
+
+TEST(PowerModelTest, IdleCoreStillBurnsIdleActivity) {
+  const CorePowerModel model(big_core_power_params());
+  const double idle = model.dynamic_power_w(1e9, 1.0, 0.0);
+  const double full = model.dynamic_power_w(1e9, 1.0, 1.0);
+  EXPECT_GT(idle, 0.0);
+  EXPECT_NEAR(idle / full, big_core_power_params().idle_activity, 1e-12);
+}
+
+TEST(PowerModelTest, DynamicPowerLinearInActivity) {
+  const CorePowerModel model(big_core_power_params());
+  const double p25 = model.dynamic_power_w(1e9, 1.0, 0.25);
+  const double p75 = model.dynamic_power_w(1e9, 1.0, 0.75);
+  const double p50 = model.dynamic_power_w(1e9, 1.0, 0.50);
+  EXPECT_NEAR((p25 + p75) / 2.0, p50, 1e-12);
+}
+
+TEST(PowerModelTest, BigClusterCalibration) {
+  // 4 big cores flat out at 2 GHz / 1.3625 V should land near 6 W dynamic
+  // (the published Exynos 5422-class figure we calibrated against).
+  const CorePowerModel model(big_core_power_params());
+  const double cluster_dyn = 4.0 * model.dynamic_power_w(2e9, 1.3625, 1.0);
+  EXPECT_NEAR(cluster_dyn, 6.0, 0.3);
+}
+
+TEST(PowerModelTest, LittleClusterCalibration) {
+  const CorePowerModel model(little_core_power_params());
+  const double cluster_dyn = 4.0 * model.dynamic_power_w(1.4e9, 1.25, 1.0);
+  EXPECT_NEAR(cluster_dyn, 0.6, 0.05);
+}
+
+TEST(PowerModelTest, LeakageGrowsExponentiallyWithTemperature) {
+  const CorePowerModel model(big_core_power_params());
+  const double cool = model.leakage_power_w(1.0, 25.0);
+  const double warm = model.leakage_power_w(1.0, 25.0 + 23.1);
+  // exp(0.03 * 23.1) ~= 2.0
+  EXPECT_NEAR(warm / cool, 2.0, 0.01);
+}
+
+TEST(PowerModelTest, LeakageLinearInVoltage) {
+  const CorePowerModel model(big_core_power_params());
+  EXPECT_NEAR(model.leakage_power_w(1.2, 40.0),
+              1.2 * model.leakage_power_w(1.0, 40.0), 1e-12);
+}
+
+TEST(PowerModelTest, TotalIsDynamicPlusLeakage) {
+  const CorePowerModel model(big_core_power_params());
+  const double total = model.total_power_w(1e9, 1.1, 0.5, 50.0);
+  EXPECT_NEAR(total,
+              model.dynamic_power_w(1e9, 1.1, 0.5) +
+                  model.leakage_power_w(1.1, 50.0),
+              1e-12);
+}
+
+TEST(PowerModelTest, LowerOppUsesLessPower) {
+  // Energy ordering that every governor exploits: lower V/f always costs
+  // less power at equal busy fraction.
+  const CorePowerModel model(big_core_power_params());
+  double prev = 1e9;
+  for (double f = 2000e6; f >= 200e6; f -= 100e6) {
+    const double v = 0.9 + (1.3625 - 0.9) * (f - 200e6) / 1800e6;
+    const double p = model.total_power_w(f, v, 0.5, 45.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModelTest, RaceToIdleIsWorseAtIdle) {
+  // The reason DVFS saves energy: running a fixed amount of work at low
+  // V/f costs less energy than at high V/f (V^2 scaling beats the shorter
+  // runtime), once idle power is nonzero.
+  const CorePowerModel model(big_core_power_params());
+  const double work_cycles = 1e9;
+  // High OPP: work done in t1 = work/2e9 s, then idle for the rest of 1 s.
+  const double t_high = work_cycles / 2e9;
+  const double e_high = model.total_power_w(2e9, 1.3625, 1.0, 45.0) * t_high +
+                        model.total_power_w(2e9, 1.3625, 0.0, 45.0) *
+                            (1.0 - t_high);
+  // Low OPP sized to finish exactly in 1 s.
+  const double e_low = model.total_power_w(1e9, 1.1, 1.0, 45.0) * 1.0;
+  EXPECT_LT(e_low, e_high);
+}
+
+}  // namespace
+}  // namespace pmrl::soc

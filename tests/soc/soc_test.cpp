@@ -1,0 +1,193 @@
+#include "soc/soc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::soc {
+namespace {
+
+Job make_job(JobId id, double work, double deadline = -1.0) {
+  Job job;
+  job.id = id;
+  job.work_cycles = work;
+  job.deadline_s = deadline;
+  return job;
+}
+
+TEST(SocTest, DefaultConfigShape) {
+  const SocConfig config = default_mobile_soc_config();
+  ASSERT_EQ(config.clusters.size(), 2u);
+  EXPECT_EQ(config.clusters[0].cluster.core_type, CoreType::Little);
+  EXPECT_EQ(config.clusters[1].cluster.core_type, CoreType::Big);
+  EXPECT_EQ(config.clusters[0].cluster.core_count, 4u);
+  EXPECT_EQ(config.clusters[1].cluster.core_count, 4u);
+}
+
+TEST(SocTest, RejectsEmptyConfig) {
+  SocConfig config;
+  EXPECT_THROW(Soc{config}, std::invalid_argument);
+}
+
+TEST(SocTest, TimeAdvancesByTick) {
+  Soc soc(tiny_test_soc_config());
+  std::vector<CompletedJob> done;
+  soc.step(0.001, done);
+  soc.step(0.002, done);
+  EXPECT_NEAR(soc.now_s(), 0.003, 1e-12);
+  EXPECT_THROW(soc.step(0.0, done), std::invalid_argument);
+}
+
+TEST(SocTest, EnergyAccumulatesEvenIdle) {
+  Soc soc(tiny_test_soc_config());
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 100; ++i) soc.step(0.001, done);
+  // Leakage + uncore static power burn energy at idle.
+  EXPECT_GT(soc.total_energy_j(), 0.0);
+}
+
+TEST(SocTest, SubmittedWorkCompletes) {
+  Soc soc(tiny_test_soc_config());
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  soc.submit(t, make_job(1, 1e6));
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 10 && done.empty(); ++i) soc.step(0.001, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job.id, 1u);
+  EXPECT_GT(done[0].completion_s, 0.0);
+}
+
+TEST(SocTest, SubmitStampsReleaseTime) {
+  Soc soc(tiny_test_soc_config());
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  std::vector<CompletedJob> done;
+  soc.step(0.001, done);
+  soc.submit(t, make_job(1, 1e6));
+  soc.step(0.001, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].job.release_s, 0.001, 1e-12);
+}
+
+TEST(SocTest, BusyBurnsMoreThanIdle) {
+  Soc idle_soc(tiny_test_soc_config());
+  Soc busy_soc(tiny_test_soc_config());
+  const TaskId t = busy_soc.create_task("t", Affinity::Any);
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 100; ++i) {
+    busy_soc.submit(t, make_job(static_cast<JobId>(i + 1), 10e6));
+    idle_soc.step(0.001, done);
+    busy_soc.step(0.001, done);
+  }
+  EXPECT_GT(busy_soc.total_energy_j(), idle_soc.total_energy_j() * 1.5);
+}
+
+TEST(SocTest, LowerOppSavesEnergyAtIdle) {
+  Soc high(tiny_test_soc_config());
+  Soc low(tiny_test_soc_config());
+  low.set_cluster_opp(0, 0);
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 100; ++i) {
+    high.step(0.001, done);
+    low.step(0.001, done);
+  }
+  EXPECT_LT(low.total_energy_j(), high.total_energy_j());
+}
+
+TEST(SocTest, TelemetryReflectsState) {
+  Soc soc(tiny_test_soc_config());
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  soc.submit(t, make_job(1, 1e12, 1.0));
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 50; ++i) soc.step(0.001, done);
+  const SocTelemetry telemetry = soc.telemetry();
+  ASSERT_EQ(telemetry.clusters.size(), 1u);
+  const auto& ct = telemetry.clusters[0];
+  EXPECT_EQ(ct.opp_index, 4u);
+  EXPECT_DOUBLE_EQ(ct.freq_hz, 2000e6);
+  EXPECT_DOUBLE_EQ(ct.max_freq_hz, 2000e6);
+  EXPECT_GT(ct.util_max, 0.5);       // one saturated core
+  EXPECT_GT(ct.power_w, 0.0);
+  EXPECT_GT(ct.max_power_w, ct.power_w * 0.99);
+  EXPECT_EQ(ct.nr_running, 1u);
+  EXPECT_GT(telemetry.total_power_w, ct.power_w);  // uncore adds on top
+  EXPECT_GT(telemetry.backlog_cycles, 0.0);
+  EXPECT_EQ(telemetry.runnable_tasks, 1u);
+}
+
+TEST(SocTest, TelemetryOverdueJobs) {
+  Soc soc(tiny_test_soc_config());
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  soc.submit(t, make_job(1, 1e12, 0.005));  // will miss its 5 ms deadline
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 10; ++i) soc.step(0.001, done);
+  EXPECT_EQ(soc.telemetry().clusters[0].overdue_jobs, 1u);
+}
+
+TEST(SocTest, ThermalThrottleCapsOpp) {
+  SocConfig config = tiny_test_soc_config();
+  config.throttle.enabled = true;
+  config.throttle.trip_temp_c = 40.0;
+  // Clear point below the post-throttle steady state: once tripped, the
+  // throttle stays engaged for the rest of the test.
+  config.throttle.clear_temp_c = 25.0;
+  config.throttle.throttle_cap_index = 1;
+  // Hot little package: tau = 1.6 s, T_inf ~= 25 + P*8 under full load.
+  config.clusters[0].thermal.r_th_k_per_w = 8.0;
+  config.clusters[0].thermal.c_th_j_per_k = 0.2;
+  Soc soc(config);
+  // Saturate both cores.
+  const TaskId t1 = soc.create_task("t1", Affinity::Any);
+  const TaskId t2 = soc.create_task("t2", Affinity::Any);
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 3000; ++i) {
+    soc.submit(t1, make_job(static_cast<JobId>(2 * i + 1), 10e6));
+    soc.submit(t2, make_job(static_cast<JobId>(2 * i + 2), 10e6));
+    soc.step(0.001, done);
+  }
+  EXPECT_TRUE(soc.throttled(0));
+  EXPECT_LE(soc.cluster(0).opp_index(), 1u);
+  // Requests above the cap are clamped while throttled.
+  soc.set_cluster_opp(0, 4);
+  EXPECT_LE(soc.cluster(0).opp_index(), 1u);
+}
+
+TEST(SocTest, ResetClearsStateButKeepsConfig) {
+  Soc soc(tiny_test_soc_config());
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  soc.submit(t, make_job(1, 1e12));
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 10; ++i) soc.step(0.001, done);
+  EXPECT_GT(soc.total_energy_j(), 0.0);
+  soc.reset();
+  EXPECT_EQ(soc.total_energy_j(), 0.0);
+  EXPECT_EQ(soc.now_s(), 0.0);
+  EXPECT_EQ(soc.telemetry().backlog_cycles, 0.0);
+  EXPECT_EQ(soc.tasks().size(), 1u);  // tasks persist, queues cleared
+}
+
+TEST(SocTest, InvalidClusterIndexThrows) {
+  Soc soc(tiny_test_soc_config());
+  EXPECT_THROW(soc.set_cluster_opp(5, 0), std::out_of_range);
+}
+
+TEST(SocTest, EnergyConservation) {
+  // Total energy equals the sum of per-cluster energy plus uncore energy
+  // (telemetry consistency check).
+  Soc soc(default_mobile_soc_config());
+  const TaskId t = soc.create_task("t", Affinity::Any);
+  std::vector<CompletedJob> done;
+  for (int i = 0; i < 500; ++i) {
+    if (i % 3 == 0) soc.submit(t, make_job(static_cast<JobId>(i + 1), 2e6));
+    soc.step(0.001, done);
+  }
+  const auto telemetry = soc.telemetry();
+  double cluster_sum = 0.0;
+  for (const auto& ct : telemetry.clusters) cluster_sum += ct.energy_j;
+  EXPECT_GT(cluster_sum, 0.0);
+  EXPECT_LT(cluster_sum, telemetry.total_energy_j);
+  // Uncore energy = total - clusters; must be positive and bounded by the
+  // static+dynamic uncore envelope.
+  const double uncore = telemetry.total_energy_j - cluster_sum;
+  EXPECT_GT(uncore, 0.5 * 0.25 * 0.5);  // at least static power * time/2
+}
+
+}  // namespace
+}  // namespace pmrl::soc

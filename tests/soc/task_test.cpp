@@ -1,0 +1,140 @@
+#include "soc/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::soc {
+namespace {
+
+Job make_job(JobId id, double work, double release = 0.0,
+             double deadline = -1.0) {
+  Job job;
+  job.id = id;
+  job.work_cycles = work;
+  job.release_s = release;
+  job.deadline_s = deadline;
+  return job;
+}
+
+TEST(JobTest, DeadlineSemantics) {
+  EXPECT_FALSE(make_job(1, 1e6).has_deadline());
+  EXPECT_TRUE(make_job(1, 1e6, 0.0, 0.5).has_deadline());
+}
+
+TEST(CompletedJobTest, DeadlineAndLatency) {
+  CompletedJob done{make_job(1, 1e6, 1.0, 1.5), 1.4};
+  EXPECT_TRUE(done.met_deadline());
+  EXPECT_NEAR(done.latency_s(), 0.4, 1e-12);
+  CompletedJob late{make_job(2, 1e6, 1.0, 1.5), 1.6};
+  EXPECT_FALSE(late.met_deadline());
+  CompletedJob best_effort{make_job(3, 1e6, 1.0), 99.0};
+  EXPECT_TRUE(best_effort.met_deadline());
+}
+
+TEST(TaskTest, RejectsBadInputs) {
+  EXPECT_THROW(Task(0, "t", Affinity::Any, 0.0), std::invalid_argument);
+  Task task(0, "t", Affinity::Any, 1.0);
+  EXPECT_THROW(task.submit(make_job(1, 0.0)), std::invalid_argument);
+}
+
+TEST(TaskTest, SubmitTracksBacklog) {
+  Task task(3, "t", Affinity::PreferBig, 2.0);
+  EXPECT_FALSE(task.runnable());
+  task.submit(make_job(1, 5e6));
+  task.submit(make_job(2, 3e6));
+  EXPECT_TRUE(task.runnable());
+  EXPECT_EQ(task.queued_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(task.backlog_cycles(), 8e6);
+}
+
+TEST(TaskTest, SubmitStampsTaskId) {
+  Task task(7, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 1e6));
+  std::vector<CompletedJob> done;
+  task.execute(2e6, 0.0, 0.001, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].job.task, 7u);
+}
+
+TEST(TaskTest, ExecutePartialKeepsProgress) {
+  Task task(0, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 10e6));
+  std::vector<CompletedJob> done;
+  EXPECT_DOUBLE_EQ(task.execute(4e6, 0.0, 0.001, done), 4e6);
+  EXPECT_TRUE(done.empty());
+  EXPECT_DOUBLE_EQ(task.backlog_cycles(), 10e6);  // uncommitted until done
+  EXPECT_DOUBLE_EQ(task.execute(6e6, 0.001, 0.001, done), 6e6);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_FALSE(task.runnable());
+  EXPECT_DOUBLE_EQ(task.backlog_cycles(), 0.0);
+}
+
+TEST(TaskTest, ExecuteMultipleJobsFifo) {
+  Task task(0, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 2e6));
+  task.submit(make_job(2, 3e6));
+  task.submit(make_job(3, 100e6));
+  std::vector<CompletedJob> done;
+  const double used = task.execute(5e6, 0.0, 0.001, done);
+  EXPECT_DOUBLE_EQ(used, 5e6);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].job.id, 1u);
+  EXPECT_EQ(done[1].job.id, 2u);
+  EXPECT_EQ(task.queued_jobs(), 1u);
+}
+
+TEST(TaskTest, CompletionTimeInterpolatedWithinTick) {
+  Task task(0, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 5e6));
+  std::vector<CompletedJob> done;
+  // Job consumes half the offered cycles -> completes mid-tick.
+  task.execute(10e6, 2.0, 0.010, done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NEAR(done[0].completion_s, 2.005, 1e-9);
+}
+
+TEST(TaskTest, ExecuteReturnsUnusedWhenQueueDrains) {
+  Task task(0, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 1e6));
+  std::vector<CompletedJob> done;
+  EXPECT_DOUBLE_EQ(task.execute(5e6, 0.0, 0.001, done), 1e6);
+}
+
+TEST(TaskTest, OverdueJobsCounted) {
+  Task task(0, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 1e6, 0.0, 1.0));
+  task.submit(make_job(2, 1e6, 0.0, 3.0));
+  task.submit(make_job(3, 1e6));  // best effort: never overdue
+  EXPECT_EQ(task.overdue_jobs(0.5), 0u);
+  EXPECT_EQ(task.overdue_jobs(2.0), 1u);
+  EXPECT_EQ(task.overdue_jobs(10.0), 2u);
+}
+
+TEST(TaskTest, ClearDropsQueue) {
+  Task task(0, "t", Affinity::Any, 1.0);
+  task.submit(make_job(1, 1e6));
+  task.clear();
+  EXPECT_FALSE(task.runnable());
+  EXPECT_DOUBLE_EQ(task.backlog_cycles(), 0.0);
+}
+
+TEST(TaskSetTest, CreateAssignsSequentialIds) {
+  TaskSet tasks;
+  EXPECT_EQ(tasks.create("a", Affinity::Any), 0u);
+  EXPECT_EQ(tasks.create("b", Affinity::PreferBig), 1u);
+  EXPECT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks.at(1).name(), "b");
+  EXPECT_THROW(tasks.at(2), std::out_of_range);
+}
+
+TEST(TaskSetTest, AggregateQueries) {
+  TaskSet tasks;
+  const TaskId a = tasks.create("a", Affinity::Any);
+  tasks.create("b", Affinity::Any);
+  EXPECT_EQ(tasks.runnable_count(), 0u);
+  tasks.at(a).submit(make_job(1, 4e6));
+  EXPECT_EQ(tasks.runnable_count(), 1u);
+  EXPECT_DOUBLE_EQ(tasks.total_backlog_cycles(), 4e6);
+}
+
+}  // namespace
+}  // namespace pmrl::soc

@@ -1,0 +1,89 @@
+#include "soc/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pmrl::soc {
+namespace {
+
+ThermalModel one_node(double r = 4.0, double c = 1.0, double init = 35.0,
+                      double ambient = 25.0) {
+  return ThermalModel({ThermalNodeParams{r, c, init}}, ambient);
+}
+
+TEST(ThermalModelTest, RejectsBadConfiguration) {
+  EXPECT_THROW(ThermalModel({}, 25.0), std::invalid_argument);
+  EXPECT_THROW(ThermalModel({ThermalNodeParams{0.0, 1.0, 35.0}}, 25.0),
+               std::invalid_argument);
+  EXPECT_THROW(ThermalModel({ThermalNodeParams{4.0, -1.0, 35.0}}, 25.0),
+               std::invalid_argument);
+}
+
+TEST(ThermalModelTest, InitialTemperature) {
+  auto model = one_node();
+  EXPECT_DOUBLE_EQ(model.temperature_c(0), 35.0);
+  EXPECT_THROW(model.temperature_c(1), std::out_of_range);
+}
+
+TEST(ThermalModelTest, ZeroPowerDecaysTowardAmbient) {
+  auto model = one_node();
+  for (int i = 0; i < 100; ++i) model.step({0.0}, 1.0);
+  EXPECT_NEAR(model.temperature_c(0), 25.0, 0.01);
+}
+
+TEST(ThermalModelTest, SteadyStateMatchesPR) {
+  auto model = one_node(4.0, 1.0);
+  // T_inf = 25 + 3 W * 4 K/W = 37 C.
+  for (int i = 0; i < 200; ++i) model.step({3.0}, 1.0);
+  EXPECT_NEAR(model.temperature_c(0), 37.0, 0.01);
+}
+
+TEST(ThermalModelTest, ExactExponentialStep) {
+  auto model = one_node(4.0, 1.0, 35.0);
+  // tau = 4 s; one step of 4 s with 0 W: T = 25 + (35-25) * e^-1.
+  model.step({0.0}, 4.0);
+  EXPECT_NEAR(model.temperature_c(0), 25.0 + 10.0 * std::exp(-1.0), 1e-9);
+}
+
+TEST(ThermalModelTest, StableForHugeTimeStep) {
+  // The closed-form update never overshoots, unlike forward Euler.
+  auto model = one_node(4.0, 1.0, 35.0);
+  model.step({3.0}, 1e6);
+  EXPECT_NEAR(model.temperature_c(0), 37.0, 1e-6);
+}
+
+TEST(ThermalModelTest, StepSizeInvariance) {
+  // Two 0.5 s steps equal one 1 s step for constant power (exact solution).
+  auto coarse = one_node();
+  auto fine = one_node();
+  coarse.step({5.0}, 1.0);
+  fine.step({5.0}, 0.5);
+  fine.step({5.0}, 0.5);
+  EXPECT_NEAR(coarse.temperature_c(0), fine.temperature_c(0), 1e-12);
+}
+
+TEST(ThermalModelTest, IndependentNodes) {
+  ThermalModel model({ThermalNodeParams{4.0, 1.0, 35.0},
+                      ThermalNodeParams{8.0, 0.5, 30.0}},
+                     25.0);
+  for (int i = 0; i < 300; ++i) model.step({2.0, 0.5}, 1.0);
+  EXPECT_NEAR(model.temperature_c(0), 25.0 + 8.0, 0.01);
+  EXPECT_NEAR(model.temperature_c(1), 25.0 + 4.0, 0.01);
+}
+
+TEST(ThermalModelTest, PowerVectorSizeMismatchThrows) {
+  auto model = one_node();
+  EXPECT_THROW(model.step({1.0, 2.0}, 0.1), std::invalid_argument);
+}
+
+TEST(ThermalModelTest, ResetRestoresInitial) {
+  auto model = one_node();
+  for (int i = 0; i < 10; ++i) model.step({10.0}, 1.0);
+  EXPECT_GT(model.temperature_c(0), 35.0);
+  model.reset();
+  EXPECT_DOUBLE_EQ(model.temperature_c(0), 35.0);
+}
+
+}  // namespace
+}  // namespace pmrl::soc

@@ -1,0 +1,106 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmrl {
+namespace {
+
+TEST(CsvWriterTest, PlainRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  writer.write_row({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, HeaderEmittedOnce) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  writer.write_row({"1", "2"});
+  writer.write_row({"3", "4"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriterTest, HeaderWidthEnforced) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  EXPECT_THROW(writer.write_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, EscapingQuotesCommasNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, ValuesFormatting) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row_values({1.5, -2.0, 0.333333333});
+  EXPECT_EQ(out.str(), "1.5,-2,0.333333333\n");
+}
+
+TEST(CsvReaderTest, ParsesSimpleDocument) {
+  const auto rows = CsvReader::parse_string("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, HandlesCrLf) {
+  const auto rows = CsvReader::parse_string("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvReaderTest, QuotedFieldsWithCommasAndQuotes) {
+  const auto rows =
+      CsvReader::parse_string("\"a,b\",\"say \"\"hi\"\"\"\nplain,x\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvReaderTest, QuotedNewlineStaysInField) {
+  const auto rows = CsvReader::parse_string("\"line\nbreak\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line\nbreak");
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  const auto rows = CsvReader::parse_string("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvReaderTest, EmptyFieldsPreserved) {
+  const auto rows = CsvReader::parse_string("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "");
+  EXPECT_EQ(rows[1].size(), 3u);
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(CsvReader::parse_string("\"oops\n"), std::runtime_error);
+}
+
+TEST(CsvReaderTest, QuoteInsideUnquotedFieldThrows) {
+  EXPECT_THROW(CsvReader::parse_string("ab\"c,d\n"), std::runtime_error);
+}
+
+TEST(CsvRoundTripTest, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> original = {"a,b", "c\"d", "e\nf", "plain"};
+  writer.write_row(original);
+  const auto rows = CsvReader::parse_string(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,141 @@
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pmrl {
+namespace {
+
+TEST(FixedFormatTest, BasicProperties) {
+  const FixedFormat q610(16, 10);
+  EXPECT_EQ(q610.total_bits(), 16u);
+  EXPECT_EQ(q610.frac_bits(), 10u);
+  EXPECT_EQ(q610.int_bits(), 5u);
+  EXPECT_EQ(q610.raw_max(), 32767);
+  EXPECT_EQ(q610.raw_min(), -32768);
+  EXPECT_DOUBLE_EQ(q610.lsb(), 1.0 / 1024.0);
+  EXPECT_NEAR(q610.value_max(), 31.999, 0.001);
+  EXPECT_NEAR(q610.value_min(), -32.0, 1e-9);
+}
+
+TEST(FixedFormatTest, RejectsInvalidFormats) {
+  EXPECT_THROW(FixedFormat(1, 0), std::invalid_argument);
+  EXPECT_THROW(FixedFormat(16, 16), std::invalid_argument);
+  EXPECT_THROW(FixedFormat(64, 10), std::invalid_argument);
+}
+
+TEST(FixedFormatTest, RoundTripExactValues) {
+  const FixedFormat fmt(16, 8);
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 63.5, -64.0}) {
+    EXPECT_DOUBLE_EQ(fmt.to_double(fmt.from_double(v)), v) << v;
+  }
+}
+
+TEST(FixedFormatTest, QuantizationRoundsToNearest) {
+  const FixedFormat fmt(16, 8);  // lsb = 1/256
+  // 0.0015 is closer to 0/256 than 1/256? 0.0015*256 = 0.384 -> rounds to 0.
+  EXPECT_EQ(fmt.from_double(0.0015), 0);
+  // 0.002*256 = 0.512 -> rounds to 1.
+  EXPECT_EQ(fmt.from_double(0.002), 1);
+  // Negative: round half away from zero.
+  EXPECT_EQ(fmt.from_double(-0.002), -1);
+}
+
+TEST(FixedFormatTest, SaturatesOnOverflow) {
+  const FixedFormat fmt(8, 4);  // range [-8, 7.9375]
+  EXPECT_EQ(fmt.from_double(100.0), fmt.raw_max());
+  EXPECT_EQ(fmt.from_double(-100.0), fmt.raw_min());
+  EXPECT_EQ(fmt.add(fmt.raw_max(), fmt.raw_max()), fmt.raw_max());
+  EXPECT_EQ(fmt.sub(fmt.raw_min(), fmt.raw_max()), fmt.raw_min());
+}
+
+TEST(FixedFormatTest, MultiplicationMatchesDoubleWithinLsb) {
+  const FixedFormat fmt(16, 10);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(-5.0, 5.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    const std::int64_t ra = fmt.from_double(a);
+    const std::int64_t rb = fmt.from_double(b);
+    const double product = fmt.to_double(fmt.mul(ra, rb));
+    // Error budget: quantization of both inputs plus the truncation.
+    const double tolerance =
+        (std::abs(a) + std::abs(b) + 2.0) * fmt.lsb();
+    EXPECT_NEAR(product, a * b, tolerance) << a << " * " << b;
+  }
+}
+
+TEST(FixedFormatTest, MultiplicationTruncatesTowardNegInfinity) {
+  const FixedFormat fmt(16, 4);  // lsb 1/16
+  // 0.5 * 0.125: raws 8 * 2 = 16 >> 4 = 1 -> 1/16 (exact result 1/16).
+  EXPECT_EQ(fmt.mul(8, 2), 1);
+  // 0.0625 * 0.0625 = 1/256 -> raw product 1 >> 4 = 0 (truncated).
+  EXPECT_EQ(fmt.mul(1, 1), 0);
+  // Negative truncation: -1/16 * 1/16 = -1/256 -> (-1) >> 4 = -1 (toward
+  // negative infinity, as RTL arithmetic shift does).
+  EXPECT_EQ(fmt.mul(-1, 1), -1);
+}
+
+TEST(FixedFormatTest, MulSaturatesExtremes) {
+  const FixedFormat fmt(16, 10);
+  const std::int64_t big = fmt.raw_max();
+  EXPECT_EQ(fmt.mul(big, big), fmt.raw_max());
+  EXPECT_EQ(fmt.mul(big, fmt.raw_min()), fmt.raw_min());
+}
+
+TEST(FixedFormatTest, WideFormat48Bits) {
+  const FixedFormat fmt(48, 20);
+  const double v = 12345.678901;
+  EXPECT_NEAR(fmt.to_double(fmt.from_double(v)), v, fmt.lsb());
+  // Product of two large values saturates instead of wrapping.
+  const std::int64_t near_max = fmt.from_double(1e5);
+  EXPECT_EQ(fmt.mul(near_max, near_max), fmt.raw_max());
+}
+
+TEST(FixedTest, WrapperArithmetic) {
+  const FixedFormat fmt(16, 8);
+  const Fixed a(fmt, 2.5);
+  const Fixed b(fmt, 1.25);
+  EXPECT_DOUBLE_EQ((a + b).value(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.25);
+  EXPECT_DOUBLE_EQ((a * b).value(), 3.125);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(a > b);
+  EXPECT_TRUE(a == Fixed(fmt, 2.5));
+}
+
+TEST(FixedTest, FromRawSaturates) {
+  const FixedFormat fmt(8, 4);
+  const Fixed f = Fixed::from_raw(fmt, 1 << 20);
+  EXPECT_EQ(f.raw(), fmt.raw_max());
+}
+
+// Property sweep: add/sub never leave the representable range for any
+// format in the sweep.
+class FixedFormatSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FixedFormatSweep, ArithmeticStaysInRange) {
+  const unsigned frac = GetParam();
+  const FixedFormat fmt(16, frac);
+  Rng rng(frac);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t a = fmt.from_double(
+        rng.uniform(fmt.value_min() * 2, fmt.value_max() * 2));
+    const std::int64_t b = fmt.from_double(
+        rng.uniform(fmt.value_min() * 2, fmt.value_max() * 2));
+    for (const std::int64_t r : {fmt.add(a, b), fmt.sub(a, b),
+                                 fmt.mul(a, b)}) {
+      EXPECT_GE(r, fmt.raw_min());
+      EXPECT_LE(r, fmt.raw_max());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, FixedFormatSweep,
+                         ::testing::Values(2u, 4u, 6u, 8u, 10u, 12u, 14u));
+
+}  // namespace
+}  // namespace pmrl

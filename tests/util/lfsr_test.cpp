@@ -1,0 +1,76 @@
+#include "util/lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pmrl {
+namespace {
+
+TEST(Lfsr16Test, ZeroSeedRemapped) {
+  Lfsr16 lfsr(0);
+  EXPECT_EQ(lfsr.state(), 0xACE1u);
+}
+
+TEST(Lfsr16Test, NeverEmitsZero) {
+  Lfsr16 lfsr(0xACE1);
+  for (int i = 0; i < 70000; ++i) EXPECT_NE(lfsr.next(), 0u);
+}
+
+TEST(Lfsr16Test, MaximalPeriod) {
+  Lfsr16 lfsr(1);
+  const std::uint16_t start = lfsr.state();
+  std::size_t period = 0;
+  do {
+    lfsr.next();
+    ++period;
+  } while (lfsr.state() != start && period <= 70000);
+  EXPECT_EQ(period, 65535u);
+}
+
+TEST(Lfsr16Test, DeterministicAcrossInstances) {
+  Lfsr16 a(0x1234);
+  Lfsr16 b(0x1234);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Lfsr16Test, NextModInRange) {
+  Lfsr16 lfsr(0x42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(lfsr.next_mod(9), 9u);
+  }
+  EXPECT_EQ(lfsr.next_mod(0), 0u);
+  EXPECT_EQ(lfsr.next_mod(1), 0u);
+}
+
+TEST(Lfsr16Test, NextModCoversAllResidues) {
+  Lfsr16 lfsr(0x77);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(lfsr.next_mod(9));
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(Lfsr16Test, BelowThresholdFrequency) {
+  Lfsr16 lfsr(0xBEEF);
+  // threshold/65536 probability; sweep the whole period for exactness.
+  const std::uint32_t threshold = 6554;  // ~10%
+  std::size_t hits = 0;
+  for (int i = 0; i < 65535; ++i) hits += lfsr.below(threshold) ? 1 : 0;
+  // Over the full period every value 1..65535 appears exactly once:
+  // values below 6554 are 1..6553 -> 6553 hits.
+  EXPECT_EQ(hits, 6553u);
+}
+
+TEST(Lfsr16Test, BelowZeroNeverTrue) {
+  Lfsr16 lfsr(0xBEEF);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(lfsr.below(0));
+}
+
+TEST(Lfsr16Test, Below65536AlwaysTrue) {
+  Lfsr16 lfsr(0xBEEF);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(lfsr.below(65536));
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Log::set_level(LogLevel::Warn); }
+};
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::Info), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "ERROR");
+}
+
+TEST_F(LogTest, ThresholdFiltering) {
+  Log::set_level(LogLevel::Warn);
+  EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+  EXPECT_FALSE(Log::enabled(LogLevel::Info));
+  EXPECT_TRUE(Log::enabled(LogLevel::Warn));
+  EXPECT_TRUE(Log::enabled(LogLevel::Error));
+}
+
+TEST_F(LogTest, OffDisablesEverything) {
+  Log::set_level(LogLevel::Off);
+  EXPECT_FALSE(Log::enabled(LogLevel::Error));
+  EXPECT_FALSE(Log::enabled(LogLevel::Off));
+}
+
+TEST_F(LogTest, SetAndGetLevel) {
+  Log::set_level(LogLevel::Debug);
+  EXPECT_EQ(Log::level(), LogLevel::Debug);
+  EXPECT_TRUE(Log::enabled(LogLevel::Debug));
+}
+
+TEST_F(LogTest, MacroDoesNotEvaluateWhenDisabled) {
+  Log::set_level(LogLevel::Error);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  PMRL_DEBUG("test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  PMRL_ERROR("test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,78 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, PushAndIndexOldestFirst) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(20);
+  rb.push(30);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 10);
+  EXPECT_EQ(rb[1], 20);
+  EXPECT_EQ(rb[2], 30);
+  EXPECT_EQ(rb.front(), 10);
+  EXPECT_EQ(rb.back(), 30);
+}
+
+TEST(RingBufferTest, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+}
+
+TEST(RingBufferTest, WrapsRepeatedly) {
+  RingBuffer<int> rb(2);
+  for (int i = 0; i < 100; ++i) rb.push(i);
+  EXPECT_EQ(rb[0], 98);
+  EXPECT_EQ(rb[1], 99);
+}
+
+TEST(RingBufferTest, OutOfRangeThrows) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  EXPECT_THROW(rb[1], std::out_of_range);
+  EXPECT_THROW(rb[100], std::out_of_range);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBufferTest, WorksWithNonTrivialTypes) {
+  RingBuffer<std::string> rb(2);
+  rb.push("alpha");
+  rb.push("beta");
+  rb.push("gamma");
+  EXPECT_EQ(rb[0], "beta");
+  EXPECT_EQ(rb[1], "gamma");
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,194 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pmrl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NearbySeedsAreDecorrelated) {
+  // SplitMix64 seeding: consecutive seeds must not give similar streams.
+  Rng a(1000);
+  Rng b(1001);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(a.uniform());
+    ys.push_back(b.uniform());
+  }
+  double corr = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    corr += (xs[i] - 0.5) * (ys[i] - 0.5);
+  }
+  corr /= xs.size() * (1.0 / 12.0);  // normalize by uniform variance
+  EXPECT_LT(std::abs(corr), 0.15);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // inverted range returns lo
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(4.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgesAndProbability) {
+  Rng rng(14);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(15);
+  const int n = 50000;
+  double small_sum = 0.0;
+  double large_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    small_sum += static_cast<double>(rng.poisson(2.5));
+    large_sum += static_cast<double>(rng.poisson(100.0));
+  }
+  EXPECT_NEAR(small_sum / n, 2.5, 0.05);
+  EXPECT_NEAR(large_sum / n, 100.0, 0.5);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, LognormalMean) {
+  Rng rng(16);
+  const int n = 200000;
+  double sum = 0.0;
+  const double mu = 1.0;
+  const double sigma = 0.4;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  // E[X] = exp(mu + sigma^2/2)
+  EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2.0), 0.05);
+}
+
+TEST(RngTest, WeightedChoiceProportions) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_choice(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, WeightedChoiceAllZeroFallsBackToUniform) {
+  Rng rng(18);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.weighted_choice(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, WeightedChoiceNegativeTreatedAsZero) {
+  Rng rng(19);
+  std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_choice(weights), 1u);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += parent() == child() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace pmrl

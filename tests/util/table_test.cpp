@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_EQ(out,
+            "| name   | v  |\n"
+            "|--------|----|\n"
+            "| x      | 1  |\n"
+            "| longer | 22 |\n");
+}
+
+TEST(TextTableTest, HeaderWiderThanContent) {
+  TextTable table({"wide-header"});
+  table.add_row({"x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| wide-header |"), std::string::npos);
+  EXPECT_NE(out.find("| x           |"), std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTableTest, PercentFormatting) {
+  EXPECT_EQ(TextTable::percent(0.3166), "31.66%");
+  EXPECT_EQ(TextTable::percent(1.0, 0), "100%");
+  EXPECT_EQ(TextTable::percent(0.005, 1), "0.5%");
+}
+
+TEST(TextTableTest, RowsCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,142 @@
+#include "workload/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmrl::workload {
+namespace {
+
+soc::Job make_job(soc::JobId id, double release, double deadline) {
+  soc::Job job;
+  job.id = id;
+  job.work_cycles = 1e6;
+  job.release_s = release;
+  job.deadline_s = deadline;
+  return job;
+}
+
+soc::CompletedJob complete(soc::Job job, double completion,
+                           soc::ClusterId cluster = 0) {
+  soc::CompletedJob done;
+  done.job = job;
+  done.completion_s = completion;
+  done.cluster = cluster;
+  return done;
+}
+
+TEST(JobQualityTest, OnTimeIsOne) {
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 0.0, 1.0), 0.9)), 1.0);
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 0.0, 1.0), 1.0)), 1.0);
+}
+
+TEST(JobQualityTest, LinearDecayWithTardiness) {
+  // Window = 1 s; half a window late -> 0.5 quality.
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 0.0, 1.0), 1.5)), 0.5);
+  // A full window late -> 0.
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 0.0, 1.0), 2.0)), 0.0);
+  // Beyond never goes negative.
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 0.0, 1.0), 5.0)), 0.0);
+}
+
+TEST(JobQualityTest, BestEffortGetsCredit) {
+  soc::Job job = make_job(1, 0.0, -1.0);
+  EXPECT_DOUBLE_EQ(job_quality(complete(job, 100.0), 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(job_quality(complete(job, 100.0), 0.5), 0.5);
+}
+
+TEST(JobQualityTest, ZeroWindowIsBinary) {
+  // deadline == release: met exactly at release, else 0.
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 1.0, 1.0), 1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(job_quality(complete(make_job(1, 1.0, 1.0), 1.1)), 0.0);
+}
+
+TEST(QosTrackerTest, CountsReleasesAndCompletions) {
+  QosTracker tracker;
+  tracker.on_release(make_job(1, 0.0, 1.0));
+  tracker.on_release(make_job(2, 0.0, -1.0));
+  EXPECT_EQ(tracker.released(), 2u);
+  EXPECT_EQ(tracker.released_with_deadline(), 1u);
+  tracker.on_complete(complete(make_job(1, 0.0, 1.0), 0.5));
+  EXPECT_EQ(tracker.completed(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.total_quality(), 1.0);
+}
+
+TEST(QosTrackerTest, ViolationOnLateCompletion) {
+  QosTracker tracker;
+  tracker.on_release(make_job(1, 0.0, 1.0));
+  tracker.on_complete(complete(make_job(1, 0.0, 1.0), 1.2));
+  EXPECT_EQ(tracker.violations(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 1.0);
+  EXPECT_NEAR(tracker.total_quality(), 0.8, 1e-12);
+}
+
+TEST(QosTrackerTest, FinalizeCondemnsExpiredOutstanding) {
+  QosTracker tracker;
+  tracker.on_release(make_job(1, 0.0, 1.0));   // will expire
+  tracker.on_release(make_job(2, 0.0, 10.0));  // still has time
+  tracker.finalize(5.0);
+  EXPECT_EQ(tracker.violations(), 1u);
+  // Job 2's deadline has not passed: not condemned.
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 0.5);
+}
+
+TEST(QosTrackerTest, MeanQualityExcludesBestEffortCredits) {
+  QosTracker tracker(0.25);
+  tracker.on_release(make_job(1, 0.0, 1.0));
+  tracker.on_release(make_job(2, 0.0, -1.0));
+  tracker.on_complete(complete(make_job(1, 0.0, 1.0), 1.5));  // 0.5 quality
+  tracker.on_complete(complete(make_job(2, 0.0, -1.0), 9.0));  // credit
+  EXPECT_DOUBLE_EQ(tracker.mean_quality(), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.total_quality(), 0.75);
+}
+
+TEST(QosTrackerTest, ViolationRateZeroWhenNoDeadlines) {
+  QosTracker tracker;
+  tracker.on_release(make_job(1, 0.0, -1.0));
+  EXPECT_DOUBLE_EQ(tracker.violation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_quality(), 1.0);
+}
+
+TEST(QosTrackerTest, LatencyDistributionRecorded) {
+  QosTracker tracker;
+  for (int i = 1; i <= 3; ++i) {
+    const auto job = make_job(static_cast<soc::JobId>(i), 0.0, 1.0);
+    tracker.on_release(job);
+    tracker.on_complete(complete(job, 0.1 * i));
+  }
+  EXPECT_EQ(tracker.latencies().count(), 3u);
+  EXPECT_NEAR(tracker.latencies().mean(), 0.2, 1e-12);
+}
+
+TEST(QosTrackerTest, PerClusterAttribution) {
+  QosTracker tracker;
+  const auto j1 = make_job(1, 0.0, 1.0);
+  const auto j2 = make_job(2, 0.0, 1.0);
+  const auto j3 = make_job(3, 0.0, 1.0);
+  for (const auto& j : {j1, j2, j3}) tracker.on_release(j);
+  tracker.on_complete(complete(j1, 0.5, /*cluster=*/0));
+  tracker.on_complete(complete(j2, 1.5, /*cluster=*/1));  // late
+  tracker.on_complete(complete(j3, 0.5, /*cluster=*/1));
+  EXPECT_DOUBLE_EQ(tracker.cluster_deadline_quality(0), 1.0);
+  EXPECT_EQ(tracker.cluster_deadline_completed(0), 1u);
+  EXPECT_EQ(tracker.cluster_violations(0), 0u);
+  EXPECT_DOUBLE_EQ(tracker.cluster_deadline_quality(1), 1.5);
+  EXPECT_EQ(tracker.cluster_deadline_completed(1), 2u);
+  EXPECT_EQ(tracker.cluster_violations(1), 1u);
+  // Unknown cluster reads as empty, not a crash.
+  EXPECT_EQ(tracker.cluster_deadline_completed(9), 0u);
+}
+
+TEST(QosTrackerTest, UnattributedCompletionStillCountsGlobally) {
+  QosTracker tracker;
+  const auto job = make_job(1, 0.0, 1.0);
+  tracker.on_release(job);
+  soc::CompletedJob done;
+  done.job = job;
+  done.completion_s = 0.5;  // cluster left at the "unknown" sentinel
+  tracker.on_complete(done);
+  EXPECT_EQ(tracker.completed(), 1u);
+  EXPECT_EQ(tracker.cluster_deadline_completed(0), 0u);
+}
+
+}  // namespace
+}  // namespace pmrl::workload

@@ -1,0 +1,240 @@
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pmrl::workload {
+namespace {
+
+class MockHost : public WorkloadHost {
+ public:
+  struct Submission {
+    soc::TaskId task;
+    double work;
+    double deadline;
+    double submit_time;
+  };
+
+  soc::TaskId create_task(std::string name, soc::Affinity affinity,
+                          double weight) override {
+    task_names.push_back(std::move(name));
+    affinities.push_back(affinity);
+    (void)weight;
+    return task_names.size() - 1;
+  }
+  void submit(soc::TaskId task, double work, double deadline) override {
+    submissions.push_back({task, work, deadline, now});
+  }
+
+  double now = 0.0;
+  std::vector<std::string> task_names;
+  std::vector<soc::Affinity> affinities;
+  std::vector<Submission> submissions;
+};
+
+/// Drives a scenario against the mock host for `seconds` at 1 ms ticks.
+void drive(Scenario& scenario, MockHost& host, double seconds) {
+  scenario.setup(host);
+  const double dt = 0.001;
+  const int ticks = static_cast<int>(seconds / dt + 0.5);
+  for (int i = 0; i < ticks; ++i) {
+    host.now = i * dt;
+    scenario.tick(host, host.now, dt);
+  }
+}
+
+TEST(ScenarioFactoryTest, AllKindsConstructible) {
+  for (const auto kind : all_scenario_kinds()) {
+    const auto scenario = make_scenario(kind, 1);
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_EQ(scenario->name(), scenario_kind_name(kind));
+  }
+  EXPECT_EQ(all_scenario_kinds().size(), 6u);
+}
+
+TEST(ScenarioFactoryTest, DistinctKindNames) {
+  std::set<std::string> names;
+  for (const auto kind : all_scenario_kinds()) {
+    names.insert(scenario_kind_name(kind));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+// Determinism: the same (kind, seed) must release the identical job stream.
+class ScenarioDeterminism
+    : public ::testing::TestWithParam<ScenarioKind> {};
+
+TEST_P(ScenarioDeterminism, SameSeedSameStream) {
+  MockHost a;
+  MockHost b;
+  auto sa = make_scenario(GetParam(), 77);
+  auto sb = make_scenario(GetParam(), 77);
+  drive(*sa, a, 5.0);
+  drive(*sb, b, 5.0);
+  ASSERT_EQ(a.submissions.size(), b.submissions.size());
+  for (std::size_t i = 0; i < a.submissions.size(); ++i) {
+    EXPECT_EQ(a.submissions[i].task, b.submissions[i].task);
+    EXPECT_DOUBLE_EQ(a.submissions[i].work, b.submissions[i].work);
+    EXPECT_DOUBLE_EQ(a.submissions[i].deadline, b.submissions[i].deadline);
+  }
+}
+
+TEST_P(ScenarioDeterminism, DifferentSeedsDiffer) {
+  MockHost a;
+  MockHost b;
+  auto sa = make_scenario(GetParam(), 77);
+  auto sb = make_scenario(GetParam(), 78);
+  drive(*sa, a, 5.0);
+  drive(*sb, b, 5.0);
+  bool identical = a.submissions.size() == b.submissions.size();
+  if (identical) {
+    for (std::size_t i = 0; i < a.submissions.size(); ++i) {
+      if (a.submissions[i].work != b.submissions[i].work) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST_P(ScenarioDeterminism, ProducesWork) {
+  MockHost host;
+  auto scenario = make_scenario(GetParam(), 5);
+  drive(*scenario, host, 10.0);
+  EXPECT_FALSE(host.submissions.empty());
+  EXPECT_FALSE(host.task_names.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioDeterminism,
+    ::testing::ValuesIn(all_scenario_kinds()),
+    [](const ::testing::TestParamInfo<ScenarioKind>& param_info) {
+      return scenario_kind_name(param_info.param);
+    });
+
+TEST(VideoScenarioTest, FrameRateAndDeadlines) {
+  MockHost host;
+  VideoPlaybackScenario scenario(1);
+  drive(scenario, host, 10.0);
+  // 30 fps decode + 100 Hz audio over 10 s: ~300 + ~1000 jobs.
+  std::map<soc::TaskId, int> per_task;
+  for (const auto& s : host.submissions) {
+    ++per_task[s.task];
+    EXPECT_GT(s.deadline, s.submit_time);  // every job has a deadline
+  }
+  ASSERT_EQ(host.task_names.size(), 2u);
+  EXPECT_NEAR(per_task[0], 300, 2);   // decode
+  EXPECT_NEAR(per_task[1], 1000, 2);  // audio
+}
+
+TEST(VideoScenarioTest, DecodeWorkScale) {
+  MockHost host;
+  VideoPlaybackScenario scenario(2);
+  drive(scenario, host, 30.0);
+  double decode_sum = 0.0;
+  int decode_n = 0;
+  for (const auto& s : host.submissions) {
+    if (s.task == 0) {
+      decode_sum += s.work;
+      ++decode_n;
+    }
+  }
+  // Mean ~8 Mcycles body with 8% x2.5 spikes -> ~8.96 Mcycles effective.
+  EXPECT_NEAR(decode_sum / decode_n, 8.96e6, 0.8e6);
+}
+
+TEST(GamingScenarioTest, SceneChangesModulateRenderWork) {
+  MockHost host;
+  GamingScenario scenario(3);
+  drive(scenario, host, 60.0);
+  // Render task is id 0; look for distinct work regimes over time.
+  double min_w = 1e18;
+  double max_w = 0.0;
+  for (const auto& s : host.submissions) {
+    if (s.task == 0) {
+      min_w = std::min(min_w, s.work);
+      max_w = std::max(max_w, s.work);
+    }
+  }
+  // Light scenes ~6 Mcycles vs heavy ~20 Mcycles: range must exceed 2x.
+  EXPECT_GT(max_w / min_w, 2.0);
+}
+
+TEST(WebScenarioTest, BurstsAndIdleGaps) {
+  MockHost host;
+  WebBrowsingScenario scenario(4);
+  drive(scenario, host, 30.0);
+  // Page loads release 24 jobs at one instant: find such a burst.
+  std::map<double, int> per_time;
+  for (const auto& s : host.submissions) ++per_time[s.submit_time];
+  int max_batch = 0;
+  for (const auto& [t, n] : per_time) max_batch = std::max(max_batch, n);
+  EXPECT_GE(max_batch, 24);
+}
+
+TEST(AppLaunchScenarioTest, PeriodicLaunchBursts) {
+  MockHost host;
+  AppLaunchScenario scenario(5);
+  drive(scenario, host, 30.0);
+  // Launches every 5-8 s from t=0.5 -> at least 3 bursts of 16 jobs.
+  std::map<double, int> per_time;
+  for (const auto& s : host.submissions) ++per_time[s.submit_time];
+  int bursts = 0;
+  for (const auto& [t, n] : per_time) bursts += n >= 16 ? 1 : 0;
+  EXPECT_GE(bursts, 3);
+}
+
+TEST(AudioIdleScenarioTest, MostlyTinyJobs) {
+  MockHost host;
+  AudioIdleScenario scenario(6);
+  drive(scenario, host, 20.0);
+  int audio_jobs = 0;
+  int best_effort = 0;
+  for (const auto& s : host.submissions) {
+    if (s.deadline < 0.0) {
+      ++best_effort;
+    } else {
+      ++audio_jobs;
+    }
+  }
+  EXPECT_NEAR(audio_jobs, 2000, 5);
+  EXPECT_GT(best_effort, 0);
+  EXPECT_LT(best_effort, 20);
+}
+
+TEST(MixedScenarioTest, SwitchesBetweenChildren) {
+  MixedScenario scenario(7);
+  MockHost host;
+  scenario.setup(host);
+  std::set<std::size_t> actives;
+  for (int i = 0; i < 60000; ++i) {
+    scenario.tick(host, i * 0.001, 0.001);
+    actives.insert(scenario.active_child());
+  }
+  // Over 60 s with 6-12 s dwells, several children become active.
+  EXPECT_GE(actives.size(), 4u);
+  EXPECT_EQ(scenario.child_count(), 5u);
+}
+
+TEST(MixedScenarioTest, InactiveChildrenDoNotFlood) {
+  MixedScenario scenario(8);
+  MockHost host;
+  scenario.setup(host);
+  // Advance 20 s, then measure the submission rate over the next second.
+  for (int i = 0; i < 20000; ++i) scenario.tick(host, i * 0.001, 0.001);
+  const std::size_t before = host.submissions.size();
+  for (int i = 20000; i < 21000; ++i) {
+    scenario.tick(host, i * 0.001, 0.001);
+  }
+  const std::size_t rate = host.submissions.size() - before;
+  // One active child submits at most a few hundred jobs/s (audio+frames);
+  // a flood from resumed children would be thousands at once.
+  EXPECT_LT(rate, 400u);
+}
+
+}  // namespace
+}  // namespace pmrl::workload

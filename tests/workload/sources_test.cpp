@@ -1,0 +1,218 @@
+#include "workload/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pmrl::workload {
+namespace {
+
+/// Test host that records submissions.
+class MockHost : public WorkloadHost {
+ public:
+  struct Submission {
+    soc::TaskId task;
+    double work;
+    double deadline;
+  };
+
+  soc::TaskId create_task(std::string name, soc::Affinity affinity,
+                          double weight) override {
+    task_names.push_back(std::move(name));
+    task_affinities.push_back(affinity);
+    task_weights.push_back(weight);
+    return task_names.size() - 1;
+  }
+  void submit(soc::TaskId task, double work, double deadline) override {
+    submissions.push_back({task, work, deadline});
+  }
+
+  std::vector<std::string> task_names;
+  std::vector<soc::Affinity> task_affinities;
+  std::vector<double> task_weights;
+  std::vector<Submission> submissions;
+};
+
+TEST(WorkDistributionTest, MeanMatchesConfiguration) {
+  WorkDistribution dist{5e6, 0.3, 0.0, 1.0};
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += dist.sample(rng);
+  EXPECT_NEAR(sum / n, 5e6, 5e6 * 0.02);
+}
+
+TEST(WorkDistributionTest, SpikesRaiseMean) {
+  WorkDistribution base{5e6, 0.1, 0.0, 1.0};
+  WorkDistribution spiky{5e6, 0.1, 0.5, 3.0};
+  Rng rng1(2);
+  Rng rng2(2);
+  double base_sum = 0.0;
+  double spiky_sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    base_sum += base.sample(rng1);
+    spiky_sum += spiky.sample(rng2);
+  }
+  // Half the jobs tripled -> mean x2.
+  EXPECT_NEAR(spiky_sum / base_sum, 2.0, 0.1);
+}
+
+TEST(WorkDistributionTest, AlwaysPositive) {
+  WorkDistribution dist{100.0, 2.0, 0.1, 10.0};
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(dist.sample(rng), 1.0);
+}
+
+TEST(WorkDistributionTest, RejectsNonPositiveMean) {
+  WorkDistribution dist{0.0, 0.1, 0.0, 1.0};
+  Rng rng(4);
+  EXPECT_THROW(dist.sample(rng), std::invalid_argument);
+}
+
+TEST(PeriodicSourceTest, ReleasesAtPeriod) {
+  MockHost host;
+  Rng rng(5);
+  PeriodicSource source(0, 0.010, WorkDistribution{1e6, 0.1, 0.0, 1.0});
+  // Window [0, 0.1): releases at 0.00, 0.01, ..., 0.09 -> 10 jobs.
+  source.tick(host, 0.0, 0.1, rng);
+  EXPECT_EQ(host.submissions.size(), 10u);
+}
+
+TEST(PeriodicSourceTest, NoDoubleReleaseAcrossWindows) {
+  MockHost host;
+  Rng rng(6);
+  PeriodicSource source(0, 0.010, WorkDistribution{1e6, 0.1, 0.0, 1.0});
+  for (int i = 0; i < 100; ++i) {
+    source.tick(host, i * 0.001, 0.001, rng);
+  }
+  EXPECT_EQ(host.submissions.size(), 100u / 10u);
+}
+
+TEST(PeriodicSourceTest, DeadlineFactorApplied) {
+  MockHost host;
+  Rng rng(7);
+  PeriodicSource source(0, 0.010, WorkDistribution{1e6, 0.1, 0.0, 1.0},
+                        /*deadline_factor=*/2.0);
+  source.tick(host, 0.0, 0.001, rng);
+  ASSERT_EQ(host.submissions.size(), 1u);
+  EXPECT_NEAR(host.submissions[0].deadline, 0.020, 1e-12);
+}
+
+TEST(PeriodicSourceTest, PhaseOffsetsFirstRelease) {
+  MockHost host;
+  Rng rng(8);
+  PeriodicSource source(0, 0.010, WorkDistribution{1e6, 0.1, 0.0, 1.0}, 1.0,
+                        /*phase_s=*/0.005);
+  source.tick(host, 0.0, 0.005, rng);
+  EXPECT_TRUE(host.submissions.empty());
+  source.tick(host, 0.005, 0.001, rng);
+  EXPECT_EQ(host.submissions.size(), 1u);
+}
+
+TEST(PeriodicSourceTest, InactiveSkipsButAdvancesClock) {
+  MockHost host;
+  Rng rng(9);
+  PeriodicSource source(0, 0.010, WorkDistribution{1e6, 0.1, 0.0, 1.0});
+  source.set_active(false);
+  source.tick(host, 0.0, 0.1, rng);
+  EXPECT_TRUE(host.submissions.empty());
+  // Reactivation does not flood: releases resume from "now".
+  source.set_active(true);
+  source.tick(host, 0.1, 0.010, rng);
+  EXPECT_EQ(host.submissions.size(), 1u);
+}
+
+TEST(PeriodicSourceTest, RejectsNonPositivePeriod) {
+  EXPECT_THROW(
+      PeriodicSource(0, 0.0, WorkDistribution{1e6, 0.1, 0.0, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(BurstSourceTest, FiresRoundRobinWithCommonDeadline) {
+  MockHost host;
+  Rng rng(10);
+  BurstSource burst({3, 4}, WorkDistribution{1e6, 0.1, 0.0, 1.0}, 5, 1.5);
+  burst.fire(host, 2.0, rng);
+  ASSERT_EQ(host.submissions.size(), 5u);
+  std::map<soc::TaskId, int> per_task;
+  for (const auto& s : host.submissions) {
+    ++per_task[s.task];
+    EXPECT_NEAR(s.deadline, 3.5, 1e-12);
+  }
+  EXPECT_EQ(per_task[3], 3);
+  EXPECT_EQ(per_task[4], 2);
+}
+
+TEST(BurstSourceTest, RejectsEmptyConfig) {
+  EXPECT_THROW(
+      BurstSource({}, WorkDistribution{1e6, 0.1, 0.0, 1.0}, 4, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      BurstSource({1}, WorkDistribution{1e6, 0.1, 0.0, 1.0}, 0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(PhaseMachineTest, RejectsBadMatrices) {
+  std::vector<PhaseMachine::Phase> phases = {{"a", 1.0}, {"b", 1.0}};
+  EXPECT_THROW(PhaseMachine(phases, {{0.0, 1.0}}, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(PhaseMachine(phases, {{1.0}, {1.0}}, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(PhaseMachine({}, {}, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(PhaseMachine(phases, {{0.0, 1.0}, {1.0, 0.0}}, Rng(1), 5),
+               std::invalid_argument);
+}
+
+TEST(PhaseMachineTest, TransitionsFollowMatrix) {
+  // Deterministic cycle a -> b -> a with short dwell.
+  PhaseMachine machine({{"a", 0.05}, {"b", 0.05}},
+                       {{0.0, 1.0}, {1.0, 0.0}}, Rng(11));
+  std::size_t changes = 0;
+  std::size_t prev = machine.phase();
+  for (int i = 0; i < 2000; ++i) {
+    machine.tick(i * 0.001, 0.001);
+    if (machine.phase() != prev) {
+      // With a 2-phase deterministic matrix every change flips the phase.
+      EXPECT_NE(machine.phase(), prev);
+      prev = machine.phase();
+      ++changes;
+    }
+  }
+  // Mean dwell 50 ms over 2 s -> ~40 changes expected; allow slack.
+  EXPECT_GT(changes, 10u);
+  EXPECT_LT(changes, 120u);
+}
+
+TEST(PhaseMachineTest, DwellScalesWithMeanDwell) {
+  auto count_changes = [](double dwell) {
+    PhaseMachine machine({{"a", dwell}, {"b", dwell}},
+                         {{0.0, 1.0}, {1.0, 0.0}}, Rng(12));
+    std::size_t changes = 0;
+    for (int i = 0; i < 10000; ++i) {
+      if (machine.tick(i * 0.001, 0.001)) ++changes;
+    }
+    return changes;
+  };
+  const auto fast = count_changes(0.05);
+  const auto slow = count_changes(0.5);
+  EXPECT_GT(fast, slow * 5);
+}
+
+TEST(PhaseMachineTest, DeterministicWithSameSeed) {
+  auto trace = [](std::uint64_t seed) {
+    PhaseMachine machine({{"a", 0.1}, {"b", 0.1}, {"c", 0.1}},
+                         {{0.0, 1.0, 1.0}, {1.0, 0.0, 1.0}, {1.0, 1.0, 0.0}},
+                         Rng(seed));
+    std::vector<std::size_t> phases;
+    for (int i = 0; i < 1000; ++i) {
+      machine.tick(i * 0.001, 0.001);
+      phases.push_back(machine.phase());
+    }
+    return phases;
+  };
+  EXPECT_EQ(trace(42), trace(42));
+  EXPECT_NE(trace(42), trace(43));
+}
+
+}  // namespace
+}  // namespace pmrl::workload

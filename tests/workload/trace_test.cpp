@@ -1,0 +1,168 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/scenarios.hpp"
+
+namespace pmrl::workload {
+namespace {
+
+class MockHost : public WorkloadHost {
+ public:
+  struct Submission {
+    soc::TaskId task;
+    double work;
+    double deadline;
+  };
+  soc::TaskId create_task(std::string name, soc::Affinity affinity,
+                          double weight) override {
+    names.push_back(std::move(name));
+    affinities.push_back(affinity);
+    weights.push_back(weight);
+    return names.size() - 1;
+  }
+  void submit(soc::TaskId task, double work, double deadline) override {
+    submissions.push_back({task, work, deadline});
+  }
+  std::vector<std::string> names;
+  std::vector<soc::Affinity> affinities;
+  std::vector<double> weights;
+  std::vector<Submission> submissions;
+};
+
+Trace sample_trace() {
+  Trace trace;
+  trace.tasks.push_back({"render", soc::Affinity::PreferBig, 2.0});
+  trace.tasks.push_back({"audio", soc::Affinity::PreferLittle, 1.0});
+  trace.jobs.push_back({0.010, 0, 5e6, 0.030});
+  trace.jobs.push_back({0.015, 1, 1e5, 0.025});
+  trace.jobs.push_back({0.040, 0, 6e6, -1.0});
+  return trace;
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream io;
+  original.save(io);
+  const Trace loaded = Trace::load(io);
+  ASSERT_EQ(loaded.tasks.size(), 2u);
+  EXPECT_EQ(loaded.tasks[0].name, "render");
+  EXPECT_EQ(loaded.tasks[0].affinity, soc::Affinity::PreferBig);
+  EXPECT_DOUBLE_EQ(loaded.tasks[0].weight, 2.0);
+  ASSERT_EQ(loaded.jobs.size(), 3u);
+  EXPECT_NEAR(loaded.jobs[0].time_s, 0.010, 1e-9);
+  EXPECT_NEAR(loaded.jobs[0].work_cycles, 5e6, 1.0);
+  EXPECT_NEAR(loaded.jobs[0].deadline_s, 0.030, 1e-9);
+  EXPECT_EQ(loaded.jobs[2].deadline_s, -1.0);
+}
+
+TEST(TraceTest, LoadSortsJobsByTime) {
+  std::stringstream io;
+  io << "task,t0,any,1\n";
+  io << "job,0.5,0,1000,1\n";
+  io << "job,0.1,0,2000,1\n";
+  const Trace loaded = Trace::load(io);
+  ASSERT_EQ(loaded.jobs.size(), 2u);
+  EXPECT_LT(loaded.jobs[0].time_s, loaded.jobs[1].time_s);
+}
+
+TEST(TraceTest, LoadRejectsMalformedRows) {
+  {
+    std::stringstream io("task,only-two\n");
+    EXPECT_THROW(Trace::load(io), std::runtime_error);
+  }
+  {
+    std::stringstream io("job,0.1,0,1000\n");  // missing deadline
+    EXPECT_THROW(Trace::load(io), std::runtime_error);
+  }
+  {
+    std::stringstream io("banana,1,2,3\n");
+    EXPECT_THROW(Trace::load(io), std::runtime_error);
+  }
+  {
+    std::stringstream io("task,t,weird-affinity,1\n");
+    EXPECT_THROW(Trace::load(io), std::runtime_error);
+  }
+  {
+    // Job referencing a task that does not exist.
+    std::stringstream io("task,t,any,1\njob,0.1,7,1000,1\n");
+    EXPECT_THROW(Trace::load(io), std::runtime_error);
+  }
+}
+
+TEST(TraceRecorderTest, RecordsTasksAndTimedJobs) {
+  MockHost inner;
+  TraceRecorder recorder(inner);
+  const auto t = recorder.create_task("worker", soc::Affinity::Any, 1.5);
+  recorder.set_now(0.25);
+  recorder.submit(t, 3e6, 1.0);
+  // Forwarded to the inner host.
+  ASSERT_EQ(inner.submissions.size(), 1u);
+  EXPECT_EQ(inner.names.size(), 1u);
+  // And recorded.
+  const Trace& trace = recorder.trace();
+  ASSERT_EQ(trace.tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.tasks[0].weight, 1.5);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].time_s, 0.25);
+}
+
+TEST(TraceRecorderTest, SubmitToForeignTaskThrows) {
+  MockHost inner;
+  TraceRecorder recorder(inner);
+  EXPECT_THROW(recorder.submit(42, 1e6, -1.0), std::runtime_error);
+}
+
+TEST(TraceScenarioTest, ReplaysTasksAndJobsInWindows) {
+  TraceScenario scenario(sample_trace());
+  MockHost host;
+  scenario.setup(host);
+  EXPECT_EQ(host.names.size(), 2u);
+  EXPECT_EQ(host.affinities[1], soc::Affinity::PreferLittle);
+
+  scenario.tick(host, 0.0, 0.012);  // covers job at 0.010
+  EXPECT_EQ(host.submissions.size(), 1u);
+  scenario.tick(host, 0.012, 0.010);  // covers job at 0.015
+  EXPECT_EQ(host.submissions.size(), 2u);
+  scenario.tick(host, 0.022, 0.100);  // rest
+  EXPECT_EQ(host.submissions.size(), 3u);
+  EXPECT_EQ(scenario.cursor(), 3u);
+}
+
+TEST(TraceScenarioTest, RecordedScenarioReplaysIdentically) {
+  // Record a real scenario through the recorder, then replay the trace and
+  // compare the submission streams.
+  MockHost direct_host;
+  auto direct = make_scenario(ScenarioKind::VideoPlayback, 31);
+  direct->setup(direct_host);
+
+  MockHost recorded_inner;
+  TraceRecorder recorder(recorded_inner);
+  auto recorded = make_scenario(ScenarioKind::VideoPlayback, 31);
+  recorded->setup(recorder);
+
+  const double dt = 0.001;
+  for (int i = 0; i < 3000; ++i) {
+    direct->tick(direct_host, i * dt, dt);
+    recorder.set_now(i * dt);
+    recorded->tick(recorder, i * dt, dt);
+  }
+
+  TraceScenario replay(recorder.take_trace());
+  MockHost replay_host;
+  replay.setup(replay_host);
+  for (int i = 0; i < 3000; ++i) replay.tick(replay_host, i * dt, dt);
+
+  ASSERT_EQ(replay_host.submissions.size(), direct_host.submissions.size());
+  for (std::size_t i = 0; i < replay_host.submissions.size(); ++i) {
+    EXPECT_EQ(replay_host.submissions[i].task,
+              direct_host.submissions[i].task);
+    EXPECT_DOUBLE_EQ(replay_host.submissions[i].work,
+                     direct_host.submissions[i].work);
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::workload
