@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpuidle.dir/bench_ablation_cpuidle.cpp.o"
+  "CMakeFiles/bench_ablation_cpuidle.dir/bench_ablation_cpuidle.cpp.o.d"
+  "CMakeFiles/bench_ablation_cpuidle.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_cpuidle.dir/bench_common.cpp.o.d"
+  "bench_ablation_cpuidle"
+  "bench_ablation_cpuidle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpuidle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_epoch.dir/bench_ablation_epoch.cpp.o"
+  "CMakeFiles/bench_ablation_epoch.dir/bench_ablation_epoch.cpp.o.d"
+  "CMakeFiles/bench_ablation_epoch.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_epoch.dir/bench_common.cpp.o.d"
+  "bench_ablation_epoch"
+  "bench_ablation_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fixed_point.dir/bench_ablation_fixed_point.cpp.o"
+  "CMakeFiles/bench_ablation_fixed_point.dir/bench_ablation_fixed_point.cpp.o.d"
+  "CMakeFiles/bench_ablation_fixed_point.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_fixed_point.dir/bench_common.cpp.o.d"
+  "bench_ablation_fixed_point"
+  "bench_ablation_fixed_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_state_bins.dir/bench_ablation_state_bins.cpp.o"
+  "CMakeFiles/bench_ablation_state_bins.dir/bench_ablation_state_bins.cpp.o.d"
+  "CMakeFiles/bench_ablation_state_bins.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_state_bins.dir/bench_common.cpp.o.d"
+  "bench_ablation_state_bins"
+  "bench_ablation_state_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_state_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_per_qos.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_energy_per_qos.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_energy_per_qos.dir/bench_energy_per_qos.cpp.o"
+  "CMakeFiles/bench_energy_per_qos.dir/bench_energy_per_qos.cpp.o.d"
+  "bench_energy_per_qos"
+  "bench_energy_per_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_per_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

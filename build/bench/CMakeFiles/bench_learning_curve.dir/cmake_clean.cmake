@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learning_curve.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_learning_curve.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_learning_curve.dir/bench_learning_curve.cpp.o"
+  "CMakeFiles/bench_learning_curve.dir/bench_learning_curve.cpp.o.d"
+  "bench_learning_curve"
+  "bench_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

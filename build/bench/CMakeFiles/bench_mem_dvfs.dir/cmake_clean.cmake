@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mem_dvfs.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_mem_dvfs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_mem_dvfs.dir/bench_mem_dvfs.cpp.o"
+  "CMakeFiles/bench_mem_dvfs.dir/bench_mem_dvfs.cpp.o.d"
+  "bench_mem_dvfs"
+  "bench_mem_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mem_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thermal.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_thermal.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_thermal.dir/bench_thermal.cpp.o"
+  "CMakeFiles/bench_thermal.dir/bench_thermal.cpp.o.d"
+  "bench_thermal"
+  "bench_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_policy_demo.dir/hw_policy_demo.cpp.o"
+  "CMakeFiles/hw_policy_demo.dir/hw_policy_demo.cpp.o.d"
+  "hw_policy_demo"
+  "hw_policy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_policy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

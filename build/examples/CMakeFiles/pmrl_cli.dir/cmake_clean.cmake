@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_cli.dir/pmrl_cli.cpp.o"
+  "CMakeFiles/pmrl_cli.dir/pmrl_cli.cpp.o.d"
+  "pmrl_cli"
+  "pmrl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

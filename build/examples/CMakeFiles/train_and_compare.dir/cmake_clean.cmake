@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_compare.dir/train_and_compare.cpp.o"
+  "CMakeFiles/train_and_compare.dir/train_and_compare.cpp.o.d"
+  "train_and_compare"
+  "train_and_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_core.dir/engine.cpp.o"
+  "CMakeFiles/pmrl_core.dir/engine.cpp.o.d"
+  "CMakeFiles/pmrl_core.dir/metrics.cpp.o"
+  "CMakeFiles/pmrl_core.dir/metrics.cpp.o.d"
+  "libpmrl_core.a"
+  "libpmrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_governors.dir/conservative.cpp.o"
+  "CMakeFiles/pmrl_governors.dir/conservative.cpp.o.d"
+  "CMakeFiles/pmrl_governors.dir/interactive.cpp.o"
+  "CMakeFiles/pmrl_governors.dir/interactive.cpp.o.d"
+  "CMakeFiles/pmrl_governors.dir/ondemand.cpp.o"
+  "CMakeFiles/pmrl_governors.dir/ondemand.cpp.o.d"
+  "CMakeFiles/pmrl_governors.dir/registry.cpp.o"
+  "CMakeFiles/pmrl_governors.dir/registry.cpp.o.d"
+  "CMakeFiles/pmrl_governors.dir/schedutil.cpp.o"
+  "CMakeFiles/pmrl_governors.dir/schedutil.cpp.o.d"
+  "CMakeFiles/pmrl_governors.dir/static_governors.cpp.o"
+  "CMakeFiles/pmrl_governors.dir/static_governors.cpp.o.d"
+  "libpmrl_governors.a"
+  "libpmrl_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

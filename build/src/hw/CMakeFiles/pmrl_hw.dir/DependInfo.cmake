@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/axi.cpp" "src/hw/CMakeFiles/pmrl_hw.dir/axi.cpp.o" "gcc" "src/hw/CMakeFiles/pmrl_hw.dir/axi.cpp.o.d"
+  "/root/repo/src/hw/datapath.cpp" "src/hw/CMakeFiles/pmrl_hw.dir/datapath.cpp.o" "gcc" "src/hw/CMakeFiles/pmrl_hw.dir/datapath.cpp.o.d"
+  "/root/repo/src/hw/hw_policy.cpp" "src/hw/CMakeFiles/pmrl_hw.dir/hw_policy.cpp.o" "gcc" "src/hw/CMakeFiles/pmrl_hw.dir/hw_policy.cpp.o.d"
+  "/root/repo/src/hw/latency.cpp" "src/hw/CMakeFiles/pmrl_hw.dir/latency.cpp.o" "gcc" "src/hw/CMakeFiles/pmrl_hw.dir/latency.cpp.o.d"
+  "/root/repo/src/hw/sw_cost.cpp" "src/hw/CMakeFiles/pmrl_hw.dir/sw_cost.cpp.o" "gcc" "src/hw/CMakeFiles/pmrl_hw.dir/sw_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/pmrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/pmrl_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pmrl_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_hw.dir/axi.cpp.o"
+  "CMakeFiles/pmrl_hw.dir/axi.cpp.o.d"
+  "CMakeFiles/pmrl_hw.dir/datapath.cpp.o"
+  "CMakeFiles/pmrl_hw.dir/datapath.cpp.o.d"
+  "CMakeFiles/pmrl_hw.dir/hw_policy.cpp.o"
+  "CMakeFiles/pmrl_hw.dir/hw_policy.cpp.o.d"
+  "CMakeFiles/pmrl_hw.dir/latency.cpp.o"
+  "CMakeFiles/pmrl_hw.dir/latency.cpp.o.d"
+  "CMakeFiles/pmrl_hw.dir/sw_cost.cpp.o"
+  "CMakeFiles/pmrl_hw.dir/sw_cost.cpp.o.d"
+  "libpmrl_hw.a"
+  "libpmrl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/action.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/action.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/action.cpp.o.d"
+  "/root/repo/src/rl/agent.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/agent.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/agent.cpp.o.d"
+  "/root/repo/src/rl/fixed_agent.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/fixed_agent.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/fixed_agent.cpp.o.d"
+  "/root/repo/src/rl/policy_io.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/policy_io.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/policy_io.cpp.o.d"
+  "/root/repo/src/rl/q_table.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/q_table.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/q_table.cpp.o.d"
+  "/root/repo/src/rl/reward.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/reward.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/reward.cpp.o.d"
+  "/root/repo/src/rl/rl_governor.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/rl_governor.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/rl_governor.cpp.o.d"
+  "/root/repo/src/rl/state.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/state.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/state.cpp.o.d"
+  "/root/repo/src/rl/trainer.cpp" "src/rl/CMakeFiles/pmrl_rl.dir/trainer.cpp.o" "gcc" "src/rl/CMakeFiles/pmrl_rl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/pmrl_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pmrl_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

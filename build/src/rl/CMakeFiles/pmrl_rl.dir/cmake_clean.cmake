@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_rl.dir/action.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/action.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/agent.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/fixed_agent.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/fixed_agent.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/policy_io.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/policy_io.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/q_table.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/q_table.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/reward.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/reward.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/rl_governor.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/rl_governor.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/state.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/state.cpp.o.d"
+  "CMakeFiles/pmrl_rl.dir/trainer.cpp.o"
+  "CMakeFiles/pmrl_rl.dir/trainer.cpp.o.d"
+  "libpmrl_rl.a"
+  "libpmrl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/cluster.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/cluster.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/cluster.cpp.o.d"
+  "/root/repo/src/soc/core.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/core.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/core.cpp.o.d"
+  "/root/repo/src/soc/cpuidle.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/cpuidle.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/cpuidle.cpp.o.d"
+  "/root/repo/src/soc/mem_domain.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/mem_domain.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/mem_domain.cpp.o.d"
+  "/root/repo/src/soc/opp.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/opp.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/opp.cpp.o.d"
+  "/root/repo/src/soc/pelt.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/pelt.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/pelt.cpp.o.d"
+  "/root/repo/src/soc/power_model.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/power_model.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/power_model.cpp.o.d"
+  "/root/repo/src/soc/scheduler.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/scheduler.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/soc.cpp.o.d"
+  "/root/repo/src/soc/task.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/task.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/task.cpp.o.d"
+  "/root/repo/src/soc/thermal.cpp" "src/soc/CMakeFiles/pmrl_soc.dir/thermal.cpp.o" "gcc" "src/soc/CMakeFiles/pmrl_soc.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

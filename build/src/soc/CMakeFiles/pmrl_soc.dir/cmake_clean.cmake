@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_soc.dir/cluster.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/cluster.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/core.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/core.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/cpuidle.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/cpuidle.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/mem_domain.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/mem_domain.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/opp.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/opp.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/pelt.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/pelt.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/power_model.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/power_model.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/scheduler.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/soc.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/task.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/task.cpp.o.d"
+  "CMakeFiles/pmrl_soc.dir/thermal.cpp.o"
+  "CMakeFiles/pmrl_soc.dir/thermal.cpp.o.d"
+  "libpmrl_soc.a"
+  "libpmrl_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

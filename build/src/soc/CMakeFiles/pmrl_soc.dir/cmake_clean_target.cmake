@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmrl_soc.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_util.dir/csv.cpp.o"
+  "CMakeFiles/pmrl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pmrl_util.dir/log.cpp.o"
+  "CMakeFiles/pmrl_util.dir/log.cpp.o.d"
+  "CMakeFiles/pmrl_util.dir/rng.cpp.o"
+  "CMakeFiles/pmrl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pmrl_util.dir/stats.cpp.o"
+  "CMakeFiles/pmrl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pmrl_util.dir/table.cpp.o"
+  "CMakeFiles/pmrl_util.dir/table.cpp.o.d"
+  "libpmrl_util.a"
+  "libpmrl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

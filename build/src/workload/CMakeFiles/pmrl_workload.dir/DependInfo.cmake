@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/qos.cpp" "src/workload/CMakeFiles/pmrl_workload.dir/qos.cpp.o" "gcc" "src/workload/CMakeFiles/pmrl_workload.dir/qos.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/workload/CMakeFiles/pmrl_workload.dir/scenarios.cpp.o" "gcc" "src/workload/CMakeFiles/pmrl_workload.dir/scenarios.cpp.o.d"
+  "/root/repo/src/workload/sources.cpp" "src/workload/CMakeFiles/pmrl_workload.dir/sources.cpp.o" "gcc" "src/workload/CMakeFiles/pmrl_workload.dir/sources.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/pmrl_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/pmrl_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/pmrl_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

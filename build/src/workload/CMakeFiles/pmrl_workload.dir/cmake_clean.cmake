@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmrl_workload.dir/qos.cpp.o"
+  "CMakeFiles/pmrl_workload.dir/qos.cpp.o.d"
+  "CMakeFiles/pmrl_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/pmrl_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/pmrl_workload.dir/sources.cpp.o"
+  "CMakeFiles/pmrl_workload.dir/sources.cpp.o.d"
+  "CMakeFiles/pmrl_workload.dir/trace.cpp.o"
+  "CMakeFiles/pmrl_workload.dir/trace.cpp.o.d"
+  "libpmrl_workload.a"
+  "libpmrl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmrl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

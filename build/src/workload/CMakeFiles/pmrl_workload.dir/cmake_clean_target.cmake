@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmrl_workload.a"
+)

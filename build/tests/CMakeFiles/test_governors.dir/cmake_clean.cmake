@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governors.dir/governors/conservative_test.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/conservative_test.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/interactive_test.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/interactive_test.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/ondemand_test.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/ondemand_test.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/registry_test.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/registry_test.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/schedutil_test.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/schedutil_test.cpp.o.d"
+  "CMakeFiles/test_governors.dir/governors/static_governors_test.cpp.o"
+  "CMakeFiles/test_governors.dir/governors/static_governors_test.cpp.o.d"
+  "test_governors"
+  "test_governors.pdb"
+  "test_governors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

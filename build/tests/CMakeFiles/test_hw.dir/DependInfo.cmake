@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/axi_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/axi_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/axi_test.cpp.o.d"
+  "/root/repo/tests/hw/datapath_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/datapath_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/datapath_test.cpp.o.d"
+  "/root/repo/tests/hw/hw_policy_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/hw_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/hw_policy_test.cpp.o.d"
+  "/root/repo/tests/hw/latency_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/latency_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/latency_test.cpp.o.d"
+  "/root/repo/tests/hw/sw_cost_test.cpp" "tests/CMakeFiles/test_hw.dir/hw/sw_cost_test.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/sw_cost_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pmrl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pmrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/pmrl_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pmrl_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

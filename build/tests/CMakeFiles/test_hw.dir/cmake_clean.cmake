@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/axi_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/axi_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/datapath_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/datapath_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/hw_policy_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/hw_policy_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/latency_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/latency_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/sw_cost_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/sw_cost_test.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rl/action_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/action_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/action_test.cpp.o.d"
+  "/root/repo/tests/rl/agent_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/agent_test.cpp.o.d"
+  "/root/repo/tests/rl/algorithms_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/algorithms_test.cpp.o.d"
+  "/root/repo/tests/rl/fixed_agent_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/fixed_agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/fixed_agent_test.cpp.o.d"
+  "/root/repo/tests/rl/policy_io_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/policy_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/policy_io_test.cpp.o.d"
+  "/root/repo/tests/rl/q_table_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/q_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/q_table_test.cpp.o.d"
+  "/root/repo/tests/rl/reward_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/reward_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/reward_test.cpp.o.d"
+  "/root/repo/tests/rl/rl_governor_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/rl_governor_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/rl_governor_test.cpp.o.d"
+  "/root/repo/tests/rl/state_test.cpp" "tests/CMakeFiles/test_rl.dir/rl/state_test.cpp.o" "gcc" "tests/CMakeFiles/test_rl.dir/rl/state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pmrl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pmrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/pmrl_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pmrl_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

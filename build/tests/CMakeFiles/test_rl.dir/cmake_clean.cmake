@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/rl/action_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/action_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/agent_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/agent_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/algorithms_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/algorithms_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/fixed_agent_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/fixed_agent_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/policy_io_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/policy_io_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/q_table_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/q_table_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/reward_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/reward_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/rl_governor_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/rl_governor_test.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/state_test.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/state_test.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

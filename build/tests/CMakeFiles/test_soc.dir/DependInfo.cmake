@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soc/cluster_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/cluster_test.cpp.o.d"
+  "/root/repo/tests/soc/core_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/core_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/core_test.cpp.o.d"
+  "/root/repo/tests/soc/cpuidle_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/cpuidle_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/cpuidle_test.cpp.o.d"
+  "/root/repo/tests/soc/mem_domain_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/mem_domain_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/mem_domain_test.cpp.o.d"
+  "/root/repo/tests/soc/opp_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/opp_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/opp_test.cpp.o.d"
+  "/root/repo/tests/soc/pelt_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/pelt_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/pelt_test.cpp.o.d"
+  "/root/repo/tests/soc/power_model_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/power_model_test.cpp.o.d"
+  "/root/repo/tests/soc/scheduler_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/scheduler_test.cpp.o.d"
+  "/root/repo/tests/soc/soc_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/soc_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/soc_test.cpp.o.d"
+  "/root/repo/tests/soc/task_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/task_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/task_test.cpp.o.d"
+  "/root/repo/tests/soc/thermal_test.cpp" "tests/CMakeFiles/test_soc.dir/soc/thermal_test.cpp.o" "gcc" "tests/CMakeFiles/test_soc.dir/soc/thermal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pmrl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pmrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/pmrl_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmrl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/pmrl_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

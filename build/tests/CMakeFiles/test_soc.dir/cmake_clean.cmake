@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc.dir/soc/cluster_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/cluster_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/core_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/core_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/cpuidle_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/cpuidle_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/mem_domain_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/mem_domain_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/opp_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/opp_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/pelt_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/pelt_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/power_model_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/power_model_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/scheduler_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/soc_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/soc_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/task_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/task_test.cpp.o.d"
+  "CMakeFiles/test_soc.dir/soc/thermal_test.cpp.o"
+  "CMakeFiles/test_soc.dir/soc/thermal_test.cpp.o.d"
+  "test_soc"
+  "test_soc.pdb"
+  "test_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
