@@ -1,0 +1,297 @@
+// R1 — fault-resilience experiment (robustness extension, not a paper
+// artifact): how does the learned policy behave when the deployment
+// assumptions break? Sweeps fault intensity over the per-scenario fault
+// profiles (telemetry noise/dropout/stuck-at, thermal emergencies) and
+// compares three stacks:
+//
+//   conservative        the registered safe governor alone (reference)
+//   rl (unguarded)      the trained policy, no degradation machinery
+//   rl+watchdog         the same policy behind PolicyWatchdog
+//
+// plus a deliberately *poisoned* policy pair at each nonzero intensity —
+// the Q-table carries NaNs, standing in for corruption a legacy (v1,
+// checksum-less) checkpoint loader would have absorbed silently. The
+// watchdog must trip and hold a QoS floor; the unguarded poisoned policy
+// demonstrates the failure mode the machinery exists for.
+//
+// Also exercised: the hardened checkpoint loader against bit-corrupted
+// images (typed rejection + fresh-init fallback, where the legacy loader
+// crashed or absorbed), the AXI retry/timeout accounting under bus
+// faults, and bit-exact determinism of the whole fault stack.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/scenario_faults.hpp"
+#include "governors/registry.hpp"
+#include "hw/latency.hpp"
+#include "rl/policy_io.hpp"
+#include "rl/watchdog.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 777;
+constexpr double kRunDuration = 30.0;
+
+/// Aggregate of one policy stack evaluated over all scenarios at one
+/// fault intensity.
+struct SweepRow {
+  double energy_per_qos = 0.0;
+  double violation_rate = 0.0;   // pooled over scenarios
+  double worst_violation = 0.0;  // worst single scenario
+  std::size_t engagements = 0;
+  double fallback_fraction = 0.0;
+  double total_energy_j = 0.0;
+  std::size_t total_violations = 0;
+};
+
+hw::AxiFaultParams to_axi(const fault::BusFaultParams& bus) {
+  hw::AxiFaultParams axi;
+  axi.error_rate = bus.error_rate;
+  axi.timeout_rate = bus.timeout_rate;
+  axi.timeout_s = bus.timeout_s;
+  axi.max_attempts = bus.max_attempts;
+  return axi;
+}
+
+/// Overwrites a slice of the Q-tables with NaN — corruption a
+/// checksum-less loader would have absorbed into the live policy.
+void poison_policy(rl::RlGovernor& policy) {
+  for (std::size_t i = 0; i < policy.agent_count(); ++i) {
+    auto& agent = policy.agent(i);
+    for (std::size_t s = 0; s < agent.state_count(); s += 2) {
+      for (std::size_t a = 0; a < agent.action_count(); ++a) {
+        agent.set_q_value(s, a, std::numeric_limits<double>::quiet_NaN());
+      }
+    }
+  }
+}
+
+SweepRow evaluate_stack(core::SimEngine& engine,
+                        governors::Governor& governor, double intensity,
+                        rl::PolicyWatchdog* watchdog) {
+  SweepRow row;
+  double quality = 0.0;
+  std::size_t released = 0;
+  std::size_t fb_epochs = 0;
+  std::size_t all_epochs = 0;
+  for (const auto kind : workload::all_scenario_kinds()) {
+    fault::FaultInjector injector(fault::scenario_fault_profile(
+        kind, intensity, kFaultSeed + static_cast<std::uint64_t>(kind)));
+    engine.set_fault_injector(intensity > 0.0 ? &injector : nullptr);
+    auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
+    const auto run = engine.run(*scenario, governor);
+    engine.set_fault_injector(nullptr);
+    row.total_energy_j += run.energy_j;
+    quality += run.quality;
+    released += run.released_deadline;
+    row.total_violations += run.violations;
+    row.worst_violation = std::max(row.worst_violation, run.violation_rate);
+    if (watchdog) {
+      row.engagements += watchdog->engagements();
+      fb_epochs += watchdog->fallback_epochs();
+      all_epochs += watchdog->total_epochs();
+    }
+  }
+  row.energy_per_qos = quality > 0.0
+                           ? row.total_energy_j / quality
+                           : std::numeric_limits<double>::infinity();
+  row.violation_rate =
+      released > 0 ? static_cast<double>(row.total_violations) /
+                         static_cast<double>(released)
+                   : 0.0;
+  row.fallback_fraction =
+      all_epochs > 0 ? static_cast<double>(fb_epochs) /
+                           static_cast<double>(all_epochs)
+                     : 0.0;
+  return row;
+}
+
+void restore(rl::RlGovernor& policy, const std::string& checkpoint) {
+  std::istringstream in(checkpoint);
+  rl::load_policy(policy, in);
+}
+
+}  // namespace
+
+int main() {
+  Log::set_level(LogLevel::Error);
+  bench::print_banner("R1", "fault injection & graceful degradation",
+                      "robustness extension (no paper artifact)");
+
+  core::EngineConfig engine_config;
+  engine_config.duration_s = kRunDuration;
+  core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+
+  std::printf("training policy (24 episodes, %g s runs)...\n\n",
+              kRunDuration);
+  auto trained = bench::train_default_policy(engine, 24);
+  rl::RlGovernor& policy = *trained.governor;
+  std::ostringstream saved;
+  rl::save_policy(policy, saved);
+  const std::string clean_checkpoint = saved.str();
+
+  // ---- fault-intensity sweep ----------------------------------------------
+  TextTable table({"intensity", "policy", "E/QoS [J]", "viol rate",
+                   "worst viol", "fallback", "engaged", "bounded"});
+  bool guarded_always_ok = true;
+  bool unguarded_poisoned_failed = false;
+  for (const double intensity : {0.0, 0.5, 1.0}) {
+    // Safe-governor reference defines this intensity's acceptance bound:
+    // a stack is "bounded" when its pooled violation rate stays within
+    // 1.5x the safe governor's + 2pp AND its energy efficiency within
+    // 12% of the safe governor's, both under identical faults. (A
+    // poisoned policy can fail either way: the RL governor's built-in
+    // QoS guard converts the NaN limit-cycle into an energy regression
+    // rather than a violation storm, so QoS alone would miss it.)
+    auto conservative = governors::make_governor("conservative");
+    const SweepRow safe =
+        evaluate_stack(engine, *conservative, intensity, nullptr);
+    const double qos_floor = 1.5 * safe.violation_rate + 0.02;
+    const double efficiency_bound = 1.12 * safe.energy_per_qos;
+
+    auto add_row = [&](const char* label, const SweepRow& row,
+                       bool is_guarded) {
+      const bool ok = row.violation_rate <= qos_floor &&
+                      row.energy_per_qos <= efficiency_bound;
+      if (is_guarded && !ok) guarded_always_ok = false;
+      table.add_row({TextTable::num(intensity, 2), label,
+                     TextTable::num(row.energy_per_qos, 5),
+                     TextTable::percent(row.violation_rate),
+                     TextTable::percent(row.worst_violation),
+                     TextTable::percent(row.fallback_fraction),
+                     std::to_string(row.engagements), ok ? "yes" : "NO"});
+      return ok;
+    };
+
+    add_row("conservative", safe, false);
+
+    restore(policy, clean_checkpoint);
+    add_row("rl (unguarded)", evaluate_stack(engine, policy, intensity,
+                                             nullptr),
+            false);
+
+    restore(policy, clean_checkpoint);
+    rl::PolicyWatchdog guarded(policy,
+                               governors::make_governor("conservative"));
+    add_row("rl+watchdog",
+            evaluate_stack(engine, guarded, intensity, &guarded), true);
+
+    if (intensity > 0.0) {
+      restore(policy, clean_checkpoint);
+      poison_policy(policy);
+      const bool poisoned_ok = add_row(
+          "rl poisoned (unguarded)",
+          evaluate_stack(engine, policy, intensity, nullptr), false);
+      if (!poisoned_ok) unguarded_poisoned_failed = true;
+
+      restore(policy, clean_checkpoint);
+      poison_policy(policy);
+      rl::PolicyWatchdog rescued(policy,
+                                 governors::make_governor("conservative"));
+      add_row("rl poisoned +watchdog",
+              evaluate_stack(engine, rescued, intensity, &rescued), true);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nbound per intensity: violation rate <= 1.5x the safe governor's"
+      " + 2pp AND\nE/QoS <= 1.12x the safe governor's, under identical"
+      " faults. Guarded stacks %s\nthe bound at every intensity; the"
+      " poisoned unguarded policy %s —\nthe failure the watchdog exists"
+      " to absorb.\n",
+      guarded_always_ok ? "held" : "VIOLATED",
+      unguarded_poisoned_failed ? "broke it" : "did not break it");
+
+  // ---- corrupted checkpoint handling --------------------------------------
+  std::printf("\n--- checkpoint corruption (policy I/O hardening) ---\n");
+  fault::FaultConfig corruption;
+  corruption.seed = kFaultSeed;
+  corruption.policy.flip_rate = 5e-4;
+  fault::FaultInjector corruptor(corruption);
+  std::string damaged = clean_checkpoint;
+  const std::size_t flipped = corruptor.corrupt_text(damaged);
+  restore(policy, clean_checkpoint);
+  std::istringstream damaged_in(damaged);
+  std::string error;
+  const bool loaded = rl::try_load_policy(policy, damaged_in, &error);
+  std::printf("%zu bytes flipped -> load %s\n  %s\n", flipped,
+              loaded ? "ABSORBED (bad!)" : "rejected (typed error)",
+              loaded ? "corruption went undetected" : error.c_str());
+  std::printf("governor state untouched by the failed load; a fresh-init "
+              "fallback remains safe to run.\n");
+
+  // ---- AXI transaction faults ---------------------------------------------
+  std::printf("\n--- interface faults (AXI retry/timeout accounting) ---\n");
+  TextTable axi_table({"intensity", "mean e2e [us]", "retries", "timeouts",
+                       "failures", "held actions"});
+  // The last row is a deliberate stress level (far past the sweep range)
+  // so the exhausted-retry-budget -> held-action path shows up at this
+  // sample size.
+  for (const double intensity : {0.0, 0.5, 1.0, 10.0}) {
+    const auto bus =
+        fault::uniform_fault_profile(intensity, kFaultSeed).bus;
+    hw::HwPolicyEngine accel(hw::HwPolicyConfig{}, 1024, 9);
+    accel.set_interface_faults(to_axi(bus), kFaultSeed);
+    const auto stream = hw::synthetic_stream(1024, 20000, bench::kEvalSeed);
+    double total_s = 0.0;
+    std::size_t retries = 0;
+    std::size_t timeouts = 0;
+    std::size_t held = 0;
+    for (const auto& record : stream) {
+      hw::PolicyLatency latency;
+      accel.invoke(record.state, record.reward, latency);
+      total_s += latency.end_to_end_s;
+      retries += latency.interface_retries;
+      timeouts += latency.interface_timeouts;
+      if (!latency.interface_ok) ++held;
+    }
+    axi_table.add_row(
+        {TextTable::num(intensity, 2),
+         TextTable::num(total_s / static_cast<double>(stream.size()) * 1e6,
+                        3),
+         std::to_string(retries), std::to_string(timeouts),
+         std::to_string(accel.interface_failures()),
+         std::to_string(held)});
+  }
+  axi_table.print();
+  std::printf("every failed invocation holds the previous action; the step "
+              "loop never blocks past the bounded timeout budget.\n");
+
+  // ---- determinism --------------------------------------------------------
+  std::printf("\n--- determinism ---\n");
+  // A fresh governor per run: the exploration RNG is part of governor
+  // state, so replay requires rebuilding the full stack from the
+  // checkpoint, not just restoring Q-values into a used instance.
+  auto guarded_run = [&]() {
+    rl::RlGovernor fresh(rl::RlGovernorConfig{},
+                         engine.soc_config().clusters.size());
+    restore(fresh, clean_checkpoint);
+    rl::PolicyWatchdog guard(fresh,
+                             governors::make_governor("conservative"));
+    return evaluate_stack(engine, guard, 1.0, &guard);
+  };
+  const SweepRow first = guarded_run();
+  const SweepRow second = guarded_run();
+  const bool identical =
+      first.total_energy_j == second.total_energy_j &&
+      first.total_violations == second.total_violations &&
+      first.engagements == second.engagements;
+  std::printf("two runs, same fault config: %s (energy %.6f / %.6f J, "
+              "violations %zu / %zu)\n",
+              identical ? "bit-identical" : "DIVERGED",
+              first.total_energy_j, second.total_energy_j,
+              first.total_violations, second.total_violations);
+  return (guarded_always_ok && unguarded_poisoned_failed && !loaded &&
+          identical)
+             ? 0
+             : 1;
+}

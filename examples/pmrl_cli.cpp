@@ -6,9 +6,14 @@
 //   pmrl_cli train [--episodes N] [--seed S] [--out policy.pmrl]
 //       Train the RL policy across the scenario rotation and checkpoint it.
 //   pmrl_cli eval <governor|policy.pmrl> [--scenario NAME] [--seed S]
-//                 [--duration SEC]
+//                 [--duration SEC] [--fault-intensity X] [--fault-seed S]
+//                 [--watchdog]
 //       Evaluate a baseline governor by name, or a trained RL checkpoint,
-//       on one scenario (or all six when omitted).
+//       on one scenario (or all six when omitted). A nonzero fault
+//       intensity runs each scenario under its fault profile (telemetry
+//       degradation + thermal emergencies); --watchdog wraps an RL policy
+//       in the safe-governor fallback machinery. Corrupt checkpoints are
+//       rejected (CRC32 + strict parsing) and fall back to fresh-init.
 //   pmrl_cli latency [--invocations N]
 //       Run the HW-vs-SW decision-latency comparison.
 
@@ -21,10 +26,13 @@
 
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/scenario_faults.hpp"
 #include "governors/registry.hpp"
 #include "hw/latency.hpp"
 #include "rl/policy_io.hpp"
 #include "rl/trainer.hpp"
+#include "rl/watchdog.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
 
@@ -39,6 +47,9 @@ struct Args {
   double duration_s = 60.0;
   std::string out = "policy.pmrl";
   std::optional<std::string> scenario;
+  double fault_intensity = 0.0;
+  std::uint64_t fault_seed = 777;
+  bool watchdog = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -59,6 +70,12 @@ Args parse(int argc, char** argv) {
       args.out = next();
     } else if (arg == "--scenario") {
       args.scenario = next();
+    } else if (arg == "--fault-intensity") {
+      args.fault_intensity = std::stod(next());
+    } else if (arg == "--fault-seed") {
+      args.fault_seed = std::stoull(next());
+    } else if (arg == "--watchdog") {
+      args.watchdog = true;
     } else {
       args.positional.push_back(arg);
     }
@@ -126,6 +143,7 @@ int cmd_eval(const Args& args) {
   // Resolve the policy: a registered governor name, else an RL checkpoint.
   governors::GovernorPtr baseline;
   std::optional<rl::RlGovernor> rl_policy;
+  std::optional<rl::PolicyWatchdog> watchdog;
   governors::Governor* policy = nullptr;
   if (governors::has_governor(target)) {
     baseline = governors::make_governor(target);
@@ -139,9 +157,24 @@ int cmd_eval(const Args& args) {
     }
     rl_policy.emplace(rl::RlGovernorConfig{},
                       engine.soc_config().clusters.size());
-    rl::load_policy(*rl_policy, in);
+    std::string load_error;
+    if (rl::try_load_policy(*rl_policy, in, &load_error)) {
+      std::printf("loaded RL checkpoint %s\n", target.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "checkpoint '%s' rejected: %s\n"
+                   "continuing with a fresh-init policy.\n",
+                   target.c_str(), load_error.c_str());
+    }
     policy = &*rl_policy;
-    std::printf("loaded RL checkpoint %s\n", target.c_str());
+  }
+  if (args.watchdog) {
+    if (!rl_policy) {
+      std::fprintf(stderr, "--watchdog requires an RL checkpoint target\n");
+      return 1;
+    }
+    watchdog.emplace(*rl_policy, governors::make_governor("conservative"));
+    policy = &*watchdog;
   }
 
   std::vector<workload::ScenarioKind> kinds;
@@ -160,8 +193,16 @@ int cmd_eval(const Args& args) {
   TextTable table({"scenario", "energy [J]", "E/QoS [J]", "viol rate",
                    "f_little [MHz]", "f_big [MHz]"});
   for (const auto kind : kinds) {
+    std::optional<fault::FaultInjector> injector;
+    if (args.fault_intensity > 0.0) {
+      injector.emplace(fault::scenario_fault_profile(
+          kind, args.fault_intensity,
+          args.fault_seed + static_cast<std::uint64_t>(kind)));
+      engine.set_fault_injector(&*injector);
+    }
     auto scenario = workload::make_scenario(kind, args.seed);
     const auto run = engine.run(*scenario, *policy);
+    engine.set_fault_injector(nullptr);
     table.add_row({run.scenario, TextTable::num(run.energy_j, 1),
                    TextTable::num(run.energy_per_qos, 5),
                    TextTable::percent(run.violation_rate),
@@ -169,7 +210,17 @@ int cmd_eval(const Args& args) {
                    TextTable::num(run.mean_freq_hz.back() / 1e6, 0)});
   }
   std::printf("policy: %s\n", policy->name().c_str());
+  if (args.fault_intensity > 0.0) {
+    std::printf("fault intensity: %.2f (seed %llu)\n", args.fault_intensity,
+                static_cast<unsigned long long>(args.fault_seed));
+  }
   table.print();
+  if (watchdog) {
+    std::printf(
+        "watchdog: %zu engagement(s), %zu/%zu epochs on fallback\n",
+        watchdog->engagements(), watchdog->fallback_epochs(),
+        watchdog->total_epochs());
+  }
   return 0;
 }
 
@@ -199,7 +250,8 @@ int main(int argc, char** argv) {
           "  list\n"
           "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
           "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
-          "         [--duration SEC]\n"
+          "         [--duration SEC] [--fault-intensity X] [--fault-seed S]\n"
+          "         [--watchdog]\n"
           "  latency [N] [--seed S]\n");
       return args.positional.empty() ? 1 : 0;
     }

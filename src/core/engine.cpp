@@ -118,7 +118,8 @@ RunResult SimEngine::run(workload::Scenario& scenario,
   };
 
   governors::OppRequest request(soc.domain_count());
-  const auto initial_obs = make_observation(0.0);
+  auto initial_obs = make_observation(0.0);
+  if (fault_) fault_->perturb_observation(initial_obs);
   governor.reset(initial_obs);
   governor.decide(initial_obs, request);
   for (std::size_t c = 0; c < request.size(); ++c) {
@@ -145,7 +146,11 @@ RunResult SimEngine::run(workload::Scenario& scenario,
 
     if ((tick + 1) % ticks_per_epoch == 0) {
       const double epoch_s = ticks_per_epoch * dt;
-      const auto obs = make_observation(epoch_s);
+      // Thermal emergencies land before the observation is taken so the
+      // governor sees (and the throttle reacts to) the spiked state.
+      if (fault_) fault_->inject_epoch_faults(soc);
+      auto obs = make_observation(epoch_s);
+      if (fault_) fault_->perturb_observation(obs);
       for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
         peak_temp[c] = std::max(peak_temp[c], obs.soc.clusters[c].temp_c);
       }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "governors/governor.hpp"
 #include "soc/soc.hpp"
 #include "workload/qos.hpp"
@@ -85,12 +86,23 @@ class SimEngine {
   RunResult run(workload::Scenario& scenario, governors::Governor& governor,
                 const EpochCallback& on_epoch = nullptr);
 
+  /// Installs a fault injector (nullptr disengages). While installed,
+  /// every run perturbs the governor's observations and injects epoch
+  /// faults into the SoC through it. The engine does not reset the
+  /// injector between runs — callers that want a run replayed call
+  /// FaultInjector::reset() themselves.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
   const EngineConfig& config() const { return engine_config_; }
   const soc::SocConfig& soc_config() const { return soc_config_; }
 
  private:
   soc::SocConfig soc_config_;
   EngineConfig engine_config_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace pmrl::core

@@ -1,0 +1,94 @@
+#pragma once
+// Fault-model configuration: what can go wrong, how often, and how hard.
+// One FaultConfig describes a complete adverse environment for a run —
+// degraded telemetry feeding the policy's state encoder, thermal
+// emergencies hitting the SoC between decision epochs, transaction faults
+// on the CPU<->accelerator bus, and bit-corruption of persisted policy
+// checkpoints. Everything is driven by one seed so a fault scenario
+// replays bit-identically.
+
+#include <cstdint>
+
+namespace pmrl::fault {
+
+/// Degradation of the utilization telemetry a governor observes. Models a
+/// real sensor/counter path: additive read noise, coarse counter
+/// quantization, sensors stuck at a stale value, and whole-sample
+/// dropouts (the read returns nothing and the driver substitutes zero).
+struct TelemetryFaultParams {
+  /// Gaussian noise stddev added to the utilization signals (0..1 scale).
+  double util_noise_sigma = 0.0;
+  /// Quantization step applied to utilization after noise (0 disables).
+  /// 1/16 models a 4-bit activity counter readout.
+  double util_quant_step = 0.0;
+  /// Per-cluster per-epoch probability the utilization sample is lost;
+  /// the policy then reads zeros for that cluster this epoch.
+  double dropout_rate = 0.0;
+  /// Per-cluster per-epoch probability the telemetry freezes (stuck-at):
+  /// the last good sample is replayed for `stuck_epochs` epochs.
+  double stuck_rate = 0.0;
+  /// Length of a stuck-at episode, in decision epochs.
+  std::size_t stuck_epochs = 5;
+
+  bool enabled() const {
+    return util_noise_sigma > 0.0 || util_quant_step > 0.0 ||
+           dropout_rate > 0.0 || stuck_rate > 0.0;
+  }
+};
+
+/// Thermal-emergency events: sudden die-temperature jumps (hot-spot
+/// migration, ambient spikes, charger heat) injected between epochs.
+struct ThermalFaultParams {
+  /// Per-cluster per-epoch probability of an emergency event.
+  double event_rate = 0.0;
+  /// Uniform range of the injected temperature jump (degrees C).
+  double min_delta_c = 8.0;
+  double max_delta_c = 25.0;
+
+  bool enabled() const { return event_rate > 0.0; }
+};
+
+/// CPU<->accelerator interface faults, mirrored into hw::AxiFaultParams by
+/// whoever owns the HwPolicyEngine (src/fault cannot depend on src/hw —
+/// the hw library sits above it in the link order).
+struct BusFaultParams {
+  /// Per-attempt probability of an error response (SLVERR/DECERR).
+  double error_rate = 0.0;
+  /// Per-attempt probability the response is lost (driver timeout).
+  double timeout_rate = 0.0;
+  /// Driver completion-timeout budget per attempt (seconds).
+  double timeout_s = 5e-6;
+  /// Attempts per invocation before the driver reports failure.
+  unsigned max_attempts = 3;
+
+  bool enabled() const { return error_rate > 0.0 || timeout_rate > 0.0; }
+};
+
+/// Bit-corruption of persisted policy checkpoints.
+struct PolicyCorruptionParams {
+  /// Per-byte probability of a bit flip when corrupt_text() is applied.
+  double flip_rate = 0.0;
+
+  bool enabled() const { return flip_rate > 0.0; }
+};
+
+/// A complete fault scenario.
+struct FaultConfig {
+  std::uint64_t seed = 0x5EED5EEDULL;
+  TelemetryFaultParams telemetry;
+  ThermalFaultParams thermal;
+  BusFaultParams bus;
+  PolicyCorruptionParams policy;
+
+  bool enabled() const {
+    return telemetry.enabled() || thermal.enabled() || bus.enabled() ||
+           policy.enabled();
+  }
+
+  /// Returns a copy with every rate/magnitude scaled by `intensity`
+  /// (clamped to [0, 1] where the field is a probability). intensity 0
+  /// disables everything; 1 keeps the config as authored.
+  FaultConfig scaled(double intensity) const;
+};
+
+}  // namespace pmrl::fault

@@ -1,0 +1,125 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmrl::fault {
+
+namespace {
+double clamp01ish(double v) {
+  // Utilization signals are 0..1 by construction but transient overshoot
+  // (PELT decay) can read slightly above 1; preserve that headroom.
+  return std::clamp(v, 0.0, 1.25);
+}
+
+double scale_prob(double p, double intensity) {
+  return std::clamp(p * intensity, 0.0, 1.0);
+}
+}  // namespace
+
+FaultConfig FaultConfig::scaled(double intensity) const {
+  FaultConfig out = *this;
+  if (intensity < 0.0) intensity = 0.0;
+  out.telemetry.util_noise_sigma = telemetry.util_noise_sigma * intensity;
+  out.telemetry.util_quant_step = telemetry.util_quant_step;  // resolution
+  out.telemetry.dropout_rate = scale_prob(telemetry.dropout_rate, intensity);
+  out.telemetry.stuck_rate = scale_prob(telemetry.stuck_rate, intensity);
+  if (intensity == 0.0) out.telemetry.util_quant_step = 0.0;
+  out.thermal.event_rate = scale_prob(thermal.event_rate, intensity);
+  out.bus.error_rate = scale_prob(bus.error_rate, intensity);
+  out.bus.timeout_rate = scale_prob(bus.timeout_rate, intensity);
+  out.policy.flip_rate = scale_prob(policy.flip_rate, intensity);
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void FaultInjector::reset() {
+  rng_ = Rng(config_.seed);
+  stats_ = FaultStats{};
+  clusters_.clear();
+}
+
+double FaultInjector::degrade_util(double value) {
+  const auto& t = config_.telemetry;
+  if (t.util_noise_sigma > 0.0) {
+    value += rng_.normal(0.0, t.util_noise_sigma);
+  }
+  if (t.util_quant_step > 0.0) {
+    value = std::round(value / t.util_quant_step) * t.util_quant_step;
+  }
+  return clamp01ish(value);
+}
+
+void FaultInjector::perturb_observation(governors::PolicyObservation& obs) {
+  const auto& t = config_.telemetry;
+  if (!t.enabled()) return;
+  ++stats_.perturbed_epochs;
+  if (clusters_.size() < obs.soc.clusters.size()) {
+    clusters_.resize(obs.soc.clusters.size());
+  }
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    auto& ct = obs.soc.clusters[c];
+    auto& fs = clusters_[c];
+
+    if (fs.stuck_remaining > 0) {
+      // Frozen sensor: replay the captured sample.
+      --fs.stuck_remaining;
+      ct.util_avg = fs.stuck_util_avg;
+      ct.util_max = fs.stuck_util_max;
+      ct.busy_avg = fs.stuck_busy_avg;
+    } else if (t.stuck_rate > 0.0 && rng_.bernoulli(t.stuck_rate)) {
+      ++stats_.stuck_episodes;
+      fs.stuck_remaining = t.stuck_epochs;
+      fs.stuck_util_avg = ct.util_avg;
+      fs.stuck_util_max = ct.util_max;
+      fs.stuck_busy_avg = ct.busy_avg;
+    }
+
+    if (t.dropout_rate > 0.0 && rng_.bernoulli(t.dropout_rate)) {
+      // Lost sample: the driver reads back zeros for this epoch.
+      ++stats_.dropout_samples;
+      ct.util_avg = 0.0;
+      ct.util_max = 0.0;
+      ct.busy_avg = 0.0;
+    } else {
+      ct.util_avg = degrade_util(ct.util_avg);
+      ct.util_max = std::max(degrade_util(ct.util_max), ct.util_avg);
+      ct.busy_avg = degrade_util(ct.busy_avg);
+    }
+    // Derived signal stays consistent with the degraded primaries.
+    ct.util_invariant =
+        ct.max_freq_hz > 0.0 ? ct.util_avg * ct.freq_hz / ct.max_freq_hz
+                             : ct.util_avg;
+  }
+}
+
+void FaultInjector::inject_epoch_faults(soc::Soc& soc) {
+  const auto& th = config_.thermal;
+  if (!th.enabled()) return;
+  for (std::size_t c = 0; c < soc.cluster_count(); ++c) {
+    if (rng_.bernoulli(th.event_rate)) {
+      ++stats_.thermal_events;
+      const double delta = rng_.uniform(th.min_delta_c, th.max_delta_c);
+      soc.inject_thermal_event(c, delta);
+    }
+  }
+}
+
+std::size_t FaultInjector::corrupt_text(std::string& text) {
+  const auto& p = config_.policy;
+  if (!p.enabled()) return 0;
+  std::size_t flipped = 0;
+  for (char& ch : text) {
+    if (rng_.bernoulli(p.flip_rate)) {
+      ch = static_cast<char>(
+          ch ^ static_cast<char>(1 << rng_.uniform_int(0, 6)));
+      ++flipped;
+    }
+  }
+  stats_.corrupted_bytes += flipped;
+  return flipped;
+}
+
+}  // namespace pmrl::fault

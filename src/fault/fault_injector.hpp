@@ -1,0 +1,77 @@
+#pragma once
+// The fault injector: applies a FaultConfig to the simulation's seams.
+// Deterministic — all sampling comes from one seeded pmrl::Rng, so a
+// given (config, call sequence) replays an identical fault stream; call
+// reset() to rewind and reproduce a run exactly.
+//
+// Seams covered here:
+//   perturb_observation  telemetry noise / quantization / stuck-at /
+//                        dropout on the signals feeding rl::State (and
+//                        the baseline governors, which read the same
+//                        counters)
+//   inject_epoch_faults  thermal-emergency events through soc::Thermal
+//   corrupt_text         bit flips in persisted policy checkpoints
+//
+// AXI transaction faults live in hw::AxiLiteModel (the hw library sits
+// above this one); FaultConfig::bus carries their parameters.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/fault_config.hpp"
+#include "governors/governor.hpp"
+#include "soc/soc.hpp"
+#include "util/rng.hpp"
+
+namespace pmrl::fault {
+
+/// Running totals of what the injector actually did.
+struct FaultStats {
+  std::size_t perturbed_epochs = 0;
+  std::size_t dropout_samples = 0;
+  std::size_t stuck_episodes = 0;
+  std::size_t thermal_events = 0;
+  std::size_t corrupted_bytes = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Rewinds the RNG and all per-cluster fault state to the constructed
+  /// state, so the next run sees the identical fault sequence.
+  void reset();
+
+  /// Applies telemetry faults to one decision epoch's observation, in
+  /// place. Stuck-at state is tracked per cluster across calls.
+  void perturb_observation(governors::PolicyObservation& obs);
+
+  /// Samples and applies this epoch's thermal-emergency events.
+  void inject_epoch_faults(soc::Soc& soc);
+
+  /// Flips random bits in a persisted checkpoint image (policy-file
+  /// corruption seam); returns the number of corrupted bytes.
+  std::size_t corrupt_text(std::string& text);
+
+ private:
+  /// Stuck-at bookkeeping for one cluster's telemetry.
+  struct ClusterFaultState {
+    std::size_t stuck_remaining = 0;
+    double stuck_util_avg = 0.0;
+    double stuck_util_max = 0.0;
+    double stuck_busy_avg = 0.0;
+  };
+
+  double degrade_util(double value);
+
+  FaultConfig config_;
+  Rng rng_;
+  FaultStats stats_;
+  std::vector<ClusterFaultState> clusters_;
+};
+
+}  // namespace pmrl::fault

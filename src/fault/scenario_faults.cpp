@@ -1,0 +1,70 @@
+#include "fault/scenario_faults.hpp"
+
+namespace pmrl::fault {
+
+namespace {
+FaultConfig base(std::uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  // Bus faults are interface properties, not workload properties: the
+  // same moderate rates everywhere.
+  config.bus.error_rate = 0.02;
+  config.bus.timeout_rate = 0.01;
+  return config;
+}
+}  // namespace
+
+FaultConfig scenario_fault_profile(workload::ScenarioKind kind,
+                                   double intensity, std::uint64_t seed) {
+  FaultConfig config = base(seed);
+  switch (kind) {
+    case workload::ScenarioKind::VideoPlayback:
+      // Long sessions: sensor drift (noise) plus occasional stale reads.
+      config.telemetry.util_noise_sigma = 0.10;
+      config.telemetry.stuck_rate = 0.01;
+      break;
+    case workload::ScenarioKind::WebBrowsing:
+      // Wake-up races around bursts lose samples.
+      config.telemetry.dropout_rate = 0.05;
+      config.telemetry.util_noise_sigma = 0.05;
+      break;
+    case workload::ScenarioKind::Gaming:
+      // Sustained load on a hot device: thermal emergencies dominate.
+      config.thermal.event_rate = 0.02;
+      config.thermal.min_delta_c = 10.0;
+      config.thermal.max_delta_c = 30.0;
+      config.telemetry.util_noise_sigma = 0.05;
+      break;
+    case workload::ScenarioKind::AppLaunch:
+      // Cold-start storms freeze the counter path.
+      config.telemetry.stuck_rate = 0.02;
+      config.telemetry.stuck_epochs = 8;
+      break;
+    case workload::ScenarioKind::AudioIdle:
+      // Near-idle: only coarse (quantized) activity counters are awake.
+      config.telemetry.util_quant_step = 1.0 / 16.0;
+      config.telemetry.dropout_rate = 0.02;
+      break;
+    case workload::ScenarioKind::Mixed:
+      // Everything, moderately.
+      config.telemetry.util_noise_sigma = 0.07;
+      config.telemetry.dropout_rate = 0.03;
+      config.telemetry.stuck_rate = 0.01;
+      config.thermal.event_rate = 0.01;
+      break;
+  }
+  return config.scaled(intensity);
+}
+
+FaultConfig uniform_fault_profile(double intensity, std::uint64_t seed) {
+  FaultConfig config = base(seed);
+  config.telemetry.util_noise_sigma = 0.08;
+  config.telemetry.util_quant_step = 1.0 / 32.0;
+  config.telemetry.dropout_rate = 0.04;
+  config.telemetry.stuck_rate = 0.015;
+  config.thermal.event_rate = 0.01;
+  config.policy.flip_rate = 2e-4;
+  return config.scaled(intensity);
+}
+
+}  // namespace pmrl::fault

@@ -1,0 +1,26 @@
+#pragma once
+// Per-scenario fault specifications: each mobile scenario stresses a
+// different part of the fault surface (a hot gaming session sees thermal
+// emergencies; bursty browsing sees telemetry dropouts between wake-ups;
+// long video sessions accumulate sensor drift). The profile is the
+// *authored* worst case for that scenario; callers scale it down with
+// FaultConfig::scaled(intensity).
+
+#include <cstdint>
+
+#include "fault/fault_config.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::fault {
+
+/// The authored fault profile for one scenario at intensity 1.0, scaled
+/// by `intensity` and seeded by `seed` (derive distinct seeds per run for
+/// independent streams; identical seeds replay identical faults).
+FaultConfig scenario_fault_profile(workload::ScenarioKind kind,
+                                   double intensity, std::uint64_t seed);
+
+/// A scenario-agnostic profile exercising every seam at once (used by the
+/// resilience bench's uniform sweep and by integration tests).
+FaultConfig uniform_fault_profile(double intensity, std::uint64_t seed);
+
+}  // namespace pmrl::fault

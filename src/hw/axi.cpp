@@ -29,4 +29,31 @@ double AxiLiteModel::invocation_latency_s(std::size_t n_writes,
          read_latency_s(n_reads);
 }
 
+AxiInvocationResult AxiLiteModel::faulty_invocation(
+    std::size_t n_writes, std::size_t n_reads, const AxiFaultParams& faults,
+    Rng& rng) const {
+  AxiInvocationResult result;
+  const double clean_s = invocation_latency_s(n_writes, n_reads);
+  const unsigned attempts = faults.max_attempts > 0 ? faults.max_attempts : 1;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    // Sample the two fault classes independently; a timeout dominates an
+    // error reply (the response never arrived to carry the error).
+    const bool timed_out = rng.bernoulli(faults.timeout_rate);
+    const bool errored = rng.bernoulli(faults.error_rate);
+    if (timed_out) {
+      result.latency_s += clean_s + faults.timeout_s;
+      ++result.timeouts;
+    } else if (errored) {
+      result.latency_s += clean_s;
+    } else {
+      result.latency_s += clean_s;
+      result.retries = attempt;
+      return result;
+    }
+  }
+  result.success = false;
+  result.retries = attempts - 1;
+  return result;
+}
+
 }  // namespace pmrl::hw

@@ -3,8 +3,15 @@
 // the paper constructs. Latency is modeled from the CPU's side: each MMIO
 // access to the device is uncached and strongly ordered, so its cost is
 // dominated by the interconnect round trip plus the bus-clock handshake.
+//
+// The model optionally injects transaction faults (SLVERR responses and
+// lost responses that expire a driver timeout) so the degradation path —
+// retry with bounded attempts, every failed attempt's latency charged to
+// the CPU — can be exercised and its cost accounted.
 
 #include <cstddef>
+
+#include "util/rng.hpp"
 
 namespace pmrl::hw {
 
@@ -24,6 +31,41 @@ struct AxiParams {
   double driver_overhead_s = 450e-9;
 };
 
+/// Transaction fault injection parameters. All probabilities are per
+/// *invocation attempt* (one bundle of writes + reads), which matches how
+/// a driver observes faults: a bad response or a stuck completion aborts
+/// the whole invocation and the driver retries it from the top.
+struct AxiFaultParams {
+  /// Probability an attempt fails fast with a SLVERR/DECERR response.
+  /// The failed attempt still pays its full transfer latency.
+  double error_rate = 0.0;
+  /// Probability an attempt's response is lost; the driver blocks until
+  /// `timeout_s` expires, then treats the attempt as failed.
+  double timeout_rate = 0.0;
+  /// Driver completion-timeout budget per attempt (seconds). Bounded by
+  /// construction: no lost response can stall the caller longer than this.
+  double timeout_s = 5e-6;
+  /// Attempts per invocation (1 initial + max_retries - 1 retries) before
+  /// the driver gives up and reports failure to the policy layer.
+  unsigned max_attempts = 3;
+
+  bool enabled() const { return error_rate > 0.0 || timeout_rate > 0.0; }
+};
+
+/// Outcome of one fault-aware invocation over the interface.
+struct AxiInvocationResult {
+  /// True when some attempt completed; false after max_attempts failures
+  /// (the caller must degrade, e.g. keep the previous action).
+  bool success = true;
+  /// Total CPU-observed latency including every failed attempt and every
+  /// expired timeout (seconds).
+  double latency_s = 0.0;
+  /// Attempts beyond the first (0 on a clean invocation).
+  unsigned retries = 0;
+  /// Attempts that ended in a driver timeout rather than an error reply.
+  unsigned timeouts = 0;
+};
+
 /// Accumulates the latency of a sequence of MMIO transactions.
 class AxiLiteModel {
  public:
@@ -36,10 +78,22 @@ class AxiLiteModel {
   /// Fixed per-invocation driver cost (seconds).
   double driver_overhead_s() const { return params_.driver_overhead_s; }
 
-  /// Full cost of one policy invocation over the interface:
+  /// Full cost of one fault-free policy invocation over the interface:
   /// `n_writes` state/reward/doorbell writes plus `n_reads` result reads
   /// plus the driver overhead.
   double invocation_latency_s(std::size_t n_writes, std::size_t n_reads) const;
+
+  /// One invocation under the given fault model. Samples per-attempt
+  /// faults from `rng` (deterministic under a seeded stream), retries up
+  /// to `faults.max_attempts` attempts, and charges the latency of every
+  /// attempt — including the full `timeout_s` of timed-out ones — into the
+  /// result. Total latency is bounded by
+  /// max_attempts * (attempt latency + timeout_s), so the caller can
+  /// never hang.
+  AxiInvocationResult faulty_invocation(std::size_t n_writes,
+                                        std::size_t n_reads,
+                                        const AxiFaultParams& faults,
+                                        Rng& rng) const;
 
   const AxiParams& params() const { return params_; }
 

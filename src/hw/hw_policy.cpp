@@ -19,8 +19,40 @@ double HwPolicyEngine::interface_latency_s() const {
                                    config_.invocation_reads);
 }
 
+void HwPolicyEngine::set_interface_faults(AxiFaultParams faults,
+                                          std::uint64_t seed) {
+  faults_ = faults;
+  fault_rng_ = Rng(seed);
+  interface_failures_ = 0;
+}
+
 std::size_t HwPolicyEngine::invoke(std::size_t state, double reward,
                                    PolicyLatency& latency) {
+  latency.interface_retries = 0;
+  latency.interface_timeouts = 0;
+  latency.interface_ok = true;
+  double interface_s = interface_latency_s();
+  if (faults_.enabled()) {
+    const AxiInvocationResult transfer = axi_.faulty_invocation(
+        config_.invocation_writes, config_.invocation_reads, faults_,
+        fault_rng_);
+    // Replace the clean interface cost with the (retry-inclusive) actual
+    // cost; driver overhead is paid once per attempt inside the model.
+    interface_s = transfer.latency_s;
+    latency.interface_retries = transfer.retries;
+    latency.interface_timeouts = transfer.timeouts;
+    if (!transfer.success) {
+      // The accelerator never received this state/reward: hold the last
+      // action, skip the TD update, and charge only the wasted bus time.
+      ++interface_failures_;
+      latency.interface_ok = false;
+      latency.datapath_cycles = 0;
+      latency.raw_s = 0.0;
+      latency.end_to_end_s = interface_s;
+      return has_prev_ ? prev_action_ : 0;
+    }
+  }
+
   CycleBreakdown cycles;
   if (has_prev_) {
     datapath_.update(prev_state_, prev_action_, reward, state, cycles);
@@ -33,7 +65,7 @@ std::size_t HwPolicyEngine::invoke(std::size_t state, double reward,
   latency.datapath_cycles = cycles.total();
   latency.raw_s =
       static_cast<double>(cycles.total()) / config_.fpga_clock_hz;
-  latency.end_to_end_s = latency.raw_s + interface_latency_s();
+  latency.end_to_end_s = latency.raw_s + interface_s;
   return action;
 }
 

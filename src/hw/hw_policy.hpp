@@ -27,9 +27,18 @@ struct HwPolicyConfig {
 struct PolicyLatency {
   /// Datapath-only latency (the "raw" hardware decision time).
   double raw_s = 0.0;
-  /// CPU-observed latency including driver + AXI transfers.
+  /// CPU-observed latency including driver + AXI transfers — and, under
+  /// an active interface fault model, every retried/timed-out attempt.
   double end_to_end_s = 0.0;
   unsigned datapath_cycles = 0;
+  /// Interface attempts beyond the first (0 without faults).
+  unsigned interface_retries = 0;
+  /// Attempts that expired the driver timeout (subset of the retries,
+  /// plus possibly the final failed attempt).
+  unsigned interface_timeouts = 0;
+  /// False when the interface exhausted its retry budget; the returned
+  /// action is then the previous action (held), not a fresh decision.
+  bool interface_ok = true;
 };
 
 /// One hardware policy instance.
@@ -41,8 +50,19 @@ class HwPolicyEngine {
   /// One governor invocation: applies the TD update for the previous
   /// transition (using `reward`) and selects the action for `state`.
   /// The first invocation skips the update (no previous transition).
+  /// With a fault model installed (set_interface_faults) the AXI leg may
+  /// retry or fail outright; on failure the datapath is not invoked and
+  /// the previous action is held — the call always returns in bounded
+  /// time.
   std::size_t invoke(std::size_t state, double reward,
                      PolicyLatency& latency);
+
+  /// Installs (or, with default-constructed params, removes) an interface
+  /// fault model. Fault sampling is driven by a private RNG seeded here,
+  /// so a fixed seed replays an identical fault sequence.
+  void set_interface_faults(AxiFaultParams faults, std::uint64_t seed);
+  /// Invocations that exhausted the interface retry budget so far.
+  std::size_t interface_failures() const { return interface_failures_; }
 
   /// Clears the previous-transition chain (not the Q memory).
   void reset_chain();
@@ -60,6 +80,9 @@ class HwPolicyEngine {
   HwPolicyConfig config_;
   QDatapath datapath_;
   AxiLiteModel axi_;
+  AxiFaultParams faults_;
+  Rng fault_rng_;
+  std::size_t interface_failures_ = 0;
   bool has_prev_ = false;
   std::size_t prev_state_ = 0;
   std::size_t prev_action_ = 0;

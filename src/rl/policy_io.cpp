@@ -1,81 +1,223 @@
 #include "rl/policy_io.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "util/crc32.hpp"
+#include "util/log.hpp"
 
 namespace pmrl::rl {
 
+namespace {
+constexpr char kMagic[] = "pmrl-policy";
+constexpr unsigned kFormatVersion = 2;
+constexpr char kFooterTag[] = "crc32";
+/// Sanity bound on |Q|: rewards live in roughly [-10, 0] and gamma < 1, so
+/// any stored magnitude beyond this is corruption, not learning.
+constexpr double kMaxAbsQ = 1e6;
+
+[[noreturn]] void fail(PolicyLoadErrorKind kind, const std::string& detail) {
+  throw PolicyLoadError(
+      kind, std::string("policy checkpoint: ") +
+                policy_load_error_kind_name(kind) + ": " + detail);
+}
+
+/// Strict unsigned parse of one comma-separated field; rejects empty,
+/// non-numeric, and trailing-garbage fields.
+std::size_t parse_size_field(const std::string& line, std::size_t& pos,
+                             const char* what) {
+  const std::size_t next = line.find(',', pos);
+  const std::size_t end = next == std::string::npos ? line.size() : next;
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + pos, line.data() + end, value);
+  if (ec != std::errc{} || ptr != line.data() + end || pos == end) {
+    fail(PolicyLoadErrorKind::BadField,
+         std::string("expected unsigned integer for ") + what + ", got '" +
+             line.substr(pos, end - pos) + "'");
+  }
+  pos = next == std::string::npos ? line.size() : next + 1;
+  return value;
+}
+
+/// Strict double parse of one field; rejects non-numeric and non-finite.
+double parse_q_field(const std::string& line, std::size_t begin,
+                     std::size_t end, std::size_t row) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + begin, line.data() + end, value);
+  if (ec != std::errc{} || ptr != line.data() + end || begin == end) {
+    fail(PolicyLoadErrorKind::BadField,
+         "non-numeric Q-value '" + line.substr(begin, end - begin) +
+             "' in row " + std::to_string(row));
+  }
+  if (!std::isfinite(value) || std::fabs(value) > kMaxAbsQ) {
+    fail(PolicyLoadErrorKind::NonFinite,
+         "non-finite or out-of-range Q-value in row " + std::to_string(row));
+  }
+  return value;
+}
+}  // namespace
+
+const char* policy_load_error_kind_name(PolicyLoadErrorKind kind) {
+  switch (kind) {
+    case PolicyLoadErrorKind::BadHeader: return "bad header";
+    case PolicyLoadErrorKind::UnsupportedVersion: return "unsupported version";
+    case PolicyLoadErrorKind::BadField: return "bad field";
+    case PolicyLoadErrorKind::ShapeMismatch: return "shape mismatch";
+    case PolicyLoadErrorKind::Truncated: return "truncated";
+    case PolicyLoadErrorKind::NonFinite: return "non-finite value";
+    case PolicyLoadErrorKind::ChecksumMismatch: return "checksum mismatch";
+  }
+  return "unknown";
+}
+
 void save_policy(const RlGovernor& governor, std::ostream& out) {
-  out << "pmrl-policy,1," << governor.agent_count() << ','
-      << governor.agent(0).state_count() << ','
-      << governor.agent(0).action_count() << '\n';
+  std::string payload;
+  payload += kMagic;
+  payload += ',';
+  payload += std::to_string(kFormatVersion);
+  payload += ',';
+  payload += std::to_string(governor.agent_count());
+  payload += ',';
+  payload += std::to_string(governor.agent(0).state_count());
+  payload += ',';
+  payload += std::to_string(governor.agent(0).action_count());
+  payload += '\n';
   char buf[64];
   for (std::size_t i = 0; i < governor.agent_count(); ++i) {
     const QAgent& agent = governor.agent(i);
     for (std::size_t s = 0; s < agent.state_count(); ++s) {
       for (std::size_t a = 0; a < agent.action_count(); ++a) {
-        if (a) out << ',';
+        if (a) payload += ',';
         std::snprintf(buf, sizeof buf, "%.17g", agent.q_value(s, a));
-        out << buf;
+        payload += buf;
       }
-      out << '\n';
+      payload += '\n';
     }
   }
+  std::snprintf(buf, sizeof buf, "%s,%08x\n", kFooterTag, crc32(payload));
+  out << payload << buf;
 }
-
-namespace {
-std::size_t parse_field(const std::string& line, std::size_t& pos) {
-  const std::size_t next = line.find(',', pos);
-  const std::string field = line.substr(
-      pos, next == std::string::npos ? std::string::npos : next - pos);
-  pos = next == std::string::npos ? line.size() : next + 1;
-  return static_cast<std::size_t>(std::stoul(field));
-}
-}  // namespace
 
 void load_policy(RlGovernor& governor, std::istream& in) {
   std::string header;
-  if (!std::getline(in, header) || header.rfind("pmrl-policy,1,", 0) != 0) {
-    throw std::runtime_error("policy checkpoint: bad header");
+  if (!std::getline(in, header)) {
+    fail(PolicyLoadErrorKind::BadHeader, "empty stream");
   }
-  std::size_t pos = std::string("pmrl-policy,1,").size();
-  const std::size_t agents = parse_field(header, pos);
-  const std::size_t states = parse_field(header, pos);
-  const std::size_t actions = parse_field(header, pos);
+  const std::string magic_prefix = std::string(kMagic) + ',';
+  if (header.rfind(magic_prefix, 0) != 0) {
+    fail(PolicyLoadErrorKind::BadHeader, "missing '" + magic_prefix +
+                                             "' magic (got '" +
+                                             header.substr(0, 24) + "')");
+  }
+  std::size_t pos = magic_prefix.size();
+  const std::size_t version = parse_size_field(header, pos, "version");
+  if (version < 1 || version > kFormatVersion) {
+    fail(PolicyLoadErrorKind::UnsupportedVersion,
+         "version " + std::to_string(version) + " (supported: 1.." +
+             std::to_string(kFormatVersion) + ")");
+  }
+  const std::size_t agents = parse_size_field(header, pos, "agent count");
+  const std::size_t states = parse_size_field(header, pos, "state count");
+  const std::size_t actions = parse_size_field(header, pos, "action count");
   if (agents != governor.agent_count() ||
       states != governor.agent(0).state_count() ||
       actions != governor.agent(0).action_count()) {
-    throw std::runtime_error(
-        "policy checkpoint: shape mismatch (checkpoint " +
-        std::to_string(agents) + "x" + std::to_string(states) + "x" +
-        std::to_string(actions) + ", governor " +
-        std::to_string(governor.agent_count()) + "x" +
-        std::to_string(governor.agent(0).state_count()) + "x" +
-        std::to_string(governor.agent(0).action_count()) + ")");
+    fail(PolicyLoadErrorKind::ShapeMismatch,
+         "checkpoint " + std::to_string(agents) + "x" +
+             std::to_string(states) + "x" + std::to_string(actions) +
+             ", governor " + std::to_string(governor.agent_count()) + "x" +
+             std::to_string(governor.agent(0).state_count()) + "x" +
+             std::to_string(governor.agent(0).action_count()));
   }
+  if (agents == 0 || states == 0 || actions == 0) {
+    fail(PolicyLoadErrorKind::BadHeader, "zero-sized table dimensions");
+  }
+
+  // Parse the full payload into a staging buffer first; the governor is
+  // touched only after every row, value, and the checksum have passed.
+  std::uint32_t crc = crc32_update(kCrc32Init, header);
+  crc = crc32_update(crc, "\n", 1);
+  std::vector<double> values;
+  values.reserve(agents * states * actions);
   std::string line;
+  for (std::size_t row = 0; row < agents * states; ++row) {
+    if (!std::getline(in, line)) {
+      fail(PolicyLoadErrorKind::Truncated,
+           "ends after " + std::to_string(row) + " of " +
+               std::to_string(agents * states) + " rows");
+    }
+    crc = crc32_update(crc, line);
+    crc = crc32_update(crc, "\n", 1);
+    std::size_t cursor = 0;
+    for (std::size_t a = 0; a < actions; ++a) {
+      const std::size_t next = line.find(',', cursor);
+      if (a + 1 < actions && next == std::string::npos) {
+        fail(PolicyLoadErrorKind::Truncated,
+             "row " + std::to_string(row) + " has fewer than " +
+                 std::to_string(actions) + " columns");
+      }
+      const std::size_t end = next == std::string::npos ? line.size() : next;
+      values.push_back(parse_q_field(line, cursor, end, row));
+      cursor = next == std::string::npos ? line.size() : next + 1;
+    }
+  }
+
+  if (version >= 2) {
+    std::string footer;
+    if (!std::getline(in, footer)) {
+      fail(PolicyLoadErrorKind::Truncated, "missing crc32 footer");
+    }
+    const std::string footer_prefix = std::string(kFooterTag) + ',';
+    if (footer.rfind(footer_prefix, 0) != 0) {
+      fail(PolicyLoadErrorKind::BadField,
+           "expected crc32 footer, got '" + footer.substr(0, 24) + "'");
+    }
+    std::uint32_t stored = 0;
+    const char* begin = footer.data() + footer_prefix.size();
+    const char* fend = footer.data() + footer.size();
+    const auto [ptr, ec] = std::from_chars(begin, fend, stored, 16);
+    if (ec != std::errc{} || ptr != fend || begin == fend) {
+      fail(PolicyLoadErrorKind::BadField, "unparsable crc32 footer");
+    }
+    const std::uint32_t computed = crc32_final(crc);
+    if (stored != computed) {
+      char msg[64];
+      std::snprintf(msg, sizeof msg, "stored %08x, computed %08x", stored,
+                    computed);
+      fail(PolicyLoadErrorKind::ChecksumMismatch, msg);
+    }
+  } else {
+    PMRL_WARN("policy_io") << "loading legacy v1 checkpoint (no crc32 "
+                              "footer); corruption cannot be detected";
+  }
+
+  // Validated: commit into the governor.
+  std::size_t idx = 0;
   for (std::size_t i = 0; i < agents; ++i) {
     QAgent& agent = governor.agent(i);
     for (std::size_t s = 0; s < states; ++s) {
-      if (!std::getline(in, line)) {
-        throw std::runtime_error("policy checkpoint: truncated");
-      }
-      std::size_t cursor = 0;
       for (std::size_t a = 0; a < actions; ++a) {
-        const std::size_t next = line.find(',', cursor);
-        if (a + 1 < actions && next == std::string::npos) {
-          throw std::runtime_error("policy checkpoint: short row");
-        }
-        const std::string field = line.substr(
-            cursor,
-            next == std::string::npos ? std::string::npos : next - cursor);
-        agent.set_q_value(s, a, std::stod(field));
-        cursor = next == std::string::npos ? line.size() : next + 1;
+        agent.set_q_value(s, a, values[idx++]);
       }
     }
+  }
+}
+
+bool try_load_policy(RlGovernor& governor, std::istream& in,
+                     std::string* error) {
+  try {
+    load_policy(governor, in);
+    return true;
+  } catch (const PolicyLoadError& e) {
+    if (error) *error = e.what();
+    return false;
   }
 }
 

@@ -3,27 +3,70 @@
 // policy trained offline can be shipped and deployed (or flashed into the
 // accelerator's Q memory) without retraining. The format is line-oriented:
 //
-//   pmrl-policy,1,<agents>,<states>,<actions>
+//   pmrl-policy,2,<agents>,<states>,<actions>
 //   <QTable CSV of agent 0: states rows x actions columns>
 //   <QTable CSV of agent 1>
 //   ...
+//   crc32,<8 lowercase hex digits>
+//
+// The footer is the CRC-32 of every byte above it (header + rows,
+// including their newlines), so bit-flips in persisted checkpoints are
+// detected instead of absorbed into the Q-values. Version 1 files (no
+// footer) still load, with a warning.
 //
 // Only the learned values travel; the structural configuration must match
-// at load time (checked, with clear errors on mismatch).
+// at load time. Loading is transactional: the target governor is modified
+// only after the whole file has been parsed and validated, so a rejected
+// checkpoint leaves the governor exactly as it was (typically fresh-init).
 
 #include <iosfwd>
+#include <stdexcept>
+#include <string>
 
 #include "rl/rl_governor.hpp"
 
 namespace pmrl::rl {
 
-/// Writes the governor's Q-table(s).
+/// Why a checkpoint was rejected.
+enum class PolicyLoadErrorKind {
+  BadHeader,           ///< missing/garbled magic or version field
+  UnsupportedVersion,  ///< recognized magic, version we cannot read
+  BadField,            ///< non-numeric or overflowing numeric field
+  ShapeMismatch,       ///< agents/states/actions differ from the governor
+  Truncated,           ///< fewer rows or columns than the header promises
+  NonFinite,           ///< NaN or Inf Q-value in the payload
+  ChecksumMismatch,    ///< CRC-32 footer does not match the payload
+};
+
+const char* policy_load_error_kind_name(PolicyLoadErrorKind kind);
+
+/// Typed load failure; `kind()` identifies the rejection reason so callers
+/// can distinguish corruption (retry/fall back) from misconfiguration
+/// (shape mismatch).
+class PolicyLoadError : public std::runtime_error {
+ public:
+  PolicyLoadError(PolicyLoadErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+  PolicyLoadErrorKind kind() const { return kind_; }
+
+ private:
+  PolicyLoadErrorKind kind_;
+};
+
+/// Writes the governor's Q-table(s) in format version 2 (CRC-32 footer).
 void save_policy(const RlGovernor& governor, std::ostream& out);
 
 /// Restores Q-values into an existing governor of matching shape; throws
-/// std::runtime_error on format or shape mismatch. Fixed-point agents
-/// re-quantize the stored values (lossless for checkpoints produced by a
-/// fixed-point agent, rounding for cross-backend restores).
+/// PolicyLoadError on any format, shape, checksum, or value problem — the
+/// governor is untouched on failure. Fixed-point agents re-quantize the
+/// stored values (lossless for checkpoints produced by a fixed-point
+/// agent, rounding for cross-backend restores).
 void load_policy(RlGovernor& governor, std::istream& in);
+
+/// Non-throwing wrapper: attempts load_policy; on rejection leaves the
+/// governor as-is (fresh-init when it was freshly constructed), stores the
+/// failure message in `error` when non-null, and returns false.
+bool try_load_policy(RlGovernor& governor, std::istream& in,
+                     std::string* error = nullptr);
 
 }  // namespace pmrl::rl

@@ -1,0 +1,167 @@
+#include "rl/watchdog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace pmrl::rl {
+
+const char* watchdog_trip_name(WatchdogTrip trip) {
+  switch (trip) {
+    case WatchdogTrip::None: return "none";
+    case WatchdogTrip::QosStreak: return "qos-streak";
+    case WatchdogTrip::Oscillation: return "oscillation";
+    case WatchdogTrip::UnhealthyQ: return "unhealthy-q";
+  }
+  return "unknown";
+}
+
+PolicyWatchdog::PolicyWatchdog(RlGovernor& primary,
+                               governors::GovernorPtr fallback,
+                               WatchdogConfig config)
+    : primary_(primary), fallback_(std::move(fallback)), wd_config_(config) {
+  if (!fallback_) {
+    throw std::invalid_argument("watchdog needs a fallback governor");
+  }
+}
+
+std::string PolicyWatchdog::name() const {
+  return primary_.name() + "+watchdog(" + fallback_->name() + ")";
+}
+
+void PolicyWatchdog::reset(const governors::PolicyObservation& initial) {
+  primary_.reset(initial);
+  fallback_->reset(initial);
+  engaged_ = false;
+  engagements_ = 0;
+  fallback_epochs_ = 0;
+  total_epochs_ = 0;
+  epochs_since_trip_ = 0;
+  qos_streak_ = 0;
+  clean_streak_ = 0;
+  last_trip_ = WatchdogTrip::None;
+  move_history_.clear();
+  last_request_.clear();
+  has_last_request_ = false;
+}
+
+bool PolicyWatchdog::q_healthy() const {
+  if (!wd_config_.check_q_health) return true;
+  for (std::size_t i = 0; i < primary_.agent_count(); ++i) {
+    const QAgent& agent = primary_.agent(i);
+    for (std::size_t s = 0; s < agent.state_count(); ++s) {
+      for (std::size_t a = 0; a < agent.action_count(); ++a) {
+        const double q = agent.q_value(s, a);
+        if (!std::isfinite(q) || std::fabs(q) > wd_config_.q_bound) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void PolicyWatchdog::observe_epoch(const governors::PolicyObservation& obs) {
+  ++total_epochs_;
+  const double releases =
+      obs.epoch_releases > 0 ? static_cast<double>(obs.epoch_releases) : 1.0;
+  const double pressure = static_cast<double>(obs.epoch_violations) / releases;
+  if (pressure >= wd_config_.violation_pressure) {
+    ++qos_streak_;
+    clean_streak_ = 0;
+  } else {
+    qos_streak_ = 0;
+    ++clean_streak_;
+  }
+}
+
+void PolicyWatchdog::record_requests(
+    const governors::PolicyObservation& obs,
+    const governors::OppRequest& request) {
+  if (move_history_.size() < request.size()) {
+    move_history_.resize(request.size());
+  }
+  for (std::size_t c = 0; c < request.size(); ++c) {
+    int dir = 0;
+    const std::size_t current =
+        c < obs.soc.clusters.size() ? obs.soc.clusters[c].opp_index
+                                    : (has_last_request_ ? last_request_[c]
+                                                         : request[c]);
+    if (request[c] > current) dir = 1;
+    if (request[c] < current) dir = -1;
+    auto& history = move_history_[c];
+    history.push_back(dir);
+    while (history.size() > wd_config_.oscillation_window) {
+      history.pop_front();
+    }
+  }
+  last_request_.assign(request.begin(), request.end());
+  has_last_request_ = true;
+}
+
+WatchdogTrip PolicyWatchdog::evaluate_trip() const {
+  if (!q_healthy()) return WatchdogTrip::UnhealthyQ;
+  if (qos_streak_ >= wd_config_.qos_streak_epochs) {
+    return WatchdogTrip::QosStreak;
+  }
+  for (const auto& history : move_history_) {
+    std::size_t flips = 0;
+    int last_dir = 0;
+    for (int dir : history) {
+      if (dir == 0) continue;
+      if (last_dir != 0 && dir != last_dir) ++flips;
+      last_dir = dir;
+    }
+    if (flips >= wd_config_.oscillation_flips) {
+      return WatchdogTrip::Oscillation;
+    }
+  }
+  return WatchdogTrip::None;
+}
+
+void PolicyWatchdog::decide(const governors::PolicyObservation& obs,
+                            governors::OppRequest& request) {
+  observe_epoch(obs);
+
+  if (engaged_) {
+    ++fallback_epochs_;
+    ++epochs_since_trip_;
+    fallback_->decide(obs, request);
+    // Re-engage only after the hold expires, the system has been healthy
+    // for a sustained stretch, and the Q-tables scan clean. A NaN-poisoned
+    // table never scans clean, so that trip is permanent by design.
+    if (epochs_since_trip_ >= wd_config_.hold_epochs &&
+        clean_streak_ >= wd_config_.clean_epochs && q_healthy()) {
+      engaged_ = false;
+      qos_streak_ = 0;
+      move_history_.clear();
+      has_last_request_ = false;
+      // The primary's decision chain is stale (it last saw an epoch from
+      // before the trip); restart it so the first TD update after
+      // re-engagement does not bridge the gap.
+      primary_.reset(obs);
+      PMRL_INFO("watchdog") << "re-engaging primary after "
+                            << epochs_since_trip_ << " fallback epochs";
+    }
+    return;
+  }
+
+  primary_.decide(obs, request);
+  record_requests(obs, request);
+  const WatchdogTrip trip = evaluate_trip();
+  if (trip != WatchdogTrip::None) {
+    engaged_ = true;
+    ++engagements_;
+    ++fallback_epochs_;
+    epochs_since_trip_ = 0;
+    last_trip_ = trip;
+    PMRL_WARN("watchdog") << "trip (" << watchdog_trip_name(trip)
+                          << "): engaging " << fallback_->name();
+    // Override this epoch's request with the safe governor's decision —
+    // the primary's choice is the one under suspicion.
+    fallback_->decide(obs, request);
+  }
+}
+
+}  // namespace pmrl::rl

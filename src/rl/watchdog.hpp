@@ -1,0 +1,121 @@
+#pragma once
+// Policy watchdog: graceful degradation for the learned governor. A
+// deployed RL policy can diverge — a corrupted Q-table, telemetry faults
+// that poison online learning, or an oscillating action loop — and a
+// production power manager must never let a sick policy burn the battery
+// or starve QoS. The watchdog wraps the RL governor together with a
+// registered *safe governor* (a conventional baseline, conservative by
+// default) behind the ordinary Governor interface and runs a small state
+// machine:
+//
+//         trip (QoS streak | oscillation | unhealthy Q)
+//   PRIMARY ------------------------------------------> FALLBACK
+//       ^                                                  |
+//       |   hold_epochs elapsed AND clean_epochs healthy   |
+//       +------------------ re-engage ---------------------+
+//
+// Hysteresis on both edges prevents flapping: a trip holds the fallback
+// for at least `hold_epochs`, and re-engagement additionally requires a
+// streak of clean epochs plus a healthy Q-table. While the fallback is
+// engaged the primary is quarantined (not invoked), so a poisoned agent
+// cannot keep learning from the epochs it ruined.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "governors/governor.hpp"
+#include "rl/rl_governor.hpp"
+
+namespace pmrl::rl {
+
+/// Why the watchdog engaged the fallback.
+enum class WatchdogTrip {
+  None,
+  QosStreak,    ///< sustained violation pressure under the primary
+  Oscillation,  ///< rapid OPP direction flapping on some domain
+  UnhealthyQ,   ///< NaN / Inf / out-of-range Q-values in the agents
+};
+
+const char* watchdog_trip_name(WatchdogTrip trip);
+
+/// Watchdog thresholds. Defaults are tuned for 20 ms epochs (50 Hz):
+/// trips react within ~0.2 s, re-engagement takes >= 0.5 s of health.
+struct WatchdogConfig {
+  /// Epoch violation pressure (violations / released deadline jobs) at or
+  /// above which an epoch counts toward the QoS streak.
+  double violation_pressure = 0.5;
+  /// Consecutive pressured epochs that trip the watchdog.
+  std::size_t qos_streak_epochs = 10;
+  /// Sliding window (epochs) over which OPP direction flips are counted.
+  std::size_t oscillation_window = 16;
+  /// Direction reversals within the window that trip the watchdog. A
+  /// reversal is an up-move following a down-move (or vice versa) on the
+  /// same DVFS domain.
+  std::size_t oscillation_flips = 10;
+  /// Scan the agents' Q-tables for NaN/Inf/out-of-range every epoch.
+  bool check_q_health = true;
+  /// |Q| beyond this is treated as corruption.
+  double q_bound = 1e6;
+  /// Minimum epochs the fallback stays engaged after a trip.
+  std::size_t hold_epochs = 25;
+  /// Consecutive clean (unpressured) epochs required to re-engage the
+  /// primary once the hold has elapsed.
+  std::size_t clean_epochs = 10;
+};
+
+/// Governor wrapper implementing the fallback state machine. The primary
+/// is held by reference (the caller owns it — typically a trained
+/// RlGovernor whose learned state outlives runs); the fallback is owned.
+class PolicyWatchdog : public governors::Governor {
+ public:
+  PolicyWatchdog(RlGovernor& primary, governors::GovernorPtr fallback,
+                 WatchdogConfig config = {});
+
+  std::string name() const override;
+  void reset(const governors::PolicyObservation& initial) override;
+  void decide(const governors::PolicyObservation& obs,
+              governors::OppRequest& request) override;
+
+  /// True while the safe governor is driving.
+  bool engaged() const { return engaged_; }
+  /// Times the fallback was engaged since construction/reset.
+  std::size_t engagements() const { return engagements_; }
+  /// Epochs driven by the fallback / total epochs, since reset.
+  std::size_t fallback_epochs() const { return fallback_epochs_; }
+  std::size_t total_epochs() const { return total_epochs_; }
+  /// Reason of the most recent engagement.
+  WatchdogTrip last_trip() const { return last_trip_; }
+  /// Scans the primary's Q-tables; false on NaN/Inf/out-of-range.
+  bool q_healthy() const;
+
+  const WatchdogConfig& config() const { return wd_config_; }
+  RlGovernor& primary() { return primary_; }
+  governors::Governor& fallback() { return *fallback_; }
+
+ private:
+  void observe_epoch(const governors::PolicyObservation& obs);
+  WatchdogTrip evaluate_trip() const;
+  void record_requests(const governors::PolicyObservation& obs,
+                       const governors::OppRequest& request);
+
+  RlGovernor& primary_;
+  governors::GovernorPtr fallback_;
+  WatchdogConfig wd_config_;
+
+  bool engaged_ = false;
+  std::size_t engagements_ = 0;
+  std::size_t fallback_epochs_ = 0;
+  std::size_t total_epochs_ = 0;
+  std::size_t epochs_since_trip_ = 0;
+  std::size_t qos_streak_ = 0;
+  std::size_t clean_streak_ = 0;
+  WatchdogTrip last_trip_ = WatchdogTrip::None;
+  /// Per-domain sliding window of move directions (-1, 0, +1).
+  std::vector<std::deque<int>> move_history_;
+  std::vector<std::size_t> last_request_;
+  bool has_last_request_ = false;
+};
+
+}  // namespace pmrl::rl

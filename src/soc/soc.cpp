@@ -104,6 +104,12 @@ void Soc::set_cluster_opp(std::size_t cluster, std::size_t opp_index) {
   clusters_[cluster].set_opp(opp_index);
 }
 
+void Soc::inject_thermal_event(std::size_t cluster, double delta_c) {
+  if (cluster >= clusters_.size()) throw std::out_of_range("cluster id");
+  thermal_.inject_heat(cluster, delta_c);
+  apply_throttle();
+}
+
 void Soc::apply_throttle() {
   if (!config_.throttle.enabled) return;
   for (std::size_t i = 0; i < clusters_.size(); ++i) {

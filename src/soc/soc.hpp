@@ -100,6 +100,11 @@ class Soc {
   /// `completed`.
   void step(double dt_s, std::vector<CompletedJob>& completed);
 
+  /// Thermal-emergency injection seam (fault subsystem): instantly raises
+  /// the cluster's die temperature by `delta_c` and re-evaluates the
+  /// throttle, exactly as a hot-spot event between governor epochs would.
+  void inject_thermal_event(std::size_t cluster, double delta_c);
+
   double now_s() const { return now_s_; }
   double total_energy_j() const { return total_energy_j_; }
   bool throttled(std::size_t cluster) const { return throttled_.at(cluster); }

@@ -36,6 +36,11 @@ void ThermalModel::step(const std::vector<double>& power_w, double dt_s) {
   }
 }
 
+void ThermalModel::inject_heat(std::size_t node, double delta_c) {
+  if (node >= temp_c_.size()) throw std::out_of_range("thermal node");
+  temp_c_[node] += delta_c;
+}
+
 void ThermalModel::reset() {
   temp_c_.clear();
   temp_c_.reserve(params_.size());

@@ -34,6 +34,11 @@ class ThermalModel {
   /// stable for any dt.
   void step(const std::vector<double>& power_w, double dt_s);
 
+  /// Adds an instantaneous temperature delta to one node — a thermal
+  /// emergency event (hot-spot migration, sunlight, charger heat) injected
+  /// by the fault subsystem. The RC dynamics then relax it normally.
+  void inject_heat(std::size_t node, double delta_c);
+
   void reset();
 
  private:

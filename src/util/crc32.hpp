@@ -1,0 +1,61 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// footers on persisted artifacts (policy checkpoints). Header-only and
+// constexpr-table based; incremental use follows the usual convention:
+//
+//   std::uint32_t crc = kCrc32Init;
+//   crc = crc32_update(crc, data, len);
+//   ... more updates ...
+//   std::uint32_t digest = crc32_final(crc);
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pmrl {
+
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// Folds `len` bytes into a running CRC state (seed with kCrc32Init).
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state = detail::kCrc32Table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+inline std::uint32_t crc32_update(std::uint32_t state,
+                                  std::string_view text) {
+  return crc32_update(state, text.data(), text.size());
+}
+
+/// Final-xor step producing the conventional digest.
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte string.
+inline std::uint32_t crc32(std::string_view text) {
+  return crc32_final(crc32_update(kCrc32Init, text));
+}
+
+}  // namespace pmrl

@@ -1,0 +1,207 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../helpers/observation.hpp"
+#include "fault/scenario_faults.hpp"
+#include "soc/soc.hpp"
+
+namespace pmrl::fault {
+namespace {
+
+governors::PolicyObservation two_cluster_obs(double util_little = 0.4,
+                                             double util_big = 0.7) {
+  return test::make_observation(
+      {test::ClusterSpec{6, 13, 1.4e9, util_little, util_little, 0, 0.8},
+       test::ClusterSpec{9, 19, 2.0e9, util_big, util_big, 0, 6.8}});
+}
+
+std::vector<double> util_trace(FaultInjector& injector, int epochs) {
+  std::vector<double> trace;
+  for (int i = 0; i < epochs; ++i) {
+    auto obs = two_cluster_obs();
+    injector.perturb_observation(obs);
+    for (const auto& ct : obs.soc.clusters) {
+      trace.push_back(ct.util_avg);
+      trace.push_back(ct.util_max);
+      trace.push_back(ct.busy_avg);
+    }
+  }
+  return trace;
+}
+
+TEST(FaultInjectorTest, DisabledConfigIsIdentity) {
+  FaultInjector injector{FaultConfig{}};
+  EXPECT_FALSE(injector.config().enabled());
+
+  const auto reference = two_cluster_obs();
+  auto obs = two_cluster_obs();
+  injector.perturb_observation(obs);
+  for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+    EXPECT_EQ(obs.soc.clusters[c].util_avg,
+              reference.soc.clusters[c].util_avg);
+    EXPECT_EQ(obs.soc.clusters[c].util_max,
+              reference.soc.clusters[c].util_max);
+    EXPECT_EQ(obs.soc.clusters[c].util_invariant,
+              reference.soc.clusters[c].util_invariant);
+  }
+
+  std::string text = "pristine checkpoint bytes";
+  EXPECT_EQ(injector.corrupt_text(text), 0u);
+  EXPECT_EQ(text, "pristine checkpoint bytes");
+
+  soc::Soc soc(soc::tiny_test_soc_config());
+  injector.inject_epoch_faults(soc);
+  EXPECT_EQ(injector.stats().thermal_events, 0u);
+}
+
+TEST(FaultInjectorTest, ReplayIsBitIdenticalAfterReset) {
+  FaultConfig config;
+  config.seed = 1234;
+  config.telemetry.util_noise_sigma = 0.1;
+  config.telemetry.dropout_rate = 0.2;
+  config.telemetry.stuck_rate = 0.05;
+  FaultInjector injector(config);
+
+  const auto first = util_trace(injector, 64);
+  injector.reset();
+  const auto replay = util_trace(injector, 64);
+  EXPECT_EQ(first, replay);
+
+  FaultInjector sibling(config);
+  EXPECT_EQ(first, util_trace(sibling, 64));
+
+  config.seed = 4321;
+  FaultInjector other(config);
+  EXPECT_NE(first, util_trace(other, 64));
+}
+
+TEST(FaultInjectorTest, DropoutZeroesTheWholeSample) {
+  FaultConfig config;
+  config.telemetry.dropout_rate = 1.0;
+  FaultInjector injector(config);
+
+  auto obs = two_cluster_obs();
+  injector.perturb_observation(obs);
+  for (const auto& ct : obs.soc.clusters) {
+    EXPECT_EQ(ct.util_avg, 0.0);
+    EXPECT_EQ(ct.util_max, 0.0);
+    EXPECT_EQ(ct.busy_avg, 0.0);
+    EXPECT_EQ(ct.util_invariant, 0.0);
+  }
+  EXPECT_EQ(injector.stats().dropout_samples, obs.soc.clusters.size());
+}
+
+TEST(FaultInjectorTest, StuckAtReplaysTheCapturedSample) {
+  FaultConfig config;
+  config.telemetry.stuck_rate = 1.0;
+  config.telemetry.stuck_epochs = 3;
+  FaultInjector injector(config);
+
+  // The episode starts on the first epoch: the current (good) sample is
+  // captured and passes through unchanged.
+  auto obs = two_cluster_obs(0.4, 0.7);
+  injector.perturb_observation(obs);
+  EXPECT_DOUBLE_EQ(obs.soc.clusters[0].util_avg, 0.4);
+
+  // The sensor then replays the stale 0.4 even though the live value moved.
+  for (int i = 0; i < 3; ++i) {
+    auto moved = two_cluster_obs(0.9, 0.7);
+    injector.perturb_observation(moved);
+    EXPECT_DOUBLE_EQ(moved.soc.clusters[0].util_avg, 0.4)
+        << "stuck epoch " << i;
+  }
+
+  // Episode over: the next epoch re-captures the live value.
+  auto fresh = two_cluster_obs(0.9, 0.7);
+  injector.perturb_observation(fresh);
+  EXPECT_DOUBLE_EQ(fresh.soc.clusters[0].util_avg, 0.9);
+}
+
+TEST(FaultInjectorTest, QuantizationSnapsToTheGrid) {
+  FaultConfig config;
+  config.telemetry.util_quant_step = 0.25;
+  FaultInjector injector(config);
+
+  auto obs = two_cluster_obs(0.61, 0.9);
+  injector.perturb_observation(obs);
+  EXPECT_DOUBLE_EQ(obs.soc.clusters[0].util_avg, 0.5);
+  EXPECT_DOUBLE_EQ(obs.soc.clusters[1].util_avg, 1.0);
+}
+
+TEST(FaultInjectorTest, ThermalEventsHeatTheSoc) {
+  soc::Soc soc(soc::tiny_test_soc_config());
+  const double before = soc.telemetry().clusters[0].temp_c;
+
+  FaultConfig config;
+  config.thermal.event_rate = 1.0;
+  config.thermal.min_delta_c = 10.0;
+  config.thermal.max_delta_c = 10.0;
+  FaultInjector injector(config);
+  injector.inject_epoch_faults(soc);
+
+  EXPECT_NEAR(soc.telemetry().clusters[0].temp_c, before + 10.0, 1e-9);
+  EXPECT_EQ(injector.stats().thermal_events, soc.cluster_count());
+}
+
+TEST(FaultInjectorTest, CorruptTextFlipsBitsDeterministically) {
+  FaultConfig config;
+  config.seed = 99;
+  config.policy.flip_rate = 0.5;
+  const std::string original(256, 'q');
+
+  FaultInjector injector(config);
+  std::string first = original;
+  const std::size_t flipped = injector.corrupt_text(first);
+  EXPECT_GT(flipped, 0u);
+  EXPECT_EQ(first.size(), original.size());
+  EXPECT_NE(first, original);
+  EXPECT_EQ(injector.stats().corrupted_bytes, flipped);
+
+  injector.reset();
+  std::string second = original;
+  EXPECT_EQ(injector.corrupt_text(second), flipped);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, ScalingClampsProbabilitiesAndZeroDisables) {
+  FaultConfig config;
+  config.telemetry.util_noise_sigma = 0.2;
+  config.telemetry.util_quant_step = 1.0 / 16.0;
+  config.telemetry.dropout_rate = 0.4;
+  config.thermal.event_rate = 0.3;
+  config.bus.error_rate = 0.02;
+  config.policy.flip_rate = 0.6;
+
+  const FaultConfig off = config.scaled(0.0);
+  EXPECT_FALSE(off.enabled());
+
+  const FaultConfig extreme = config.scaled(100.0);
+  EXPECT_LE(extreme.telemetry.dropout_rate, 1.0);
+  EXPECT_LE(extreme.thermal.event_rate, 1.0);
+  EXPECT_LE(extreme.bus.error_rate, 1.0);
+  EXPECT_LE(extreme.policy.flip_rate, 1.0);
+  // The quantization step is a resolution, not a rate: scaling must not
+  // coarsen the counter readout.
+  EXPECT_DOUBLE_EQ(extreme.telemetry.util_quant_step, 1.0 / 16.0);
+}
+
+TEST(FaultInjectorTest, ScenarioProfilesCoverEveryScenario) {
+  for (const auto kind : workload::all_scenario_kinds()) {
+    const FaultConfig profile = scenario_fault_profile(kind, 1.0, 7);
+    EXPECT_TRUE(profile.enabled())
+        << workload::scenario_kind_name(kind);
+    EXPECT_FALSE(scenario_fault_profile(kind, 0.0, 7).enabled())
+        << workload::scenario_kind_name(kind);
+  }
+  const FaultConfig uniform = uniform_fault_profile(1.0, 7);
+  EXPECT_TRUE(uniform.telemetry.enabled());
+  EXPECT_TRUE(uniform.thermal.enabled());
+  EXPECT_TRUE(uniform.bus.enabled());
+  EXPECT_TRUE(uniform.policy.enabled());
+}
+
+}  // namespace
+}  // namespace pmrl::fault

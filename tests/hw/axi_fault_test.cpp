@@ -1,0 +1,134 @@
+// The AXI degradation path: bounded retries, every attempt's latency
+// charged, previous-action hold on exhausted budgets, deterministic fault
+// streams.
+
+#include <gtest/gtest.h>
+
+#include "hw/axi.hpp"
+#include "hw/hw_policy.hpp"
+#include "hw/latency.hpp"
+
+namespace pmrl::hw {
+namespace {
+
+TEST(AxiFaultTest, CleanAttemptMatchesFaultFreeLatency) {
+  AxiLiteModel axi;
+  AxiFaultParams faults;  // rates zero: first attempt always succeeds
+  Rng rng(1);
+  const auto result = axi.faulty_invocation(3, 1, faults, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(result.latency_s, axi.invocation_latency_s(3, 1));
+}
+
+TEST(AxiFaultTest, ErrorResponsesChargeEveryAttempt) {
+  AxiLiteModel axi;
+  AxiFaultParams faults;
+  faults.error_rate = 1.0;
+  faults.max_attempts = 3;
+  Rng rng(1);
+  const auto result = axi.faulty_invocation(3, 1, faults, rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_EQ(result.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(result.latency_s, 3.0 * axi.invocation_latency_s(3, 1));
+}
+
+TEST(AxiFaultTest, TimeoutsChargeTheFullTimeoutBudget) {
+  AxiLiteModel axi;
+  AxiFaultParams faults;
+  faults.timeout_rate = 1.0;
+  faults.timeout_s = 2e-6;
+  faults.max_attempts = 4;
+  Rng rng(1);
+  const auto result = axi.faulty_invocation(3, 1, faults, rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.retries, 3u);
+  EXPECT_EQ(result.timeouts, 4u);
+  EXPECT_DOUBLE_EQ(result.latency_s,
+                   4.0 * (axi.invocation_latency_s(3, 1) + 2e-6));
+}
+
+TEST(AxiFaultTest, LatencyIsBoundedUnderWorstCaseFaults) {
+  AxiLiteModel axi;
+  AxiFaultParams faults;
+  faults.error_rate = 0.5;
+  faults.timeout_rate = 0.5;
+  faults.timeout_s = 5e-6;
+  faults.max_attempts = 5;
+  const double bound =
+      faults.max_attempts *
+      (axi.invocation_latency_s(3, 1) + faults.timeout_s);
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const auto result = axi.faulty_invocation(3, 1, faults, rng);
+    ASSERT_LE(result.latency_s, bound + 1e-15);
+    ASSERT_GT(result.latency_s, 0.0);
+  }
+}
+
+TEST(AxiFaultTest, EngineHoldsPreviousActionOnInterfaceFailure) {
+  HwPolicyEngine engine(HwPolicyConfig{}, 64, 3);
+  PolicyLatency latency;
+  const std::size_t first = engine.invoke(7, -0.5, latency);
+  EXPECT_TRUE(latency.interface_ok);
+
+  AxiFaultParams faults;
+  faults.error_rate = 1.0;
+  engine.set_interface_faults(faults, 9);
+  const std::size_t held = engine.invoke(12, -0.5, latency);
+  EXPECT_FALSE(latency.interface_ok);
+  EXPECT_EQ(held, first);
+  EXPECT_EQ(latency.datapath_cycles, 0u);
+  EXPECT_EQ(latency.interface_retries, faults.max_attempts - 1);
+  EXPECT_GT(latency.end_to_end_s, 0.0);
+  EXPECT_EQ(engine.interface_failures(), 1u);
+}
+
+TEST(AxiFaultTest, RetryLatencyIsChargedIntoEndToEnd) {
+  HwPolicyEngine clean(HwPolicyConfig{}, 64, 3);
+  HwPolicyEngine faulty(HwPolicyConfig{}, 64, 3);
+  AxiFaultParams faults;
+  faults.error_rate = 0.4;
+  faults.timeout_rate = 0.2;
+  faulty.set_interface_faults(faults, 11);
+
+  const auto stream = synthetic_stream(64, 5000, 2);
+  double clean_s = 0.0;
+  double faulty_s = 0.0;
+  PolicyLatency latency;
+  for (const auto& record : stream) {
+    clean.invoke(record.state, record.reward, latency);
+    clean_s += latency.end_to_end_s;
+    faulty.invoke(record.state, record.reward, latency);
+    faulty_s += latency.end_to_end_s;
+  }
+  // Retries and timeouts must show up as extra CPU-observed latency.
+  EXPECT_GT(faulty_s, clean_s);
+}
+
+TEST(AxiFaultTest, FaultStreamIsDeterministicUnderASeed) {
+  const auto stream = synthetic_stream(64, 2000, 3);
+  auto run = [&stream]() {
+    HwPolicyEngine engine(HwPolicyConfig{}, 64, 3);
+    AxiFaultParams faults;
+    faults.error_rate = 0.3;
+    faults.timeout_rate = 0.3;
+    faults.max_attempts = 2;
+    engine.set_interface_faults(faults, 1234);
+    double total_s = 0.0;
+    std::size_t retries = 0;
+    PolicyLatency latency;
+    for (const auto& record : stream) {
+      engine.invoke(record.state, record.reward, latency);
+      total_s += latency.end_to_end_s;
+      retries += latency.interface_retries;
+    }
+    return std::tuple(total_s, retries, engine.interface_failures());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pmrl::hw

@@ -97,10 +97,138 @@ TEST(PolicyIoTest, FixedBackendRoundTripsLosslessly) {
   }
 }
 
+std::string checkpoint_text(const RlGovernor& governor) {
+  std::stringstream out;
+  save_policy(governor, out);
+  return out.str();
+}
+
+/// Loads `text` expecting rejection; returns the typed kind.
+PolicyLoadErrorKind load_kind(RlGovernor& governor, const std::string& text) {
+  std::stringstream in(text);
+  try {
+    load_policy(governor, in);
+  } catch (const PolicyLoadError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "load unexpectedly succeeded";
+  return PolicyLoadErrorKind::BadHeader;
+}
+
 TEST(PolicyIoTest, RejectsBadHeader) {
   RlGovernor governor(quiet(), 2);
   std::stringstream bad("not-a-policy\n");
   EXPECT_THROW(load_policy(governor, bad), std::runtime_error);
+}
+
+TEST(PolicyIoTest, TypedErrorKinds) {
+  RlGovernor governor(quiet(), 2);
+  const std::string valid = checkpoint_text(governor);
+  const std::size_t header_end = valid.find('\n');
+  const std::size_t row_end = valid.find('\n', header_end + 1);
+  const std::string first_row =
+      valid.substr(header_end + 1, row_end - header_end - 1);
+
+  EXPECT_EQ(load_kind(governor, ""), PolicyLoadErrorKind::BadHeader);
+  EXPECT_EQ(load_kind(governor, "garbage\n"), PolicyLoadErrorKind::BadHeader);
+
+  std::string version99 = valid;
+  version99.replace(0, header_end, "pmrl-policy,99,2,240,3");
+  EXPECT_EQ(load_kind(governor, version99),
+            PolicyLoadErrorKind::UnsupportedVersion);
+
+  EXPECT_EQ(load_kind(governor, "pmrl-policy,2,two,240,3\n"),
+            PolicyLoadErrorKind::BadField);
+
+  std::string bad_value = valid;
+  bad_value.replace(header_end + 1, first_row.size(), "zap,0,0");
+  EXPECT_EQ(load_kind(governor, bad_value), PolicyLoadErrorKind::BadField);
+
+  std::string nan_value = valid;
+  nan_value.replace(header_end + 1, first_row.size(), "nan,0,0");
+  EXPECT_EQ(load_kind(governor, nan_value), PolicyLoadErrorKind::NonFinite);
+
+  std::string huge_value = valid;
+  huge_value.replace(header_end + 1, first_row.size(), "1e300,0,0");
+  EXPECT_EQ(load_kind(governor, huge_value), PolicyLoadErrorKind::NonFinite);
+
+  std::string truncated = valid;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_EQ(load_kind(governor, truncated), PolicyLoadErrorKind::Truncated);
+}
+
+TEST(PolicyIoTest, ChecksumCatchesSilentValueCorruption) {
+  RlGovernor original(quiet(), 2);
+  exercise(original);
+  std::string text = checkpoint_text(original);
+
+  // Corrupt one digit of one Q-value: the row still parses as a valid
+  // finite number, so only the CRC can catch it.
+  const std::size_t row_begin = text.find('\n') + 1;
+  std::size_t digit = row_begin;
+  while (text[digit] < '1' || text[digit] > '8') ++digit;
+  ++text[digit];
+
+  RlGovernor target(quiet(), 2);
+  EXPECT_EQ(load_kind(target, text), PolicyLoadErrorKind::ChecksumMismatch);
+
+  // A tampered footer is equally fatal.
+  std::string bad_footer = checkpoint_text(original);
+  bad_footer[bad_footer.size() - 2] =
+      bad_footer[bad_footer.size() - 2] == '0' ? '1' : '0';
+  EXPECT_EQ(load_kind(target, bad_footer),
+            PolicyLoadErrorKind::ChecksumMismatch);
+}
+
+TEST(PolicyIoTest, LegacyV1CheckpointStillLoads) {
+  RlGovernor original(quiet(), 2);
+  exercise(original);
+  std::string text = checkpoint_text(original);
+
+  // Rewrite as a v1 file: version field 1, no crc32 footer.
+  ASSERT_EQ(text.rfind("pmrl-policy,2,", 0), 0u);
+  text.replace(0, 14, "pmrl-policy,1,");
+  const std::size_t footer = text.rfind("crc32,");
+  ASSERT_NE(footer, std::string::npos);
+  text.erase(footer);
+
+  RlGovernor restored(quiet(), 2);
+  std::stringstream in(text);
+  load_policy(restored, in);
+  for (std::size_t s = 0; s < original.agent(0).state_count(); ++s) {
+    for (std::size_t a = 0; a < original.agent(0).action_count(); ++a) {
+      ASSERT_DOUBLE_EQ(restored.agent(0).q_value(s, a),
+                       original.agent(0).q_value(s, a));
+    }
+  }
+}
+
+TEST(PolicyIoTest, TryLoadLeavesGovernorFreshOnRejection) {
+  RlGovernor trained(quiet(), 2);
+  exercise(trained);
+  std::string text = checkpoint_text(trained);
+  text.resize(text.size() - text.size() / 3);  // truncate mid-payload
+
+  RlGovernor target(quiet(), 2);
+  const RlGovernor fresh(quiet(), 2);
+  std::stringstream in(text);
+  std::string error;
+  EXPECT_FALSE(try_load_policy(target, in, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+
+  // Transactional load: the rejected checkpoint must not have leaked any
+  // values into the governor — it still decides as a fresh init.
+  for (std::size_t i = 0; i < target.agent_count(); ++i) {
+    for (std::size_t s = 0; s < target.agent(i).state_count(); ++s) {
+      for (std::size_t a = 0; a < target.agent(i).action_count(); ++a) {
+        ASSERT_DOUBLE_EQ(target.agent(i).q_value(s, a),
+                         fresh.agent(i).q_value(s, a));
+      }
+    }
+  }
+
+  std::stringstream good(checkpoint_text(trained));
+  EXPECT_TRUE(try_load_policy(target, good, &error));
 }
 
 TEST(PolicyIoTest, RejectsShapeMismatch) {

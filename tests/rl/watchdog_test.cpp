@@ -1,0 +1,173 @@
+#include "rl/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "../helpers/observation.hpp"
+#include "core/engine.hpp"
+#include "governors/registry.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::rl {
+namespace {
+
+RlGovernorConfig quiet() {
+  RlGovernorConfig config;
+  config.learning.epsilon_start = 0.0;
+  config.learning.epsilon_end = 0.0;
+  config.warmup_decisions = 0;
+  return config;
+}
+
+governors::PolicyObservation healthy_obs() {
+  auto o = test::make_observation(
+      {test::ClusterSpec{6, 13, 1.4e9, 0.4, 0.4, 0, 0.8},
+       test::ClusterSpec{9, 19, 2.0e9, 0.6, 0.6, 0, 6.8}});
+  o.epoch_duration_s = 0.02;
+  o.cluster_feedback[0].epoch_energy_j = 0.004;
+  o.cluster_feedback[1].epoch_energy_j = 0.02;
+  return o;
+}
+
+void poison(RlGovernor& governor) {
+  for (std::size_t i = 0; i < governor.agent_count(); ++i) {
+    auto& agent = governor.agent(i);
+    for (std::size_t s = 0; s < agent.state_count(); s += 2) {
+      for (std::size_t a = 0; a < agent.action_count(); ++a) {
+        agent.set_q_value(s, a, std::numeric_limits<double>::quiet_NaN());
+      }
+    }
+  }
+}
+
+TEST(PolicyWatchdogTest, RequiresAFallbackGovernor) {
+  RlGovernor primary(quiet(), 2);
+  EXPECT_THROW(PolicyWatchdog(primary, nullptr), std::invalid_argument);
+}
+
+TEST(PolicyWatchdogTest, NamesBothLayers) {
+  RlGovernor primary(quiet(), 2);
+  PolicyWatchdog watchdog(primary,
+                          governors::make_governor("conservative"));
+  EXPECT_NE(watchdog.name().find("+watchdog(conservative)"),
+            std::string::npos);
+}
+
+TEST(PolicyWatchdogTest, NanPoisonTripsOnTheFirstDecision) {
+  RlGovernor primary(quiet(), 2);
+  poison(primary);
+  PolicyWatchdog watchdog(primary,
+                          governors::make_governor("conservative"));
+  EXPECT_FALSE(watchdog.q_healthy());
+
+  const auto obs = healthy_obs();
+  watchdog.reset(obs);
+  governors::OppRequest request(2);
+  watchdog.decide(obs, request);
+  EXPECT_TRUE(watchdog.engaged());
+  EXPECT_EQ(watchdog.last_trip(), WatchdogTrip::UnhealthyQ);
+  EXPECT_EQ(watchdog.engagements(), 1u);
+
+  // A NaN-poisoned table never scans clean, so the trip is permanent.
+  for (int i = 0; i < 200; ++i) watchdog.decide(obs, request);
+  EXPECT_TRUE(watchdog.engaged());
+  EXPECT_EQ(watchdog.fallback_epochs(), watchdog.total_epochs());
+}
+
+TEST(PolicyWatchdogTest, QosStreakTripsAndHysteresisReengages) {
+  RlGovernor primary(quiet(), 2);
+  primary.set_frozen(true);
+  WatchdogConfig config;
+  config.qos_streak_epochs = 3;
+  config.hold_epochs = 5;
+  config.clean_epochs = 2;
+  PolicyWatchdog watchdog(primary,
+                          governors::make_governor("conservative"), config);
+
+  auto pressured = healthy_obs();
+  pressured.epoch_releases = 10;
+  pressured.epoch_violations = 8;  // pressure 0.8 >= 0.5 threshold
+  auto clean = healthy_obs();
+  clean.epoch_releases = 10;
+  clean.epoch_violations = 0;
+
+  watchdog.reset(clean);
+  governors::OppRequest request(2);
+  watchdog.decide(clean, request);
+  EXPECT_FALSE(watchdog.engaged());
+
+  for (int i = 0; i < 3; ++i) watchdog.decide(pressured, request);
+  EXPECT_TRUE(watchdog.engaged());
+  EXPECT_EQ(watchdog.last_trip(), WatchdogTrip::QosStreak);
+  EXPECT_EQ(watchdog.engagements(), 1u);
+
+  // Hysteresis: clean epochs alone do not release the hold early.
+  for (int i = 0; i < 4; ++i) {
+    watchdog.decide(clean, request);
+    EXPECT_TRUE(watchdog.engaged()) << "hold epoch " << i;
+  }
+  // Hold elapsed and the clean streak is long enough: re-engage.
+  watchdog.decide(clean, request);
+  EXPECT_FALSE(watchdog.engaged());
+  EXPECT_EQ(watchdog.engagements(), 1u);
+
+  // A second pressured streak trips again — counters accumulate.
+  for (int i = 0; i < 3; ++i) watchdog.decide(pressured, request);
+  EXPECT_TRUE(watchdog.engaged());
+  EXPECT_EQ(watchdog.engagements(), 2u);
+}
+
+TEST(PolicyWatchdogTest, OscillationTrips) {
+  // An always-exploring policy flips OPP direction at random; with a tight
+  // window the flip counter must catch it.
+  RlGovernorConfig config = quiet();
+  config.learning.epsilon_start = 1.0;
+  config.learning.epsilon_end = 1.0;
+  RlGovernor primary(config, 2);
+  WatchdogConfig wd;
+  wd.oscillation_window = 8;
+  wd.oscillation_flips = 4;
+  wd.qos_streak_epochs = 1000000;  // isolate the oscillation trip
+  PolicyWatchdog watchdog(primary,
+                          governors::make_governor("conservative"), wd);
+
+  const auto obs = healthy_obs();
+  watchdog.reset(obs);
+  governors::OppRequest request(2);
+  bool tripped = false;
+  for (int i = 0; i < 2000 && !tripped; ++i) {
+    watchdog.decide(obs, request);
+    tripped = watchdog.engaged();
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(watchdog.last_trip(), WatchdogTrip::Oscillation);
+}
+
+TEST(PolicyWatchdogTest, PoisonedPolicyUnderWatchdogMeetsPowersaveFloor) {
+  core::EngineConfig engine_config;
+  engine_config.duration_s = 10.0;
+  core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+
+  auto powersave = governors::make_governor("powersave");
+  auto scenario = workload::make_scenario(workload::ScenarioKind::Gaming, 5);
+  const auto floor_run = engine.run(*scenario, *powersave);
+
+  RlGovernor poisoned(RlGovernorConfig{},
+                      engine.soc_config().clusters.size());
+  poison(poisoned);
+  PolicyWatchdog guarded(poisoned,
+                         governors::make_governor("conservative"));
+  scenario = workload::make_scenario(workload::ScenarioKind::Gaming, 5);
+  const auto guarded_run = engine.run(*scenario, guarded);
+
+  EXPECT_TRUE(guarded.engaged());
+  EXPECT_EQ(guarded.last_trip(), WatchdogTrip::UnhealthyQ);
+  // The fallback must keep QoS at least at the powersave level — the
+  // weakest acceptable operating point of the stock governor set.
+  EXPECT_LE(guarded_run.violation_rate,
+            std::max(floor_run.violation_rate, 0.02));
+}
+
+}  // namespace
+}  // namespace pmrl::rl
