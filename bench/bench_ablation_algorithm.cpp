@@ -11,22 +11,30 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("A6", "TD-control algorithm ablation",
                       "single-Q-memory hardware design justification");
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
 
-  auto engine = bench::make_default_engine();
+  const rl::TdAlgorithm algorithms[] = {rl::TdAlgorithm::QLearning,
+                                        rl::TdAlgorithm::DoubleQ,
+                                        rl::TdAlgorithm::ExpectedSarsa};
+  std::vector<std::function<bench::TrainEval()>> tasks;
+  for (const auto algorithm : algorithms) {
+    tasks.push_back([&farm, algorithm] {
+      rl::RlGovernorConfig config;
+      config.learning.algorithm = algorithm;
+      return bench::train_and_evaluate(farm, config);
+    });
+  }
+  const auto results =
+      bench::farm_map_timed<bench::TrainEval>(farm, "algorithms", tasks);
+
   TextTable table({"algorithm", "mean E/QoS [J]", "violation rate",
                    "mean energy [J]"});
-  for (const auto algorithm :
-       {rl::TdAlgorithm::QLearning, rl::TdAlgorithm::DoubleQ,
-        rl::TdAlgorithm::ExpectedSarsa}) {
-    rl::RlGovernorConfig config;
-    config.learning.algorithm = algorithm;
-    auto trained = bench::train_default_policy(
-        engine, bench::kDefaultEpisodes, bench::kTrainSeed, config);
-    const auto summary = bench::evaluate_policy(engine, *trained.governor);
-    table.add_row({rl::td_algorithm_name(algorithm),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& summary = results[i].summary;
+    table.add_row({rl::td_algorithm_name(algorithms[i]),
                    TextTable::num(summary.mean_energy_per_qos(), 5),
                    TextTable::percent(summary.mean_violation_rate()),
                    TextTable::num(summary.mean_energy_j(), 1)});

@@ -11,47 +11,98 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("A5", "cpuidle (C-state) substrate ablation",
                       "idle-power substrate interaction with DVFS policies");
 
-  auto run_with = [](bool cpuidle_enabled, governors::Governor& governor,
-                     workload::ScenarioKind kind) {
-    soc::SocConfig soc_config = soc::default_mobile_soc_config();
-    soc_config.cpuidle.enabled = cpuidle_enabled;
-    core::SimEngine engine(soc_config, core::EngineConfig{});
-    auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
-    return engine.run(*scenario, governor);
-  };
-
-  // Train the RL policy once per substrate variant (it adapts to whichever
-  // power model it lives on).
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
   soc::SocConfig with_idle = soc::default_mobile_soc_config();
   with_idle.cpuidle.enabled = true;
   soc::SocConfig without_idle = soc::default_mobile_soc_config();
   without_idle.cpuidle.enabled = false;
-  core::SimEngine engine_with(with_idle, core::EngineConfig{});
-  core::SimEngine engine_without(without_idle, core::EngineConfig{});
-  auto rl_with = bench::train_default_policy(engine_with);
-  auto rl_without = bench::train_default_policy(engine_without);
+
+  // Train the RL policy once per substrate variant (it adapts to whichever
+  // power model it lives on) — two independent farm tasks.
+  auto train_on = [](const soc::SocConfig& soc_config) {
+    core::SimEngine engine(soc_config, core::EngineConfig{});
+    return bench::train_default_policy(engine);
+  };
+  std::vector<std::function<bench::TrainedPolicy()>> train_tasks = {
+      [&] { return train_on(with_idle); },
+      [&] { return train_on(without_idle); }};
+  auto trained = bench::farm_map_timed<bench::TrainedPolicy>(
+      farm, "substrate-train", train_tasks);
+  auto& rl_with = trained[0];
+  auto& rl_without = trained[1];
+
+  // Ondemand is stateless: one farm task per scenario runs its off/on cell
+  // pair. The RL governors carry state across runs, so each governor's
+  // scenario loop stays serial inside its own task (kind order preserved).
+  struct CellPair {
+    core::RunResult off;
+    core::RunResult on;
+  };
+  const auto kinds = workload::all_scenario_kinds();
+  std::vector<std::function<CellPair()>> od_tasks;
+  for (const auto kind : kinds) {
+    od_tasks.push_back([&, kind] {
+      auto ondemand = governors::make_governor("ondemand");
+      CellPair pair;
+      {
+        core::SimEngine engine(without_idle, core::EngineConfig{});
+        auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
+        pair.off = engine.run(*scenario, *ondemand);
+      }
+      {
+        core::SimEngine engine(with_idle, core::EngineConfig{});
+        auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
+        pair.on = engine.run(*scenario, *ondemand);
+      }
+      return pair;
+    });
+  }
+  std::vector<std::function<std::vector<core::RunResult>()>> rl_tasks = {
+      [&] {
+        core::SimEngine engine(without_idle, core::EngineConfig{});
+        std::vector<core::RunResult> runs;
+        for (const auto kind : kinds) {
+          auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
+          runs.push_back(engine.run(*scenario, *rl_without.governor));
+        }
+        return runs;
+      },
+      [&] {
+        core::SimEngine engine(with_idle, core::EngineConfig{});
+        std::vector<core::RunResult> runs;
+        for (const auto kind : kinds) {
+          auto scenario = workload::make_scenario(kind, bench::kEvalSeed);
+          runs.push_back(engine.run(*scenario, *rl_with.governor));
+        }
+        // Final extra run: idle-state residency probe on the near-idle
+        // scenario (kept inside this task — same governor, same order as
+        // the serial bench).
+        auto scenario = workload::make_scenario(
+            workload::ScenarioKind::AudioIdle, bench::kEvalSeed);
+        runs.push_back(engine.run(*scenario, *rl_with.governor));
+        return runs;
+      }};
+  const auto od_cells =
+      bench::farm_map_timed<CellPair>(farm, "ondemand-cells", od_tasks);
+  const auto rl_runs = bench::farm_map_timed<std::vector<core::RunResult>>(
+      farm, "rl-cells", rl_tasks);
 
   TextTable table({"scenario", "policy", "energy w/o C-states [J]",
                    "energy w/ C-states [J]", "saving"});
-  for (const auto kind : workload::all_scenario_kinds()) {
-    auto ondemand = governors::make_governor("ondemand");
-    const auto od_off = run_with(false, *ondemand, kind);
-    const auto od_on = run_with(true, *ondemand, kind);
-    table.add_row({workload::scenario_kind_name(kind), "ondemand",
-                   TextTable::num(od_off.energy_j, 1),
-                   TextTable::num(od_on.energy_j, 1),
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const char* name = workload::scenario_kind_name(kinds[i]);
+    const auto& od = od_cells[i];
+    table.add_row({name, "ondemand", TextTable::num(od.off.energy_j, 1),
+                   TextTable::num(od.on.energy_j, 1),
                    TextTable::percent(
-                       (od_off.energy_j - od_on.energy_j) / od_off.energy_j)});
-    auto sc1 = workload::make_scenario(kind, bench::kEvalSeed);
-    auto sc2 = workload::make_scenario(kind, bench::kEvalSeed);
-    const auto rl_off = engine_without.run(*sc1, *rl_without.governor);
-    const auto rl_on = engine_with.run(*sc2, *rl_with.governor);
-    table.add_row({workload::scenario_kind_name(kind), "rl",
-                   TextTable::num(rl_off.energy_j, 1),
+                       (od.off.energy_j - od.on.energy_j) / od.off.energy_j)});
+    const auto& rl_off = rl_runs[0][i];
+    const auto& rl_on = rl_runs[1][i];
+    table.add_row({name, "rl", TextTable::num(rl_off.energy_j, 1),
                    TextTable::num(rl_on.energy_j, 1),
                    TextTable::percent(
                        (rl_off.energy_j - rl_on.energy_j) /
@@ -61,9 +112,7 @@ int main() {
 
   // Idle-state residency of the RL policy on the near-idle scenario.
   std::printf("\nidle-state residency (rl, audioidle):\n");
-  auto scenario = workload::make_scenario(workload::ScenarioKind::AudioIdle,
-                                          bench::kEvalSeed);
-  const auto run = engine_with.run(*scenario, *rl_with.governor);
+  const auto& run = rl_runs[1].back();
   TextTable residency({"cluster", "C1-wfi", "C2-retention", "C3-off",
                        "active"});
   const char* names[] = {"little", "big"};

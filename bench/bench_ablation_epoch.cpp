@@ -12,9 +12,10 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("A4", "decision-epoch length ablation",
                       "epoch-length design choice + overhead motivation");
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
 
   // Decision overhead per invocation from the latency models (E2).
   hw::LatencyExperimentConfig lat_config;
@@ -25,14 +26,27 @@ int main() {
   hw_engine.invoke(0, 0.0, probe);
   const double hw_s = probe.end_to_end_s;
 
+  // Each epoch length needs its own engine timing config, so the farm task
+  // builds the engine itself rather than going through train_and_evaluate.
+  const double epochs_ms[] = {10.0, 20.0, 50.0, 100.0, 200.0};
+  std::vector<std::function<core::PolicySummary()>> tasks;
+  for (const double epoch_ms : epochs_ms) {
+    tasks.push_back([epoch_ms] {
+      core::EngineConfig engine_config;
+      engine_config.decision_period_s = epoch_ms / 1000.0;
+      core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+      auto trained = bench::train_default_policy(engine);
+      return bench::evaluate_policy(engine, *trained.governor);
+    });
+  }
+  const auto results =
+      bench::farm_map_timed<core::PolicySummary>(farm, "epochs", tasks);
+
   TextTable table({"epoch [ms]", "mean E/QoS [J]", "violation rate",
                    "mean energy [J]", "SW overhead", "HW overhead"});
-  for (const double epoch_ms : {10.0, 20.0, 50.0, 100.0, 200.0}) {
-    core::EngineConfig engine_config;
-    engine_config.decision_period_s = epoch_ms / 1000.0;
-    core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
-    auto trained = bench::train_default_policy(engine);
-    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double epoch_ms = epochs_ms[i];
+    const auto& summary = results[i];
     table.add_row({TextTable::num(epoch_ms, 0),
                    TextTable::num(summary.mean_energy_per_qos(), 5),
                    TextTable::percent(summary.mean_violation_rate()),

@@ -10,36 +10,43 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("A2", "fixed-point precision ablation",
                       "hardware number-format design choice (Q-format sweep)");
 
-  auto engine = bench::make_default_engine();
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
+
+  // Task 0 is the float reference; tasks 1..5 sweep the fractional width.
+  const unsigned fracs[] = {4u, 6u, 8u, 10u, 12u};
+  std::vector<std::function<bench::TrainEval()>> tasks;
+  tasks.push_back(
+      [&farm] { return bench::train_and_evaluate(farm, {}); });
+  for (const unsigned frac : fracs) {
+    tasks.push_back([&farm, frac] {
+      rl::RlGovernorConfig config;
+      config.backend = rl::AgentBackend::Fixed;
+      config.fixed_total_bits = 16;
+      config.fixed_frac_bits = frac;
+      return bench::train_and_evaluate(farm, config);
+    });
+  }
+  const auto results =
+      bench::farm_map_timed<bench::TrainEval>(farm, "q-formats", tasks);
+
   TextTable table({"agent arithmetic", "Q lsb", "mean E/QoS [J]",
                    "violation rate", "mean energy [J]"});
-
-  // Float reference.
-  {
-    auto trained = bench::train_default_policy(engine);
-    const auto summary = bench::evaluate_policy(engine, *trained.governor);
-    table.add_row({"double (software)", "-",
-                   TextTable::num(summary.mean_energy_per_qos(), 5),
-                   TextTable::percent(summary.mean_violation_rate()),
-                   TextTable::num(summary.mean_energy_j(), 1)});
-  }
-
-  for (const unsigned frac : {4u, 6u, 8u, 10u, 12u}) {
-    rl::RlGovernorConfig config;
-    config.backend = rl::AgentBackend::Fixed;
-    config.fixed_total_bits = 16;
-    config.fixed_frac_bits = frac;
-    auto trained = bench::train_default_policy(
-        engine, bench::kDefaultEpisodes, bench::kTrainSeed, config);
-    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& summary = results[i].summary;
     char label[32];
-    std::snprintf(label, sizeof label, "Q%u.%u fixed", 15 - frac, frac);
     char lsb[32];
-    std::snprintf(lsb, sizeof lsb, "2^-%u", frac);
+    if (i == 0) {
+      std::snprintf(label, sizeof label, "double (software)");
+      std::snprintf(lsb, sizeof lsb, "-");
+    } else {
+      const unsigned frac = fracs[i - 1];
+      std::snprintf(label, sizeof label, "Q%u.%u fixed", 15 - frac, frac);
+      std::snprintf(lsb, sizeof lsb, "2^-%u", frac);
+    }
     table.add_row({label, lsb,
                    TextTable::num(summary.mean_energy_per_qos(), 5),
                    TextTable::percent(summary.mean_violation_rate()),

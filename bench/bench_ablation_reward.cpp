@@ -9,23 +9,31 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("A3", "reward QoS-weight (lambda) ablation",
                       "energy-vs-QoS trade-off of the reward shaping");
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
 
-  auto engine = bench::make_default_engine();
+  const double lambdas[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  std::vector<std::function<bench::TrainEval()>> tasks;
+  for (const double lambda : lambdas) {
+    tasks.push_back([&farm, lambda] {
+      rl::RlGovernorConfig config;
+      config.reward.lambda_qos = lambda;
+      return bench::train_and_evaluate(farm, config);
+    });
+  }
+  const auto results =
+      bench::farm_map_timed<bench::TrainEval>(farm, "lambdas", tasks);
+
   TextTable table({"lambda", "mean E/QoS [J]", "violation rate",
                    "mean energy [J]", "mean quality"});
-  for (const double lambda : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    rl::RlGovernorConfig config;
-    config.reward.lambda_qos = lambda;
-    auto trained = bench::train_default_policy(
-        engine, bench::kDefaultEpisodes, bench::kTrainSeed, config);
-    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& summary = results[i].summary;
     double quality = 0.0;
     for (const auto& run : summary.runs) quality += run.mean_quality;
     quality /= static_cast<double>(summary.runs.size());
-    table.add_row({TextTable::num(lambda, 1),
+    table.add_row({TextTable::num(lambdas[i], 1),
                    TextTable::num(summary.mean_energy_per_qos(), 5),
                    TextTable::percent(summary.mean_violation_rate()),
                    TextTable::num(summary.mean_energy_j(), 1),

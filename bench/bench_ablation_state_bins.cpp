@@ -10,9 +10,10 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("A1", "state-discretization ablation",
                       "design-choice study for the state encoding");
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
 
   struct Config {
     const char* label;
@@ -30,20 +31,29 @@ int main() {
       {"util4 opp20 qos6", 4, 20, 6},
   };
 
-  auto engine = bench::make_default_engine();
+  // One farm task per state configuration (train + eval on a task-local
+  // engine); rows come back in config order.
+  std::vector<std::function<bench::TrainEval()>> tasks;
+  for (const auto& c : configs) {
+    tasks.push_back([&farm, c] {
+      rl::RlGovernorConfig config;
+      config.state.util_bins = c.util_bins;
+      config.state.opp_bins = c.opp_bins;
+      config.state.qos_bins = c.qos_bins;
+      return bench::train_and_evaluate(farm, config);
+    });
+  }
+  const auto results =
+      bench::farm_map_timed<bench::TrainEval>(farm, "state-configs", tasks);
+
   TextTable table({"state config", "states/domain", "mean E/QoS [J]",
                    "violation rate", "mean energy [J]"});
-  for (const auto& c : configs) {
-    rl::RlGovernorConfig config;
-    config.state.util_bins = c.util_bins;
-    config.state.opp_bins = c.opp_bins;
-    config.state.qos_bins = c.qos_bins;
-    auto trained = bench::train_default_policy(
-        engine, bench::kDefaultEpisodes, bench::kTrainSeed, config);
-    const auto summary = bench::evaluate_policy(engine, *trained.governor);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& summary = results[i].summary;
     table.add_row(
-        {c.label,
-         std::to_string(trained.governor->encoder().cluster_state_count()),
+        {configs[i].label,
+         std::to_string(
+             results[i].trained.governor->encoder().cluster_state_count()),
          TextTable::num(summary.mean_energy_per_qos(), 5),
          TextTable::percent(summary.mean_violation_rate()),
          TextTable::num(summary.mean_energy_j(), 1)});

@@ -12,19 +12,21 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("E5", "adaptation under scenario switching",
                       "policy adaptivity claim (mixed-scenario chains)");
 
-  auto engine = bench::make_default_engine();
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
   const std::vector<workload::ScenarioKind> mixed_only = {
       workload::ScenarioKind::Mixed};
 
   // Train on a *subset* of the scenarios (video/web/game) so that the mixed
   // evaluation chains contain phases the policy never saw (app launches,
   // audio idle). Online learning can adapt to them; the frozen policy
-  // cannot.
-  auto train_subset_policy = [&] {
+  // cannot. The two trainings are identical independent jobs — one farm
+  // task each, with a task-local engine.
+  auto train_subset_policy = [&farm]() -> std::unique_ptr<rl::RlGovernor> {
+    core::SimEngine engine(farm.soc_config(), farm.engine_config());
     auto governor = std::make_unique<rl::RlGovernor>(
         rl::RlGovernorConfig{}, engine.soc_config().clusters.size());
     rl::TrainerConfig train_cfg;
@@ -37,41 +39,57 @@ int main() {
     trainer.train();
     return governor;
   };
-  auto online_gov = train_subset_policy();
-  auto frozen_gov = train_subset_policy();
+  std::vector<std::function<std::unique_ptr<rl::RlGovernor>()>> train_tasks =
+      {train_subset_policy, train_subset_policy};
+  auto trained = bench::farm_map_timed<std::unique_ptr<rl::RlGovernor>>(
+      farm, "subset-train", train_tasks);
+  auto online_gov = std::move(trained[0]);
+  auto frozen_gov = std::move(trained[1]);
   frozen_gov->set_frozen(true);
-  struct {
-    std::unique_ptr<rl::RlGovernor> governor;
-  } online{std::move(online_gov)}, frozen{std::move(frozen_gov)};
   auto ondemand = governors::make_governor("ondemand");
 
-  TextTable table({"policy", "mode", "E/QoS [J]", "viol rate",
-                   "energy [J]", "DVFS transitions"});
-  auto add = [&](const char* label, const char* mode,
-                 governors::Governor& g) {
-    // Three held-out mixed chains.
+  // Three held-out mixed chains per policy. A learning policy's chains are
+  // order-dependent (its state carries across chains), so the chain loop
+  // stays serial inside each policy's farm task; the three policies are
+  // independent tasks.
+  struct Row {
     double epqos = 0.0;
     double viol = 0.0;
     double energy = 0.0;
     double transitions = 0.0;
-    constexpr int kChains = 3;
+  };
+  constexpr int kChains = 3;
+  auto eval_chains = [&](governors::Governor& g) {
+    core::SimEngine engine(farm.soc_config(), farm.engine_config());
+    Row row;
     for (int i = 0; i < kChains; ++i) {
       const auto summary = bench::evaluate_policy(
           engine, g, bench::kEvalSeed + static_cast<std::uint64_t>(i),
           mixed_only);
-      epqos += summary.runs[0].energy_per_qos;
-      viol += summary.runs[0].violation_rate;
-      energy += summary.runs[0].energy_j;
-      transitions += static_cast<double>(summary.runs[0].dvfs_transitions);
+      row.epqos += summary.runs[0].energy_per_qos;
+      row.viol += summary.runs[0].violation_rate;
+      row.energy += summary.runs[0].energy_j;
+      row.transitions += static_cast<double>(summary.runs[0].dvfs_transitions);
     }
-    table.add_row({label, mode, TextTable::num(epqos / kChains, 5),
-                   TextTable::percent(viol / kChains),
-                   TextTable::num(energy / kChains, 1),
-                   TextTable::num(transitions / kChains, 0)});
+    return row;
   };
-  add("rl", "online (learning)", *online.governor);
-  add("rl", "frozen (greedy)", *frozen.governor);
-  add("ondemand", "-", *ondemand);
+  std::vector<std::function<Row()>> eval_tasks = {
+      [&] { return eval_chains(*online_gov); },
+      [&] { return eval_chains(*frozen_gov); },
+      [&] { return eval_chains(*ondemand); }};
+  const auto rows = bench::farm_map_timed<Row>(farm, "chains", eval_tasks);
+
+  TextTable table({"policy", "mode", "E/QoS [J]", "viol rate",
+                   "energy [J]", "DVFS transitions"});
+  const char* labels[] = {"rl", "rl", "ondemand"};
+  const char* modes[] = {"online (learning)", "frozen (greedy)", "-"};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    table.add_row({labels[i], modes[i], TextTable::num(r.epqos / kChains, 5),
+                   TextTable::percent(r.viol / kChains),
+                   TextTable::num(r.energy / kChains, 1),
+                   TextTable::num(r.transitions / kChains, 0)});
+  }
   table.print();
 
   std::printf(

@@ -11,21 +11,35 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("E1", "energy per unit QoS vs six DVFS governors",
                       "headline comparison (31.66% lower average E/QoS)");
 
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
   auto engine = bench::make_default_engine();
   auto trained = bench::train_default_policy(engine);
   std::printf("trained %zu episodes; final epsilon %.3f\n\n",
               trained.curve.size(), trained.governor->agent().epsilon());
 
-  const auto baselines = bench::evaluate_baselines(engine);
-  const auto ours = bench::evaluate_policy(engine, *trained.governor);
+  const auto baselines = bench::evaluate_baselines(farm);
+  // Our policy and the schedutil extra are two more independent farm
+  // tasks; each evaluates its six scenarios serially inside the task.
   // schedutil post-dates the paper's six baselines; reported as an extra
   // row, excluded from the six-governor aggregate.
-  auto schedutil = governors::make_governor("schedutil");
-  const auto extra = bench::evaluate_policy(engine, *schedutil);
+  std::vector<std::function<core::PolicySummary()>> tasks;
+  tasks.push_back([&] {
+    core::SimEngine eval_engine(farm.soc_config(), farm.engine_config());
+    return bench::evaluate_policy(eval_engine, *trained.governor);
+  });
+  tasks.push_back([&] {
+    core::SimEngine eval_engine(farm.soc_config(), farm.engine_config());
+    auto schedutil = governors::make_governor("schedutil");
+    return bench::evaluate_policy(eval_engine, *schedutil);
+  });
+  const auto extras =
+      bench::farm_map_timed<core::PolicySummary>(farm, "ours+extra", tasks);
+  const auto& ours = extras[0];
+  const auto& extra = extras[1];
 
   TextTable table({"policy", "mean E/QoS [J]", "mean energy [J]",
                    "violation rate", "E/QoS vs RL"});

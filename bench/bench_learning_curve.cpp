@@ -5,7 +5,6 @@
 // means the policy beats ondemand on that workload.
 
 #include <cstdio>
-#include <map>
 
 #include "bench_common.hpp"
 #include "governors/registry.hpp"
@@ -13,54 +12,76 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("E3", "learning curve over training episodes",
                       "policy convergence figure (3 seeds, normalized to "
                       "ondemand)");
 
   constexpr std::size_t kEpisodes = 100;
   constexpr std::uint64_t kSeeds[] = {11, 22, 33};
+  constexpr std::size_t kSeedCount = sizeof(kSeeds) / sizeof(kSeeds[0]);
 
-  auto engine = bench::make_default_engine();
-
-  // Reference E/QoS of ondemand per (scenario, workload seed).
-  auto ondemand = governors::make_governor("ondemand");
-  std::map<std::pair<std::string, std::uint64_t>, double> reference;
-  auto reference_for = [&](const std::string& scenario_name,
-                           workload::ScenarioKind kind, std::uint64_t seed) {
-    const auto key = std::make_pair(scenario_name, seed);
-    auto it = reference.find(key);
-    if (it == reference.end()) {
-      auto scenario = workload::make_scenario(kind, seed);
-      const auto run = engine.run(*scenario, *ondemand);
-      it = reference.emplace(key, run.energy_per_qos).first;
-    }
-    return it->second;
-  };
-
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
   const auto kinds = workload::all_scenario_kinds();
+
+  // Reference E/QoS of ondemand per (seed, episode). Ondemand is stateless,
+  // so every reference run is an independent farm unit: 300 RunSpecs fanned
+  // across the pool. refs[s * kEpisodes + e] matches episode e of seed s.
+  std::vector<core::runfarm::RunSpec> specs;
+  specs.reserve(kSeedCount * kEpisodes);
+  for (const auto seed : kSeeds) {
+    for (std::size_t e = 0; e < kEpisodes; ++e) {
+      core::runfarm::RunSpec spec;
+      spec.kind = kinds[e % kinds.size()];
+      spec.seed = seed + e;
+      spec.make_governor = [] { return governors::make_governor("ondemand"); };
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto refs = farm.run_all(specs, "ondemand-ref", /*show_progress=*/true);
+  bench::print_farm_timing("ondemand-ref", refs.size(),
+                           farm.last_stats().wall_s,
+                           farm.last_stats().run_s_total, farm.jobs());
+
+  // The three training seeds are independent chains (each trainer's RNG and
+  // workload seeds derive from its own seed) — one farm task per seed; the
+  // 100 episodes inside a seed are inherently sequential (online learning).
+  struct SeedCurve {
+    std::vector<double> ratios;
+    std::vector<double> violations;
+  };
+  std::vector<std::function<SeedCurve()>> seed_tasks;
+  for (std::size_t s = 0; s < kSeedCount; ++s) {
+    const std::uint64_t seed = kSeeds[s];
+    seed_tasks.push_back([&farm, &kinds, &refs, s, seed] {
+      core::SimEngine engine(farm.soc_config(), farm.engine_config());
+      rl::RlGovernorConfig config;
+      config.learning.seed = seed;
+      rl::RlGovernor governor(config, engine.soc_config().clusters.size());
+      rl::TrainerConfig train_cfg;
+      train_cfg.episodes = kEpisodes;
+      train_cfg.workload_seed = seed;
+      rl::Trainer trainer(engine, governor, train_cfg);
+      SeedCurve curve;
+      for (std::size_t e = 0; e < kEpisodes; ++e) {
+        const auto kind = kinds[e % kinds.size()];
+        const auto result = trainer.train_episode(e, kind);
+        const double ref = refs[s * kEpisodes + e].energy_per_qos;
+        curve.ratios.push_back(ref > 0.0 ? result.energy_per_qos / ref : 1.0);
+        curve.violations.push_back(result.violation_rate);
+      }
+      return curve;
+    });
+  }
+  const auto curves =
+      bench::farm_map_timed<SeedCurve>(farm, "train-seeds", seed_tasks);
+
   // ratio[seed][episode]
   std::vector<std::vector<double>> ratios;
   std::vector<std::vector<double>> violations;
-  for (const auto seed : kSeeds) {
-    rl::RlGovernorConfig config;
-    config.learning.seed = seed;
-    rl::RlGovernor governor(config, engine.soc_config().clusters.size());
-    rl::TrainerConfig train_cfg;
-    train_cfg.episodes = kEpisodes;
-    train_cfg.workload_seed = seed;
-    rl::Trainer trainer(engine, governor, train_cfg);
-    std::vector<double> seed_ratios;
-    std::vector<double> seed_viol;
-    for (std::size_t e = 0; e < kEpisodes; ++e) {
-      const auto kind = kinds[e % kinds.size()];
-      const auto result = trainer.train_episode(e, kind);
-      const double ref = reference_for(result.scenario, kind, seed + e);
-      seed_ratios.push_back(ref > 0.0 ? result.energy_per_qos / ref : 1.0);
-      seed_viol.push_back(result.violation_rate);
-    }
-    ratios.push_back(std::move(seed_ratios));
-    violations.push_back(std::move(seed_viol));
+  for (auto& curve : curves) {
+    ratios.push_back(curve.ratios);
+    violations.push_back(curve.violations);
   }
 
   TextTable table({"episode", "epsilon", "E/QoS vs ondemand (mean of 3)",

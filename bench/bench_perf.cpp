@@ -1,0 +1,170 @@
+// PERF — machine-readable performance baseline of the tick engine and the
+// run farm. Measures single-thread simulation throughput (ticks/sec) over
+// the full E1-style sweep (every governor x every scenario), then repeats
+// the sweep through the run farm at 1/2/4/N worker threads, cross-checking
+// that the farmed results are bit-identical to the serial ones. Emits
+// BENCH_perf.json so CI and future optimization PRs can diff against a
+// recorded baseline.
+//
+// Speedup numbers are host-dependent (they track the machine's core count);
+// the determinism flag is not.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "governors/registry.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+bool same_runs(const std::vector<core::RunResult>& a,
+               const std::vector<core::RunResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].energy_j != b[i].energy_j || a[i].quality != b[i].quality ||
+        a[i].violations != b[i].violations ||
+        a[i].mean_freq_hz != b[i].mean_freq_hz) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_s = 60.0;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--duration=", 11) == 0) {
+      duration_s = std::atof(arg + 11);
+    } else if (std::strcmp(arg, "--duration") == 0 && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (duration_s <= 0.0) {
+    std::fprintf(stderr, "--duration needs a positive number of seconds\n");
+    return 2;
+  }
+  std::size_t jobs_max = bench::jobs_from_args(argc, argv);
+  if (jobs_max == 0) jobs_max = core::runfarm::default_jobs();
+
+  bench::print_banner("PERF", "tick-engine throughput + run-farm scaling",
+                      "perf baseline (BENCH_perf.json), not a paper figure");
+
+  core::EngineConfig engine_config;
+  engine_config.duration_s = duration_s;
+  const auto soc_config = soc::default_mobile_soc_config();
+  const double ticks_per_run =
+      std::floor(duration_s / engine_config.tick_s + 0.5);
+
+  // The E1-style sweep: every governor (six paper baselines + schedutil)
+  // on every scenario at the held-out seed — 42 independent runs.
+  auto governor_names = governors::baseline_governor_names();
+  governor_names.push_back("schedutil");
+  std::vector<core::runfarm::RunSpec> specs;
+  for (const auto& name : governor_names) {
+    for (const auto kind : workload::all_scenario_kinds()) {
+      core::runfarm::RunSpec spec;
+      spec.kind = kind;
+      spec.seed = bench::kEvalSeed;
+      spec.make_governor = [name] { return governors::make_governor(name); };
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  // Thread sweep: 1 (serial baseline), 2, 4, and the configured maximum.
+  std::vector<std::size_t> levels = {1, 2, 4};
+  if (std::find(levels.begin(), levels.end(), jobs_max) == levels.end()) {
+    levels.push_back(jobs_max);
+  }
+
+  struct Level {
+    std::size_t jobs = 0;
+    core::runfarm::BatchStats stats;
+  };
+  std::vector<Level> measured;
+  std::vector<core::RunResult> serial_results;
+  std::vector<core::RunResult> threaded_results;
+  for (const std::size_t jobs : levels) {
+    core::runfarm::RunFarm farm(soc_config, engine_config, jobs);
+    char label[32];
+    std::snprintf(label, sizeof label, "sweep@%zu", jobs);
+    auto results = farm.run_all(specs, label, /*show_progress=*/true);
+    measured.push_back({jobs, farm.last_stats()});
+    bench::print_farm_timing(label, specs.size(), farm.last_stats().wall_s,
+                             farm.last_stats().run_s_total, jobs);
+    if (jobs == 1) serial_results = std::move(results);
+    if (jobs == 4) threaded_results = std::move(results);
+  }
+  const bool deterministic = same_runs(serial_results, threaded_results);
+
+  const double serial_wall = measured.front().stats.wall_s;
+  const double total_ticks = ticks_per_run * static_cast<double>(specs.size());
+  const double ticks_per_sec =
+      serial_wall > 0.0 ? total_ticks / serial_wall : 0.0;
+
+  TextTable table({"jobs", "wall [s]", "serial-equivalent [s]", "speedup"});
+  for (const auto& level : measured) {
+    table.add_row({std::to_string(level.jobs),
+                   TextTable::num(level.stats.wall_s, 2),
+                   TextTable::num(level.stats.run_s_total, 2),
+                   TextTable::num(level.stats.speedup(), 2) + "x"});
+  }
+  table.print();
+  std::printf("\nsingle-thread throughput: %.0f ticks/sec (%zu runs x %.0f "
+              "ticks in %.2f s)\n",
+              ticks_per_sec, specs.size(), ticks_per_run, serial_wall);
+  std::printf("serial vs 4-thread farm results: %s\n",
+              deterministic ? "bit-identical" : "MISMATCH");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"perf\",\n");
+  std::fprintf(out, "  \"duration_s\": %g,\n", duration_s);
+  std::fprintf(out, "  \"tick_s\": %g,\n", engine_config.tick_s);
+  std::fprintf(out, "  \"sweep_runs\": %zu,\n", specs.size());
+  std::fprintf(out, "  \"ticks_per_run\": %.0f,\n", ticks_per_run);
+  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
+               static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"single_thread\": {\n");
+  std::fprintf(out, "    \"wall_s\": %.6f,\n", serial_wall);
+  std::fprintf(out, "    \"ticks_per_sec\": %.1f,\n", ticks_per_sec);
+  std::fprintf(out, "    \"ms_per_run\": %.3f\n",
+               specs.empty() ? 0.0 : serial_wall * 1e3 / specs.size());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"farm\": [\n");
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const auto& level = measured[i];
+    std::fprintf(out,
+                 "    {\"jobs\": %zu, \"wall_s\": %.6f, "
+                 "\"run_s_total\": %.6f, \"speedup\": %.3f}%s\n",
+                 level.jobs, level.stats.wall_s, level.stats.run_s_total,
+                 level.stats.speedup(), i + 1 < measured.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"deterministic_serial_vs_4_threads\": %s\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}

@@ -11,14 +11,15 @@
 
 using namespace pmrl;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("E4", "per-scenario energy & QoS breakdown",
                       "scenario-level detail behind the E1 comparison");
 
+  auto farm = bench::make_default_farm(bench::jobs_from_args(argc, argv));
   auto engine = bench::make_default_engine();
   auto trained = bench::train_default_policy(engine);
 
-  std::vector<core::PolicySummary> all = bench::evaluate_baselines(engine);
+  std::vector<core::PolicySummary> all = bench::evaluate_baselines(farm);
   all.push_back(bench::evaluate_policy(engine, *trained.governor));
 
   for (const auto kind : workload::all_scenario_kinds()) {

@@ -7,7 +7,7 @@
 //       Train the RL policy across the scenario rotation and checkpoint it.
 //   pmrl_cli eval <governor|policy.pmrl> [--scenario NAME] [--seed S]
 //                 [--duration SEC] [--fault-intensity X] [--fault-seed S]
-//                 [--watchdog]
+//                 [--watchdog] [--jobs N]
 //       Evaluate a baseline governor by name, or a trained RL checkpoint,
 //       on one scenario (or all six when omitted). A nonzero fault
 //       intensity runs each scenario under its fault profile (telemetry
@@ -26,6 +26,7 @@
 
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
+#include "core/runfarm/runfarm.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/scenario_faults.hpp"
 #include "governors/registry.hpp"
@@ -50,6 +51,9 @@ struct Args {
   double fault_intensity = 0.0;
   std::uint64_t fault_seed = 777;
   bool watchdog = false;
+  /// Worker threads for farmable work (0 = PMRL_JOBS env, else hardware
+  /// concurrency; 1 = serial).
+  std::size_t jobs = 0;
 };
 
 Args parse(int argc, char** argv) {
@@ -76,6 +80,9 @@ Args parse(int argc, char** argv) {
       args.fault_seed = std::stoull(next());
     } else if (arg == "--watchdog") {
       args.watchdog = true;
+    } else if (arg == "--jobs") {
+      args.jobs = static_cast<std::size_t>(std::stoul(next()));
+      if (args.jobs == 0) throw std::runtime_error("--jobs must be >= 1");
     } else {
       args.positional.push_back(arg);
     }
@@ -190,19 +197,51 @@ int cmd_eval(const Args& args) {
     kinds = workload::all_scenario_kinds();
   }
 
+  std::vector<core::RunResult> runs;
+  if (baseline && !args.watchdog) {
+    // Baseline governors are stateless across runs, so each scenario is an
+    // independent farm task: task-local engine, fresh governor instance,
+    // and (when faults are on) a task-local injector. Results are
+    // bit-identical to the serial loop at any --jobs count.
+    core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                                engine_config, args.jobs);
+    std::vector<std::function<core::RunResult()>> tasks;
+    for (const auto kind : kinds) {
+      tasks.push_back([&farm, &args, &target, kind] {
+        core::SimEngine run_engine(farm.soc_config(), farm.engine_config());
+        std::optional<fault::FaultInjector> injector;
+        if (args.fault_intensity > 0.0) {
+          injector.emplace(fault::scenario_fault_profile(
+              kind, args.fault_intensity,
+              args.fault_seed + static_cast<std::uint64_t>(kind)));
+          run_engine.set_fault_injector(&*injector);
+        }
+        auto governor = governors::make_governor(target);
+        auto scenario = workload::make_scenario(kind, args.seed);
+        return run_engine.run(*scenario, *governor);
+      });
+    }
+    runs = farm.map<core::RunResult>(tasks);
+  } else {
+    // An RL checkpoint (or its watchdog wrapper) carries learned state
+    // across runs, so its scenarios stay serial on the shared instance.
+    for (const auto kind : kinds) {
+      std::optional<fault::FaultInjector> injector;
+      if (args.fault_intensity > 0.0) {
+        injector.emplace(fault::scenario_fault_profile(
+            kind, args.fault_intensity,
+            args.fault_seed + static_cast<std::uint64_t>(kind)));
+        engine.set_fault_injector(&*injector);
+      }
+      auto scenario = workload::make_scenario(kind, args.seed);
+      runs.push_back(engine.run(*scenario, *policy));
+      engine.set_fault_injector(nullptr);
+    }
+  }
+
   TextTable table({"scenario", "energy [J]", "E/QoS [J]", "viol rate",
                    "f_little [MHz]", "f_big [MHz]"});
-  for (const auto kind : kinds) {
-    std::optional<fault::FaultInjector> injector;
-    if (args.fault_intensity > 0.0) {
-      injector.emplace(fault::scenario_fault_profile(
-          kind, args.fault_intensity,
-          args.fault_seed + static_cast<std::uint64_t>(kind)));
-      engine.set_fault_injector(&*injector);
-    }
-    auto scenario = workload::make_scenario(kind, args.seed);
-    const auto run = engine.run(*scenario, *policy);
-    engine.set_fault_injector(nullptr);
+  for (const auto& run : runs) {
     table.add_row({run.scenario, TextTable::num(run.energy_j, 1),
                    TextTable::num(run.energy_per_qos, 5),
                    TextTable::percent(run.violation_rate),
@@ -251,7 +290,7 @@ int main(int argc, char** argv) {
           "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
           "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
           "         [--duration SEC] [--fault-intensity X] [--fault-seed S]\n"
-          "         [--watchdog]\n"
+          "         [--watchdog] [--jobs N]\n"
           "  latency [N] [--seed S]\n");
       return args.positional.empty() ? 1 : 0;
     }

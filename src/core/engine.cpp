@@ -84,9 +84,15 @@ RunResult SimEngine::run(workload::Scenario& scenario,
   std::vector<std::size_t> cl_start_completed(n_clusters, 0);
   std::vector<std::size_t> cl_start_violations(n_clusters, 0);
 
-  auto make_observation = [&](double epoch_s) {
-    governors::PolicyObservation obs;
-    obs.soc = soc.telemetry();
+  // The observation buffer persists across epochs; fill_observation rewrites
+  // every field in place (telemetry_into reuses the cluster vector), so the
+  // steady-state epoch path allocates nothing. `cl_true_energy` keeps the
+  // unperturbed per-cluster energies so mark_epoch_start does not need a
+  // second telemetry pass (fault injection may skew the observation copy).
+  governors::PolicyObservation obs;
+  std::vector<double> cl_true_energy(n_clusters, 0.0);
+  auto fill_observation = [&](double epoch_s) {
+    soc.telemetry_into(obs.soc);
     obs.epoch_duration_s = epoch_s;
     obs.epoch_energy_j = soc.total_energy_j() - epoch_start_energy;
     obs.epoch_quality = qos.total_quality() - epoch_start_quality;
@@ -95,6 +101,7 @@ RunResult SimEngine::run(workload::Scenario& scenario,
     obs.cluster_feedback.resize(n_clusters);
     for (std::size_t c = 0; c < n_clusters; ++c) {
       auto& fb = obs.cluster_feedback[c];
+      cl_true_energy[c] = obs.soc.clusters[c].energy_j;
       fb.epoch_energy_j = obs.soc.clusters[c].energy_j - cl_start_energy[c];
       fb.epoch_deadline_quality =
           qos.cluster_deadline_quality(c) - cl_start_quality[c];
@@ -102,15 +109,16 @@ RunResult SimEngine::run(workload::Scenario& scenario,
           qos.cluster_deadline_completed(c) - cl_start_completed[c];
       fb.epoch_violations = qos.cluster_violations(c) - cl_start_violations[c];
     }
-    return obs;
   };
+  // No SoC tick happens between fill_observation and mark_epoch_start (only
+  // the governor decision and OPP requests), so the captured energies are
+  // still current here.
   auto mark_epoch_start = [&] {
     epoch_start_energy = soc.total_energy_j();
     epoch_start_quality = qos.total_quality();
     epoch_start_violations = qos.violations();
-    const auto t = soc.telemetry();
     for (std::size_t c = 0; c < n_clusters; ++c) {
-      cl_start_energy[c] = t.clusters[c].energy_j;
+      cl_start_energy[c] = cl_true_energy[c];
       cl_start_quality[c] = qos.cluster_deadline_quality(c);
       cl_start_completed[c] = qos.cluster_deadline_completed(c);
       cl_start_violations[c] = qos.cluster_violations(c);
@@ -118,10 +126,10 @@ RunResult SimEngine::run(workload::Scenario& scenario,
   };
 
   governors::OppRequest request(soc.domain_count());
-  auto initial_obs = make_observation(0.0);
-  if (fault_) fault_->perturb_observation(initial_obs);
-  governor.reset(initial_obs);
-  governor.decide(initial_obs, request);
+  fill_observation(0.0);
+  if (fault_) fault_->perturb_observation(obs);
+  governor.reset(obs);
+  governor.decide(obs, request);
   for (std::size_t c = 0; c < request.size(); ++c) {
     soc.set_cluster_opp(c, request[c]);
   }
@@ -134,6 +142,7 @@ RunResult SimEngine::run(workload::Scenario& scenario,
   std::size_t epochs = 0;
 
   std::vector<soc::CompletedJob> completed;
+  EpochRecord record;  // reused per epoch; vectors keep their capacity
   for (std::int64_t tick = 0; tick < total_ticks; ++tick) {
     scenario.tick(host, soc.now_s(), dt);
     completed.clear();
@@ -149,18 +158,19 @@ RunResult SimEngine::run(workload::Scenario& scenario,
       // Thermal emergencies land before the observation is taken so the
       // governor sees (and the throttle reacts to) the spiked state.
       if (fault_) fault_->inject_epoch_faults(soc);
-      auto obs = make_observation(epoch_s);
+      fill_observation(epoch_s);
       if (fault_) fault_->perturb_observation(obs);
       for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
         peak_temp[c] = std::max(peak_temp[c], obs.soc.clusters[c].temp_c);
       }
       if (on_epoch) {
-        EpochRecord record;
         record.time_s = obs.soc.time_s;
         record.epoch_energy_j = obs.epoch_energy_j;
         record.epoch_quality = obs.epoch_quality;
         record.epoch_violations = obs.epoch_violations;
         record.total_power_w = obs.soc.total_power_w;
+        record.opp_index.clear();
+        record.util_avg.clear();
         for (const auto& c : obs.soc.clusters) {
           record.opp_index.push_back(c.opp_index);
           record.util_avg.push_back(c.util_avg);

@@ -1,0 +1,50 @@
+#include "core/runfarm/progress.hpp"
+
+#include <cstdio>
+
+namespace pmrl::core::runfarm {
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total,
+                                   bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      start_(Clock::now()) {}
+
+void ProgressReporter::on_done() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++done_;
+  if (!enabled_) return;
+  const auto now = Clock::now();
+  const bool final = done_ == total_;
+  if (!final && last_print_.time_since_epoch().count() != 0 &&
+      now - last_print_ < std::chrono::milliseconds(200)) {
+    return;
+  }
+  last_print_ = now;
+  const double elapsed =
+      std::chrono::duration<double>(now - start_).count();
+  const double eta =
+      done_ > 0 && !final
+          ? elapsed * static_cast<double>(total_ - done_) /
+                static_cast<double>(done_)
+          : 0.0;
+  if (final) {
+    std::fprintf(stderr, "[%s] %zu/%zu done in %.1fs\n", label_.c_str(),
+                 done_, total_, elapsed);
+  } else {
+    std::fprintf(stderr, "[%s] %zu/%zu, elapsed %.1fs, eta %.1fs\n",
+                 label_.c_str(), done_, total_, elapsed, eta);
+  }
+}
+
+std::size_t ProgressReporter::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+double ProgressReporter::elapsed_s() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace pmrl::core::runfarm

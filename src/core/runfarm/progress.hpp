@@ -1,0 +1,39 @@
+#pragma once
+// Thread-safe progress/ETA reporter for farm batches. Prints to stderr so
+// bench tables on stdout stay machine-readable. The ETA extrapolates from
+// the mean completion rate so far — accurate for the farm's homogeneous
+// run batches, merely indicative for mixed batches.
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace pmrl::core::runfarm {
+
+class ProgressReporter {
+ public:
+  /// `enabled == false` turns every call into a no-op, so call sites can
+  /// pass the reporter unconditionally.
+  ProgressReporter(std::string label, std::size_t total, bool enabled = true);
+
+  /// Marks one task complete; prints "label: k/N, elapsed, eta" lines
+  /// (throttled to at most one line per ~200 ms plus the final line).
+  void on_done();
+
+  std::size_t completed() const;
+  /// Seconds since construction.
+  double elapsed_s() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::string label_;
+  std::size_t total_;
+  bool enabled_;
+  Clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::size_t done_ = 0;
+  Clock::time_point last_print_{};
+};
+
+}  // namespace pmrl::core::runfarm

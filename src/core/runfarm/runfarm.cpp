@@ -1,0 +1,61 @@
+#include "core/runfarm/runfarm.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace pmrl::core::runfarm {
+
+RunFarm::RunFarm(soc::SocConfig soc_config, EngineConfig engine_config,
+                 std::size_t jobs)
+    : soc_config_(std::move(soc_config)),
+      engine_config_(engine_config),
+      jobs_(jobs == 0 ? default_jobs() : jobs) {
+  if (jobs_ > 1) pool_.emplace(jobs_);
+}
+
+std::vector<RunResult> RunFarm::run_all(const std::vector<RunSpec>& specs,
+                                        const std::string& label,
+                                        bool show_progress) {
+  using Clock = std::chrono::steady_clock;
+  // Per-run times accumulate as atomic nanoseconds: doubles have no atomic
+  // fetch_add everywhere, and the sum must not race.
+  std::atomic<std::int64_t> run_ns_total{0};
+  std::vector<std::function<RunResult()>> tasks;
+  tasks.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (!spec.make_governor) {
+      throw std::invalid_argument("RunSpec needs a governor factory");
+    }
+    tasks.push_back([this, &spec, &run_ns_total] {
+      const auto start = Clock::now();
+      // The task owns engine + scenario + governor: nothing mutable is
+      // shared with any other task (see the determinism rule in the
+      // header).
+      SimEngine engine(soc_config_, engine_config_);
+      auto scenario = workload::make_scenario(spec.kind, spec.seed);
+      auto governor = spec.make_governor();
+      RunResult result = engine.run(*scenario, *governor);
+      run_ns_total.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count(),
+          std::memory_order_relaxed);
+      return result;
+    });
+  }
+
+  ProgressReporter progress(label, specs.size(), show_progress);
+  const auto batch_start = Clock::now();
+  auto results = run_ordered<RunResult>(pool_ ? &*pool_ : nullptr, tasks,
+                                        &progress);
+  stats_.runs = specs.size();
+  stats_.wall_s =
+      std::chrono::duration<double>(Clock::now() - batch_start).count();
+  stats_.run_s_total =
+      static_cast<double>(run_ns_total.load(std::memory_order_relaxed)) *
+      1e-9;
+  return results;
+}
+
+}  // namespace pmrl::core::runfarm

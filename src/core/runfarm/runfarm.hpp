@@ -1,0 +1,120 @@
+#pragma once
+// The run farm: a deterministic parallel executor for independent Engine
+// runs. One farm run = one governor evaluated on one scenario — the unit
+// every experiment table (E1-E7) and training sweep is made of.
+//
+// Determinism rule (RNG-stream isolation): a farm task owns ALL of its
+// mutable state. Each task constructs its own SimEngine, its own Scenario
+// (whose RNG stream is derived purely from (kind, seed)), and its own
+// Governor instance from the spec's factory. Nothing stochastic is shared
+// between tasks, so results are bit-identical to executing the same specs
+// serially, regardless of thread count or scheduling order. Work whose
+// state is inherently sequential (an online-learning governor carried
+// across runs) must stay inside a single task.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/runfarm/progress.hpp"
+#include "core/runfarm/thread_pool.hpp"
+#include "governors/registry.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::core::runfarm {
+
+/// Ordered parallel map: executes every task (in any order, on the pool),
+/// collects results in submission order, and — after ALL tasks have
+/// finished — rethrows the lowest-index exception if any task threw.
+/// `pool == nullptr` executes inline with identical semantics (the serial
+/// path is the degenerate farm).
+template <typename T>
+std::vector<T> run_ordered(ThreadPool* pool,
+                           const std::vector<std::function<T()>>& tasks,
+                           ProgressReporter* progress = nullptr) {
+  std::vector<T> results(tasks.size());
+  std::vector<std::exception_ptr> errors(tasks.size());
+  auto execute = [&](std::size_t i) {
+    try {
+      results[i] = tasks[i]();
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+    if (progress) progress->on_done();
+  };
+  if (pool) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      pool->submit([&execute, i] { execute(i); });
+    }
+    pool->wait();
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) execute(i);
+  }
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+/// One unit of farm work: a governor evaluated on one scenario. The factory
+/// runs on the worker thread and must hand back a fresh instance per call
+/// (sharing one governor across specs would leak learning state between
+/// runs and break bit-identity with the serial order).
+struct RunSpec {
+  workload::ScenarioKind kind = workload::ScenarioKind::VideoPlayback;
+  std::uint64_t seed = 0;
+  governors::GovernorFactory make_governor;
+};
+
+/// Timing of the last executed batch: wall-clock vs the serial-equivalent
+/// sum of per-run times, i.e. the farm speedup actually realized.
+struct BatchStats {
+  std::size_t runs = 0;
+  double wall_s = 0.0;
+  double run_s_total = 0.0;
+  double speedup() const { return wall_s > 0.0 ? run_s_total / wall_s : 1.0; }
+};
+
+/// Fans independent engine runs out across a work-stealing pool.
+class RunFarm {
+ public:
+  /// jobs == 0 resolves via default_jobs() (PMRL_JOBS env, else hardware
+  /// concurrency); jobs == 1 executes inline with no threads.
+  RunFarm(soc::SocConfig soc_config, EngineConfig engine_config,
+          std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+  const EngineConfig& engine_config() const { return engine_config_; }
+  const soc::SocConfig& soc_config() const { return soc_config_; }
+
+  /// Executes all specs; results come back in spec order. `label` names
+  /// the batch in progress output; progress printing is off by default.
+  std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                                 const std::string& label = "farm",
+                                 bool show_progress = false);
+
+  /// Ordered parallel map over arbitrary closures on this farm's pool —
+  /// for coarser units (a full training, a config's train+eval) that are
+  /// independent of each other but sequential inside.
+  template <typename T>
+  std::vector<T> map(const std::vector<std::function<T()>>& tasks,
+                     ProgressReporter* progress = nullptr) {
+    return run_ordered<T>(pool_ ? &*pool_ : nullptr, tasks, progress);
+  }
+
+  /// Timing of the most recent run_all() batch.
+  const BatchStats& last_stats() const { return stats_; }
+
+ private:
+  soc::SocConfig soc_config_;
+  EngineConfig engine_config_;
+  std::size_t jobs_;
+  std::optional<ThreadPool> pool_;  // engaged when jobs_ > 1
+  BatchStats stats_;
+};
+
+}  // namespace pmrl::core::runfarm

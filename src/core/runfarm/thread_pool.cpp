@@ -1,0 +1,115 @@
+#include "core/runfarm/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace pmrl::core::runfarm {
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("PMRL_JOBS")) {
+    try {
+      const long parsed = std::stol(env);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+      // fall through to hardware_concurrency
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) thread_count = default_jobs();
+  queues_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+    ++queued_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_front(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+  auto pop_from = [&](WorkerQueue& queue, bool steal) {
+    const std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) return false;
+    if (steal) {
+      // Thieves take the oldest task from the back ...
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    } else {
+      // ... the owner takes the newest from the front (stays cache-warm,
+      // contention lands on opposite deque ends).
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+    return true;
+  };
+  bool popped = pop_from(*queues_[self], /*steal=*/false);
+  // Scan victims from the next worker around the ring so theft pressure
+  // spreads evenly.
+  for (std::size_t k = 1; !popped && k < queues_.size(); ++k) {
+    popped = pop_from(*queues_[(self + k) % queues_.size()], /*steal=*/true);
+  }
+  if (popped) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    --queued_;
+  }
+  return popped;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;  // release captures before signalling completion
+      {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        --pending_;
+      }
+      idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (stopping_) return;
+    // queued_ can already be 0 here if another worker won the race for the
+    // task that woke us; the predicate just sends us back to stealing
+    // whenever unstarted work might exist.
+    work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_) return;
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace pmrl::core::runfarm

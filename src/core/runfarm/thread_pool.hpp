@@ -1,0 +1,67 @@
+#pragma once
+// Work-stealing thread pool for the run farm. Tasks are distributed
+// round-robin across per-worker deques; a worker drains its own deque from
+// the front and, when empty, steals from the back of a sibling's deque
+// (classic owner-LIFO / thief-FIFO split, so stolen work is the oldest and
+// contention stays at opposite deque ends).
+//
+// The pool carries no result or exception machinery of its own — callers
+// (see runfarm.hpp) wrap tasks so they never throw. Determinism of the farm
+// does not depend on scheduling: every task owns all of its mutable state,
+// so any interleaving produces the same per-task results.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmrl::core::runfarm {
+
+/// Number of worker threads to use by default: the PMRL_JOBS environment
+/// variable when set to a positive integer, else hardware_concurrency
+/// (never less than 1).
+std::size_t default_jobs();
+
+class ThreadPool {
+ public:
+  /// thread_count == 0 means default_jobs().
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (wrap them; see run_ordered).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& task);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake + completion accounting.
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;  // submitted but not yet finished
+  std::size_t queued_ = 0;   // submitted but not yet started
+  std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace pmrl::core::runfarm

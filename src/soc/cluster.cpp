@@ -12,6 +12,12 @@ Cluster::Cluster(ClusterId id, ClusterConfig config, OppTable opps,
       power_model_(power_params),
       opp_index_(0) {
   opp_index_ = std::min(config_.initial_opp, opps_.size() - 1);
+  opp_power_terms_.reserve(opps_.size());
+  for (std::size_t i = 0; i < opps_.size(); ++i) {
+    const auto& opp = opps_.at(i);
+    opp_power_terms_.push_back(
+        power_model_.opp_terms(opp.freq_hz, opp.voltage_v));
+  }
   if (cpuidle.enabled) {
     idle_states_ = std::make_shared<const std::vector<IdleState>>(
         cpuidle.states.empty() ? default_idle_states()
@@ -57,10 +63,14 @@ double Cluster::run_tick(TaskSet& tasks, double dt_s, double tick_start_s,
 }
 
 double Cluster::power_w(double temp_c) const {
+  // Hot path (every core, every tick): cached per-OPP terms plus one
+  // exp() per cluster — all cores share the die temperature.
+  const auto& terms = opp_power_terms_[opp_index_];
+  const double temp_factor = power_model_.temp_factor(temp_c);
   double total = 0.0;
   for (const auto& core : cores_) {
-    total += power_model_.total_power_w(
-        freq_hz(), voltage_v(), core.last_busy_fraction(), temp_c,
+    total += power_model_.total_power_w_cached(
+        terms, core.last_busy_fraction(), temp_factor,
         core.idle_dynamic_scale(), core.idle_leakage_scale());
   }
   return total;

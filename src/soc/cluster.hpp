@@ -100,6 +100,10 @@ class Cluster {
   std::shared_ptr<const std::vector<IdleState>> idle_states_;
   std::vector<Core> cores_;
   CorePowerModel power_model_;
+  /// Per-OPP c_eff*V^2*f and I0*V terms, precomputed once at construction
+  /// (index-aligned with opps_) so the per-tick power evaluation does no
+  /// polynomial work.
+  std::vector<CorePowerModel::OppPowerTerms> opp_power_terms_;
   std::size_t opp_index_;
   double pending_stall_s_ = 0.0;
   std::size_t transitions_ = 0;

@@ -48,8 +48,11 @@ double Core::run_tick(TaskSet& tasks, double freq_hz, double dt_s,
   if (capacity > 0.0 && !runqueue_.empty()) {
     // Weighted max-min fair share with spill: rounds of proportional
     // allocation; tasks that drain return their unused share to the pool.
-    std::vector<TaskId> active;
-    active.reserve(runqueue_.size());
+    // The active/next lists are member scratch buffers — this runs every
+    // core every tick, and per-tick allocations dominated the profile.
+    std::vector<TaskId>& active = sched_active_scratch_;
+    std::vector<TaskId>& still_active = sched_next_scratch_;
+    active.clear();
     for (TaskId id : runqueue_) {
       if (tasks.at(id).runnable()) active.push_back(id);
     }
@@ -60,7 +63,7 @@ double Core::run_tick(TaskSet& tasks, double freq_hz, double dt_s,
       double weight_sum = 0.0;
       for (TaskId id : active) weight_sum += tasks.at(id).weight();
       double consumed_this_round = 0.0;
-      std::vector<TaskId> still_active;
+      still_active.clear();
       for (TaskId id : active) {
         Task& task = tasks.at(id);
         const double share = remaining * task.weight() / weight_sum;
@@ -73,7 +76,7 @@ double Core::run_tick(TaskSet& tasks, double freq_hz, double dt_s,
           consumed_this_round <= 1e-9) {
         break;  // nothing progressed; avoid spinning on float dust
       }
-      active = std::move(still_active);
+      std::swap(active, still_active);
     }
     used_total = capacity - std::max(remaining, 0.0);
   }

@@ -25,6 +25,11 @@ class Core {
 
   /// Scheduler interface: replaces the run-queue contents.
   void set_runqueue(std::vector<TaskId> task_ids);
+  /// Copy-assign variant for the per-tick scheduler path: reuses the
+  /// run-queue's existing capacity instead of swapping in a fresh vector.
+  void assign_runqueue(const std::vector<TaskId>& task_ids) {
+    runqueue_ = task_ids;
+  }
   const std::vector<TaskId>& runqueue() const { return runqueue_; }
   std::size_t nr_running(const TaskSet& tasks) const;
 
@@ -65,6 +70,10 @@ class Core {
   PeltTracker pelt_;
   CoreIdleTracker idle_;
   double last_busy_ = 0.0;
+  /// Scratch lists for the per-tick fair-share rounds (reused to keep the
+  /// tick loop allocation-free).
+  std::vector<TaskId> sched_active_scratch_;
+  std::vector<TaskId> sched_next_scratch_;
 };
 
 }  // namespace pmrl::soc

@@ -15,8 +15,15 @@ PeltTracker::PeltTracker(double half_life_s) : half_life_s_(half_life_s) {
 void PeltTracker::add_sample(double busy_fraction, double dt_s) {
   const double clamped = std::clamp(busy_fraction, 0.0, 1.0);
   // decay factor so that after half_life_s seconds the old value halves:
-  // decay = 0.5^(dt / half_life).
-  const double decay = std::exp2(-dt_s / half_life_s_);
+  // decay = 0.5^(dt / half_life). The simulation feeds a fixed tick, so
+  // the geometric factor is precomputed and only re-derived when dt
+  // changes — exp2 on the same input yields the same bits, so this is
+  // result-identical to evaluating it every sample.
+  if (dt_s != cached_dt_s_) {
+    cached_dt_s_ = dt_s;
+    cached_decay_ = std::exp2(-dt_s / half_life_s_);
+  }
+  const double decay = cached_decay_;
   util_ = util_ * decay + clamped * (1.0 - decay);
 }
 

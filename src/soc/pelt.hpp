@@ -27,6 +27,10 @@ class PeltTracker {
  private:
   double half_life_s_;
   double util_ = 0.0;
+  /// Memoized geometric decay for the last-seen dt (the engine tick is
+  /// fixed, so this caches the exp2 for the whole run).
+  double cached_dt_s_ = -1.0;
+  double cached_decay_ = 0.0;
 };
 
 }  // namespace pmrl::soc

@@ -39,10 +39,12 @@ double CorePowerModel::dynamic_power_w(double freq_hz, double voltage_v,
   return params_.c_eff_f * voltage_v * voltage_v * freq_hz * activity;
 }
 
+double CorePowerModel::temp_factor(double temp_c) const {
+  return std::exp(params_.leak_temp_coeff * (temp_c - params_.leak_ref_temp_c));
+}
+
 double CorePowerModel::leakage_power_w(double voltage_v, double temp_c) const {
-  const double temp_factor =
-      std::exp(params_.leak_temp_coeff * (temp_c - params_.leak_ref_temp_c));
-  return params_.leak_i0_a * voltage_v * temp_factor;
+  return params_.leak_i0_a * voltage_v * temp_factor(temp_c);
 }
 
 double CorePowerModel::total_power_w(double freq_hz, double voltage_v,

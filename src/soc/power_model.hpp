@@ -34,6 +34,39 @@ class CorePowerModel {
  public:
   explicit CorePowerModel(CorePowerParams params) : params_(params) {}
 
+  /// Precomputed per-OPP power terms. The V/f polynomial only depends on
+  /// the operating point, so callers that evaluate power every tick (the
+  /// cluster hot path) compute these once per OPP-table entry instead of
+  /// re-deriving c_eff*V^2*f and I0*V sixty-thousand times per run. The
+  /// factor products are formed in exactly the evaluation order of the
+  /// uncached methods, so cached results are bit-identical.
+  struct OppPowerTerms {
+    /// c_eff * V^2 * f — dynamic watts at activity 1.0.
+    double dyn_w = 0.0;
+    /// I0 * V — leakage watts at temp_factor 1.0.
+    double leak_w = 0.0;
+  };
+  OppPowerTerms opp_terms(double freq_hz, double voltage_v) const {
+    return {params_.c_eff_f * voltage_v * voltage_v * freq_hz,
+            params_.leak_i0_a * voltage_v};
+  }
+
+  /// exp(k * (T - Tref)) — the only temperature-dependent leakage factor;
+  /// shared by every core in a cluster (one die temperature per cluster).
+  double temp_factor(double temp_c) const;
+
+  /// Cached-path equivalent of total_power_w(f, V, busy, T, ids, ls):
+  /// bit-identical given terms = opp_terms(f, V) and tf = temp_factor(T).
+  double total_power_w_cached(const OppPowerTerms& terms,
+                              double busy_fraction, double temp_factor,
+                              double idle_dynamic_scale,
+                              double leakage_scale) const {
+    const double idle_component = params_.idle_activity * idle_dynamic_scale;
+    const double activity =
+        idle_component + (1.0 - params_.idle_activity) * busy_fraction;
+    return terms.dyn_w * activity + terms.leak_w * temp_factor * leakage_scale;
+  }
+
   /// Dynamic (switching) power in watts given the operating point and the
   /// busy fraction (0..1) of the evaluation interval. An idle core still
   /// burns idle_activity of the dynamic power (clock tree, snoops).

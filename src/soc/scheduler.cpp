@@ -132,19 +132,28 @@ void Scheduler::rebalance(TaskSet& tasks, std::vector<Cluster>& clusters) {
 }
 
 void Scheduler::apply(TaskSet& tasks, std::vector<Cluster>& clusters) {
-  std::vector<std::vector<std::vector<TaskId>>> queues(clusters.size());
+  // Reuse the nested scratch queues (and, via assign_runqueue, the cores'
+  // own run-queue storage): this runs every tick and was the engine's
+  // biggest steady-state allocation source.
+  if (queue_scratch_.size() != clusters.size()) {
+    queue_scratch_.resize(clusters.size());
+  }
   for (std::size_t c = 0; c < clusters.size(); ++c) {
-    queues[c].resize(clusters[c].core_count());
+    auto& cluster_queues = queue_scratch_[c];
+    if (cluster_queues.size() != clusters[c].core_count()) {
+      cluster_queues.resize(clusters[c].core_count());
+    }
+    for (auto& queue : cluster_queues) queue.clear();
   }
   for (const auto& task : tasks.tasks()) {
     const Placement& p = placements_[task.id()];
     if (task.runnable() && p.valid()) {
-      queues[p.cluster][p.core].push_back(task.id());
+      queue_scratch_[p.cluster][p.core].push_back(task.id());
     }
   }
   for (std::size_t c = 0; c < clusters.size(); ++c) {
     for (std::size_t k = 0; k < clusters[c].core_count(); ++k) {
-      clusters[c].core(k).set_runqueue(std::move(queues[c][k]));
+      clusters[c].core(k).assign_runqueue(queue_scratch_[c][k]);
     }
   }
 }

@@ -51,6 +51,9 @@ class Scheduler {
   /// Last core each task ever ran on (persists across idle periods; used
   /// for the sticky tie-break).
   std::vector<Placement> history_;
+  /// Per-(cluster, core) run-queue scratch, reused every tick so apply()
+  /// allocates nothing in steady state.
+  std::vector<std::vector<std::vector<TaskId>>> queue_scratch_;
 };
 
 }  // namespace pmrl::soc

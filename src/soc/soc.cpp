@@ -137,7 +137,8 @@ void Soc::step(double dt_s, std::vector<CompletedJob>& completed) {
 
   double executed_norm = 0.0;  // normalized executed throughput for uncore
   double executed_cycles = 0.0;
-  std::vector<double> cluster_power(clusters_.size(), 0.0);
+  std::vector<double>& cluster_power = cluster_power_scratch_;
+  cluster_power.assign(clusters_.size(), 0.0);
   for (std::size_t i = 0; i < clusters_.size(); ++i) {
     auto& cluster = clusters_[i];
     const double busy =
@@ -178,12 +179,17 @@ void Soc::step(double dt_s, std::vector<CompletedJob>& completed) {
 
 SocTelemetry Soc::telemetry() const {
   SocTelemetry t;
+  telemetry_into(t);
+  return t;
+}
+
+void Soc::telemetry_into(SocTelemetry& t) const {
   t.time_s = now_s_;
-  t.clusters.reserve(clusters_.size());
+  t.clusters.resize(domain_count());
   double power_sum = 0.0;
   for (std::size_t i = 0; i < clusters_.size(); ++i) {
     const auto& c = clusters_[i];
-    ClusterTelemetry ct;
+    ClusterTelemetry& ct = t.clusters[i];
     ct.cluster_id = i;
     ct.opp_index = c.opp_index();
     ct.opp_count = c.opps().size();
@@ -202,10 +208,9 @@ SocTelemetry Soc::telemetry() const {
     ct.overdue_jobs = c.overdue_jobs(tasks_, now_s_);
     ct.dvfs_transitions = c.dvfs_transitions();
     power_sum += ct.power_w;
-    t.clusters.push_back(ct);
   }
   if (mem_) {
-    ClusterTelemetry ct;
+    ClusterTelemetry& ct = t.clusters[clusters_.size()];
     ct.cluster_id = clusters_.size();
     ct.opp_index = mem_->opp_index();
     ct.opp_count = mem_->opps().size();
@@ -222,7 +227,9 @@ SocTelemetry Soc::telemetry() const {
     ct.max_power_w = mem_->max_power_w();
     ct.energy_j = mem_->energy_j();
     ct.temp_c = config_.ambient_c;
+    ct.nr_running = 0;
     // When the bus is the bottleneck, every overdue job is its problem.
+    ct.overdue_jobs = 0;
     if (mem_->stall_factor() < 1.0) {
       for (const auto& c : clusters_) {
         ct.overdue_jobs += c.overdue_jobs(tasks_, now_s_);
@@ -230,14 +237,12 @@ SocTelemetry Soc::telemetry() const {
     }
     ct.dvfs_transitions = mem_->dvfs_transitions();
     power_sum += ct.power_w;
-    t.clusters.push_back(ct);
   }
   t.uncore_power_w = last_uncore_power_w_;
   t.total_power_w = power_sum + last_uncore_power_w_;
   t.total_energy_j = total_energy_j_;
   t.runnable_tasks = tasks_.runnable_count();
   t.backlog_cycles = tasks_.total_backlog_cycles();
-  return t;
 }
 
 void Soc::reset() {

@@ -95,6 +95,11 @@ class Soc {
   /// Current observation snapshot.
   SocTelemetry telemetry() const;
 
+  /// Allocation-free variant: fills `out` in place, reusing its cluster
+  /// vector's capacity. The engine calls this once per decision epoch into
+  /// a persistent observation buffer.
+  void telemetry_into(SocTelemetry& out) const;
+
   // ---- Simulation side -----------------------------------------------------
   /// Advances one tick of dt seconds. Completed jobs are appended to
   /// `completed`.
@@ -128,6 +133,9 @@ class Soc {
   std::vector<bool> throttled_;
   std::vector<double> throttled_s_;
   std::vector<double> cluster_energy_j_;
+  /// Per-tick cluster power scratch (reused; step() allocates nothing in
+  /// steady state).
+  std::vector<double> cluster_power_scratch_;
   double uncore_energy_j_ = 0.0;
   double total_energy_j_ = 0.0;
   double last_uncore_power_w_ = 0.0;

@@ -28,18 +28,19 @@ PeriodicSource::PeriodicSource(soc::TaskId task, double period_s,
       deadline_factor_(deadline_factor),
       phase_s_(phase_s) {
   if (period_s <= 0.0) throw std::invalid_argument("period must be positive");
+  next_release_s_ = release_time(release_index_);
 }
 
 void PeriodicSource::tick(WorkloadHost& host, double now_s, double dt_s,
                           Rng& rng) {
   const double window_end = now_s + dt_s;
-  while (release_time(release_index_) < window_end) {
+  while (next_release_s_ < window_end) {
     if (active_) {
-      const double deadline =
-          release_time(release_index_) + period_s_ * deadline_factor_;
+      const double deadline = next_release_s_ + period_s_ * deadline_factor_;
       host.submit(task_, work_.sample(rng), deadline);
     }
     ++release_index_;
+    next_release_s_ = release_time(release_index_);
   }
 }
 

@@ -59,6 +59,10 @@ class PeriodicSource {
   double deadline_factor_;
   double phase_s_;
   std::uint64_t release_index_ = 0;
+  /// Cached release_time(release_index_): the per-tick scan reduces to one
+  /// comparison against this in the (common) no-release case. Always kept
+  /// exactly equal to the recomputed value, so behaviour is bit-identical.
+  double next_release_s_ = 0.0;
   bool active_ = true;
 };
 

@@ -1,0 +1,216 @@
+#include "core/runfarm/runfarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/runfarm/thread_pool.hpp"
+#include "governors/registry.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::core::runfarm {
+namespace {
+
+EngineConfig short_run(double duration = 2.0) {
+  EngineConfig config;
+  config.duration_s = duration;
+  return config;
+}
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+// ---- run_ordered ---------------------------------------------------------
+
+TEST(RunOrderedTest, PreservesSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([i] { return i * i; });
+  }
+  const auto results = run_ordered<int>(&pool, tasks);
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(RunOrderedTest, ZeroTasks) {
+  ThreadPool pool(2);
+  const auto results = run_ordered<int>(&pool, {});
+  EXPECT_TRUE(results.empty());
+  const auto serial = run_ordered<int>(nullptr, {});
+  EXPECT_TRUE(serial.empty());
+}
+
+TEST(RunOrderedTest, SerialInlineWithoutPool) {
+  std::vector<std::function<int()>> tasks = {[] { return 1; },
+                                             [] { return 2; }};
+  const auto results = run_ordered<int>(nullptr, tasks);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], 1);
+  EXPECT_EQ(results[1], 2);
+}
+
+TEST(RunOrderedTest, RethrowsLowestIndexExceptionAfterAllTasksRan) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i, &executed]() -> int {
+      executed.fetch_add(1);
+      if (i == 3) throw std::runtime_error("task three");
+      if (i == 11) throw std::logic_error("task eleven");
+      return i;
+    });
+  }
+  try {
+    run_ordered<int>(&pool, tasks);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task three");  // lowest index wins
+  }
+  EXPECT_EQ(executed.load(), 16);  // a throwing task does not cancel others
+}
+
+// ---- RunFarm determinism -------------------------------------------------
+
+TEST(RunFarmTest, RejectsSpecWithoutGovernorFactory) {
+  RunFarm farm(soc::tiny_test_soc_config(), short_run(), 1);
+  std::vector<RunSpec> specs(1);
+  specs[0].kind = workload::ScenarioKind::VideoPlayback;
+  EXPECT_THROW(farm.run_all(specs), std::invalid_argument);
+}
+
+std::vector<RunSpec> determinism_specs() {
+  // Two scenarios x two governors, distinct seeds.
+  std::vector<RunSpec> specs;
+  const workload::ScenarioKind kinds[] = {
+      workload::ScenarioKind::VideoPlayback, workload::ScenarioKind::Mixed};
+  const char* names[] = {"ondemand", "schedutil"};
+  std::uint64_t seed = 1234;
+  for (const auto kind : kinds) {
+    for (const char* name : names) {
+      RunSpec spec;
+      spec.kind = kind;
+      spec.seed = seed++;
+      const std::string governor = name;
+      spec.make_governor = [governor] {
+        return governors::make_governor(governor);
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.governor, b.governor);
+  // Bit-exact: the farm's contract is full determinism, not tolerance.
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.mean_freq_hz, b.mean_freq_hz);
+  EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+}
+
+TEST(RunFarmTest, FourThreadFarmBitIdenticalToSerial) {
+  const auto soc_config = soc::default_mobile_soc_config();
+  const auto specs = determinism_specs();
+
+  RunFarm serial(soc_config, short_run(), 1);
+  const auto serial_results = serial.run_all(specs);
+  RunFarm threaded(soc_config, short_run(), 4);
+  const auto threaded_results = threaded.run_all(specs);
+
+  ASSERT_EQ(serial_results.size(), specs.size());
+  ASSERT_EQ(threaded_results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_bit_identical(serial_results[i], threaded_results[i]);
+  }
+
+  // And both match a plain engine.run loop (no farm at all).
+  SimEngine engine(soc_config, short_run());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto scenario = workload::make_scenario(specs[i].kind, specs[i].seed);
+    auto governor = specs[i].make_governor();
+    const auto direct = engine.run(*scenario, *governor);
+    expect_bit_identical(direct, threaded_results[i]);
+  }
+}
+
+TEST(RunFarmTest, ThreadCountDoesNotChangeResults) {
+  const auto soc_config = soc::tiny_test_soc_config();
+  std::vector<RunSpec> specs;
+  for (std::uint64_t seed = 7; seed < 15; ++seed) {
+    RunSpec spec;
+    spec.kind = workload::ScenarioKind::WebBrowsing;
+    spec.seed = seed;
+    spec.make_governor = [] { return governors::make_governor("ondemand"); };
+    specs.push_back(std::move(spec));
+  }
+  RunFarm two(soc_config, short_run(1.0), 2);
+  RunFarm eight(soc_config, short_run(1.0), 8);
+  const auto a = two.run_all(specs);
+  const auto b = eight.run_all(specs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_bit_identical(a[i], b[i]);
+  }
+}
+
+TEST(RunFarmTest, RecordsBatchStats) {
+  RunFarm farm(soc::tiny_test_soc_config(), short_run(1.0), 2);
+  std::vector<RunSpec> specs;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    RunSpec spec;
+    spec.kind = workload::ScenarioKind::AudioIdle;
+    spec.seed = seed;
+    spec.make_governor = [] { return governors::make_governor("powersave"); };
+    specs.push_back(std::move(spec));
+  }
+  farm.run_all(specs);
+  const auto& stats = farm.last_stats();
+  EXPECT_EQ(stats.runs, specs.size());
+  EXPECT_GT(stats.wall_s, 0.0);
+  EXPECT_GT(stats.run_s_total, 0.0);
+  EXPECT_GT(stats.speedup(), 0.0);
+}
+
+TEST(DefaultJobsTest, NeverZero) {
+  EXPECT_GE(default_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace pmrl::core::runfarm
