@@ -18,8 +18,12 @@
 #include <thread>
 #include <vector>
 
+#include <sstream>
+
 #include "bench_common.hpp"
 #include "governors/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/table.hpp"
 
 using namespace pmrl;
@@ -132,6 +136,31 @@ int main(int argc, char** argv) {
   std::printf("serial vs 4-thread farm results: %s\n",
               deterministic ? "bit-identical" : "MISMATCH");
 
+  // Profiled pass: a short serial re-run of the sweep with the metrics
+  // registry and epoch-granularity scoped timers attached, to record where
+  // engine time goes. Kept out of the measured sweep above so the published
+  // throughput number stays the instrumentation-free one.
+  const double profile_duration_s = std::min(duration_s, 5.0);
+  obs::MetricsRegistry profile_metrics;
+  obs::Profiler profiler;
+  {
+    core::EngineConfig profile_config = engine_config;
+    profile_config.duration_s = profile_duration_s;
+    core::SimEngine engine(soc_config, profile_config);
+    engine.set_metrics(&profile_metrics);
+    engine.set_profiler(&profiler);
+    for (const auto& spec : specs) {
+      auto governor = spec.make_governor();
+      auto scenario = workload::make_scenario(spec.kind, spec.seed);
+      engine.run(*scenario, *governor);
+    }
+  }
+  std::printf("\nprofiled pass (%.1f s per run, serial):\n",
+              profile_duration_s);
+  std::ostringstream profile_report;
+  profiler.write_report(profile_report);
+  std::printf("%s", profile_report.str().c_str());
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -161,6 +190,15 @@ int main(int argc, char** argv) {
                  level.stats.speedup(), i + 1 < measured.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"observability\": {\n");
+  std::fprintf(out, "    \"profile_duration_s\": %g,\n", profile_duration_s);
+  std::ostringstream metrics_json;
+  profile_metrics.write_json(metrics_json);
+  std::fprintf(out, "    \"metrics\": %s,\n", metrics_json.str().c_str());
+  std::ostringstream profiler_json;
+  profiler.write_json(profiler_json);
+  std::fprintf(out, "    \"profiler\": %s\n", profiler_json.str().c_str());
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"deterministic_serial_vs_4_threads\": %s\n",
                deterministic ? "true" : "false");
   std::fprintf(out, "}\n");

@@ -7,19 +7,26 @@
 //       Train the RL policy across the scenario rotation and checkpoint it.
 //   pmrl_cli eval <governor|policy.pmrl> [--scenario NAME] [--seed S]
 //                 [--duration SEC] [--fault-intensity X] [--fault-seed S]
-//                 [--watchdog] [--jobs N]
+//                 [--watchdog] [--jobs N] [--trace PATH]
+//                 [--trace-format csv|jsonl] [--metrics PATH]
 //       Evaluate a baseline governor by name, or a trained RL checkpoint,
 //       on one scenario (or all six when omitted). A nonzero fault
 //       intensity runs each scenario under its fault profile (telemetry
 //       degradation + thermal emergencies); --watchdog wraps an RL policy
 //       in the safe-governor fallback machinery. Corrupt checkpoints are
 //       rejected (CRC32 + strict parsing) and fall back to fresh-init.
+//       --trace records every structured event (epochs, decisions, faults,
+//       watchdog trips) to PATH; traces are deterministic and independent
+//       of --jobs. --metrics dumps the metrics registry as JSON to PATH
+//       ('-' for stdout).
 //   pmrl_cli latency [--invocations N]
 //       Run the HW-vs-SW decision-latency comparison.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +38,8 @@
 #include "fault/scenario_faults.hpp"
 #include "governors/registry.hpp"
 #include "hw/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "rl/policy_io.hpp"
 #include "rl/trainer.hpp"
 #include "rl/watchdog.hpp"
@@ -54,6 +63,11 @@ struct Args {
   /// Worker threads for farmable work (0 = PMRL_JOBS env, else hardware
   /// concurrency; 1 = serial).
   std::size_t jobs = 0;
+  /// Structured trace output path (empty = tracing disabled).
+  std::optional<std::string> trace_path;
+  std::string trace_format = "csv";
+  /// Metrics JSON output path ('-' = stdout; empty = metrics disabled).
+  std::optional<std::string> metrics_path;
 };
 
 Args parse(int argc, char** argv) {
@@ -83,6 +97,15 @@ Args parse(int argc, char** argv) {
     } else if (arg == "--jobs") {
       args.jobs = static_cast<std::size_t>(std::stoul(next()));
       if (args.jobs == 0) throw std::runtime_error("--jobs must be >= 1");
+    } else if (arg == "--trace") {
+      args.trace_path = next();
+    } else if (arg == "--trace-format") {
+      args.trace_format = next();
+      if (args.trace_format != "csv" && args.trace_format != "jsonl") {
+        throw std::runtime_error("--trace-format must be csv or jsonl");
+      }
+    } else if (arg == "--metrics") {
+      args.metrics_path = next();
     } else {
       args.positional.push_back(arg);
     }
@@ -134,6 +157,39 @@ int cmd_train(const Args& args) {
   rl::save_policy(policy, out);
   std::printf("checkpoint written to %s\n", args.out.c_str());
   return 0;
+}
+
+/// Writes `events` to `path` in the requested format; returns false (with
+/// a message) when the file cannot be opened.
+bool write_trace_file(const std::string& path, const std::string& format,
+                      const std::vector<obs::TraceEvent>& events) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  if (format == "jsonl") {
+    obs::write_jsonl_trace(out, events);
+  } else {
+    obs::write_csv_trace(out, events, obs::trace_cluster_count(events));
+  }
+  return true;
+}
+
+bool write_metrics(const std::string& path,
+                   const obs::MetricsRegistry& metrics) {
+  if (path == "-") {
+    std::printf("%s\n", metrics.to_json().c_str());
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  metrics.write_json(out);
+  out << "\n";
+  return true;
 }
 
 int cmd_eval(const Args& args) {
@@ -197,6 +253,21 @@ int cmd_eval(const Args& args) {
     kinds = workload::all_scenario_kinds();
   }
 
+  // Observability: one metrics registry for the whole eval (atomic
+  // instruments aggregate across farm threads); tracing uses one
+  // VectorTraceSink per scenario so the farmed trace, concatenated in
+  // scenario order, is byte-identical to the serial one.
+  obs::MetricsRegistry metrics;
+  obs::MetricsRegistry* metrics_ptr =
+      args.metrics_path ? &metrics : nullptr;
+  const bool tracing = args.trace_path.has_value();
+  std::vector<std::unique_ptr<obs::VectorTraceSink>> sinks;
+  if (tracing) {
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      sinks.push_back(std::make_unique<obs::VectorTraceSink>());
+    }
+  }
+
   std::vector<core::RunResult> runs;
   if (baseline && !args.watchdog) {
     // Baseline governors are stateless across runs, so each scenario is an
@@ -205,15 +276,22 @@ int cmd_eval(const Args& args) {
     // bit-identical to the serial loop at any --jobs count.
     core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
                                 engine_config, args.jobs);
+    farm.set_metrics(metrics_ptr);
     std::vector<std::function<core::RunResult()>> tasks;
-    for (const auto kind : kinds) {
-      tasks.push_back([&farm, &args, &target, kind] {
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      const auto kind = kinds[i];
+      obs::VectorTraceSink* sink = tracing ? sinks[i].get() : nullptr;
+      tasks.push_back([&farm, &args, &target, kind, sink, metrics_ptr] {
         core::SimEngine run_engine(farm.soc_config(), farm.engine_config());
+        run_engine.set_trace_sink(sink);
+        run_engine.set_metrics(metrics_ptr);
         std::optional<fault::FaultInjector> injector;
         if (args.fault_intensity > 0.0) {
           injector.emplace(fault::scenario_fault_profile(
               kind, args.fault_intensity,
               args.fault_seed + static_cast<std::uint64_t>(kind)));
+          injector->set_trace_sink(sink);
+          injector->set_metrics(metrics_ptr);
           run_engine.set_fault_injector(&*injector);
         }
         auto governor = governors::make_governor(target);
@@ -225,18 +303,46 @@ int cmd_eval(const Args& args) {
   } else {
     // An RL checkpoint (or its watchdog wrapper) carries learned state
     // across runs, so its scenarios stay serial on the shared instance.
-    for (const auto kind : kinds) {
+    engine.set_metrics(metrics_ptr);
+    if (rl_policy) rl_policy->set_metrics(metrics_ptr);
+    if (watchdog) watchdog->set_metrics(metrics_ptr);
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      const auto kind = kinds[i];
+      obs::VectorTraceSink* sink = tracing ? sinks[i].get() : nullptr;
+      engine.set_trace_sink(sink);
+      if (rl_policy) rl_policy->set_trace_sink(sink);
+      if (watchdog) watchdog->set_trace_sink(sink);
       std::optional<fault::FaultInjector> injector;
       if (args.fault_intensity > 0.0) {
         injector.emplace(fault::scenario_fault_profile(
             kind, args.fault_intensity,
             args.fault_seed + static_cast<std::uint64_t>(kind)));
+        injector->set_trace_sink(sink);
+        injector->set_metrics(metrics_ptr);
         engine.set_fault_injector(&*injector);
       }
       auto scenario = workload::make_scenario(kind, args.seed);
       runs.push_back(engine.run(*scenario, *policy));
       engine.set_fault_injector(nullptr);
     }
+    engine.set_trace_sink(nullptr);
+  }
+
+  if (tracing) {
+    std::vector<obs::TraceEvent> events;
+    for (auto& sink : sinks) {
+      auto part = sink->take();
+      events.insert(events.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    if (!write_trace_file(*args.trace_path, args.trace_format, events)) {
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (%s)\n", events.size(),
+                args.trace_path->c_str(), args.trace_format.c_str());
+  }
+  if (args.metrics_path && !write_metrics(*args.metrics_path, metrics)) {
+    return 1;
   }
 
   TextTable table({"scenario", "energy [J]", "E/QoS [J]", "viol rate",
@@ -290,7 +396,8 @@ int main(int argc, char** argv) {
           "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
           "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
           "         [--duration SEC] [--fault-intensity X] [--fault-seed S]\n"
-          "         [--watchdog] [--jobs N]\n"
+          "         [--watchdog] [--jobs N] [--trace PATH]\n"
+          "         [--trace-format csv|jsonl] [--metrics PATH|-]\n"
           "  latency [N] [--seed S]\n");
       return args.positional.empty() ? 1 : 0;
     }

@@ -1,9 +1,14 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace pmrl::core {
 
@@ -54,6 +59,19 @@ SimEngine::SimEngine(soc::SocConfig soc_config, EngineConfig engine_config)
       engine_config_.duration_s <= 0.0) {
     throw std::invalid_argument("invalid engine timing configuration");
   }
+}
+
+void SimEngine::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  runs_counter_ = metrics ? &metrics->counter("engine.runs") : nullptr;
+  epochs_counter_ = metrics ? &metrics->counter("engine.epochs") : nullptr;
+  ticks_counter_ = metrics ? &metrics->counter("engine.ticks") : nullptr;
+}
+
+void SimEngine::set_profiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  tick_timer_ = profiler ? &profiler->timer("engine.ticks") : nullptr;
+  decision_timer_ = profiler ? &profiler->timer("engine.decisions") : nullptr;
 }
 
 RunResult SimEngine::run(workload::Scenario& scenario,
@@ -125,9 +143,37 @@ RunResult SimEngine::run(workload::Scenario& scenario,
     }
   };
 
+  // Trace emission: a local event buffer reused per epoch (only touched
+  // when a sink is installed — the disabled path costs one pointer check
+  // per epoch).
+  obs::TraceEvent trace_event;
+  auto fill_cluster_samples = [&](obs::TraceEvent& event) {
+    event.clusters.clear();
+    for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
+      const auto& ct = obs.soc.clusters[c];
+      obs::ClusterSample sample;
+      sample.opp_index = static_cast<std::uint32_t>(ct.opp_index);
+      sample.freq_hz = ct.freq_hz;
+      sample.util_avg = ct.util_avg;
+      sample.energy_j = c < obs.cluster_feedback.size()
+                            ? obs.cluster_feedback[c].epoch_energy_j
+                            : 0.0;
+      sample.temp_c = ct.temp_c;
+      event.clusters.push_back(sample);
+    }
+  };
+
   governors::OppRequest request(soc.domain_count());
   fill_observation(0.0);
   if (fault_) fault_->perturb_observation(obs);
+  if (trace_) {
+    trace_event = obs::TraceEvent{};
+    trace_event.kind = obs::EventKind::RunBegin;
+    trace_event.time_s = obs.soc.time_s;
+    trace_event.detail = scenario.name() + "/" + governor.name();
+    fill_cluster_samples(trace_event);
+    trace_->record(trace_event);
+  }
   governor.reset(obs);
   governor.decide(obs, request);
   for (std::size_t c = 0; c < request.size(); ++c) {
@@ -140,6 +186,15 @@ RunResult SimEngine::run(workload::Scenario& scenario,
   std::vector<double> freq_time_product(soc.domain_count(), 0.0);
   std::vector<double> peak_temp(soc.domain_count(), 0.0);
   std::size_t epochs = 0;
+
+  // Profiling is charged at epoch granularity: with a profiler attached,
+  // clock reads happen only at epoch boundaries; elapsed nanoseconds are
+  // accumulated locally and folded into the TimerStats once per run.
+  using ProfClock = std::chrono::steady_clock;
+  std::int64_t prof_tick_ns = 0;
+  std::int64_t prof_decision_ns = 0;
+  ProfClock::time_point prof_segment_start;
+  if (profiler_) prof_segment_start = ProfClock::now();
 
   std::vector<soc::CompletedJob> completed;
   EpochRecord record;  // reused per epoch; vectors keep their capacity
@@ -154,14 +209,36 @@ RunResult SimEngine::run(workload::Scenario& scenario,
     }
 
     if ((tick + 1) % ticks_per_epoch == 0) {
+      ProfClock::time_point prof_decision_start;
+      if (profiler_) {
+        prof_decision_start = ProfClock::now();
+        prof_tick_ns +=
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                prof_decision_start - prof_segment_start)
+                .count();
+      }
       const double epoch_s = ticks_per_epoch * dt;
       // Thermal emergencies land before the observation is taken so the
       // governor sees (and the throttle reacts to) the spiked state.
-      if (fault_) fault_->inject_epoch_faults(soc);
+      if (fault_) fault_->inject_epoch_faults(soc, soc.now_s());
       fill_observation(epoch_s);
       if (fault_) fault_->perturb_observation(obs);
       for (std::size_t c = 0; c < obs.soc.clusters.size(); ++c) {
         peak_temp[c] = std::max(peak_temp[c], obs.soc.clusters[c].temp_c);
+      }
+      if (trace_) {
+        trace_event = obs::TraceEvent{};
+        trace_event.kind = obs::EventKind::Epoch;
+        trace_event.epoch = epochs;
+        trace_event.time_s = obs.soc.time_s;
+        trace_event.energy_j = obs.epoch_energy_j;
+        trace_event.total_energy_j = obs.soc.total_energy_j;
+        trace_event.quality = obs.epoch_quality;
+        trace_event.violations = obs.epoch_violations;
+        trace_event.releases = obs.epoch_releases;
+        trace_event.power_w = obs.soc.total_power_w;
+        fill_cluster_samples(trace_event);
+        trace_->record(trace_event);
       }
       if (on_epoch) {
         record.time_s = obs.soc.time_s;
@@ -183,6 +260,13 @@ RunResult SimEngine::run(workload::Scenario& scenario,
       }
       mark_epoch_start();
       ++epochs;
+      if (profiler_) {
+        prof_segment_start = ProfClock::now();
+        prof_decision_ns +=
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                prof_segment_start - prof_decision_start)
+                .count();
+      }
     }
   }
 
@@ -229,6 +313,33 @@ RunResult SimEngine::run(workload::Scenario& scenario,
     }
     fractions.push_back(total > 0.0 ? active / total : 0.0);
     result.idle_residency_fraction.push_back(std::move(fractions));
+  }
+
+  if (trace_) {
+    trace_event = obs::TraceEvent{};
+    trace_event.kind = obs::EventKind::RunEnd;
+    trace_event.epoch = epochs;
+    trace_event.time_s = result.duration_s;
+    trace_event.energy_j = result.energy_j;
+    trace_event.total_energy_j = result.energy_j;
+    trace_event.quality = result.quality;
+    trace_event.violations = result.violations;
+    trace_event.releases = result.released;
+    trace_event.power_w = result.avg_power_w;
+    trace_event.value = result.violation_rate;
+    trace_event.detail = scenario.name() + "/" + governor.name();
+    trace_->record(trace_event);
+    trace_->flush();
+  }
+  if (runs_counter_) {
+    runs_counter_->inc();
+    epochs_counter_->inc(epochs);
+    ticks_counter_->inc(static_cast<std::uint64_t>(total_ticks));
+  }
+  if (tick_timer_) {
+    tick_timer_->add(static_cast<std::uint64_t>(prof_tick_ns), epochs);
+    decision_timer_->add(static_cast<std::uint64_t>(prof_decision_ns),
+                         epochs);
   }
   return result;
 }

@@ -15,6 +15,14 @@
 #include "workload/qos.hpp"
 #include "workload/scenario.hpp"
 
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+class Profiler;
+class Counter;
+class TimerStat;
+}  // namespace pmrl::obs
+
 namespace pmrl::core {
 
 /// Engine timing parameters.
@@ -96,6 +104,24 @@ class SimEngine {
   }
   fault::FaultInjector* fault_injector() const { return fault_; }
 
+  /// Installs a trace sink (nullptr disengages). While installed, every
+  /// run emits structured RunBegin/Epoch/RunEnd events. Events carry only
+  /// simulation-derived values, so a run's trace is deterministic. The
+  /// sink need not be thread-safe — the farm gives each task its own.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Attaches a metrics registry (nullptr detaches). Run/epoch/tick
+  /// counters are bumped once per run (no per-tick cost); the registry's
+  /// atomic instruments aggregate safely across farm threads.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Attaches a profiler (nullptr detaches): the run loop charges tick vs
+  /// decision time at epoch granularity (two clock reads per epoch).
+  void set_profiler(obs::Profiler* profiler);
+  obs::Profiler* profiler() const { return profiler_; }
+
   const EngineConfig& config() const { return engine_config_; }
   const soc::SocConfig& soc_config() const { return soc_config_; }
 
@@ -103,6 +129,15 @@ class SimEngine {
   soc::SocConfig soc_config_;
   EngineConfig engine_config_;
   fault::FaultInjector* fault_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  // Instruments resolved once at attach time (registry lookups lock).
+  obs::Counter* runs_counter_ = nullptr;
+  obs::Counter* epochs_counter_ = nullptr;
+  obs::Counter* ticks_counter_ = nullptr;
+  obs::TimerStat* tick_timer_ = nullptr;
+  obs::TimerStat* decision_timer_ = nullptr;
 };
 
 }  // namespace pmrl::core

@@ -4,6 +4,27 @@
 
 namespace pmrl::core::runfarm {
 
+double eta_seconds(std::size_t done, std::size_t total, double elapsed_s) {
+  if (done == 0 || done >= total || elapsed_s <= 0.0) return 0.0;
+  return elapsed_s * static_cast<double>(total - done) /
+         static_cast<double>(done);
+}
+
+std::string progress_line(const std::string& label, std::size_t done,
+                          std::size_t total, double elapsed_s) {
+  char buffer[256];
+  if (done >= total) {
+    std::snprintf(buffer, sizeof(buffer), "[%s] %zu/%zu done in %.1fs",
+                  label.c_str(), done, total, elapsed_s);
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "[%s] %zu/%zu, elapsed %.1fs, eta %.1fs", label.c_str(),
+                  done, total, elapsed_s,
+                  eta_seconds(done, total, elapsed_s));
+  }
+  return buffer;
+}
+
 ProgressReporter::ProgressReporter(std::string label, std::size_t total,
                                    bool enabled)
     : label_(std::move(label)),
@@ -24,18 +45,8 @@ void ProgressReporter::on_done() {
   last_print_ = now;
   const double elapsed =
       std::chrono::duration<double>(now - start_).count();
-  const double eta =
-      done_ > 0 && !final
-          ? elapsed * static_cast<double>(total_ - done_) /
-                static_cast<double>(done_)
-          : 0.0;
-  if (final) {
-    std::fprintf(stderr, "[%s] %zu/%zu done in %.1fs\n", label_.c_str(),
-                 done_, total_, elapsed);
-  } else {
-    std::fprintf(stderr, "[%s] %zu/%zu, elapsed %.1fs, eta %.1fs\n",
-                 label_.c_str(), done_, total_, elapsed, eta);
-  }
+  std::fprintf(stderr, "%s\n",
+               progress_line(label_, done_, total_, elapsed).c_str());
 }
 
 std::size_t ProgressReporter::completed() const {

@@ -11,6 +11,17 @@
 
 namespace pmrl::core::runfarm {
 
+/// Remaining-time estimate extrapolated from the mean completion rate:
+/// elapsed * (total - done) / done. Returns 0 when done == 0 (no rate
+/// yet), done >= total (nothing left), or elapsed <= 0.
+double eta_seconds(std::size_t done, std::size_t total, double elapsed_s);
+
+/// The line on_done() prints, sans trailing newline: in flight it reads
+/// "[label] k/N, elapsed E.Es, eta T.Ts"; once k == N it reads
+/// "[label] N/N done in E.Es".
+std::string progress_line(const std::string& label, std::size_t done,
+                          std::size_t total, double elapsed_s);
+
 class ProgressReporter {
  public:
   /// `enabled == false` turns every call into a no-op, so call sites can

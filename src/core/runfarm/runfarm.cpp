@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pmrl::core::runfarm {
 
 RunFarm::RunFarm(soc::SocConfig soc_config, EngineConfig engine_config,
@@ -21,18 +23,27 @@ std::vector<RunResult> RunFarm::run_all(const std::vector<RunSpec>& specs,
   // Per-run times accumulate as atomic nanoseconds: doubles have no atomic
   // fetch_add everywhere, and the sum must not race.
   std::atomic<std::int64_t> run_ns_total{0};
+  // Farm-level instruments resolved once per batch; queue depth is sampled
+  // as each task finishes (the mutex-guarded read is per-run, not per-tick).
+  obs::Histogram* queue_depth =
+      metrics_ ? &metrics_->histogram(
+                     "farm.queue_depth",
+                     {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+               : nullptr;
   std::vector<std::function<RunResult()>> tasks;
   tasks.reserve(specs.size());
   for (const auto& spec : specs) {
     if (!spec.make_governor) {
       throw std::invalid_argument("RunSpec needs a governor factory");
     }
-    tasks.push_back([this, &spec, &run_ns_total] {
+    tasks.push_back([this, &spec, &run_ns_total, queue_depth] {
       const auto start = Clock::now();
       // The task owns engine + scenario + governor: nothing mutable is
       // shared with any other task (see the determinism rule in the
       // header).
       SimEngine engine(soc_config_, engine_config_);
+      if (spec.trace_sink) engine.set_trace_sink(spec.trace_sink);
+      if (metrics_) engine.set_metrics(metrics_);
       auto scenario = workload::make_scenario(spec.kind, spec.seed);
       auto governor = spec.make_governor();
       RunResult result = engine.run(*scenario, *governor);
@@ -41,8 +52,17 @@ std::vector<RunResult> RunFarm::run_all(const std::vector<RunSpec>& specs,
                                                                start)
               .count(),
           std::memory_order_relaxed);
+      if (queue_depth) {
+        queue_depth->observe(
+            static_cast<double>(pool_ ? pool_->queued() : 0));
+      }
       return result;
     });
+  }
+  if (metrics_) {
+    metrics_->counter("farm.batches").inc();
+    metrics_->counter("farm.runs").inc(specs.size());
+    metrics_->gauge("farm.jobs").set(static_cast<double>(jobs_));
   }
 
   ProgressReporter progress(label, specs.size(), show_progress);

@@ -25,6 +25,11 @@
 #include "governors/registry.hpp"
 #include "workload/scenarios.hpp"
 
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace pmrl::obs
+
 namespace pmrl::core::runfarm {
 
 /// Ordered parallel map: executes every task (in any order, on the pool),
@@ -68,6 +73,11 @@ struct RunSpec {
   workload::ScenarioKind kind = workload::ScenarioKind::VideoPlayback;
   std::uint64_t seed = 0;
   governors::GovernorFactory make_governor;
+  /// Optional per-spec trace sink (non-owning). Exactly one task touches a
+  /// spec's sink, so sinks need not be thread-safe — and because trace
+  /// events carry only simulation-derived data, the sink's contents are
+  /// byte-identical whether the spec ran serially or on any farm thread.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Timing of the last executed batch: wall-clock vs the serial-equivalent
@@ -109,12 +119,20 @@ class RunFarm {
   /// Timing of the most recent run_all() batch.
   const BatchStats& last_stats() const { return stats_; }
 
+  /// Attaches a metrics registry (nullptr detaches): every task's engine
+  /// reports into it (atomic instruments aggregate across the worker
+  /// threads), and the farm itself tracks batch/run counters, a jobs
+  /// gauge, and a queue-depth histogram sampled at task completion.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   soc::SocConfig soc_config_;
   EngineConfig engine_config_;
   std::size_t jobs_;
   std::optional<ThreadPool> pool_;  // engaged when jobs_ > 1
   BatchStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pmrl::core::runfarm

@@ -42,6 +42,13 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished executing.
   void wait();
 
+  /// Tasks submitted but not yet started (an instantaneous sample; the
+  /// value may be stale by the time the caller reads it).
+  std::size_t queued() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return queued_;
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mutex;
@@ -55,7 +62,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Sleep/wake + completion accounting.
-  std::mutex state_mutex_;
+  mutable std::mutex state_mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::size_t pending_ = 0;  // submitted but not yet finished

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+
 namespace pmrl::fault {
 
 namespace {
@@ -35,6 +38,33 @@ FaultConfig FaultConfig::scaled(double intensity) const {
 FaultInjector::FaultInjector(FaultConfig config)
     : config_(config), rng_(config.seed) {}
 
+void FaultInjector::set_metrics(pmrl::obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  perturbed_counter_ =
+      metrics ? &metrics->counter("fault.perturbed_epochs") : nullptr;
+  dropout_counter_ =
+      metrics ? &metrics->counter("fault.dropout_samples") : nullptr;
+  stuck_counter_ =
+      metrics ? &metrics->counter("fault.stuck_episodes") : nullptr;
+  thermal_counter_ =
+      metrics ? &metrics->counter("fault.thermal_events") : nullptr;
+  corrupt_counter_ =
+      metrics ? &metrics->counter("fault.corrupted_bytes") : nullptr;
+}
+
+void FaultInjector::emit(double time_s, std::size_t index, double value,
+                         const char* detail) {
+  if (!trace_) return;
+  pmrl::obs::TraceEvent event;
+  event.kind = pmrl::obs::EventKind::Fault;
+  event.epoch = stats_.perturbed_epochs;
+  event.time_s = time_s;
+  event.index = static_cast<std::uint32_t>(index);
+  event.value = value;
+  event.detail = detail;
+  trace_->record(event);
+}
+
 void FaultInjector::reset() {
   rng_ = Rng(config_.seed);
   stats_ = FaultStats{};
@@ -56,6 +86,7 @@ void FaultInjector::perturb_observation(governors::PolicyObservation& obs) {
   const auto& t = config_.telemetry;
   if (!t.enabled()) return;
   ++stats_.perturbed_epochs;
+  if (perturbed_counter_) perturbed_counter_->inc();
   if (clusters_.size() < obs.soc.clusters.size()) {
     clusters_.resize(obs.soc.clusters.size());
   }
@@ -71,6 +102,8 @@ void FaultInjector::perturb_observation(governors::PolicyObservation& obs) {
       ct.busy_avg = fs.stuck_busy_avg;
     } else if (t.stuck_rate > 0.0 && rng_.bernoulli(t.stuck_rate)) {
       ++stats_.stuck_episodes;
+      if (stuck_counter_) stuck_counter_->inc();
+      emit(obs.soc.time_s, c, static_cast<double>(t.stuck_epochs), "stuck");
       fs.stuck_remaining = t.stuck_epochs;
       fs.stuck_util_avg = ct.util_avg;
       fs.stuck_util_max = ct.util_max;
@@ -80,6 +113,8 @@ void FaultInjector::perturb_observation(governors::PolicyObservation& obs) {
     if (t.dropout_rate > 0.0 && rng_.bernoulli(t.dropout_rate)) {
       // Lost sample: the driver reads back zeros for this epoch.
       ++stats_.dropout_samples;
+      if (dropout_counter_) dropout_counter_->inc();
+      emit(obs.soc.time_s, c, 0.0, "dropout");
       ct.util_avg = 0.0;
       ct.util_max = 0.0;
       ct.busy_avg = 0.0;
@@ -95,13 +130,15 @@ void FaultInjector::perturb_observation(governors::PolicyObservation& obs) {
   }
 }
 
-void FaultInjector::inject_epoch_faults(soc::Soc& soc) {
+void FaultInjector::inject_epoch_faults(soc::Soc& soc, double time_s) {
   const auto& th = config_.thermal;
   if (!th.enabled()) return;
   for (std::size_t c = 0; c < soc.cluster_count(); ++c) {
     if (rng_.bernoulli(th.event_rate)) {
       ++stats_.thermal_events;
+      if (thermal_counter_) thermal_counter_->inc();
       const double delta = rng_.uniform(th.min_delta_c, th.max_delta_c);
+      emit(time_s, c, delta, "thermal");
       soc.inject_thermal_event(c, delta);
     }
   }
@@ -119,6 +156,10 @@ std::size_t FaultInjector::corrupt_text(std::string& text) {
     }
   }
   stats_.corrupted_bytes += flipped;
+  if (flipped > 0) {
+    if (corrupt_counter_) corrupt_counter_->inc(flipped);
+    emit(0.0, 0, static_cast<double>(flipped), "corrupt-text");
+  }
   return flipped;
 }
 

@@ -24,6 +24,12 @@
 #include "soc/soc.hpp"
 #include "util/rng.hpp"
 
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+class Counter;
+}  // namespace pmrl::obs
+
 namespace pmrl::fault {
 
 /// Running totals of what the injector actually did.
@@ -50,12 +56,24 @@ class FaultInjector {
   /// place. Stuck-at state is tracked per cluster across calls.
   void perturb_observation(governors::PolicyObservation& obs);
 
-  /// Samples and applies this epoch's thermal-emergency events.
-  void inject_epoch_faults(soc::Soc& soc);
+  /// Samples and applies this epoch's thermal-emergency events. `time_s`
+  /// stamps emitted trace events (simulation time; 0 when unknown).
+  void inject_epoch_faults(soc::Soc& soc, double time_s = 0.0);
 
   /// Flips random bits in a persisted checkpoint image (policy-file
   /// corruption seam); returns the number of corrupted bytes.
   std::size_t corrupt_text(std::string& text);
+
+  /// Installs a trace sink (nullptr disengages): Fault events are emitted
+  /// for stuck-sensor onsets, dropout samples, thermal emergencies, and
+  /// checkpoint corruption, with detail naming the fault kind.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Attaches a metrics registry (nullptr detaches): mirrors FaultStats
+  /// into named counters so farm-wide totals aggregate.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   /// Stuck-at bookkeeping for one cluster's telemetry.
@@ -67,11 +85,20 @@ class FaultInjector {
   };
 
   double degrade_util(double value);
+  void emit(double time_s, std::size_t index, double value,
+            const char* detail);
 
   FaultConfig config_;
   Rng rng_;
   FaultStats stats_;
   std::vector<ClusterFaultState> clusters_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* perturbed_counter_ = nullptr;
+  obs::Counter* dropout_counter_ = nullptr;
+  obs::Counter* stuck_counter_ = nullptr;
+  obs::Counter* thermal_counter_ = nullptr;
+  obs::Counter* corrupt_counter_ = nullptr;
 };
 
 }  // namespace pmrl::fault

@@ -2,7 +2,28 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+
 namespace pmrl::hw {
+
+namespace {
+void emit_hw_event(pmrl::obs::TraceSink* sink, std::size_t invocation,
+                   std::size_t state, std::size_t action, double reward,
+                   const PolicyLatency& latency) {
+  if (!sink) return;
+  pmrl::obs::TraceEvent event;
+  event.kind = pmrl::obs::EventKind::HwInvoke;
+  event.epoch = invocation;
+  event.state = state;
+  event.action = static_cast<std::uint32_t>(action);
+  event.reward = reward;
+  event.latency_s = latency.end_to_end_s;
+  event.value = static_cast<double>(latency.interface_retries);
+  if (!latency.interface_ok) event.detail = "hold";
+  sink->record(event);
+}
+}  // namespace
 
 HwPolicyEngine::HwPolicyEngine(HwPolicyConfig config, std::size_t states,
                                std::size_t actions)
@@ -19,6 +40,17 @@ double HwPolicyEngine::interface_latency_s() const {
                                    config_.invocation_reads);
 }
 
+void HwPolicyEngine::set_metrics(pmrl::obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  invocations_counter_ =
+      metrics ? &metrics->counter("hw.invocations") : nullptr;
+  retries_counter_ = metrics ? &metrics->counter("hw.axi_retries") : nullptr;
+  timeouts_counter_ =
+      metrics ? &metrics->counter("hw.axi_timeouts") : nullptr;
+  failures_counter_ =
+      metrics ? &metrics->counter("hw.interface_failures") : nullptr;
+}
+
 void HwPolicyEngine::set_interface_faults(AxiFaultParams faults,
                                           std::uint64_t seed) {
   faults_ = faults;
@@ -28,6 +60,8 @@ void HwPolicyEngine::set_interface_faults(AxiFaultParams faults,
 
 std::size_t HwPolicyEngine::invoke(std::size_t state, double reward,
                                    PolicyLatency& latency) {
+  const std::size_t invocation = invocations_++;
+  if (invocations_counter_) invocations_counter_->inc();
   latency.interface_retries = 0;
   latency.interface_timeouts = 0;
   latency.interface_ok = true;
@@ -41,15 +75,24 @@ std::size_t HwPolicyEngine::invoke(std::size_t state, double reward,
     interface_s = transfer.latency_s;
     latency.interface_retries = transfer.retries;
     latency.interface_timeouts = transfer.timeouts;
+    if (retries_counter_ && transfer.retries > 0) {
+      retries_counter_->inc(transfer.retries);
+    }
+    if (timeouts_counter_ && transfer.timeouts > 0) {
+      timeouts_counter_->inc(transfer.timeouts);
+    }
     if (!transfer.success) {
       // The accelerator never received this state/reward: hold the last
       // action, skip the TD update, and charge only the wasted bus time.
       ++interface_failures_;
+      if (failures_counter_) failures_counter_->inc();
       latency.interface_ok = false;
       latency.datapath_cycles = 0;
       latency.raw_s = 0.0;
       latency.end_to_end_s = interface_s;
-      return has_prev_ ? prev_action_ : 0;
+      const std::size_t held = has_prev_ ? prev_action_ : 0;
+      emit_hw_event(trace_, invocation, state, held, reward, latency);
+      return held;
     }
   }
 
@@ -66,6 +109,7 @@ std::size_t HwPolicyEngine::invoke(std::size_t state, double reward,
   latency.raw_s =
       static_cast<double>(cycles.total()) / config_.fpga_clock_hz;
   latency.end_to_end_s = latency.raw_s + interface_s;
+  emit_hw_event(trace_, invocation, state, action, reward, latency);
   return action;
 }
 

@@ -8,6 +8,12 @@
 #include "hw/axi.hpp"
 #include "hw/datapath.hpp"
 
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+class Counter;
+}  // namespace pmrl::obs
+
 namespace pmrl::hw {
 
 /// Accelerator + interface configuration.
@@ -76,6 +82,17 @@ class HwPolicyEngine {
   /// Constant per-invocation interface latency (seconds).
   double interface_latency_s() const;
 
+  /// Installs a trace sink (nullptr disengages): every invoke() emits one
+  /// HwInvoke event carrying state/action/reward, the end-to-end latency,
+  /// and the retry count (value); failed invocations get detail="hold".
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Attaches a metrics registry (nullptr detaches): invocation, AXI
+  /// retry/timeout, and interface-failure counters.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   HwPolicyConfig config_;
   QDatapath datapath_;
@@ -86,6 +103,13 @@ class HwPolicyEngine {
   bool has_prev_ = false;
   std::size_t prev_state_ = 0;
   std::size_t prev_action_ = 0;
+  std::size_t invocations_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* invocations_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
 };
 
 }  // namespace pmrl::hw

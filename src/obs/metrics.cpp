@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/trace_event.hpp"  // format_trace_double
+
+namespace pmrl::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add is not yet universal; CAS-add instead.
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::Counter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::Counter) {
+    throw std::invalid_argument("metric '" + name + "' is not a counter");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::Gauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::Gauge) {
+    throw std::invalid_argument("metric '" + name + "' is not a gauge");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    if (bounds.empty()) {
+      bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+    }
+    Entry entry;
+    entry.kind = Kind::Histogram;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::Histogram) {
+    throw std::invalid_argument("metric '" + name + "' is not a histogram");
+  }
+  return *it->second.histogram;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto write_section = [&](const char* title, Kind kind, auto&& body) {
+    out << "\"" << title << "\":{";
+    bool first = true;
+    for (const auto& [name, entry] : entries_) {
+      if (entry.kind != kind) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '"' << name << "\":";
+      body(entry);
+    }
+    out << '}';
+  };
+  out << '{';
+  write_section("counters", Kind::Counter, [&](const Entry& entry) {
+    out << entry.counter->value();
+  });
+  out << ',';
+  write_section("gauges", Kind::Gauge, [&](const Entry& entry) {
+    const double max = entry.gauge->max();
+    out << "{\"value\":" << format_trace_double(entry.gauge->value())
+        << ",\"max\":"
+        << format_trace_double(
+               max == std::numeric_limits<double>::lowest() ? 0.0 : max)
+        << '}';
+  });
+  out << ',';
+  write_section("histograms", Kind::Histogram, [&](const Entry& entry) {
+    const Histogram& h = *entry.histogram;
+    out << "{\"count\":" << h.count()
+        << ",\"sum\":" << format_trace_double(h.sum())
+        << ",\"mean\":" << format_trace_double(h.mean()) << ",\"buckets\":[";
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+      if (i > 0) out << ',';
+      out << h.bucket_count(i);
+    }
+    out << "]}";
+  });
+  out << '}';
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace pmrl::obs

@@ -1,0 +1,126 @@
+#pragma once
+// MetricsRegistry: named counters, gauges, and histograms shared across the
+// whole stack (engine, RL policy, fault injector, hardware interface, run
+// farm). Instruments are lock-free on the hot path (atomics); the registry
+// itself is mutex-protected and node-based, so a reference handed out by
+// counter()/gauge()/histogram() stays valid for the registry's lifetime.
+// One registry can be attached to every task of a RunFarm batch: the atomic
+// instruments aggregate across worker threads without locks.
+//
+// Zero-overhead-when-disabled: producers cache instrument pointers at
+// attach time (set_metrics) and skip everything behind one nullptr check.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pmrl::obs {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value plus a running maximum.
+class Gauge {
+ public:
+  void set(double v) {
+    value_.store(v, std::memory_order_relaxed);
+    update_max(v);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void update_max(double v) {
+    double seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{std::numeric_limits<double>::lowest()};
+};
+
+/// Fixed-bucket histogram: counts per upper bound (a final +inf bucket is
+/// implicit) plus sum/count for the mean.
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bounds; throws std::invalid_argument on
+  /// an unsorted list.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const auto n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count of observations in bucket i (i == bounds().size() is +inf).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe registry of named instruments.
+class MetricsRegistry {
+ public:
+  /// Returns the instrument named `name`, creating it on first use. A name
+  /// identifies exactly one instrument kind; re-requesting it as a
+  /// different kind throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Default bounds suit latency-ish seconds values; bounds are fixed by
+  /// the first call for a given name.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// All instrument names, sorted (deterministic dump order).
+  std::vector<std::string> names() const;
+
+  /// Dumps every instrument as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pmrl::obs

@@ -1,0 +1,70 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/trace_event.hpp"  // format_trace_double
+
+namespace pmrl::obs {
+
+TimerStat& Profiler::timer(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(name, std::make_unique<TimerStat>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Profiler::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, stat] : timers_) out.push_back(name);
+  return out;
+}
+
+void Profiler::write_report(std::ostream& out) const {
+  struct Row {
+    std::string name;
+    double total_s;
+    std::uint64_t calls;
+    double mean_s;
+  };
+  std::vector<Row> rows;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rows.reserve(timers_.size());
+    for (const auto& [name, stat] : timers_) {
+      rows.push_back({name, stat->total_s(), stat->calls(), stat->mean_s()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.total_s > b.total_s; });
+  for (const Row& row : rows) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%-28s %10.4f s  %10llu calls  %.3f us/call",
+                  row.name.c_str(), row.total_s,
+                  static_cast<unsigned long long>(row.calls),
+                  row.mean_s * 1e6);
+    out << line << '\n';
+  }
+}
+
+void Profiler::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << '{';
+  bool first = true;
+  for (const auto& [name, stat] : timers_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name
+        << "\":{\"total_s\":" << format_trace_double(stat->total_s())
+        << ",\"calls\":" << stat->calls()
+        << ",\"mean_s\":" << format_trace_double(stat->mean_s()) << '}';
+  }
+  out << '}';
+}
+
+}  // namespace pmrl::obs

@@ -1,6 +1,8 @@
 #include "rl/rl_governor.hpp"
 
 #include "governors/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace pmrl::rl {
 
@@ -77,6 +79,13 @@ void RlGovernor::reset(const governors::PolicyObservation&) {
   run_decisions_ = 0;
 }
 
+void RlGovernor::set_metrics(pmrl::obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  decisions_counter_ = metrics ? &metrics->counter("rl.decisions") : nullptr;
+  q_updates_counter_ = metrics ? &metrics->counter("rl.q_updates") : nullptr;
+  epsilon_gauge_ = metrics ? &metrics->gauge("rl.epsilon") : nullptr;
+}
+
 void RlGovernor::decide(const governors::PolicyObservation& obs,
                         governors::OppRequest& request) {
   if (config_.structure == PolicyStructure::Joint) {
@@ -85,16 +94,21 @@ void RlGovernor::decide(const governors::PolicyObservation& obs,
     decide_factored(obs, request);
   }
   ++run_decisions_;
+  if (decisions_counter_) decisions_counter_->inc(agents_.size());
+  if (epsilon_gauge_) epsilon_gauge_->set(agents_.front()->epsilon());
 }
 
 void RlGovernor::decide_joint(const governors::PolicyObservation& obs,
                               governors::OppRequest& request) {
   QAgent& agent = *agents_.front();
   const std::size_t state = encoder_.encode(obs);
+  double learn_reward = 0.0;
   if (prev_states_ && run_decisions_ > config_.warmup_decisions) {
     const double r = reward_(obs, prev_moved_.front());
+    learn_reward = r;
     run_reward_ += r;
     agent.learn(prev_states_->front(), prev_actions_.front(), r, state);
+    if (q_updates_counter_) q_updates_counter_->inc();
   }
   const std::size_t action = agent.select_action(state);
   actions_.apply(action, obs, request);
@@ -109,6 +123,19 @@ void RlGovernor::decide_joint(const governors::PolicyObservation& obs,
   prev_states_.emplace(1, state);
   prev_actions_.assign(1, action);
   prev_moved_.assign(1, moved);
+  if (trace_) {
+    pmrl::obs::TraceEvent event;
+    event.kind = pmrl::obs::EventKind::Decision;
+    event.epoch = run_decisions_;
+    event.time_s = obs.soc.time_s;
+    event.index = 0;
+    event.state = state;
+    event.action = static_cast<std::uint32_t>(action);
+    event.reward = learn_reward;
+    event.value = agent.epsilon();
+    event.detail = "joint";
+    trace_->record(event);
+  }
 }
 
 void RlGovernor::decide_factored(const governors::PolicyObservation& obs,
@@ -117,12 +144,15 @@ void RlGovernor::decide_factored(const governors::PolicyObservation& obs,
   for (std::size_t c = 0; c < cluster_count_; ++c) {
     states[c] = encoder_.encode_cluster(obs, c);
   }
+  if (trace_) trace_rewards_.assign(cluster_count_, 0.0);
   if (prev_states_ && run_decisions_ > config_.warmup_decisions) {
     for (std::size_t c = 0; c < cluster_count_; ++c) {
       const double r = reward_.cluster_reward(obs, c, prev_moved_[c]);
       run_reward_ += r;
+      if (trace_) trace_rewards_[c] = r;
       agents_[c]->learn((*prev_states_)[c], prev_actions_[c], r, states[c]);
     }
+    if (q_updates_counter_) q_updates_counter_->inc(cluster_count_);
   }
   prev_moved_.assign(cluster_count_, false);
   for (std::size_t c = 0; c < cluster_count_; ++c) {
@@ -131,6 +161,18 @@ void RlGovernor::decide_factored(const governors::PolicyObservation& obs,
     apply_qos_guard(obs, c, request);
     prev_actions_[c] = move;
     prev_moved_[c] = request[c] != obs.soc.clusters[c].opp_index;
+    if (trace_) {
+      pmrl::obs::TraceEvent event;
+      event.kind = pmrl::obs::EventKind::Decision;
+      event.epoch = run_decisions_;
+      event.time_s = obs.soc.time_s;
+      event.index = static_cast<std::uint32_t>(c);
+      event.state = states[c];
+      event.action = static_cast<std::uint32_t>(move);
+      event.reward = trace_rewards_[c];
+      event.value = agents_[c]->epsilon();
+      trace_->record(event);
+    }
   }
   prev_states_ = std::move(states);
 }

@@ -26,6 +26,13 @@
 #include "rl/reward.hpp"
 #include "rl/state.hpp"
 
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace pmrl::obs
+
 namespace pmrl::rl {
 
 /// Which arithmetic backs the agents.
@@ -108,6 +115,19 @@ class RlGovernor : public governors::Governor {
   double run_reward() const { return run_reward_; }
   std::size_t run_decisions() const { return run_decisions_; }
 
+  /// Installs a trace sink (nullptr disengages). While installed, every
+  /// decision epoch emits one Decision event per agent carrying the encoded
+  /// state, chosen action/move, and the reward that scored the previous
+  /// action (0 before learning starts). Events carry only
+  /// simulation-derived values — traces stay deterministic.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Attaches a metrics registry (nullptr detaches): decision/Q-update
+  /// counters and the current exploration rate gauge.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   void decide_joint(const governors::PolicyObservation& obs,
                     governors::OppRequest& request);
@@ -130,6 +150,15 @@ class RlGovernor : public governors::Governor {
   std::vector<bool> prev_moved_;
   double run_reward_ = 0.0;
   std::size_t run_decisions_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Instruments resolved once at attach time (registry lookups lock).
+  obs::Counter* decisions_counter_ = nullptr;
+  obs::Counter* q_updates_counter_ = nullptr;
+  obs::Gauge* epsilon_gauge_ = nullptr;
+  /// Scratch: per-agent reward of the update performed this epoch, only
+  /// maintained while a trace sink is installed.
+  std::vector<double> trace_rewards_;
 };
 
 /// Registers the "rl" policy (fresh, untrained, default config for a

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/log.hpp"
 
 namespace pmrl::rl {
@@ -28,6 +30,13 @@ PolicyWatchdog::PolicyWatchdog(RlGovernor& primary,
 
 std::string PolicyWatchdog::name() const {
   return primary_.name() + "+watchdog(" + fallback_->name() + ")";
+}
+
+void PolicyWatchdog::set_metrics(pmrl::obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  trips_counter_ = metrics ? &metrics->counter("watchdog.trips") : nullptr;
+  reengage_counter_ =
+      metrics ? &metrics->counter("watchdog.reengagements") : nullptr;
 }
 
 void PolicyWatchdog::reset(const governors::PolicyObservation& initial) {
@@ -143,6 +152,16 @@ void PolicyWatchdog::decide(const governors::PolicyObservation& obs,
       primary_.reset(obs);
       PMRL_INFO("watchdog") << "re-engaging primary after "
                             << epochs_since_trip_ << " fallback epochs";
+      if (reengage_counter_) reengage_counter_->inc();
+      if (trace_) {
+        pmrl::obs::TraceEvent event;
+        event.kind = pmrl::obs::EventKind::Watchdog;
+        event.epoch = total_epochs_;
+        event.time_s = obs.soc.time_s;
+        event.value = 0.0;
+        event.detail = "re-engage";
+        trace_->record(event);
+      }
     }
     return;
   }
@@ -158,6 +177,16 @@ void PolicyWatchdog::decide(const governors::PolicyObservation& obs,
     last_trip_ = trip;
     PMRL_WARN("watchdog") << "trip (" << watchdog_trip_name(trip)
                           << "): engaging " << fallback_->name();
+    if (trips_counter_) trips_counter_->inc();
+    if (trace_) {
+      pmrl::obs::TraceEvent event;
+      event.kind = pmrl::obs::EventKind::Watchdog;
+      event.epoch = total_epochs_;
+      event.time_s = obs.soc.time_s;
+      event.value = 1.0;
+      event.detail = watchdog_trip_name(trip);
+      trace_->record(event);
+    }
     // Override this epoch's request with the safe governor's decision —
     // the primary's choice is the one under suspicion.
     fallback_->decide(obs, request);

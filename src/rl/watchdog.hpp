@@ -28,6 +28,12 @@
 #include "governors/governor.hpp"
 #include "rl/rl_governor.hpp"
 
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+class Counter;
+}  // namespace pmrl::obs
+
 namespace pmrl::rl {
 
 /// Why the watchdog engaged the fallback.
@@ -94,6 +100,17 @@ class PolicyWatchdog : public governors::Governor {
   RlGovernor& primary() { return primary_; }
   governors::Governor& fallback() { return *fallback_; }
 
+  /// Installs a trace sink (nullptr disengages): a Watchdog event is
+  /// emitted on every trip (value=1, detail=trip name) and re-engagement
+  /// (value=0, detail="re-engage").
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Attaches a metrics registry (nullptr detaches): counts trips and
+  /// re-engagements.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   void observe_epoch(const governors::PolicyObservation& obs);
   WatchdogTrip evaluate_trip() const;
@@ -116,6 +133,10 @@ class PolicyWatchdog : public governors::Governor {
   std::vector<std::deque<int>> move_history_;
   std::vector<std::size_t> last_request_;
   bool has_last_request_ = false;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* trips_counter_ = nullptr;
+  obs::Counter* reengage_counter_ = nullptr;
 };
 
 }  // namespace pmrl::rl

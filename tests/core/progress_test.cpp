@@ -1,0 +1,81 @@
+// Unit tests for the progress/ETA math and line formatting extracted from
+// ProgressReporter, plus the reporter's counting behaviour.
+
+#include "core/runfarm/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace runfarm = pmrl::core::runfarm;
+
+TEST(EtaSeconds, ExtrapolatesFromMeanRate) {
+  // 4 of 10 done in 8 s -> 2 s/run -> 12 s remaining.
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(4, 10, 8.0), 12.0);
+  // Halfway: remaining equals elapsed.
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(5, 10, 30.0), 30.0);
+}
+
+TEST(EtaSeconds, ZeroBeforeFirstCompletion) {
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(0, 10, 5.0), 0.0);
+}
+
+TEST(EtaSeconds, ZeroWhenFinishedOrOvershot) {
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(10, 10, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(11, 10, 5.0), 0.0);
+}
+
+TEST(EtaSeconds, ZeroWithoutElapsedTime) {
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(runfarm::eta_seconds(3, 10, -1.0), 0.0);
+}
+
+TEST(EtaSeconds, ShrinksMonotonicallyAtFixedRate) {
+  // At a constant rate (elapsed = done * 2 s) the estimate must only
+  // decrease as work completes.
+  double prev = runfarm::eta_seconds(1, 20, 2.0);
+  for (std::size_t done = 2; done < 20; ++done) {
+    const double eta =
+        runfarm::eta_seconds(done, 20, static_cast<double>(done) * 2.0);
+    EXPECT_LE(eta, prev) << "done=" << done;
+    prev = eta;
+  }
+}
+
+TEST(ProgressLine, InFlightFormat) {
+  EXPECT_EQ(runfarm::progress_line("farm", 4, 10, 8.0),
+            "[farm] 4/10, elapsed 8.0s, eta 12.0s");
+}
+
+TEST(ProgressLine, FinalFormat) {
+  EXPECT_EQ(runfarm::progress_line("train", 10, 10, 3.25),
+            "[train] 10/10 done in 3.2s");
+}
+
+TEST(ProgressLine, ZeroDoneShowsZeroEta) {
+  EXPECT_EQ(runfarm::progress_line("x", 0, 5, 1.0),
+            "[x] 0/5, elapsed 1.0s, eta 0.0s");
+}
+
+TEST(ProgressReporter, CountsCompletions) {
+  runfarm::ProgressReporter progress("test", 3, /*enabled=*/false);
+  EXPECT_EQ(progress.completed(), 0u);
+  progress.on_done();
+  progress.on_done();
+  EXPECT_EQ(progress.completed(), 2u);
+  progress.on_done();
+  EXPECT_EQ(progress.completed(), 3u);
+}
+
+TEST(ProgressReporter, ThreadSafeCounting) {
+  runfarm::ProgressReporter progress("test", 400, /*enabled=*/false);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&progress] {
+      for (int i = 0; i < 100; ++i) progress.on_done();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(progress.completed(), 400u);
+}

@@ -1,0 +1,130 @@
+// Trace determinism across the run farm: because events carry only
+// simulation-derived values and every spec owns its sink, the serialized
+// trace of a spec run on a 4-thread farm must be byte-identical to the
+// serial run's. This is the acceptance gate for the observability layer —
+// any wall-clock, thread-id, or shared-RNG leak into an event breaks it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runfarm/runfarm.hpp"
+#include "governors/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "workload/scenarios.hpp"
+
+namespace obs = pmrl::obs;
+namespace runfarm = pmrl::core::runfarm;
+namespace pmrl_gov = pmrl::governors;
+namespace workload = pmrl::workload;
+
+namespace {
+
+pmrl::core::EngineConfig short_run() {
+  pmrl::core::EngineConfig config;
+  config.duration_s = 1.0;
+  return config;
+}
+
+std::vector<runfarm::RunSpec> trace_specs(
+    std::vector<std::unique_ptr<obs::VectorTraceSink>>& sinks) {
+  std::vector<runfarm::RunSpec> specs;
+  const workload::ScenarioKind kinds[] = {
+      workload::ScenarioKind::VideoPlayback, workload::ScenarioKind::Mixed,
+      workload::ScenarioKind::AudioIdle};
+  const char* names[] = {"ondemand", "schedutil"};
+  std::uint64_t seed = 42;
+  for (const auto kind : kinds) {
+    for (const char* name : names) {
+      runfarm::RunSpec spec;
+      spec.kind = kind;
+      spec.seed = seed++;
+      const std::string governor = name;
+      spec.make_governor = [governor] {
+        return pmrl_gov::make_governor(governor);
+      };
+      sinks.push_back(std::make_unique<obs::VectorTraceSink>());
+      spec.trace_sink = sinks.back().get();
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::string serialize(const std::vector<obs::TraceEvent>& events) {
+  std::ostringstream out;
+  obs::write_csv_trace(out, events, obs::trace_cluster_count(events));
+  return out.str();
+}
+
+}  // namespace
+
+TEST(FarmTrace, FourThreadFarmTraceByteIdenticalToSerial) {
+  const auto soc_config = pmrl::soc::default_mobile_soc_config();
+
+  std::vector<std::unique_ptr<obs::VectorTraceSink>> serial_sinks;
+  auto serial_specs = trace_specs(serial_sinks);
+  runfarm::RunFarm serial(soc_config, short_run(), 1);
+  serial.run_all(serial_specs);
+
+  std::vector<std::unique_ptr<obs::VectorTraceSink>> farm_sinks;
+  auto farm_specs = trace_specs(farm_sinks);
+  runfarm::RunFarm threaded(soc_config, short_run(), 4);
+  threaded.run_all(farm_specs);
+
+  ASSERT_EQ(serial_sinks.size(), farm_sinks.size());
+  for (std::size_t i = 0; i < serial_sinks.size(); ++i) {
+    ASSERT_FALSE(serial_sinks[i]->events().empty()) << "spec " << i;
+    // Structural equality first (better failure message granularity)...
+    EXPECT_EQ(serial_sinks[i]->events(), farm_sinks[i]->events())
+        << "spec " << i;
+    // ...then the literal byte-identity contract on the serialized form.
+    EXPECT_EQ(serialize(serial_sinks[i]->events()),
+              serialize(farm_sinks[i]->events()))
+        << "spec " << i;
+  }
+}
+
+TEST(FarmTrace, TraceShapePerRun) {
+  // Each run's trace: one RunBegin, one Epoch per decision epoch, one
+  // RunEnd, in that order, with monotone cumulative energy.
+  std::vector<std::unique_ptr<obs::VectorTraceSink>> sinks;
+  auto specs = trace_specs(sinks);
+  runfarm::RunFarm farm(pmrl::soc::tiny_test_soc_config(), short_run(), 2);
+  farm.run_all(specs);
+
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    const auto& events = sinks[i]->events();
+    ASSERT_GE(events.size(), 3u) << "spec " << i;
+    EXPECT_EQ(events.front().kind, obs::EventKind::RunBegin);
+    EXPECT_EQ(events.back().kind, obs::EventKind::RunEnd);
+    double last_total = 0.0;
+    for (const auto& event : events) {
+      if (event.kind != obs::EventKind::Epoch) continue;
+      EXPECT_GE(event.total_energy_j, last_total);
+      last_total = event.total_energy_j;
+    }
+    EXPECT_GT(last_total, 0.0) << "spec " << i;
+  }
+}
+
+TEST(FarmTrace, MetricsAggregateAcrossThreads) {
+  std::vector<std::unique_ptr<obs::VectorTraceSink>> sinks;
+  auto specs = trace_specs(sinks);
+  obs::MetricsRegistry registry;
+  runfarm::RunFarm farm(pmrl::soc::tiny_test_soc_config(), short_run(), 4);
+  farm.set_metrics(&registry);
+  farm.run_all(specs);
+
+  EXPECT_EQ(registry.counter("farm.batches").value(), 1u);
+  EXPECT_EQ(registry.counter("farm.runs").value(), specs.size());
+  EXPECT_EQ(registry.counter("engine.runs").value(), specs.size());
+  EXPECT_DOUBLE_EQ(registry.gauge("farm.jobs").value(), 4.0);
+  // 1 s at 20 ms epochs = 50 epochs per run.
+  EXPECT_EQ(registry.counter("engine.epochs").value(), specs.size() * 50u);
+  EXPECT_EQ(registry.histogram("farm.queue_depth").count(), specs.size());
+}

@@ -1,0 +1,141 @@
+// Golden-trace regression tests: short canonical runs (default SoC, 1 s)
+// serialized as CSV and compared byte-for-byte against committed goldens
+// under tests/data/. Any behavioural drift in the SoC model, scheduler,
+// governors, reward chain, or trace schema shows up here as a diff, with
+// the first diverging line/epoch reported.
+//
+// Regenerating (after an INTENDED behaviour change, reviewed like code):
+//   PMRL_REGEN_GOLDEN=1 ./build/tests/test_obs
+// then commit the rewritten tests/data/golden_*.csv files. See DESIGN.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "governors/registry.hpp"
+#include "obs/trace_sink.hpp"
+#include "rl/rl_governor.hpp"
+#include "util/csv.hpp"
+#include "workload/scenarios.hpp"
+
+namespace obs = pmrl::obs;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+std::string data_path(const std::string& name) {
+  return std::string(PMRL_TEST_DATA_DIR) + "/" + name;
+}
+
+// One canonical run: default SoC, 1 simulated second, fixed seed. The
+// governor's own Decision events (rl-greedy) interleave with the engine's
+// Epoch events in the same sink.
+std::string record_trace(pmrl::workload::ScenarioKind kind,
+                         const std::string& governor_name) {
+  pmrl::core::EngineConfig engine_config;
+  engine_config.duration_s = 1.0;
+  pmrl::core::SimEngine engine(pmrl::soc::default_mobile_soc_config(),
+                               engine_config);
+  obs::VectorTraceSink sink;
+  engine.set_trace_sink(&sink);
+
+  auto scenario = pmrl::workload::make_scenario(kind, kSeed);
+  if (governor_name == "rl-greedy") {
+    pmrl::rl::RlGovernor governor(pmrl::rl::RlGovernorConfig{},
+                                  /*cluster_count=*/2);
+    governor.set_frozen(true);  // pure greedy: no exploration, no learning
+    governor.set_trace_sink(&sink);
+    engine.run(*scenario, governor);
+  } else {
+    auto governor = pmrl::governors::make_governor(governor_name);
+    engine.run(*scenario, *governor);
+  }
+
+  std::ostringstream out;
+  const auto& events = sink.events();
+  obs::write_csv_trace(out, events, obs::trace_cluster_count(events));
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// On mismatch, name the first diverging line and the epoch it belongs to —
+// "epoch 37 diverged" localizes a model drift far faster than a raw diff.
+void compare_against_golden(const std::string& golden_name,
+                            const std::string& actual) {
+  const std::string path = data_path(golden_name);
+  if (std::getenv("PMRL_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with PMRL_REGEN_GOLDEN=1)";
+  std::ostringstream golden_stream;
+  golden_stream << in.rdbuf();
+  const std::string golden = golden_stream.str();
+  if (actual == golden) return;
+
+  const auto actual_lines = split_lines(actual);
+  const auto golden_lines = split_lines(golden);
+  const std::size_t n = std::min(actual_lines.size(), golden_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (actual_lines[i] == golden_lines[i]) continue;
+    // Row layout: kind,epoch,... (see trace_csv_header).
+    const auto fields = pmrl::CsvReader::parse_string(actual_lines[i]);
+    std::string kind = "?", epoch = "?";
+    if (!fields.empty() && fields.front().size() >= 2) {
+      kind = fields.front()[0];
+      epoch = fields.front()[1];
+    }
+    FAIL() << golden_name << ": first divergence at line " << (i + 1)
+           << " (event kind=" << kind << ", epoch=" << epoch << ")\n"
+           << "  golden: " << golden_lines[i] << "\n"
+           << "  actual: " << actual_lines[i];
+  }
+  FAIL() << golden_name << ": traces identical for " << n
+         << " lines, then lengths diverge (golden " << golden_lines.size()
+         << " lines, actual " << actual_lines.size() << ")";
+}
+
+}  // namespace
+
+TEST(GoldenTrace, VideoOndemand) {
+  compare_against_golden(
+      "golden_video_ondemand.csv",
+      record_trace(pmrl::workload::ScenarioKind::VideoPlayback, "ondemand"));
+}
+
+TEST(GoldenTrace, VideoRlGreedy) {
+  compare_against_golden(
+      "golden_video_rl-greedy.csv",
+      record_trace(pmrl::workload::ScenarioKind::VideoPlayback, "rl-greedy"));
+}
+
+TEST(GoldenTrace, AudioIdleOndemand) {
+  compare_against_golden(
+      "golden_audioidle_ondemand.csv",
+      record_trace(pmrl::workload::ScenarioKind::AudioIdle, "ondemand"));
+}
+
+TEST(GoldenTrace, AudioIdleRlGreedy) {
+  compare_against_golden(
+      "golden_audioidle_rl-greedy.csv",
+      record_trace(pmrl::workload::ScenarioKind::AudioIdle, "rl-greedy"));
+}

@@ -1,0 +1,126 @@
+// MetricsRegistry unit tests plus a multi-threaded hammer: instruments
+// must aggregate exactly under concurrent use (run the test binary with
+// -DPMRL_SANITIZE=thread to let TSan check the locking).
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace obs = pmrl::obs;
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("epochs");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("epochs"), &c);
+}
+
+TEST(MetricsRegistry, GaugeTracksValueAndMax) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("epsilon");
+  g.set(0.6);
+  g.set(0.9);
+  g.set(0.1);
+  EXPECT_DOUBLE_EQ(g.value(), 0.1);
+  EXPECT_DOUBLE_EQ(g.max(), 0.9);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndMean) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("latency", {1.0, 10.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(5.0);   // bucket 1 (<= 10)
+  h.observe(50.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 18.5);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // +inf overflow bucket
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, NamesSorted) {
+  obs::MetricsRegistry registry;
+  registry.counter("b");
+  registry.gauge("a");
+  registry.histogram("c");
+  const auto names = registry.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST(MetricsRegistry, JsonContainsEveryInstrument) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.runs").inc(3);
+  registry.gauge("rl.epsilon").set(0.25);
+  registry.histogram("farm.queue_depth", {1.0}).observe(0.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"engine.runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"rl.epsilon\""), std::string::npos);
+  EXPECT_NE(json.find("\"farm.queue_depth\""), std::string::npos);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(), json);
+}
+
+// The farm hammer: many threads create/resolve instruments by name and
+// bump them concurrently; totals must be exact and references stable.
+TEST(MetricsRegistry, ThreadSafeUnderConcurrentUse) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads resolve the shared names every iteration (lock
+      // contention path), the rest cache the reference (hot path).
+      obs::Counter& cached = registry.counter("shared.counter");
+      obs::Histogram& hist = registry.histogram("shared.hist", {10.0});
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          registry.counter("shared.counter").inc();
+        } else {
+          cached.inc();
+        }
+        registry.gauge("shared.gauge").set(static_cast<double>(i));
+        hist.observe(static_cast<double>(i % 20));
+        registry.counter("thread." + std::to_string(t)).inc();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter("shared.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.histogram("shared.hist").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(registry.gauge("shared.gauge").max(),
+                   static_cast<double>(kIters - 1));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIters));
+  }
+  // Histogram sum: kIters/20 full cycles of 0..19 per thread.
+  const double cycle_sum = 190.0;  // sum 0..19
+  EXPECT_DOUBLE_EQ(
+      registry.histogram("shared.hist").sum(),
+      cycle_sum * (kIters / 20) * kThreads);
+}

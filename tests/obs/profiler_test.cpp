@@ -1,0 +1,63 @@
+// Profiler / ScopedTimer unit tests.
+
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace obs = pmrl::obs;
+
+TEST(TimerStat, AccumulatesTimeAndCalls) {
+  obs::TimerStat stat;
+  stat.add(1'000'000'000, 2);
+  stat.add(500'000'000);
+  EXPECT_EQ(stat.total_ns(), 1'500'000'000u);
+  EXPECT_EQ(stat.calls(), 3u);
+  EXPECT_DOUBLE_EQ(stat.total_s(), 1.5);
+  EXPECT_DOUBLE_EQ(stat.mean_s(), 0.5);
+}
+
+TEST(TimerStat, EmptyMeanIsZero) {
+  obs::TimerStat stat;
+  EXPECT_DOUBLE_EQ(stat.mean_s(), 0.0);
+}
+
+TEST(Profiler, TimerReferencesAreStable) {
+  obs::Profiler profiler;
+  obs::TimerStat& a = profiler.timer("a");
+  profiler.timer("b");
+  profiler.timer("c");
+  EXPECT_EQ(&profiler.timer("a"), &a);
+  EXPECT_EQ(profiler.names().size(), 3u);
+}
+
+TEST(Profiler, ScopedTimerChargesOnDestruction) {
+  obs::Profiler profiler;
+  obs::TimerStat& stat = profiler.timer("region");
+  {
+    obs::ScopedTimer timer(&stat);
+  }
+  EXPECT_EQ(stat.calls(), 1u);
+}
+
+TEST(Profiler, NullScopedTimerIsANoOp) {
+  obs::ScopedTimer timer(nullptr);  // must not crash or record anything
+}
+
+TEST(Profiler, ReportAndJsonNameEveryTimer) {
+  obs::Profiler profiler;
+  profiler.timer("engine.ticks").add(2'000'000'000, 4);
+  profiler.timer("engine.decisions").add(1'000'000'000, 4);
+  std::ostringstream report;
+  profiler.write_report(report);
+  EXPECT_NE(report.str().find("engine.ticks"), std::string::npos);
+  EXPECT_NE(report.str().find("engine.decisions"), std::string::npos);
+  // Sorted by total time descending: ticks before decisions.
+  EXPECT_LT(report.str().find("engine.ticks"),
+            report.str().find("engine.decisions"));
+  std::ostringstream json;
+  profiler.write_json(json);
+  EXPECT_NE(json.str().find("\"engine.ticks\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"total_s\""), std::string::npos);
+}
