@@ -1,0 +1,326 @@
+// SERVE — performance baseline of the policy-decision service. Two phases
+// over a loopback Unix-domain socket:
+//
+//  1. Throughput: pipelined clients keep `depth` requests in flight per
+//     connection against a 4-worker server; reports decisions/sec and exact
+//     p50/p95/p99 latency from the raw per-request samples, plus the
+//     in-process greedy_action cost as the no-network floor.
+//  2. Overload: a server whose service rate is pinned far below the offered
+//     load (batch_process_delay) must shed with safe-default responses —
+//     every request answered, zero connection drops.
+//
+// Emits BENCH_serve.json for CI artifact upload and future perf diffs.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct ClientStats {
+  std::vector<double> latencies_s;
+  std::uint64_t responses = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t safe_defaults = 0;
+  bool dropped = false;  ///< connection died mid-run
+};
+
+/// Closed-loop pipelined load: keeps `depth` requests in flight until
+/// `until`, then drains. Request latency is send-to-receive of the same id
+/// (batching may reorder responses within a connection).
+ClientStats run_pipelined_client(const std::string& uds_path,
+                                 std::size_t depth, Clock::time_point until,
+                                 std::uint64_t state_count,
+                                 std::uint64_t state_offset) {
+  ClientStats stats;
+  try {
+    auto client = serve::Client::connect_uds(uds_path);
+    std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+    inflight.reserve(depth * 2);
+    std::uint64_t seq = state_offset;
+    auto send_one = [&] {
+      const std::uint64_t state = seq++ % state_count;
+      const auto id = client.send_query(state);
+      inflight.emplace(id, Clock::now());
+    };
+    auto recv_one = [&] {
+      const auto msg = client.recv_response();
+      const auto now = Clock::now();
+      const auto it = inflight.find(msg.request_id);
+      if (it != inflight.end()) {
+        stats.latencies_s.push_back(
+            std::chrono::duration<double>(now - it->second).count());
+        inflight.erase(it);
+      }
+      ++stats.responses;
+      if (msg.flags & serve::kRespCacheHit) ++stats.cache_hits;
+      if (msg.flags & serve::kRespSafeDefault) ++stats.safe_defaults;
+    };
+    for (std::size_t i = 0; i < depth; ++i) send_one();
+    while (Clock::now() < until) {
+      recv_one();
+      send_one();
+    }
+    while (!inflight.empty()) recv_one();
+  } catch (const serve::ClientError&) {
+    stats.dropped = true;
+  }
+  return stats;
+}
+
+double percentile_exact(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+std::string bench_socket_path(const char* phase) {
+  return "/tmp/pmrl_bench_serve_" + std::to_string(::getpid()) + "_" + phase +
+         ".sock";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_s = 3.0;
+  std::string out_path = "BENCH_serve.json";
+  std::size_t conns = 4;
+  std::size_t depth = 64;
+  std::size_t workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag, int len) -> const char* {
+      if (std::strncmp(arg, flag, static_cast<std::size_t>(len)) == 0 &&
+          arg[len] == '=') {
+        return arg + len + 1;
+      }
+      if (std::strcmp(arg, flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* dur = value("--duration", 10)) {
+      duration_s = std::atof(dur);
+    } else if (const char* path = value("--out", 5)) {
+      out_path = path;
+    } else if (const char* n_conns = value("--conns", 7)) {
+      conns = static_cast<std::size_t>(std::atoi(n_conns));
+    } else if (const char* n_depth = value("--depth", 7)) {
+      depth = static_cast<std::size_t>(std::atoi(n_depth));
+    } else if (const char* n_workers = value("--workers", 9)) {
+      workers = static_cast<std::size_t>(std::atoi(n_workers));
+    }
+  }
+  if (duration_s <= 0.0 || conns == 0 || depth == 0 || workers == 0) {
+    std::fprintf(stderr,
+                 "--duration/--conns/--depth/--workers need positive values\n");
+    return 2;
+  }
+
+  bench::print_banner("SERVE", "policy-decision service throughput + overload",
+                      "serving baseline (BENCH_serve.json), not a paper "
+                      "figure");
+
+  // ---- phase 1: peak throughput ------------------------------------------
+  serve::ServerConfig config;
+  config.uds_path = bench_socket_path("tp");
+  config.workers = workers;
+  obs::MetricsRegistry metrics;
+  serve::PolicyServer server(config);
+  server.set_metrics(&metrics);
+  server.start();
+  const auto state_count = static_cast<std::uint64_t>(
+      server.governor().agent(0).state_count());
+
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(duration_s));
+  const auto wall0 = Clock::now();
+  std::vector<ClientStats> per_client(conns);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        per_client[c] = run_pipelined_client(config.uds_path, depth, until,
+                                             state_count, c * 37);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+  server.stop();
+
+  std::uint64_t responses = 0, cache_hits = 0;
+  bool drops = false;
+  std::vector<double> latencies;
+  for (auto& stats : per_client) {
+    responses += stats.responses;
+    cache_hits += stats.cache_hits;
+    drops = drops || stats.dropped;
+    latencies.insert(latencies.end(), stats.latencies_s.begin(),
+                     stats.latencies_s.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double decisions_per_sec =
+      wall_s > 0.0 ? static_cast<double>(responses) / wall_s : 0.0;
+  const double p50 = percentile_exact(latencies, 0.50);
+  const double p95 = percentile_exact(latencies, 0.95);
+  const double p99 = percentile_exact(latencies, 0.99);
+  const double hit_rate =
+      responses > 0
+          ? static_cast<double>(cache_hits) / static_cast<double>(responses)
+          : 0.0;
+
+  // No-network floor: the in-process Q-table argmax the service wraps.
+  double direct_ns = 0.0;
+  {
+    serve::ServerConfig probe_config;
+    probe_config.uds_path = bench_socket_path("probe");
+    serve::PolicyServer probe(probe_config);
+    const auto& agent = probe.governor().agent(0);
+    constexpr std::size_t kCalls = 2'000'000;
+    const auto t0 = Clock::now();
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < kCalls; ++i) {
+      sink += agent.greedy_action(i % state_count);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    direct_ns = elapsed / static_cast<double>(kCalls) * 1e9;
+    if (sink == static_cast<std::size_t>(-1)) std::printf("?");  // keep sink
+  }
+
+  TextTable table({"metric", "value"});
+  table.add_row({"decisions/sec", TextTable::num(decisions_per_sec, 0)});
+  table.add_row({"p50 latency [us]", TextTable::num(p50 * 1e6, 1)});
+  table.add_row({"p95 latency [us]", TextTable::num(p95 * 1e6, 1)});
+  table.add_row({"p99 latency [us]", TextTable::num(p99 * 1e6, 1)});
+  table.add_row({"cache hit rate", TextTable::percent(hit_rate)});
+  table.add_row({"direct argmax [ns]", TextTable::num(direct_ns, 1)});
+  table.print();
+  const bool meets_target = decisions_per_sec >= 100'000.0;
+  std::printf("throughput target (>=100k/s over loopback UDS, %zu workers): "
+              "%s\n",
+              workers, meets_target ? "met" : "MISSED");
+
+  // ---- phase 2: overload shedding ----------------------------------------
+  // Pin the service rate: one worker, small batches, 2 ms of forced work per
+  // batch => capacity ~ batch_max / delay. The unpaced pipelined clients
+  // offer far more; the contract under test is "every request answered,
+  // degraded not dropped".
+  serve::ServerConfig overload_config;
+  overload_config.uds_path = bench_socket_path("ov");
+  overload_config.workers = 1;
+  overload_config.batch_max = 16;
+  overload_config.queue_capacity = 64;
+  overload_config.request_timeout = std::chrono::milliseconds(1000);
+  overload_config.batch_process_delay = std::chrono::microseconds(2000);
+  serve::PolicyServer overload_server(overload_config);
+  obs::MetricsRegistry overload_metrics;
+  overload_server.set_metrics(&overload_metrics);
+  overload_server.start();
+
+  const double overload_duration_s = std::min(duration_s, 2.0);
+  const auto overload_until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(overload_duration_s));
+  const auto overload_wall0 = Clock::now();
+  std::vector<ClientStats> overload_clients(2);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < overload_clients.size(); ++c) {
+      threads.emplace_back([&, c] {
+        overload_clients[c] = run_pipelined_client(
+            overload_config.uds_path, depth, overload_until, state_count,
+            c * 41);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double overload_wall_s =
+      std::chrono::duration<double>(Clock::now() - overload_wall0).count();
+  overload_server.stop();
+
+  std::uint64_t overload_responses = 0, overload_safe = 0;
+  bool overload_drops = false;
+  for (const auto& stats : overload_clients) {
+    overload_responses += stats.responses;
+    overload_safe += stats.safe_defaults;
+    overload_drops = overload_drops || stats.dropped;
+  }
+  const double offered_per_sec =
+      overload_wall_s > 0.0
+          ? static_cast<double>(overload_responses) / overload_wall_s
+          : 0.0;
+  const double capacity_per_sec =
+      static_cast<double>(overload_config.batch_max) /
+      (static_cast<double>(overload_config.batch_process_delay.count()) *
+       1e-6);
+  const double shed_fraction =
+      overload_responses > 0 ? static_cast<double>(overload_safe) /
+                                   static_cast<double>(overload_responses)
+                             : 0.0;
+  std::printf("\noverload: offered %.0f/s vs ~%.0f/s capacity, "
+              "%.1f%% shed to safe-default, drops: %s\n",
+              offered_per_sec, capacity_per_sec, 100.0 * shed_fraction,
+              overload_drops ? "YES (bug)" : "none");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"serve\",\n");
+  std::fprintf(out, "  \"duration_s\": %g,\n", duration_s);
+  std::fprintf(out, "  \"workers\": %zu,\n", workers);
+  std::fprintf(out, "  \"conns\": %zu,\n", conns);
+  std::fprintf(out, "  \"depth\": %zu,\n", depth);
+  std::fprintf(out, "  \"throughput\": {\n");
+  std::fprintf(out, "    \"decisions_per_sec\": %.1f,\n", decisions_per_sec);
+  std::fprintf(out, "    \"responses\": %llu,\n",
+               static_cast<unsigned long long>(responses));
+  std::fprintf(out, "    \"p50_us\": %.2f,\n", p50 * 1e6);
+  std::fprintf(out, "    \"p95_us\": %.2f,\n", p95 * 1e6);
+  std::fprintf(out, "    \"p99_us\": %.2f,\n", p99 * 1e6);
+  std::fprintf(out, "    \"cache_hit_rate\": %.4f,\n", hit_rate);
+  std::fprintf(out, "    \"connection_drops\": %s,\n",
+               drops ? "true" : "false");
+  std::fprintf(out, "    \"meets_100k_target\": %s,\n",
+               meets_target ? "true" : "false");
+  std::fprintf(out, "    \"direct_argmax_ns\": %.2f\n", direct_ns);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"overload\": {\n");
+  std::fprintf(out, "    \"offered_per_sec\": %.1f,\n", offered_per_sec);
+  std::fprintf(out, "    \"capacity_per_sec\": %.1f,\n", capacity_per_sec);
+  std::fprintf(out, "    \"responses\": %llu,\n",
+               static_cast<unsigned long long>(overload_responses));
+  std::fprintf(out, "    \"safe_default_responses\": %llu,\n",
+               static_cast<unsigned long long>(overload_safe));
+  std::fprintf(out, "    \"shed_fraction\": %.4f,\n", shed_fraction);
+  std::fprintf(out, "    \"connection_drops\": %s\n",
+               overload_drops ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return (drops || overload_drops) ? 1 : 0;
+}

@@ -21,7 +21,21 @@
 //       ('-' for stdout).
 //   pmrl_cli latency [--invocations N]
 //       Run the HW-vs-SW decision-latency comparison.
+//   pmrl_cli serve [--policy policy.pmrl] [--uds PATH] [--tcp-port N]
+//                  [--workers N] [--batch N] [--batch-deadline-us N]
+//                  [--queue-capacity N] [--cache-capacity N] [--metrics PATH|-]
+//       Expose a trained policy as a decision service over a Unix-domain
+//       and/or TCP socket. SIGHUP hot-reloads the checkpoint (transactional:
+//       a corrupt file keeps the old policy); SIGINT/SIGTERM shut down.
+//   pmrl_cli query <state> [--agent N] (--uds PATH | --tcp-port N [--host H])
+//       Ask a running server for the greedy action of one quantized state.
+//
+// Unknown flags or subcommands print usage and exit 2. --version prints the
+// library version.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +43,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -43,12 +58,23 @@
 #include "rl/policy_io.hpp"
 #include "rl/trainer.hpp"
 #include "rl/watchdog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/table.hpp"
 #include "workload/scenarios.hpp"
+
+#ifndef PMRL_VERSION
+#define PMRL_VERSION "dev"
+#endif
 
 using namespace pmrl;
 
 namespace {
+
+/// Command-line misuse (unknown flag/command, bad value): usage + exit 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::vector<std::string> positional;
@@ -68,6 +94,18 @@ struct Args {
   std::string trace_format = "csv";
   /// Metrics JSON output path ('-' = stdout; empty = metrics disabled).
   std::optional<std::string> metrics_path;
+  // serve / query
+  std::string uds;
+  std::string host = "127.0.0.1";
+  int tcp_port = -1;  // -1 = TCP listener disabled
+  std::size_t workers = 4;
+  std::size_t batch = 32;
+  std::size_t batch_deadline_us = 200;
+  std::size_t queue_capacity = 1024;
+  std::size_t cache_capacity = 4096;
+  std::uint32_t agent = 0;
+  std::string policy_path;
+  bool show_version = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -75,7 +113,7 @@ Args parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--episodes") {
@@ -96,16 +134,50 @@ Args parse(int argc, char** argv) {
       args.watchdog = true;
     } else if (arg == "--jobs") {
       args.jobs = static_cast<std::size_t>(std::stoul(next()));
-      if (args.jobs == 0) throw std::runtime_error("--jobs must be >= 1");
+      if (args.jobs == 0) throw UsageError("--jobs must be >= 1");
     } else if (arg == "--trace") {
       args.trace_path = next();
     } else if (arg == "--trace-format") {
       args.trace_format = next();
       if (args.trace_format != "csv" && args.trace_format != "jsonl") {
-        throw std::runtime_error("--trace-format must be csv or jsonl");
+        throw UsageError("--trace-format must be csv or jsonl");
       }
     } else if (arg == "--metrics") {
       args.metrics_path = next();
+    } else if (arg == "--uds") {
+      args.uds = next();
+    } else if (arg == "--host") {
+      args.host = next();
+    } else if (arg == "--tcp-port") {
+      args.tcp_port = std::stoi(next());
+      if (args.tcp_port < 0 || args.tcp_port > 65535) {
+        throw UsageError("--tcp-port must be in [0, 65535]");
+      }
+    } else if (arg == "--workers") {
+      args.workers = static_cast<std::size_t>(std::stoul(next()));
+      if (args.workers == 0) throw UsageError("--workers must be >= 1");
+    } else if (arg == "--batch") {
+      args.batch = static_cast<std::size_t>(std::stoul(next()));
+      if (args.batch == 0) throw UsageError("--batch must be >= 1");
+    } else if (arg == "--batch-deadline-us") {
+      args.batch_deadline_us = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--queue-capacity") {
+      args.queue_capacity = static_cast<std::size_t>(std::stoul(next()));
+      if (args.queue_capacity == 0) {
+        throw UsageError("--queue-capacity must be >= 1");
+      }
+    } else if (arg == "--cache-capacity") {
+      args.cache_capacity = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--agent") {
+      args.agent = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--policy") {
+      args.policy_path = next();
+    } else if (arg == "--version") {
+      args.show_version = true;
+    } else if (arg == "--help" || arg == "-h") {
+      args.positional.insert(args.positional.begin(), "help");
+    } else if (arg.rfind("--", 0) == 0) {
+      throw UsageError("unknown flag '" + arg + "'");
     } else {
       args.positional.push_back(arg);
     }
@@ -384,30 +456,145 @@ int cmd_latency(const Args& args) {
   return 0;
 }
 
+// Signal flags for the serve loop. Plain handlers may only touch
+// lock-free atomics; the main loop polls them.
+std::atomic<bool> g_serve_stop{false};
+std::atomic<bool> g_serve_reload{false};
+
+void serve_signal_handler(int sig) {
+  if (sig == SIGHUP) {
+    g_serve_reload.store(true);
+  } else {
+    g_serve_stop.store(true);
+  }
+}
+
+int cmd_serve(const Args& args) {
+  if (args.uds.empty() && args.tcp_port < 0) {
+    std::fprintf(stderr, "serve needs --uds PATH and/or --tcp-port N\n");
+    return 1;
+  }
+  serve::ServerConfig config;
+  config.uds_path = args.uds;
+  config.tcp_enable = args.tcp_port >= 0;
+  config.tcp_port =
+      static_cast<std::uint16_t>(args.tcp_port >= 0 ? args.tcp_port : 0);
+  config.workers = args.workers;
+  config.batch_max = args.batch;
+  config.batch_deadline = std::chrono::microseconds(args.batch_deadline_us);
+  config.queue_capacity = args.queue_capacity;
+  config.cache_capacity = args.cache_capacity;
+  config.policy_path = args.policy_path;
+  config.cluster_count = soc::default_mobile_soc_config().clusters.size();
+
+  obs::MetricsRegistry metrics;
+  serve::PolicyServer server(config);
+  if (args.metrics_path) server.set_metrics(&metrics);
+  server.start();
+  if (!config.uds_path.empty()) {
+    std::printf("listening on uds %s\n", config.uds_path.c_str());
+  }
+  if (config.tcp_enable) {
+    std::printf("listening on tcp %s:%d\n", args.host.c_str(),
+                server.tcp_port());
+  }
+  if (!args.policy_path.empty()) {
+    std::printf("policy checkpoint: %s (SIGHUP reloads)\n",
+                args.policy_path.c_str());
+  }
+
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGHUP, serve_signal_handler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_serve_reload.exchange(false)) {
+      std::string error;
+      if (server.request_reload(&error)) {
+        std::printf("policy reloaded from %s\n", args.policy_path.c_str());
+      } else {
+        std::fprintf(stderr, "reload rejected: %s\n", error.c_str());
+      }
+    }
+  }
+  std::printf("shutting down after %llu responses\n",
+              static_cast<unsigned long long>(server.responses()));
+  server.stop();
+  if (args.metrics_path && !write_metrics(*args.metrics_path, metrics)) {
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "query needs a quantized state index\n");
+    return 1;
+  }
+  const std::uint64_t state = std::stoull(args.positional[1]);
+  serve::Client client =
+      !args.uds.empty()
+          ? serve::Client::connect_uds(args.uds)
+          : [&] {
+              if (args.tcp_port < 0) {
+                throw UsageError("query needs --uds PATH or --tcp-port N");
+              }
+              return serve::Client::connect_tcp(
+                  args.host, static_cast<std::uint16_t>(args.tcp_port));
+            }();
+  const auto result = client.query(state, args.agent);
+  std::printf("action %u%s%s\n", result.action,
+              result.safe_default ? " (safe-default)" : "",
+              result.cache_hit ? " (cached)" : "");
+  return 0;
+}
+
 }  // namespace
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: pmrl_cli <list|train|eval|latency|serve|query> [options]\n"
+      "  list\n"
+      "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
+      "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
+      "         [--duration SEC] [--fault-intensity X] [--fault-seed S]\n"
+      "         [--watchdog] [--jobs N] [--trace PATH]\n"
+      "         [--trace-format csv|jsonl] [--metrics PATH|-]\n"
+      "  latency [N] [--seed S]\n"
+      "  serve  [--policy policy.pmrl] [--uds PATH] [--tcp-port N]\n"
+      "         [--workers N] [--batch N] [--batch-deadline-us N]\n"
+      "         [--queue-capacity N] [--cache-capacity N]\n"
+      "         [--metrics PATH|-]\n"
+      "  query  <state> [--agent N] (--uds PATH | --tcp-port N [--host H])\n"
+      "  --version\n");
+}
 
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    if (args.show_version) {
+      std::printf("pmrl %s\n", PMRL_VERSION);
+      return 0;
+    }
     if (args.positional.empty() || args.positional[0] == "help") {
-      std::printf(
-          "usage: pmrl_cli <list|train|eval|latency> [options]\n"
-          "  list\n"
-          "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
-          "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
-          "         [--duration SEC] [--fault-intensity X] [--fault-seed S]\n"
-          "         [--watchdog] [--jobs N] [--trace PATH]\n"
-          "         [--trace-format csv|jsonl] [--metrics PATH|-]\n"
-          "  latency [N] [--seed S]\n");
-      return args.positional.empty() ? 1 : 0;
+      print_usage(args.positional.empty() ? stderr : stdout);
+      return args.positional.empty() ? 2 : 0;
     }
     const std::string& cmd = args.positional[0];
     if (cmd == "list") return cmd_list();
     if (cmd == "train") return cmd_train(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "latency") return cmd_latency(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 1;
+    print_usage(stderr);
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

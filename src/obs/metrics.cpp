@@ -28,6 +28,31 @@ void Histogram::observe(double v) {
   }
 }
 
+double Histogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the buckets once so the walk sees one consistent total even
+  // while other threads keep observing.
+  std::vector<std::uint64_t> counts(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0 || bounds_.empty()) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const auto n = static_cast<double>(counts[i]);
+    if (cumulative + n >= rank && n > 0.0) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      return lo + (hi - lo) * ((rank - cumulative) / n);
+    }
+    cumulative += n;
+  }
+  return bounds_.back();  // rank lands in the +inf bucket
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
@@ -114,7 +139,12 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     const Histogram& h = *entry.histogram;
     out << "{\"count\":" << h.count()
         << ",\"sum\":" << format_trace_double(h.sum())
-        << ",\"mean\":" << format_trace_double(h.mean()) << ",\"buckets\":[";
+        << ",\"mean\":" << format_trace_double(h.mean())
+        << ",\"p50\":" << format_trace_double(h.percentile(0.50))
+        << ",\"p90\":" << format_trace_double(h.percentile(0.90))
+        << ",\"p95\":" << format_trace_double(h.percentile(0.95))
+        << ",\"p99\":" << format_trace_double(h.percentile(0.99))
+        << ",\"buckets\":[";
     for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
       if (i > 0) out << ',';
       out << h.bucket_count(i);

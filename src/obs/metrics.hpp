@@ -82,6 +82,12 @@ class Histogram {
     return buckets_.at(i).load(std::memory_order_relaxed);
   }
 
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts: linear
+  /// interpolation inside the bucket holding the rank (the first bucket
+  /// interpolates from 0). Ranks landing in the +inf bucket clamp to the
+  /// highest finite bound. Returns 0 with no observations.
+  double percentile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1

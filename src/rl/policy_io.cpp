@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/crc32.hpp"
+#include "util/framing.hpp"
 #include "util/log.hpp"
 
 namespace pmrl::rl {
@@ -16,7 +17,6 @@ namespace pmrl::rl {
 namespace {
 constexpr char kMagic[] = "pmrl-policy";
 constexpr unsigned kFormatVersion = 2;
-constexpr char kFooterTag[] = "crc32";
 /// Sanity bound on |Q|: rewards live in roughly [-10, 0] and gamma < 1, so
 /// any stored magnitude beyond this is corruption, not learning.
 constexpr double kMaxAbsQ = 1e6;
@@ -101,8 +101,7 @@ void save_policy(const RlGovernor& governor, std::ostream& out) {
       payload += '\n';
     }
   }
-  std::snprintf(buf, sizeof buf, "%s,%08x\n", kFooterTag, crc32(payload));
-  out << payload << buf;
+  out << payload << util::crc32_footer_line(crc32(payload));
 }
 
 void load_policy(RlGovernor& governor, std::istream& in) {
@@ -174,17 +173,10 @@ void load_policy(RlGovernor& governor, std::istream& in) {
     if (!std::getline(in, footer)) {
       fail(PolicyLoadErrorKind::Truncated, "missing crc32 footer");
     }
-    const std::string footer_prefix = std::string(kFooterTag) + ',';
-    if (footer.rfind(footer_prefix, 0) != 0) {
+    std::uint32_t stored = 0;
+    if (!util::parse_crc32_footer_line(footer, stored)) {
       fail(PolicyLoadErrorKind::BadField,
            "expected crc32 footer, got '" + footer.substr(0, 24) + "'");
-    }
-    std::uint32_t stored = 0;
-    const char* begin = footer.data() + footer_prefix.size();
-    const char* fend = footer.data() + footer.size();
-    const auto [ptr, ec] = std::from_chars(begin, fend, stored, 16);
-    if (ec != std::errc{} || ptr != fend || begin == fend) {
-      fail(PolicyLoadErrorKind::BadField, "unparsable crc32 footer");
     }
     const std::uint32_t computed = crc32_final(crc);
     if (stored != computed) {

@@ -1,0 +1,84 @@
+#pragma once
+// LRU decision cache of the policy-decision service. Keyed by the
+// quantized state (the server composes agent and state indices into one
+// key), valued by the greedy action index. The table a decision comes from
+// only changes on policy hot-reload, so entries never expire — the server
+// calls clear() at the reload swap point instead, which is the only
+// invalidation the cache needs.
+//
+// Thread-safe: workers of several batches probe and fill concurrently; a
+// single mutex is plenty because the critical section is a hash probe plus
+// a list splice (the Q-table lookup it saves is about the same cost, but
+// the cache's real win is keeping hot states out of the batching queue's
+// tail latency and giving the service a knob that scales with skew).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace pmrl::serve {
+
+class DecisionCache {
+ public:
+  /// capacity == 0 disables the cache (get always misses, put is a no-op).
+  explicit DecisionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  /// Looks up `key`, promoting a hit to most-recently-used.
+  std::optional<std::uint32_t> get(std::uint64_t key) {
+    if (capacity_ == 0) return std::nullopt;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// when full.
+  void put(std::uint64_t key, std::uint32_t action) {
+    if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = action;
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, action);
+    map_.emplace(key, order_.begin());
+  }
+
+  /// Drops every entry (policy hot-reload invalidation).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// MRU at the front.
+  std::list<std::pair<std::uint64_t, std::uint32_t>> order_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t,
+                                         std::uint32_t>>::iterator>
+      map_;
+};
+
+}  // namespace pmrl::serve

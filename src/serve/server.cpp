@@ -1,0 +1,609 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "rl/policy_io.hpp"
+#include "util/log.hpp"
+
+namespace pmrl::serve {
+
+namespace {
+
+/// Blocks in poll(POLLOUT) this long before declaring a peer stuck and
+/// abandoning the write (the connection is then marked closed).
+constexpr int kWriteStallTimeoutMs = 1000;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// One client connection. The acceptor thread owns the read side (buffer,
+/// frame decode); workers share the write side behind `write_mutex`. The
+/// file descriptor closes when the last shared_ptr drops, so a response
+/// for a request that outlived its connection writes to a still-valid fd
+/// (at worst into a shut-down socket) instead of a recycled one.
+struct PolicyServer::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const int fd;
+  std::atomic<bool> open{true};
+  std::mutex write_mutex;
+  std::string rx;
+  std::size_t rx_off = 0;
+};
+
+struct PolicyServer::Pending {
+  std::shared_ptr<Connection> conn;
+  QueryMsg query;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+PolicyServer::PolicyServer(ServerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {
+  if (config_.workers == 0) {
+    throw std::invalid_argument("serve: workers must be >= 1");
+  }
+  if (config_.batch_max == 0) {
+    throw std::invalid_argument("serve: batch_max must be >= 1");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("serve: queue_capacity must be >= 1");
+  }
+  if (config_.uds_path.empty() && !config_.tcp_enable) {
+    throw std::invalid_argument("serve: no listener configured");
+  }
+  governor_ = std::make_unique<rl::RlGovernor>(config_.governor,
+                                               config_.cluster_count);
+}
+
+PolicyServer::~PolicyServer() { stop(); }
+
+void PolicyServer::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  requests_counter_ = metrics ? &metrics->counter("serve.requests") : nullptr;
+  shed_counter_ = metrics ? &metrics->counter("serve.shed") : nullptr;
+  timeout_counter_ = metrics ? &metrics->counter("serve.timeouts") : nullptr;
+  cache_hit_counter_ =
+      metrics ? &metrics->counter("serve.cache_hit") : nullptr;
+  cache_miss_counter_ =
+      metrics ? &metrics->counter("serve.cache_miss") : nullptr;
+  wire_error_counter_ =
+      metrics ? &metrics->counter("serve.wire_errors") : nullptr;
+  reload_counter_ = metrics ? &metrics->counter("serve.reloads") : nullptr;
+  connection_counter_ =
+      metrics ? &metrics->counter("serve.connections") : nullptr;
+  queue_depth_gauge_ =
+      metrics ? &metrics->gauge("serve.queue_depth") : nullptr;
+  batch_size_hist_ =
+      metrics ? &metrics->histogram("serve.batch_size",
+                                    {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                                     128.0})
+              : nullptr;
+  latency_hist_ =
+      metrics ? &metrics->histogram(
+                    "serve.latency_s",
+                    {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+                     1e-3, 2e-3, 5e-3, 1e-2, 5e-2, 0.1, 1.0})
+              : nullptr;
+}
+
+void PolicyServer::start() {
+  if (running_) return;
+  if (!config_.policy_path.empty()) {
+    std::ifstream in(config_.policy_path);
+    std::string error;
+    if (!in) {
+      PMRL_WARN("serve") << "cannot open checkpoint '" << config_.policy_path
+                         << "'; serving fresh-init policy";
+    } else if (!rl::try_load_policy(*governor_, in, &error)) {
+      PMRL_WARN("serve") << "checkpoint rejected (" << error
+                         << "); serving fresh-init policy";
+    }
+  }
+  governor_->set_frozen(true);
+  agent_count_ = governor_->agent_count();
+  states_per_agent_ = governor_->agent(0).state_count();
+  // The safe default is the all-hold action: move/action 0 by the action
+  // space's construction (and the value Q-ties resolve to), i.e. "keep the
+  // current OPP" — the same stance the watchdog's conservative fallback
+  // opens with.
+  if (config_.governor.structure == rl::PolicyStructure::Joint) {
+    safe_action_ =
+        static_cast<std::uint32_t>(governor_->actions().hold_action());
+  } else {
+    safe_action_ = 0;
+    for (std::size_t m = 0; m < governor_->actions().moves_per_cluster();
+         ++m) {
+      if (governor_->actions().move_value(m) == 0) {
+        safe_action_ = static_cast<std::uint32_t>(m);
+        break;
+      }
+    }
+  }
+
+  if (!config_.uds_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.uds_path.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("serve: uds path too long");
+    }
+    std::strncpy(addr.sun_path, config_.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    uds_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (uds_listen_fd_ < 0) fail_errno("uds socket");
+    ::unlink(config_.uds_path.c_str());
+    if (::bind(uds_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      fail_errno("uds bind " + config_.uds_path);
+    }
+    if (::listen(uds_listen_fd_, 128) < 0) fail_errno("uds listen");
+    set_nonblocking(uds_listen_fd_);
+  }
+  if (config_.tcp_enable) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) fail_errno("tcp socket");
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.tcp_port);
+    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      fail_errno("tcp bind port " + std::to_string(config_.tcp_port));
+    }
+    if (::listen(tcp_listen_fd_, 128) < 0) fail_errno("tcp listen");
+    socklen_t len = sizeof(addr);
+    ::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_tcp_port_ = ntohs(addr.sin_port);
+    set_nonblocking(tcp_listen_fd_);
+  }
+  if (::pipe(wake_pipe_) < 0) fail_errno("wake pipe");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = false;
+  }
+  pool_ = std::make_unique<core::runfarm::ThreadPool>(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  running_ = true;
+}
+
+void PolicyServer::stop() {
+  if (!running_) return;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  const char byte = 'x';
+  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
+  if (acceptor_.joinable()) acceptor_.join();
+  pool_.reset();  // joins the worker loops
+  auto close_fd = [](int& fd) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  };
+  close_fd(uds_listen_fd_);
+  close_fd(tcp_listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+  }
+  running_ = false;
+}
+
+bool PolicyServer::request_reload(std::string* error) {
+  const std::lock_guard<std::mutex> serial(reload_mutex_);
+  if (config_.policy_path.empty()) {
+    if (error) *error = "no policy path configured";
+    return false;
+  }
+  std::ifstream in(config_.policy_path);
+  if (!in) {
+    if (error) *error = "cannot open '" + config_.policy_path + "'";
+    return false;
+  }
+  // Stage into a fresh governor; the serving one is untouched until the
+  // whole checkpoint has validated (same transactional stance as
+  // load_policy itself).
+  auto staged = std::make_unique<rl::RlGovernor>(config_.governor,
+                                                 config_.cluster_count);
+  std::string load_error;
+  if (!rl::try_load_policy(*staged, in, &load_error)) {
+    if (error) *error = load_error;
+    return false;
+  }
+  staged->set_frozen(true);
+  {
+    const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
+    governor_ = std::move(staged);
+    // Invalidate under the writer lock: no in-flight batch (they hold the
+    // reader side) can re-fill the cache with pre-reload decisions after
+    // this clear.
+    cache_.clear();
+  }
+  if (reload_counter_) reload_counter_->inc();
+  return true;
+}
+
+void PolicyServer::pause_workers() {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  paused_ = true;
+}
+
+void PolicyServer::resume_workers() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void PolicyServer::acceptor_loop() {
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::vector<pollfd> fds;
+  std::vector<int> ready;
+  for (;;) {
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (uds_listen_fd_ >= 0) fds.push_back({uds_listen_fd_, POLLIN, 0});
+    if (tcp_listen_fd_ >= 0) fds.push_back({tcp_listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) fds.push_back({fd, POLLIN, 0});
+    const int n = ::poll(fds.data(), fds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) break;
+    }
+    ready.clear();
+    for (const auto& pfd : fds) {
+      if (pfd.revents == 0) continue;
+      if (pfd.fd == wake_pipe_[0]) {
+        char buf[16];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+      } else if (pfd.fd == uds_listen_fd_ || pfd.fd == tcp_listen_fd_) {
+        for (;;) {
+          const int client = ::accept(pfd.fd, nullptr, nullptr);
+          if (client < 0) break;
+          set_nonblocking(client);
+          conns.emplace(client, std::make_shared<Connection>(client));
+          if (connection_counter_) connection_counter_->inc();
+        }
+      } else {
+        ready.push_back(pfd.fd);
+      }
+    }
+    for (const int fd : ready) {
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      handle_readable(it->second);
+      if (!it->second->open) conns.erase(it);
+    }
+  }
+}
+
+void PolicyServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->rx.append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown by the peer
+      conn->open = false;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->open = false;
+    return;
+  }
+  while (conn->open) {
+    util::Frame frame;
+    const auto status = util::decode_frame(conn->rx, conn->rx_off, frame);
+    if (status == util::FrameStatus::NeedMore) break;
+    if (status != util::FrameStatus::Ok) {
+      // Framing is lost; there is no safe way to find the next frame
+      // boundary in a corrupted byte stream. Tell the peer, then drop
+      // only this connection.
+      if (wire_error_counter_) wire_error_counter_->inc();
+      std::string out;
+      append_error(out, ErrorMsg{0,
+                                 static_cast<std::uint32_t>(
+                                     WireErrorCode::BadMessage),
+                                 std::string("frame error: ") +
+                                     util::frame_status_name(status)});
+      send_bytes(conn, out);
+      conn->open = false;
+      return;
+    }
+    handle_frame(conn, frame);
+  }
+  // Reclaim the parsed prefix once it dominates the buffer.
+  if (conn->rx_off > 4096 && conn->rx_off * 2 > conn->rx.size()) {
+    conn->rx.erase(0, conn->rx_off);
+    conn->rx_off = 0;
+  }
+}
+
+void PolicyServer::handle_frame(const std::shared_ptr<Connection>& conn,
+                                const util::Frame& frame) {
+  std::string out;
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::Query: {
+      QueryMsg query;
+      if (!parse_query(frame, query)) {
+        if (wire_error_counter_) wire_error_counter_->inc();
+        append_error(out, ErrorMsg{0,
+                                   static_cast<std::uint32_t>(
+                                       WireErrorCode::BadMessage),
+                                   "malformed query payload"});
+        send_bytes(conn, out);
+        return;
+      }
+      if (query.agent >= agent_count_) {
+        append_error(
+            out, ErrorMsg{query.request_id,
+                          static_cast<std::uint32_t>(WireErrorCode::BadAgent),
+                          "agent index out of range"});
+        send_bytes(conn, out);
+        return;
+      }
+      if (query.state >= states_per_agent_) {
+        append_error(
+            out, ErrorMsg{query.request_id,
+                          static_cast<std::uint32_t>(WireErrorCode::BadState),
+                          "state index out of range"});
+        send_bytes(conn, out);
+        return;
+      }
+      enqueue_or_shed(conn, query);
+      return;
+    }
+    case MsgType::Ping: {
+      std::uint64_t token = 0;
+      parse_ping(frame, token);
+      append_pong(out, token);
+      send_bytes(conn, out);
+      return;
+    }
+    case MsgType::Reload: {
+      std::string error;
+      const bool ok = request_reload(&error);
+      append_reload_ack(out, ReloadAckMsg{ok, error});
+      send_bytes(conn, out);
+      return;
+    }
+    default: {
+      if (wire_error_counter_) wire_error_counter_->inc();
+      append_error(out, ErrorMsg{0,
+                                 static_cast<std::uint32_t>(
+                                     WireErrorCode::BadMessage),
+                                 std::string("unexpected message type ") +
+                                     std::to_string(frame.type)});
+      send_bytes(conn, out);
+      return;
+    }
+  }
+}
+
+void PolicyServer::enqueue_or_shed(const std::shared_ptr<Connection>& conn,
+                                   const QueryMsg& query) {
+  if (requests_counter_) requests_counter_->inc();
+  bool shed = false;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      shed = true;
+    } else if (queue_.size() >= config_.queue_capacity) {
+      shed = true;
+    } else {
+      queue_.push_back(
+          Pending{conn, query, std::chrono::steady_clock::now()});
+      if (queue_depth_gauge_) {
+        queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+      }
+    }
+  }
+  if (shed) {
+    // Overload: degrade, don't drop. The client gets an immediate
+    // safe-default decision (all-hold) instead of a queue slot.
+    if (shed_counter_) shed_counter_->inc();
+    respond(conn,
+            ResponseMsg{query.request_id, safe_default_action(),
+                        kRespSafeDefault});
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void PolicyServer::worker_loop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) return;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Micro-batch: gather until batch_max or the flush deadline, so one
+      // governor pass serves every request in flight.
+      const auto deadline =
+          std::chrono::steady_clock::now() + config_.batch_deadline;
+      while (batch.size() < config_.batch_max && !stopping_ && !paused_) {
+        if (queue_.empty()) {
+          const bool woke = queue_cv_.wait_until(lock, deadline, [this] {
+            return stopping_ || paused_ || !queue_.empty();
+          });
+          if (!woke) break;  // deadline: flush what we have
+          if (stopping_ || paused_) break;
+        }
+        if (queue_.empty()) continue;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (queue_depth_gauge_) {
+        queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+      }
+    }
+    process_batch(batch);
+  }
+}
+
+void PolicyServer::process_batch(std::vector<Pending>& batch) {
+  if (batch.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (config_.batch_process_delay.count() > 0) {
+    std::this_thread::sleep_for(config_.batch_process_delay);
+  }
+  std::uint32_t first_action = 0;
+  {
+    const std::shared_lock<std::shared_mutex> glock(governor_mutex_);
+    for (auto& pending : batch) {
+      ResponseMsg msg;
+      msg.request_id = pending.query.request_id;
+      const auto now = std::chrono::steady_clock::now();
+      if (now - pending.enqueued > config_.request_timeout) {
+        // Stale decision = wrong decision: a DVFS answer for a 50 ms old
+        // state is worthless, so degrade to the safe default instead.
+        msg.action = safe_default_action();
+        msg.flags = kRespSafeDefault;
+        if (timeout_counter_) timeout_counter_->inc();
+      } else {
+        msg.action = decide(pending.query.agent, pending.query.state,
+                            msg.flags);
+      }
+      if (&pending == &batch.front()) first_action = msg.action;
+      respond(pending.conn, msg);
+      if (latency_hist_) {
+        latency_hist_->observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          pending.enqueued)
+                .count());
+      }
+    }
+  }
+  if (batch_size_hist_) {
+    batch_size_hist_->observe(static_cast<double>(batch.size()));
+  }
+  emit_batch_trace(
+      batch.size(),
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count(),
+      batch.front().query.state, first_action);
+}
+
+std::uint32_t PolicyServer::decide(std::uint32_t agent, std::uint64_t state,
+                                   std::uint16_t& flags) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(agent) * states_per_agent_ + state;
+  if (const auto hit = cache_.get(key)) {
+    flags |= kRespCacheHit;
+    if (cache_hit_counter_) cache_hit_counter_->inc();
+    return *hit;
+  }
+  const auto action = static_cast<std::uint32_t>(
+      governor_->agent(agent).greedy_action(state));
+  cache_.put(key, action);
+  if (cache_miss_counter_) cache_miss_counter_->inc();
+  return action;
+}
+
+void PolicyServer::respond(const std::shared_ptr<Connection>& conn,
+                           const ResponseMsg& msg) {
+  std::string out;
+  append_response(out, msg);
+  send_bytes(conn, out);
+  responses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PolicyServer::send_bytes(const std::shared_ptr<Connection>& conn,
+                              const std::string& bytes) {
+  if (!conn || !conn->open) return;
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->open) return;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(conn->fd, bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, kWriteStallTimeoutMs) <= 0) {
+        conn->open = false;
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    conn->open = false;
+    return;
+  }
+}
+
+void PolicyServer::emit_batch_trace(std::size_t batch_size, double latency_s,
+                                    std::uint64_t first_state,
+                                    std::uint32_t first_action) {
+  if (!trace_) return;
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::HwInvoke;
+  event.epoch = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.state = first_state;
+  event.action = first_action;
+  event.latency_s = latency_s;
+  event.value = static_cast<double>(batch_size);
+  event.detail = "serve.batch";
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_->record(event);
+}
+
+}  // namespace pmrl::serve

@@ -1,0 +1,213 @@
+#pragma once
+// PolicyServer: the networked policy-decision service. Exposes a trained
+// (frozen) RlGovernor's greedy policy over Unix-domain and/or TCP sockets
+// using the CRC-32-framed wire protocol in serve/wire.hpp.
+//
+// Architecture (one process):
+//
+//   poll() acceptor thread                worker pool (runfarm ThreadPool)
+//   ----------------------                --------------------------------
+//   accept / read / frame-decode   -->    bounded request queue
+//   validate Query, enqueue        -->    micro-batch pop (flush on
+//   shed on full queue (safe           batch_max or batch_deadline)
+//   default, never a drop)             cache probe -> Q-table argmax
+//   Ping/Reload control inline         response write (per-conn mutex)
+//
+// Robustness semantics mirror the watchdog's graceful-degradation stance:
+// the service degrades instead of failing. A full queue or an expired
+// per-request deadline answers with the safe-default action (all-hold,
+// the same tie/fresh-table resolution the agents use) and the
+// kRespSafeDefault flag — the client always gets a usable decision and
+// the connection never drops. Corrupt frames (bad magic/version/length/
+// CRC) close only the offending connection: a stream that lost framing
+// cannot be resynchronized safely.
+//
+// Hot reload: request_reload() (wired to SIGHUP by `pmrl_cli serve`) or a
+// Reload control frame re-runs try_load_policy on the configured
+// checkpoint path into a staging governor; only a fully validated
+// checkpoint is swapped in (under a writer lock), and the decision cache
+// is cleared at the swap point so no stale action survives the reload.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runfarm/thread_pool.hpp"
+#include "rl/rl_governor.hpp"
+#include "serve/cache.hpp"
+#include "serve/wire.hpp"
+
+namespace pmrl::obs {
+class TraceSink;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace pmrl::obs
+
+namespace pmrl::serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path (empty = no UDS listener). An existing socket
+  /// file at the path is replaced.
+  std::string uds_path;
+  /// Enables the TCP listener on 127.0.0.1. Port 0 binds an ephemeral port
+  /// (read it back with PolicyServer::tcp_port()).
+  bool tcp_enable = false;
+  std::uint16_t tcp_port = 0;
+
+  /// Decision worker threads (the runfarm ThreadPool size).
+  std::size_t workers = 4;
+  /// Micro-batch flush thresholds: a batch closes when it holds batch_max
+  /// requests or batch_deadline has passed since its first request was
+  /// popped, whichever comes first.
+  std::size_t batch_max = 32;
+  std::chrono::microseconds batch_deadline{200};
+  /// Bounded request queue; a Query arriving on a full queue is shed
+  /// (answered immediately with the safe-default action).
+  std::size_t queue_capacity = 1024;
+  /// Requests older than this when a worker picks them up are answered
+  /// with the safe-default action instead of a stale decision.
+  std::chrono::milliseconds request_timeout{50};
+  /// LRU decision cache entries (0 disables caching).
+  std::size_t cache_capacity = 4096;
+
+  /// Policy checkpoint path; loaded at start() and on every reload. Empty
+  /// serves the freshly constructed (or externally seeded) governor and
+  /// makes reload a no-op failure.
+  std::string policy_path;
+  /// Governor shape served; must match the checkpoint's.
+  rl::RlGovernorConfig governor;
+  std::size_t cluster_count = 2;
+
+  /// Artificial per-batch processing delay. 0 in production; the overload
+  /// bench uses it to pin the service rate below the offered load so
+  /// shedding behaviour is measured deterministically.
+  std::chrono::microseconds batch_process_delay{0};
+};
+
+class PolicyServer {
+ public:
+  explicit PolicyServer(ServerConfig config);
+  ~PolicyServer();
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Binds the listeners, loads the checkpoint (when configured), and
+  /// starts the acceptor thread and worker pool. Throws std::runtime_error
+  /// on bind/listen failure.
+  void start();
+
+  /// Stops accepting, wakes the workers, joins everything. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Bound TCP port (after start(), when tcp_enable).
+  std::uint16_t tcp_port() const { return bound_tcp_port_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Re-runs try_load_policy(policy_path) into a staging governor and, on
+  /// success, swaps it in and clears the decision cache. Thread-safe;
+  /// returns false (with the parse error in `error` when non-null) on any
+  /// rejection — the serving governor is untouched.
+  bool request_reload(std::string* error = nullptr);
+
+  /// Drain control for tests and maintenance: paused workers stop popping
+  /// the queue (arrivals still enqueue, then shed once the queue fills).
+  void pause_workers();
+  void resume_workers();
+
+  /// The currently serving governor. Mutate only before start() (tests
+  /// seed Q-values through this); after start() workers read it
+  /// concurrently.
+  rl::RlGovernor& governor() { return *governor_; }
+
+  /// Attach observability before start(). The trace sink receives one
+  /// HwInvoke-style event per processed batch (server-side latency and
+  /// batch size); access is serialized internally.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Decisions served since start (responses of any kind).
+  std::uint64_t responses() const {
+    return responses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Pending;
+
+  void acceptor_loop();
+  void worker_loop();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const util::Frame& frame);
+  void enqueue_or_shed(const std::shared_ptr<Connection>& conn,
+                       const QueryMsg& query);
+  void process_batch(std::vector<Pending>& batch);
+  void respond(const std::shared_ptr<Connection>& conn,
+               const ResponseMsg& msg);
+  void send_bytes(const std::shared_ptr<Connection>& conn,
+                  const std::string& bytes);
+  std::uint32_t safe_default_action() const { return safe_action_; }
+  std::uint32_t decide(std::uint32_t agent, std::uint64_t state,
+                       std::uint16_t& flags);
+  void emit_batch_trace(std::size_t batch_size, double latency_s,
+                        std::uint64_t first_state, std::uint32_t first_action);
+
+  ServerConfig config_;
+  std::unique_ptr<rl::RlGovernor> governor_;
+  /// Guards governor_ swap on hot-reload; workers take it shared per batch.
+  std::shared_mutex governor_mutex_;
+  std::mutex reload_mutex_;
+  DecisionCache cache_;
+  std::size_t agent_count_ = 0;
+  std::size_t states_per_agent_ = 0;
+  std::uint32_t safe_action_ = 0;
+
+  // Request queue.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  // Sockets (owned by the acceptor thread; connections shared with
+  // workers holding in-flight requests).
+  int uds_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t bound_tcp_port_ = 0;
+  std::thread acceptor_;
+  std::unique_ptr<core::runfarm::ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+
+  // Observability.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  std::mutex trace_mutex_;
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> batch_seq_{0};
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* timeout_counter_ = nullptr;
+  obs::Counter* cache_hit_counter_ = nullptr;
+  obs::Counter* cache_miss_counter_ = nullptr;
+  obs::Counter* wire_error_counter_ = nullptr;
+  obs::Counter* reload_counter_ = nullptr;
+  obs::Counter* connection_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace pmrl::serve

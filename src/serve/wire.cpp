@@ -1,0 +1,144 @@
+#include "serve/wire.hpp"
+
+namespace pmrl::serve {
+
+namespace {
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+bool check(const util::Frame& frame, MsgType type, std::size_t min_payload) {
+  return frame.type == static_cast<std::uint8_t>(type) &&
+         frame.payload.size() >= min_payload;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::Query: return "query";
+    case MsgType::Response: return "response";
+    case MsgType::Ping: return "ping";
+    case MsgType::Pong: return "pong";
+    case MsgType::Reload: return "reload";
+    case MsgType::ReloadAck: return "reload-ack";
+    case MsgType::Error: return "error";
+  }
+  return "unknown";
+}
+
+void append_query(std::string& out, const QueryMsg& msg) {
+  std::string payload;
+  payload.reserve(20);
+  put_u64(payload, msg.request_id);
+  util::framing_detail::put_u32(payload, msg.agent);
+  put_u64(payload, msg.state);
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Query), 0,
+                     payload);
+}
+
+void append_response(std::string& out, const ResponseMsg& msg) {
+  std::string payload;
+  payload.reserve(16);
+  put_u64(payload, msg.request_id);
+  util::framing_detail::put_u32(payload, msg.action);
+  util::framing_detail::put_u16(payload, msg.flags);
+  util::framing_detail::put_u16(payload, 0);
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Response), 0,
+                     payload);
+}
+
+void append_ping(std::string& out, std::uint64_t token) {
+  std::string payload;
+  put_u64(payload, token);
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Ping), 0,
+                     payload);
+}
+
+void append_pong(std::string& out, std::uint64_t token) {
+  std::string payload;
+  put_u64(payload, token);
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Pong), 0,
+                     payload);
+}
+
+void append_reload(std::string& out) {
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Reload), 0, {});
+}
+
+void append_reload_ack(std::string& out, const ReloadAckMsg& msg) {
+  std::string payload;
+  payload.push_back(msg.ok ? 1 : 0);
+  payload.append(msg.error);
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::ReloadAck), 0,
+                     payload);
+}
+
+void append_error(std::string& out, const ErrorMsg& msg) {
+  std::string payload;
+  payload.reserve(12 + msg.message.size());
+  put_u64(payload, msg.request_id);
+  util::framing_detail::put_u32(payload, msg.code);
+  payload.append(msg.message);
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Error), 0,
+                     payload);
+}
+
+bool parse_query(const util::Frame& frame, QueryMsg& msg) {
+  if (!check(frame, MsgType::Query, 20)) return false;
+  const char* p = frame.payload.data();
+  msg.request_id = get_u64(p);
+  msg.agent = util::framing_detail::get_u32(p + 8);
+  msg.state = get_u64(p + 12);
+  return true;
+}
+
+bool parse_response(const util::Frame& frame, ResponseMsg& msg) {
+  if (!check(frame, MsgType::Response, 16)) return false;
+  const char* p = frame.payload.data();
+  msg.request_id = get_u64(p);
+  msg.action = util::framing_detail::get_u32(p + 8);
+  msg.flags = util::framing_detail::get_u16(p + 12);
+  return true;
+}
+
+bool parse_ping(const util::Frame& frame, std::uint64_t& token) {
+  if (!check(frame, MsgType::Ping, 8)) return false;
+  token = get_u64(frame.payload.data());
+  return true;
+}
+
+bool parse_pong(const util::Frame& frame, std::uint64_t& token) {
+  if (!check(frame, MsgType::Pong, 8)) return false;
+  token = get_u64(frame.payload.data());
+  return true;
+}
+
+bool parse_reload_ack(const util::Frame& frame, ReloadAckMsg& msg) {
+  if (!check(frame, MsgType::ReloadAck, 1)) return false;
+  msg.ok = frame.payload[0] != 0;
+  msg.error = frame.payload.substr(1);
+  return true;
+}
+
+bool parse_error(const util::Frame& frame, ErrorMsg& msg) {
+  if (!check(frame, MsgType::Error, 12)) return false;
+  const char* p = frame.payload.data();
+  msg.request_id = get_u64(p);
+  msg.code = util::framing_detail::get_u32(p + 8);
+  msg.message = frame.payload.substr(12);
+  return true;
+}
+
+}  // namespace pmrl::serve

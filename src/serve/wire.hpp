@@ -1,0 +1,95 @@
+#pragma once
+// Serve wire protocol: the message layer of the policy-decision service.
+// Every message travels inside one CRC-32-validated binary frame
+// (util/framing.hpp); this header defines the message kinds and their
+// little-endian payload layouts:
+//
+//   Query     u64 request_id, u32 agent, u64 state          (20 bytes)
+//   Response  u64 request_id, u32 action, u16 flags, u16 0  (16 bytes)
+//   Ping/Pong u64 token                                      (8 bytes)
+//   Reload    (empty)
+//   ReloadAck u8 ok, error text                              (1+n bytes)
+//   Error     u64 request_id, u32 code, message text         (12+n bytes)
+//
+// A Query carries a *quantized* rl state: the client runs the
+// StateEncoder (or ships precomputed indices) and the server answers with
+// the greedy rl::Action index for that agent — the same request/response
+// transaction shape as the paper's CPU<->accelerator interface. Response
+// flags say how the decision was produced (cache hit, or the safe-default
+// degradation used for shed/timed-out requests).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/framing.hpp"
+
+namespace pmrl::serve {
+
+/// Frame `type` values of the serve protocol.
+enum class MsgType : std::uint8_t {
+  Query = 1,
+  Response = 2,
+  Ping = 3,
+  Pong = 4,
+  Reload = 5,
+  ReloadAck = 6,
+  Error = 7,
+};
+
+const char* msg_type_name(MsgType type);
+
+/// Response flag bits.
+inline constexpr std::uint16_t kRespSafeDefault = 1u << 0;  ///< shed/timeout
+inline constexpr std::uint16_t kRespCacheHit = 1u << 1;
+
+/// Error codes carried by Error messages.
+enum class WireErrorCode : std::uint32_t {
+  BadMessage = 1,  ///< malformed payload for the announced type
+  BadAgent = 2,    ///< agent index out of range
+  BadState = 3,    ///< state index out of range for the agent
+};
+
+struct QueryMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t agent = 0;
+  std::uint64_t state = 0;
+};
+
+struct ResponseMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t action = 0;
+  std::uint16_t flags = 0;
+};
+
+struct ErrorMsg {
+  std::uint64_t request_id = 0;  ///< 0 when no request could be identified
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+struct ReloadAckMsg {
+  bool ok = false;
+  std::string error;
+};
+
+// Encoders append one complete frame to `out` (sendable as-is).
+void append_query(std::string& out, const QueryMsg& msg);
+void append_response(std::string& out, const ResponseMsg& msg);
+void append_ping(std::string& out, std::uint64_t token);
+void append_pong(std::string& out, std::uint64_t token);
+void append_reload(std::string& out);
+void append_reload_ack(std::string& out, const ReloadAckMsg& msg);
+void append_error(std::string& out, const ErrorMsg& msg);
+
+// Decoders parse the payload of an already-validated frame of the matching
+// type; they return false on a payload that is too short or malformed (the
+// frame CRC passed but the peer speaks a different message revision).
+bool parse_query(const util::Frame& frame, QueryMsg& msg);
+bool parse_response(const util::Frame& frame, ResponseMsg& msg);
+bool parse_ping(const util::Frame& frame, std::uint64_t& token);
+bool parse_pong(const util::Frame& frame, std::uint64_t& token);
+bool parse_reload_ack(const util::Frame& frame, ReloadAckMsg& msg);
+bool parse_error(const util::Frame& frame, ErrorMsg& msg);
+
+}  // namespace pmrl::serve

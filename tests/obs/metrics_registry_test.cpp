@@ -48,6 +48,46 @@ TEST(MetricsRegistry, HistogramBucketsAndMean) {
   EXPECT_EQ(h.bucket_count(2), 1u);  // +inf overflow bucket
 }
 
+TEST(MetricsRegistry, PercentileInterpolatesWithinBucket) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("lat", {1.0, 2.0, 4.0});
+  // 10 observations spread 4 / 4 / 2 across the finite buckets.
+  for (int i = 0; i < 4; ++i) h.observe(0.5);
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  for (int i = 0; i < 2; ++i) h.observe(3.0);
+  // rank(0.5) = 5 lands 1 deep into the 4-wide (1.0, 2.0] bucket.
+  EXPECT_NEAR(h.percentile(0.5), 1.25, 1e-9);
+  // rank(0.2) = 2 is halfway through the first bucket (from 0 to 1.0).
+  EXPECT_NEAR(h.percentile(0.2), 0.5, 1e-9);
+  // rank(0.9) = 9 is halfway through the last finite bucket (2.0, 4.0].
+  EXPECT_NEAR(h.percentile(0.9), 3.0, 1e-9);
+  // Quantile extremes stay within the observed range.
+  EXPECT_GE(h.percentile(0.0), 0.0);
+  EXPECT_LE(h.percentile(1.0), 4.0);
+}
+
+TEST(MetricsRegistry, PercentileEdgeCases) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& empty = registry.histogram("empty", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  // Ranks landing in the +inf bucket clamp to the highest finite bound.
+  obs::Histogram& inf = registry.histogram("inf", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) inf.observe(100.0);
+  EXPECT_DOUBLE_EQ(inf.percentile(0.99), 2.0);
+}
+
+TEST(MetricsRegistry, JsonHistogramsCarryPercentiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("serve.latency", {0.001, 0.01});
+  for (int i = 0; i < 100; ++i) h.observe(0.0005);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(MetricsRegistry, KindMismatchThrows) {
   obs::MetricsRegistry registry;
   registry.counter("x");

@@ -1,0 +1,103 @@
+// serve/cache.hpp: LRU semantics of the decision cache — eviction order,
+// promotion on hit, refresh on put, clear-on-reload, disabled mode.
+
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pmrl {
+namespace {
+
+TEST(DecisionCache, MissThenHit) {
+  serve::DecisionCache cache(4);
+  EXPECT_FALSE(cache.get(10).has_value());
+  cache.put(10, 3);
+  const auto hit = cache.get(10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCache, EvictsLeastRecentlyUsed) {
+  serve::DecisionCache cache(3);
+  cache.put(1, 11);
+  cache.put(2, 22);
+  cache.put(3, 33);
+  cache.put(4, 44);  // evicts key 1 (oldest)
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(DecisionCache, GetPromotesToMostRecentlyUsed) {
+  serve::DecisionCache cache(3);
+  cache.put(1, 11);
+  cache.put(2, 22);
+  cache.put(3, 33);
+  EXPECT_TRUE(cache.get(1).has_value());  // 1 becomes MRU
+  cache.put(4, 44);                       // evicts 2, not 1
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(DecisionCache, PutRefreshesExistingKey) {
+  serve::DecisionCache cache(2);
+  cache.put(1, 11);
+  cache.put(2, 22);
+  cache.put(1, 99);  // refresh, promotes 1
+  cache.put(3, 33);  // evicts 2
+  const auto hit = cache.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 99u);
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(DecisionCache, ClearDropsEverything) {
+  serve::DecisionCache cache(4);
+  cache.put(1, 11);
+  cache.put(2, 22);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(DecisionCache, ZeroCapacityDisables) {
+  serve::DecisionCache cache(0);
+  cache.put(1, 11);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// Workers of several batches probe/fill/clear concurrently; the cache must
+// stay internally consistent (size bounded by capacity, no crash, every
+// hit returns a value some thread actually put).
+TEST(DecisionCache, ThreadSafeUnderConcurrentUse) {
+  serve::DecisionCache cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto key = static_cast<std::uint64_t>(i % 256);
+        if (const auto hit = cache.get(key)) {
+          EXPECT_EQ(*hit, static_cast<std::uint32_t>(key % 16));
+        } else {
+          cache.put(key, static_cast<std::uint32_t>(key % 16));
+        }
+        if (t == 0 && i % 5000 == 0) cache.clear();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,329 @@
+// PolicyServer loopback integration: request/response over UDS and TCP,
+// cache hits, corruption handling, hot-reload invalidation, overload
+// shedding, and per-request timeout degradation. Everything runs in one
+// process over loopback sockets, so these tests double as the TSan gate
+// for the acceptor/worker/reload thread choreography.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "rl/policy_io.hpp"
+#include "serve/client.hpp"
+
+namespace pmrl {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Short unique UDS path for the current test (sun_path is ~108 bytes).
+std::string test_socket_path() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "pmrl_" + std::to_string(::getpid()) + "_" +
+         info->name() + ".sock";
+}
+
+serve::ServerConfig base_config() {
+  serve::ServerConfig config;
+  config.uds_path = test_socket_path();
+  config.workers = 2;
+  config.batch_max = 16;
+  config.batch_deadline = 100us;
+  config.queue_capacity = 64;
+  config.request_timeout = 5s;  // tests that need timeouts shrink this
+  config.cache_capacity = 256;
+  return config;
+}
+
+/// Writes a checkpoint (default governor shape) whose greedy move for
+/// `state` on every agent is `action`, with margin far above the down-bias
+/// selection prior.
+void write_policy_file(const std::string& path, std::size_t state,
+                       std::size_t action) {
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  for (std::size_t agent = 0; agent < governor.agent_count(); ++agent) {
+    governor.agent(agent).set_q_value(state, action, 5.0);
+  }
+  std::ofstream out(path);
+  ASSERT_TRUE(out);
+  rl::save_policy(governor, out);
+}
+
+TEST(PolicyServer, UdsQueryReturnsGreedyAction) {
+  auto config = base_config();
+  serve::PolicyServer server(config);
+  server.governor().agent(0).set_q_value(7, 2, 5.0);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  const auto result = client.query(7);
+  EXPECT_EQ(result.action, 2u);
+  EXPECT_FALSE(result.safe_default);
+  server.stop();
+}
+
+TEST(PolicyServer, TcpQueryWorks) {
+  auto config = base_config();
+  config.uds_path.clear();
+  config.tcp_enable = true;
+  config.tcp_port = 0;  // ephemeral
+  serve::PolicyServer server(config);
+  server.governor().agent(1).set_q_value(3, 2, 5.0);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  auto client = serve::Client::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_TRUE(client.ping(99));
+  const auto result = client.query(3, /*agent=*/1);
+  EXPECT_EQ(result.action, 2u);
+  server.stop();
+}
+
+TEST(PolicyServer, RepeatQueryHitsCache) {
+  auto config = base_config();
+  serve::PolicyServer server(config);
+  server.governor().agent(0).set_q_value(11, 2, 5.0);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  const auto first = client.query(11);
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = client.query(11);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.action, second.action);
+  server.stop();
+}
+
+TEST(PolicyServer, BadStateAndAgentGetErrorAndConnectionSurvives) {
+  auto config = base_config();
+  serve::PolicyServer server(config);
+  const auto states = server.governor().agent(0).state_count();
+  server.governor().agent(0).set_q_value(1, 2, 5.0);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  EXPECT_THROW(client.query(states + 10), serve::ClientError);
+  EXPECT_THROW(client.query(0, /*agent=*/99), serve::ClientError);
+  // The frames were valid, only the payloads were out of range: the same
+  // connection keeps serving.
+  EXPECT_EQ(client.query(1).action, 2u);
+  server.stop();
+}
+
+TEST(PolicyServer, GarbageBytesDropOnlyThatConnection) {
+  auto config = base_config();
+  obs::MetricsRegistry metrics;
+  serve::PolicyServer server(config);
+  server.set_metrics(&metrics);
+  server.governor().agent(0).set_q_value(1, 2, 5.0);
+  server.start();
+  {
+    auto vandal = serve::Client::connect_uds(config.uds_path);
+    const std::string garbage = "this is definitely not a PMRF frame....";
+    vandal.send_raw(garbage.data(), garbage.size());
+    // The server answers with an Error frame and closes; either surfaces
+    // as a ClientError here.
+    EXPECT_THROW(
+        {
+          for (;;) (void)vandal.recv_response();
+        },
+        serve::ClientError);
+  }
+  // A fresh connection is unaffected.
+  auto client = serve::Client::connect_uds(config.uds_path);
+  EXPECT_EQ(client.query(1).action, 2u);
+  EXPECT_GE(metrics.counter("serve.wire_errors").value(), 1u);
+  server.stop();
+}
+
+TEST(PolicyServer, TruncatedFrameCompletesAcrossWrites) {
+  auto config = base_config();
+  serve::PolicyServer server(config);
+  server.governor().agent(0).set_q_value(4, 2, 5.0);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  std::string frame;
+  serve::append_query(frame, serve::QueryMsg{123, 0, 4});
+  client.send_raw(frame.data(), 10);  // mid-header
+  std::this_thread::sleep_for(20ms);
+  client.send_raw(frame.data() + 10, frame.size() - 10);
+  const auto msg = client.recv_response();
+  EXPECT_EQ(msg.request_id, 123u);
+  EXPECT_EQ(msg.action, 2u);
+  server.stop();
+}
+
+TEST(PolicyServer, ReloadSwapsPolicyAndInvalidatesCache) {
+  auto config = base_config();
+  config.policy_path = test_socket_path() + ".pmrl";
+  write_policy_file(config.policy_path, 9, 2);
+  serve::PolicyServer server(config);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  EXPECT_EQ(client.query(9).action, 2u);
+  EXPECT_TRUE(client.query(9).cache_hit);  // now cached
+
+  write_policy_file(config.policy_path, 9, 1);
+  std::string error;
+  ASSERT_TRUE(client.reload(&error)) << error;
+  const auto after = client.query(9);
+  EXPECT_EQ(after.action, 1u);        // the reloaded policy answers
+  EXPECT_FALSE(after.cache_hit);      // the cache was invalidated
+  server.stop();
+  ::unlink(config.policy_path.c_str());
+}
+
+TEST(PolicyServer, ReloadRejectsCorruptCheckpointAndKeepsServing) {
+  auto config = base_config();
+  config.policy_path = test_socket_path() + ".pmrl";
+  write_policy_file(config.policy_path, 6, 2);
+  serve::PolicyServer server(config);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  EXPECT_EQ(client.query(6).action, 2u);
+
+  // Corrupt the checkpoint on disk; the reload must reject it (CRC) and
+  // keep the in-memory policy (and its cache) serving.
+  {
+    std::ofstream out(config.policy_path);
+    out << "pmrl-policy,2,2,240,3\nnot,numbers,at,all\n";
+  }
+  std::string error;
+  EXPECT_FALSE(client.reload(&error));
+  EXPECT_FALSE(error.empty());
+  const auto after = client.query(6);
+  EXPECT_EQ(after.action, 2u);
+  EXPECT_TRUE(after.cache_hit);  // cache untouched by the failed reload
+  server.stop();
+  ::unlink(config.policy_path.c_str());
+}
+
+TEST(PolicyServer, OverloadShedsSafeDefaultsWithoutDrops) {
+  auto config = base_config();
+  config.workers = 1;
+  config.queue_capacity = 4;
+  serve::PolicyServer server(config);
+  server.governor().agent(0).set_q_value(2, 2, 5.0);
+  server.start();
+  server.pause_workers();  // stall the drain so the queue fills
+
+  auto client = serve::Client::connect_uds(config.uds_path);
+  constexpr std::size_t kBurst = 12;
+  for (std::size_t i = 0; i < kBurst; ++i) (void)client.send_query(2);
+
+  // The overflow (burst - capacity) is shed immediately with the
+  // safe-default all-hold action; the queued remainder is served for real
+  // once the workers resume. No request goes unanswered, the connection
+  // never drops.
+  std::size_t shed = 0;
+  std::vector<serve::ResponseMsg> real;
+  for (std::size_t i = 0; i < kBurst - config.queue_capacity; ++i) {
+    const auto msg = client.recv_response();
+    EXPECT_TRUE(msg.flags & serve::kRespSafeDefault);
+    EXPECT_EQ(msg.action, 0u);  // all-hold
+    ++shed;
+  }
+  server.resume_workers();
+  for (std::size_t i = 0; i < config.queue_capacity; ++i) {
+    real.push_back(client.recv_response());
+  }
+  EXPECT_EQ(shed, kBurst - config.queue_capacity);
+  for (const auto& msg : real) {
+    EXPECT_FALSE(msg.flags & serve::kRespSafeDefault);
+    EXPECT_EQ(msg.action, 2u);
+  }
+  server.stop();
+}
+
+TEST(PolicyServer, StaleRequestsDegradeToSafeDefault) {
+  auto config = base_config();
+  config.workers = 1;
+  config.request_timeout = 1ms;
+  serve::PolicyServer server(config);
+  server.governor().agent(0).set_q_value(8, 2, 5.0);
+  server.start();
+  server.pause_workers();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  (void)client.send_query(8);
+  (void)client.send_query(8);
+  std::this_thread::sleep_for(50ms);  // let both requests go stale
+  server.resume_workers();
+  for (int i = 0; i < 2; ++i) {
+    const auto msg = client.recv_response();
+    EXPECT_TRUE(msg.flags & serve::kRespSafeDefault);
+    EXPECT_EQ(msg.action, 0u);
+  }
+  server.stop();
+}
+
+TEST(PolicyServer, MetricsAndTraceAreWired) {
+  auto config = base_config();
+  obs::MetricsRegistry metrics;
+  obs::VectorTraceSink trace;
+  serve::PolicyServer server(config);
+  server.set_metrics(&metrics);
+  server.set_trace_sink(&trace);
+  server.governor().agent(0).set_q_value(5, 2, 5.0);
+  server.start();
+  auto client = serve::Client::connect_uds(config.uds_path);
+  for (int i = 0; i < 10; ++i) (void)client.query(5);
+  server.stop();
+
+  EXPECT_GE(metrics.counter("serve.requests").value(), 10u);
+  EXPECT_GE(metrics.counter("serve.cache_hit").value(), 9u);
+  EXPECT_GE(metrics.counter("serve.cache_miss").value(), 1u);
+  EXPECT_GE(metrics.histogram("serve.batch_size").count(), 1u);
+  EXPECT_GE(metrics.histogram("serve.latency_s").count(), 10u);
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("\"serve.latency_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  ASSERT_FALSE(trace.events().empty());
+  for (const auto& event : trace.events()) {
+    EXPECT_EQ(event.kind, obs::EventKind::HwInvoke);
+    EXPECT_EQ(event.detail, "serve.batch");
+    EXPECT_GE(event.value, 1.0);
+  }
+  EXPECT_GE(server.responses(), 10u);
+}
+
+TEST(PolicyServer, ManyConnectionsConcurrently) {
+  auto config = base_config();
+  config.workers = 4;
+  serve::PolicyServer server(config);
+  server.governor().agent(0).set_q_value(1, 2, 5.0);
+  server.governor().agent(1).set_q_value(2, 2, 5.0);
+  server.start();
+  constexpr int kClients = 6;
+  constexpr int kQueriesEach = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        auto client = serve::Client::connect_uds(config.uds_path);
+        for (int i = 0; i < kQueriesEach; ++i) {
+          const std::uint32_t agent = t % 2;
+          const std::uint64_t state = agent == 0 ? 1 : 2;
+          if (client.query(state, agent).action != 2u) ++failures;
+        }
+      } catch (const serve::ClientError&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pmrl
