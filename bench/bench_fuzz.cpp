@@ -1,0 +1,186 @@
+// FUZZ — throughput baseline for the adversarial scenario fuzzer. Runs a
+// seed batch through the FuzzDriver at 1/2/4/N worker threads, reporting
+// scenarios/sec and cross-checking that the farmed outcomes are
+// bit-identical to the serial ones (the RNG-stream isolation guarantee the
+// nightly fuzz job leans on). A second phase times the delta-debugging
+// shrinker on a planted energy-budget violation. Emits BENCH_fuzz.json so
+// CI can diff fuzzing throughput against a recorded baseline.
+//
+// Throughput numbers are host-dependent; the determinism flag is not.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fuzz_driver.hpp"
+#include "util/table.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+bool same_outcomes(const std::vector<core::FuzzOutcome>& a,
+                   const std::vector<core::FuzzOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].spec.seed != b[i].spec.seed ||
+        a[i].result.energy_j != b[i].result.energy_j ||
+        a[i].result.quality != b[i].result.quality ||
+        a[i].result.violations != b[i].result.violations ||
+        a[i].violations.size() != b[i].violations.size()) {
+      return false;
+    }
+    for (std::size_t v = 0; v < a[i].violations.size(); ++v) {
+      if (a[i].violations[v].invariant != b[i].violations[v].invariant) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t runs = 200;
+  std::uint64_t seed = 1;
+  std::string out_path = "BENCH_fuzz.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      runs = static_cast<std::size_t>(std::atol(arg + 7));
+    } else if (std::strcmp(arg, "--runs") == 0 && i + 1 < argc) {
+      runs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (runs == 0) {
+    std::fprintf(stderr, "--runs needs a positive count\n");
+    return 2;
+  }
+  std::size_t jobs_max = bench::jobs_from_args(argc, argv);
+  if (jobs_max == 0) jobs_max = core::runfarm::default_jobs();
+
+  bench::print_banner("FUZZ", "scenario-fuzzer throughput + determinism",
+                      "robustness baseline (BENCH_fuzz.json), not a paper "
+                      "figure");
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::size_t> levels = {1, 2, 4};
+  if (std::find(levels.begin(), levels.end(), jobs_max) == levels.end()) {
+    levels.push_back(jobs_max);
+  }
+
+  struct Level {
+    std::size_t jobs = 0;
+    double wall_s = 0.0;
+    double scenarios_per_sec = 0.0;
+  };
+  std::vector<Level> measured;
+  std::vector<core::FuzzOutcome> serial_outcomes;
+  std::vector<core::FuzzOutcome> threaded_outcomes;
+  std::size_t failures = 0;
+  for (const std::size_t jobs : levels) {
+    core::FuzzDriverConfig config;
+    config.jobs = jobs;
+    core::FuzzDriver driver(config);
+    const auto t0 = Clock::now();
+    auto outcomes = driver.run_batch(seed, runs);
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    measured.push_back(
+        {jobs, wall_s,
+         wall_s > 0.0 ? static_cast<double>(runs) / wall_s : 0.0});
+    if (jobs == 1) {
+      failures = 0;
+      for (const auto& outcome : outcomes) {
+        if (!outcome.ok()) ++failures;
+      }
+      serial_outcomes = std::move(outcomes);
+    }
+    if (jobs == 4) threaded_outcomes = std::move(outcomes);
+  }
+  const bool deterministic =
+      same_outcomes(serial_outcomes, threaded_outcomes);
+
+  TextTable table({"jobs", "wall [s]", "scenarios/sec"});
+  for (const auto& level : measured) {
+    table.add_row({std::to_string(level.jobs),
+                   TextTable::num(level.wall_s, 2),
+                   TextTable::num(level.scenarios_per_sec, 1)});
+  }
+  table.print();
+  std::printf("invariant failures at default bounds: %zu/%zu\n", failures,
+              runs);
+  std::printf("serial vs 4-thread outcomes: %s\n",
+              deterministic ? "bit-identical" : "MISMATCH");
+
+  // Shrinker timing: plant an always-firing energy budget so the first
+  // generated spec fails, then time the delta-debugging loop.
+  core::FuzzDriverConfig planted_config;
+  planted_config.invariants.max_energy_j = 0.0;
+  core::FuzzDriver planted(planted_config);
+  const auto failing = planted.run_spec(workload::generate_fuzz_spec(seed));
+  const auto s0 = Clock::now();
+  const auto shrunk = planted.shrink(failing);
+  const double shrink_wall_s =
+      std::chrono::duration<double>(Clock::now() - s0).count();
+  const double candidates_per_sec =
+      shrink_wall_s > 0.0
+          ? static_cast<double>(shrunk.attempts) / shrink_wall_s
+          : 0.0;
+  std::printf(
+      "shrink (planted energy-budget): %zu candidate runs, %zu accepted, "
+      "%.2f s (%.1f candidates/sec)\n",
+      shrunk.attempts, shrunk.accepted, shrink_wall_s, candidates_per_sec);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"fuzz\",\n");
+  std::fprintf(out, "  \"runs\": %zu,\n", runs);
+  std::fprintf(out, "  \"base_seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(out, "  \"failures_at_default_bounds\": %zu,\n", failures);
+  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
+               static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"levels\": [\n");
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const auto& level = measured[i];
+    std::fprintf(out,
+                 "    {\"jobs\": %zu, \"wall_s\": %.6f, "
+                 "\"scenarios_per_sec\": %.2f}%s\n",
+                 level.jobs, level.wall_s, level.scenarios_per_sec,
+                 i + 1 < measured.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"shrink\": {\n");
+  std::fprintf(out, "    \"attempts\": %zu,\n", shrunk.attempts);
+  std::fprintf(out, "    \"accepted\": %zu,\n", shrunk.accepted);
+  std::fprintf(out, "    \"wall_s\": %.6f,\n", shrink_wall_s);
+  std::fprintf(out, "    \"candidates_per_sec\": %.2f\n",
+               candidates_per_sec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"deterministic_serial_vs_4_threads\": %s\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}

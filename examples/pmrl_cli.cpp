@@ -29,17 +29,39 @@
 //       a corrupt file keeps the old policy); SIGINT/SIGTERM shut down.
 //   pmrl_cli query <state> [--agent N] (--uds PATH | --tcp-port N [--host H])
 //       Ask a running server for the greedy action of one quantized state.
+//   pmrl_cli fuzz [--seed S] [--runs N] [--jobs N] [--governor NAME]
+//                 [--max-energy J] [--max-violation-rate X]
+//                 [--max-peak-temp C] [--shrink] [--corpus-dir DIR]
+//                 [--metrics PATH|-]
+//       Generate and run N randomized scenarios from seeds [S, S+N) under
+//       the RL policy + watchdog (or any registered governor), checking the
+//       engine/watchdog/policy invariants after every run. The batch is
+//       bit-identical at any --jobs count. --shrink delta-debugs each
+//       failing scenario to a minimal reproducer; --corpus-dir writes the
+//       minimized .scenario files there (with provenance comments) for
+//       check-in under tests/data/scenarios/. Exits 1 when any scenario
+//       fails, so CI sweeps turn findings into red builds + artifacts.
+//   pmrl_cli replay <file> [--format scenario|jsonl|util] [--governor NAME]
+//       Re-run a recorded artifact as a first-class scenario: a minimized
+//       .scenario corpus entry (exits 1 if its invariants still fail), a
+//       structured --trace jsonl recording, or an external utilization
+//       trace ("time util0 [util1 ...]" rows; percent scales are
+//       auto-normalized). Malformed inputs are rejected with the offending
+//       line number.
 //
 // Unknown flags or subcommands print usage and exit 2. --version prints the
 // library version.
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -47,6 +69,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/fuzz_driver.hpp"
 #include "core/metrics.hpp"
 #include "core/runfarm/runfarm.hpp"
 #include "fault/fault_injector.hpp"
@@ -61,6 +84,8 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
+#include "workload/fuzz.hpp"
+#include "workload/replay.hpp"
 #include "workload/scenarios.hpp"
 
 #ifndef PMRL_VERSION
@@ -106,6 +131,16 @@ struct Args {
   std::uint32_t agent = 0;
   std::string policy_path;
   bool show_version = false;
+  // fuzz / replay
+  std::size_t runs = 64;
+  std::string governor = "rl";
+  double max_energy_j = std::numeric_limits<double>::infinity();
+  double max_violation_rate = 1.0;
+  double max_peak_temp_c = std::numeric_limits<double>::infinity();
+  bool shrink = false;
+  std::optional<std::string> corpus_dir;
+  /// Replay input format (empty = infer from the file extension).
+  std::string format;
 };
 
 Args parse(int argc, char** argv) {
@@ -172,6 +207,28 @@ Args parse(int argc, char** argv) {
       args.agent = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--policy") {
       args.policy_path = next();
+    } else if (arg == "--runs") {
+      args.runs = static_cast<std::size_t>(std::stoul(next()));
+      if (args.runs == 0) throw UsageError("--runs must be >= 1");
+    } else if (arg == "--governor") {
+      args.governor = next();
+    } else if (arg == "--max-energy") {
+      args.max_energy_j = std::stod(next());
+    } else if (arg == "--max-violation-rate") {
+      args.max_violation_rate = std::stod(next());
+    } else if (arg == "--max-peak-temp") {
+      args.max_peak_temp_c = std::stod(next());
+    } else if (arg == "--shrink") {
+      args.shrink = true;
+    } else if (arg == "--corpus-dir") {
+      args.corpus_dir = next();
+      args.shrink = true;  // writing the corpus implies minimizing first
+    } else if (arg == "--format") {
+      args.format = next();
+      if (args.format != "scenario" && args.format != "jsonl" &&
+          args.format != "util") {
+        throw UsageError("--format must be scenario, jsonl, or util");
+      }
     } else if (arg == "--version") {
       args.show_version = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -549,12 +606,196 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+core::FuzzDriverConfig fuzz_config_from(const Args& args) {
+  core::FuzzDriverConfig config;
+  config.governor = args.governor;
+  config.jobs = args.jobs;
+  config.invariants.max_energy_j = args.max_energy_j;
+  config.invariants.max_violation_rate = args.max_violation_rate;
+  config.invariants.max_peak_temp_c = args.max_peak_temp_c;
+  return config;
+}
+
+void print_violations(const core::FuzzOutcome& outcome) {
+  for (const auto& violation : outcome.violations) {
+    std::printf("  %-20s %s\n", violation.invariant.c_str(),
+                violation.detail.c_str());
+  }
+}
+
+int cmd_fuzz(const Args& args) {
+  if (args.governor != "rl" && !governors::has_governor(args.governor)) {
+    std::fprintf(stderr, "unknown governor '%s'\n", args.governor.c_str());
+    return 1;
+  }
+  obs::MetricsRegistry metrics;
+  core::FuzzDriver driver(fuzz_config_from(args));
+  if (args.metrics_path) driver.set_metrics(&metrics);
+
+  std::printf("fuzzing %zu scenario(s) from seed %llu under %s...\n",
+              args.runs, static_cast<unsigned long long>(args.seed),
+              args.governor.c_str());
+  const auto outcomes =
+      driver.run_batch(args.seed, args.runs, /*show_progress=*/true);
+
+  std::vector<const core::FuzzOutcome*> failures;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok()) failures.push_back(&outcome);
+  }
+  std::printf("%zu/%zu scenario(s) passed every invariant\n",
+              outcomes.size() - failures.size(), outcomes.size());
+
+  for (const auto* failure : failures) {
+    std::printf("FAIL seed %llu (%zu phase(s), %zu source(s), %.2f s):\n",
+                static_cast<unsigned long long>(failure->spec.seed),
+                failure->spec.phases.size(), failure->spec.source_count(),
+                failure->spec.total_duration_s());
+    print_violations(*failure);
+    if (!args.shrink) continue;
+    const auto shrunk = driver.shrink(*failure);
+    std::printf(
+        "  shrunk to %zu phase(s), %zu source(s), %.2f s "
+        "(%zu/%zu reductions accepted)\n",
+        shrunk.outcome.spec.phases.size(),
+        shrunk.outcome.spec.source_count(),
+        shrunk.outcome.spec.total_duration_s(), shrunk.accepted,
+        shrunk.attempts);
+    if (!args.corpus_dir) continue;
+    std::filesystem::create_directories(*args.corpus_dir);
+    const std::string invariant = failure->violations.front().invariant;
+    const std::string path =
+        *args.corpus_dir + "/seed" + std::to_string(failure->spec.seed) +
+        "-" + invariant + ".scenario";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::string command = "pmrl_cli fuzz --seed " +
+                          std::to_string(failure->spec.seed) + " --runs 1";
+    if (args.governor != "rl") command += " --governor " + args.governor;
+    char bound[64];
+    if (std::isfinite(args.max_energy_j)) {
+      std::snprintf(bound, sizeof bound, " --max-energy %g",
+                    args.max_energy_j);
+      command += bound;
+    }
+    if (args.max_violation_rate < 1.0) {
+      std::snprintf(bound, sizeof bound, " --max-violation-rate %g",
+                    args.max_violation_rate);
+      command += bound;
+    }
+    if (std::isfinite(args.max_peak_temp_c)) {
+      std::snprintf(bound, sizeof bound, " --max-peak-temp %g",
+                    args.max_peak_temp_c);
+      command += bound;
+    }
+    shrunk.outcome.spec.save(
+        out, {"minimized from: " + command,
+              "violated invariant: " + invariant + " (" +
+                  failure->violations.front().detail + ")",
+              "shrink: " + std::to_string(shrunk.accepted) + "/" +
+                  std::to_string(shrunk.attempts) +
+                  " reductions accepted"});
+    std::printf("  wrote %s\n", path.c_str());
+  }
+  if (args.metrics_path && !write_metrics(*args.metrics_path, metrics)) {
+    return 1;
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+/// Replay format from --format or, when absent, the file extension.
+std::string resolve_replay_format(const Args& args,
+                                  const std::string& path) {
+  if (!args.format.empty()) return args.format;
+  const auto extension = std::filesystem::path(path).extension().string();
+  if (extension == ".scenario") return "scenario";
+  if (extension == ".jsonl") return "jsonl";
+  return "util";
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "replay needs a file path\n");
+    return 1;
+  }
+  const std::string& path = args.positional[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const std::string format = resolve_replay_format(args, path);
+
+  if (format == "scenario") {
+    const auto spec = workload::FuzzSpec::load(in);
+    core::FuzzDriver driver(fuzz_config_from(args));
+    const auto outcome = driver.run_spec(spec);
+    std::printf(
+        "%s: seed %llu, %.2f s, energy %.2f J, E/QoS %.5f J, "
+        "viol rate %.2f%%\n",
+        spec.name.c_str(), static_cast<unsigned long long>(spec.seed),
+        outcome.result.duration_s, outcome.result.energy_j,
+        outcome.result.energy_per_qos,
+        100.0 * outcome.result.violation_rate);
+    if (!outcome.ok()) {
+      std::printf("invariant violations:\n");
+      print_violations(outcome);
+      return 1;
+    }
+    std::printf("all invariants hold\n");
+    return 0;
+  }
+
+  // A recorded utilization trace replayed as a workload.
+  const auto trace = format == "jsonl"
+                         ? workload::util_trace_from_jsonl(in)
+                         : workload::util_trace_from_text(in);
+  const std::string name =
+      std::filesystem::path(path).stem().string() + "-replay";
+  workload::UtilReplayScenario scenario(trace, workload::UtilReplayConfig{},
+                                        name);
+  core::EngineConfig engine_config;
+  engine_config.duration_s =
+      std::max(trace.duration_s(), engine_config.decision_period_s);
+  core::SimEngine engine(soc::default_mobile_soc_config(), engine_config);
+  std::optional<rl::RlGovernor> rl_policy;
+  governors::GovernorPtr baseline;
+  governors::Governor* policy = nullptr;
+  if (args.governor == "rl") {
+    rl_policy.emplace(rl::RlGovernorConfig{},
+                      engine.soc_config().clusters.size());
+    policy = &*rl_policy;
+  } else if (governors::has_governor(args.governor)) {
+    baseline = governors::make_governor(args.governor);
+    policy = baseline.get();
+  } else {
+    std::fprintf(stderr, "unknown governor '%s'\n", args.governor.c_str());
+    return 1;
+  }
+  const auto result = engine.run(scenario, *policy);
+  std::printf(
+      "%s: %zu sample(s) over %.2f s (%zu domain(s)), %zu job(s) "
+      "submitted\n",
+      name.c_str(), trace.samples.size(), trace.duration_s(),
+      trace.domain_count(), scenario.submitted());
+  std::printf(
+      "%s: energy %.2f J, E/QoS %.5f J, viol rate %.2f%%, "
+      "f_little %.0f MHz, f_big %.0f MHz\n",
+      policy->name().c_str(), result.energy_j, result.energy_per_qos,
+      100.0 * result.violation_rate, result.mean_freq_hz.front() / 1e6,
+      result.mean_freq_hz.back() / 1e6);
+  return 0;
+}
+
 }  // namespace
 
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: pmrl_cli <list|train|eval|latency|serve|query> [options]\n"
+      "usage: pmrl_cli "
+      "<list|train|eval|latency|serve|query|fuzz|replay> [options]\n"
       "  list\n"
       "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
       "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
@@ -567,6 +808,11 @@ void print_usage(std::FILE* out) {
       "         [--queue-capacity N] [--cache-capacity N]\n"
       "         [--metrics PATH|-]\n"
       "  query  <state> [--agent N] (--uds PATH | --tcp-port N [--host H])\n"
+      "  fuzz   [--seed S] [--runs N] [--jobs N] [--governor NAME]\n"
+      "         [--max-energy J] [--max-violation-rate X]\n"
+      "         [--max-peak-temp C] [--shrink] [--corpus-dir DIR]\n"
+      "         [--metrics PATH|-]\n"
+      "  replay <file> [--format scenario|jsonl|util] [--governor NAME]\n"
       "  --version\n");
 }
 
@@ -588,6 +834,8 @@ int main(int argc, char** argv) {
     if (cmd == "latency") return cmd_latency(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
+    if (cmd == "fuzz") return cmd_fuzz(args);
+    if (cmd == "replay") return cmd_replay(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     print_usage(stderr);
     return 2;

@@ -1,0 +1,392 @@
+#include "core/fuzz_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "core/runfarm/progress.hpp"
+#include "core/runfarm/runfarm.hpp"
+#include "core/runfarm/thread_pool.hpp"
+#include "fault/fault_injector.hpp"
+#include "governors/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "rl/rl_governor.hpp"
+#include "rl/watchdog.hpp"
+
+namespace pmrl::core {
+
+namespace {
+
+/// Keeps fault sampling unrelated to the workload's job-sampling stream.
+constexpr std::uint64_t kFaultSeedSalt = 0x9A7D3F1C55E2B604ULL;
+
+fault::FaultConfig stress_to_faults(const workload::FuzzStress& stress,
+                                    std::uint64_t seed) {
+  fault::FaultConfig config;
+  config.seed = seed ^ kFaultSeedSalt;
+  config.telemetry.util_noise_sigma = stress.telemetry_noise_sigma;
+  config.telemetry.dropout_rate = stress.telemetry_dropout_rate;
+  config.telemetry.stuck_rate = stress.telemetry_stuck_rate;
+  config.thermal.event_rate = stress.thermal_event_rate;
+  config.thermal.min_delta_c =
+      std::min(8.0, stress.thermal_max_delta_c);
+  config.thermal.max_delta_c = stress.thermal_max_delta_c;
+  return config;
+}
+
+void add_violation(std::vector<FuzzViolation>& violations,
+                   const char* invariant, const std::string& detail) {
+  violations.push_back({invariant, detail});
+}
+
+std::string num(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+FuzzDriverConfig::FuzzDriverConfig()
+    : soc_config(soc::default_mobile_soc_config()) {}
+
+FuzzDriver::FuzzDriver(FuzzDriverConfig config)
+    : config_(std::move(config)) {}
+
+FuzzOutcome FuzzDriver::run_spec(const workload::FuzzSpec& spec) const {
+  FuzzOutcome outcome;
+  outcome.spec = spec;
+
+  EngineConfig engine_config = config_.engine_config;
+  engine_config.duration_s =
+      std::max(spec.total_duration_s(), engine_config.decision_period_s);
+
+  SimEngine engine(config_.soc_config, engine_config);
+  obs::VectorTraceSink sink;
+  engine.set_trace_sink(&sink);
+
+  std::optional<fault::FaultInjector> injector;
+  if (spec.stress.any()) {
+    injector.emplace(stress_to_faults(spec.stress, spec.seed));
+    engine.set_fault_injector(&*injector);
+  }
+
+  // Per-run governor: everything constructed locally so a batch task owns
+  // all of its mutable state (RNG-stream isolation rule, DESIGN.md §7).
+  std::optional<rl::RlGovernor> rl_policy;
+  std::optional<rl::PolicyWatchdog> watchdog;
+  governors::GovernorPtr baseline;
+  governors::Governor* policy = nullptr;
+  if (config_.governor == "rl") {
+    rl_policy.emplace(rl::RlGovernorConfig{},
+                      config_.soc_config.clusters.size());
+    if (config_.use_watchdog) {
+      watchdog.emplace(*rl_policy,
+                       governors::make_governor("conservative"));
+      policy = &*watchdog;
+    } else {
+      policy = &*rl_policy;
+    }
+  } else {
+    baseline = governors::make_governor(config_.governor);
+    policy = baseline.get();
+  }
+
+  workload::FuzzScenario scenario(spec);
+  try {
+    outcome.result = engine.run(scenario, *policy);
+  } catch (const std::exception& e) {
+    add_violation(outcome.violations, "unhandled-exception", e.what());
+    return outcome;
+  }
+  if (watchdog) {
+    outcome.watchdog_engagements = watchdog->engagements();
+    outcome.watchdog_fallback_epochs = watchdog->fallback_epochs();
+    outcome.watchdog_total_epochs = watchdog->total_epochs();
+  }
+
+  const RunResult& r = outcome.result;
+
+  // finite-metrics: a NaN anywhere in the aggregate chain means an
+  // accounting bug upstream, not a policy property.
+  const bool finite =
+      std::isfinite(r.energy_j) && std::isfinite(r.quality) &&
+      std::isfinite(r.avg_power_w) && std::isfinite(r.violation_rate) &&
+      r.energy_j >= 0.0 && r.quality >= 0.0 && r.violation_rate >= 0.0 &&
+      r.violation_rate <= 1.0;
+  if (!finite) {
+    add_violation(outcome.violations, "finite-metrics",
+                  "energy=" + num(r.energy_j) + " quality=" +
+                      num(r.quality) + " viol_rate=" +
+                      num(r.violation_rate));
+  }
+  for (std::size_t c = 0; c < r.mean_freq_hz.size(); ++c) {
+    const double f = r.mean_freq_hz[c];
+    if (!std::isfinite(f) || f < 0.0) {
+      add_violation(outcome.violations, "finite-metrics",
+                    "mean_freq[" + std::to_string(c) + "]=" + num(f));
+      break;
+    }
+    if (c < config_.soc_config.clusters.size()) {
+      const auto& opps = config_.soc_config.clusters[c].opps;
+      if (f < opps.lowest().freq_hz * (1.0 - 1e-9) ||
+          f > opps.highest().freq_hz * (1.0 + 1e-9)) {
+        add_violation(outcome.violations, "finite-metrics",
+                      "mean_freq[" + std::to_string(c) +
+                          "] outside OPP range: " + num(f));
+        break;
+      }
+    }
+  }
+
+  // qos-accounting
+  if (r.violations > r.released_deadline || r.completed > r.released) {
+    add_violation(outcome.violations, "qos-accounting",
+                  "violations=" + std::to_string(r.violations) +
+                      "/released_deadline=" +
+                      std::to_string(r.released_deadline) + " completed=" +
+                      std::to_string(r.completed) + "/released=" +
+                      std::to_string(r.released));
+  }
+
+  // energy-conservation over the structured trace: cumulative energy must
+  // be monotone, epoch deltas non-negative, and the final total must match
+  // the run's aggregate.
+  double prev_total = 0.0;
+  for (const auto& event : sink.events()) {
+    if (event.kind != obs::EventKind::Epoch &&
+        event.kind != obs::EventKind::RunEnd) {
+      continue;
+    }
+    if (event.energy_j < -1e-9 || event.total_energy_j < prev_total - 1e-9) {
+      add_violation(outcome.violations, "energy-conservation",
+                    "epoch " + std::to_string(event.epoch) + ": delta=" +
+                        num(event.energy_j) + " total=" +
+                        num(event.total_energy_j) + " prev=" +
+                        num(prev_total));
+      break;
+    }
+    prev_total = event.total_energy_j;
+    if (event.kind == obs::EventKind::RunEnd) {
+      const double tolerance = 1e-6 * std::max(1.0, r.energy_j);
+      if (std::abs(event.total_energy_j - r.energy_j) > tolerance) {
+        add_violation(outcome.violations, "energy-conservation",
+                      "run-end total " + num(event.total_energy_j) +
+                          " != aggregate " + num(r.energy_j));
+      }
+    }
+  }
+
+  // watchdog-hysteresis: every engagement except possibly the last (which
+  // the run end may truncate) must hold the fallback >= hold_epochs.
+  if (watchdog) {
+    const auto& wd = watchdog->config();
+    if (outcome.watchdog_fallback_epochs > outcome.watchdog_total_epochs) {
+      add_violation(outcome.violations, "watchdog-hysteresis",
+                    "fallback epochs exceed total epochs");
+    } else if (outcome.watchdog_engagements > 1 &&
+               outcome.watchdog_fallback_epochs <
+                   (outcome.watchdog_engagements - 1) * wd.hold_epochs) {
+      add_violation(
+          outcome.violations, "watchdog-hysteresis",
+          std::to_string(outcome.watchdog_engagements) +
+              " engagements but only " +
+              std::to_string(outcome.watchdog_fallback_epochs) +
+              " fallback epochs (hold=" + std::to_string(wd.hold_epochs) +
+              ")");
+    }
+  }
+
+  // Tunable bounds (planting hooks + blind-spot hunts).
+  if (r.violation_rate > config_.invariants.max_violation_rate) {
+    add_violation(outcome.violations, "qos-floor",
+                  "violation_rate " + num(r.violation_rate) + " > " +
+                      num(config_.invariants.max_violation_rate));
+  }
+  if (r.energy_j > config_.invariants.max_energy_j) {
+    add_violation(outcome.violations, "energy-budget",
+                  "energy " + num(r.energy_j) + " J > " +
+                      num(config_.invariants.max_energy_j) + " J");
+  }
+  for (std::size_t c = 0; c < r.peak_temp_c.size(); ++c) {
+    if (r.peak_temp_c[c] > config_.invariants.max_peak_temp_c) {
+      add_violation(outcome.violations, "thermal-bound",
+                    "peak_temp[" + std::to_string(c) + "]=" +
+                        num(r.peak_temp_c[c]) + " C > " +
+                        num(config_.invariants.max_peak_temp_c) + " C");
+      break;
+    }
+  }
+  return outcome;
+}
+
+std::vector<FuzzOutcome> FuzzDriver::run_batch(std::uint64_t base_seed,
+                                               std::size_t runs,
+                                               bool show_progress) const {
+  std::vector<std::function<FuzzOutcome()>> tasks;
+  tasks.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    tasks.push_back([this, seed] {
+      return run_spec(workload::generate_fuzz_spec(seed));
+    });
+  }
+  runfarm::ProgressReporter progress("fuzz", runs, show_progress);
+  std::optional<runfarm::ThreadPool> pool;
+  if (config_.jobs != 1) pool.emplace(config_.jobs);
+  auto outcomes = runfarm::run_ordered<FuzzOutcome>(
+      pool ? &*pool : nullptr, tasks, &progress);
+  if (metrics_) {
+    std::size_t failures = 0;
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok()) ++failures;
+    }
+    metrics_->counter("fuzz.runs").inc(outcomes.size());
+    metrics_->counter("fuzz.failures").inc(failures);
+  }
+  return outcomes;
+}
+
+bool FuzzDriver::candidate_preserves(const workload::FuzzSpec& candidate,
+                                     const std::string& invariant,
+                                     std::size_t& attempts) const {
+  ++attempts;
+  const FuzzOutcome outcome = run_spec(candidate);
+  for (const auto& violation : outcome.violations) {
+    if (violation.invariant == invariant) return true;
+  }
+  return false;
+}
+
+FuzzDriver::ShrinkResult FuzzDriver::shrink(
+    const FuzzOutcome& failing) const {
+  ShrinkResult shrunk;
+  shrunk.outcome = failing;
+  if (failing.ok()) return shrunk;
+  const std::string invariant = failing.violations.front().invariant;
+
+  workload::FuzzSpec current = failing.spec;
+  bool reduced = true;
+  while (reduced && shrunk.attempts < config_.max_shrink_runs) {
+    reduced = false;
+
+    // Pass 1: drop whole phases (largest reduction first).
+    for (std::size_t p = 0;
+         current.phases.size() > 1 && p < current.phases.size();) {
+      workload::FuzzSpec candidate = current;
+      candidate.phases.erase(candidate.phases.begin() +
+                             static_cast<std::ptrdiff_t>(p));
+      if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
+        current = std::move(candidate);
+        ++shrunk.accepted;
+        reduced = true;
+      } else {
+        ++p;
+      }
+      if (shrunk.attempts >= config_.max_shrink_runs) break;
+    }
+
+    // Pass 2: drop individual sources.
+    for (std::size_t p = 0; p < current.phases.size(); ++p) {
+      for (std::size_t s = 0; s < current.phases[p].sources.size();) {
+        workload::FuzzSpec candidate = current;
+        auto& sources = candidate.phases[p].sources;
+        sources.erase(sources.begin() + static_cast<std::ptrdiff_t>(s));
+        if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
+          current = std::move(candidate);
+          ++shrunk.accepted;
+          reduced = true;
+        } else {
+          ++s;
+        }
+        if (shrunk.attempts >= config_.max_shrink_runs) break;
+      }
+      if (shrunk.attempts >= config_.max_shrink_runs) break;
+    }
+
+    // Pass 3: halve phase durations (down to the floor).
+    for (std::size_t p = 0; p < current.phases.size(); ++p) {
+      if (shrunk.attempts >= config_.max_shrink_runs) break;
+      const double halved = current.phases[p].duration_s * 0.5;
+      if (halved < config_.min_phase_duration_s) continue;
+      workload::FuzzSpec candidate = current;
+      candidate.phases[p].duration_s = halved;
+      if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
+        current = std::move(candidate);
+        ++shrunk.accepted;
+        reduced = true;
+      }
+    }
+
+    // Pass 4: zero stress knobs one at a time.
+    const auto try_stress = [&](auto mutate) {
+      if (shrunk.attempts >= config_.max_shrink_runs) return;
+      workload::FuzzSpec candidate = current;
+      mutate(candidate.stress);
+      if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
+        current = std::move(candidate);
+        ++shrunk.accepted;
+        reduced = true;
+      }
+    };
+    if (current.stress.telemetry_noise_sigma > 0.0) {
+      try_stress([](workload::FuzzStress& stress) {
+        stress.telemetry_noise_sigma = 0.0;
+      });
+    }
+    if (current.stress.telemetry_dropout_rate > 0.0) {
+      try_stress([](workload::FuzzStress& stress) {
+        stress.telemetry_dropout_rate = 0.0;
+      });
+    }
+    if (current.stress.telemetry_stuck_rate > 0.0) {
+      try_stress([](workload::FuzzStress& stress) {
+        stress.telemetry_stuck_rate = 0.0;
+      });
+    }
+    if (current.stress.thermal_event_rate > 0.0) {
+      try_stress([](workload::FuzzStress& stress) {
+        stress.thermal_event_rate = 0.0;
+      });
+    }
+
+    // Pass 5: strip work-distribution frills (spikes, variance).
+    for (std::size_t p = 0; p < current.phases.size(); ++p) {
+      for (std::size_t s = 0; s < current.phases[p].sources.size(); ++s) {
+        if (shrunk.attempts >= config_.max_shrink_runs) break;
+        auto& source = current.phases[p].sources[s];
+        if (source.spike_probability > 0.0) {
+          workload::FuzzSpec candidate = current;
+          candidate.phases[p].sources[s].spike_probability = 0.0;
+          if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
+            current = std::move(candidate);
+            ++shrunk.accepted;
+            reduced = true;
+          }
+        }
+        if (shrunk.attempts >= config_.max_shrink_runs) break;
+        if (source.work_cv > 0.0) {
+          workload::FuzzSpec candidate = current;
+          candidate.phases[p].sources[s].work_cv = 0.0;
+          if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
+            current = std::move(candidate);
+            ++shrunk.accepted;
+            reduced = true;
+          }
+        }
+      }
+    }
+  }
+
+  current.name = failing.spec.name + "-min";
+  shrunk.outcome = run_spec(current);
+  ++shrunk.attempts;
+  if (metrics_) {
+    metrics_->counter("fuzz.shrink_attempts").inc(shrunk.attempts);
+  }
+  return shrunk;
+}
+
+}  // namespace pmrl::core

@@ -1,0 +1,131 @@
+#pragma once
+// The fuzz driver: runs FuzzSpec scenarios through the engine under the
+// RL policy + watchdog (or any registered governor), checks a battery of
+// engine/watchdog/policy invariants after every run, fans seed batches out
+// across a work-stealing pool with per-seed RNG-stream isolation (results
+// are bit-identical at any job count), and delta-debugs any failing
+// scenario down to a minimal reproducer fit for the checked-in regression
+// corpus under tests/data/scenarios/.
+//
+// Invariants checked per run (names appear in FuzzViolation::invariant):
+//   finite-metrics        every RunResult number is finite and in range
+//   qos-accounting        violations <= released deadline jobs, etc.
+//   energy-conservation   cumulative trace energy is monotone and matches
+//                         the run total
+//   watchdog-hysteresis   every non-final engagement held >= hold_epochs
+//   qos-floor             violation_rate <= max_violation_rate (tunable)
+//   energy-budget         energy_j <= max_energy_j (tunable)
+//   thermal-bound         peak temp <= max_peak_temp_c (tunable)
+//   unhandled-exception   the run threw
+//
+// The tunable bounds default to always-true values; tests plant violations
+// by tightening them, and CI fuzz sweeps can tighten qos-floor to hunt for
+// policy blind spots.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "workload/fuzz.hpp"
+
+namespace pmrl::obs {
+class MetricsRegistry;
+}  // namespace pmrl::obs
+
+namespace pmrl::core {
+
+/// Tunable invariant bounds. Defaults never fire on a healthy system.
+struct FuzzInvariantConfig {
+  double max_energy_j = std::numeric_limits<double>::infinity();
+  double max_violation_rate = 1.0;
+  double max_peak_temp_c = std::numeric_limits<double>::infinity();
+};
+
+/// One violated invariant.
+struct FuzzViolation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Everything learned from one fuzz run.
+struct FuzzOutcome {
+  workload::FuzzSpec spec;
+  RunResult result;
+  std::size_t watchdog_engagements = 0;
+  std::size_t watchdog_fallback_epochs = 0;
+  std::size_t watchdog_total_epochs = 0;
+  std::vector<FuzzViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+struct FuzzDriverConfig {
+  soc::SocConfig soc_config;
+  EngineConfig engine_config;  // duration_s is overridden per spec
+  /// Registered governor evaluated on each scenario. "rl" (the default)
+  /// runs a fresh online-learning RL policy wrapped in the PolicyWatchdog
+  /// over a conservative fallback — the configuration the fuzzer is
+  /// hunting blind spots in. Any other registered name runs bare.
+  std::string governor = "rl";
+  /// Wrap the RL policy in the watchdog (ignored for other governors).
+  bool use_watchdog = true;
+  FuzzInvariantConfig invariants;
+  /// Worker threads for run_batch (0 = default_jobs(), 1 = serial).
+  std::size_t jobs = 1;
+  /// Shrinker budget: candidate re-runs before giving up.
+  std::size_t max_shrink_runs = 400;
+  /// Phase durations are never shrunk below this.
+  double min_phase_duration_s = 0.25;
+
+  FuzzDriverConfig();
+};
+
+class FuzzDriver {
+ public:
+  explicit FuzzDriver(FuzzDriverConfig config);
+
+  const FuzzDriverConfig& config() const { return config_; }
+
+  /// Runs one spec on a task-local engine/governor/injector and checks
+  /// every invariant. Never throws for in-run failures — they surface as
+  /// an "unhandled-exception" violation.
+  FuzzOutcome run_spec(const workload::FuzzSpec& spec) const;
+
+  /// Generates and runs specs for seeds [base_seed, base_seed + runs).
+  /// Each seed is one isolated farm task (own engine, scenario, governor,
+  /// injector, RNG streams), so the batch is bit-identical at any job
+  /// count. Outcomes come back in seed order.
+  std::vector<FuzzOutcome> run_batch(std::uint64_t base_seed,
+                                     std::size_t runs,
+                                     bool show_progress = false) const;
+
+  struct ShrinkResult {
+    FuzzOutcome outcome;      ///< minimized spec + its (failing) run
+    std::size_t attempts = 0;  ///< candidate runs executed
+    std::size_t accepted = 0;  ///< reductions that preserved the failure
+  };
+
+  /// Delta-debugging shrinker: greedily drops phases/sources, halves
+  /// durations, zeroes stress knobs, and strips work-distribution frills
+  /// while a violation of the SAME invariant as `failing`'s first
+  /// violation persists. Deterministic for a given input.
+  ShrinkResult shrink(const FuzzOutcome& failing) const;
+
+  /// Attaches a metrics registry (nullptr detaches): fuzz.runs,
+  /// fuzz.failures, and fuzz.shrink_attempts counters aggregate across
+  /// batch worker threads.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  bool candidate_preserves(const workload::FuzzSpec& candidate,
+                           const std::string& invariant,
+                           std::size_t& attempts) const;
+
+  FuzzDriverConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace pmrl::core

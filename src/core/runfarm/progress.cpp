@@ -1,26 +1,58 @@
 #include "core/runfarm/progress.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace pmrl::core::runfarm {
 
 double eta_seconds(std::size_t done, std::size_t total, double elapsed_s) {
-  if (done == 0 || done >= total || elapsed_s <= 0.0) return 0.0;
+  if (done == 0 || done >= total || !std::isfinite(elapsed_s) ||
+      elapsed_s <= 0.0) {
+    return 0.0;
+  }
   return elapsed_s * static_cast<double>(total - done) /
          static_cast<double>(done);
+}
+
+std::string format_duration(double seconds) {
+  char buffer[32];
+  if (!std::isfinite(seconds) || seconds >= 100.0 * 86400.0) return ">99d";
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds < 60.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    const unsigned whole = static_cast<unsigned>(seconds);
+    std::snprintf(buffer, sizeof(buffer), "%um%02us", whole / 60,
+                  whole % 60);
+  } else if (seconds < 86400.0) {
+    const unsigned minutes = static_cast<unsigned>(seconds / 60.0);
+    std::snprintf(buffer, sizeof(buffer), "%uh%02um", minutes / 60,
+                  minutes % 60);
+  } else {
+    const unsigned hours = static_cast<unsigned>(seconds / 3600.0);
+    std::snprintf(buffer, sizeof(buffer), "%ud%02uh", hours / 24,
+                  hours % 24);
+  }
+  return buffer;
 }
 
 std::string progress_line(const std::string& label, std::size_t done,
                           std::size_t total, double elapsed_s) {
   char buffer[256];
   if (done >= total) {
-    std::snprintf(buffer, sizeof(buffer), "[%s] %zu/%zu done in %.1fs",
-                  label.c_str(), done, total, elapsed_s);
+    std::snprintf(buffer, sizeof(buffer), "[%s] %zu/%zu done in %s",
+                  label.c_str(), done, total,
+                  format_duration(elapsed_s).c_str());
+  } else if (done == 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "[%s] %zu/%zu, elapsed %s, eta --", label.c_str(), done,
+                  total, format_duration(elapsed_s).c_str());
   } else {
     std::snprintf(buffer, sizeof(buffer),
-                  "[%s] %zu/%zu, elapsed %.1fs, eta %.1fs", label.c_str(),
-                  done, total, elapsed_s,
-                  eta_seconds(done, total, elapsed_s));
+                  "[%s] %zu/%zu, elapsed %s, eta %s", label.c_str(), done,
+                  total, format_duration(elapsed_s).c_str(),
+                  format_duration(eta_seconds(done, total, elapsed_s))
+                      .c_str());
   }
   return buffer;
 }

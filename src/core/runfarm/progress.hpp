@@ -13,12 +13,20 @@ namespace pmrl::core::runfarm {
 
 /// Remaining-time estimate extrapolated from the mean completion rate:
 /// elapsed * (total - done) / done. Returns 0 when done == 0 (no rate
-/// yet), done >= total (nothing left), or elapsed <= 0.
+/// yet), done >= total (nothing left), or elapsed is non-positive or
+/// non-finite (a bad clock reading must not propagate NaN into the UI).
 double eta_seconds(std::size_t done, std::size_t total, double elapsed_s);
+
+/// Human-scale duration: "8.0s" under a minute, "4m05s" under an hour,
+/// "3h07m" under a day, "2d14h" under 100 days, and ">99d" beyond that or
+/// for non-finite input (huge ETAs early in a slow batch used to render as
+/// a meaningless float like "8640000.0s").
+std::string format_duration(double seconds);
 
 /// The line on_done() prints, sans trailing newline: in flight it reads
 /// "[label] k/N, elapsed E.Es, eta T.Ts"; once k == N it reads
-/// "[label] N/N done in E.Es".
+/// "[label] N/N done in E.Es". Before the first completion there is no
+/// rate to extrapolate from, so the eta renders as "--".
 std::string progress_line(const std::string& label, std::size_t done,
                           std::size_t total, double elapsed_s);
 

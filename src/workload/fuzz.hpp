@@ -1,0 +1,128 @@
+#pragma once
+// Adversarial scenario fuzzing: randomized-but-reproducible workload
+// scenarios assembled from the same primitives the authored scenarios use
+// (periodic frame pipelines, parallel bursts) plus stress knobs that the
+// fuzz driver maps onto the fault subsystem (telemetry degradation,
+// thermal emergencies). A FuzzSpec is a pure value: the same spec releases
+// an identical job stream, serializes to a stable text format, and — once
+// minimized by the shrinker — is checked into tests/data/scenarios/ as a
+// permanent regression case.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/replay.hpp"  // TraceParseError
+#include "workload/scenario.hpp"
+#include "workload/sources.hpp"
+
+namespace pmrl::workload {
+
+/// One randomized job source inside a phase.
+struct FuzzSource {
+  enum class Kind { Periodic, Burst };
+
+  Kind kind = Kind::Periodic;
+  soc::Affinity affinity = soc::Affinity::Any;
+  /// Periodic: release period. Burst: interval between bursts.
+  double period_s = 0.016;
+  double work_mean_cycles = 1e6;
+  double work_cv = 0.2;
+  double spike_probability = 0.0;
+  double spike_factor = 2.5;
+  /// Periodic deadline = release + period * deadline_factor.
+  double deadline_factor = 1.0;
+  /// Burst absolute deadline after the burst fires.
+  double deadline_s = 0.5;
+  /// Jobs per burst (>= 1; unused by periodic sources).
+  std::size_t burst_jobs = 4;
+};
+
+/// One scenario phase: the listed sources are active for duration_s.
+/// A phase with no sources is deliberate idle time (a regime transition
+/// the policy must ride out).
+struct FuzzPhase {
+  double duration_s = 1.0;
+  std::vector<FuzzSource> sources;
+};
+
+/// Environment stress riding on the scenario. The workload library cannot
+/// depend on src/fault (link order), so these are raw knobs; the fuzz
+/// driver maps them onto a fault::FaultConfig.
+struct FuzzStress {
+  double telemetry_noise_sigma = 0.0;
+  double telemetry_dropout_rate = 0.0;
+  double telemetry_stuck_rate = 0.0;
+  double thermal_event_rate = 0.0;
+  double thermal_max_delta_c = 25.0;
+
+  bool any() const {
+    return telemetry_noise_sigma > 0.0 || telemetry_dropout_rate > 0.0 ||
+           telemetry_stuck_rate > 0.0 || thermal_event_rate > 0.0;
+  }
+};
+
+/// A complete fuzz scenario: phases + stress + the RNG stream seed for job
+/// sampling. Value-semantic and serializable.
+struct FuzzSpec {
+  std::string name = "fuzz";
+  std::uint64_t seed = 0;
+  FuzzStress stress;
+  std::vector<FuzzPhase> phases;
+
+  double total_duration_s() const;
+  std::size_t source_count() const;
+
+  /// Serializes as the versioned line-oriented text format (see
+  /// DESIGN.md §10). `comments` become '#'-prefixed provenance lines
+  /// under the header.
+  void save(std::ostream& out,
+            const std::vector<std::string>& comments = {}) const;
+
+  /// Parses a document produced by save(). Throws TraceParseError (with
+  /// the offending 1-based line) on malformed input: bad header/tag,
+  /// wrong field counts, NaN/Inf, non-positive durations/periods/work,
+  /// probabilities outside [0, 1], or zero burst jobs.
+  static FuzzSpec load(std::istream& in);
+};
+
+/// Samples a randomized spec from a seeded stream: 1-4 phases of 0.5-3 s,
+/// 0-3 sources each (periodic pipelines and burst storms across the
+/// affinity/period/work/deadline space), and stress knobs on roughly half
+/// the specs. The same seed always yields the same spec.
+FuzzSpec generate_fuzz_spec(std::uint64_t seed);
+
+/// Scenario interpreting a FuzzSpec: phases play back-to-back; each
+/// phase's sources release jobs only inside that phase's window. All
+/// randomness (work sampling) comes from one stream seeded by spec.seed,
+/// so a spec's job sequence is bit-identical on every replay.
+class FuzzScenario : public Scenario {
+ public:
+  explicit FuzzScenario(FuzzSpec spec);
+
+  std::string name() const override { return spec_.name; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+  const FuzzSpec& spec() const { return spec_; }
+
+ private:
+  struct ActiveSource {
+    const FuzzSource* source = nullptr;
+    soc::TaskId task = 0;
+    double phase_start_s = 0.0;
+    double phase_end_s = 0.0;
+    /// Periodic: next release index (release = start + index * period).
+    /// Burst: next fire time.
+    std::uint64_t release_index = 0;
+    double next_fire_s = 0.0;
+  };
+
+  FuzzSpec spec_;
+  Rng rng_;
+  std::vector<ActiveSource> sources_;
+};
+
+}  // namespace pmrl::workload

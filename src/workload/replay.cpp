@@ -1,0 +1,232 @@
+#include "workload/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <sstream>
+
+#include "obs/trace_event.hpp"
+
+namespace pmrl::workload {
+
+namespace {
+
+bool blank_or_comment(const std::string& line) {
+  for (const char ch : line) {
+    if (ch == '#') return true;
+    if (ch != ' ' && ch != '\t' && ch != '\r') return false;
+  }
+  return true;
+}
+
+/// Last non-whitespace character of `line` ('\0' when none).
+char last_visible(const std::string& line) {
+  for (auto it = line.rbegin(); it != line.rend(); ++it) {
+    if (*it != ' ' && *it != '\t' && *it != '\r') return *it;
+  }
+  return '\0';
+}
+
+void require_finite(double value, const char* field, std::size_t line_no) {
+  if (!std::isfinite(value)) {
+    throw TraceParseError(line_no, std::string("non-finite ") + field);
+  }
+}
+
+}  // namespace
+
+UtilTrace util_trace_from_jsonl(std::istream& in) {
+  UtilTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool seen_epoch = false;
+  std::uint64_t last_epoch = 0;
+  double last_time = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (blank_or_comment(line)) continue;
+    // A half-written (truncated) record cannot end in '}'. Detect it
+    // before parsing so the error names the corruption, not a JSON
+    // subtlety.
+    if (last_visible(line) != '}') {
+      throw TraceParseError(line_no, "truncated record (no closing '}')");
+    }
+    obs::TraceEvent event;
+    try {
+      event = obs::trace_from_jsonl_line(line);
+    } catch (const std::exception& e) {
+      throw TraceParseError(line_no, e.what());
+    }
+    if (event.kind != obs::EventKind::Epoch) continue;
+    require_finite(event.time_s, "time_s", line_no);
+    if (seen_epoch) {
+      if (event.epoch <= last_epoch) {
+        std::ostringstream msg;
+        msg << "out-of-order epoch " << event.epoch << " after "
+            << last_epoch;
+        throw TraceParseError(line_no, msg.str());
+      }
+      if (event.time_s < last_time) {
+        throw TraceParseError(line_no, "epoch time went backwards");
+      }
+    }
+    UtilSample sample;
+    sample.time_s = event.time_s;
+    for (const auto& cluster : event.clusters) {
+      require_finite(cluster.util_avg, "cluster util", line_no);
+      if (cluster.util_avg < 0.0) {
+        throw TraceParseError(line_no, "negative cluster util");
+      }
+      sample.util.push_back(std::min(cluster.util_avg, 1.0));
+    }
+    if (sample.util.empty()) {
+      throw TraceParseError(line_no, "epoch event has no cluster samples");
+    }
+    if (!trace.samples.empty() &&
+        sample.util.size() != trace.domain_count()) {
+      throw TraceParseError(line_no, "inconsistent cluster count");
+    }
+    seen_epoch = true;
+    last_epoch = event.epoch;
+    last_time = event.time_s;
+    trace.samples.push_back(std::move(sample));
+  }
+  if (trace.samples.empty()) {
+    throw TraceParseError(0, "trace contains no epoch events");
+  }
+  return trace;
+}
+
+UtilTrace util_trace_from_text(std::istream& in) {
+  UtilTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  double peak = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (blank_or_comment(line)) continue;
+    std::istringstream fields(line);
+    UtilSample sample;
+    std::string token;
+    bool first = true;
+    while (fields >> token) {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(token, &consumed);
+      } catch (const std::exception&) {
+        throw TraceParseError(line_no, "unparseable field '" + token + "'");
+      }
+      if (consumed != token.size()) {
+        throw TraceParseError(line_no,
+                              "trailing junk in field '" + token + "'");
+      }
+      if (!std::isfinite(value)) {
+        throw TraceParseError(line_no, "non-finite value '" + token + "'");
+      }
+      if (first) {
+        sample.time_s = value;
+        first = false;
+      } else {
+        if (value < 0.0) {
+          throw TraceParseError(line_no, "negative utilization");
+        }
+        peak = std::max(peak, value);
+        sample.util.push_back(value);
+      }
+    }
+    if (first) continue;  // whitespace-only line
+    if (sample.util.empty()) {
+      throw TraceParseError(line_no, "truncated sample (no util columns)");
+    }
+    if (!trace.samples.empty()) {
+      if (sample.util.size() != trace.domain_count()) {
+        throw TraceParseError(line_no, "inconsistent column count");
+      }
+      if (sample.time_s <= trace.samples.back().time_s) {
+        throw TraceParseError(line_no, "non-increasing timestamp");
+      }
+    }
+    trace.samples.push_back(std::move(sample));
+  }
+  if (trace.samples.empty()) {
+    throw TraceParseError(0, "utilization trace is empty");
+  }
+  if (peak > 1.5) {
+    // Percent-scale trace (0..100): normalize the whole trace.
+    if (peak > 100.0) {
+      throw TraceParseError(0, "utilization exceeds 100 (bad scale)");
+    }
+    for (auto& sample : trace.samples) {
+      for (auto& value : sample.util) value /= 100.0;
+    }
+  } else {
+    for (auto& sample : trace.samples) {
+      for (auto& value : sample.util) value = std::min(value, 1.0);
+    }
+  }
+  return trace;
+}
+
+UtilReplayScenario::UtilReplayScenario(UtilTrace trace,
+                                       UtilReplayConfig config,
+                                       std::string name)
+    : trace_(std::move(trace)),
+      config_(config),
+      name_(std::move(name)) {
+  if (config_.period_s <= 0.0) {
+    throw std::invalid_argument("replay period must be positive");
+  }
+  if (trace_.samples.empty()) {
+    throw std::invalid_argument("replay trace is empty");
+  }
+}
+
+void UtilReplayScenario::setup(WorkloadHost& host) {
+  tasks_.clear();
+  release_index_ = 0;
+  cursor_ = 0;
+  submitted_ = 0;
+  const std::size_t domains = trace_.domain_count();
+  for (std::size_t d = 0; d < domains; ++d) {
+    const soc::Affinity affinity = d == 0   ? soc::Affinity::PreferLittle
+                                   : d == 1 ? soc::Affinity::PreferBig
+                                            : soc::Affinity::Any;
+    tasks_.push_back(
+        host.create_task("replay_d" + std::to_string(d), affinity, 1.0));
+  }
+}
+
+double UtilReplayScenario::util_at(double t, std::size_t domain) const {
+  // cursor_ tracks the sample-and-hold position; callers only move
+  // forward in time.
+  if (trace_.samples[cursor_].time_s > t) return 0.0;
+  return trace_.samples[cursor_].util[domain];
+}
+
+void UtilReplayScenario::tick(WorkloadHost& host, double now_s, double dt_s) {
+  const double window_end = now_s + dt_s;
+  while (true) {
+    const double release =
+        config_.period_s * static_cast<double>(release_index_);
+    if (release >= window_end) break;
+    if (release > trace_.duration_s()) break;  // trace exhausted
+    while (cursor_ + 1 < trace_.samples.size() &&
+           trace_.samples[cursor_ + 1].time_s <= release) {
+      ++cursor_;
+    }
+    const double deadline =
+        release + config_.period_s * config_.deadline_factor;
+    for (std::size_t d = 0; d < tasks_.size(); ++d) {
+      const double util = util_at(release, d);
+      if (util < config_.min_util) continue;
+      const double work =
+          util * config_.cycles_per_util_second * config_.period_s;
+      host.submit(tasks_[d], work, deadline);
+      ++submitted_;
+    }
+    ++release_index_;
+  }
+}
+
+}  // namespace pmrl::workload

@@ -1,0 +1,125 @@
+#pragma once
+// Trace-replay workload sources. Two input families become first-class
+// scenarios here:
+//
+//   * structured JSONL traces recorded by `pmrl_cli eval --trace ...
+//     --trace-format jsonl` — the per-epoch utilization signal is lifted
+//     out of the Epoch events and re-fed as demand, so a recorded run's
+//     load shape can be replayed against any governor;
+//   * external utilization traces (plain text, one `time util0 [util1
+//     ...]` sample per line) captured on real devices or other
+//     simulators.
+//
+// Both readers are hardened: malformed input raises a typed
+// TraceParseError carrying the 1-based line number instead of UB or a
+// crash. Rejected corruption classes: invalid JSON / unparseable fields,
+// NaN/Inf values, truncated (half-written) lines, negative utilization,
+// and out-of-order epochs or timestamps.
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace pmrl::workload {
+
+/// Typed parse error for replay/fuzz scenario inputs. `line()` is the
+/// 1-based input line the error was detected on (0 = whole stream).
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(std::size_t line, const std::string& message)
+      : std::runtime_error(line > 0 ? "line " + std::to_string(line) + ": " +
+                                          message
+                                    : message),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// One utilization sample: a point in simulated time plus the demand seen
+/// on each DVFS domain (0..1 scale).
+struct UtilSample {
+  double time_s = 0.0;
+  std::vector<double> util;
+};
+
+/// A utilization trace: samples at strictly increasing times, all with the
+/// same domain count.
+struct UtilTrace {
+  std::vector<UtilSample> samples;
+
+  std::size_t domain_count() const {
+    return samples.empty() ? 0 : samples.front().util.size();
+  }
+  /// Timestamp of the last sample (the natural replay duration).
+  double duration_s() const {
+    return samples.empty() ? 0.0 : samples.back().time_s;
+  }
+};
+
+/// Extracts the utilization trace from a structured JSONL run trace (the
+/// `--trace-format jsonl` output): one sample per Epoch event, one column
+/// per recorded cluster. Throws TraceParseError on malformed JSON,
+/// truncated lines, NaN/Inf fields, inconsistent cluster counts, or
+/// epochs whose index/time go backwards. Non-Epoch events are skipped.
+UtilTrace util_trace_from_jsonl(std::istream& in);
+
+/// Reads an external utilization trace: one `time_s util0 [util1 ...]`
+/// sample per line, '#' comments and blank lines ignored. Values in
+/// (1.5, 100] are treated as percentages and divided by 100 (the whole
+/// trace is normalized if any sample exceeds 1.5). Throws TraceParseError
+/// on unparseable fields, NaN/Inf, negative values, truncated rows,
+/// inconsistent column counts, or non-increasing timestamps.
+UtilTrace util_trace_from_text(std::istream& in);
+
+/// How recorded utilization is turned back into jobs.
+struct UtilReplayConfig {
+  /// Job release period (s). One job per domain per period.
+  double period_s = 0.020;
+  /// Work cycles corresponding to utilization 1.0 for one second.
+  double cycles_per_util_second = 2.0e9;
+  /// Deadline = release + period * deadline_factor.
+  double deadline_factor = 1.5;
+  /// Samples below this utilization release no job (idle floor).
+  double min_util = 1e-4;
+};
+
+/// Scenario re-creating the demand of a utilization trace: every period it
+/// submits, per domain, one job sized to occupy that domain at the
+/// recorded utilization (sample-and-hold between samples). Domain 0 maps
+/// to PreferLittle, domain 1 to PreferBig, the rest to Any.
+class UtilReplayScenario : public Scenario {
+ public:
+  explicit UtilReplayScenario(UtilTrace trace, UtilReplayConfig config = {},
+                              std::string name = "replay");
+
+  std::string name() const override { return name_; }
+  void setup(WorkloadHost& host) override;
+  void tick(WorkloadHost& host, double now_s, double dt_s) override;
+
+  const UtilTrace& trace() const { return trace_; }
+  const UtilReplayConfig& config() const { return config_; }
+  /// Jobs submitted so far.
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  /// Utilization of `domain` at time t (sample-and-hold; 0 before the
+  /// first sample and after the last).
+  double util_at(double t, std::size_t domain) const;
+
+  UtilTrace trace_;
+  UtilReplayConfig config_;
+  std::string name_;
+  std::vector<soc::TaskId> tasks_;
+  std::uint64_t release_index_ = 0;
+  std::size_t cursor_ = 0;  // latest sample with time_s <= current release
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace pmrl::workload

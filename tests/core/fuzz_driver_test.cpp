@@ -1,0 +1,163 @@
+// FuzzDriver: invariant battery, batch determinism across thread counts,
+// and the delta-debugging shrinker on a planted invariant violation.
+
+#include "core/fuzz_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+/// Outcome equality as the determinism contract defines it: same specs,
+/// bit-identical results, same violations.
+void expect_same_outcomes(const std::vector<core::FuzzOutcome>& a,
+                          const std::vector<core::FuzzOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.seed, b[i].spec.seed);
+    EXPECT_EQ(a[i].result.energy_j, b[i].result.energy_j) << "run " << i;
+    EXPECT_EQ(a[i].result.quality, b[i].result.quality) << "run " << i;
+    EXPECT_EQ(a[i].result.violations, b[i].result.violations);
+    EXPECT_EQ(a[i].result.mean_freq_hz, b[i].result.mean_freq_hz);
+    EXPECT_EQ(a[i].watchdog_engagements, b[i].watchdog_engagements);
+    ASSERT_EQ(a[i].violations.size(), b[i].violations.size());
+    for (std::size_t v = 0; v < a[i].violations.size(); ++v) {
+      EXPECT_EQ(a[i].violations[v].invariant, b[i].violations[v].invariant);
+    }
+  }
+}
+
+TEST(FuzzDriver, CleanRunPassesEveryInvariant) {
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  const auto outcome = driver.run_spec(workload::generate_fuzz_spec(3));
+  EXPECT_TRUE(outcome.ok()) << (outcome.violations.empty()
+                                    ? ""
+                                    : outcome.violations.front().invariant +
+                                          ": " +
+                                          outcome.violations.front().detail);
+  EXPECT_GT(outcome.result.energy_j, 0.0);
+  EXPECT_GT(outcome.watchdog_total_epochs, 0u);
+}
+
+TEST(FuzzDriver, RunSpecIsDeterministic) {
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  const auto spec = workload::generate_fuzz_spec(11);
+  const auto a = driver.run_spec(spec);
+  const auto b = driver.run_spec(spec);
+  EXPECT_EQ(a.result.energy_j, b.result.energy_j);
+  EXPECT_EQ(a.result.quality, b.result.quality);
+  EXPECT_EQ(a.result.violations, b.result.violations);
+}
+
+TEST(FuzzDriver, BatchIsBitIdenticalAcrossJobCounts) {
+  // The headline determinism contract: seeds [5, 13) fuzzed at --jobs
+  // 1/2/4 produce bit-identical outcomes (per-seed RNG-stream isolation).
+  std::vector<std::vector<core::FuzzOutcome>> batches;
+  for (const std::size_t jobs : {1u, 2u, 4u}) {
+    core::FuzzDriverConfig config;
+    config.jobs = jobs;
+    core::FuzzDriver driver(config);
+    batches.push_back(driver.run_batch(5, 8));
+  }
+  expect_same_outcomes(batches[0], batches[1]);
+  expect_same_outcomes(batches[0], batches[2]);
+}
+
+TEST(FuzzDriver, BatchCountsRunsAndFailuresInMetrics) {
+  core::FuzzDriverConfig config;
+  config.invariants.max_energy_j = 0.0;  // every run trips energy-budget
+  core::FuzzDriver driver(config);
+  obs::MetricsRegistry metrics;
+  driver.set_metrics(&metrics);
+  const auto outcomes = driver.run_batch(1, 3);
+  for (const auto& outcome : outcomes) {
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.violations.front().invariant, "energy-budget");
+  }
+  EXPECT_EQ(metrics.counter("fuzz.runs").value(), 3u);
+  EXPECT_EQ(metrics.counter("fuzz.failures").value(), 3u);
+}
+
+TEST(FuzzDriver, PlantedViolationShrinksToMinimalScenario) {
+  // Plant an impossible energy budget so every scenario fails, then
+  // require the shrinker to strip the failing spec down to the smallest
+  // shape that still trips the same invariant: one phase at the duration
+  // floor, no sources, no stress.
+  core::FuzzDriverConfig config;
+  config.invariants.max_energy_j = 0.0;
+  core::FuzzDriver driver(config);
+
+  // Deterministically pick a seed with shrinking headroom.
+  std::uint64_t seed = 0;
+  workload::FuzzSpec spec;
+  for (;; ++seed) {
+    spec = workload::generate_fuzz_spec(seed);
+    if (spec.phases.size() >= 2 && spec.source_count() >= 1 &&
+        spec.stress.any()) {
+      break;
+    }
+  }
+  const auto failing = driver.run_spec(spec);
+  ASSERT_FALSE(failing.ok());
+  ASSERT_EQ(failing.violations.front().invariant, "energy-budget");
+
+  const auto shrunk = driver.shrink(failing);
+  EXPECT_GT(shrunk.attempts, 0u);
+  EXPECT_GT(shrunk.accepted, 0u);
+  ASSERT_FALSE(shrunk.outcome.ok());
+  EXPECT_EQ(shrunk.outcome.violations.front().invariant, "energy-budget");
+  const auto& minimal = shrunk.outcome.spec;
+  EXPECT_EQ(minimal.phases.size(), 1u);
+  EXPECT_EQ(minimal.source_count(), 0u);
+  EXPECT_GE(minimal.phases[0].duration_s,
+            driver.config().min_phase_duration_s);
+  EXPECT_LT(minimal.phases[0].duration_s,
+            2.0 * driver.config().min_phase_duration_s);
+  EXPECT_FALSE(minimal.stress.any());
+  EXPECT_LT(minimal.total_duration_s(), spec.total_duration_s());
+}
+
+TEST(FuzzDriver, ShrunkScenarioRoundTripsThroughTheCorpusFormat) {
+  // The corpus workflow: a minimized spec is saved, reloaded, and re-run —
+  // it must reproduce the same failure after the round trip.
+  core::FuzzDriverConfig config;
+  config.invariants.max_energy_j = 0.0;
+  core::FuzzDriver driver(config);
+  const auto failing = driver.run_spec(workload::generate_fuzz_spec(2));
+  ASSERT_FALSE(failing.ok());
+  const auto shrunk = driver.shrink(failing);
+
+  std::ostringstream out;
+  shrunk.outcome.spec.save(out, {"planted energy-budget regression"});
+  std::istringstream in(out.str());
+  const auto reloaded = workload::FuzzSpec::load(in);
+  const auto replayed = driver.run_spec(reloaded);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.violations.front().invariant, "energy-budget");
+  EXPECT_EQ(replayed.result.energy_j, shrunk.outcome.result.energy_j);
+}
+
+TEST(FuzzDriver, ShrinkOfPassingOutcomeIsANoop) {
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  const auto ok = driver.run_spec(workload::generate_fuzz_spec(3));
+  ASSERT_TRUE(ok.ok());
+  const auto shrunk = driver.shrink(ok);
+  EXPECT_EQ(shrunk.attempts, 0u);
+  EXPECT_EQ(shrunk.accepted, 0u);
+}
+
+TEST(FuzzDriver, BaselineGovernorRunsWithoutWatchdog) {
+  core::FuzzDriverConfig config;
+  config.governor = "ondemand";
+  core::FuzzDriver driver(config);
+  const auto outcome = driver.run_spec(workload::generate_fuzz_spec(4));
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.watchdog_total_epochs, 0u);
+}
+
+}  // namespace

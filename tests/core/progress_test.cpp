@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -31,6 +32,45 @@ TEST(EtaSeconds, ZeroWithoutElapsedTime) {
   EXPECT_DOUBLE_EQ(runfarm::eta_seconds(3, 10, -1.0), 0.0);
 }
 
+TEST(EtaSeconds, ZeroForNonFiniteElapsed) {
+  // A bad clock reading must not propagate NaN/Inf into the estimate.
+  EXPECT_DOUBLE_EQ(
+      runfarm::eta_seconds(3, 10, std::numeric_limits<double>::quiet_NaN()),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      runfarm::eta_seconds(3, 10, std::numeric_limits<double>::infinity()),
+      0.0);
+}
+
+TEST(FormatDuration, SubMinuteUsesTenthsOfSeconds) {
+  EXPECT_EQ(runfarm::format_duration(0.0), "0.0s");
+  EXPECT_EQ(runfarm::format_duration(8.04), "8.0s");
+  EXPECT_EQ(runfarm::format_duration(59.94), "59.9s");
+  EXPECT_EQ(runfarm::format_duration(-3.0), "0.0s");
+}
+
+TEST(FormatDuration, MinutesHoursDays) {
+  EXPECT_EQ(runfarm::format_duration(60.0), "1m00s");
+  EXPECT_EQ(runfarm::format_duration(245.0), "4m05s");
+  EXPECT_EQ(runfarm::format_duration(3600.0), "1h00m");
+  EXPECT_EQ(runfarm::format_duration(11220.0), "3h07m");
+  EXPECT_EQ(runfarm::format_duration(86400.0), "1d00h");
+  EXPECT_EQ(runfarm::format_duration(2.0 * 86400.0 + 14.0 * 3600.0),
+            "2d14h");
+}
+
+TEST(FormatDuration, CapsAbsurdAndNonFiniteEstimates) {
+  // A slow first task used to render ">24h" ETAs as raw seconds (e.g.
+  // "8640000.0s"); huge and non-finite values now cap at ">99d".
+  EXPECT_EQ(runfarm::format_duration(100.0 * 86400.0), ">99d");
+  EXPECT_EQ(runfarm::format_duration(8.64e6), ">99d");
+  EXPECT_EQ(runfarm::format_duration(std::numeric_limits<double>::infinity()),
+            ">99d");
+  EXPECT_EQ(
+      runfarm::format_duration(std::numeric_limits<double>::quiet_NaN()),
+      ">99d");
+}
+
 TEST(EtaSeconds, ShrinksMonotonicallyAtFixedRate) {
   // At a constant rate (elapsed = done * 2 s) the estimate must only
   // decrease as work completes.
@@ -53,9 +93,16 @@ TEST(ProgressLine, FinalFormat) {
             "[train] 10/10 done in 3.2s");
 }
 
-TEST(ProgressLine, ZeroDoneShowsZeroEta) {
+TEST(ProgressLine, ZeroDoneShowsNoEtaYet) {
+  // Before the first completion there is no rate; "eta 0.0s" was a lie.
   EXPECT_EQ(runfarm::progress_line("x", 0, 5, 1.0),
-            "[x] 0/5, elapsed 1.0s, eta 0.0s");
+            "[x] 0/5, elapsed 1.0s, eta --");
+}
+
+TEST(ProgressLine, LongEtaUsesCompoundUnits) {
+  // 1 of 1000 done in 1000 s -> 999000 s remaining (~11.5 days).
+  EXPECT_EQ(runfarm::progress_line("sweep", 1, 1000, 1000.0),
+            "[sweep] 1/1000, elapsed 16m40s, eta 11d13h");
 }
 
 TEST(ProgressReporter, CountsCompletions) {

@@ -1,0 +1,73 @@
+// Regression corpus replay: every minimized scenario checked into
+// tests/data/scenarios/ is auto-discovered, parsed, and re-run under the
+// default fuzz-driver configuration. Corpus entries are scenarios that
+// once exposed a failure and were fixed (or whose failure only fires under
+// tightened bounds), so replaying them green guards against regressions —
+// and the format itself is pinned: a corpus file that stops parsing is a
+// breaking change to the scenario format.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fuzz_driver.hpp"
+
+#ifndef PMRL_TEST_DATA_DIR
+#error "PMRL_TEST_DATA_DIR must point at tests/data"
+#endif
+
+using namespace pmrl;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  const fs::path dir = fs::path(PMRL_TEST_DATA_DIR) / "scenarios";
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".scenario") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScenarioCorpus, HasSeededEntries) {
+  EXPECT_GE(corpus_files().size(), 3u);
+}
+
+TEST(ScenarioCorpus, EveryEntryParsesAndReplaysGreen) {
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "cannot open " << path;
+    workload::FuzzSpec spec;
+    ASSERT_NO_THROW(spec = workload::FuzzSpec::load(in));
+    EXPECT_FALSE(spec.phases.empty());
+    const auto outcome = driver.run_spec(spec);
+    EXPECT_TRUE(outcome.ok())
+        << outcome.violations.front().invariant << ": "
+        << outcome.violations.front().detail;
+  }
+}
+
+TEST(ScenarioCorpus, ReplayIsDeterministic) {
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  std::ifstream in(files.front());
+  const auto spec = workload::FuzzSpec::load(in);
+  const auto a = driver.run_spec(spec);
+  const auto b = driver.run_spec(spec);
+  EXPECT_EQ(a.result.energy_j, b.result.energy_j);
+  EXPECT_EQ(a.result.quality, b.result.quality);
+  EXPECT_EQ(a.result.violations, b.result.violations);
+}
+
+}  // namespace

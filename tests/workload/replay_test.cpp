@@ -1,0 +1,280 @@
+// Hardened trace readers: every corruption class must surface as a typed
+// TraceParseError carrying the offending 1-based line number, never UB or
+// a generic crash. Also covers the UtilReplayScenario's sample-and-hold
+// job synthesis.
+
+#include "workload/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "obs/trace_event.hpp"
+
+namespace workload = pmrl::workload;
+namespace obs = pmrl::obs;
+
+namespace {
+
+/// A valid Epoch event line with the given index/time/utils.
+std::string epoch_line(std::uint64_t epoch, double time_s,
+                       std::initializer_list<double> utils) {
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::Epoch;
+  event.epoch = epoch;
+  event.time_s = time_s;
+  for (const double util : utils) {
+    obs::ClusterSample sample;
+    sample.util_avg = util;
+    sample.freq_hz = 1e9;
+    event.clusters.push_back(sample);
+  }
+  return obs::trace_jsonl_line(event);
+}
+
+std::string run_begin_line() {
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::RunBegin;
+  event.detail = "scenario/governor";
+  return obs::trace_jsonl_line(event);
+}
+
+workload::UtilTrace parse_jsonl(const std::string& text) {
+  std::istringstream in(text);
+  return workload::util_trace_from_jsonl(in);
+}
+
+workload::UtilTrace parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return workload::util_trace_from_text(in);
+}
+
+/// Runs the parser and returns the thrown error (fails the test if none).
+template <typename Fn>
+workload::TraceParseError capture_error(Fn parse) {
+  try {
+    parse();
+  } catch (const workload::TraceParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected TraceParseError";
+  return workload::TraceParseError(0, "unreachable");
+}
+
+TEST(UtilTraceJsonl, ExtractsEpochSamplesAndSkipsOtherKinds) {
+  const std::string text = run_begin_line() + "\n" +
+                           epoch_line(1, 0.02, {0.25, 0.75}) + "\n" +
+                           epoch_line(2, 0.04, {0.5, 0.1}) + "\n";
+  const auto trace = parse_jsonl(text);
+  ASSERT_EQ(trace.samples.size(), 2u);
+  EXPECT_EQ(trace.domain_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.samples[0].time_s, 0.02);
+  EXPECT_DOUBLE_EQ(trace.samples[0].util[0], 0.25);
+  EXPECT_DOUBLE_EQ(trace.samples[1].util[1], 0.1);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 0.04);
+}
+
+TEST(UtilTraceJsonl, SkipsBlankAndCommentLines) {
+  const std::string text = "# recorded by pmrl_cli\n\n" +
+                           epoch_line(1, 0.02, {0.5}) + "\n   \n";
+  EXPECT_EQ(parse_jsonl(text).samples.size(), 1u);
+}
+
+TEST(UtilTraceJsonl, RejectsTruncatedLineWithLineNumber) {
+  // A half-written record (process died mid-flush) has no closing brace.
+  const std::string full = epoch_line(1, 0.02, {0.5});
+  const std::string text =
+      full + "\n" + full.substr(0, full.size() / 2) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 2u);
+  EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos);
+  EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+}
+
+TEST(UtilTraceJsonl, RejectsMalformedJson) {
+  const auto error =
+      capture_error([] { parse_jsonl("{\"kind\":\"Epoch\",}\n"); });
+  EXPECT_EQ(error.line(), 1u);
+}
+
+TEST(UtilTraceJsonl, RejectsNaNUtilization) {
+  // %.17g serializes NaN as "nan", which the strict number parser refuses.
+  const std::string text =
+      epoch_line(1, 0.02, {std::numeric_limits<double>::quiet_NaN()}) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 1u);
+}
+
+TEST(UtilTraceJsonl, RejectsInfiniteTime) {
+  const std::string text =
+      epoch_line(1, std::numeric_limits<double>::infinity(), {0.5}) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 1u);
+}
+
+TEST(UtilTraceJsonl, RejectsOutOfOrderEpochs) {
+  const std::string text = epoch_line(5, 0.10, {0.5}) + "\n" +
+                           epoch_line(4, 0.12, {0.5}) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 2u);
+  EXPECT_NE(std::string(error.what()).find("out-of-order epoch"),
+            std::string::npos);
+}
+
+TEST(UtilTraceJsonl, RejectsTimeGoingBackwards) {
+  const std::string text = epoch_line(1, 0.10, {0.5}) + "\n" +
+                           epoch_line(2, 0.05, {0.5}) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 2u);
+}
+
+TEST(UtilTraceJsonl, RejectsInconsistentClusterCount) {
+  const std::string text = epoch_line(1, 0.02, {0.5, 0.5}) + "\n" +
+                           epoch_line(2, 0.04, {0.5}) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 2u);
+}
+
+TEST(UtilTraceJsonl, RejectsNegativeUtilization) {
+  const std::string text = epoch_line(1, 0.02, {-0.25}) + "\n";
+  const auto error = capture_error([&] { parse_jsonl(text); });
+  EXPECT_EQ(error.line(), 1u);
+}
+
+TEST(UtilTraceJsonl, RejectsTraceWithoutEpochEvents) {
+  const auto error =
+      capture_error([] { parse_jsonl(run_begin_line() + "\n"); });
+  EXPECT_EQ(error.line(), 0u);
+}
+
+TEST(UtilTraceText, ParsesRowsAndClampsToOne) {
+  const auto trace =
+      parse_text("# device capture\n0.0 0.25 0.50\n1.0 1.2 0.75\n");
+  ASSERT_EQ(trace.samples.size(), 2u);
+  EXPECT_EQ(trace.domain_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.samples[1].util[0], 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(trace.samples[1].util[1], 0.75);
+}
+
+TEST(UtilTraceText, NormalizesPercentScale) {
+  const auto trace = parse_text("0.0 25 50\n1.0 80 5\n");
+  EXPECT_DOUBLE_EQ(trace.samples[0].util[0], 0.25);
+  EXPECT_DOUBLE_EQ(trace.samples[1].util[1], 0.05);
+}
+
+TEST(UtilTraceText, RejectsUtilizationBeyondPercentScale) {
+  const auto error = capture_error([] { parse_text("0.0 250\n"); });
+  EXPECT_NE(std::string(error.what()).find("scale"), std::string::npos);
+}
+
+TEST(UtilTraceText, RejectsUnparseableAndTrailingJunkFields) {
+  EXPECT_EQ(capture_error([] { parse_text("0.0 abc\n"); }).line(), 1u);
+  EXPECT_EQ(capture_error([] { parse_text("0.0 0.5\n1.0 0.5x\n"); }).line(),
+            2u);
+}
+
+TEST(UtilTraceText, RejectsNaNAndInf) {
+  EXPECT_EQ(capture_error([] { parse_text("0.0 nan\n"); }).line(), 1u);
+  EXPECT_EQ(capture_error([] { parse_text("0.0 inf\n"); }).line(), 1u);
+}
+
+TEST(UtilTraceText, RejectsNegativeUtil) {
+  EXPECT_EQ(capture_error([] { parse_text("0.0 -0.5\n"); }).line(), 1u);
+}
+
+TEST(UtilTraceText, RejectsTruncatedRow) {
+  const auto error = capture_error([] { parse_text("0.0 0.5\n1.0\n"); });
+  EXPECT_EQ(error.line(), 2u);
+  EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos);
+}
+
+TEST(UtilTraceText, RejectsInconsistentColumns) {
+  EXPECT_EQ(
+      capture_error([] { parse_text("0.0 0.5 0.5\n1.0 0.5\n"); }).line(),
+      2u);
+}
+
+TEST(UtilTraceText, RejectsNonIncreasingTimestamps) {
+  EXPECT_EQ(capture_error([] { parse_text("0.0 0.5\n0.0 0.6\n"); }).line(),
+            2u);
+  EXPECT_EQ(capture_error([] { parse_text("1.0 0.5\n0.5 0.6\n"); }).line(),
+            2u);
+}
+
+TEST(UtilTraceText, RejectsEmptyTrace) {
+  EXPECT_EQ(capture_error([] { parse_text("# only comments\n"); }).line(),
+            0u);
+}
+
+/// Recording host: counts submissions and total work per task.
+class RecordingHost : public workload::WorkloadHost {
+ public:
+  pmrl::soc::TaskId create_task(std::string name, pmrl::soc::Affinity,
+                                double) override {
+    names_.push_back(std::move(name));
+    return static_cast<pmrl::soc::TaskId>(names_.size() - 1);
+  }
+  void submit(pmrl::soc::TaskId task, double work_cycles, double) override {
+    ++jobs_[task];
+    work_[task] += work_cycles;
+  }
+
+  std::vector<std::string> names_;
+  std::map<pmrl::soc::TaskId, std::size_t> jobs_;
+  std::map<pmrl::soc::TaskId, double> work_;
+};
+
+TEST(UtilReplayScenario, SubmitsWorkProportionalToRecordedUtil) {
+  workload::UtilTrace trace;
+  trace.samples.push_back({0.0, {0.2, 0.8}});
+  trace.samples.push_back({0.1, {0.4, 0.8}});
+  trace.samples.push_back({0.19, {0.4, 0.8}});
+  workload::UtilReplayConfig config;
+  config.period_s = 0.020;
+  workload::UtilReplayScenario scenario(trace, config, "test");
+
+  RecordingHost host;
+  scenario.setup(host);
+  ASSERT_EQ(host.names_.size(), 2u);
+  for (int i = 0; i < 200; ++i) {
+    scenario.tick(host, i * 0.001, 0.001);
+  }
+  // 10 releases (0.00 .. 0.18 s) per domain; work tracks the recorded
+  // util: domain 0 holds 0.2 for 5 periods then 0.4, domain 1 holds 0.8.
+  EXPECT_EQ(host.jobs_[0], 10u);
+  EXPECT_EQ(host.jobs_[1], 10u);
+  const double unit = config.cycles_per_util_second * config.period_s;
+  EXPECT_NEAR(host.work_[0], (5 * 0.2 + 5 * 0.4) * unit, 1e-6);
+  EXPECT_NEAR(host.work_[1], 10 * 0.8 * unit, 1e-6);
+  EXPECT_EQ(scenario.submitted(), 20u);
+}
+
+TEST(UtilReplayScenario, IdleDomainsBelowFloorReleaseNothing) {
+  workload::UtilTrace trace;
+  trace.samples.push_back({0.0, {0.0, 0.5}});
+  trace.samples.push_back({0.1, {0.0, 0.5}});
+  workload::UtilReplayScenario scenario(trace);
+  RecordingHost host;
+  scenario.setup(host);
+  for (int i = 0; i < 100; ++i) {
+    scenario.tick(host, i * 0.001, 0.001);
+  }
+  EXPECT_EQ(host.jobs_.count(0), 0u);
+  EXPECT_GT(host.jobs_[1], 0u);
+}
+
+TEST(UtilReplayScenario, RejectsInvalidConstruction) {
+  workload::UtilTrace trace;
+  trace.samples.push_back({0.0, {0.5}});
+  workload::UtilReplayConfig bad;
+  bad.period_s = 0.0;
+  EXPECT_THROW(workload::UtilReplayScenario(trace, bad),
+               std::invalid_argument);
+  EXPECT_THROW(workload::UtilReplayScenario(workload::UtilTrace{}),
+               std::invalid_argument);
+}
+
+}  // namespace
