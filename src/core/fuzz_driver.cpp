@@ -356,8 +356,9 @@ FuzzDriver::ShrinkResult FuzzDriver::shrink(
     for (std::size_t p = 0; p < current.phases.size(); ++p) {
       for (std::size_t s = 0; s < current.phases[p].sources.size(); ++s) {
         if (shrunk.attempts >= config_.max_shrink_runs) break;
-        auto& source = current.phases[p].sources[s];
-        if (source.spike_probability > 0.0) {
+        // Index into `current` directly: a cached reference would dangle
+        // once an accepted candidate is move-assigned over `current`.
+        if (current.phases[p].sources[s].spike_probability > 0.0) {
           workload::FuzzSpec candidate = current;
           candidate.phases[p].sources[s].spike_probability = 0.0;
           if (candidate_preserves(candidate, invariant, shrunk.attempts)) {
@@ -367,7 +368,7 @@ FuzzDriver::ShrinkResult FuzzDriver::shrink(
           }
         }
         if (shrunk.attempts >= config_.max_shrink_runs) break;
-        if (source.work_cv > 0.0) {
+        if (current.phases[p].sources[s].work_cv > 0.0) {
           workload::FuzzSpec candidate = current;
           candidate.phases[p].sources[s].work_cv = 0.0;
           if (candidate_preserves(candidate, invariant, shrunk.attempts)) {

@@ -1,6 +1,7 @@
 #include "workload/fuzz.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <istream>
@@ -77,6 +78,34 @@ double parse_probability(const std::string& token, const char* field,
   return value;
 }
 
+// Burst counts beyond this are corrupt files, not scenarios: the generator
+// tops out at 16, and replay submits burst_jobs host jobs per period.
+constexpr std::uint64_t kMaxBurstJobs = 100000;
+
+std::uint64_t parse_uint(const std::string& token, const char* field,
+                         std::size_t line_no) {
+  // stoull accepts a leading '-' (wrapping) and '+'/whitespace; require a
+  // digit up front so those are rejected outright.
+  if (token.empty() ||
+      !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    throw TraceParseError(line_no, std::string("unparseable ") + field +
+                                       " '" + token + "'");
+  }
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(token, &consumed);
+  } catch (const std::exception&) {
+    throw TraceParseError(line_no, std::string("unparseable ") + field +
+                                       " '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    throw TraceParseError(line_no, std::string("trailing junk in ") + field +
+                                       " '" + token + "'");
+  }
+  return value;
+}
+
 std::vector<std::string> split_fields(const std::string& line) {
   std::vector<std::string> fields;
   std::istringstream in(line);
@@ -137,7 +166,9 @@ FuzzSpec FuzzSpec::load(std::istream& in) {
     const auto fields = split_fields(line);
     if (fields.empty() || fields[0][0] == '#') continue;
     if (!saw_header) {
-      if (line.rfind(kHeader, 0) != 0) {
+      // Exact match (modulo surrounding whitespace): a prefix check would
+      // accept e.g. "pmrl-scenario v12" and misparse a future format.
+      if (fields.size() != 2 || fields[0] + " " + fields[1] != kHeader) {
         throw TraceParseError(line_no, "missing '" + std::string(kHeader) +
                                            "' header");
       }
@@ -154,12 +185,7 @@ FuzzSpec FuzzSpec::load(std::istream& in) {
       if (fields.size() != 2) {
         throw TraceParseError(line_no, "seed needs exactly one value");
       }
-      try {
-        spec.seed = std::stoull(fields[1]);
-      } catch (const std::exception&) {
-        throw TraceParseError(line_no, "unparseable seed '" + fields[1] +
-                                           "'");
-      }
+      spec.seed = parse_uint(fields[1], "seed", line_no);
     } else if (tag == "stress") {
       if (fields.size() != 6) {
         throw TraceParseError(line_no, "stress needs 5 values");
@@ -210,15 +236,14 @@ FuzzSpec FuzzSpec::load(std::istream& in) {
       source.deadline_factor =
           parse_positive(fields[8], "deadline factor", line_no);
       source.deadline_s = parse_positive(fields[9], "deadline", line_no);
-      try {
-        source.burst_jobs = std::stoul(fields[10]);
-      } catch (const std::exception&) {
-        throw TraceParseError(line_no, "unparseable burst jobs '" +
-                                           fields[10] + "'");
+      const std::uint64_t burst =
+          parse_uint(fields[10], "burst jobs", line_no);
+      if (burst == 0 || burst > kMaxBurstJobs) {
+        throw TraceParseError(line_no, "burst jobs must be in [1, " +
+                                           std::to_string(kMaxBurstJobs) +
+                                           "]");
       }
-      if (source.burst_jobs == 0) {
-        throw TraceParseError(line_no, "burst jobs must be >= 1");
-      }
+      source.burst_jobs = static_cast<std::size_t>(burst);
       spec.phases.back().sources.push_back(source);
     } else {
       throw TraceParseError(line_no, "unknown tag '" + tag + "'");

@@ -216,6 +216,40 @@ TEST(FuzzSpecFormat, RejectsZeroBurstJobs) {
       3u);
 }
 
+TEST(FuzzSpecFormat, RejectsFutureHeaderVersion) {
+  EXPECT_EQ(load_error("pmrl-scenario v12\nphase 1\n").line(), 1u);
+  EXPECT_EQ(load_error("pmrl-scenario v1 extra\nphase 1\n").line(), 1u);
+}
+
+TEST(FuzzSpecFormat, RejectsNegativeAndJunkIntegers) {
+  // stoull would wrap "-1" to 2^64-1 and accept "7abc"; both must fail.
+  EXPECT_EQ(load_error("pmrl-scenario v1\nseed -1\nphase 1\n").line(), 2u);
+  EXPECT_EQ(load_error("pmrl-scenario v1\nseed 7abc\nphase 1\n").line(),
+            2u);
+  EXPECT_EQ(
+      load_error("pmrl-scenario v1\nphase 1\n"
+                 "source burst any 0.5 1e7 0.2 0 2.5 1 0.5 -1\n")
+          .line(),
+      3u);
+  EXPECT_EQ(
+      load_error("pmrl-scenario v1\nphase 1\n"
+                 "source burst any 0.5 1e7 0.2 0 2.5 1 0.5 4x\n")
+          .line(),
+      3u);
+  // Absurd burst counts are corrupt files, not scenarios.
+  EXPECT_EQ(
+      load_error("pmrl-scenario v1\nphase 1\n"
+                 "source burst any 0.5 1e7 0.2 0 2.5 1 0.5 100001\n")
+          .line(),
+      3u);
+  EXPECT_EQ(
+      load_error(
+          "pmrl-scenario v1\nphase 1\n"
+          "source burst any 0.5 1e7 0.2 0 2.5 1 0.5 99999999999999999999\n")
+          .line(),
+      3u);
+}
+
 TEST(FuzzSpecFormat, AcceptsCommentsAndCrlf) {
   std::istringstream in(
       "pmrl-scenario v1\r\n"
