@@ -160,6 +160,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"failures_at_default_bounds\": %zu,\n", failures);
   std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
                static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"effective_jobs\": %zu,\n", jobs_max);
   std::fprintf(out, "  \"levels\": [\n");
   for (std::size_t i = 0; i < measured.size(); ++i) {
     const auto& level = measured[i];

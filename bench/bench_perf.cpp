@@ -174,6 +174,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"ticks_per_run\": %.0f,\n", ticks_per_run);
   std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
                static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"effective_jobs\": %zu,\n", jobs_max);
   std::fprintf(out, "  \"single_thread\": {\n");
   std::fprintf(out, "    \"wall_s\": %.6f,\n", serial_wall);
   std::fprintf(out, "    \"ticks_per_sec\": %.1f,\n", ticks_per_sec);

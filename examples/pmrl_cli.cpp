@@ -22,12 +22,15 @@
 //   pmrl_cli latency [--invocations N]
 //       Run the HW-vs-SW decision-latency comparison.
 //   pmrl_cli serve [--policy policy.pmrl] [--uds PATH] [--tcp-port N]
-//                  [--workers N] [--batch N] [--batch-deadline-us N]
-//                  [--queue-capacity N] [--cache-capacity N] [--metrics PATH|-]
+//                  [--shm PATH [--shm-lanes N]] [--workers N] [--batch N]
+//                  [--batch-deadline-us N] [--queue-capacity N]
+//                  [--cache-capacity N] [--metrics PATH|-]
 //       Expose a trained policy as a decision service over a Unix-domain
-//       and/or TCP socket. SIGHUP hot-reloads the checkpoint (transactional:
-//       a corrupt file keeps the old policy); SIGINT/SIGTERM shut down.
-//   pmrl_cli query <state> [--agent N] (--uds PATH | --tcp-port N [--host H])
+//       socket, TCP, and/or a shared-memory segment (for co-located
+//       clients). SIGHUP hot-reloads the checkpoint (transactional: a
+//       corrupt file keeps the old policy); SIGINT/SIGTERM shut down.
+//   pmrl_cli query <state> [--agent N]
+//                  (--uds PATH | --tcp-port N [--host H] | --shm PATH)
 //       Ask a running server for the greedy action of one quantized state.
 //   pmrl_cli fuzz [--seed S] [--runs N] [--jobs N] [--governor NAME]
 //                 [--max-energy J] [--max-violation-rate X]
@@ -83,6 +86,7 @@
 #include "rl/watchdog.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "serve/shm_ring.hpp"
 #include "util/table.hpp"
 #include "workload/fuzz.hpp"
 #include "workload/replay.hpp"
@@ -123,6 +127,8 @@ struct Args {
   std::string uds;
   std::string host = "127.0.0.1";
   int tcp_port = -1;  // -1 = TCP listener disabled
+  std::string shm;   // shared-memory segment path (empty = disabled)
+  std::size_t shm_lanes = 4;
   std::size_t workers = 4;
   std::size_t batch = 32;
   std::size_t batch_deadline_us = 200;
@@ -188,6 +194,11 @@ Args parse(int argc, char** argv) {
       if (args.tcp_port < 0 || args.tcp_port > 65535) {
         throw UsageError("--tcp-port must be in [0, 65535]");
       }
+    } else if (arg == "--shm") {
+      args.shm = next();
+    } else if (arg == "--shm-lanes") {
+      args.shm_lanes = static_cast<std::size_t>(std::stoul(next()));
+      if (args.shm_lanes == 0) throw UsageError("--shm-lanes must be >= 1");
     } else if (arg == "--workers") {
       args.workers = static_cast<std::size_t>(std::stoul(next()));
       if (args.workers == 0) throw UsageError("--workers must be >= 1");
@@ -527,8 +538,9 @@ void serve_signal_handler(int sig) {
 }
 
 int cmd_serve(const Args& args) {
-  if (args.uds.empty() && args.tcp_port < 0) {
-    std::fprintf(stderr, "serve needs --uds PATH and/or --tcp-port N\n");
+  if (args.uds.empty() && args.tcp_port < 0 && args.shm.empty()) {
+    std::fprintf(stderr,
+                 "serve needs --uds PATH, --tcp-port N, and/or --shm PATH\n");
     return 1;
   }
   serve::ServerConfig config;
@@ -536,6 +548,8 @@ int cmd_serve(const Args& args) {
   config.tcp_enable = args.tcp_port >= 0;
   config.tcp_port =
       static_cast<std::uint16_t>(args.tcp_port >= 0 ? args.tcp_port : 0);
+  config.shm_path = args.shm;
+  config.shm_lanes = args.shm_lanes;
   config.workers = args.workers;
   config.batch_max = args.batch;
   config.batch_deadline = std::chrono::microseconds(args.batch_deadline_us);
@@ -554,6 +568,10 @@ int cmd_serve(const Args& args) {
   if (config.tcp_enable) {
     std::printf("listening on tcp %s:%d\n", args.host.c_str(),
                 server.tcp_port());
+  }
+  if (!config.shm_path.empty()) {
+    std::printf("listening on shm %s (%zu lanes)\n", config.shm_path.c_str(),
+                config.shm_lanes);
   }
   if (!args.policy_path.empty()) {
     std::printf("policy checkpoint: %s (SIGHUP reloads)\n",
@@ -589,20 +607,28 @@ int cmd_query(const Args& args) {
     return 1;
   }
   const std::uint64_t state = std::stoull(args.positional[1]);
+  const auto show = [](const serve::Client::Result& result) {
+    std::printf("action %u%s%s\n", result.action,
+                result.safe_default ? " (safe-default)" : "",
+                result.cache_hit ? " (cached)" : "");
+  };
+  if (!args.shm.empty()) {
+    serve::ShmClient client(args.shm);
+    show(client.query(state, args.agent));
+    return 0;
+  }
   serve::Client client =
       !args.uds.empty()
           ? serve::Client::connect_uds(args.uds)
           : [&] {
               if (args.tcp_port < 0) {
-                throw UsageError("query needs --uds PATH or --tcp-port N");
+                throw UsageError(
+                    "query needs --uds PATH, --tcp-port N, or --shm PATH");
               }
               return serve::Client::connect_tcp(
                   args.host, static_cast<std::uint16_t>(args.tcp_port));
             }();
-  const auto result = client.query(state, args.agent);
-  std::printf("action %u%s%s\n", result.action,
-              result.safe_default ? " (safe-default)" : "",
-              result.cache_hit ? " (cached)" : "");
+  show(client.query(state, args.agent));
   return 0;
 }
 
@@ -804,10 +830,11 @@ void print_usage(std::FILE* out) {
       "         [--trace-format csv|jsonl] [--metrics PATH|-]\n"
       "  latency [N] [--seed S]\n"
       "  serve  [--policy policy.pmrl] [--uds PATH] [--tcp-port N]\n"
-      "         [--workers N] [--batch N] [--batch-deadline-us N]\n"
-      "         [--queue-capacity N] [--cache-capacity N]\n"
-      "         [--metrics PATH|-]\n"
-      "  query  <state> [--agent N] (--uds PATH | --tcp-port N [--host H])\n"
+      "         [--shm PATH [--shm-lanes N]] [--workers N] [--batch N]\n"
+      "         [--batch-deadline-us N] [--queue-capacity N]\n"
+      "         [--cache-capacity N] [--metrics PATH|-]\n"
+      "  query  <state> [--agent N]\n"
+      "         (--uds PATH | --tcp-port N [--host H] | --shm PATH)\n"
       "  fuzz   [--seed S] [--runs N] [--jobs N] [--governor NAME]\n"
       "         [--max-energy J] [--max-violation-rate X]\n"
       "         [--max-peak-temp C] [--shrink] [--corpus-dir DIR]\n"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rl/batch_argmax.hpp"
+
 namespace pmrl::rl {
 
 const char* td_algorithm_name(TdAlgorithm algorithm) {
@@ -72,6 +74,18 @@ std::size_t QLearningAgent::greedy_action(std::size_t state) const {
   return best;
 }
 
+void QLearningAgent::greedy_actions(const std::uint64_t* states,
+                                    std::size_t count,
+                                    std::uint32_t* actions) const {
+  if (table_b_) {
+    QAgent::greedy_actions(states, count, actions);
+    return;
+  }
+  batch_argmax_f64(table_.data(), table_.actions(),
+                   action_bias_.empty() ? nullptr : action_bias_.data(),
+                   states, count, actions);
+}
+
 void QLearningAgent::set_q_value(std::size_t state, std::size_t action,
                                  double value) {
   table_.set(state, action, value);
@@ -126,11 +140,15 @@ void QLearningAgent::learn_expected_sarsa(std::size_t state,
                                           std::size_t action, double reward,
                                           std::size_t next_state) {
   // Expectation under the epsilon-greedy behaviour policy:
-  // (1 - eps) * max + eps * mean.
-  const double max_q = table_.max_value(next_state);
-  double mean_q = 0.0;
-  for (std::size_t a = 0; a < table_.actions(); ++a) {
-    mean_q += table_.get(next_state, a);
+  // (1 - eps) * max + eps * mean. One scan collects both the max and the
+  // sum (same ascending accumulation order, so results are bit-identical
+  // to the former two-pass version).
+  double max_q = table_.get(next_state, 0);
+  double mean_q = 0.0 + max_q;
+  for (std::size_t a = 1; a < table_.actions(); ++a) {
+    const double q = table_.get(next_state, a);
+    if (q > max_q) max_q = q;
+    mean_q += q;
   }
   mean_q /= static_cast<double>(table_.actions());
   const double eps = frozen_ ? 0.0 : epsilon_;

@@ -72,6 +72,18 @@ class QAgent {
   virtual double q_value(std::size_t state, std::size_t action) const = 0;
   virtual std::size_t greedy_action(std::size_t state) const = 0;
 
+  /// Greedy actions for a micro-batch of states; equivalent to calling
+  /// greedy_action() per state (same bias, same lowest-index tie-break).
+  /// States must be in range. Overridden with a SIMD kernel where the
+  /// storage layout allows it; the default is the scalar loop.
+  virtual void greedy_actions(const std::uint64_t* states, std::size_t count,
+                              std::uint32_t* actions) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      actions[i] = static_cast<std::uint32_t>(
+          greedy_action(static_cast<std::size_t>(states[i])));
+    }
+  }
+
   /// Current exploration rate.
   virtual double epsilon() const = 0;
 
@@ -107,6 +119,11 @@ class QLearningAgent : public QAgent {
   /// otherwise.
   double q_value(std::size_t state, std::size_t action) const override;
   std::size_t greedy_action(std::size_t state) const override;
+  /// Batched via the AVX2/scalar kernel for the single-table algorithms;
+  /// Double Q falls back to the per-state scan (its score is a two-table
+  /// mean, not a row of one dense store).
+  void greedy_actions(const std::uint64_t* states, std::size_t count,
+                      std::uint32_t* actions) const override;
   double epsilon() const override { return epsilon_; }
   void set_action_bias(std::vector<double> bias) override;
   /// Sets both tables under Double Q-learning.

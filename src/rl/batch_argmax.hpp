@@ -1,0 +1,52 @@
+#pragma once
+// Micro-batched greedy-action kernels for the serving hot path.
+//
+// Both kernels compute, for a batch of states, the argmax over the action
+// row of a dense row-major Q store — exactly the scan QTable::argmax /
+// FixedPointQAgent::greedy_action perform one state at a time. The layout
+// mirrors the hardware datapath in src/hw: each action column is a BRAM
+// bank, a "gather" reads one bank for four states at once, and the running
+// strictly-greater compare is the comparator tree, so ties break toward the
+// lowest action index bit-exactly like the scalar scan (and the RTL).
+//
+// An AVX2 implementation is selected at runtime when the CPU supports it;
+// otherwise the portable scalar loop runs. Both paths are exposed so the
+// parity test can diff them on the same inputs.
+//
+// Preconditions (not checked — the serve layer validates requests first):
+// every states[i] < rows of the Q store, actions >= 1, bias is nullptr or
+// holds `actions` entries.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmrl::rl {
+
+/// Batched argmax over a row-major double Q store (`values[state*actions+a]`).
+/// `bias`, when non-null, is added per action before comparison (the DVFS
+/// "when indifferent, step down" selection prior); TD targets never see it.
+void batch_argmax_f64(const double* values, std::size_t actions,
+                      const double* bias, const std::uint64_t* states,
+                      std::size_t count, std::uint32_t* out);
+
+/// Batched argmax over raw fixed-point words. `bias_raw`, when non-null, is
+/// added with saturation to [raw_min, raw_max] — the same FixedFormat::add
+/// the scalar agent applies — before the signed compare.
+void batch_argmax_i64(const std::int64_t* values, std::size_t actions,
+                      const std::int64_t* bias_raw, std::int64_t raw_min,
+                      std::int64_t raw_max, const std::uint64_t* states,
+                      std::size_t count, std::uint32_t* out);
+
+/// Forced-scalar variants (reference implementations for parity tests).
+void batch_argmax_f64_scalar(const double* values, std::size_t actions,
+                             const double* bias, const std::uint64_t* states,
+                             std::size_t count, std::uint32_t* out);
+void batch_argmax_i64_scalar(const std::int64_t* values, std::size_t actions,
+                             const std::int64_t* bias_raw, std::int64_t raw_min,
+                             std::int64_t raw_max, const std::uint64_t* states,
+                             std::size_t count, std::uint32_t* out);
+
+/// Name of the dispatched implementation: "avx2" or "scalar".
+const char* batch_argmax_backend();
+
+}  // namespace pmrl::rl

@@ -48,7 +48,12 @@ std::size_t QTable::argmax(std::size_t state) const {
 }
 
 double QTable::max_value(std::size_t state) const {
-  return get(state, argmax(state));
+  const std::size_t base = index(state, 0);
+  double best_value = values_[base];
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (values_[base + a] > best_value) best_value = values_[base + a];
+  }
+  return best_value;
 }
 
 void QTable::record_visit(std::size_t state, std::size_t action) {

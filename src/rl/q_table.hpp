@@ -23,8 +23,13 @@ class QTable {
   /// Greedy action for a state; ties break toward the lowest action index
   /// (deterministic, and matches the hardware comparator tree).
   std::size_t argmax(std::size_t state) const;
-  /// Value of the greedy action.
+  /// Value of the greedy action (single scan; same result as
+  /// get(state, argmax(state))).
   double max_value(std::size_t state) const;
+
+  /// Row-major [state][action] storage, for batched kernels
+  /// (rl/batch_argmax.hpp).
+  const double* data() const { return values_.data(); }
 
   /// Visit bookkeeping (updated by agents on learn()).
   void record_visit(std::size_t state, std::size_t action);

@@ -2,15 +2,18 @@
 // LRU decision cache of the policy-decision service. Keyed by the
 // quantized state (the server composes agent and state indices into one
 // key), valued by the greedy action index. The table a decision comes from
-// only changes on policy hot-reload, so entries never expire — the server
-// calls clear() at the reload swap point instead, which is the only
-// invalidation the cache needs.
+// only changes on policy hot-reload, so entries never expire — reload
+// invalidation is the only invalidation the cache needs.
 //
-// Thread-safe: workers of several batches probe and fill concurrently; a
-// single mutex is plenty because the critical section is a hash probe plus
-// a list splice (the Q-table lookup it saves is about the same cost, but
-// the cache's real win is keeping hot states out of the batching queue's
-// tail latency and giving the service a knob that scales with skew).
+// Since the acceptor was sharded (PR 7) each worker owns a private
+// WorkerCache, so the hot path never contends on a shared cache mutex.
+// Reload invalidation moved from a global clear() to a generation check:
+// the server bumps an atomic generation counter at the governor swap
+// point, and each worker compares its recorded generation on probe
+// (under the governor's reader lock) and clears its private cache when
+// the counter moved. DecisionCache keeps its internal mutex — it is
+// uncontended in per-worker use and still serves shared-use callers
+// (tests, tools).
 
 #include <cstddef>
 #include <cstdint>
@@ -79,6 +82,46 @@ class DecisionCache {
                      std::list<std::pair<std::uint64_t,
                                          std::uint32_t>>::iterator>
       map_;
+};
+
+/// A worker-private DecisionCache plus the policy generation its entries
+/// were filled under. The owning worker calls sync() with the server's
+/// current generation before probing (while it holds the governor reader
+/// lock, so the generation cannot move mid-batch): a moved generation
+/// means the governor was hot-swapped, and every cached decision is
+/// dropped before it can be served or re-filled stale.
+class WorkerCache {
+ public:
+  explicit WorkerCache(std::size_t capacity) : cache_(capacity) {}
+
+  /// Reconciles with the server's reload generation; clears the cache when
+  /// it moved. Returns true when entries were invalidated.
+  bool sync(std::uint64_t generation) {
+    if (generation == generation_) return false;
+    cache_.clear();
+    generation_ = generation;
+    return true;
+  }
+
+  /// sync() + lookup in one call, for single-decision paths.
+  std::optional<std::uint32_t> probe(std::uint64_t key,
+                                     std::uint64_t generation) {
+    sync(generation);
+    return cache_.get(key);
+  }
+
+  std::optional<std::uint32_t> get(std::uint64_t key) {
+    return cache_.get(key);
+  }
+  void put(std::uint64_t key, std::uint32_t action) { cache_.put(key, action); }
+
+  std::uint64_t generation() const { return generation_; }
+  std::size_t size() const { return cache_.size(); }
+  std::size_t capacity() const { return cache_.capacity(); }
+
+ private:
+  DecisionCache cache_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace pmrl::serve

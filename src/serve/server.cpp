@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -36,13 +37,24 @@ void set_nonblocking(int fd) {
   throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
 }
 
+/// Spin a little, then sleep: used where there is no fd to block on
+/// (shm rings).
+void ring_backoff(unsigned& spins) {
+  if (spins < 64) {
+    ++spins;
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
 }  // namespace
 
-/// One client connection. The acceptor thread owns the read side (buffer,
-/// frame decode); workers share the write side behind `write_mutex`. The
-/// file descriptor closes when the last shared_ptr drops, so a response
-/// for a request that outlived its connection writes to a still-valid fd
-/// (at worst into a shut-down socket) instead of a recycled one.
+/// One client connection, owned by exactly one shard thread (reads,
+/// decides, and writes all happen on that thread, so no per-connection
+/// lock is needed). The file descriptor closes when the last shared_ptr
+/// drops, so a response for a request that outlived its connection writes
+/// to a still-valid fd (at worst into a shut-down socket) instead of a
+/// recycled one.
 struct PolicyServer::Connection {
   explicit Connection(int fd_in) : fd(fd_in) {}
   ~Connection() {
@@ -52,20 +64,70 @@ struct PolicyServer::Connection {
   Connection& operator=(const Connection&) = delete;
 
   const int fd;
-  std::atomic<bool> open{true};
-  std::mutex write_mutex;
+  bool open = true;
   std::string rx;
   std::size_t rx_off = 0;
 };
 
+/// A request awaiting a decision. Exactly one of `conn` (socket
+/// transports) or `lane != kNoLane` (shm transport) identifies where the
+/// response goes.
 struct PolicyServer::Pending {
   std::shared_ptr<Connection> conn;
+  std::uint32_t lane = kNoLane;
   QueryMsg query;
   std::chrono::steady_clock::time_point enqueued;
 };
 
-PolicyServer::PolicyServer(ServerConfig config)
-    : config_(std::move(config)), cache_(config_.cache_capacity) {
+/// Per-worker state: the private decision cache, the bounded pending
+/// queue, and reusable scratch for batching. One Worker per shard thread
+/// and one per shm worker thread; nothing in here is shared.
+struct PolicyServer::Worker {
+  explicit Worker(std::size_t cache_capacity) : cache(cache_capacity) {}
+
+  WorkerCache cache;
+  std::deque<Pending> pending;
+  // Batch scratch (reused allocation across batches).
+  std::vector<Pending> batch;
+  std::vector<ResponseMsg> msgs;
+  std::vector<std::size_t> miss_slots;
+  std::vector<std::size_t> agent_slots;
+  std::vector<std::uint64_t> miss_states;
+  std::vector<std::uint32_t> miss_actions;
+  std::string tx;
+};
+
+struct PolicyServer::Shard {
+  explicit Shard(std::size_t cache_capacity) : worker(cache_capacity) {}
+  ~Shard() {
+    auto close_fd = [](int& fd) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    };
+    close_fd(tcp_listen_fd);
+    close_fd(wake_rx);
+    close_fd(wake_tx);
+  }
+
+  Worker worker;
+  int wake_rx = -1;
+  int wake_tx = -1;
+  int tcp_listen_fd = -1;
+  std::thread thread;
+};
+
+struct PolicyServer::ShmWorker {
+  ShmWorker(std::size_t index_in, std::size_t cache_capacity)
+      : index(index_in), worker(cache_capacity) {}
+
+  std::size_t index;
+  Worker worker;
+  std::thread thread;
+};
+
+PolicyServer::PolicyServer(ServerConfig config) : config_(std::move(config)) {
   if (config_.workers == 0) {
     throw std::invalid_argument("serve: workers must be >= 1");
   }
@@ -75,8 +137,12 @@ PolicyServer::PolicyServer(ServerConfig config)
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("serve: queue_capacity must be >= 1");
   }
-  if (config_.uds_path.empty() && !config_.tcp_enable) {
+  if (config_.uds_path.empty() && !config_.tcp_enable &&
+      config_.shm_path.empty()) {
     throw std::invalid_argument("serve: no listener configured");
+  }
+  if (!config_.shm_path.empty() && config_.shm_workers == 0) {
+    throw std::invalid_argument("serve: shm_workers must be >= 1");
   }
   governor_ = std::make_unique<rl::RlGovernor>(config_.governor,
                                                config_.cluster_count);
@@ -165,67 +231,95 @@ void PolicyServer::start() {
     if (::listen(uds_listen_fd_, 128) < 0) fail_errno("uds listen");
     set_nonblocking(uds_listen_fd_);
   }
-  if (config_.tcp_enable) {
-    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (tcp_listen_fd_ < 0) fail_errno("tcp socket");
-    const int one = 1;
-    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(config_.tcp_port);
-    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) < 0) {
-      fail_errno("tcp bind port " + std::to_string(config_.tcp_port));
-    }
-    if (::listen(tcp_listen_fd_, 128) < 0) fail_errno("tcp listen");
-    socklen_t len = sizeof(addr);
-    ::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-    bound_tcp_port_ = ntohs(addr.sin_port);
-    set_nonblocking(tcp_listen_fd_);
-  }
-  if (::pipe(wake_pipe_) < 0) fail_errno("wake pipe");
-  set_nonblocking(wake_pipe_[0]);
-  set_nonblocking(wake_pipe_[1]);
 
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = false;
-  }
-  pool_ = std::make_unique<core::runfarm::ThreadPool>(config_.workers);
+  shards_.clear();
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    pool_->submit([this] { worker_loop(); });
+    shards_.push_back(std::make_unique<Shard>(config_.cache_capacity));
   }
-  acceptor_ = std::thread([this] { acceptor_loop(); });
+  if (config_.tcp_enable) {
+    // One listener per shard, all bound to the same port with
+    // SO_REUSEPORT: the kernel hashes each new connection to one shard's
+    // accept queue, so no shard ever touches another's connections.
+    bound_tcp_port_ = config_.tcp_port;
+    for (auto& shard : shards_) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) fail_errno("tcp socket");
+      shard->tcp_listen_fd = fd;
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+        fail_errno("tcp SO_REUSEPORT");
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(bound_tcp_port_);
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        fail_errno("tcp bind port " + std::to_string(bound_tcp_port_));
+      }
+      if (::listen(fd, 128) < 0) fail_errno("tcp listen");
+      if (bound_tcp_port_ == 0) {
+        socklen_t len = sizeof(addr);
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+        bound_tcp_port_ = ntohs(addr.sin_port);
+      }
+      set_nonblocking(fd);
+    }
+  }
+  for (auto& shard : shards_) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) < 0) fail_errno("wake pipe");
+    shard->wake_rx = pipe_fds[0];
+    shard->wake_tx = pipe_fds[1];
+    set_nonblocking(shard->wake_rx);
+    set_nonblocking(shard->wake_tx);
+  }
+
+  shm_workers_.clear();
+  if (!config_.shm_path.empty()) {
+    shm_ = std::make_unique<ShmSegment>(ShmSegment::create(
+        config_.shm_path, config_.shm_lanes, config_.shm_ring_bytes));
+    const std::size_t count =
+        std::min(config_.shm_workers, config_.shm_lanes);
+    for (std::size_t i = 0; i < count; ++i) {
+      shm_workers_.push_back(
+          std::make_unique<ShmWorker>(i, config_.cache_capacity));
+    }
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, s = shard.get()] { shard_loop(*s); });
+  }
+  for (auto& worker : shm_workers_) {
+    worker->thread =
+        std::thread([this, w = worker.get()] { shm_loop(*w); });
+  }
   running_ = true;
 }
 
 void PolicyServer::stop() {
   if (!running_) return;
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
+  stopping_.store(true, std::memory_order_release);
   const char byte = 'x';
-  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
-  if (acceptor_.joinable()) acceptor_.join();
-  pool_.reset();  // joins the worker loops
-  auto close_fd = [](int& fd) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  };
-  close_fd(uds_listen_fd_);
-  close_fd(tcp_listen_fd_);
-  close_fd(wake_pipe_[0]);
-  close_fd(wake_pipe_[1]);
-  if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.clear();
+  for (auto& shard : shards_) {
+    [[maybe_unused]] const auto n = ::write(shard->wake_tx, &byte, 1);
   }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& worker : shm_workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  shards_.clear();       // closes listener fds and drops pending requests
+  shm_workers_.clear();
+  if (uds_listen_fd_ >= 0) {
+    ::close(uds_listen_fd_);
+    uds_listen_fd_ = -1;
+  }
+  if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
+  shm_.reset();  // clears server_alive, unmaps, unlinks
+  queued_total_.store(0, std::memory_order_relaxed);
   running_ = false;
 }
 
@@ -254,59 +348,78 @@ bool PolicyServer::request_reload(std::string* error) {
   {
     const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
     governor_ = std::move(staged);
-    // Invalidate under the writer lock: no in-flight batch (they hold the
-    // reader side) can re-fill the cache with pre-reload decisions after
-    // this clear.
-    cache_.clear();
+    // Bump under the writer lock: every in-flight batch holds the reader
+    // side, so a worker that filled cache entries against the old
+    // governor observes the new generation (and clears them) before its
+    // next probe of the new one.
+    cache_generation_.fetch_add(1, std::memory_order_release);
   }
   if (reload_counter_) reload_counter_->inc();
   return true;
 }
 
 void PolicyServer::pause_workers() {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  paused_ = true;
+  paused_.store(true, std::memory_order_release);
 }
 
 void PolicyServer::resume_workers() {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    paused_ = false;
+  paused_.store(false, std::memory_order_release);
+  const char byte = 'x';
+  for (auto& shard : shards_) {
+    [[maybe_unused]] const auto n = ::write(shard->wake_tx, &byte, 1);
   }
-  queue_cv_.notify_all();
 }
 
-void PolicyServer::acceptor_loop() {
+void PolicyServer::note_queue_depth(std::ptrdiff_t delta) {
+  const auto depth =
+      queued_total_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (queue_depth_gauge_) {
+    queue_depth_gauge_->set(static_cast<double>(depth));
+  }
+}
+
+void PolicyServer::shard_loop(Shard& shard) {
+  Worker& worker = shard.worker;
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
   std::vector<pollfd> fds;
   std::vector<int> ready;
-  for (;;) {
+  while (!stopping_.load(std::memory_order_acquire)) {
     fds.clear();
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({shard.wake_rx, POLLIN, 0});
     if (uds_listen_fd_ >= 0) fds.push_back({uds_listen_fd_, POLLIN, 0});
-    if (tcp_listen_fd_ >= 0) fds.push_back({tcp_listen_fd_, POLLIN, 0});
+    if (shard.tcp_listen_fd >= 0) {
+      fds.push_back({shard.tcp_listen_fd, POLLIN, 0});
+    }
     for (const auto& [fd, conn] : conns) fds.push_back({fd, POLLIN, 0});
-    const int n = ::poll(fds.data(), fds.size(), -1);
+    const bool work_ready = !worker.pending.empty() &&
+                            !paused_.load(std::memory_order_acquire);
+    const int n = ::poll(fds.data(), fds.size(), work_ready ? 0 : -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (stopping_) break;
-    }
+    if (stopping_.load(std::memory_order_acquire)) break;
     ready.clear();
     for (const auto& pfd : fds) {
       if (pfd.revents == 0) continue;
-      if (pfd.fd == wake_pipe_[0]) {
+      if (pfd.fd == shard.wake_rx) {
         char buf[16];
-        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        while (::read(shard.wake_rx, buf, sizeof buf) > 0) {
         }
-      } else if (pfd.fd == uds_listen_fd_ || pfd.fd == tcp_listen_fd_) {
+      } else if (pfd.fd == uds_listen_fd_ ||
+                 pfd.fd == shard.tcp_listen_fd) {
+        // The UDS listener is shared: every shard polls it and races
+        // accept; losers get EAGAIN and move on. TCP listeners are per
+        // shard, so there accept never races.
         for (;;) {
           const int client = ::accept(pfd.fd, nullptr, nullptr);
           if (client < 0) break;
           set_nonblocking(client);
+          if (pfd.fd == shard.tcp_listen_fd) {
+            const int one = 1;
+            ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+          }
           conns.emplace(client, std::make_shared<Connection>(client));
           if (connection_counter_) connection_counter_->inc();
         }
@@ -317,13 +430,93 @@ void PolicyServer::acceptor_loop() {
     for (const int fd : ready) {
       const auto it = conns.find(fd);
       if (it == conns.end()) continue;
-      handle_readable(it->second);
+      handle_readable(worker, it->second);
       if (!it->second->open) conns.erase(it);
+    }
+    if (!paused_.load(std::memory_order_acquire)) process_pending(worker);
+  }
+}
+
+void PolicyServer::shm_loop(ShmWorker& shm_worker) {
+  Worker& worker = shm_worker.worker;
+  const std::size_t lanes = shm_->lane_count();
+  const std::size_t stride = shm_workers_.size();
+  std::vector<std::string> rx(lanes);
+  std::vector<std::size_t> rx_off(lanes, 0);
+  unsigned idle = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    for (std::size_t l = shm_worker.index; l < lanes; l += stride) {
+      const auto state =
+          shm_->lane_state(l).load(std::memory_order_acquire);
+      if (state == kLaneClosed) {
+        // Client detached: recycle the lane for the next claimant.
+        shm_->request_ring(l).reset();
+        shm_->response_ring(l).reset();
+        rx[l].clear();
+        rx_off[l] = 0;
+        shm_->lane_state(l).store(kLaneFree, std::memory_order_release);
+        did_work = true;
+        continue;
+      }
+      if (state != kLaneClaimed) continue;
+      ShmRing ring = shm_->request_ring(l);
+      char buf[4096];
+      std::size_t got;
+      while ((got = ring.read_some(buf, sizeof buf)) > 0) {
+        rx[l].append(buf, got);
+        did_work = true;
+      }
+      for (;;) {
+        util::Frame frame;
+        const auto status = util::decode_frame(rx[l], rx_off[l], frame);
+        if (status == util::FrameStatus::NeedMore) break;
+        if (status != util::FrameStatus::Ok) {
+          // The lane's byte stream lost framing — the shm analog of the
+          // socket case, except there is no connection to drop: report,
+          // poison the lane, and stop servicing it until the client
+          // detaches.
+          if (wire_error_counter_) wire_error_counter_->inc();
+          std::string out;
+          append_error(out, ErrorMsg{0,
+                                     static_cast<std::uint32_t>(
+                                         WireErrorCode::BadMessage),
+                                     std::string("frame error: ") +
+                                         util::frame_status_name(status)});
+          send_lane(static_cast<std::uint32_t>(l), out);
+          // CAS: a client that raced to Closed must not be overwritten,
+          // or the lane would never recycle.
+          std::uint32_t expected = kLaneClaimed;
+          shm_->lane_state(l).compare_exchange_strong(
+              expected, kLanePoisoned, std::memory_order_acq_rel);
+          rx[l].clear();
+          rx_off[l] = 0;
+          break;
+        }
+        handle_frame(worker, nullptr, static_cast<std::uint32_t>(l), frame);
+      }
+      if (rx_off[l] > 4096 && rx_off[l] * 2 > rx[l].size()) {
+        rx[l].erase(0, rx_off[l]);
+        rx_off[l] = 0;
+      }
+    }
+    if (!paused_.load(std::memory_order_acquire) &&
+        !worker.pending.empty()) {
+      process_pending(worker);
+      did_work = true;
+    }
+    if (did_work) {
+      idle = 0;
+    } else if (++idle >= 64) {
+      // No fd to block on: adaptive backoff keeps an idle segment cheap
+      // while a busy one is serviced at memory speed.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
 }
 
-void PolicyServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+void PolicyServer::handle_readable(Worker& worker,
+                                   const std::shared_ptr<Connection>& conn) {
   char buf[4096];
   for (;;) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
@@ -360,7 +553,7 @@ void PolicyServer::handle_readable(const std::shared_ptr<Connection>& conn) {
       conn->open = false;
       return;
     }
-    handle_frame(conn, frame);
+    handle_frame(worker, conn, kNoLane, frame);
   }
   // Reclaim the parsed prefix once it dominates the buffer.
   if (conn->rx_off > 4096 && conn->rx_off * 2 > conn->rx.size()) {
@@ -369,8 +562,9 @@ void PolicyServer::handle_readable(const std::shared_ptr<Connection>& conn) {
   }
 }
 
-void PolicyServer::handle_frame(const std::shared_ptr<Connection>& conn,
-                                const util::Frame& frame) {
+void PolicyServer::handle_frame(Worker& worker,
+                                const std::shared_ptr<Connection>& conn,
+                                std::uint32_t lane, const util::Frame& frame) {
   std::string out;
   switch (static_cast<MsgType>(frame.type)) {
     case MsgType::Query: {
@@ -381,7 +575,7 @@ void PolicyServer::handle_frame(const std::shared_ptr<Connection>& conn,
                                    static_cast<std::uint32_t>(
                                        WireErrorCode::BadMessage),
                                    "malformed query payload"});
-        send_bytes(conn, out);
+        send_to(conn, lane, out);
         return;
       }
       if (query.agent >= agent_count_) {
@@ -389,7 +583,7 @@ void PolicyServer::handle_frame(const std::shared_ptr<Connection>& conn,
             out, ErrorMsg{query.request_id,
                           static_cast<std::uint32_t>(WireErrorCode::BadAgent),
                           "agent index out of range"});
-        send_bytes(conn, out);
+        send_to(conn, lane, out);
         return;
       }
       if (query.state >= states_per_agent_) {
@@ -397,24 +591,24 @@ void PolicyServer::handle_frame(const std::shared_ptr<Connection>& conn,
             out, ErrorMsg{query.request_id,
                           static_cast<std::uint32_t>(WireErrorCode::BadState),
                           "state index out of range"});
-        send_bytes(conn, out);
+        send_to(conn, lane, out);
         return;
       }
-      enqueue_or_shed(conn, query);
+      enqueue_or_shed(worker, conn, lane, query);
       return;
     }
     case MsgType::Ping: {
       std::uint64_t token = 0;
       parse_ping(frame, token);
       append_pong(out, token);
-      send_bytes(conn, out);
+      send_to(conn, lane, out);
       return;
     }
     case MsgType::Reload: {
       std::string error;
       const bool ok = request_reload(&error);
       append_reload_ack(out, ReloadAckMsg{ok, error});
-      send_bytes(conn, out);
+      send_to(conn, lane, out);
       return;
     }
     default: {
@@ -424,150 +618,173 @@ void PolicyServer::handle_frame(const std::shared_ptr<Connection>& conn,
                                      WireErrorCode::BadMessage),
                                  std::string("unexpected message type ") +
                                      std::to_string(frame.type)});
-      send_bytes(conn, out);
+      send_to(conn, lane, out);
       return;
     }
   }
 }
 
-void PolicyServer::enqueue_or_shed(const std::shared_ptr<Connection>& conn,
+void PolicyServer::enqueue_or_shed(Worker& worker,
+                                   const std::shared_ptr<Connection>& conn,
+                                   std::uint32_t lane,
                                    const QueryMsg& query) {
   if (requests_counter_) requests_counter_->inc();
-  bool shed = false;
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stopping_) {
-      shed = true;
-    } else if (queue_.size() >= config_.queue_capacity) {
-      shed = true;
-    } else {
-      queue_.push_back(
-          Pending{conn, query, std::chrono::steady_clock::now()});
-      if (queue_depth_gauge_) {
-        queue_depth_gauge_->set(static_cast<double>(queue_.size()));
-      }
-    }
-  }
-  if (shed) {
-    // Overload: degrade, don't drop. The client gets an immediate
-    // safe-default decision (all-hold) instead of a queue slot.
-    if (shed_counter_) shed_counter_->inc();
-    respond(conn,
-            ResponseMsg{query.request_id, safe_default_action(),
-                        kRespSafeDefault});
+  if (!stopping_.load(std::memory_order_relaxed) &&
+      worker.pending.size() < config_.queue_capacity) {
+    worker.pending.push_back(
+        Pending{conn, lane, query, std::chrono::steady_clock::now()});
+    note_queue_depth(1);
     return;
   }
-  queue_cv_.notify_one();
+  // Overload: degrade, don't drop. The client gets an immediate
+  // safe-default decision (all-hold) instead of a queue slot.
+  if (shed_counter_) shed_counter_->inc();
+  std::string out;
+  append_response(out, ResponseMsg{query.request_id, safe_default_action(),
+                                   kRespSafeDefault});
+  send_to(conn, lane, out);
+  responses_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void PolicyServer::worker_loop() {
-  std::vector<Pending> batch;
-  for (;;) {
-    batch.clear();
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
-      });
-      if (stopping_) return;
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      // Micro-batch: gather until batch_max or the flush deadline, so one
-      // governor pass serves every request in flight.
-      const auto deadline =
-          std::chrono::steady_clock::now() + config_.batch_deadline;
-      while (batch.size() < config_.batch_max && !stopping_ && !paused_) {
-        if (queue_.empty()) {
-          const bool woke = queue_cv_.wait_until(lock, deadline, [this] {
-            return stopping_ || paused_ || !queue_.empty();
-          });
-          if (!woke) break;  // deadline: flush what we have
-          if (stopping_ || paused_) break;
-        }
-        if (queue_.empty()) continue;
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      if (queue_depth_gauge_) {
-        queue_depth_gauge_->set(static_cast<double>(queue_.size()));
-      }
+void PolicyServer::process_pending(Worker& worker) {
+  while (!worker.pending.empty() &&
+         !stopping_.load(std::memory_order_relaxed)) {
+    const std::size_t take =
+        std::min(worker.pending.size(), config_.batch_max);
+    worker.batch.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      worker.batch.push_back(std::move(worker.pending.front()));
+      worker.pending.pop_front();
     }
-    process_batch(batch);
+    note_queue_depth(-static_cast<std::ptrdiff_t>(take));
+    process_batch(worker);
   }
 }
 
-void PolicyServer::process_batch(std::vector<Pending>& batch) {
+void PolicyServer::process_batch(Worker& worker) {
+  auto& batch = worker.batch;
   if (batch.empty()) return;
   const auto t0 = std::chrono::steady_clock::now();
   if (config_.batch_process_delay.count() > 0) {
     std::this_thread::sleep_for(config_.batch_process_delay);
   }
-  std::uint32_t first_action = 0;
+  worker.msgs.resize(batch.size());
   {
     const std::shared_lock<std::shared_mutex> glock(governor_mutex_);
-    for (auto& pending : batch) {
-      ResponseMsg msg;
-      msg.request_id = pending.query.request_id;
-      const auto now = std::chrono::steady_clock::now();
+    // Reconcile reload generation while holding the reader lock: the
+    // governor cannot swap mid-batch, so entries filled below belong to
+    // the generation recorded here.
+    worker.cache.sync(cache_generation_.load(std::memory_order_acquire));
+    const auto now = std::chrono::steady_clock::now();
+    worker.miss_slots.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Pending& pending = batch[i];
+      ResponseMsg& msg = worker.msgs[i];
+      msg = ResponseMsg{pending.query.request_id, 0, 0};
       if (now - pending.enqueued > config_.request_timeout) {
         // Stale decision = wrong decision: a DVFS answer for a 50 ms old
         // state is worthless, so degrade to the safe default instead.
         msg.action = safe_default_action();
         msg.flags = kRespSafeDefault;
         if (timeout_counter_) timeout_counter_->inc();
-      } else {
-        msg.action = decide(pending.query.agent, pending.query.state,
-                            msg.flags);
+        continue;
       }
-      if (&pending == &batch.front()) first_action = msg.action;
-      respond(pending.conn, msg);
-      if (latency_hist_) {
-        latency_hist_->observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          pending.enqueued)
-                .count());
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(pending.query.agent) *
+              states_per_agent_ +
+          pending.query.state;
+      if (const auto hit = worker.cache.get(key)) {
+        msg.action = *hit;
+        msg.flags = kRespCacheHit;
+        if (cache_hit_counter_) cache_hit_counter_->inc();
+        continue;
       }
+      worker.miss_slots.push_back(i);
+    }
+    // Cache misses go through the batched argmax: one SIMD pass per agent
+    // instead of a scalar row scan per request.
+    for (std::uint32_t agent = 0;
+         !worker.miss_slots.empty() && agent < agent_count_; ++agent) {
+      worker.agent_slots.clear();
+      worker.miss_states.clear();
+      for (const std::size_t i : worker.miss_slots) {
+        if (batch[i].query.agent != agent) continue;
+        worker.agent_slots.push_back(i);
+        worker.miss_states.push_back(batch[i].query.state);
+      }
+      if (worker.agent_slots.empty()) continue;
+      worker.miss_actions.resize(worker.agent_slots.size());
+      governor_->agent(agent).greedy_actions(worker.miss_states.data(),
+                                             worker.miss_states.size(),
+                                             worker.miss_actions.data());
+      for (std::size_t j = 0; j < worker.agent_slots.size(); ++j) {
+        const std::size_t i = worker.agent_slots[j];
+        const std::uint32_t action = worker.miss_actions[j];
+        worker.msgs[i].action = action;
+        worker.cache.put(static_cast<std::uint64_t>(agent) *
+                                 states_per_agent_ +
+                             batch[i].query.state,
+                         action);
+        if (cache_miss_counter_) cache_miss_counter_->inc();
+      }
+    }
+  }
+  // Respond in arrival order, coalescing consecutive responses to the
+  // same target into one send: a pipelined client's whole batch costs a
+  // single syscall (or one ring reservation) instead of one per decision.
+  std::string& out = worker.tx;
+  out.clear();
+  const Connection* current_conn = nullptr;
+  std::uint32_t current_lane = kNoLane;
+  bool have_target = false;
+  auto flush = [&](const std::shared_ptr<Connection>& conn,
+                   std::uint32_t lane) {
+    if (out.empty()) return;
+    send_to(conn, lane, out);
+    out.clear();
+  };
+  std::shared_ptr<Connection> target_conn;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Pending& pending = batch[i];
+    if (!have_target || pending.conn.get() != current_conn ||
+        pending.lane != current_lane) {
+      flush(target_conn, current_lane);
+      target_conn = pending.conn;
+      current_conn = pending.conn.get();
+      current_lane = pending.lane;
+      have_target = true;
+    }
+    append_response(out, worker.msgs[i]);
+  }
+  flush(target_conn, current_lane);
+  responses_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (latency_hist_) {
+    for (const Pending& pending : batch) {
+      latency_hist_->observe(
+          std::chrono::duration<double>(t1 - pending.enqueued).count());
     }
   }
   if (batch_size_hist_) {
     batch_size_hist_->observe(static_cast<double>(batch.size()));
   }
-  emit_batch_trace(
-      batch.size(),
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count(),
-      batch.front().query.state, first_action);
+  emit_batch_trace(batch.size(),
+                   std::chrono::duration<double>(t1 - t0).count(),
+                   batch.front().query.state, worker.msgs.front().action);
 }
 
-std::uint32_t PolicyServer::decide(std::uint32_t agent, std::uint64_t state,
-                                   std::uint16_t& flags) {
-  const std::uint64_t key =
-      static_cast<std::uint64_t>(agent) * states_per_agent_ + state;
-  if (const auto hit = cache_.get(key)) {
-    flags |= kRespCacheHit;
-    if (cache_hit_counter_) cache_hit_counter_->inc();
-    return *hit;
+void PolicyServer::send_to(const std::shared_ptr<Connection>& conn,
+                           std::uint32_t lane, const std::string& bytes) {
+  if (conn) {
+    send_bytes(conn, bytes);
+  } else if (lane != kNoLane) {
+    send_lane(lane, bytes);
   }
-  const auto action = static_cast<std::uint32_t>(
-      governor_->agent(agent).greedy_action(state));
-  cache_.put(key, action);
-  if (cache_miss_counter_) cache_miss_counter_->inc();
-  return action;
-}
-
-void PolicyServer::respond(const std::shared_ptr<Connection>& conn,
-                           const ResponseMsg& msg) {
-  std::string out;
-  append_response(out, msg);
-  send_bytes(conn, out);
-  responses_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PolicyServer::send_bytes(const std::shared_ptr<Connection>& conn,
                               const std::string& bytes) {
   if (!conn || !conn->open) return;
-  const std::lock_guard<std::mutex> lock(conn->write_mutex);
-  if (!conn->open) return;
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::send(conn->fd, bytes.data() + off,
@@ -587,6 +804,27 @@ void PolicyServer::send_bytes(const std::shared_ptr<Connection>& conn,
     if (n < 0 && errno == EINTR) continue;
     conn->open = false;
     return;
+  }
+}
+
+void PolicyServer::send_lane(std::uint32_t lane, const std::string& bytes) {
+  if (!shm_) return;
+  ShmRing ring = shm_->response_ring(lane);
+  std::size_t off = 0;
+  unsigned spins = 0;
+  while (off < bytes.size()) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    const auto state =
+        shm_->lane_state(lane).load(std::memory_order_acquire);
+    if (state != kLaneClaimed && state != kLanePoisoned) return;
+    const std::size_t n =
+        ring.write_some(bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += n;
+      spins = 0;
+      continue;
+    }
+    ring_backoff(spins);
   }
 }
 

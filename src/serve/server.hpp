@@ -1,36 +1,51 @@
 #pragma once
 // PolicyServer: the networked policy-decision service. Exposes a trained
-// (frozen) RlGovernor's greedy policy over Unix-domain and/or TCP sockets
-// using the CRC-32-framed wire protocol in serve/wire.hpp.
+// (frozen) RlGovernor's greedy policy over Unix-domain sockets, TCP, and
+// a shared-memory ring transport, using the CRC-32-framed wire protocol
+// in serve/wire.hpp.
 //
-// Architecture (one process):
+// Architecture (one process, sharded — no global queue, no global locks
+// on the hot path):
 //
-//   poll() acceptor thread                worker pool (runfarm ThreadPool)
-//   ----------------------                --------------------------------
-//   accept / read / frame-decode   -->    bounded request queue
-//   validate Query, enqueue        -->    micro-batch pop (flush on
-//   shed on full queue (safe           batch_max or batch_deadline)
-//   default, never a drop)             cache probe -> Q-table argmax
-//   Ping/Reload control inline         response write (per-conn mutex)
+//   shard thread 0..W-1 (one poll loop each)     shm worker 0..S-1
+//   -----------------------------------------    -------------------------
+//   own TCP listener (SO_REUSEPORT: the          polls its subset of shm
+//     kernel spreads connections over shards)      lanes (adaptive spin/
+//   shared UDS listener (accept-raced,             sleep backoff)
+//     non-blocking; EAGAIN losers move on)       same decide path
+//   read -> frame-decode -> validate
+//   enqueue on the shard's own pending deque
+//     (shed on full: safe default, never a drop)
+//   process inline: micro-batch -> per-worker
+//     cache probe -> SIMD batched argmax
+//     (rl/batch_argmax) -> responses coalesced
+//     per connection (one send per conn per batch)
+//
+// Every worker (shard or shm) owns a private WorkerCache, so the hot path
+// never touches a shared cache mutex. Hot-reload invalidation is a
+// generation counter: request_reload() swaps the governor under the
+// writer lock and bumps the generation; each worker reconciles at batch
+// start while holding the reader lock, so a batch can never serve or
+// re-fill pre-reload decisions.
 //
 // Robustness semantics mirror the watchdog's graceful-degradation stance:
-// the service degrades instead of failing. A full queue or an expired
-// per-request deadline answers with the safe-default action (all-hold,
-// the same tie/fresh-table resolution the agents use) and the
-// kRespSafeDefault flag — the client always gets a usable decision and
-// the connection never drops. Corrupt frames (bad magic/version/length/
-// CRC) close only the offending connection: a stream that lost framing
-// cannot be resynchronized safely.
+// the service degrades instead of failing. A full pending queue (bounded
+// per shard) or an expired per-request deadline answers with the
+// safe-default action (all-hold) and the kRespSafeDefault flag — the
+// client always gets a usable decision and the connection never drops.
+// Corrupt frames (bad magic/version/length/CRC) close only the offending
+// connection — or poison only the offending shm lane: a stream that lost
+// framing cannot be resynchronized safely.
 //
 // Hot reload: request_reload() (wired to SIGHUP by `pmrl_cli serve`) or a
 // Reload control frame re-runs try_load_policy on the configured
 // checkpoint path into a staging governor; only a fully validated
-// checkpoint is swapped in (under a writer lock), and the decision cache
-// is cleared at the swap point so no stale action survives the reload.
+// checkpoint is swapped in (under the writer lock), and the cache
+// generation is bumped at the swap point so no stale action survives the
+// reload.
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -40,9 +55,9 @@
 #include <thread>
 #include <vector>
 
-#include "core/runfarm/thread_pool.hpp"
 #include "rl/rl_governor.hpp"
 #include "serve/cache.hpp"
+#include "serve/shm_ring.hpp"
 #include "serve/wire.hpp"
 
 namespace pmrl::obs {
@@ -59,25 +74,39 @@ struct ServerConfig {
   /// Unix-domain socket path (empty = no UDS listener). An existing socket
   /// file at the path is replaced.
   std::string uds_path;
-  /// Enables the TCP listener on 127.0.0.1. Port 0 binds an ephemeral port
-  /// (read it back with PolicyServer::tcp_port()).
+  /// Enables the TCP listeners on 127.0.0.1 (one SO_REUSEPORT socket per
+  /// shard). Port 0 binds an ephemeral port (read it back with
+  /// PolicyServer::tcp_port()).
   bool tcp_enable = false;
   std::uint16_t tcp_port = 0;
 
-  /// Decision worker threads (the runfarm ThreadPool size).
+  /// Shared-memory transport: path of a mappable file (empty = disabled;
+  /// put it on /dev/shm for a memory-only segment). Created at start(),
+  /// unlinked at stop().
+  std::string shm_path;
+  /// Client lanes in the shm segment.
+  std::size_t shm_lanes = 4;
+  /// Ring capacity per direction per lane (power of two, >= 128 KiB).
+  std::size_t shm_ring_bytes = 1 << 20;
+  /// Threads polling the shm lanes (each owns lane_index % shm_workers).
+  std::size_t shm_workers = 1;
+
+  /// Shard threads: each runs its own accept/read/decide poll loop.
   std::size_t workers = 4;
-  /// Micro-batch flush thresholds: a batch closes when it holds batch_max
-  /// requests or batch_deadline has passed since its first request was
-  /// popped, whichever comes first.
+  /// Max requests decided per governor-lock acquisition. A shard batches
+  /// whatever its sockets had in flight, capped at this.
   std::size_t batch_max = 32;
+  /// Legacy knob from the queued design, kept for config compatibility.
+  /// Sharded processing batches what is already in flight without
+  /// waiting, so no artificial deadline latency remains to bound.
   std::chrono::microseconds batch_deadline{200};
-  /// Bounded request queue; a Query arriving on a full queue is shed
-  /// (answered immediately with the safe-default action).
+  /// Bounded pending queue per shard; a Query arriving on a full queue is
+  /// shed (answered immediately with the safe-default action).
   std::size_t queue_capacity = 1024;
-  /// Requests older than this when a worker picks them up are answered
-  /// with the safe-default action instead of a stale decision.
+  /// Requests older than this when processed are answered with the
+  /// safe-default action instead of a stale decision.
   std::chrono::milliseconds request_timeout{50};
-  /// LRU decision cache entries (0 disables caching).
+  /// LRU decision cache entries per worker (0 disables caching).
   std::size_t cache_capacity = 4096;
 
   /// Policy checkpoint path; loaded at start() and on every reload. Empty
@@ -101,12 +130,12 @@ class PolicyServer {
   PolicyServer(const PolicyServer&) = delete;
   PolicyServer& operator=(const PolicyServer&) = delete;
 
-  /// Binds the listeners, loads the checkpoint (when configured), and
-  /// starts the acceptor thread and worker pool. Throws std::runtime_error
-  /// on bind/listen failure.
+  /// Binds the listeners, loads the checkpoint (when configured), maps the
+  /// shm segment (when configured), and starts the shard and shm worker
+  /// threads. Throws std::runtime_error on bind/listen/map failure.
   void start();
 
-  /// Stops accepting, wakes the workers, joins everything. Idempotent.
+  /// Stops accepting, wakes every shard, joins everything. Idempotent.
   void stop();
 
   bool running() const { return running_; }
@@ -116,13 +145,15 @@ class PolicyServer {
   const ServerConfig& config() const { return config_; }
 
   /// Re-runs try_load_policy(policy_path) into a staging governor and, on
-  /// success, swaps it in and clears the decision cache. Thread-safe;
-  /// returns false (with the parse error in `error` when non-null) on any
-  /// rejection — the serving governor is untouched.
+  /// success, swaps it in and bumps the cache generation (worker caches
+  /// invalidate on their next batch). Thread-safe; returns false (with
+  /// the parse error in `error` when non-null) on any rejection — the
+  /// serving governor is untouched.
   bool request_reload(std::string* error = nullptr);
 
-  /// Drain control for tests and maintenance: paused workers stop popping
-  /// the queue (arrivals still enqueue, then shed once the queue fills).
+  /// Drain control for tests and maintenance: paused workers keep
+  /// reading and shedding but stop deciding (arrivals still enqueue,
+  /// then shed once a shard's queue fills).
   void pause_workers();
   void resume_workers();
 
@@ -142,53 +173,63 @@ class PolicyServer {
     return responses_.load(std::memory_order_relaxed);
   }
 
+  /// Reload-invalidation generation (each successful reload bumps it).
+  std::uint64_t cache_generation() const {
+    return cache_generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Connection;
   struct Pending;
+  struct Worker;
+  struct Shard;
+  struct ShmWorker;
+  static constexpr std::uint32_t kNoLane = 0xFFFFFFFFu;
 
-  void acceptor_loop();
-  void worker_loop();
-  void handle_readable(const std::shared_ptr<Connection>& conn);
-  void handle_frame(const std::shared_ptr<Connection>& conn,
-                    const util::Frame& frame);
-  void enqueue_or_shed(const std::shared_ptr<Connection>& conn,
-                       const QueryMsg& query);
-  void process_batch(std::vector<Pending>& batch);
-  void respond(const std::shared_ptr<Connection>& conn,
-               const ResponseMsg& msg);
+  void shard_loop(Shard& shard);
+  void shm_loop(ShmWorker& worker);
+  void handle_readable(Worker& worker,
+                       const std::shared_ptr<Connection>& conn);
+  void handle_frame(Worker& worker, const std::shared_ptr<Connection>& conn,
+                    std::uint32_t lane, const util::Frame& frame);
+  void enqueue_or_shed(Worker& worker,
+                       const std::shared_ptr<Connection>& conn,
+                       std::uint32_t lane, const QueryMsg& query);
+  void process_pending(Worker& worker);
+  void process_batch(Worker& worker);
+  void send_to(const std::shared_ptr<Connection>& conn, std::uint32_t lane,
+               const std::string& bytes);
   void send_bytes(const std::shared_ptr<Connection>& conn,
                   const std::string& bytes);
+  void send_lane(std::uint32_t lane, const std::string& bytes);
   std::uint32_t safe_default_action() const { return safe_action_; }
-  std::uint32_t decide(std::uint32_t agent, std::uint64_t state,
-                       std::uint16_t& flags);
   void emit_batch_trace(std::size_t batch_size, double latency_s,
                         std::uint64_t first_state, std::uint32_t first_action);
+  void note_queue_depth(std::ptrdiff_t delta);
 
   ServerConfig config_;
   std::unique_ptr<rl::RlGovernor> governor_;
   /// Guards governor_ swap on hot-reload; workers take it shared per batch.
   std::shared_mutex governor_mutex_;
   std::mutex reload_mutex_;
-  DecisionCache cache_;
+  /// Bumped (under the governor writer lock) on every successful reload;
+  /// worker caches reconcile against it at batch start.
+  std::atomic<std::uint64_t> cache_generation_{0};
   std::size_t agent_count_ = 0;
   std::size_t states_per_agent_ = 0;
   std::uint32_t safe_action_ = 0;
 
-  // Request queue.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool paused_ = false;
-  bool stopping_ = false;
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> queued_total_{0};
 
-  // Sockets (owned by the acceptor thread; connections shared with
-  // workers holding in-flight requests).
+  // Listeners. The UDS listen fd is shared by every shard (accept-raced);
+  // TCP listeners are per shard (SO_REUSEPORT) and live in the Shard.
   int uds_listen_fd_ = -1;
-  int tcp_listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
   std::uint16_t bound_tcp_port_ = 0;
-  std::thread acceptor_;
-  std::unique_ptr<core::runfarm::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ShmWorker>> shm_workers_;
+  std::unique_ptr<ShmSegment> shm_;
   std::atomic<bool> running_{false};
 
   // Observability.

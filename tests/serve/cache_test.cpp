@@ -99,5 +99,42 @@ TEST(DecisionCache, ThreadSafeUnderConcurrentUse) {
   EXPECT_LE(cache.size(), 64u);
 }
 
+TEST(WorkerCache, SyncInvalidatesOnlyOnGenerationChange) {
+  serve::WorkerCache cache(8);
+  cache.put(1, 11);
+  EXPECT_FALSE(cache.sync(0));  // generation unchanged
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.sync(1));  // reload happened: everything drops
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.generation(), 1u);
+  cache.put(2, 22);
+  EXPECT_FALSE(cache.sync(1));
+  EXPECT_TRUE(cache.get(2).has_value());
+}
+
+TEST(WorkerCache, ProbeCombinesSyncAndLookup) {
+  serve::WorkerCache cache(8);
+  cache.put(5, 55);
+  const auto hit = cache.probe(5, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 55u);
+  // A probe under a moved generation must miss (stale entry dropped) and
+  // leave the cache on the new generation.
+  EXPECT_FALSE(cache.probe(5, 3).has_value());
+  EXPECT_EQ(cache.generation(), 3u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WorkerCache, CapacityAndLruSemanticsPassThrough) {
+  serve::WorkerCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.put(1, 11);
+  cache.put(2, 22);
+  cache.put(3, 33);  // evicts 1
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+}
+
 }  // namespace
 }  // namespace pmrl

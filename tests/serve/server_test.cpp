@@ -295,6 +295,60 @@ TEST(PolicyServer, MetricsAndTraceAreWired) {
   EXPECT_GE(server.responses(), 10u);
 }
 
+// Reload hammer: clients query nonstop on every shard while the policy
+// file flips between two greedy actions and reloads fire. Every answer
+// must be one of the two valid actions (never a torn read, never a stale
+// cache entry after the generation moved), and after the final reload a
+// cold query must serve the final policy. This is the TSan gate for the
+// generation-counter invalidation protocol.
+TEST(PolicyServer, ReloadInvalidationUnderConcurrentQueries) {
+  auto config = base_config();
+  config.workers = 3;
+  config.policy_path = test_socket_path() + ".pmrl";
+  write_policy_file(config.policy_path, 9, 1);
+  serve::PolicyServer server(config);
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> bad_actions{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      try {
+        auto client = serve::Client::connect_uds(config.uds_path);
+        while (!done.load(std::memory_order_relaxed)) {
+          const auto result = client.query(9);
+          if (result.action != 1u && result.action != 2u) ++bad_actions;
+        }
+      } catch (const serve::ClientError&) {
+        ++failures;
+      }
+    });
+  }
+  auto admin = serve::Client::connect_uds(config.uds_path);
+  for (int round = 0; round < 20; ++round) {
+    write_policy_file(config.policy_path, 9, (round % 2) ? 1 : 2);
+    std::string error;
+    ASSERT_TRUE(admin.reload(&error)) << error;
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad_actions.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.cache_generation(), 20u);
+
+  // After the last reload (even round 19 -> action 1) no stale cached
+  // action 2 may survive on any shard: fresh connections land on
+  // whichever shard accepts first and must all see the final policy.
+  for (int i = 0; i < 6; ++i) {
+    auto probe = serve::Client::connect_uds(config.uds_path);
+    EXPECT_EQ(probe.query(9).action, 1u);
+  }
+  server.stop();
+  ::unlink(config.policy_path.c_str());
+}
+
 TEST(PolicyServer, ManyConnectionsConcurrently) {
   auto config = base_config();
   config.workers = 4;
