@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "core/fuzz_driver.hpp"
+#include "rl/batch_argmax.hpp"
 #include "util/table.hpp"
 
 using namespace pmrl;
@@ -161,6 +162,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
                static_cast<std::size_t>(std::thread::hardware_concurrency()));
   std::fprintf(out, "  \"effective_jobs\": %zu,\n", jobs_max);
+  std::fprintf(out, "  \"simd_backend\": \"%s\",\n", rl::batch_argmax_backend());
   std::fprintf(out, "  \"levels\": [\n");
   for (std::size_t i = 0; i < measured.size(); ++i) {
     const auto& level = measured[i];

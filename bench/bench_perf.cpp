@@ -4,7 +4,9 @@
 // the sweep through the run farm at 1/2/4/N worker threads, cross-checking
 // that the farmed results are bit-identical to the serial ones. Emits
 // BENCH_perf.json so CI and future optimization PRs can diff against a
-// recorded baseline.
+// recorded baseline, and gates on one via `--check BENCH_perf.json
+// [--check-tolerance X]`: exit 3 when single-thread ticks_per_sec drops
+// below baseline * (1 - X), mirroring bench_serve's gate.
 //
 // Speedup numbers are host-dependent (they track the machine's core count);
 // the determinism flag is not.
@@ -24,6 +26,7 @@
 #include "governors/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "rl/batch_argmax.hpp"
 #include "util/table.hpp"
 
 using namespace pmrl;
@@ -48,6 +51,8 @@ bool same_runs(const std::vector<core::RunResult>& a,
 int main(int argc, char** argv) {
   double duration_s = 60.0;
   std::string out_path = "BENCH_perf.json";
+  std::string check_path;
+  double check_tolerance = 0.30;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--duration=", 11) == 0) {
@@ -58,6 +63,14 @@ int main(int argc, char** argv) {
       out_path = arg + 6;
     } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strncmp(arg, "--check=", 8) == 0) {
+      check_path = arg + 8;
+    } else if (std::strcmp(arg, "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strncmp(arg, "--check-tolerance=", 18) == 0) {
+      check_tolerance = std::atof(arg + 18);
+    } else if (std::strcmp(arg, "--check-tolerance") == 0 && i + 1 < argc) {
+      check_tolerance = std::atof(argv[++i]);
     }
   }
   if (duration_s <= 0.0) {
@@ -175,6 +188,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
                static_cast<std::size_t>(std::thread::hardware_concurrency()));
   std::fprintf(out, "  \"effective_jobs\": %zu,\n", jobs_max);
+  std::fprintf(out, "  \"simd_backend\": \"%s\",\n",
+               rl::batch_argmax_backend());
   std::fprintf(out, "  \"single_thread\": {\n");
   std::fprintf(out, "    \"wall_s\": %.6f,\n", serial_wall);
   std::fprintf(out, "    \"ticks_per_sec\": %.1f,\n", ticks_per_sec);
@@ -205,5 +220,15 @@ int main(int argc, char** argv) {
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
-  return deterministic ? 0 : 1;
+  int exit_code = deterministic ? 0 : 1;
+
+  // ---- optional perf-regression gate (shared with bench_serve) -----------
+  if (!check_path.empty()) {
+    const int rc = bench::check_against_baseline(check_path, "ticks_per_sec",
+                                                 ticks_per_sec,
+                                                 check_tolerance);
+    if (rc == 2) return 2;
+    if (rc != 0) exit_code = rc;
+  }
+  return exit_code;
 }

@@ -217,23 +217,6 @@ RunResult run_cell(const std::string& transport, std::size_t clients,
   return summarize(per_client, wall_s);
 }
 
-/// Minimal extraction of the first `"key": <number>` in a JSON file
-/// (enough for the one headline value the regression gate compares).
-bool read_json_number(const std::string& path, const std::string& key,
-                      double* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const auto pos = text.find("\"" + key + "\"");
-  if (pos == std::string::npos) return false;
-  const auto colon = text.find(':', pos);
-  if (colon == std::string::npos) return false;
-  *out = std::atof(text.c_str() + colon + 1);
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -516,22 +499,13 @@ int main(int argc, char** argv) {
   for (const auto& row : curve) curve_drops = curve_drops || row.result.drops;
   int exit_code = (headline.drops || overload.drops || curve_drops) ? 1 : 0;
 
-  // ---- optional perf-regression gate -------------------------------------
+  // ---- optional perf-regression gate (shared with bench_perf) ------------
   if (!check_path.empty()) {
-    double baseline = 0.0;
-    if (!read_json_number(check_path, "decisions_per_sec", &baseline) ||
-        baseline <= 0.0) {
-      std::fprintf(stderr, "check: cannot read decisions_per_sec from %s\n",
-                   check_path.c_str());
-      return 2;
-    }
-    const double floor = baseline * (1.0 - check_tolerance);
-    const bool ok = headline.decisions_per_sec >= floor;
-    std::printf("check: %.0f/s vs baseline %.0f/s (floor %.0f/s, "
-                "tolerance %.0f%%): %s\n",
-                headline.decisions_per_sec, baseline, floor,
-                100.0 * check_tolerance, ok ? "PASS" : "REGRESSION");
-    if (!ok) exit_code = 3;
+    const int rc = bench::check_against_baseline(
+        check_path, "decisions_per_sec", headline.decisions_per_sec,
+        check_tolerance);
+    if (rc == 2) return 2;
+    if (rc != 0) exit_code = rc;
   }
   return exit_code;
 }

@@ -44,6 +44,14 @@
 //       minimized .scenario files there (with provenance comments) for
 //       check-in under tests/data/scenarios/. Exits 1 when any scenario
 //       fails, so CI sweeps turn findings into red builds + artifacts.
+//   pmrl_cli fleet [--devices N] [--seed S] [--duration SEC] [--jobs N]
+//                  [--block N] [--trace PATH] [--trace-format csv|jsonl]
+//                  [--metrics PATH|-]
+//       Simulate a fleet of N seeded heterogeneous devices with the SoA
+//       batch engine and print the aggregate energy/QoS summary. Results
+//       are bit-identical at any --jobs count. --trace writes the
+//       fleet-wide epoch series (time, energy, served, demand, violations)
+//       as CSV or JSONL; --metrics dumps the fleet.* metrics registry.
 //   pmrl_cli replay <file> [--format scenario|jsonl|util] [--governor NAME]
 //       Re-run a recorded artifact as a first-class scenario: a minimized
 //       .scenario corpus entry (exits 1 if its invariants still fail), a
@@ -76,6 +84,7 @@
 #include "core/metrics.hpp"
 #include "core/runfarm/runfarm.hpp"
 #include "fault/fault_injector.hpp"
+#include "fleet/fleet_engine.hpp"
 #include "fault/scenario_faults.hpp"
 #include "governors/registry.hpp"
 #include "hw/latency.hpp"
@@ -147,6 +156,9 @@ struct Args {
   std::optional<std::string> corpus_dir;
   /// Replay input format (empty = infer from the file extension).
   std::string format;
+  // fleet
+  std::size_t devices = 100000;
+  std::size_t block = 4096;
 };
 
 Args parse(int argc, char** argv) {
@@ -234,6 +246,12 @@ Args parse(int argc, char** argv) {
     } else if (arg == "--corpus-dir") {
       args.corpus_dir = next();
       args.shrink = true;  // writing the corpus implies minimizing first
+    } else if (arg == "--devices") {
+      args.devices = static_cast<std::size_t>(std::stoul(next()));
+      if (args.devices == 0) throw UsageError("--devices must be >= 1");
+    } else if (arg == "--block") {
+      args.block = static_cast<std::size_t>(std::stoul(next()));
+      if (args.block == 0) throw UsageError("--block must be >= 1");
     } else if (arg == "--format") {
       args.format = next();
       if (args.format != "scenario" && args.format != "jsonl" &&
@@ -815,13 +833,81 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  fleet::FleetConfig config;
+  config.devices = args.devices;
+  config.seed = args.seed;
+  config.duration_s = args.duration_s;
+  config.jobs = args.jobs;
+  config.block_size = args.block;
+  config.record_epochs = args.trace_path.has_value();
+
+  fleet::FleetEngine engine{config};
+  obs::MetricsRegistry metrics;
+  if (args.metrics_path) engine.set_metrics(&metrics);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::FleetResult result = engine.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double ticks_per_sec =
+      wall_s > 0.0 ? static_cast<double>(result.device_ticks) / wall_s : 0.0;
+
+  std::printf("fleet: %zu device(s), %zu epoch(s) x %zu tick(s), %zu job(s)\n",
+              result.devices, result.epochs, result.ticks_per_epoch,
+              engine.jobs());
+  TextTable table({"metric", "value"});
+  table.add_row({"wall [s]", TextTable::num(wall_s, 2)});
+  table.add_row({"device-ticks/sec", TextTable::num(ticks_per_sec, 0)});
+  table.add_row({"energy [J]", TextTable::num(result.energy_j, 1)});
+  table.add_row({"violation rate", TextTable::num(result.violation_rate, 4)});
+  table.add_row(
+      {"batteries depleted", std::to_string(result.battery_depleted)});
+  table.add_row(
+      {"E/QoS p50 [J/cap-s]", TextTable::num(result.energy_per_served_p50, 3)});
+  table.add_row(
+      {"E/QoS p95 [J/cap-s]", TextTable::num(result.energy_per_served_p95, 3)});
+  table.add_row(
+      {"E/QoS p99 [J/cap-s]", TextTable::num(result.energy_per_served_p99, 3)});
+  table.print();
+
+  if (args.trace_path) {
+    std::ofstream out(*args.trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   args.trace_path->c_str());
+      return 1;
+    }
+    if (args.trace_format == "jsonl") {
+      for (const auto& p : result.epoch_series) {
+        out << "{\"time_s\": " << p.time_s << ", \"energy_j\": " << p.energy_j
+            << ", \"served\": " << p.served << ", \"demand\": " << p.demand
+            << ", \"violations\": " << p.violations << "}\n";
+      }
+    } else {
+      out << "time_s,energy_j,served,demand,violations\n";
+      for (const auto& p : result.epoch_series) {
+        out << p.time_s << ',' << p.energy_j << ',' << p.served << ','
+            << p.demand << ',' << p.violations << '\n';
+      }
+    }
+    std::printf("epoch series (%zu rows) written to %s\n",
+                result.epoch_series.size(), args.trace_path->c_str());
+  }
+  if (args.metrics_path && !write_metrics(*args.metrics_path, metrics)) {
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
       "usage: pmrl_cli "
-      "<list|train|eval|latency|serve|query|fuzz|replay> [options]\n"
+      "<list|train|eval|latency|serve|query|fuzz|replay|fleet> [options]\n"
       "  list\n"
       "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
       "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
@@ -840,6 +926,9 @@ void print_usage(std::FILE* out) {
       "         [--max-peak-temp C] [--shrink] [--corpus-dir DIR]\n"
       "         [--metrics PATH|-]\n"
       "  replay <file> [--format scenario|jsonl|util] [--governor NAME]\n"
+      "  fleet  [--devices N] [--seed S] [--duration SEC] [--jobs N]\n"
+      "         [--block N] [--trace PATH] [--trace-format csv|jsonl]\n"
+      "         [--metrics PATH|-]\n"
       "  --version\n");
 }
 
@@ -863,6 +952,7 @@ int main(int argc, char** argv) {
     if (cmd == "query") return cmd_query(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
     if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     print_usage(stderr);
     return 2;

@@ -18,6 +18,10 @@ std::size_t default_jobs() {
   return hw > 0 ? hw : 1;
 }
 
+std::size_t resolve_jobs(std::size_t requested) {
+  return requested == 0 ? default_jobs() : requested;
+}
+
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) thread_count = default_jobs();
   queues_.reserve(thread_count);

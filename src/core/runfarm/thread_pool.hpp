@@ -26,6 +26,11 @@ namespace pmrl::core::runfarm {
 /// (never less than 1).
 std::size_t default_jobs();
 
+/// Canonical --jobs resolution shared by the farm, the fleet engine, and
+/// the CLI: 0 means "use default_jobs()", anything else passes through.
+/// Always >= 1.
+std::size_t resolve_jobs(std::size_t requested);
+
 class ThreadPool {
  public:
   /// thread_count == 0 means default_jobs().

@@ -1,0 +1,118 @@
+#include "fleet/device_engine.hpp"
+
+#include <cmath>
+
+namespace pmrl::fleet {
+
+DeviceEngine::DeviceEngine(const Archetype& archetype, const DeviceSpec& spec,
+                           const FleetPolicy& policy,
+                           const FleetTiming& timing)
+    : archetype_(archetype),
+      spec_(spec),
+      policy_(policy),
+      timing_(timing),
+      battery_j_(spec.battery_initial_j) {
+  clusters_.resize(archetype.cluster_count);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const DeviceClusterSpec& cs = spec.clusters[c];
+    ClusterState& st = clusters_[c];
+    st.util = cs.initial_util;
+    st.temp_c = cs.initial_temp_c;
+    st.opp = cs.initial_opp;
+  }
+}
+
+void DeviceEngine::step_epoch() {
+  // Epoch start: sample-and-hold the workload demand and the leakage
+  // temperature input for every cluster.
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    ClusterState& st = clusters_[c];
+    st.demand = epoch_demand(spec_.clusters[c], spec_.seed, epoch_, c);
+    st.held_temp_c = st.temp_c;
+  }
+
+  // Tick loop. Deliberately engine-shaped: like soc::Soc::step, the power
+  // model and thermal target are evaluated afresh on every tick even though
+  // all their inputs are epoch-constant. That includes both transcendentals
+  // the real engine pays per tick — soc::Cluster evaluates the leakage
+  // temp factor (CorePowerModel::temp_factor, an exp) on every power query,
+  // and soc::ThermalNode::step re-derives its RC decay exp(-dt/tau) on
+  // every step. This is the per-object, per-tick cost the SoA engine's
+  // epoch hoisting removes without changing a single bit of the results.
+  for (std::size_t t = 0; t < timing_.ticks_per_epoch; ++t) {
+    double p_total = archetype_.uncore_static_w;
+    double served_rate_sum = 0.0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      ClusterState& st = clusters_[c];
+      const ArchetypeCluster& ac = archetype_.clusters[c];
+      const DeviceClusterSpec& cs = spec_.clusters[c];
+      const double tf = leak_temp_factor(ac.leak_temp_coeff, st.held_temp_c,
+                                         ac.leak_ref_temp_c);
+      const double temp_decay =
+          std::exp(-timing_.tick_s / (cs.r_th_k_per_w * cs.c_th_j_per_k));
+      const ClusterEpochDerived d = derive_cluster_epoch(
+          ac, st.opp, st.demand, tf, spec_.ambient_c, cs.r_th_k_per_w);
+      tick_cluster(st.util, st.temp_c, d.busy, d.t_target_c,
+                   timing_.util_decay, temp_decay);
+      p_total += d.power_w;
+      served_rate_sum += d.served_rate;
+    }
+    p_total += archetype_.uncore_dyn_w * served_rate_sum;
+    tick_device_energy(energy_j_, battery_j_, p_total, timing_.tick_s);
+  }
+
+  // QoS accounting. Every input is epoch-constant, so the integrals close
+  // to rate * epoch_s; the SoA engine forms the exact same expressions.
+  double served_rate_sum = 0.0;
+  double demand_rate_sum = 0.0;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterState& st = clusters_[c];
+    const ArchetypeCluster& ac = archetype_.clusters[c];
+    const double tf = leak_temp_factor(ac.leak_temp_coeff, st.held_temp_c,
+                                       ac.leak_ref_temp_c);
+    const ClusterEpochDerived d = derive_cluster_epoch(
+        ac, st.opp, st.demand, tf, spec_.ambient_c,
+        spec_.clusters[c].r_th_k_per_w);
+    served_rate_sum += d.served_rate;
+    demand_rate_sum += st.demand;
+  }
+  const double epoch_served = served_rate_sum * timing_.epoch_s;
+  const double epoch_demand_cap = demand_rate_sum * timing_.epoch_s;
+  served_ += epoch_served;
+  demand_ += epoch_demand_cap;
+  if (epoch_served < epoch_demand_cap * kQosSlack) ++violations_;
+
+  // Decision: observe, pick greedily, throttle-gate, apply.
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    ClusterState& st = clusters_[c];
+    const ArchetypeCluster& ac = archetype_.clusters[c];
+    const std::uint32_t state =
+        cluster_state(st.util, st.temp_c, ac.opp_freq_bin[st.opp]);
+    const std::uint32_t action = policy_.greedy(state);
+    st.throttled = update_throttle(st.throttled, st.temp_c, ac.trip_temp_c,
+                                   ac.clear_temp_c);
+    st.opp = apply_action(st.opp, action, ac, st.throttled);
+  }
+  ++epoch_;
+}
+
+void DeviceEngine::run() {
+  while (epoch_ < timing_.epochs) step_epoch();
+}
+
+DeviceOutcome DeviceEngine::outcome() const {
+  DeviceOutcome o;
+  o.energy_j = energy_j_;
+  o.served = served_;
+  o.demand = demand_;
+  o.violations = violations_;
+  o.battery_j = battery_j_;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    o.util[c] = clusters_[c].util;
+    o.temp_c[c] = clusters_[c].temp_c;
+    o.opp[c] = clusters_[c].opp;
+  }
+  return o;
+}
+
+}  // namespace pmrl::fleet

@@ -1,0 +1,184 @@
+#include "fleet/device_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "soc/opp.hpp"
+#include "soc/power_model.hpp"
+#include "soc/soc.hpp"
+#include "util/rng.hpp"
+
+namespace pmrl::fleet {
+namespace {
+
+/// Builds one archetype cluster from a scaled soc:: OPP table + core power
+/// params. `stride` thins the 19-point Exynos-style table (real SKUs ship
+/// different OPP counts); the top point is always kept so opp_cap reaches
+/// 1.0.
+ArchetypeCluster make_cluster(const soc::OppTable& base,
+                              const soc::CorePowerParams& core_params,
+                              std::size_t cores, double freq_scale,
+                              double voltage_scale, std::size_t stride,
+                              const soc::ThrottleConfig& throttle) {
+  const soc::OppTable table =
+      soc::scaled_opps(base, freq_scale, voltage_scale);
+  const soc::CorePowerModel model(core_params);
+
+  // Thin from the top down so the highest OPP survives, then restore
+  // ascending order.
+  std::vector<std::size_t> keep;
+  for (std::size_t i = table.size(); i-- > 0;) {
+    if ((table.size() - 1 - i) % stride == 0) keep.push_back(i);
+  }
+  std::reverse(keep.begin(), keep.end());
+
+  ArchetypeCluster c;
+  c.active = true;
+  c.opp_count = static_cast<std::uint32_t>(keep.size());
+  const double max_freq = table.highest().freq_hz;
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const auto& p = table.at(keep[k]);
+    const auto terms = model.opp_terms(p.freq_hz, p.voltage_v);
+    c.opp_freq_hz.push_back(p.freq_hz);
+    c.opp_cap.push_back(p.freq_hz / max_freq);
+    c.opp_dyn_w.push_back(static_cast<double>(cores) * terms.dyn_w);
+    c.opp_leak_w.push_back(static_cast<double>(cores) * terms.leak_w);
+    c.opp_freq_bin.push_back(static_cast<std::uint8_t>(
+        std::min(kFreqBins - 1, k * kFreqBins / keep.size())));
+  }
+  c.idle_activity = core_params.idle_activity;
+  c.leak_temp_coeff = core_params.leak_temp_coeff;
+  c.leak_ref_temp_c = core_params.leak_ref_temp_c;
+  c.trip_temp_c = throttle.trip_temp_c;
+  c.clear_temp_c = throttle.clear_temp_c;
+  // Cap roughly the lower third of the table when throttled, like the
+  // engine config's fixed cap index scaled to this table's length.
+  c.throttle_cap_index =
+      static_cast<std::uint32_t>(std::max<std::size_t>(1, keep.size() / 3));
+  return c;
+}
+
+/// Inert slot for single-cluster devices: a valid 1-point table whose every
+/// power/capacity term is zero, so uniform sweeps over kMaxClusters slots
+/// add exact zeros instead of branching. idle_activity 0 makes the dynamic
+/// activity factor exactly 0 at zero demand.
+ArchetypeCluster make_inert_cluster() {
+  ArchetypeCluster c;
+  c.active = false;
+  c.opp_count = 1;
+  c.opp_freq_hz = {1.0};
+  c.opp_cap = {1.0};
+  c.opp_dyn_w = {0.0};
+  c.opp_leak_w = {0.0};
+  c.opp_freq_bin = {0};
+  c.idle_activity = 0.0;
+  c.throttle_cap_index = 0;
+  return c;
+}
+
+}  // namespace
+
+FleetTiming resolve_timing(const FleetConfig& config) {
+  if (config.tick_s <= 0.0 || config.decision_period_s < config.tick_s ||
+      config.duration_s <= 0.0) {
+    throw std::invalid_argument("fleet timing must be positive with "
+                                "decision_period_s >= tick_s");
+  }
+  FleetTiming t;
+  t.tick_s = config.tick_s;
+  t.ticks_per_epoch = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.decision_period_s / config.tick_s +
+                                  0.5));
+  t.epoch_s = static_cast<double>(t.ticks_per_epoch) * config.tick_s;
+  t.epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.duration_s / t.epoch_s + 0.5));
+  t.util_decay = std::exp(-config.tick_s / kUtilTauS);
+  return t;
+}
+
+std::vector<Archetype> make_archetypes(std::size_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("fleet needs >= 1 archetype");
+  const soc::OppTable big = soc::big_cluster_opps();
+  const soc::OppTable little = soc::little_cluster_opps();
+  const soc::CorePowerParams big_params = soc::big_core_power_params();
+  const soc::CorePowerParams little_params = soc::little_core_power_params();
+  const soc::ThrottleConfig throttle;
+
+  std::vector<Archetype> archs;
+  archs.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    Rng rng(mix64(seed ^ 0xa5c7e7a37e000000ULL ^ a));
+    Archetype arch;
+    // Flagship parts are big.LITTLE; the budget quarter of the catalogue is
+    // LITTLE-only.
+    arch.cluster_count = rng.uniform() < 0.75 ? 2 : 1;
+    const double bin = rng.uniform(0.88, 1.10);  // silicon speed bin
+    const double vbin = rng.uniform(0.96, 1.05);
+    const std::size_t stride = 1 + static_cast<std::size_t>(
+                                       rng.uniform_int(0, 2));
+    const std::size_t little_cores =
+        static_cast<std::size_t>(rng.uniform_int(2, 4));
+    arch.clusters[0] = make_cluster(little, little_params, little_cores, bin,
+                                    vbin, stride, throttle);
+    if (arch.cluster_count == 2) {
+      const std::size_t big_cores =
+          static_cast<std::size_t>(rng.uniform_int(2, 4));
+      arch.clusters[1] = make_cluster(big, big_params, big_cores,
+                                      rng.uniform(0.85, 1.08), vbin, stride,
+                                      throttle);
+    } else {
+      arch.clusters[1] = make_inert_cluster();
+    }
+    const soc::UncorePowerParams uncore;
+    const double uncore_scale = rng.uniform(0.8, 1.3);
+    arch.uncore_static_w = uncore.static_power_w * uncore_scale;
+    arch.uncore_dyn_w = uncore.per_throughput_w * uncore_scale;
+    archs.push_back(std::move(arch));
+  }
+  return archs;
+}
+
+std::vector<DeviceSpec> make_device_specs(const std::vector<Archetype>& archs,
+                                          std::size_t devices,
+                                          std::uint64_t seed) {
+  if (archs.empty()) throw std::invalid_argument("no archetypes");
+  std::vector<DeviceSpec> specs;
+  specs.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    // Spec of device i is a pure function of (seed, i): regenerating any
+    // sub-range of the fleet (a block, a single device for the golden test)
+    // yields identical devices.
+    Rng rng(mix64(seed ^ 0xd3c1ce00ULL ^ (i * 0x9e3779b97f4a7c15ULL)));
+    DeviceSpec s;
+    s.archetype = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(archs.size()) - 1));
+    s.seed = mix64(seed ^ (i + 1));
+    s.ambient_c = rng.uniform(15.0, 35.0);
+    // 10-16 Wh phone batteries in joules, at a random state of charge.
+    s.battery_capacity_j = rng.uniform(10.0, 16.0) * 3600.0;
+    s.battery_initial_j = s.battery_capacity_j * rng.uniform(0.2, 1.0);
+    const Archetype& arch = archs[s.archetype];
+    for (std::size_t c = 0; c < arch.cluster_count; ++c) {
+      DeviceClusterSpec& cs = s.clusters[c];
+      const ArchetypeCluster& ac = arch.clusters[c];
+      cs.r_th_k_per_w = rng.uniform(3.0, 6.0);
+      cs.c_th_j_per_k = rng.uniform(0.7, 1.6);
+      cs.initial_temp_c = s.ambient_c + rng.uniform(0.0, 10.0);
+      // Demand mix: mostly-idle phones up to sustained heavy users.
+      cs.demand_base = rng.uniform(0.05, 0.55);
+      cs.demand_amp = rng.uniform(0.0, 0.5);
+      cs.demand_jitter = rng.uniform(0.0, 0.15);
+      cs.demand_period_epochs =
+          static_cast<std::uint32_t>(rng.uniform_int(6, 40));
+      cs.demand_phase = static_cast<std::uint32_t>(
+          rng.uniform_int(0, cs.demand_period_epochs - 1));
+      cs.initial_opp = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ac.opp_count) - 1));
+      cs.initial_util = rng.uniform(0.0, 0.6);
+    }
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+}  // namespace pmrl::fleet

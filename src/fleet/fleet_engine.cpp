@@ -1,0 +1,400 @@
+#include "fleet/fleet_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "core/runfarm/runfarm.hpp"
+#include "core/runfarm/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace pmrl::fleet {
+
+std::vector<double> energy_per_served_bounds() {
+  // Geometric ladder over the plausible J-per-capacity-second range of the
+  // device model (idle LITTLE phone ~0.3, throttling big cluster ~60).
+  std::vector<double> bounds;
+  const int n = 96;
+  const double lo = 0.125;
+  const double hi = 128.0;
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(n - 1));
+  double b = lo;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= ratio;
+  }
+  return bounds;
+}
+
+/// Per-block partial aggregate; merged across blocks in block order.
+struct FleetEngine::BlockResult {
+  double energy_j = 0.0;
+  double served = 0.0;
+  double demand = 0.0;
+  double energy_per_served_sum = 0.0;
+  std::uint64_t violations = 0;
+  std::size_t battery_depleted = 0;
+  std::unique_ptr<obs::Histogram> eps_hist;
+  std::vector<FleetEpochPoint> epoch_series;
+};
+
+FleetEngine::FleetEngine(FleetConfig config, FleetPolicy policy)
+    : config_(config),
+      timing_(resolve_timing(config)),
+      policy_(std::move(policy)) {
+  if (config_.devices == 0) throw std::invalid_argument("fleet of 0 devices");
+  if (config_.block_size == 0) throw std::invalid_argument("block_size == 0");
+  archetypes_ = make_archetypes(config_.archetypes, config_.seed);
+  specs_ = make_device_specs(archetypes_, config_.devices, config_.seed);
+  jobs_ = core::runfarm::resolve_jobs(config_.jobs);
+
+  const std::size_t slots = config_.devices * kMaxClusters;
+  util_.resize(slots);
+  temp_c_.resize(slots);
+  temp_decay_.resize(slots);
+  opp_.resize(slots);
+  throttled_.resize(slots);
+  demand_pos_.resize(slots);
+  energy_j_.resize(config_.devices);
+  battery_j_.resize(config_.devices);
+  served_.resize(config_.devices);
+  demand_.resize(config_.devices);
+  violations_.resize(config_.devices);
+
+  arch_.resize(config_.devices);
+  seed_.resize(config_.devices);
+  ambient_c_.resize(config_.devices);
+  r_th_.resize(slots);
+  cluster_spec_.resize(slots);
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    const DeviceSpec& sp = specs_[d];
+    arch_[d] = static_cast<std::uint32_t>(sp.archetype);
+    seed_[d] = sp.seed;
+    ambient_c_[d] = sp.ambient_c;
+    for (std::size_t c = 0; c < kMaxClusters; ++c) {
+      r_th_[d * kMaxClusters + c] = sp.clusters[c].r_th_k_per_w;
+      cluster_spec_[d * kMaxClusters + c] = sp.clusters[c];
+    }
+  }
+}
+
+void FleetEngine::reset_state() {
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    const DeviceSpec& sp = specs_[d];
+    for (std::size_t c = 0; c < kMaxClusters; ++c) {
+      const std::size_t i = d * kMaxClusters + c;
+      const DeviceClusterSpec& cs = sp.clusters[c];
+      util_[i] = cs.initial_util;
+      temp_c_[i] = cs.initial_temp_c;
+      // Same expression on the same inputs that DeviceEngine evaluates on
+      // every tick, hence bit-identical decay factors — hoisted here to
+      // construction time because it never changes.
+      temp_decay_[i] =
+          std::exp(-timing_.tick_s / (cs.r_th_k_per_w * cs.c_th_j_per_k));
+      opp_[i] = cs.initial_opp;
+      throttled_[i] = 0;
+      demand_pos_[i] = static_cast<std::uint32_t>(cs.demand_phase %
+                                                  cs.demand_period_epochs);
+    }
+    energy_j_[d] = 0.0;
+    battery_j_[d] = sp.battery_initial_j;
+    served_[d] = 0.0;
+    demand_[d] = 0.0;
+    violations_[d] = 0;
+  }
+}
+
+FleetEngine::BlockResult FleetEngine::run_block(
+    std::size_t first, std::size_t last,
+    std::vector<DeviceOutcome>* outcomes) {
+  const std::size_t n = last - first;
+  const std::size_t slots = n * kMaxClusters;
+
+  // Block-local scratch (the task owns all of its mutable state).
+  std::vector<double> busy(slots);
+  std::vector<double> t_target(slots);
+  std::vector<double> p_total(n);
+  std::vector<double> served_rate(n);
+  std::vector<double> demand_rate(n);
+  std::vector<std::uint64_t> states(slots);
+  std::vector<std::uint32_t> actions(slots);
+
+  BlockResult r;
+  r.eps_hist = std::make_unique<obs::Histogram>(energy_per_served_bounds());
+  if (config_.record_epochs) r.epoch_series.resize(timing_.epochs);
+
+  for (std::size_t e = 0; e < timing_.epochs; ++e) {
+    // Epoch start: hash demand, hold the leakage temp factor, derive every
+    // epoch-constant quantity once. The AoS baseline re-derives these on
+    // every tick; the values are identical because every input is
+    // epoch-constant.
+    for (std::size_t d = first; d < last; ++d) {
+      const std::size_t li = d - first;
+      const Archetype& ar = archetypes_[arch_[d]];
+      const std::uint64_t dev_seed = seed_[d];
+      const double ambient = ambient_c_[d];
+      double pt = ar.uncore_static_w;
+      double srs = 0.0;
+      double drs = 0.0;
+      for (std::size_t c = 0; c < kMaxClusters; ++c) {
+        const std::size_t i = d * kMaxClusters + c;
+        const std::size_t s = li * kMaxClusters + c;
+        const ArchetypeCluster& ac = ar.clusters[c];
+        const DeviceClusterSpec& cs = cluster_spec_[i];
+        const std::uint32_t pos = demand_pos_[i];
+        const double dem = epoch_demand_at(cs, dev_seed, e, c, pos);
+        const std::uint32_t next = pos + 1;
+        demand_pos_[i] = next == cs.demand_period_epochs ? 0u : next;
+        const double tf = leak_temp_factor(ac.leak_temp_coeff, temp_c_[i],
+                                           ac.leak_ref_temp_c);
+        const ClusterEpochDerived der =
+            derive_cluster_epoch(ac, opp_[i], dem, tf, ambient, r_th_[i]);
+        busy[s] = der.busy;
+        t_target[s] = der.t_target_c;
+        pt += der.power_w;
+        srs += der.served_rate;
+        drs += dem;
+      }
+      p_total[li] = pt + ar.uncore_dyn_w * srs;
+      served_rate[li] = srs;
+      demand_rate[li] = drs;
+    }
+
+    // Tick sweep: only the integrators run per tick — two FMA pairs per
+    // cluster slot plus the energy/battery update. Device-major with the
+    // epoch's ticks innermost, so each device's eight state words live in
+    // registers for the whole epoch instead of round-tripping to memory
+    // every tick. The per-device operation sequence is exactly the AoS
+    // engine's, so the bits are unchanged.
+    // Interleaving kTickChunk devices keeps ~6*kTickChunk independent FMA
+    // dependency chains in flight, hiding the multiply-add latency that a
+    // one-device-at-a-time loop serializes on. Per-device operation order
+    // is untouched, so interleaving cannot change any bit.
+    constexpr std::size_t kTickChunk = 4;
+    const double util_decay = timing_.util_decay;
+    const double dt = timing_.tick_s;
+    const std::size_t ticks = timing_.ticks_per_epoch;
+    {
+    std::size_t d = first;
+    for (; d + kTickChunk <= last; d += kTickChunk) {
+      const std::size_t li = d - first;
+      double u[kTickChunk * kMaxClusters];
+      double tc[kTickChunk * kMaxClusters];
+      double dec[kTickChunk * kMaxClusters];
+      double bz[kTickChunk * kMaxClusters];
+      double tt[kTickChunk * kMaxClusters];
+      double pw[kTickChunk];
+      double en[kTickChunk];
+      double bat[kTickChunk];
+      for (std::size_t k = 0; k < kTickChunk * kMaxClusters; ++k) {
+        u[k] = util_[d * kMaxClusters + k];
+        tc[k] = temp_c_[d * kMaxClusters + k];
+        dec[k] = temp_decay_[d * kMaxClusters + k];
+        bz[k] = busy[li * kMaxClusters + k];
+        tt[k] = t_target[li * kMaxClusters + k];
+      }
+      for (std::size_t k = 0; k < kTickChunk; ++k) {
+        pw[k] = p_total[li + k];
+        en[k] = energy_j_[d + k];
+        bat[k] = battery_j_[d + k];
+      }
+      for (std::size_t t = 0; t < ticks; ++t) {
+        for (std::size_t k = 0; k < kTickChunk * kMaxClusters; ++k) {
+          tick_cluster(u[k], tc[k], bz[k], tt[k], util_decay, dec[k]);
+        }
+        for (std::size_t k = 0; k < kTickChunk; ++k) {
+          tick_device_energy(en[k], bat[k], pw[k], dt);
+        }
+      }
+      for (std::size_t k = 0; k < kTickChunk * kMaxClusters; ++k) {
+        util_[d * kMaxClusters + k] = u[k];
+        temp_c_[d * kMaxClusters + k] = tc[k];
+      }
+      for (std::size_t k = 0; k < kTickChunk; ++k) {
+        energy_j_[d + k] = en[k];
+        battery_j_[d + k] = bat[k];
+      }
+    }
+    for (; d < last; ++d) {
+      const std::size_t li = d - first;
+      const std::size_t i0 = d * kMaxClusters;
+      const std::size_t s0 = li * kMaxClusters;
+      double u0 = util_[i0], u1 = util_[i0 + 1];
+      double tc0 = temp_c_[i0], tc1 = temp_c_[i0 + 1];
+      const double dec0 = temp_decay_[i0], dec1 = temp_decay_[i0 + 1];
+      const double b0 = busy[s0], b1 = busy[s0 + 1];
+      const double tt0 = t_target[s0], tt1 = t_target[s0 + 1];
+      const double power = p_total[li];
+      double energy = energy_j_[d];
+      double battery = battery_j_[d];
+      for (std::size_t t = 0; t < ticks; ++t) {
+        tick_cluster(u0, tc0, b0, tt0, util_decay, dec0);
+        tick_cluster(u1, tc1, b1, tt1, util_decay, dec1);
+        tick_device_energy(energy, battery, power, dt);
+      }
+      util_[i0] = u0;
+      util_[i0 + 1] = u1;
+      temp_c_[i0] = tc0;
+      temp_c_[i0 + 1] = tc1;
+      energy_j_[d] = energy;
+      battery_j_[d] = battery;
+    }
+    }
+
+    // QoS accounting (identical closed forms to DeviceEngine::step_epoch).
+    FleetEpochPoint* ep =
+        config_.record_epochs ? &r.epoch_series[e] : nullptr;
+    for (std::size_t d = first; d < last; ++d) {
+      const std::size_t li = d - first;
+      const double epoch_served = served_rate[li] * timing_.epoch_s;
+      const double epoch_demand_cap = demand_rate[li] * timing_.epoch_s;
+      served_[d] += epoch_served;
+      demand_[d] += epoch_demand_cap;
+      const bool violated = epoch_served < epoch_demand_cap * kQosSlack;
+      if (violated) ++violations_[d];
+      if (ep) {
+        ep->energy_j += p_total[li];
+        ep->served += epoch_served;
+        ep->demand += epoch_demand_cap;
+        if (violated) ++ep->violations;
+      }
+    }
+    if (ep) {
+      ep->time_s = static_cast<double>(e + 1) * timing_.epoch_s;
+      ep->energy_j *= timing_.epoch_s;  // watts accumulated -> joules
+    }
+
+    // Decision: bin every cluster slot's observation, pick the whole
+    // block's actions with one batched argmax, then gate by the throttle.
+    for (std::size_t d = first; d < last; ++d) {
+      const std::size_t li = d - first;
+      const Archetype& ar = archetypes_[arch_[d]];
+      for (std::size_t c = 0; c < kMaxClusters; ++c) {
+        const std::size_t i = d * kMaxClusters + c;
+        const ArchetypeCluster& ac = ar.clusters[c];
+        states[li * kMaxClusters + c] =
+            cluster_state(util_[i], temp_c_[i], ac.opp_freq_bin[opp_[i]]);
+        // The throttle latch depends only on the post-tick temperature, not
+        // on the chosen action, so it folds into this same sweep instead of
+        // paying a second pass over temp_c_.
+        throttled_[i] = update_throttle(throttled_[i] != 0, temp_c_[i],
+                                        ac.trip_temp_c, ac.clear_temp_c)
+                            ? 1
+                            : 0;
+      }
+    }
+    policy_.greedy_batch(states.data(), slots, actions.data());
+    for (std::size_t d = first; d < last; ++d) {
+      const std::size_t li = d - first;
+      const Archetype& ar = archetypes_[arch_[d]];
+      for (std::size_t c = 0; c < kMaxClusters; ++c) {
+        const std::size_t i = d * kMaxClusters + c;
+        opp_[i] = apply_action(opp_[i], actions[li * kMaxClusters + c],
+                               ar.clusters[c], throttled_[i] != 0);
+      }
+    }
+  }
+
+  // Block totals, accumulated in device order.
+  for (std::size_t d = first; d < last; ++d) {
+    r.energy_j += energy_j_[d];
+    r.served += served_[d];
+    r.demand += demand_[d];
+    r.violations += violations_[d];
+    if (battery_j_[d] <= 0.0) ++r.battery_depleted;
+    DeviceOutcome o;
+    o.energy_j = energy_j_[d];
+    o.served = served_[d];
+    o.demand = demand_[d];
+    o.violations = violations_[d];
+    o.battery_j = battery_j_[d];
+    const std::size_t active = archetypes_[arch_[d]].cluster_count;
+    for (std::size_t c = 0; c < active; ++c) {
+      const std::size_t i = d * kMaxClusters + c;
+      o.util[c] = util_[i];
+      o.temp_c[c] = temp_c_[i];
+      o.opp[c] = opp_[i];
+    }
+    const double eps = o.energy_per_served();
+    r.energy_per_served_sum += eps;
+    r.eps_hist->observe(eps);
+    if (outcomes) (*outcomes)[d] = o;
+  }
+  return r;
+}
+
+FleetResult FleetEngine::run() {
+  reset_state();
+
+  FleetResult result;
+  result.devices = config_.devices;
+  result.epochs = timing_.epochs;
+  result.ticks_per_epoch = timing_.ticks_per_epoch;
+  result.device_ticks = static_cast<std::uint64_t>(config_.devices) *
+                        timing_.epochs * timing_.ticks_per_epoch;
+  if (config_.record_devices) result.device_outcomes.resize(config_.devices);
+  std::vector<DeviceOutcome>* outcomes =
+      config_.record_devices ? &result.device_outcomes : nullptr;
+
+  // One farm task per block. Tasks write disjoint SoA slices and their own
+  // scratch; partial aggregates come back through run_ordered in block
+  // order, so the merge below is the same fp reduction at any --jobs.
+  std::vector<std::function<BlockResult()>> tasks;
+  for (std::size_t first = 0; first < config_.devices;
+       first += config_.block_size) {
+    const std::size_t last =
+        std::min(config_.devices, first + config_.block_size);
+    tasks.push_back(
+        [this, first, last, outcomes] { return run_block(first, last, outcomes); });
+  }
+  std::unique_ptr<core::runfarm::ThreadPool> pool;
+  if (jobs_ > 1) pool = std::make_unique<core::runfarm::ThreadPool>(jobs_);
+  std::vector<BlockResult> blocks = core::runfarm::run_ordered<BlockResult>(
+      pool ? pool.get() : nullptr, tasks);
+
+  obs::Histogram eps_hist(energy_per_served_bounds());
+  double eps_sum = 0.0;
+  if (config_.record_epochs) result.epoch_series.resize(timing_.epochs);
+  for (const BlockResult& b : blocks) {
+    result.energy_j += b.energy_j;
+    result.served += b.served;
+    result.demand += b.demand;
+    result.violation_epochs += b.violations;
+    result.battery_depleted += b.battery_depleted;
+    eps_sum += b.energy_per_served_sum;
+    eps_hist.merge(*b.eps_hist);
+    for (std::size_t e = 0; e < b.epoch_series.size(); ++e) {
+      FleetEpochPoint& p = result.epoch_series[e];
+      p.time_s = b.epoch_series[e].time_s;
+      p.energy_j += b.epoch_series[e].energy_j;
+      p.served += b.epoch_series[e].served;
+      p.demand += b.epoch_series[e].demand;
+      p.violations += b.epoch_series[e].violations;
+    }
+  }
+  const double device_epochs =
+      static_cast<double>(config_.devices) * static_cast<double>(timing_.epochs);
+  result.violation_rate =
+      static_cast<double>(result.violation_epochs) / device_epochs;
+  result.energy_per_served_mean =
+      eps_sum / static_cast<double>(config_.devices);
+  result.energy_per_served_p50 = eps_hist.percentile(0.50);
+  result.energy_per_served_p95 = eps_hist.percentile(0.95);
+  result.energy_per_served_p99 = eps_hist.percentile(0.99);
+
+  if (metrics_) {
+    metrics_->counter("fleet.devices").inc(config_.devices);
+    metrics_->counter("fleet.device_ticks").inc(result.device_ticks);
+    metrics_->counter("fleet.violation_epochs").inc(result.violation_epochs);
+    metrics_->counter("fleet.battery_depleted").inc(result.battery_depleted);
+    metrics_->gauge("fleet.energy_j").set(result.energy_j);
+    metrics_->gauge("fleet.violation_rate").set(result.violation_rate);
+    metrics_->histogram("fleet.energy_per_served", energy_per_served_bounds())
+        .merge(eps_hist);
+  }
+  return result;
+}
+
+}  // namespace pmrl::fleet

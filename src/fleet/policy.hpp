@@ -1,0 +1,57 @@
+#pragma once
+// Shared fleet power-management policy: one frozen tabular Q function over
+// the compact (hot, util-bin, freq-bin) state space every device observes,
+// evaluated greedily for the whole fleet each decision epoch. This is the
+// deployment-side counterpart of the single-SoC RL governor — the fleet
+// layer studies a *trained* policy at population scale, so the table is
+// fixed for a run (loaded from a trained agent or the built-in heuristic
+// initialization).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fleet/device_model.hpp"
+
+namespace pmrl::fleet {
+
+/// Frozen per-state action-value table, row-major [state][action], with the
+/// same "when indifferent, step down" action bias the RL governor uses.
+class FleetPolicy {
+ public:
+  /// Zero-initialized table (greedy picks kActionDown everywhere until the
+  /// values are filled in).
+  FleetPolicy();
+
+  /// Heuristic race-to-idle-flavored policy: step up when utilization is
+  /// high for the current relative OPP (harder when hot is false), step
+  /// down when utilization is low or the die is hot. Seeded so fleets can
+  /// run meaningful population studies without a training phase.
+  static FleetPolicy default_policy();
+
+  double q(std::uint32_t state, std::uint32_t action) const {
+    return table_[state * kActionCount + action];
+  }
+  void set_q(std::uint32_t state, std::uint32_t action, double value) {
+    table_[state * kActionCount + action] = value;
+  }
+
+  /// Greedy action for one state: argmax over q(s,a) + bias[a], strict >
+  /// so ties break toward the lowest action index (matches rl::QTable and
+  /// the batch kernels).
+  std::uint32_t greedy(std::uint32_t state) const;
+
+  /// Greedy actions for a batch of states via the SIMD argmax kernel
+  /// (rl::batch_argmax_f64); bit-identical to calling greedy() per state.
+  void greedy_batch(const std::uint64_t* states, std::size_t count,
+                    std::uint32_t* actions) const;
+
+  const double* data() const { return table_.data(); }
+  const std::vector<double>& bias() const { return bias_; }
+
+ private:
+  std::vector<double> table_;  ///< kStateCount x kActionCount
+  std::vector<double> bias_;   ///< kActionCount
+};
+
+}  // namespace pmrl::fleet

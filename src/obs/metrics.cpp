@@ -53,6 +53,23 @@ double Histogram::percentile(double q) const {
   return bounds_.back();  // rank lands in the +inf bucket
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bounds differ");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  double seen = sum_.load(std::memory_order_relaxed);
+  const double add = other.sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + add,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);

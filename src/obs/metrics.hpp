@@ -88,6 +88,12 @@ class Histogram {
   /// highest finite bound. Returns 0 with no observations.
   double percentile(double q) const;
 
+  /// Folds another histogram's buckets/count/sum into this one. Both must
+  /// have identical bounds (std::invalid_argument otherwise). Not atomic as
+  /// a whole: merge shard-local histograms after their producers are done,
+  /// in a fixed order, so the floating-point sum stays deterministic.
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1

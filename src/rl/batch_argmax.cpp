@@ -25,6 +25,26 @@ void batch_argmax_f64_scalar(const double* values, std::size_t actions,
   }
 }
 
+void batch_argmax_f64_mean2_scalar(const double* a, const double* b,
+                                   std::size_t actions, const double* bias,
+                                   const std::uint64_t* states,
+                                   std::size_t count, std::uint32_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t base = static_cast<std::size_t>(states[i]) * actions;
+    std::uint32_t best = 0;
+    double best_value = 0.5 * (a[base] + b[base]) + (bias ? bias[0] : 0.0);
+    for (std::size_t act = 1; act < actions; ++act) {
+      const double v =
+          0.5 * (a[base + act] + b[base + act]) + (bias ? bias[act] : 0.0);
+      if (v > best_value) {
+        best_value = v;
+        best = static_cast<std::uint32_t>(act);
+      }
+    }
+    out[i] = best;
+  }
+}
+
 void batch_argmax_i64_scalar(const std::int64_t* values, std::size_t actions,
                              const std::int64_t* bias_raw, std::int64_t raw_min,
                              std::int64_t raw_max, const std::uint64_t* states,
@@ -90,6 +110,52 @@ __attribute__((target("avx2"))) void batch_argmax_f64_avx2(
   if (i < count) {
     batch_argmax_f64_scalar(values, actions, bias, states + i, count - i,
                             out + i);
+  }
+}
+
+__attribute__((target("avx2"))) void batch_argmax_f64_mean2_avx2(
+    const double* a, const double* b, std::size_t actions, const double* bias,
+    const std::uint64_t* states, std::size_t count, std::uint32_t* out) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    alignas(32) long long base[4];
+    for (int lane = 0; lane < 4; ++lane) {
+      base[lane] = static_cast<long long>(states[i + lane] * actions);
+    }
+    const __m256i vbase =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(base));
+    // Two gathers per action bank (one per table); the 0.5*(a+b)+bias score
+    // is formed in the scalar evaluation order so ties resolve identically.
+    __m256d best = _mm256_mul_pd(
+        _mm256_add_pd(_mm256_i64gather_pd(a, vbase, 8),
+                      _mm256_i64gather_pd(b, vbase, 8)),
+        half);
+    if (bias) best = _mm256_add_pd(best, _mm256_set1_pd(bias[0]));
+    __m256i best_idx = _mm256_setzero_si256();
+    for (std::size_t act = 1; act < actions; ++act) {
+      const __m256i idx = _mm256_add_epi64(
+          vbase, _mm256_set1_epi64x(static_cast<long long>(act)));
+      __m256d v = _mm256_mul_pd(
+          _mm256_add_pd(_mm256_i64gather_pd(a, idx, 8),
+                        _mm256_i64gather_pd(b, idx, 8)),
+          half);
+      if (bias) v = _mm256_add_pd(v, _mm256_set1_pd(bias[act]));
+      const __m256d gt = _mm256_cmp_pd(v, best, _CMP_GT_OQ);
+      best = _mm256_blendv_pd(best, v, gt);
+      best_idx = _mm256_blendv_epi8(
+          best_idx, _mm256_set1_epi64x(static_cast<long long>(act)),
+          _mm256_castpd_si256(gt));
+    }
+    alignas(32) long long lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best_idx);
+    for (int lane = 0; lane < 4; ++lane) {
+      out[i + lane] = static_cast<std::uint32_t>(lanes[lane]);
+    }
+  }
+  if (i < count) {
+    batch_argmax_f64_mean2_scalar(a, b, actions, bias, states + i, count - i,
+                                  out + i);
   }
 }
 
@@ -163,6 +229,18 @@ void batch_argmax_f64(const double* values, std::size_t actions,
   }
 }
 
+void batch_argmax_f64_mean2(const double* a, const double* b,
+                            std::size_t actions, const double* bias,
+                            const std::uint64_t* states, std::size_t count,
+                            std::uint32_t* out) {
+  static const bool avx2 = cpu_has_avx2();
+  if (avx2) {
+    batch_argmax_f64_mean2_avx2(a, b, actions, bias, states, count, out);
+  } else {
+    batch_argmax_f64_mean2_scalar(a, b, actions, bias, states, count, out);
+  }
+}
+
 void batch_argmax_i64(const std::int64_t* values, std::size_t actions,
                       const std::int64_t* bias_raw, std::int64_t raw_min,
                       std::int64_t raw_max, const std::uint64_t* states,
@@ -188,6 +266,13 @@ void batch_argmax_f64(const double* values, std::size_t actions,
                       const double* bias, const std::uint64_t* states,
                       std::size_t count, std::uint32_t* out) {
   batch_argmax_f64_scalar(values, actions, bias, states, count, out);
+}
+
+void batch_argmax_f64_mean2(const double* a, const double* b,
+                            std::size_t actions, const double* bias,
+                            const std::uint64_t* states, std::size_t count,
+                            std::uint32_t* out) {
+  batch_argmax_f64_mean2_scalar(a, b, actions, bias, states, count, out);
 }
 
 void batch_argmax_i64(const std::int64_t* values, std::size_t actions,

@@ -29,6 +29,16 @@ void batch_argmax_f64(const double* values, std::size_t actions,
                       const double* bias, const std::uint64_t* states,
                       std::size_t count, std::uint32_t* out);
 
+/// Batched argmax over the element-wise two-table mean of two row-major
+/// double Q stores — the Double Q-learning selection score. Each candidate
+/// is scored as 0.5 * (a[state*actions+act] + b[state*actions+act]) plus
+/// the optional per-action bias, in exactly that order, so results are
+/// bit-identical to the scalar combined-Q scan in QLearningAgent.
+void batch_argmax_f64_mean2(const double* a, const double* b,
+                            std::size_t actions, const double* bias,
+                            const std::uint64_t* states, std::size_t count,
+                            std::uint32_t* out);
+
 /// Batched argmax over raw fixed-point words. `bias_raw`, when non-null, is
 /// added with saturation to [raw_min, raw_max] — the same FixedFormat::add
 /// the scalar agent applies — before the signed compare.
@@ -41,6 +51,10 @@ void batch_argmax_i64(const std::int64_t* values, std::size_t actions,
 void batch_argmax_f64_scalar(const double* values, std::size_t actions,
                              const double* bias, const std::uint64_t* states,
                              std::size_t count, std::uint32_t* out);
+void batch_argmax_f64_mean2_scalar(const double* a, const double* b,
+                                   std::size_t actions, const double* bias,
+                                   const std::uint64_t* states,
+                                   std::size_t count, std::uint32_t* out);
 void batch_argmax_i64_scalar(const std::int64_t* values, std::size_t actions,
                              const std::int64_t* bias_raw, std::int64_t raw_min,
                              std::int64_t raw_max, const std::uint64_t* states,

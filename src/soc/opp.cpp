@@ -82,4 +82,17 @@ OppTable tiny_test_opps() {
                    {2000e6, 1.36}});
 }
 
+OppTable scaled_opps(const OppTable& base, double freq_scale,
+                     double voltage_scale) {
+  if (freq_scale <= 0.0 || voltage_scale <= 0.0) {
+    throw std::invalid_argument("OPP scale factors must be positive");
+  }
+  std::vector<OperatingPoint> pts;
+  pts.reserve(base.size());
+  for (const auto& p : base.points()) {
+    pts.push_back({p.freq_hz * freq_scale, p.voltage_v * voltage_scale});
+  }
+  return OppTable(std::move(pts));
+}
+
 }  // namespace pmrl::soc

@@ -52,4 +52,11 @@ OppTable little_cluster_opps();
 /// Reduced 5-point table used by unit tests and the state-ablation bench.
 OppTable tiny_test_opps();
 
+/// Derives a binned/scaled variant of `base`: every frequency is multiplied
+/// by `freq_scale` and every voltage by `voltage_scale` (both must be
+/// positive). Models silicon-bin and SKU variation across a device fleet —
+/// the same curve shape at a shifted operating envelope.
+OppTable scaled_opps(const OppTable& base, double freq_scale,
+                     double voltage_scale);
+
 }  // namespace pmrl::soc

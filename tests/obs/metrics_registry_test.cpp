@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,32 @@ TEST(MetricsRegistry, PercentileInterpolatesWithinBucket) {
   // Quantile extremes stay within the observed range.
   EXPECT_GE(h.percentile(0.0), 0.0);
   EXPECT_LE(h.percentile(1.0), 4.0);
+}
+
+TEST(MetricsRegistry, HistogramMergeFoldsShards) {
+  obs::Histogram a({1.0, 10.0});
+  obs::Histogram b({1.0, 10.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  b.observe(5.0);
+  b.observe(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 60.5);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 2u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  // The merged-into histogram keeps accepting observations.
+  a.observe(0.25);
+  EXPECT_EQ(a.bucket_count(0), 2u);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(MetricsRegistry, HistogramMergeRejectsMismatchedBounds) {
+  obs::Histogram a({1.0, 10.0});
+  obs::Histogram b({1.0, 20.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 TEST(MetricsRegistry, PercentileEdgeCases) {

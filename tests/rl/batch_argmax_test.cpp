@@ -238,20 +238,104 @@ TEST(BatchArgmax, FixedAgentBatchedMatchesPerState) {
   }
 }
 
-TEST(BatchArgmax, DoubleQFallsBackToPerStateScan) {
+// Double Q selection scores 0.5*(A+B)+bias; the two-table-mean kernel must
+// reproduce the scalar combined-Q scan bit-for-bit even when the tables
+// disagree about the best action.
+TEST(BatchArgmaxF64Mean2, MatchesScalarAndCombinedScan) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  std::uniform_int_distribution<int> level(0, 3);
+  for (const std::size_t actions : {2u, 3u, 5u, 8u}) {
+    const std::size_t rows = 96;
+    std::vector<double> a(rows * actions);
+    std::vector<double> b(rows * actions);
+    // Mix continuous values with coarse levels so mean ties occur.
+    for (auto& v : a) v = dist(rng);
+    for (auto& v : b) v = (level(rng) == 0) ? 0.5 * level(rng) : dist(rng);
+    std::vector<double> bias(actions, 0.0);
+    bias[0] = 0.05;
+    const auto states = all_states(rows);
+    std::vector<std::uint32_t> simd(rows);
+    std::vector<std::uint32_t> scalar(rows);
+    const double* bias_cases[] = {nullptr, bias.data()};
+    for (const double* bp : bias_cases) {
+      rl::batch_argmax_f64_mean2(a.data(), b.data(), actions, bp,
+                                 states.data(), rows, simd.data());
+      rl::batch_argmax_f64_mean2_scalar(a.data(), b.data(), actions, bp,
+                                        states.data(), rows, scalar.data());
+      for (std::size_t s = 0; s < rows; ++s) {
+        EXPECT_EQ(simd[s], scalar[s])
+            << "actions=" << actions << " state=" << s;
+        // Independent reference: the agent's combined-Q evaluation order.
+        std::uint32_t expect = 0;
+        double best = 0.5 * (a[s * actions] + b[s * actions]) +
+                      (bp ? bp[0] : 0.0);
+        for (std::uint32_t act = 1; act < actions; ++act) {
+          const double v = 0.5 * (a[s * actions + act] + b[s * actions + act]) +
+                           (bp ? bp[act] : 0.0);
+          if (v > best) {
+            best = v;
+            expect = act;
+          }
+        }
+        EXPECT_EQ(simd[s], expect) << "actions=" << actions << " state=" << s;
+      }
+    }
+  }
+}
+
+TEST(BatchArgmaxF64Mean2, EveryBatchRemainderMatchesScalar) {
+  std::mt19937_64 rng(29);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  constexpr std::size_t kActions = 3;
+  constexpr std::size_t kStates = 200;
+  std::vector<double> a(kStates * kActions);
+  std::vector<double> b(kStates * kActions);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  const double bias[kActions] = {0.05, 0.0, 0.0};
+  std::uniform_int_distribution<std::uint64_t> pick(0, kStates - 1);
+  std::vector<std::uint64_t> states;
+  for (std::size_t n = 0; n <= 19; ++n) {
+    states.resize(n);
+    for (auto& s : states) s = pick(rng);
+    std::vector<std::uint32_t> simd(n, 0xAAu);
+    std::vector<std::uint32_t> scalar(n, 0xBBu);
+    rl::batch_argmax_f64_mean2(a.data(), b.data(), kActions, bias,
+                               states.data(), n, simd.data());
+    rl::batch_argmax_f64_mean2_scalar(a.data(), b.data(), kActions, bias,
+                                      states.data(), n, scalar.data());
+    EXPECT_EQ(simd, scalar) << "count=" << n;
+  }
+}
+
+// Agent-level: the Double Q branch of greedy_actions now routes through the
+// two-table-mean kernel and must still equal greedy_action per state even
+// when the two tables diverge.
+TEST(BatchArgmax, DoubleQBatchedMatchesPerState) {
   rl::QLearningConfig config;
   config.algorithm = rl::TdAlgorithm::DoubleQ;
-  rl::QLearningAgent agent(config, 32, 3);
+  rl::QLearningAgent agent(config, 120, 3);
   std::mt19937_64 rng(19);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
-  for (std::size_t s = 0; s < 32; ++s) {
-    for (std::size_t a = 0; a < 3; ++a) agent.set_q_value(s, a, dist(rng));
+  std::uniform_int_distribution<int> level(0, 2);
+  for (std::size_t s = 0; s < 120; ++s) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      agent.set_q_value(s, a, (s % 2) ? dist(rng) : 0.5 * level(rng));
+      // Desynchronize table A from table B so the mean really matters.
+      agent.table().set(s, a, (s % 3) ? dist(rng) : 0.5 * level(rng));
+    }
   }
-  const auto states = all_states(32);
-  std::vector<std::uint32_t> batched(states.size());
-  agent.greedy_actions(states.data(), states.size(), batched.data());
-  for (std::size_t s = 0; s < 32; ++s) {
-    EXPECT_EQ(batched[s], static_cast<std::uint32_t>(agent.greedy_action(s)));
+  for (const std::vector<double>& bias :
+       {std::vector<double>{}, std::vector<double>{0.05, 0.0, 0.0}}) {
+    agent.set_action_bias(bias);
+    const auto states = all_states(120);
+    std::vector<std::uint32_t> batched(states.size());
+    agent.greedy_actions(states.data(), states.size(), batched.data());
+    for (std::size_t s = 0; s < 120; ++s) {
+      EXPECT_EQ(batched[s], static_cast<std::uint32_t>(agent.greedy_action(s)))
+          << "state=" << s << " bias=" << !bias.empty();
+    }
   }
 }
 

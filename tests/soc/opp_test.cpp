@@ -69,5 +69,26 @@ TEST(OppTableTest, VoltageMonotoneInFrequency) {
   }
 }
 
+TEST(OppTableTest, ScaledOppsShiftTheEnvelope) {
+  const OppTable base = tiny_test_opps();
+  const OppTable fast = scaled_opps(base, 1.1, 1.05);
+  ASSERT_EQ(fast.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast.at(i).freq_hz, base.at(i).freq_hz * 1.1);
+    EXPECT_DOUBLE_EQ(fast.at(i).voltage_v, base.at(i).voltage_v * 1.05);
+  }
+  // Identity scaling reproduces the table.
+  const OppTable same = scaled_opps(base, 1.0, 1.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(same.at(i).freq_hz, base.at(i).freq_hz);
+  }
+}
+
+TEST(OppTableTest, ScaledOppsRejectsNonPositiveScales) {
+  const OppTable base = tiny_test_opps();
+  EXPECT_THROW(scaled_opps(base, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(scaled_opps(base, 1.0, -0.5), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pmrl::soc
