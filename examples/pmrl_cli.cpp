@@ -159,6 +159,11 @@ struct Args {
   // fleet
   std::size_t devices = 100000;
   std::size_t block = 4096;
+  double budget_w = 0.0;  // global cap, watts (0 = unbudgeted)
+  std::string budget_policy = "demand";
+  std::size_t budget_groups = 8;
+  double budget_floor = 0.05;
+  std::vector<budget::CapStep> budget_steps;
 };
 
 Args parse(int argc, char** argv) {
@@ -252,6 +257,37 @@ Args parse(int argc, char** argv) {
     } else if (arg == "--block") {
       args.block = static_cast<std::size_t>(std::stoul(next()));
       if (args.block == 0) throw UsageError("--block must be >= 1");
+    } else if (arg == "--budget") {
+      args.budget_w = std::stod(next());
+      if (!(args.budget_w > 0.0)) throw UsageError("--budget must be > 0 W");
+    } else if (arg == "--budget-policy") {
+      args.budget_policy = next();
+      if (!budget::is_policy_name(args.budget_policy)) {
+        throw UsageError("--budget-policy must be uniform, demand, or rl");
+      }
+    } else if (arg == "--budget-groups") {
+      args.budget_groups = static_cast<std::size_t>(std::stoul(next()));
+      if (args.budget_groups == 0) {
+        throw UsageError("--budget-groups must be >= 1");
+      }
+    } else if (arg == "--budget-floor") {
+      args.budget_floor = std::stod(next());
+      if (args.budget_floor < 0.0) {
+        throw UsageError("--budget-floor must be >= 0");
+      }
+    } else if (arg == "--budget-step") {
+      const std::string v = next();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 >= v.size()) {
+        throw UsageError("--budget-step expects TIME:WATTS");
+      }
+      budget::CapStep step;
+      step.time_s = std::stod(v.substr(0, colon));
+      step.cap_w = std::stod(v.substr(colon + 1));
+      if (step.time_s < 0.0 || !(step.cap_w > 0.0)) {
+        throw UsageError("--budget-step expects TIME >= 0 and WATTS > 0");
+      }
+      args.budget_steps.push_back(step);
     } else if (arg == "--format") {
       args.format = next();
       if (args.format != "scenario" && args.format != "jsonl" &&
@@ -841,6 +877,17 @@ int cmd_fleet(const Args& args) {
   config.jobs = args.jobs;
   config.block_size = args.block;
   config.record_epochs = args.trace_path.has_value();
+  if (!args.budget_steps.empty() && args.budget_w <= 0.0) {
+    throw UsageError("--budget-step requires --budget");
+  }
+  if (args.budget_w > 0.0) {
+    config.budget.global_cap_w = args.budget_w;
+    config.budget.policy = args.budget_policy;
+    config.budget.groups = args.budget_groups;
+    config.budget.floor_w = args.budget_floor;
+    config.budget.seed = args.seed;
+    config.budget.schedule = args.budget_steps;
+  }
 
   fleet::FleetEngine engine{config};
   obs::MetricsRegistry metrics;
@@ -870,6 +917,18 @@ int cmd_fleet(const Args& args) {
       {"E/QoS p95 [J/cap-s]", TextTable::num(result.energy_per_served_p95, 3)});
   table.add_row(
       {"E/QoS p99 [J/cap-s]", TextTable::num(result.energy_per_served_p99, 3)});
+  if (result.budget.enabled) {
+    table.add_row({"budget cap [W]",
+                   TextTable::num(result.budget.effective_cap_w, 1)});
+    table.add_row({"cap steps fired", std::to_string(result.budget.cap_steps)});
+    table.add_row({"over-cap device-epochs",
+                   std::to_string(result.budget.over_cap_device_epochs)});
+    table.add_row(
+        {"settle epochs", std::to_string(result.budget.settle_epochs)});
+    table.add_row({"budget audit", result.budget.audit_error.empty()
+                                       ? "ok"
+                                       : result.budget.audit_error});
+  }
   table.print();
 
   if (args.trace_path) {
@@ -879,17 +938,25 @@ int cmd_fleet(const Args& args) {
                    args.trace_path->c_str());
       return 1;
     }
+    const bool budgeted = result.budget.enabled;
     if (args.trace_format == "jsonl") {
       for (const auto& p : result.epoch_series) {
         out << "{\"time_s\": " << p.time_s << ", \"energy_j\": " << p.energy_j
             << ", \"served\": " << p.served << ", \"demand\": " << p.demand
-            << ", \"violations\": " << p.violations << "}\n";
+            << ", \"violations\": " << p.violations;
+        if (budgeted) {
+          out << ", \"cap_w\": " << p.cap_w << ", \"over_cap\": " << p.over_cap;
+        }
+        out << "}\n";
       }
     } else {
-      out << "time_s,energy_j,served,demand,violations\n";
+      out << (budgeted ? "time_s,energy_j,served,demand,violations,cap_w,over_cap\n"
+                       : "time_s,energy_j,served,demand,violations\n");
       for (const auto& p : result.epoch_series) {
         out << p.time_s << ',' << p.energy_j << ',' << p.served << ','
-            << p.demand << ',' << p.violations << '\n';
+            << p.demand << ',' << p.violations;
+        if (budgeted) out << ',' << p.cap_w << ',' << p.over_cap;
+        out << '\n';
       }
     }
     std::printf("epoch series (%zu rows) written to %s\n",
@@ -928,7 +995,9 @@ void print_usage(std::FILE* out) {
       "  replay <file> [--format scenario|jsonl|util] [--governor NAME]\n"
       "  fleet  [--devices N] [--seed S] [--duration SEC] [--jobs N]\n"
       "         [--block N] [--trace PATH] [--trace-format csv|jsonl]\n"
-      "         [--metrics PATH|-]\n"
+      "         [--metrics PATH|-] [--budget WATTS]\n"
+      "         [--budget-policy uniform|demand|rl] [--budget-groups N]\n"
+      "         [--budget-floor WATTS] [--budget-step TIME:WATTS]...\n"
       "  --version\n");
 }
 

@@ -1,0 +1,231 @@
+#include "budget/apportion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rl/agent.hpp"
+
+namespace pmrl::budget {
+
+namespace {
+
+// Shared core: floors may be a per-child array or one scalar for all.
+template <typename FloorAt>
+void apportion_core(double parent_cap_w, FloorAt floor_at,
+                    const double* weights, std::size_t n, double* caps) {
+  if (n == 0) return;
+  double floor_sum = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    floor_sum += floor_at(i);
+    weight_sum += weights[i];
+  }
+  // The remainder above the floors is what the weights actually divide.
+  // A running clamp keeps the handed-out total within the remainder even
+  // under floating-point rounding: each child gets min(what is left,
+  // its share), and what is left never goes negative because IEEE a - b
+  // is exact-signed when b <= a.
+  double remainder = std::max(0.0, parent_cap_w - floor_sum);
+  double left = remainder;
+  const double inv =
+      weight_sum > 0.0 ? 1.0 / weight_sum : 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share = weight_sum > 0.0 ? weights[i] * inv : inv;
+    const double extra = std::min(left, remainder * share);
+    caps[i] = floor_at(i) + extra;
+    left -= extra;
+  }
+}
+
+}  // namespace
+
+void apportion_caps(double parent_cap_w, const double* floors,
+                    const double* weights, std::size_t n, double* caps) {
+  apportion_core(parent_cap_w, [floors](std::size_t i) { return floors[i]; },
+                 weights, n, caps);
+}
+
+void apportion_caps_uniform_floor(double parent_cap_w, double floor_w,
+                                  const double* weights, std::size_t n,
+                                  double* caps) {
+  apportion_core(parent_cap_w, [floor_w](std::size_t) { return floor_w; },
+                 weights, n, caps);
+}
+
+namespace {
+
+class UniformPolicy final : public ApportionPolicy {
+ public:
+  const char* name() const override { return "uniform"; }
+  void weigh(const std::vector<GroupObs>& groups,
+             std::vector<double>& weights) override {
+    // Weigh by member count, not 1 per group: with unequal group sizes a
+    // "uniform" split means equal watts per *device*.
+    weights.resize(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      weights[g] = static_cast<double>(groups[g].devices);
+    }
+  }
+};
+
+class DemandPolicy final : public ApportionPolicy {
+ public:
+  const char* name() const override { return "demand"; }
+  void weigh(const std::vector<GroupObs>& groups,
+             std::vector<double>& weights) override {
+    weights.resize(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      weights[g] = groups[g].demand_w;
+    }
+  }
+};
+
+// ---- RL interior-node policy ----------------------------------------------
+// State: (relative-demand bin x per-device-pressure bin). Relative demand
+// is the group's share of fleet demand normalized by a uniform split
+// (1.0 = exactly its fair share), binned over [0, 2). Pressure compares
+// the group's per-device demand with the fleet's per-device mean. Actions
+// scale the demand weight, so the agent can only redistribute — the tree
+// still enforces every invariant.
+constexpr std::size_t kRelBins = 8;
+constexpr std::size_t kPressureBins = 3;
+constexpr std::size_t kRlStates = kRelBins * kPressureBins;
+constexpr double kRlMultipliers[] = {0.5, 1.0, 2.0, 4.0};
+constexpr std::size_t kRlActions =
+    sizeof(kRlMultipliers) / sizeof(kRlMultipliers[0]);
+
+class RlAdaptivePolicy final : public ApportionPolicy {
+ public:
+  explicit RlAdaptivePolicy(std::uint64_t seed) : seed_(seed) { reset(); }
+
+  const char* name() const override { return "rl"; }
+
+  void weigh(const std::vector<GroupObs>& groups,
+             std::vector<double>& weights) override {
+    sync(groups.size());
+    weights.resize(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      weights[g] = groups[g].demand_w * multiplier_[g];
+    }
+  }
+
+  void observe(const std::vector<GroupObs>& groups,
+               const std::vector<double>& caps_w) override {
+    sync(groups.size());
+    double total_demand = 0.0;
+    std::size_t total_devices = 0;
+    for (const GroupObs& obs : groups) {
+      total_demand += obs.demand_w;
+      total_devices += obs.devices;
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::size_t state = state_of(groups[g], total_demand,
+                                         total_devices, groups.size());
+      if (has_last_[g]) {
+        agent_->learn(last_state_[g], last_action_[g],
+                      reward(groups[g], caps_w[g]), state);
+      }
+      const std::size_t action = agent_->select_action(state);
+      multiplier_[g] = kRlMultipliers[action];
+      last_state_[g] = state;
+      last_action_[g] = action;
+      has_last_[g] = 1;
+    }
+  }
+
+  void reset() override {
+    rl::QLearningConfig config;
+    config.seed = seed_;
+    // The budget loop learns within one run (tens to hundreds of epochs),
+    // so decay exploration per decision, not per episode.
+    config.epsilon_start = 0.3;
+    config.epsilon_end = 0.02;
+    config.epsilon_decay_episodes = 60;
+    agent_ = std::make_unique<rl::QLearningAgent>(config, kRlStates,
+                                                  kRlActions);
+    multiplier_.clear();
+    last_state_.clear();
+    last_action_.clear();
+    has_last_.clear();
+  }
+
+ private:
+  void sync(std::size_t groups) {
+    if (multiplier_.size() == groups) return;
+    multiplier_.assign(groups, 1.0);
+    last_state_.assign(groups, 0);
+    last_action_.assign(groups, 0);
+    has_last_.assign(groups, 0);
+  }
+
+  static std::size_t state_of(const GroupObs& obs, double total_demand,
+                              std::size_t total_devices,
+                              std::size_t groups) {
+    const double fair =
+        total_demand / static_cast<double>(groups == 0 ? 1 : groups);
+    const double rel = fair > 0.0 ? obs.demand_w / fair : 0.0;
+    const std::size_t rel_bin = std::min<std::size_t>(
+        kRelBins - 1, static_cast<std::size_t>(rel * 0.5 *
+                                               static_cast<double>(kRelBins)));
+    const double fleet_per_device =
+        total_devices > 0 ? total_demand / static_cast<double>(total_devices)
+                          : 0.0;
+    const double per_device =
+        obs.devices > 0 ? obs.demand_w / static_cast<double>(obs.devices)
+                        : 0.0;
+    std::size_t pressure = 1;
+    if (fleet_per_device > 0.0) {
+      if (per_device < 0.9 * fleet_per_device) {
+        pressure = 0;
+      } else if (per_device > 1.1 * fleet_per_device) {
+        pressure = 2;
+      }
+    }
+    return pressure * kRelBins + rel_bin;
+  }
+
+  /// Negative unmet demand (the cap starved the group) with a small
+  /// wasted-cap penalty (the cap overshot what the group can use).
+  static double reward(const GroupObs& obs, double cap_w) {
+    const double demand = std::max(obs.demand_w, 1e-9);
+    const double cap = std::max(cap_w, 1e-9);
+    const double unmet = std::max(0.0, obs.demand_w - cap_w) / demand;
+    const double waste = std::max(0.0, cap_w - obs.demand_w) / cap;
+    return -unmet - 0.1 * waste;
+  }
+
+  std::uint64_t seed_;
+  std::unique_ptr<rl::QLearningAgent> agent_;
+  std::vector<double> multiplier_;
+  std::vector<std::size_t> last_state_;
+  std::vector<std::size_t> last_action_;
+  std::vector<std::uint8_t> has_last_;
+};
+
+}  // namespace
+
+std::unique_ptr<ApportionPolicy> make_uniform_policy() {
+  return std::make_unique<UniformPolicy>();
+}
+
+std::unique_ptr<ApportionPolicy> make_demand_policy() {
+  return std::make_unique<DemandPolicy>();
+}
+
+std::unique_ptr<ApportionPolicy> make_rl_policy(std::uint64_t seed) {
+  return std::make_unique<RlAdaptivePolicy>(seed);
+}
+
+std::unique_ptr<ApportionPolicy> make_policy(const std::string& name,
+                                             std::uint64_t seed) {
+  if (name == "uniform") return make_uniform_policy();
+  if (name == "demand") return make_demand_policy();
+  if (name == "rl") return make_rl_policy(seed);
+  throw std::invalid_argument("unknown apportionment policy '" + name + "'");
+}
+
+bool is_policy_name(const std::string& name) {
+  return name == "uniform" || name == "demand" || name == "rl";
+}
+
+}  // namespace pmrl::budget

@@ -1,0 +1,94 @@
+#pragma once
+// Apportionment policies for the power-budget tree: given what each child
+// group *demanded* last epoch, decide how to split the parent's cap.
+//
+// The apportionment-policy rule (DESIGN.md §12): a policy emits only
+// non-negative WEIGHTS, and it computes them from demand observations and
+// its own internal state — it never sees the cap being apportioned. The
+// tree turns weights into caps with the floors-first running-remainder
+// scheme in apportion_caps(), which is what makes the three budget
+// invariants (conservation, no-starvation, cap-monotonicity) structural
+// properties of the tree instead of per-policy obligations. weigh() must
+// be a deterministic pure function of (groups, internal state); anything a
+// policy learns from the resulting caps happens in observe(), which runs
+// once per epoch after the caps are fixed.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pmrl::budget {
+
+/// What an interior node observes about one child group at a decision
+/// epoch. Demand is the group's aggregated measured power from the
+/// previous epoch (lag-1: caps for epoch e are computed before epoch e
+/// runs), so the first epoch of a run sees all-zero demand.
+struct GroupObs {
+  std::size_t devices = 0;
+  double demand_w = 0.0;
+};
+
+/// Pluggable apportionment strategy (the policy_mgr-style vtable).
+class ApportionPolicy {
+ public:
+  virtual ~ApportionPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Fills weights[g] >= 0 for every group. An all-zero weight vector
+  /// means "split uniformly". Must not mutate internal state (see the
+  /// apportionment-policy rule above).
+  virtual void weigh(const std::vector<GroupObs>& groups,
+                     std::vector<double>& weights) = 0;
+
+  /// Feedback after the caps are fixed: caps_w[g] is the watts the group
+  /// was granted. Learning policies update here; the default is a no-op.
+  virtual void observe(const std::vector<GroupObs>& groups,
+                       const std::vector<double>& caps_w) {
+    (void)groups;
+    (void)caps_w;
+  }
+
+  /// Returns the policy to its initial (seeded) state for a fresh run.
+  virtual void reset() {}
+};
+
+/// Every group weighs the same regardless of demand.
+std::unique_ptr<ApportionPolicy> make_uniform_policy();
+
+/// weight = demanded watts: groups get cap in proportion to what they
+/// drew last epoch.
+std::unique_ptr<ApportionPolicy> make_demand_policy();
+
+/// RL policy at the interior node: one seeded rl:: Q-learning agent over a
+/// binned (relative-demand, per-device-pressure) group state picks a
+/// per-group multiplier on the demand weight each epoch, learning online
+/// from an unmet-demand / wasted-cap reward. Selection for epoch e+1 is
+/// drawn in observe(e), so weigh() stays pure.
+std::unique_ptr<ApportionPolicy> make_rl_policy(std::uint64_t seed);
+
+/// Factory over the registered names: "uniform", "demand", "rl". Throws
+/// std::invalid_argument for anything else.
+std::unique_ptr<ApportionPolicy> make_policy(const std::string& name,
+                                             std::uint64_t seed);
+bool is_policy_name(const std::string& name);
+
+/// Floors-first apportionment of `parent_cap_w` over n children:
+///   cap[i] = floor[i] + share[i] * (parent - sum(floors))
+/// with share[i] = weights[i] / sum(weights) (uniform when the sum is 0)
+/// and the remainder handed out under a running clamp, so in exact
+/// arithmetic sum(cap) <= parent, every cap >= its floor, and caps are
+/// monotone in parent_cap_w (floating-point rounding can shift either by
+/// ulp-scale amounts only). Requires parent_cap_w >= sum(floors).
+void apportion_caps(double parent_cap_w, const double* floors,
+                    const double* weights, std::size_t n, double* caps);
+
+/// Same scheme with one shared floor per child (the per-device leaf split;
+/// avoids materializing a floors array for 10^5 leaves).
+void apportion_caps_uniform_floor(double parent_cap_w, double floor_w,
+                                  const double* weights, std::size_t n,
+                                  double* caps);
+
+}  // namespace pmrl::budget

@@ -1,0 +1,164 @@
+#include "budget/budget_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmrl::budget {
+
+namespace {
+
+/// Audit slack: the running-remainder scheme is conservative in exact
+/// arithmetic; floating-point re-summation can drift by ulp-scale amounts
+/// only.
+double audit_tol(double cap_w) { return 1e-9 * std::max(1.0, cap_w); }
+
+}  // namespace
+
+BudgetTree::BudgetTree(BudgetSpec spec, std::size_t devices)
+    : spec_(std::move(spec)), devices_(devices) {
+  if (devices_ == 0) throw std::invalid_argument("budget tree of 0 devices");
+  if (spec_.global_cap_w <= 0.0) {
+    throw std::invalid_argument("budget global cap must be > 0 W");
+  }
+  if (!(spec_.floor_w >= 0.0)) {
+    throw std::invalid_argument("budget floor must be >= 0 W");
+  }
+  if (spec_.groups == 0) throw std::invalid_argument("budget groups == 0");
+  for (const CapStep& step : spec_.schedule) {
+    if (!(step.cap_w > 0.0) || !(step.time_s >= 0.0)) {
+      throw std::invalid_argument("budget cap steps need time >= 0, cap > 0");
+    }
+  }
+  groups_ = std::min(spec_.groups, devices_);
+  policy_ = make_policy(spec_.policy, spec_.seed);  // throws on bad name
+  reset();
+}
+
+void BudgetTree::reset() {
+  requested_cap_w_ = spec_.global_cap_w;
+  steps_fired_ = 0;
+  audit_error_.clear();
+  policy_->reset();
+  obs_.assign(groups_, GroupObs{});
+  group_floors_.resize(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    obs_[g].devices = group_last(g) - group_first(g);
+    group_floors_[g] =
+        static_cast<double>(obs_[g].devices) * spec_.floor_w;
+  }
+  group_caps_w_.assign(groups_, 0.0);
+}
+
+double BudgetTree::effective_cap_w() const {
+  return std::max(requested_cap_w_,
+                  static_cast<double>(devices_) * spec_.floor_w);
+}
+
+bool BudgetTree::begin_epoch(double time_s) {
+  // Latest step whose time has arrived wins; equal times resolve to the
+  // later schedule entry so the order in the spec is authoritative.
+  double target = spec_.global_cap_w;
+  double best_time = -1.0;
+  for (const CapStep& step : spec_.schedule) {
+    if (step.time_s <= time_s && step.time_s >= best_time) {
+      best_time = step.time_s;
+      target = step.cap_w;
+    }
+  }
+  if (target == requested_cap_w_) return false;
+  requested_cap_w_ = target;
+  ++steps_fired_;
+  return true;
+}
+
+void BudgetTree::apportion_from(double effective_cap_w,
+                                const std::vector<double>& demand_w,
+                                std::vector<double>& caps_w) {
+  // Aggregate the demand column per group, serially in strict device
+  // order: the caps are then a pure function of (spec, demand column),
+  // independent of how the fleet sharded the devices that wrote it.
+  for (std::size_t g = 0; g < groups_; ++g) {
+    double sum = 0.0;
+    const std::size_t last = group_last(g);
+    for (std::size_t d = group_first(g); d < last; ++d) sum += demand_w[d];
+    obs_[g].demand_w = sum;
+  }
+  policy_->weigh(obs_, weights_);
+  // Defensive sanitation: the policy contract is non-negative finite
+  // weights; anything else is treated as "no preference".
+  for (double& w : weights_) {
+    if (!std::isfinite(w) || w < 0.0) w = 0.0;
+  }
+  apportion_caps(effective_cap_w, group_floors_.data(), weights_.data(),
+                 groups_, group_caps_w_.data());
+  caps_w.resize(devices_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    const std::size_t first = group_first(g);
+    apportion_caps_uniform_floor(group_caps_w_[g], spec_.floor_w,
+                                 demand_w.data() + first,
+                                 group_last(g) - first,
+                                 caps_w.data() + first);
+  }
+}
+
+void BudgetTree::apportion(const std::vector<double>& demand_w,
+                           std::vector<double>& caps_w) {
+  apportion_from(effective_cap_w(), demand_w, caps_w);
+  policy_->observe(obs_, group_caps_w_);
+  audit(demand_w, caps_w);
+}
+
+void BudgetTree::preview(const std::vector<double>& demand_w,
+                         double global_cap_w,
+                         std::vector<double>& caps_w) {
+  const double effective = std::max(
+      global_cap_w, static_cast<double>(devices_) * spec_.floor_w);
+  apportion_from(effective, demand_w, caps_w);
+}
+
+void BudgetTree::audit(const std::vector<double>& demand_w,
+                       const std::vector<double>& caps_w) {
+  (void)demand_w;
+  if (!audit_error_.empty()) return;  // keep the first failure
+  std::ostringstream err;
+  const double eff = effective_cap_w();
+  double group_sum = 0.0;
+  for (double c : group_caps_w_) group_sum += c;
+  if (group_sum > eff + audit_tol(eff)) {
+    err << "conservation: sum(group caps) " << group_sum
+        << " W > effective cap " << eff << " W";
+    audit_error_ = err.str();
+    return;
+  }
+  for (std::size_t g = 0; g < groups_; ++g) {
+    const double cap_g = group_caps_w_[g];
+    if (cap_g < group_floors_[g] - audit_tol(eff)) {
+      err << "no-starvation: group " << g << " cap " << cap_g
+          << " W < floor " << group_floors_[g] << " W";
+      audit_error_ = err.str();
+      return;
+    }
+    double leaf_sum = 0.0;
+    const std::size_t first = group_first(g);
+    const std::size_t last = group_last(g);
+    for (std::size_t d = first; d < last; ++d) {
+      leaf_sum += caps_w[d];
+      if (caps_w[d] < spec_.floor_w - audit_tol(eff)) {
+        err << "no-starvation: device " << d << " cap " << caps_w[d]
+            << " W < floor " << spec_.floor_w << " W";
+        audit_error_ = err.str();
+        return;
+      }
+    }
+    if (leaf_sum > cap_g + audit_tol(std::max(eff, cap_g))) {
+      err << "conservation: group " << g << " leaf sum " << leaf_sum
+          << " W > group cap " << cap_g << " W";
+      audit_error_ = err.str();
+      return;
+    }
+  }
+}
+
+}  // namespace pmrl::budget

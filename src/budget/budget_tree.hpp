@@ -1,0 +1,135 @@
+#pragma once
+// The power-budget tree: global cap -> group caps -> per-device caps,
+// re-apportioned every decision epoch from the previous epoch's measured
+// per-device power (the demand column). The tree is the production-shaped
+// layer above the fleet engine: a datacenter- or carrier-level watts
+// budget flows down a two-level hierarchy, an ApportionPolicy decides the
+// group split, and each group splits over its member devices
+// demand-proportionally, with a per-device floor so no live device is
+// ever starved to zero.
+//
+// Determinism: apportion() is a serial pure pass over the flat demand
+// column in strict device order, so the resulting caps are bit-identical
+// for any fleet --jobs count and any --block partition (the blocks only
+// ever fill demand_w, each into its own disjoint slice).
+//
+// Invariants (by construction, audited every epoch, and property-tested):
+//   conservation      sum of child caps <= parent cap at every node
+//   no-starvation     every device cap >= floor_w
+//   cap-monotonicity  lowering the global cap never raises any leaf cap
+// Conservation at the root is against the EFFECTIVE cap
+// max(requested, devices * floor_w): when a schedule step requests less
+// than the floors require, the tree refuses to starve and the effective
+// cap holds at the floor total.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "budget/apportion.hpp"
+
+namespace pmrl::budget {
+
+/// One step of the global-cap schedule: from time_s on, the requested
+/// global cap is cap_w.
+struct CapStep {
+  double time_s = 0.0;
+  double cap_w = 0.0;
+};
+
+/// Budget configuration carried by fleet::FleetConfig.
+struct BudgetSpec {
+  /// Requested global cap in watts at t = 0. 0 disables budgeting.
+  double global_cap_w = 0.0;
+  /// Per-device floor (watts): the no-starvation guarantee.
+  double floor_w = 0.05;
+  /// Interior nodes (device groups) under the root.
+  std::size_t groups = 8;
+  /// Apportionment policy name: "uniform", "demand", or "rl".
+  std::string policy = "demand";
+  /// Seed for the RL apportionment policy.
+  std::uint64_t seed = 1;
+  /// Cap step-changes, applied at epoch starts (first step whose time_s
+  /// <= epoch start wins, latest first). Need not be sorted.
+  std::vector<CapStep> schedule;
+
+  bool enabled() const { return global_cap_w > 0.0; }
+};
+
+class BudgetTree {
+ public:
+  /// Throws std::invalid_argument on a non-positive cap or floor < 0 or
+  /// zero groups/devices, or an unknown policy name.
+  BudgetTree(BudgetSpec spec, std::size_t devices);
+
+  /// Fresh run: re-seeds the policy and clears schedule/audit state.
+  void reset();
+
+  /// Applies the cap schedule for an epoch starting at time_s. Returns
+  /// true when the requested cap changed (a step fired).
+  bool begin_epoch(double time_s);
+
+  /// Apportions the current effective cap top-down: demand_w[d] is device
+  /// d's measured watts from the previous epoch; caps_w (resized to
+  /// devices) receives the per-device caps. Serial and deterministic;
+  /// also feeds the policy's observe() hook and re-audits the tree.
+  void apportion(const std::vector<double>& demand_w,
+                 std::vector<double>& caps_w);
+
+  /// Caps for an arbitrary (cap, demand) pair WITHOUT advancing any state
+  /// (no schedule, no policy learning, no audit) — the monotonicity
+  /// property battery compares preview(lower cap) against preview(cap).
+  void preview(const std::vector<double>& demand_w, double global_cap_w,
+               std::vector<double>& caps_w);
+
+  std::size_t devices() const { return devices_; }
+  std::size_t groups() const { return groups_; }
+  /// Device -> group mapping: the inverse of the [group_first, group_last)
+  /// partition below (exact also when groups does not divide devices).
+  std::size_t group_of(std::size_t device) const {
+    return ((device + 1) * groups_ - 1) / devices_;
+  }
+  std::size_t group_first(std::size_t group) const {
+    return group * devices_ / groups_;
+  }
+  std::size_t group_last(std::size_t group) const {
+    return (group + 1) * devices_ / groups_;
+  }
+
+  const BudgetSpec& spec() const { return spec_; }
+  /// Cap currently requested by the schedule.
+  double requested_cap_w() const { return requested_cap_w_; }
+  /// max(requested, devices * floor_w): what actually gets apportioned.
+  double effective_cap_w() const;
+  /// Group caps from the last apportion()/preview().
+  const std::vector<double>& group_caps_w() const { return group_caps_w_; }
+  const std::vector<GroupObs>& group_obs() const { return obs_; }
+  /// Schedule steps fired since reset().
+  std::size_t steps_fired() const { return steps_fired_; }
+
+  /// First internal-invariant violation seen since reset() (empty = every
+  /// epoch's apportionment passed the conservation/floor audit).
+  const std::string& audit_error() const { return audit_error_; }
+
+ private:
+  void apportion_from(double effective_cap_w,
+                      const std::vector<double>& demand_w,
+                      std::vector<double>& caps_w);
+  void audit(const std::vector<double>& demand_w,
+             const std::vector<double>& caps_w);
+
+  BudgetSpec spec_;
+  std::size_t devices_ = 0;
+  std::size_t groups_ = 0;
+  std::unique_ptr<ApportionPolicy> policy_;
+  double requested_cap_w_ = 0.0;
+  std::size_t steps_fired_ = 0;
+  std::vector<GroupObs> obs_;
+  std::vector<double> weights_;
+  std::vector<double> group_floors_;
+  std::vector<double> group_caps_w_;
+  std::string audit_error_;
+};
+
+}  // namespace pmrl::budget

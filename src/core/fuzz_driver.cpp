@@ -9,6 +9,7 @@
 #include "core/runfarm/runfarm.hpp"
 #include "core/runfarm/thread_pool.hpp"
 #include "fault/fault_injector.hpp"
+#include "fleet/fleet_engine.hpp"
 #include "governors/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
@@ -45,6 +46,38 @@ std::string num(double value) {
   std::ostringstream out;
   out << value;
   return out.str();
+}
+
+// The canonical budgeted fleet the capsched knobs replay: small enough to
+// stay cheap per spec, large enough that the group apportionment and the
+// mask-then-argmax cap enforcement are exercised for real. The knobs are
+// per-device watts; the driver scales them by the fleet size.
+constexpr std::size_t kBudgetFleetDevices = 256;
+constexpr std::size_t kBudgetFleetGroups = 4;
+constexpr double kBudgetFleetDuration_s = 5.0;
+// Settle bound: the governor descends one OPP per epoch, so OPP-table
+// depth plus generous slack — matching the tests/budget battery.
+constexpr long kBudgetMaxSettleEpochs = 30;
+
+fleet::FleetConfig budget_fleet_config(const workload::FuzzSpec& spec) {
+  fleet::FleetConfig config;
+  config.devices = kBudgetFleetDevices;
+  config.seed = spec.seed;
+  config.archetypes = 8;
+  config.duration_s = kBudgetFleetDuration_s;
+  config.block_size = 64;
+  config.jobs = 1;
+  const double n = static_cast<double>(kBudgetFleetDevices);
+  config.budget.global_cap_w = spec.stress.budget_cap_w * n;
+  config.budget.policy = "demand";
+  config.budget.groups = kBudgetFleetGroups;
+  config.budget.seed = spec.seed;
+  if (spec.stress.budget_step_cap_w > 0.0) {
+    config.budget.schedule = {
+        {spec.stress.budget_step_frac * kBudgetFleetDuration_s,
+         spec.stress.budget_step_cap_w * n}};
+  }
+  return config;
 }
 
 }  // namespace
@@ -219,6 +252,34 @@ FuzzOutcome FuzzDriver::run_spec(const workload::FuzzSpec& spec) const {
       break;
     }
   }
+
+  // budget-audit / budget-settle: a capsched spec additionally replays its
+  // cap step-change schedule through the canonical budgeted fleet. The
+  // tree's own audit must stay clean and the fleet must get back under the
+  // (possibly stepped) cap within the bounded epoch count.
+  if (spec.stress.budget_cap_w > 0.0) {
+    try {
+      const fleet::FleetResult fr =
+          fleet::FleetEngine(budget_fleet_config(spec)).run();
+      outcome.budget_settle_epochs = fr.budget.settle_epochs;
+      if (!fr.budget.audit_error.empty()) {
+        add_violation(outcome.violations, "budget-audit",
+                      fr.budget.audit_error);
+      }
+      if (fr.budget.settle_epochs < 0 ||
+          fr.budget.settle_epochs > kBudgetMaxSettleEpochs) {
+        add_violation(
+            outcome.violations, "budget-settle",
+            "settle_epochs=" + std::to_string(fr.budget.settle_epochs) +
+                " (bound " + std::to_string(kBudgetMaxSettleEpochs) +
+                ") cap=" + num(fr.budget.effective_cap_w) + " W after " +
+                std::to_string(fr.budget.cap_steps) + " step(s)");
+      }
+    } catch (const std::exception& e) {
+      add_violation(outcome.violations, "unhandled-exception",
+                    std::string("budget fleet: ") + e.what());
+    }
+  }
   return outcome;
 }
 
@@ -349,6 +410,19 @@ FuzzDriver::ShrinkResult FuzzDriver::shrink(
     if (current.stress.thermal_event_rate > 0.0) {
       try_stress([](workload::FuzzStress& stress) {
         stress.thermal_event_rate = 0.0;
+      });
+    }
+    if (current.stress.budget_cap_w > 0.0) {
+      // Try dropping the step first (keeps the budget arm but removes the
+      // transient), then the whole arm.
+      if (current.stress.budget_step_cap_w > 0.0) {
+        try_stress([](workload::FuzzStress& stress) {
+          stress.budget_step_cap_w = 0.0;
+        });
+      }
+      try_stress([](workload::FuzzStress& stress) {
+        stress.budget_cap_w = 0.0;
+        stress.budget_step_cap_w = 0.0;
       });
     }
 

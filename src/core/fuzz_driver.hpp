@@ -16,6 +16,10 @@
 //   qos-floor             violation_rate <= max_violation_rate (tunable)
 //   energy-budget         energy_j <= max_energy_j (tunable)
 //   thermal-bound         peak temp <= max_peak_temp_c (tunable)
+//   budget-audit          the budget tree's internal conservation/floor
+//                         audit stayed clean (capsched specs only)
+//   budget-settle         the budgeted fleet got under the stepped cap
+//                         within a bounded epoch count (capsched specs)
 //   unhandled-exception   the run threw
 //
 // The tunable bounds default to always-true values; tests plant violations
@@ -56,6 +60,9 @@ struct FuzzOutcome {
   std::size_t watchdog_engagements = 0;
   std::size_t watchdog_fallback_epochs = 0;
   std::size_t watchdog_total_epochs = 0;
+  /// Settle epochs of the capsched budget check (-1 when the spec has no
+  /// budget arm, or when the fleet never got back under the cap).
+  long budget_settle_epochs = -1;
   std::vector<FuzzViolation> violations;
 
   bool ok() const { return violations.empty(); }

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "budget/budget_tree.hpp"
+
 namespace pmrl::fleet {
 
 /// Device cluster-slot ceiling. Single-cluster devices carry an inert
@@ -298,6 +300,9 @@ struct FleetConfig {
   bool record_devices = false;
   /// Capture the per-epoch fleet aggregate series (CLI --trace).
   bool record_epochs = false;
+  /// Hierarchical power budget (budget.enabled() turns on the budgeted,
+  /// epoch-major execution path; see src/budget and DESIGN.md §12).
+  budget::BudgetSpec budget;
 };
 
 /// Derived timing: tick count per epoch and epoch count, resolved the same

@@ -5,10 +5,12 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/runfarm/runfarm.hpp"
 #include "core/runfarm/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace pmrl::fleet {
 
@@ -49,6 +51,12 @@ FleetEngine::FleetEngine(FleetConfig config, FleetPolicy policy)
   archetypes_ = make_archetypes(config_.archetypes, config_.seed);
   specs_ = make_device_specs(archetypes_, config_.devices, config_.seed);
   jobs_ = core::runfarm::resolve_jobs(config_.jobs);
+  if (config_.budget.enabled()) {
+    tree_ = std::make_unique<budget::BudgetTree>(config_.budget,
+                                                 config_.devices);
+    demand_w_.resize(config_.devices);
+    caps_w_.resize(config_.devices);
+  }
 
   const std::size_t slots = config_.devices * kMaxClusters;
   util_.resize(slots);
@@ -106,77 +114,98 @@ void FleetEngine::reset_state() {
   }
 }
 
-FleetEngine::BlockResult FleetEngine::run_block(
-    std::size_t first, std::size_t last,
-    std::vector<DeviceOutcome>* outcomes) {
+FleetEngine::BlockScratch FleetEngine::make_scratch(std::size_t first,
+                                                    std::size_t last,
+                                                    bool budgeted) const {
+  BlockScratch s;
+  s.first = first;
+  s.last = last;
   const std::size_t n = last - first;
   const std::size_t slots = n * kMaxClusters;
+  s.busy.resize(slots);
+  s.t_target.resize(slots);
+  s.p_total.resize(n);
+  s.served_rate.resize(n);
+  s.demand_rate.resize(n);
+  s.states.resize(slots);
+  s.actions.resize(slots);
+  if (budgeted) {
+    s.cl_dem.resize(slots);
+    s.cl_tf.resize(slots);
+    s.cl_power.resize(slots);
+    s.cl_served.resize(slots);
+  }
+  return s;
+}
 
-  // Block-local scratch (the task owns all of its mutable state).
-  std::vector<double> busy(slots);
-  std::vector<double> t_target(slots);
-  std::vector<double> p_total(n);
-  std::vector<double> served_rate(n);
-  std::vector<double> demand_rate(n);
-  std::vector<std::uint64_t> states(slots);
-  std::vector<std::uint32_t> actions(slots);
+FleetEngine::EpochStats FleetEngine::epoch_pass(BlockScratch& s, std::size_t e,
+                                                const double* caps_w) {
+  const std::size_t first = s.first;
+  const std::size_t last = s.last;
+  const std::size_t slots = (last - first) * kMaxClusters;
+  EpochStats st;
 
-  BlockResult r;
-  r.eps_hist = std::make_unique<obs::Histogram>(energy_per_served_bounds());
-  if (config_.record_epochs) r.epoch_series.resize(timing_.epochs);
-
-  for (std::size_t e = 0; e < timing_.epochs; ++e) {
-    // Epoch start: hash demand, hold the leakage temp factor, derive every
-    // epoch-constant quantity once. The AoS baseline re-derives these on
-    // every tick; the values are identical because every input is
-    // epoch-constant.
-    for (std::size_t d = first; d < last; ++d) {
-      const std::size_t li = d - first;
-      const Archetype& ar = archetypes_[arch_[d]];
-      const std::uint64_t dev_seed = seed_[d];
-      const double ambient = ambient_c_[d];
-      double pt = ar.uncore_static_w;
-      double srs = 0.0;
-      double drs = 0.0;
-      for (std::size_t c = 0; c < kMaxClusters; ++c) {
-        const std::size_t i = d * kMaxClusters + c;
-        const std::size_t s = li * kMaxClusters + c;
-        const ArchetypeCluster& ac = ar.clusters[c];
-        const DeviceClusterSpec& cs = cluster_spec_[i];
-        const std::uint32_t pos = demand_pos_[i];
-        const double dem = epoch_demand_at(cs, dev_seed, e, c, pos);
-        const std::uint32_t next = pos + 1;
-        demand_pos_[i] = next == cs.demand_period_epochs ? 0u : next;
-        const double tf = leak_temp_factor(ac.leak_temp_coeff, temp_c_[i],
-                                           ac.leak_ref_temp_c);
-        const ClusterEpochDerived der =
-            derive_cluster_epoch(ac, opp_[i], dem, tf, ambient, r_th_[i]);
-        busy[s] = der.busy;
-        t_target[s] = der.t_target_c;
-        pt += der.power_w;
-        srs += der.served_rate;
-        drs += dem;
+  // Epoch start: hash demand, hold the leakage temp factor, derive every
+  // epoch-constant quantity once. The AoS baseline re-derives these on
+  // every tick; the values are identical because every input is
+  // epoch-constant.
+  for (std::size_t d = first; d < last; ++d) {
+    const std::size_t li = d - first;
+    const Archetype& ar = archetypes_[arch_[d]];
+    const std::uint64_t dev_seed = seed_[d];
+    const double ambient = ambient_c_[d];
+    double pt = ar.uncore_static_w;
+    double srs = 0.0;
+    double drs = 0.0;
+    for (std::size_t c = 0; c < kMaxClusters; ++c) {
+      const std::size_t i = d * kMaxClusters + c;
+      const std::size_t si = li * kMaxClusters + c;
+      const ArchetypeCluster& ac = ar.clusters[c];
+      const DeviceClusterSpec& cs = cluster_spec_[i];
+      const std::uint32_t pos = demand_pos_[i];
+      const double dem = epoch_demand_at(cs, dev_seed, e, c, pos);
+      const std::uint32_t next = pos + 1;
+      demand_pos_[i] = next == cs.demand_period_epochs ? 0u : next;
+      const double tf = leak_temp_factor(ac.leak_temp_coeff, temp_c_[i],
+                                         ac.leak_ref_temp_c);
+      const ClusterEpochDerived der =
+          derive_cluster_epoch(ac, opp_[i], dem, tf, ambient, r_th_[i]);
+      s.busy[si] = der.busy;
+      s.t_target[si] = der.t_target_c;
+      pt += der.power_w;
+      srs += der.served_rate;
+      drs += dem;
+      if (caps_w) {
+        // Held per-slot inputs for the masked decision's step-up power
+        // projection at the end of the epoch.
+        s.cl_dem[si] = dem;
+        s.cl_tf[si] = tf;
+        s.cl_power[si] = der.power_w;
+        s.cl_served[si] = der.served_rate;
       }
-      p_total[li] = pt + ar.uncore_dyn_w * srs;
-      served_rate[li] = srs;
-      demand_rate[li] = drs;
     }
+    s.p_total[li] = pt + ar.uncore_dyn_w * srs;
+    s.served_rate[li] = srs;
+    s.demand_rate[li] = drs;
+    // Measured device power is next epoch's apportionment demand.
+    if (caps_w) demand_w_[d] = s.p_total[li];
+  }
 
-    // Tick sweep: only the integrators run per tick — two FMA pairs per
-    // cluster slot plus the energy/battery update. Device-major with the
-    // epoch's ticks innermost, so each device's eight state words live in
-    // registers for the whole epoch instead of round-tripping to memory
-    // every tick. The per-device operation sequence is exactly the AoS
-    // engine's, so the bits are unchanged.
-    // Interleaving kTickChunk devices keeps ~6*kTickChunk independent FMA
-    // dependency chains in flight, hiding the multiply-add latency that a
-    // one-device-at-a-time loop serializes on. Per-device operation order
-    // is untouched, so interleaving cannot change any bit.
-    constexpr std::size_t kTickChunk = 4;
-    const double util_decay = timing_.util_decay;
-    const double dt = timing_.tick_s;
-    const std::size_t ticks = timing_.ticks_per_epoch;
-    {
+  // Tick sweep: only the integrators run per tick — two FMA pairs per
+  // cluster slot plus the energy/battery update. Device-major with the
+  // epoch's ticks innermost, so each device's eight state words live in
+  // registers for the whole epoch instead of round-tripping to memory
+  // every tick. The per-device operation sequence is exactly the AoS
+  // engine's, so the bits are unchanged.
+  // Interleaving kTickChunk devices keeps ~6*kTickChunk independent FMA
+  // dependency chains in flight, hiding the multiply-add latency that a
+  // one-device-at-a-time loop serializes on. Per-device operation order
+  // is untouched, so interleaving cannot change any bit.
+  constexpr std::size_t kTickChunk = 4;
+  const double util_decay = timing_.util_decay;
+  const double dt = timing_.tick_s;
+  const std::size_t ticks = timing_.ticks_per_epoch;
+  {
     std::size_t d = first;
     for (; d + kTickChunk <= last; d += kTickChunk) {
       const std::size_t li = d - first;
@@ -192,11 +221,11 @@ FleetEngine::BlockResult FleetEngine::run_block(
         u[k] = util_[d * kMaxClusters + k];
         tc[k] = temp_c_[d * kMaxClusters + k];
         dec[k] = temp_decay_[d * kMaxClusters + k];
-        bz[k] = busy[li * kMaxClusters + k];
-        tt[k] = t_target[li * kMaxClusters + k];
+        bz[k] = s.busy[li * kMaxClusters + k];
+        tt[k] = s.t_target[li * kMaxClusters + k];
       }
       for (std::size_t k = 0; k < kTickChunk; ++k) {
-        pw[k] = p_total[li + k];
+        pw[k] = s.p_total[li + k];
         en[k] = energy_j_[d + k];
         bat[k] = battery_j_[d + k];
       }
@@ -224,9 +253,9 @@ FleetEngine::BlockResult FleetEngine::run_block(
       double u0 = util_[i0], u1 = util_[i0 + 1];
       double tc0 = temp_c_[i0], tc1 = temp_c_[i0 + 1];
       const double dec0 = temp_decay_[i0], dec1 = temp_decay_[i0 + 1];
-      const double b0 = busy[s0], b1 = busy[s0 + 1];
-      const double tt0 = t_target[s0], tt1 = t_target[s0 + 1];
-      const double power = p_total[li];
+      const double b0 = s.busy[s0], b1 = s.busy[s0 + 1];
+      const double tt0 = s.t_target[s0], tt1 = s.t_target[s0 + 1];
+      const double power = s.p_total[li];
       double energy = energy_j_[d];
       double battery = battery_j_[d];
       for (std::size_t t = 0; t < ticks; ++t) {
@@ -241,62 +270,112 @@ FleetEngine::BlockResult FleetEngine::run_block(
       energy_j_[d] = energy;
       battery_j_[d] = battery;
     }
-    }
+  }
 
-    // QoS accounting (identical closed forms to DeviceEngine::step_epoch).
-    FleetEpochPoint* ep =
-        config_.record_epochs ? &r.epoch_series[e] : nullptr;
-    for (std::size_t d = first; d < last; ++d) {
-      const std::size_t li = d - first;
-      const double epoch_served = served_rate[li] * timing_.epoch_s;
-      const double epoch_demand_cap = demand_rate[li] * timing_.epoch_s;
-      served_[d] += epoch_served;
-      demand_[d] += epoch_demand_cap;
-      const bool violated = epoch_served < epoch_demand_cap * kQosSlack;
-      if (violated) ++violations_[d];
-      if (ep) {
-        ep->energy_j += p_total[li];
-        ep->served += epoch_served;
-        ep->demand += epoch_demand_cap;
-        if (violated) ++ep->violations;
+  // QoS accounting (identical closed forms to DeviceEngine::step_epoch).
+  for (std::size_t d = first; d < last; ++d) {
+    const std::size_t li = d - first;
+    const double epoch_served = s.served_rate[li] * timing_.epoch_s;
+    const double epoch_demand_cap = s.demand_rate[li] * timing_.epoch_s;
+    served_[d] += epoch_served;
+    demand_[d] += epoch_demand_cap;
+    const bool violated = epoch_served < epoch_demand_cap * kQosSlack;
+    if (violated) ++violations_[d];
+    st.power_w += s.p_total[li];
+    st.served += epoch_served;
+    st.demand += epoch_demand_cap;
+    if (violated) ++st.violations;
+    if (caps_w && s.p_total[li] > caps_w[d]) {
+      // Over cap but already pinned at the bottom OPP everywhere: the
+      // governor has nothing left to shed, so don't count it as pressure.
+      bool pinned = true;
+      const std::size_t active = archetypes_[arch_[d]].cluster_count;
+      for (std::size_t c = 0; c < active; ++c) {
+        if (opp_[d * kMaxClusters + c] != 0) {
+          pinned = false;
+          break;
+        }
       }
-    }
-    if (ep) {
-      ep->time_s = static_cast<double>(e + 1) * timing_.epoch_s;
-      ep->energy_j *= timing_.epoch_s;  // watts accumulated -> joules
-    }
-
-    // Decision: bin every cluster slot's observation, pick the whole
-    // block's actions with one batched argmax, then gate by the throttle.
-    for (std::size_t d = first; d < last; ++d) {
-      const std::size_t li = d - first;
-      const Archetype& ar = archetypes_[arch_[d]];
-      for (std::size_t c = 0; c < kMaxClusters; ++c) {
-        const std::size_t i = d * kMaxClusters + c;
-        const ArchetypeCluster& ac = ar.clusters[c];
-        states[li * kMaxClusters + c] =
-            cluster_state(util_[i], temp_c_[i], ac.opp_freq_bin[opp_[i]]);
-        // The throttle latch depends only on the post-tick temperature, not
-        // on the chosen action, so it folds into this same sweep instead of
-        // paying a second pass over temp_c_.
-        throttled_[i] = update_throttle(throttled_[i] != 0, temp_c_[i],
-                                        ac.trip_temp_c, ac.clear_temp_c)
-                            ? 1
-                            : 0;
-      }
-    }
-    policy_.greedy_batch(states.data(), slots, actions.data());
-    for (std::size_t d = first; d < last; ++d) {
-      const std::size_t li = d - first;
-      const Archetype& ar = archetypes_[arch_[d]];
-      for (std::size_t c = 0; c < kMaxClusters; ++c) {
-        const std::size_t i = d * kMaxClusters + c;
-        opp_[i] = apply_action(opp_[i], actions[li * kMaxClusters + c],
-                               ar.clusters[c], throttled_[i] != 0);
-      }
+      if (!pinned) ++st.over_cap;
     }
   }
 
+  // Decision: bin every cluster slot's observation, pick the whole
+  // block's actions with one batched argmax, then gate by the throttle.
+  for (std::size_t d = first; d < last; ++d) {
+    const std::size_t li = d - first;
+    const Archetype& ar = archetypes_[arch_[d]];
+    for (std::size_t c = 0; c < kMaxClusters; ++c) {
+      const std::size_t i = d * kMaxClusters + c;
+      const ArchetypeCluster& ac = ar.clusters[c];
+      s.states[li * kMaxClusters + c] =
+          cluster_state(util_[i], temp_c_[i], ac.opp_freq_bin[opp_[i]]);
+      // The throttle latch depends only on the post-tick temperature, not
+      // on the chosen action, so it folds into this same sweep instead of
+      // paying a second pass over temp_c_.
+      throttled_[i] = update_throttle(throttled_[i] != 0, temp_c_[i],
+                                      ac.trip_temp_c, ac.clear_temp_c)
+                          ? 1
+                          : 0;
+    }
+  }
+  policy_.greedy_batch(s.states.data(), slots, s.actions.data());
+  if (caps_w) {
+    // Mask-then-argmax cap enforcement: the free batched argmax above is
+    // untouched; only devices whose cap vetoes the choice re-resolve.
+    for (std::size_t d = first; d < last; ++d) {
+      const std::size_t li = d - first;
+      const double cap = caps_w[d];
+      if (s.p_total[li] > cap) {
+        // Already above the cap: shed unconditionally.
+        for (std::size_t c = 0; c < kMaxClusters; ++c) {
+          s.actions[li * kMaxClusters + c] = kActionDown;
+        }
+        continue;
+      }
+      const Archetype& ar = archetypes_[arch_[d]];
+      double proj = s.p_total[li];
+      for (std::size_t c = 0; c < kMaxClusters; ++c) {
+        const std::size_t si = li * kMaxClusters + c;
+        if (s.actions[si] != kActionUp) continue;
+        const std::size_t i = d * kMaxClusters + c;
+        const ArchetypeCluster& ac = ar.clusters[c];
+        if (opp_[i] + 1 >= ac.opp_count) continue;
+        // Project this epoch's demand at the stepped-up OPP; the DVFS
+        // actions are power-ordered, so a vetoed Up re-argmaxes over the
+        // admissible {down, hold} prefix.
+        const ClusterEpochDerived up = derive_cluster_epoch(
+            ac, opp_[i] + 1, s.cl_dem[si], s.cl_tf[si], ambient_c_[d],
+            r_th_[i]);
+        const double delta =
+            (up.power_w + ar.uncore_dyn_w * up.served_rate) -
+            (s.cl_power[si] + ar.uncore_dyn_w * s.cl_served[si]);
+        if (proj + delta > cap) {
+          s.actions[si] = policy_.greedy_allowed(
+              static_cast<std::uint32_t>(s.states[si]), 2);
+        } else {
+          proj += delta;
+        }
+      }
+    }
+  }
+  for (std::size_t d = first; d < last; ++d) {
+    const std::size_t li = d - first;
+    const Archetype& ar = archetypes_[arch_[d]];
+    for (std::size_t c = 0; c < kMaxClusters; ++c) {
+      const std::size_t i = d * kMaxClusters + c;
+      opp_[i] = apply_action(opp_[i], s.actions[li * kMaxClusters + c],
+                             ar.clusters[c], throttled_[i] != 0);
+    }
+  }
+  return st;
+}
+
+FleetEngine::BlockResult FleetEngine::finalize_block(
+    std::size_t first, std::size_t last,
+    std::vector<DeviceOutcome>* outcomes) const {
+  BlockResult r;
+  r.eps_hist = std::make_unique<obs::Histogram>(energy_per_served_bounds());
   // Block totals, accumulated in device order.
   for (std::size_t d = first; d < last; ++d) {
     r.energy_j += energy_j_[d];
@@ -325,7 +404,54 @@ FleetEngine::BlockResult FleetEngine::run_block(
   return r;
 }
 
+void FleetEngine::reduce_blocks(const std::vector<BlockResult>& blocks,
+                                FleetResult& result) const {
+  obs::Histogram eps_hist(energy_per_served_bounds());
+  double eps_sum = 0.0;
+  for (const BlockResult& b : blocks) {
+    result.energy_j += b.energy_j;
+    result.served += b.served;
+    result.demand += b.demand;
+    result.violation_epochs += b.violations;
+    result.battery_depleted += b.battery_depleted;
+    eps_sum += b.energy_per_served_sum;
+    eps_hist.merge(*b.eps_hist);
+    for (std::size_t e = 0; e < b.epoch_series.size(); ++e) {
+      FleetEpochPoint& p = result.epoch_series[e];
+      p.time_s = b.epoch_series[e].time_s;
+      p.energy_j += b.epoch_series[e].energy_j;
+      p.served += b.epoch_series[e].served;
+      p.demand += b.epoch_series[e].demand;
+      p.violations += b.epoch_series[e].violations;
+    }
+  }
+  const double device_epochs = static_cast<double>(config_.devices) *
+                               static_cast<double>(timing_.epochs);
+  result.violation_rate =
+      static_cast<double>(result.violation_epochs) / device_epochs;
+  result.energy_per_served_mean =
+      eps_sum / static_cast<double>(config_.devices);
+  result.energy_per_served_p50 = eps_hist.percentile(0.50);
+  result.energy_per_served_p95 = eps_hist.percentile(0.95);
+  result.energy_per_served_p99 = eps_hist.percentile(0.99);
+
+  if (metrics_) {
+    metrics_->counter("fleet.devices").inc(config_.devices);
+    metrics_->counter("fleet.device_ticks").inc(result.device_ticks);
+    metrics_->counter("fleet.violation_epochs").inc(result.violation_epochs);
+    metrics_->counter("fleet.battery_depleted").inc(result.battery_depleted);
+    metrics_->gauge("fleet.energy_j").set(result.energy_j);
+    metrics_->gauge("fleet.violation_rate").set(result.violation_rate);
+    metrics_->histogram("fleet.energy_per_served", energy_per_served_bounds())
+        .merge(eps_hist);
+  }
+}
+
 FleetResult FleetEngine::run() {
+  return config_.budget.enabled() ? run_budgeted() : run_unbudgeted();
+}
+
+FleetResult FleetEngine::run_unbudgeted() {
   reset_state();
 
   FleetResult result;
@@ -346,53 +472,171 @@ FleetResult FleetEngine::run() {
        first += config_.block_size) {
     const std::size_t last =
         std::min(config_.devices, first + config_.block_size);
-    tasks.push_back(
-        [this, first, last, outcomes] { return run_block(first, last, outcomes); });
+    tasks.push_back([this, first, last, outcomes] {
+      BlockScratch s = make_scratch(first, last, false);
+      std::vector<FleetEpochPoint> series;
+      if (config_.record_epochs) series.resize(timing_.epochs);
+      for (std::size_t e = 0; e < timing_.epochs; ++e) {
+        const EpochStats st = epoch_pass(s, e, nullptr);
+        if (config_.record_epochs) {
+          FleetEpochPoint& ep = series[e];
+          ep.time_s = static_cast<double>(e + 1) * timing_.epoch_s;
+          ep.energy_j = st.power_w * timing_.epoch_s;
+          ep.served = st.served;
+          ep.demand = st.demand;
+          ep.violations = st.violations;
+        }
+      }
+      BlockResult r = finalize_block(first, last, outcomes);
+      r.epoch_series = std::move(series);
+      return r;
+    });
   }
   std::unique_ptr<core::runfarm::ThreadPool> pool;
   if (jobs_ > 1) pool = std::make_unique<core::runfarm::ThreadPool>(jobs_);
   std::vector<BlockResult> blocks = core::runfarm::run_ordered<BlockResult>(
       pool ? pool.get() : nullptr, tasks);
 
-  obs::Histogram eps_hist(energy_per_served_bounds());
-  double eps_sum = 0.0;
   if (config_.record_epochs) result.epoch_series.resize(timing_.epochs);
-  for (const BlockResult& b : blocks) {
-    result.energy_j += b.energy_j;
-    result.served += b.served;
-    result.demand += b.demand;
-    result.violation_epochs += b.violations;
-    result.battery_depleted += b.battery_depleted;
-    eps_sum += b.energy_per_served_sum;
-    eps_hist.merge(*b.eps_hist);
-    for (std::size_t e = 0; e < b.epoch_series.size(); ++e) {
-      FleetEpochPoint& p = result.epoch_series[e];
-      p.time_s = b.epoch_series[e].time_s;
-      p.energy_j += b.epoch_series[e].energy_j;
-      p.served += b.epoch_series[e].served;
-      p.demand += b.epoch_series[e].demand;
-      p.violations += b.epoch_series[e].violations;
+  reduce_blocks(blocks, result);
+  return result;
+}
+
+FleetResult FleetEngine::run_budgeted() {
+  reset_state();
+  tree_->reset();
+  // Epoch 0 apportions from an all-zero demand column (no measurement
+  // exists yet), which every policy resolves to a uniform split.
+  std::fill(demand_w_.begin(), demand_w_.end(), 0.0);
+  std::fill(caps_w_.begin(), caps_w_.end(), 0.0);
+
+  FleetResult result;
+  result.devices = config_.devices;
+  result.epochs = timing_.epochs;
+  result.ticks_per_epoch = timing_.ticks_per_epoch;
+  result.device_ticks = static_cast<std::uint64_t>(config_.devices) *
+                        timing_.epochs * timing_.ticks_per_epoch;
+  if (config_.record_devices) result.device_outcomes.resize(config_.devices);
+  std::vector<DeviceOutcome>* outcomes =
+      config_.record_devices ? &result.device_outcomes : nullptr;
+  if (config_.record_epochs) result.epoch_series.resize(timing_.epochs);
+
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::vector<BlockScratch> scratch;
+  for (std::size_t first = 0; first < config_.devices;
+       first += config_.block_size) {
+    const std::size_t last =
+        std::min(config_.devices, first + config_.block_size);
+    ranges.emplace_back(first, last);
+    scratch.push_back(make_scratch(first, last, true));
+  }
+  std::unique_ptr<core::runfarm::ThreadPool> pool;
+  if (jobs_ > 1) pool = std::make_unique<core::runfarm::ThreadPool>(jobs_);
+
+  // Epoch-major loop: a serial apportionment pass between parallel epoch
+  // rounds. Caps are a pure function of the strictly device-ordered demand
+  // column, so they are bit-identical at any --jobs and any --block.
+  std::size_t last_step_epoch = 0;
+  std::vector<EpochStats> totals(timing_.epochs);
+  std::vector<double> eff_caps(timing_.epochs);
+  std::uint64_t over_cap_total = 0;
+  // One task per block, built once: each closure reads the shared epoch
+  // counter, which only the serial loop below mutates (between rounds).
+  std::size_t current_epoch = 0;
+  std::vector<std::function<EpochStats()>> tasks;
+  tasks.reserve(scratch.size());
+  for (std::size_t b = 0; b < scratch.size(); ++b) {
+    BlockScratch* s = &scratch[b];
+    tasks.push_back(
+        [this, s, &current_epoch] {
+          return epoch_pass(*s, current_epoch, caps_w_.data());
+        });
+  }
+  for (std::size_t e = 0; e < timing_.epochs; ++e) {
+    const double t = static_cast<double>(e) * timing_.epoch_s;
+    if (tree_->begin_epoch(t)) last_step_epoch = e;
+    tree_->apportion(demand_w_, caps_w_);
+    eff_caps[e] = tree_->effective_cap_w();
+
+    current_epoch = e;
+    const std::vector<EpochStats> parts =
+        core::runfarm::run_ordered<EpochStats>(pool ? pool.get() : nullptr,
+                                               tasks);
+    EpochStats tot;
+    for (const EpochStats& p : parts) {
+      tot.power_w += p.power_w;
+      tot.served += p.served;
+      tot.demand += p.demand;
+      tot.violations += p.violations;
+      tot.over_cap += p.over_cap;
+    }
+    totals[e] = tot;
+    over_cap_total += tot.over_cap;
+    if (config_.record_epochs) {
+      FleetEpochPoint& ep = result.epoch_series[e];
+      ep.time_s = static_cast<double>(e + 1) * timing_.epoch_s;
+      ep.energy_j = tot.power_w * timing_.epoch_s;
+      ep.served = tot.served;
+      ep.demand = tot.demand;
+      ep.violations = tot.violations;
+      ep.cap_w = eff_caps[e];
+      ep.over_cap = tot.over_cap;
     }
   }
-  const double device_epochs =
-      static_cast<double>(config_.devices) * static_cast<double>(timing_.epochs);
-  result.violation_rate =
-      static_cast<double>(result.violation_epochs) / device_epochs;
-  result.energy_per_served_mean =
-      eps_sum / static_cast<double>(config_.devices);
-  result.energy_per_served_p50 = eps_hist.percentile(0.50);
-  result.energy_per_served_p95 = eps_hist.percentile(0.95);
-  result.energy_per_served_p99 = eps_hist.percentile(0.99);
+
+  // Settle: epochs from the last cap step until fleet epoch power first
+  // held within the effective cap (with an ulp-scale audit tolerance).
+  long settle = -1;
+  for (std::size_t e = last_step_epoch; e < timing_.epochs; ++e) {
+    const double tol = 1e-9 * std::max(1.0, eff_caps[e]);
+    if (totals[e].power_w <= eff_caps[e] + tol) {
+      settle = static_cast<long>(e - last_step_epoch);
+      break;
+    }
+  }
+
+  std::vector<std::function<BlockResult()>> ftasks;
+  ftasks.reserve(ranges.size());
+  for (const auto& [first, last] : ranges) {
+    ftasks.push_back([this, first = first, last = last, outcomes] {
+      return finalize_block(first, last, outcomes);
+    });
+  }
+  const std::vector<BlockResult> blocks =
+      core::runfarm::run_ordered<BlockResult>(pool ? pool.get() : nullptr,
+                                              ftasks);
+  reduce_blocks(blocks, result);
+
+  result.budget.enabled = true;
+  result.budget.requested_cap_w = tree_->requested_cap_w();
+  result.budget.effective_cap_w = tree_->effective_cap_w();
+  result.budget.cap_steps = tree_->steps_fired();
+  result.budget.last_step_epoch = last_step_epoch;
+  result.budget.settle_epochs = settle;
+  result.budget.over_cap_device_epochs = over_cap_total;
+  result.budget.audit_error = tree_->audit_error();
+  if (config_.record_devices) result.device_caps_w = caps_w_;
 
   if (metrics_) {
-    metrics_->counter("fleet.devices").inc(config_.devices);
-    metrics_->counter("fleet.device_ticks").inc(result.device_ticks);
-    metrics_->counter("fleet.violation_epochs").inc(result.violation_epochs);
-    metrics_->counter("fleet.battery_depleted").inc(result.battery_depleted);
-    metrics_->gauge("fleet.energy_j").set(result.energy_j);
-    metrics_->gauge("fleet.violation_rate").set(result.violation_rate);
-    metrics_->histogram("fleet.energy_per_served", energy_per_served_bounds())
-        .merge(eps_hist);
+    metrics_->counter("budget.over_cap_device_epochs").inc(over_cap_total);
+    metrics_->counter("budget.cap_steps").inc(tree_->steps_fired());
+    metrics_->gauge("budget.effective_cap_w").set(tree_->effective_cap_w());
+    metrics_->gauge("budget.settle_epochs").set(static_cast<double>(settle));
+  }
+  if (trace_) {
+    // Emitted serially after the run (determinism rule: a farmed run's
+    // trace is byte-identical to the serial run's).
+    for (std::size_t e = 0; e < timing_.epochs; ++e) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::Budget;
+      ev.epoch = e;
+      ev.time_s = static_cast<double>(e + 1) * timing_.epoch_s;
+      ev.power_w = totals[e].power_w;
+      ev.energy_j = totals[e].power_w * timing_.epoch_s;
+      ev.value = eff_caps[e];
+      ev.violations = totals[e].over_cap;
+      trace_->record(ev);
+    }
   }
   return result;
 }

@@ -26,17 +26,33 @@
 //  * Aggregates (fleet energy, QoS, per-device energy-per-QoS histogram for
 //    percentiles) are accumulated per block and merged in fixed block
 //    order, so serial and parallel runs produce bit-identical totals.
+//
+// Budgeted execution (config.budget.enabled(); DESIGN.md §12): the run
+// switches from block-major (each task sweeps all epochs) to epoch-major —
+// every epoch, a serial budget::BudgetTree pass apportions the global cap
+// into per-device caps from the previous epoch's measured per-device power
+// (the demand column each block wrote into its disjoint slice), then the
+// blocks advance one epoch in parallel. Cap enforcement is mask-then-
+// argmax: the free batched argmax runs unchanged, and only devices whose
+// cap vetoes the choice (over cap, or a step-up that would overshoot it)
+// re-argmax over the admissible power-ordered action prefix, so the SoA
+// tick throughput survives. Caps are bit-identical at any --jobs and any
+// --block because the apportionment is a serial pure function of the
+// demand column.
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "budget/budget_tree.hpp"
 #include "fleet/device_engine.hpp"
 #include "fleet/device_model.hpp"
 #include "fleet/policy.hpp"
 
 namespace pmrl::obs {
 class MetricsRegistry;
+class TraceSink;
 }
 
 namespace pmrl::fleet {
@@ -48,6 +64,27 @@ struct FleetEpochPoint {
   double served = 0.0;    ///< capacity-seconds delivered this epoch
   double demand = 0.0;    ///< capacity-seconds demanded this epoch
   std::uint64_t violations = 0;  ///< devices violating QoS this epoch
+  /// Effective global cap in force this epoch (0 when unbudgeted).
+  double cap_w = 0.0;
+  /// Devices drawing above their cap and not pinned at the bottom OPP.
+  std::uint64_t over_cap = 0;
+};
+
+/// End-of-run budget aggregates (FleetResult::budget; all zero/-1 when
+/// config.budget is disabled).
+struct FleetBudgetSummary {
+  bool enabled = false;
+  double requested_cap_w = 0.0;  ///< schedule cap at end of run
+  double effective_cap_w = 0.0;  ///< max(requested, devices * floor)
+  std::size_t cap_steps = 0;     ///< schedule steps that fired
+  std::size_t last_step_epoch = 0;
+  /// Epochs from the last cap step until fleet epoch power first held
+  /// within the effective cap; -1 if it never settled.
+  long settle_epochs = -1;
+  std::uint64_t over_cap_device_epochs = 0;
+  /// First budget-tree audit failure ("" = conservation and floor held on
+  /// every epoch).
+  std::string audit_error;
 };
 
 /// End-of-run fleet aggregates. Scalar totals are bit-identical across
@@ -71,6 +108,10 @@ struct FleetResult {
   /// Populated when config.record_devices / config.record_epochs.
   std::vector<DeviceOutcome> device_outcomes;
   std::vector<FleetEpochPoint> epoch_series;
+  /// Budget aggregates (budget.enabled only).
+  FleetBudgetSummary budget;
+  /// Final per-device caps (budget.enabled && record_devices).
+  std::vector<double> device_caps_w;
 };
 
 /// Histogram bounds used for the energy-per-served distribution (geometric;
@@ -80,7 +121,8 @@ std::vector<double> energy_per_served_bounds();
 class FleetEngine {
  public:
   /// Builds archetypes, device specs, and the SoA state from the config.
-  /// Throws std::invalid_argument on a zero-device or zero-block config.
+  /// Throws std::invalid_argument on a zero-device or zero-block config,
+  /// or an invalid budget spec.
   explicit FleetEngine(FleetConfig config,
                        FleetPolicy policy = FleetPolicy::default_policy());
 
@@ -95,17 +137,64 @@ class FleetEngine {
   const FleetPolicy& policy() const { return policy_; }
   /// Resolved worker count (config.jobs through runfarm::resolve_jobs).
   std::size_t jobs() const { return jobs_; }
+  /// The budget tree (nullptr when config.budget is disabled).
+  const budget::BudgetTree* budget_tree() const { return tree_.get(); }
 
-  /// Optional instrumentation (fleet.* counters/gauges/histogram), filled
-  /// at the end of run(). Pass nullptr to detach.
+  /// Optional instrumentation (fleet.* counters/gauges/histogram, plus
+  /// budget.* when budgeted), filled at the end of run(). Pass nullptr to
+  /// detach.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Optional structured trace: one EventKind::Budget record per epoch
+  /// (cap, fleet power, over-cap devices), emitted serially after the run
+  /// so farmed runs stay byte-identical to serial ones. Budgeted runs
+  /// only; pass nullptr to detach.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
   struct BlockResult;
+  /// Per-epoch per-block partial aggregate (budget path merges these in
+  /// block order every epoch).
+  struct EpochStats {
+    double power_w = 0.0;  ///< sum of device power over the block
+    double served = 0.0;
+    double demand = 0.0;
+    std::uint64_t violations = 0;
+    std::uint64_t over_cap = 0;
+  };
+  /// Block-local scratch; owned by one farm task at a time.
+  struct BlockScratch {
+    std::size_t first = 0;
+    std::size_t last = 0;
+    std::vector<double> busy;
+    std::vector<double> t_target;
+    std::vector<double> p_total;
+    std::vector<double> served_rate;
+    std::vector<double> demand_rate;
+    std::vector<std::uint64_t> states;
+    std::vector<std::uint32_t> actions;
+    // Budget mode only: per-slot held demand/temp-factor/power/served for
+    // the step-up power projection in the masked decision.
+    std::vector<double> cl_dem;
+    std::vector<double> cl_tf;
+    std::vector<double> cl_power;
+    std::vector<double> cl_served;
+  };
 
   void reset_state();
-  BlockResult run_block(std::size_t first, std::size_t last,
-                        std::vector<DeviceOutcome>* outcomes);
+  BlockScratch make_scratch(std::size_t first, std::size_t last,
+                            bool budgeted) const;
+  /// Advances one block through one epoch: derive, tick sweep, QoS
+  /// accounting, decision. caps_w == nullptr is the free (unbudgeted)
+  /// path; non-null enables the demand-column write and cap enforcement.
+  EpochStats epoch_pass(BlockScratch& s, std::size_t e, const double* caps_w);
+  /// Per-device outcome/energy-percentile reduction over [first, last).
+  BlockResult finalize_block(std::size_t first, std::size_t last,
+                             std::vector<DeviceOutcome>* outcomes) const;
+  void reduce_blocks(const std::vector<BlockResult>& blocks,
+                     FleetResult& result) const;
+  FleetResult run_unbudgeted();
+  FleetResult run_budgeted();
 
   FleetConfig config_;
   FleetTiming timing_;
@@ -114,6 +203,8 @@ class FleetEngine {
   std::vector<DeviceSpec> specs_;
   std::size_t jobs_ = 1;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  std::unique_ptr<budget::BudgetTree> tree_;
 
   // SoA state, stride kMaxClusters per device.
   std::vector<double> util_;
@@ -141,6 +232,11 @@ class FleetEngine {
   std::vector<double> served_;
   std::vector<double> demand_;
   std::vector<std::uint32_t> violations_;
+  // Budget columns (budget mode only): blocks write demand_w_ into their
+  // disjoint device slices during the epoch derive; the serial tree pass
+  // between epochs reads demand_w_ and writes caps_w_.
+  std::vector<double> demand_w_;
+  std::vector<double> caps_w_;
 };
 
 }  // namespace pmrl::fleet

@@ -56,4 +56,10 @@ void FleetPolicy::greedy_batch(const std::uint64_t* states, std::size_t count,
                        count, actions);
 }
 
+std::uint32_t FleetPolicy::greedy_allowed(std::uint32_t state,
+                                          std::uint32_t allowed) const {
+  return rl::argmax_prefix_f64(table_.data() + state * kActionCount,
+                               bias_.data(), allowed);
+}
+
 }  // namespace pmrl::fleet

@@ -46,6 +46,12 @@ class FleetPolicy {
   void greedy_batch(const std::uint64_t* states, std::size_t count,
                     std::uint32_t* actions) const;
 
+  /// Greedy action restricted to the first `allowed` actions (the DVFS
+  /// actions are power-ordered down < hold < up, so a power cap admits a
+  /// prefix). greedy_allowed(s, kActionCount) == greedy(s).
+  std::uint32_t greedy_allowed(std::uint32_t state,
+                               std::uint32_t allowed) const;
+
   const double* data() const { return table_.data(); }
   const std::vector<double>& bias() const { return bias_; }
 

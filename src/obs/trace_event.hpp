@@ -28,6 +28,7 @@ enum class EventKind : std::uint8_t {
   Watchdog,      ///< fallback engaged (value=1) or primary re-engaged (0)
   HwInvoke,      ///< one hardware policy invocation (latency, retries)
   RunEnd,        ///< end of a run: aggregate totals
+  Budget,        ///< one budget-tree epoch: cap, fleet power, over-cap count
 };
 
 const char* event_kind_name(EventKind kind);

@@ -25,6 +25,20 @@ void batch_argmax_f64_scalar(const double* values, std::size_t actions,
   }
 }
 
+std::uint32_t argmax_prefix_f64(const double* row, const double* bias,
+                                std::size_t allowed) {
+  std::uint32_t best = 0;
+  double best_value = row[0] + (bias ? bias[0] : 0.0);
+  for (std::size_t a = 1; a < allowed; ++a) {
+    const double v = row[a] + (bias ? bias[a] : 0.0);
+    if (v > best_value) {
+      best_value = v;
+      best = static_cast<std::uint32_t>(a);
+    }
+  }
+  return best;
+}
+
 void batch_argmax_f64_mean2_scalar(const double* a, const double* b,
                                    std::size_t actions, const double* bias,
                                    const std::uint64_t* states,

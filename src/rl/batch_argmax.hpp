@@ -47,6 +47,15 @@ void batch_argmax_i64(const std::int64_t* values, std::size_t actions,
                       std::int64_t raw_max, const std::uint64_t* states,
                       std::size_t count, std::uint32_t* out);
 
+/// Argmax over the first `allowed` actions of one Q row (`row[a]` plus the
+/// optional per-action bias), strict > so ties break toward the lowest
+/// index — the scalar scan restricted to a prefix of the action set. Used
+/// by constrained selection (the fleet budget layer masks the power-ordered
+/// DVFS actions down to the prefix a device's cap admits, then re-argmaxes
+/// only the vetoed slots). Requires allowed >= 1.
+std::uint32_t argmax_prefix_f64(const double* row, const double* bias,
+                                std::size_t allowed);
+
 /// Forced-scalar variants (reference implementations for parity tests).
 void batch_argmax_f64_scalar(const double* values, std::size_t actions,
                              const double* bias, const std::uint64_t* states,

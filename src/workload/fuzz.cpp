@@ -139,6 +139,13 @@ void FuzzSpec::save(std::ostream& out,
       << fmt(stress.telemetry_stuck_rate) << " "
       << fmt(stress.thermal_event_rate) << " "
       << fmt(stress.thermal_max_delta_c) << "\n";
+  // Optional line: specs without a budget arm round-trip through the
+  // original v1 grammar unchanged.
+  if (stress.budget_cap_w > 0.0) {
+    out << "capsched " << fmt(stress.budget_cap_w) << " "
+        << fmt(stress.budget_step_cap_w) << " "
+        << fmt(stress.budget_step_frac) << "\n";
+  }
   for (const auto& phase : phases) {
     out << "phase " << fmt(phase.duration_s) << "\n";
     for (const auto& source : phase.sources) {
@@ -204,6 +211,19 @@ FuzzSpec FuzzSpec::load(std::istream& in) {
           spec.stress.thermal_max_delta_c < 0.0) {
         throw TraceParseError(line_no, "stress values must be >= 0");
       }
+    } else if (tag == "capsched") {
+      if (fields.size() != 4) {
+        throw TraceParseError(line_no, "capsched needs 3 values");
+      }
+      spec.stress.budget_cap_w =
+          parse_positive(fields[1], "budget cap", line_no);
+      spec.stress.budget_step_cap_w =
+          parse_double(fields[2], "budget step cap", line_no);
+      if (spec.stress.budget_step_cap_w < 0.0) {
+        throw TraceParseError(line_no, "budget step cap must be >= 0");
+      }
+      spec.stress.budget_step_frac =
+          parse_probability(fields[3], "budget step fraction", line_no);
     } else if (tag == "phase") {
       if (fields.size() != 2) {
         throw TraceParseError(line_no, "phase needs a duration");
@@ -317,6 +337,18 @@ FuzzSpec generate_fuzz_spec(std::uint64_t seed) {
     if (rng.uniform() < 0.4) {
       spec.stress.thermal_event_rate = rng.uniform(0.005, 0.04);
       spec.stress.thermal_max_delta_c = rng.uniform(10.0, 35.0);
+    }
+  }
+
+  // Budget arm (appended after every pre-existing draw so older seeds keep
+  // generating byte-identical specs). Per-device watts: the initial cap is
+  // unconstraining, the step cap lands above the fleet's pinned-OPP floor
+  // (~0.6 W/device) so the driver's settle invariant is achievable.
+  if (rng.uniform() < 0.25) {
+    spec.stress.budget_cap_w = rng.uniform(4.0, 8.0);
+    if (rng.uniform() < 0.7) {
+      spec.stress.budget_step_cap_w = rng.uniform(0.7, 1.5);
+      spec.stress.budget_step_frac = rng.uniform(0.3, 0.7);
     }
   }
   return spec;

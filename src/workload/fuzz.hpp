@@ -58,6 +58,17 @@ struct FuzzStress {
   double thermal_event_rate = 0.0;
   double thermal_max_delta_c = 25.0;
 
+  /// Global-cap step-change schedule for the budgeted fleet check, in
+  /// PER-DEVICE watts (the driver scales by its canonical fleet size).
+  /// budget_cap_w = 0 disables the budget arm entirely. When enabled and
+  /// budget_step_cap_w > 0, the cap steps to budget_step_cap_w at
+  /// budget_step_frac of the scenario duration.
+  double budget_cap_w = 0.0;
+  double budget_step_cap_w = 0.0;
+  double budget_step_frac = 0.5;
+
+  /// True when any fault knob is live (budget knobs are not faults: they
+  /// map onto the budget tree, not the fault injector).
   bool any() const {
     return telemetry_noise_sigma > 0.0 || telemetry_dropout_rate > 0.0 ||
            telemetry_stuck_rate > 0.0 || thermal_event_rate > 0.0;

@@ -1,0 +1,202 @@
+// Unit tests for the budget tree: spec validation, the cap schedule, the
+// group mapping, and the shape of each apportionment policy's split. The
+// randomized invariant battery lives in budget_property_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "budget/apportion.hpp"
+#include "budget/budget_tree.hpp"
+
+namespace budget = pmrl::budget;
+
+namespace {
+
+budget::BudgetSpec base_spec(double cap_w) {
+  budget::BudgetSpec spec;
+  spec.global_cap_w = cap_w;
+  spec.floor_w = 0.05;
+  spec.groups = 4;
+  spec.policy = "demand";
+  spec.seed = 7;
+  return spec;
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ApportionPolicy, FactoryKnowsTheRegisteredNames) {
+  EXPECT_TRUE(budget::is_policy_name("uniform"));
+  EXPECT_TRUE(budget::is_policy_name("demand"));
+  EXPECT_TRUE(budget::is_policy_name("rl"));
+  EXPECT_FALSE(budget::is_policy_name("bogus"));
+  EXPECT_NE(budget::make_policy("uniform", 1), nullptr);
+  EXPECT_THROW(budget::make_policy("bogus", 1), std::invalid_argument);
+}
+
+TEST(BudgetTree, RejectsInvalidSpecs) {
+  EXPECT_THROW(budget::BudgetTree(base_spec(0.0), 8), std::invalid_argument);
+  EXPECT_THROW(budget::BudgetTree(base_spec(10.0), 0), std::invalid_argument);
+  auto bad_floor = base_spec(10.0);
+  bad_floor.floor_w = -1.0;
+  EXPECT_THROW(budget::BudgetTree(bad_floor, 8), std::invalid_argument);
+  auto bad_groups = base_spec(10.0);
+  bad_groups.groups = 0;
+  EXPECT_THROW(budget::BudgetTree(bad_groups, 8), std::invalid_argument);
+  auto bad_policy = base_spec(10.0);
+  bad_policy.policy = "bogus";
+  EXPECT_THROW(budget::BudgetTree(bad_policy, 8), std::invalid_argument);
+  auto bad_step = base_spec(10.0);
+  bad_step.schedule.push_back({-1.0, 5.0});
+  EXPECT_THROW(budget::BudgetTree(bad_step, 8), std::invalid_argument);
+}
+
+TEST(BudgetTree, GroupMappingCoversAllDevicesContiguously) {
+  auto spec = base_spec(10.0);
+  spec.groups = 3;
+  budget::BudgetTree tree(spec, 10);  // 3 does not divide 10
+  EXPECT_EQ(tree.groups(), 3u);
+  std::size_t covered = 0;
+  for (std::size_t g = 0; g < tree.groups(); ++g) {
+    EXPECT_EQ(tree.group_first(g), covered);
+    EXPECT_GT(tree.group_last(g), tree.group_first(g));
+    for (std::size_t d = tree.group_first(g); d < tree.group_last(g); ++d) {
+      EXPECT_EQ(tree.group_of(d), g);
+    }
+    covered = tree.group_last(g);
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(BudgetTree, ClampsGroupsToDeviceCount) {
+  auto spec = base_spec(10.0);
+  spec.groups = 64;
+  budget::BudgetTree tree(spec, 5);
+  EXPECT_EQ(tree.groups(), 5u);
+}
+
+TEST(BudgetTree, ScheduleLatestArrivedStepWins) {
+  auto spec = base_spec(100.0);
+  spec.schedule = {{1.0, 50.0}, {2.0, 25.0}};
+  budget::BudgetTree tree(spec, 8);
+  EXPECT_FALSE(tree.begin_epoch(0.0));
+  EXPECT_DOUBLE_EQ(tree.requested_cap_w(), 100.0);
+  EXPECT_TRUE(tree.begin_epoch(1.0));
+  EXPECT_DOUBLE_EQ(tree.requested_cap_w(), 50.0);
+  EXPECT_FALSE(tree.begin_epoch(1.5));  // no change until the next step
+  EXPECT_TRUE(tree.begin_epoch(2.5));
+  EXPECT_DOUBLE_EQ(tree.requested_cap_w(), 25.0);
+  EXPECT_EQ(tree.steps_fired(), 2u);
+  tree.reset();
+  EXPECT_EQ(tree.steps_fired(), 0u);
+  EXPECT_DOUBLE_EQ(tree.requested_cap_w(), 100.0);
+}
+
+TEST(BudgetTree, EffectiveCapRefusesToStarveBelowTheFloorTotal) {
+  auto spec = base_spec(100.0);
+  spec.floor_w = 0.5;
+  spec.schedule = {{1.0, 1.0}};  // requests less than 8 * 0.5 = 4 W
+  budget::BudgetTree tree(spec, 8);
+  EXPECT_TRUE(tree.begin_epoch(1.0));
+  EXPECT_DOUBLE_EQ(tree.requested_cap_w(), 1.0);
+  EXPECT_DOUBLE_EQ(tree.effective_cap_w(), 4.0);
+  std::vector<double> demand(8, 2.0);
+  std::vector<double> caps;
+  tree.apportion(demand, caps);
+  for (double c : caps) EXPECT_GE(c, 0.5);
+  EXPECT_TRUE(tree.audit_error().empty()) << tree.audit_error();
+}
+
+TEST(BudgetTree, ZeroDemandSplitsUniformly) {
+  budget::BudgetTree tree(base_spec(8.0), 8);
+  std::vector<double> demand(8, 0.0);
+  std::vector<double> caps;
+  tree.apportion(demand, caps);
+  ASSERT_EQ(caps.size(), 8u);
+  for (double c : caps) EXPECT_NEAR(c, 1.0, 1e-9);
+  EXPECT_NEAR(sum(tree.group_caps_w()), 8.0, 1e-9);
+}
+
+TEST(BudgetTree, DemandPolicyFollowsTheDemandColumn) {
+  auto spec = base_spec(8.0);
+  spec.groups = 2;
+  budget::BudgetTree tree(spec, 8);
+  // Group 0 (devices 0-3) draws 3x what group 1 draws.
+  std::vector<double> demand{3.0, 3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0};
+  std::vector<double> caps;
+  tree.apportion(demand, caps);
+  const auto& group_caps = tree.group_caps_w();
+  ASSERT_EQ(group_caps.size(), 2u);
+  EXPECT_GT(group_caps[0], 2.0 * group_caps[1] * 0.9);
+  // Within a group the split follows per-device demand the same way.
+  std::vector<double> uneven{6.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0};
+  tree.apportion(uneven, caps);
+  EXPECT_GT(caps[0], caps[1]);
+  EXPECT_TRUE(tree.audit_error().empty()) << tree.audit_error();
+}
+
+TEST(BudgetTree, UniformPolicyIgnoresDemandSkew) {
+  auto spec = base_spec(8.0);
+  spec.policy = "uniform";
+  spec.groups = 2;
+  budget::BudgetTree tree(spec, 8);
+  std::vector<double> demand{9.0, 9.0, 9.0, 9.0, 1.0, 1.0, 1.0, 1.0};
+  std::vector<double> caps;
+  tree.apportion(demand, caps);
+  const auto& group_caps = tree.group_caps_w();
+  EXPECT_NEAR(group_caps[0], group_caps[1], 1e-9);
+}
+
+TEST(BudgetTree, RlPolicyApportionsCleanlyOverManyEpochs) {
+  auto spec = base_spec(16.0);
+  spec.policy = "rl";
+  spec.groups = 4;
+  budget::BudgetTree tree(spec, 16);
+  std::vector<double> demand(16, 0.0);
+  std::vector<double> caps;
+  for (int e = 0; e < 50; ++e) {
+    // Rotating hotspot so the agent sees several states.
+    for (std::size_t d = 0; d < demand.size(); ++d) {
+      demand[d] = (d / 4 == static_cast<std::size_t>(e) % 4) ? 2.0 : 0.3;
+    }
+    tree.begin_epoch(0.1 * e);
+    tree.apportion(demand, caps);
+    EXPECT_LE(sum(caps), 16.0 + 1e-6);
+  }
+  EXPECT_TRUE(tree.audit_error().empty()) << tree.audit_error();
+}
+
+TEST(BudgetTree, RlPolicyIsDeterministicPerSeed) {
+  auto make = [](std::uint64_t seed) {
+    auto spec = base_spec(16.0);
+    spec.policy = "rl";
+    spec.seed = seed;
+    return budget::BudgetTree(spec, 16);
+  };
+  auto run = [](budget::BudgetTree& tree) {
+    std::vector<double> demand(16), caps;
+    std::vector<double> all;
+    for (int e = 0; e < 30; ++e) {
+      for (std::size_t d = 0; d < demand.size(); ++d) {
+        demand[d] = 0.2 + 0.1 * static_cast<double>((d + e) % 5);
+      }
+      tree.apportion(demand, caps);
+      all.insert(all.end(), caps.begin(), caps.end());
+    }
+    return all;
+  };
+  auto a = make(11);
+  auto b = make(11);
+  auto c = make(12);
+  const auto caps_a = run(a);
+  const auto caps_b = run(b);
+  const auto caps_c = run(c);
+  EXPECT_EQ(caps_a, caps_b);  // bit-identical for equal seeds
+  EXPECT_NE(caps_a, caps_c);  // exploration differs across seeds
+}
+
+}  // namespace

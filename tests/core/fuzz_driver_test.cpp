@@ -151,6 +151,52 @@ TEST(FuzzDriver, ShrinkOfPassingOutcomeIsANoop) {
   EXPECT_EQ(shrunk.accepted, 0u);
 }
 
+TEST(FuzzDriver, BudgetArmRunsAndSettlesCleanly) {
+  // A capsched spec with a 10x-ish step landing above the pinned-OPP
+  // floor: the canonical budgeted fleet must settle inside the bound and
+  // keep the tree's audit clean.
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  workload::FuzzSpec spec;
+  spec.name = "budget-clean";
+  spec.seed = 21;
+  spec.phases.push_back(workload::FuzzPhase{0.5, {}});
+  spec.stress.budget_cap_w = 6.0;
+  spec.stress.budget_step_cap_w = 0.9;
+  spec.stress.budget_step_frac = 0.5;
+  const auto outcome = driver.run_spec(spec);
+  EXPECT_TRUE(outcome.ok()) << (outcome.violations.empty()
+                                    ? ""
+                                    : outcome.violations.front().invariant +
+                                          ": " +
+                                          outcome.violations.front().detail);
+  EXPECT_GE(outcome.budget_settle_epochs, 0);
+  EXPECT_LE(outcome.budget_settle_epochs, 30);
+}
+
+TEST(FuzzDriver, StarvingStepCapTripsBudgetSettleAndShrinkKeepsTheArm) {
+  // A step cap below the fleet's pinned-OPP floor can never be met, so
+  // budget-settle fires; the shrinker must keep the budget knobs (zeroing
+  // them removes the violation) while still reducing the workload.
+  core::FuzzDriver driver{core::FuzzDriverConfig{}};
+  workload::FuzzSpec spec;
+  spec.name = "budget-starved";
+  spec.seed = 22;
+  spec.phases.push_back(workload::FuzzPhase{0.5, {}});
+  spec.stress.budget_cap_w = 6.0;
+  spec.stress.budget_step_cap_w = 0.1;  // << pinned floor per device
+  spec.stress.budget_step_frac = 0.5;
+  const auto failing = driver.run_spec(spec);
+  ASSERT_FALSE(failing.ok());
+  EXPECT_EQ(failing.violations.front().invariant, "budget-settle");
+  EXPECT_EQ(failing.budget_settle_epochs, -1);
+
+  const auto shrunk = driver.shrink(failing);
+  ASSERT_FALSE(shrunk.outcome.ok());
+  EXPECT_EQ(shrunk.outcome.violations.front().invariant, "budget-settle");
+  EXPECT_GT(shrunk.outcome.spec.stress.budget_cap_w, 0.0);
+  EXPECT_GT(shrunk.outcome.spec.stress.budget_step_cap_w, 0.0);
+}
+
 TEST(FuzzDriver, BaselineGovernorRunsWithoutWatchdog) {
   core::FuzzDriverConfig config;
   config.governor = "ondemand";

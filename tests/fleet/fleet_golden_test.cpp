@@ -1,0 +1,120 @@
+// Golden fleet-epoch regression tests: a small canonical fleet's per-epoch
+// aggregate series (with and without a budget cap step) serialized as CSV
+// and compared byte-for-byte against committed goldens under tests/data/.
+// Any drift in the device model, the SoA sweep, the policy, or the budget
+// tree shows up here as a diff with the first diverging epoch named.
+//
+// Regenerating (after an INTENDED behaviour change, reviewed like code):
+//   PMRL_REGEN_GOLDEN=1 ./build/tests/test_fleet
+// then commit the rewritten tests/data/golden_fleet_*.csv files.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_engine.hpp"
+#include "obs/trace_event.hpp"
+
+namespace fleet = pmrl::fleet;
+
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(PMRL_TEST_DATA_DIR) + "/" + name;
+}
+
+fleet::FleetConfig golden_config(bool budgeted) {
+  fleet::FleetConfig config;
+  config.devices = 96;
+  config.seed = 7;
+  config.archetypes = 8;
+  config.duration_s = 2.0;
+  config.block_size = 32;
+  config.jobs = 1;
+  config.record_epochs = true;
+  if (budgeted) {
+    config.budget.global_cap_w = 800.0;
+    config.budget.policy = "demand";
+    config.budget.groups = 4;
+    config.budget.schedule = {{1.0, 80.0}};  // 10x step mid-run
+  }
+  return config;
+}
+
+// %.17g per column so the CSV round-trips doubles exactly; byte-compare is
+// then a bit-compare of the whole series.
+std::string serialize_series(const fleet::FleetResult& result) {
+  std::ostringstream out;
+  out << "epoch,time_s,energy_j,served,demand,violations,cap_w,over_cap\n";
+  for (std::size_t e = 0; e < result.epoch_series.size(); ++e) {
+    const fleet::FleetEpochPoint& p = result.epoch_series[e];
+    out << e << ',' << pmrl::obs::format_trace_double(p.time_s) << ','
+        << pmrl::obs::format_trace_double(p.energy_j) << ','
+        << pmrl::obs::format_trace_double(p.served) << ','
+        << pmrl::obs::format_trace_double(p.demand) << ',' << p.violations
+        << ',' << pmrl::obs::format_trace_double(p.cap_w) << ','
+        << p.over_cap << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void compare_against_golden(const std::string& golden_name,
+                            const std::string& actual) {
+  const std::string path = data_path(golden_name);
+  if (std::getenv("PMRL_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with PMRL_REGEN_GOLDEN=1)";
+  std::ostringstream golden_stream;
+  golden_stream << in.rdbuf();
+  const std::string golden = golden_stream.str();
+  if (actual == golden) return;
+
+  const auto actual_lines = split_lines(actual);
+  const auto golden_lines = split_lines(golden);
+  const std::size_t n = std::min(actual_lines.size(), golden_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (actual_lines[i] == golden_lines[i]) continue;
+    // Row 0 is the header; row k is epoch k-1 (first CSV column).
+    FAIL() << golden_name << ": first divergence at line " << (i + 1)
+           << (i == 0 ? " (header)" : " (epoch " + std::to_string(i - 1) + ")")
+           << "\n  golden: " << golden_lines[i]
+           << "\n  actual: " << actual_lines[i];
+  }
+  FAIL() << golden_name << ": series identical for " << n
+         << " lines, then lengths diverge (golden " << golden_lines.size()
+         << " lines, actual " << actual_lines.size() << ")";
+}
+
+}  // namespace
+
+TEST(FleetGolden, EpochSeries) {
+  const fleet::FleetResult result =
+      fleet::FleetEngine(golden_config(false)).run();
+  compare_against_golden("golden_fleet_epochs.csv", serialize_series(result));
+}
+
+TEST(FleetGolden, EpochSeriesWithBudgetCapStep) {
+  const fleet::FleetResult result =
+      fleet::FleetEngine(golden_config(true)).run();
+  compare_against_golden("golden_fleet_budget_epochs.csv",
+                         serialize_series(result));
+}

@@ -208,6 +208,64 @@ TEST(FuzzSpecFormat, RejectsOutOfRangeProbabilities) {
       3u);
 }
 
+TEST(FuzzSpecFormat, CapschedRoundTripsAndIsOmittedWhenDisabled) {
+  workload::FuzzSpec spec = small_spec();
+  std::ostringstream without;
+  spec.save(without);
+  // No budget arm: the line is absent, so pre-capsched files stay valid
+  // byte-for-byte.
+  EXPECT_EQ(without.str().find("capsched"), std::string::npos);
+
+  spec.stress.budget_cap_w = 5.25;
+  spec.stress.budget_step_cap_w = 0.875;
+  spec.stress.budget_step_frac = 0.4;
+  std::ostringstream with;
+  spec.save(with);
+  std::istringstream in(with.str());
+  const auto loaded = workload::FuzzSpec::load(in);
+  EXPECT_DOUBLE_EQ(loaded.stress.budget_cap_w, 5.25);
+  EXPECT_DOUBLE_EQ(loaded.stress.budget_step_cap_w, 0.875);
+  EXPECT_DOUBLE_EQ(loaded.stress.budget_step_frac, 0.4);
+}
+
+TEST(FuzzSpecFormat, RejectsMalformedCapsched) {
+  // Wrong arity.
+  EXPECT_EQ(load_error("pmrl-scenario v1\ncapsched 1.0\nphase 1\n").line(),
+            2u);
+  // Cap must be positive (0 would be an always-present no-op line).
+  EXPECT_EQ(load_error("pmrl-scenario v1\ncapsched 0 0 0.5\nphase 1\n")
+                .line(),
+            2u);
+  // Step cap must be >= 0, step fraction in [0, 1].
+  EXPECT_EQ(load_error("pmrl-scenario v1\ncapsched 2 -1 0.5\nphase 1\n")
+                .line(),
+            2u);
+  EXPECT_EQ(load_error("pmrl-scenario v1\ncapsched 2 1 1.5\nphase 1\n")
+                .line(),
+            2u);
+}
+
+TEST(GenerateFuzzSpec, SomeSeedsDrawABudgetArmInsideTheEnvelope) {
+  std::size_t budgeted = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const auto spec = workload::generate_fuzz_spec(seed);
+    if (spec.stress.budget_cap_w <= 0.0) continue;
+    ++budgeted;
+    EXPECT_GE(spec.stress.budget_cap_w, 4.0);
+    EXPECT_LE(spec.stress.budget_cap_w, 8.0);
+    if (spec.stress.budget_step_cap_w > 0.0) {
+      // Step caps stay above the fleet's pinned-OPP floor so the settle
+      // invariant is achievable.
+      EXPECT_GE(spec.stress.budget_step_cap_w, 0.7);
+      EXPECT_LE(spec.stress.budget_step_cap_w, 1.5);
+      EXPECT_GE(spec.stress.budget_step_frac, 0.3);
+      EXPECT_LE(spec.stress.budget_step_frac, 0.7);
+    }
+  }
+  EXPECT_GT(budgeted, 0u);
+  EXPECT_LT(budgeted, 40u);  // an arm, not the default
+}
+
 TEST(FuzzSpecFormat, RejectsZeroBurstJobs) {
   EXPECT_EQ(
       load_error("pmrl-scenario v1\nphase 1\n"
