@@ -1,0 +1,235 @@
+// TRAIN — throughput and determinism of the distributed Q-learning
+// pipeline (DistributedTrainer sharding episodes over run-farm actors,
+// QMerge reducing the per-actor deltas). Measures:
+//   1. end-to-end training episodes/sec at --jobs 1 / 2 / 4 for the same
+//      (episodes, actors, seeds) configuration — the parallel-actor
+//      speedup the subsystem exists for,
+//   2. QMerge reduction throughput in cells/sec (a cell is one (state,
+//      action) slot of one agent's delta), timed over repeated merges of
+//      the real actor deltas,
+//   3. the serial-vs-parallel identity check: the merged checkpoint image
+//      at jobs 2 and 4 must equal the jobs-1 image bit for bit (the
+//      subsystem's central contract; a mismatch fails the bench).
+// Emits BENCH_train.json; `--check BENCH_train.json [--check-tolerance X]`
+// gates on train_episodes_per_sec like the other benches do on their
+// headline numbers.
+//
+// Throughput numbers are host-dependent; the identity flag is not.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/runfarm/runfarm.hpp"
+#include "rl/policy_io.hpp"
+#include "soc/soc.hpp"
+#include "train/distributed_trainer.hpp"
+#include "train/qmerge.hpp"
+
+using namespace pmrl;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct JobsRow {
+  std::size_t jobs = 0;
+  double wall_s = 0.0;
+  double episodes_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t episodes = 24;
+  std::size_t actors = 4;
+  std::uint64_t seed = bench::kTrainSeed;
+  std::uint64_t merge_seed = 1;
+  double duration_s = 6.0;
+  std::size_t reps = 3;
+  std::string out_path = "BENCH_train.json";
+  std::string check_path;
+  double check_tolerance = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag, int len) -> const char* {
+      if (std::strncmp(arg, flag, static_cast<std::size_t>(len)) == 0 &&
+          arg[len] == '=') {
+        return arg + len + 1;
+      }
+      if (std::strcmp(arg, flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--episodes", 10)) {
+      episodes = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v2 = value("--actors", 8)) {
+      actors = static_cast<std::size_t>(std::atoll(v2));
+    } else if (const char* v3 = value("--seed", 6)) {
+      seed = static_cast<std::uint64_t>(std::atoll(v3));
+    } else if (const char* v4 = value("--merge-seed", 12)) {
+      merge_seed = static_cast<std::uint64_t>(std::atoll(v4));
+    } else if (const char* v5 = value("--duration", 10)) {
+      duration_s = std::atof(v5);
+    } else if (const char* v6 = value("--reps", 6)) {
+      reps = static_cast<std::size_t>(std::atoll(v6));
+    } else if (const char* v7 = value("--out", 5)) {
+      out_path = v7;
+    } else if (const char* v8 = value("--check", 7)) {
+      check_path = v8;
+    } else if (const char* v9 = value("--check-tolerance", 17)) {
+      check_tolerance = std::atof(v9);
+    }
+  }
+  if (reps == 0) reps = 1;
+  if (episodes == 0 || actors == 0 || duration_s <= 0.0) {
+    std::fprintf(stderr, "--episodes, --actors, --duration must be positive\n");
+    return 2;
+  }
+
+  bench::print_banner("TRAIN", "distributed Q-learning + QMerge reduction",
+                      "parallel-actor training cost and bit-identity");
+  std::printf("episodes=%zu actors=%zu seed=%llu merge-seed=%llu "
+              "episode-duration=%.1fs\n\n",
+              episodes, actors, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(merge_seed), duration_s);
+
+  core::EngineConfig engine_config;
+  engine_config.duration_s = duration_s;
+  rl::RlGovernorConfig policy;
+  policy.learning.seed = seed;
+  train::DistributedTrainerConfig train_config;
+  train_config.schedule.episodes = episodes;
+  train_config.actors = actors;
+  train_config.merge_seed = merge_seed;
+
+  // ---- episodes/sec at jobs 1 / 2 / 4 -----------------------------------
+  // Walls are best-of-`reps`: the minimum is the least-perturbed
+  // observation of the same deterministic computation.
+  std::vector<JobsRow> rows;
+  std::vector<std::string> images;    // merged checkpoint per jobs count
+  train::DistributedTrainResult last_result;
+  std::size_t cluster_count = 0;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{4}}) {
+    core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                                engine_config, jobs);
+    cluster_count = farm.soc_config().clusters.size();
+    train::DistributedTrainer trainer(farm, policy, cluster_count,
+                                      train_config);
+    JobsRow row;
+    row.jobs = jobs;
+    std::string image;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      rl::RlGovernor merged(policy, cluster_count);
+      const auto t0 = Clock::now();
+      auto result = trainer.train(merged);
+      const double wall = seconds_since(t0);
+      if (rep == 0 || wall < row.wall_s) row.wall_s = wall;
+      std::ostringstream out;
+      rl::save_policy(merged, out);
+      image = out.str();
+      last_result = std::move(result);
+    }
+    row.episodes_per_sec = static_cast<double>(episodes) / row.wall_s;
+    std::printf("jobs %zu: %.2f s wall, %.3g episodes/s%s\n", jobs,
+                row.wall_s, row.episodes_per_sec,
+                jobs == 1 ? "" : (image == images[0]
+                                      ? ", merged table identical to jobs 1"
+                                      : ", MERGED TABLE DIVERGED"));
+    images.push_back(std::move(image));
+    rows.push_back(row);
+  }
+  bool deterministic = true;
+  for (const auto& image : images) {
+    deterministic = deterministic && image == images[0];
+  }
+  const JobsRow& headline = rows.back();  // jobs 4
+  std::printf("parallel speedup (jobs 4 / jobs 1): %.2fx\n",
+              headline.episodes_per_sec / rows.front().episodes_per_sec);
+
+  // ---- QMerge reduction throughput --------------------------------------
+  // Merges the real deltas of the last run repeatedly; a cell is one
+  // (state, action) slot of one agent's delta.
+  std::size_t cells_per_merge = 0;
+  for (const auto& delta : last_result.deltas) {
+    for (const auto& agent : delta.agents) {
+      cells_per_merge += agent.states * agent.actions;
+    }
+  }
+  double merge_wall = 0.0;
+  constexpr std::size_t kMergeIters = 200;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::size_t iter = 0; iter < kMergeIters; ++iter) {
+      rl::RlGovernor merged(policy, cluster_count);
+      train::merge_into(merged, last_result.deltas, merge_seed);
+    }
+    const double wall = seconds_since(t0);
+    if (rep == 0 || wall < merge_wall) merge_wall = wall;
+  }
+  const double merge_cells_per_sec =
+      static_cast<double>(cells_per_merge * kMergeIters) / merge_wall;
+  std::printf("qmerge: %zu cells/merge, %.3g cells/s (%zu merges in "
+              "%.3f s)\n",
+              cells_per_merge, merge_cells_per_sec, kMergeIters, merge_wall);
+
+  // ---- JSON --------------------------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"train\",\n");
+  std::fprintf(out, "  \"episodes\": %zu,\n", episodes);
+  std::fprintf(out, "  \"actors\": %zu,\n", actors);
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(out, "  \"merge_seed\": %llu,\n",
+               static_cast<unsigned long long>(merge_seed));
+  std::fprintf(out, "  \"episode_duration_s\": %g,\n", duration_s);
+  std::fprintf(out, "  \"reps\": %zu,\n", reps);
+  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
+               static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"jobs_sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"jobs\": %zu, \"wall_s\": %.6f, "
+                 "\"episodes_per_sec\": %.3f}%s\n",
+                 rows[i].jobs, rows[i].wall_s, rows[i].episodes_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"merge_cells_per_merge\": %zu,\n", cells_per_merge);
+  std::fprintf(out, "  \"merge_cells_per_sec\": %.1f,\n",
+               merge_cells_per_sec);
+  // Headline: jobs-4 training throughput. Key is unique file-wide so the
+  // --check gate's first-occurrence JSON scan finds exactly it.
+  std::fprintf(out, "  \"train_episodes_per_sec\": %.3f,\n",
+               headline.episodes_per_sec);
+  std::fprintf(out, "  \"merged_table_identical_across_jobs\": %s\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  int exit_code = deterministic ? 0 : 1;
+  if (!check_path.empty()) {
+    const int rc = bench::check_against_baseline(
+        check_path, "train_episodes_per_sec", headline.episodes_per_sec,
+        check_tolerance);
+    if (rc == 2) return 2;
+    if (rc != 0) exit_code = rc;
+  }
+  return exit_code;
+}

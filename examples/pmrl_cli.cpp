@@ -3,8 +3,14 @@
 //
 //   pmrl_cli list
 //       Registered governors and available scenarios.
-//   pmrl_cli train [--episodes N] [--seed S] [--out policy.pmrl]
-//       Train the RL policy across the scenario rotation and checkpoint it.
+//   pmrl_cli train [--episodes N] [--seed S] [--actors N] [--jobs N]
+//                  [--merge-seed S] [--out policy.pmrl] [--registry DIR]
+//       Train the RL policy across the scenario rotation with N parallel
+//       actors on the run farm, merge the per-actor Q-table deltas with the
+//       seeded order-independent reducer, and checkpoint the merged policy.
+//       The merged table is bit-identical at any --jobs count and any actor
+//       completion order. --registry registers the result as a versioned
+//       candidate (with lineage metadata) instead of just a loose file.
 //   pmrl_cli eval <governor|policy.pmrl> [--scenario NAME] [--seed S]
 //                 [--duration SEC] [--fault-intensity X] [--fault-seed S]
 //                 [--watchdog] [--jobs N] [--trace PATH]
@@ -21,17 +27,29 @@
 //       ('-' for stdout).
 //   pmrl_cli latency [--invocations N]
 //       Run the HW-vs-SW decision-latency comparison.
-//   pmrl_cli serve [--policy policy.pmrl] [--uds PATH] [--tcp-port N]
-//                  [--shm PATH [--shm-lanes N]] [--workers N] [--batch N]
-//                  [--batch-deadline-us N] [--queue-capacity N]
-//                  [--cache-capacity N] [--metrics PATH|-]
+//   pmrl_cli serve [--policy policy.pmrl] [--registry DIR] [--uds PATH]
+//                  [--tcp-port N] [--shm PATH [--shm-lanes N]] [--workers N]
+//                  [--batch N] [--batch-deadline-us N] [--queue-capacity N]
+//                  [--cache-capacity N] [--metrics PATH|-] [--canary PCT]
+//                  [--candidate VERSION] [--canary-threshold X]
+//                  [--canary-window N] [--canary-settle N]
 //       Expose a trained policy as a decision service over a Unix-domain
 //       socket, TCP, and/or a shared-memory segment (for co-located
 //       clients). SIGHUP hot-reloads the checkpoint (transactional: a
 //       corrupt file keeps the old policy); SIGINT/SIGTERM shut down.
+//       With --registry, the incumbent loads from the promoted CURRENT
+//       version and --canary PCT stages a candidate (--candidate VERSION,
+//       else the latest candidate) serving PCT%% of connections; client
+//       outcome reports drive automatic promote/rollback (the canary
+//       evaluator compares per-arm energy-per-QoS over settle windows).
+//       SIGHUP also re-stages the next candidate after a verdict.
 //   pmrl_cli query <state> [--agent N]
 //                  (--uds PATH | --tcp-port N [--host H] | --shm PATH)
 //       Ask a running server for the greedy action of one quantized state.
+//   pmrl_cli policy <list|show V|promote V|rollback V> --registry DIR
+//       Inspect and drive the policy lifecycle: list versions with lineage
+//       and status, show one entry, promote a version to CURRENT, or mark
+//       a version rolled back.
 //   pmrl_cli fuzz [--seed S] [--runs N] [--jobs N] [--governor NAME]
 //                 [--max-energy J] [--max-violation-rate X]
 //                 [--max-peak-temp C] [--shrink] [--corpus-dir DIR]
@@ -61,7 +79,7 @@
 //       line number.
 //
 // Unknown flags or subcommands print usage and exit 2. --version prints the
-// library version.
+// library version and the subcommand roster.
 
 #include <atomic>
 #include <chrono>
@@ -90,12 +108,14 @@
 #include "hw/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "policy/registry.hpp"
 #include "rl/policy_io.hpp"
 #include "rl/trainer.hpp"
 #include "rl/watchdog.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/shm_ring.hpp"
+#include "train/distributed_trainer.hpp"
 #include "util/table.hpp"
 #include "workload/fuzz.hpp"
 #include "workload/replay.hpp"
@@ -146,6 +166,15 @@ struct Args {
   std::uint32_t agent = 0;
   std::string policy_path;
   bool show_version = false;
+  // train / policy lifecycle
+  std::size_t actors = 4;
+  std::uint64_t merge_seed = 1;
+  std::string registry;
+  double canary_pct = 0.0;
+  std::uint64_t candidate = 0;  // 0 = latest candidate in the registry
+  double canary_threshold = 0.05;
+  std::size_t canary_window = 32;
+  std::size_t canary_settle = 2;
   // fuzz / replay
   std::size_t runs = 64;
   std::string governor = "rl";
@@ -235,6 +264,35 @@ Args parse(int argc, char** argv) {
       args.agent = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--policy") {
       args.policy_path = next();
+    } else if (arg == "--actors") {
+      args.actors = static_cast<std::size_t>(std::stoul(next()));
+      if (args.actors == 0) throw UsageError("--actors must be >= 1");
+    } else if (arg == "--merge-seed") {
+      args.merge_seed = std::stoull(next());
+    } else if (arg == "--registry") {
+      args.registry = next();
+    } else if (arg == "--canary") {
+      args.canary_pct = std::stod(next());
+      if (args.canary_pct < 0.0 || args.canary_pct > 100.0) {
+        throw UsageError("--canary must be in [0, 100]");
+      }
+    } else if (arg == "--candidate") {
+      args.candidate = std::stoull(next());
+    } else if (arg == "--canary-threshold") {
+      args.canary_threshold = std::stod(next());
+      if (args.canary_threshold < 0.0) {
+        throw UsageError("--canary-threshold must be >= 0");
+      }
+    } else if (arg == "--canary-window") {
+      args.canary_window = static_cast<std::size_t>(std::stoul(next()));
+      if (args.canary_window == 0) {
+        throw UsageError("--canary-window must be >= 1");
+      }
+    } else if (arg == "--canary-settle") {
+      args.canary_settle = static_cast<std::size_t>(std::stoul(next()));
+      if (args.canary_settle == 0) {
+        throw UsageError("--canary-settle must be >= 1");
+      }
     } else if (arg == "--runs") {
       args.runs = static_cast<std::size_t>(std::stoul(next()));
       if (args.runs == 0) throw UsageError("--runs must be >= 1");
@@ -327,30 +385,138 @@ int cmd_list() {
 }
 
 int cmd_train(const Args& args) {
-  core::SimEngine engine(soc::default_mobile_soc_config(),
-                         core::EngineConfig{});
-  rl::RlGovernor policy(rl::RlGovernorConfig{},
-                        engine.soc_config().clusters.size());
-  rl::TrainerConfig config;
-  config.episodes = args.episodes;
-  config.workload_seed = args.seed;
-  rl::Trainer trainer(engine, policy, config);
-  std::printf("training %zu episodes (seed %llu)...\n", args.episodes,
-              static_cast<unsigned long long>(args.seed));
-  const auto curve = trainer.train();
-  if (!curve.empty()) {
+  core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                              core::EngineConfig{}, args.jobs);
+  rl::RlGovernorConfig policy_config;
+  policy_config.learning.seed = args.seed;
+  const std::size_t clusters = farm.soc_config().clusters.size();
+
+  train::DistributedTrainerConfig config;
+  config.schedule.episodes = args.episodes;
+  config.schedule.workload_seed = args.seed;
+  config.actors = args.actors;
+  config.merge_seed = args.merge_seed;
+  train::DistributedTrainer trainer(farm, policy_config, clusters, config);
+
+  std::printf(
+      "training %zu episodes across %zu actor(s) "
+      "(seed %llu, merge seed %llu, %zu job(s))...\n",
+      args.episodes, trainer.config().actors,
+      static_cast<unsigned long long>(args.seed),
+      static_cast<unsigned long long>(args.merge_seed), farm.jobs());
+  rl::RlGovernor merged(policy_config, clusters);
+  const auto result = trainer.train(merged);
+  if (!result.curve.empty()) {
+    const auto& last = result.curve.back();
     std::printf("final episode: %s, E/QoS %.5f J, violations %.2f%%\n",
-                curve.back().scenario.c_str(), curve.back().energy_per_qos,
-                100.0 * curve.back().violation_rate);
+                last.scenario.c_str(), last.energy_per_qos,
+                100.0 * last.violation_rate);
   }
+
+  if (!args.registry.empty()) {
+    policy::PolicyRegistry registry(args.registry);
+    policy::PolicyMeta meta;
+    meta.parent_version = registry.current().value_or(0);
+    meta.train_seed = args.seed;
+    meta.merge_seed = args.merge_seed;
+    meta.episodes = args.episodes;
+    meta.actors = result.actors;
+    const std::uint64_t version = registry.add(merged, meta);
+    std::printf("registered candidate v%llu in %s (parent v%llu)\n",
+                static_cast<unsigned long long>(version),
+                args.registry.c_str(),
+                static_cast<unsigned long long>(meta.parent_version));
+  }
+
   std::ofstream out(args.out);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
     return 1;
   }
-  rl::save_policy(policy, out);
+  rl::save_policy(merged, out);
   std::printf("checkpoint written to %s\n", args.out.c_str());
   return 0;
+}
+
+int cmd_policy(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "policy needs a verb: list, show, promote, rollback\n");
+    return 1;
+  }
+  if (args.registry.empty()) {
+    std::fprintf(stderr, "policy needs --registry DIR\n");
+    return 1;
+  }
+  policy::PolicyRegistry registry(args.registry);
+  const std::string& verb = args.positional[1];
+  const auto version_arg = [&]() -> std::uint64_t {
+    if (args.positional.size() < 3) {
+      throw UsageError("policy " + verb + " needs a version number");
+    }
+    return std::stoull(args.positional[2]);
+  };
+
+  if (verb == "list") {
+    const auto current = registry.current();
+    TextTable table({"version", "status", "parent", "episodes", "actors",
+                     "train seed", ""});
+    for (const auto& meta : registry.list()) {
+      table.add_row({std::to_string(meta.version),
+                     policy_status_name(meta.status),
+                     meta.parent_version ? std::to_string(meta.parent_version)
+                                         : "-",
+                     std::to_string(meta.episodes),
+                     std::to_string(meta.actors),
+                     std::to_string(meta.train_seed),
+                     current && *current == meta.version ? "<- CURRENT" : ""});
+    }
+    table.print();
+    return 0;
+  }
+  if (verb == "show") {
+    const std::uint64_t version = version_arg();
+    const auto meta = registry.meta(version);
+    if (!meta) {
+      std::fprintf(stderr, "no such version %llu in %s\n",
+                   static_cast<unsigned long long>(version),
+                   args.registry.c_str());
+      return 1;
+    }
+    std::printf("version:    %llu\n",
+                static_cast<unsigned long long>(meta->version));
+    std::printf("status:     %s\n", policy_status_name(meta->status));
+    std::printf("parent:     %llu\n",
+                static_cast<unsigned long long>(meta->parent_version));
+    std::printf("train seed: %llu\n",
+                static_cast<unsigned long long>(meta->train_seed));
+    std::printf("merge seed: %llu\n",
+                static_cast<unsigned long long>(meta->merge_seed));
+    std::printf("episodes:   %llu\n",
+                static_cast<unsigned long long>(meta->episodes));
+    std::printf("actors:     %llu\n",
+                static_cast<unsigned long long>(meta->actors));
+    if (!meta->note.empty()) std::printf("note:       %s\n",
+                                         meta->note.c_str());
+    std::printf("checkpoint: %s\n",
+                registry.policy_path(version).string().c_str());
+    return 0;
+  }
+  if (verb == "promote") {
+    const std::uint64_t version = version_arg();
+    registry.promote(version);
+    std::printf("promoted v%llu (CURRENT)\n",
+                static_cast<unsigned long long>(version));
+    return 0;
+  }
+  if (verb == "rollback") {
+    const std::uint64_t version = version_arg();
+    registry.rollback(version);
+    std::printf("rolled back v%llu\n",
+                static_cast<unsigned long long>(version));
+    return 0;
+  }
+  throw UsageError("unknown policy verb '" + verb + "'");
 }
 
 /// Writes `events` to `path` in the requested format; returns false (with
@@ -611,6 +777,12 @@ int cmd_serve(const Args& args) {
   config.cache_capacity = args.cache_capacity;
   config.policy_path = args.policy_path;
   config.cluster_count = soc::default_mobile_soc_config().clusters.size();
+  config.registry_dir = args.registry;
+  config.candidate_version = args.candidate;
+  config.rollout.canary_pct = args.canary_pct;
+  config.rollout.regression_threshold = args.canary_threshold;
+  config.rollout.window_reports = args.canary_window;
+  config.rollout.settle_windows = args.canary_settle;
 
   obs::MetricsRegistry metrics;
   serve::PolicyServer server(config);
@@ -631,6 +803,14 @@ int cmd_serve(const Args& args) {
     std::printf("policy checkpoint: %s (SIGHUP reloads)\n",
                 args.policy_path.c_str());
   }
+  if (!args.registry.empty()) {
+    std::printf("policy registry: %s\n", args.registry.c_str());
+  }
+  if (server.candidate_active()) {
+    std::printf("canary: v%llu serving %.1f%% of connections\n",
+                static_cast<unsigned long long>(server.candidate_version()),
+                args.canary_pct);
+  }
 
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
@@ -640,7 +820,14 @@ int cmd_serve(const Args& args) {
     if (g_serve_reload.exchange(false)) {
       std::string error;
       if (server.request_reload(&error)) {
-        std::printf("policy reloaded from %s\n", args.policy_path.c_str());
+        std::printf("policy reloaded%s%s\n",
+                    args.policy_path.empty() ? "" : " from ",
+                    args.policy_path.c_str());
+        if (server.candidate_active()) {
+          std::printf("canary: v%llu staged\n",
+                      static_cast<unsigned long long>(
+                          server.candidate_version()));
+        }
       } else {
         std::fprintf(stderr, "reload rejected: %s\n", error.c_str());
       }
@@ -648,6 +835,11 @@ int cmd_serve(const Args& args) {
   }
   std::printf("shutting down after %llu responses\n",
               static_cast<unsigned long long>(server.responses()));
+  if (server.rollbacks() + server.promotions() > 0) {
+    std::printf("rollout verdicts: %llu rollback(s), %llu promotion(s)\n",
+                static_cast<unsigned long long>(server.rollbacks()),
+                static_cast<unsigned long long>(server.promotions()));
+  }
   server.stop();
   if (args.metrics_path && !write_metrics(*args.metrics_path, metrics)) {
     return 1;
@@ -662,9 +854,10 @@ int cmd_query(const Args& args) {
   }
   const std::uint64_t state = std::stoull(args.positional[1]);
   const auto show = [](const serve::Client::Result& result) {
-    std::printf("action %u%s%s\n", result.action,
+    std::printf("action %u%s%s%s\n", result.action,
                 result.safe_default ? " (safe-default)" : "",
-                result.cache_hit ? " (cached)" : "");
+                result.cache_hit ? " (cached)" : "",
+                result.canary ? " (canary)" : "");
   };
   if (!args.shm.empty()) {
     serve::ShmClient client(args.shm);
@@ -973,21 +1166,25 @@ int cmd_fleet(const Args& args) {
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: pmrl_cli "
-      "<list|train|eval|latency|serve|query|fuzz|replay|fleet> [options]\n"
+      "usage: pmrl_cli <list|train|eval|latency|serve|query|policy|fuzz|"
+      "replay|fleet> [options]\n"
       "  list\n"
-      "  train  [--episodes N] [--seed S] [--out policy.pmrl]\n"
+      "  train  [--episodes N] [--seed S] [--actors N] [--jobs N]\n"
+      "         [--merge-seed S] [--out policy.pmrl] [--registry DIR]\n"
       "  eval   <governor|policy.pmrl> [--scenario NAME] [--seed S]\n"
       "         [--duration SEC] [--fault-intensity X] [--fault-seed S]\n"
       "         [--watchdog] [--jobs N] [--trace PATH]\n"
       "         [--trace-format csv|jsonl] [--metrics PATH|-]\n"
       "  latency [N] [--seed S]\n"
-      "  serve  [--policy policy.pmrl] [--uds PATH] [--tcp-port N]\n"
-      "         [--shm PATH [--shm-lanes N]] [--workers N] [--batch N]\n"
-      "         [--batch-deadline-us N] [--queue-capacity N]\n"
-      "         [--cache-capacity N] [--metrics PATH|-]\n"
+      "  serve  [--policy policy.pmrl] [--registry DIR] [--uds PATH]\n"
+      "         [--tcp-port N] [--shm PATH [--shm-lanes N]] [--workers N]\n"
+      "         [--batch N] [--batch-deadline-us N] [--queue-capacity N]\n"
+      "         [--cache-capacity N] [--metrics PATH|-] [--canary PCT]\n"
+      "         [--candidate VERSION] [--canary-threshold X]\n"
+      "         [--canary-window N] [--canary-settle N]\n"
       "  query  <state> [--agent N]\n"
       "         (--uds PATH | --tcp-port N [--host H] | --shm PATH)\n"
+      "  policy <list|show V|promote V|rollback V> --registry DIR\n"
       "  fuzz   [--seed S] [--runs N] [--jobs N] [--governor NAME]\n"
       "         [--max-energy J] [--max-violation-rate X]\n"
       "         [--max-peak-temp C] [--shrink] [--corpus-dir DIR]\n"
@@ -1006,6 +1203,9 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.show_version) {
       std::printf("pmrl %s\n", PMRL_VERSION);
+      std::printf(
+          "subcommands: list train eval latency serve query policy fuzz "
+          "replay fleet\n");
       return 0;
     }
     if (args.positional.empty() || args.positional[0] == "help") {
@@ -1019,6 +1219,7 @@ int main(int argc, char** argv) {
     if (cmd == "latency") return cmd_latency(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
+    if (cmd == "policy") return cmd_policy(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
     if (cmd == "replay") return cmd_replay(args);
     if (cmd == "fleet") return cmd_fleet(args);

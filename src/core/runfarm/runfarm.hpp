@@ -116,6 +116,13 @@ class RunFarm {
     return run_ordered<T>(pool_ ? &*pool_ : nullptr, tasks, progress);
   }
 
+  /// Builds a fresh SimEngine from this farm's SoC/engine configuration —
+  /// the per-task engine a training actor owns under the RNG-stream
+  /// isolation rule (construct it inside the task, on the worker thread).
+  SimEngine make_engine() const {
+    return SimEngine(soc_config_, engine_config_);
+  }
+
   /// Timing of the most recent run_all() batch.
   const BatchStats& last_stats() const { return stats_; }
 

@@ -59,6 +59,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::HwInvoke: return "hw_invoke";
     case EventKind::RunEnd: return "run_end";
     case EventKind::Budget: return "budget";
+    case EventKind::Rollout: return "rollout";
   }
   return "unknown";
 }
@@ -67,7 +68,7 @@ std::optional<EventKind> event_kind_from_name(std::string_view name) {
   for (const EventKind kind :
        {EventKind::RunBegin, EventKind::Epoch, EventKind::Decision,
         EventKind::Fault, EventKind::Watchdog, EventKind::HwInvoke,
-        EventKind::RunEnd, EventKind::Budget}) {
+        EventKind::RunEnd, EventKind::Budget, EventKind::Rollout}) {
     if (name == event_kind_name(kind)) return kind;
   }
   return std::nullopt;
@@ -496,7 +497,7 @@ std::vector<TraceEvent> read_binary_trace(std::istream& in) {
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceEvent event;
     const auto kind = read_pod<std::uint8_t>(in);
-    if (kind > static_cast<std::uint8_t>(EventKind::Budget)) {
+    if (kind > static_cast<std::uint8_t>(EventKind::Rollout)) {
       throw std::runtime_error("trace: bad binary event kind");
     }
     event.kind = static_cast<EventKind>(kind);

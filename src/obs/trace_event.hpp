@@ -29,6 +29,8 @@ enum class EventKind : std::uint8_t {
   HwInvoke,      ///< one hardware policy invocation (latency, retries)
   RunEnd,        ///< end of a run: aggregate totals
   Budget,        ///< one budget-tree epoch: cap, fleet power, over-cap count
+  Rollout,       ///< policy lifecycle transition (canary start/rollback/
+                 ///< promote); value = candidate version, detail names it
 };
 
 const char* event_kind_name(EventKind kind);

@@ -1,0 +1,131 @@
+#include "policy/rollout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmrl::policy {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* rollout_state_name(RolloutState state) {
+  switch (state) {
+    case RolloutState::Idle: return "idle";
+    case RolloutState::Canary: return "canary";
+    case RolloutState::Promoted: return "promoted";
+    case RolloutState::RolledBack: return "rolled_back";
+  }
+  return "unknown";
+}
+
+RolloutController::RolloutController(RolloutConfig config)
+    : config_(config) {
+  if (config_.canary_pct < 0.0 || config_.canary_pct > 100.0) {
+    throw std::invalid_argument("rollout: canary_pct must be in [0, 100]");
+  }
+  if (config_.window_reports == 0) {
+    throw std::invalid_argument("rollout: window_reports must be >= 1");
+  }
+  if (config_.settle_windows == 0) {
+    throw std::invalid_argument("rollout: settle_windows must be >= 1");
+  }
+  if (config_.regression_threshold < 0.0) {
+    throw std::invalid_argument(
+        "rollout: regression_threshold must be >= 0");
+  }
+}
+
+void RolloutController::start(std::uint64_t candidate_version) {
+  state_ = RolloutState::Canary;
+  candidate_version_ = candidate_version;
+  total_[0] = total_[1] = ArmSums{};
+  window_[0] = window_[1] = ArmSums{};
+  window_count_ = 0;
+  windows_ = 0;
+  regressed_streak_ = 0;
+  healthy_streak_ = 0;
+}
+
+RolloutDecision RolloutController::report(bool candidate_arm,
+                                          double energy_j, double qos) {
+  if (state_ != RolloutState::Canary) return RolloutDecision::None;
+  ArmSums& total = total_[candidate_arm ? 1 : 0];
+  ArmSums& window = window_[candidate_arm ? 1 : 0];
+  total.energy_j += energy_j;
+  total.qos += qos;
+  ++total.reports;
+  window.energy_j += energy_j;
+  window.qos += qos;
+  ++window.reports;
+  ++window_count_;
+
+  // A window closes once it holds enough reports AND both arms delivered
+  // comparable QoS; otherwise it keeps filling (a window with a silent
+  // arm has nothing to compare).
+  if (window_count_ < config_.window_reports) return RolloutDecision::None;
+  if (window_[0].qos <= 0.0 || window_[1].qos <= 0.0) {
+    return RolloutDecision::None;
+  }
+  const double incumbent_epq = window_[0].energy_j / window_[0].qos;
+  const double candidate_epq = window_[1].energy_j / window_[1].qos;
+  const bool regressed =
+      candidate_epq >
+      incumbent_epq * (1.0 + config_.regression_threshold);
+  window_[0] = window_[1] = ArmSums{};
+  window_count_ = 0;
+  ++windows_;
+  if (regressed) {
+    ++regressed_streak_;
+    healthy_streak_ = 0;
+    if (regressed_streak_ >= config_.settle_windows) {
+      state_ = RolloutState::RolledBack;
+      return RolloutDecision::Rollback;
+    }
+  } else {
+    ++healthy_streak_;
+    regressed_streak_ = 0;
+    if (healthy_streak_ >= config_.settle_windows) {
+      state_ = RolloutState::Promoted;
+      return RolloutDecision::Promote;
+    }
+  }
+  return RolloutDecision::None;
+}
+
+double RolloutController::arm_energy_j(bool candidate_arm) const {
+  return total_[candidate_arm ? 1 : 0].energy_j;
+}
+
+double RolloutController::arm_qos(bool candidate_arm) const {
+  return total_[candidate_arm ? 1 : 0].qos;
+}
+
+std::uint64_t RolloutController::arm_reports(bool candidate_arm) const {
+  return total_[candidate_arm ? 1 : 0].reports;
+}
+
+double RolloutController::arm_energy_per_qos(bool candidate_arm) const {
+  const ArmSums& sums = total_[candidate_arm ? 1 : 0];
+  return sums.qos > 0.0 ? sums.energy_j / sums.qos : 0.0;
+}
+
+bool RolloutController::routes_to_candidate(std::uint64_t route_key,
+                                            double canary_pct,
+                                            std::uint64_t salt) {
+  const double pct = std::clamp(canary_pct, 0.0, 100.0);
+  if (pct <= 0.0) return false;
+  if (pct >= 100.0) return true;
+  const std::uint64_t hash =
+      splitmix64(route_key ^ (salt * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(hash % 10000) < pct * 100.0;
+}
+
+}  // namespace pmrl::policy

@@ -1,0 +1,111 @@
+#pragma once
+// RolloutController: the canary evaluator of the policy lifecycle.
+//
+// While a candidate policy serves a slice of decisions next to the
+// incumbent, clients report back the realized outcome of each decision
+// (energy spent, QoS delivered). The controller accumulates per-arm sums,
+// closes an evaluation window every `window_reports` reports (once both
+// arms have delivered QoS to compare), and compares energy-per-QoS — the
+// paper's headline metric, lower is better:
+//
+//   regressed window:  candidate epq > incumbent epq * (1 + threshold)
+//
+// Watchdog-style hysteresis turns windows into verdicts: `settle_windows`
+// consecutive regressed windows trip Rollback, `settle_windows`
+// consecutive healthy windows earn Promote. One noisy window resets the
+// opposing streak instead of flapping the fleet.
+//
+// The controller is plain sequential logic (the server serializes calls);
+// routing is a stateless hash so every shard computes the same arm for
+// the same connection without coordination.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmrl::policy {
+
+struct RolloutConfig {
+  /// Percent of route keys served by the candidate (0..100).
+  double canary_pct = 0.0;
+  /// Fractional energy-per-QoS regression that marks a window regressed.
+  double regression_threshold = 0.05;
+  /// Reports (both arms combined) per evaluation window.
+  std::size_t window_reports = 32;
+  /// Consecutive regressed windows that trip rollback; consecutive
+  /// healthy windows that promote.
+  std::size_t settle_windows = 2;
+  /// Salt folded into the route hash (vary to re-draw the cohort).
+  std::uint64_t route_salt = 0;
+};
+
+/// Verdict returned when a report closes a window decisively.
+enum class RolloutDecision : std::uint8_t {
+  None = 0,
+  Rollback,
+  Promote,
+};
+
+/// Lifecycle state of the controller (mirrors the registry statuses).
+enum class RolloutState : std::uint8_t {
+  Idle = 0,     ///< no candidate staged
+  Canary,       ///< candidate serving its slice, evaluation running
+  Promoted,     ///< candidate won; it is the incumbent now
+  RolledBack,   ///< candidate regressed; incumbent kept serving
+};
+
+const char* rollout_state_name(RolloutState state);
+
+class RolloutController {
+ public:
+  explicit RolloutController(RolloutConfig config);
+
+  const RolloutConfig& config() const { return config_; }
+
+  /// Starts evaluating `candidate_version`; resets all sums and streaks.
+  void start(std::uint64_t candidate_version);
+
+  /// Records one decision outcome. `candidate_arm` says which policy made
+  /// the decision. Returns a decisive verdict when this report closes a
+  /// window that completes a settle streak; None otherwise (including any
+  /// report outside the Canary state).
+  RolloutDecision report(bool candidate_arm, double energy_j, double qos);
+
+  RolloutState state() const { return state_; }
+  std::uint64_t candidate_version() const { return candidate_version_; }
+
+  /// Lifetime per-arm aggregates (across all windows since start()).
+  double arm_energy_j(bool candidate_arm) const;
+  double arm_qos(bool candidate_arm) const;
+  std::uint64_t arm_reports(bool candidate_arm) const;
+  /// Lifetime energy-per-QoS of an arm; 0 when the arm has no QoS yet.
+  double arm_energy_per_qos(bool candidate_arm) const;
+
+  std::size_t windows_evaluated() const { return windows_; }
+  std::size_t regressed_streak() const { return regressed_streak_; }
+  std::size_t healthy_streak() const { return healthy_streak_; }
+
+  /// Deterministic arm routing: does `route_key` belong to the canary
+  /// cohort at `canary_pct` percent? Stateless SplitMix64 hash — every
+  /// caller agrees on the arm of a key without coordination.
+  static bool routes_to_candidate(std::uint64_t route_key, double canary_pct,
+                                  std::uint64_t salt);
+
+ private:
+  struct ArmSums {
+    double energy_j = 0.0;
+    double qos = 0.0;
+    std::uint64_t reports = 0;
+  };
+
+  RolloutConfig config_;
+  RolloutState state_ = RolloutState::Idle;
+  std::uint64_t candidate_version_ = 0;
+  ArmSums total_[2];   // [0]=incumbent, [1]=candidate
+  ArmSums window_[2];
+  std::size_t window_count_ = 0;
+  std::size_t windows_ = 0;
+  std::size_t regressed_streak_ = 0;
+  std::size_t healthy_streak_ = 0;
+};
+
+}  // namespace pmrl::policy

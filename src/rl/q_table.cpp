@@ -64,6 +64,13 @@ std::size_t QTable::visits(std::size_t state, std::size_t action) const {
   return visit_counts_[index(state, action)];
 }
 
+void QTable::set_visits(std::size_t state, std::size_t action,
+                        std::uint64_t count) {
+  constexpr std::uint64_t kMax = 0xFFFFFFFFull;
+  visit_counts_[index(state, action)] =
+      static_cast<std::uint32_t>(std::min(count, kMax));
+}
+
 std::size_t QTable::visited_pairs() const {
   std::size_t n = 0;
   for (auto count : visit_counts_) n += count > 0 ? 1 : 0;

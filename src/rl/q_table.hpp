@@ -34,6 +34,10 @@ class QTable {
   /// Visit bookkeeping (updated by agents on learn()).
   void record_visit(std::size_t state, std::size_t action);
   std::size_t visits(std::size_t state, std::size_t action) const;
+  /// Overwrites one visit count (saturating at the counter width) — used
+  /// when merging per-actor training deltas so the merged table carries the
+  /// fleet-wide visit totals.
+  void set_visits(std::size_t state, std::size_t action, std::uint64_t count);
   /// Number of (s, a) pairs visited at least once.
   std::size_t visited_pairs() const;
   /// Number of states with at least one visited action.

@@ -4,6 +4,21 @@
 
 namespace pmrl::rl {
 
+std::vector<workload::ScenarioKind> TrainerConfig::resolved_scenarios()
+    const {
+  return scenarios.empty() ? workload::all_scenario_kinds() : scenarios;
+}
+
+workload::ScenarioKind TrainerConfig::episode_kind(std::size_t episode)
+    const {
+  const auto resolved = resolved_scenarios();
+  return resolved[episode % resolved.size()];
+}
+
+std::uint64_t TrainerConfig::episode_seed(std::size_t episode) const {
+  return vary_seed_per_episode ? workload_seed + episode : workload_seed;
+}
+
 Trainer::Trainer(core::SimEngine& engine, RlGovernor& governor,
                  TrainerConfig config)
     : engine_(engine), governor_(governor), config_(std::move(config)) {
@@ -14,10 +29,7 @@ Trainer::Trainer(core::SimEngine& engine, RlGovernor& governor,
 
 EpisodeResult Trainer::train_episode(std::size_t episode_index,
                                      workload::ScenarioKind kind) {
-  const std::uint64_t seed =
-      config_.vary_seed_per_episode
-          ? config_.workload_seed + episode_index
-          : config_.workload_seed;
+  const std::uint64_t seed = config_.episode_seed(episode_index);
   const auto scenario = workload::make_scenario(kind, seed);
   governor_.begin_episode();
   const core::RunResult run = engine_.run(*scenario, governor_);

@@ -12,7 +12,10 @@
 
 namespace pmrl::rl {
 
-/// Training schedule.
+/// Training schedule. The per-episode scenario and workload seed are pure
+/// functions of the episode index (episode_kind/episode_seed below), so a
+/// distributed trainer that shards episodes across actors reproduces the
+/// serial trainer's exact global schedule chunk by chunk.
 struct TrainerConfig {
   std::size_t episodes = 60;
   /// Scenarios rotated round-robin across episodes; empty means "all six".
@@ -22,6 +25,13 @@ struct TrainerConfig {
   /// If true each episode uses a different workload seed (base + episode),
   /// preventing the agent from memorizing one job sequence.
   bool vary_seed_per_episode = true;
+
+  /// Scenario list with the empty-means-all-six default applied.
+  std::vector<workload::ScenarioKind> resolved_scenarios() const;
+  /// Scenario of episode `episode` under the round-robin rotation.
+  workload::ScenarioKind episode_kind(std::size_t episode) const;
+  /// Workload seed of episode `episode` (base + episode when varying).
+  std::uint64_t episode_seed(std::size_t episode) const;
 };
 
 /// Outcome of one training episode.

@@ -183,7 +183,38 @@ Client::Result Client::query(std::uint64_t state, std::uint32_t agent) {
       continue;
     }
     return Result{msg.action, (msg.flags & kRespSafeDefault) != 0,
-                  (msg.flags & kRespCacheHit) != 0};
+                  (msg.flags & kRespCacheHit) != 0,
+                  (msg.flags & kRespCanary) != 0};
+  }
+}
+
+Client::ReportResult Client::report(double energy_j, double qos) {
+  const std::uint64_t id = next_id_++;
+  std::string out;
+  append_report(out, ReportMsg{id, energy_j, qos});
+  send_all(out);
+  for (;;) {
+    const util::Frame frame = read_frame();
+    const auto type = static_cast<MsgType>(frame.type);
+    if (type == MsgType::ReportAck) {
+      ReportAckMsg ack;
+      if (!parse_report_ack(frame, ack)) {
+        throw ClientError("serve client: malformed report ack");
+      }
+      return ReportResult{ack.candidate_arm, ack.rollout_state};
+    }
+    if (type == MsgType::Response) {
+      ResponseMsg msg;
+      if (parse_response(frame, msg)) stashed_.push_back(msg);
+      continue;
+    }
+    if (type == MsgType::Error) {
+      ErrorMsg err;
+      parse_error(frame, err);
+      throw ClientError("serve client: server error " +
+                        std::to_string(err.code) + ": " + err.message);
+    }
+    throw ClientError("serve client: unexpected reply to report");
   }
 }
 

@@ -43,8 +43,17 @@ class Client {
     std::uint32_t action = 0;
     bool safe_default = false;  ///< shed or timed out: all-hold degradation
     bool cache_hit = false;
+    bool canary = false;  ///< decided by the canary candidate policy
   };
   Result query(std::uint64_t state, std::uint32_t agent = 0);
+
+  /// Reports a realized decision outcome (energy spent, QoS delivered) to
+  /// the server's canary evaluator and waits for the acknowledgement.
+  struct ReportResult {
+    bool candidate_arm = false;   ///< arm the report was credited to
+    std::uint8_t rollout_state = 0;  ///< policy::RolloutState after it
+  };
+  ReportResult report(double energy_j, double qos);
 
   // -- pipelined interface -------------------------------------------------
 

@@ -17,6 +17,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "policy/registry.hpp"
 #include "rl/policy_io.hpp"
 #include "util/log.hpp"
 
@@ -36,6 +37,10 @@ void set_nonblocking(int fd) {
 [[noreturn]] void fail_errno(const std::string& what) {
   throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
 }
+
+/// Route-key domain for shm lanes (kept apart from the accept-sequence
+/// keys socket connections use).
+constexpr std::uint64_t kLaneRouteBase = 0x73686d0000000000ull;
 
 /// Spin a little, then sleep: used where there is no fd to block on
 /// (shm rings).
@@ -65,6 +70,10 @@ struct PolicyServer::Connection {
 
   const int fd;
   bool open = true;
+  /// This connection belongs to the canary cohort (deterministic hash of
+  /// its accept-order key); decisions/reports go to the candidate arm
+  /// while a candidate is active.
+  bool canary = false;
   std::string rx;
   std::size_t rx_off = 0;
 };
@@ -75,6 +84,8 @@ struct PolicyServer::Connection {
 struct PolicyServer::Pending {
   std::shared_ptr<Connection> conn;
   std::uint32_t lane = kNoLane;
+  /// Canary-cohort flag of the originating connection/lane.
+  bool canary = false;
   QueryMsg query;
   std::chrono::steady_clock::time_point enqueued;
 };
@@ -83,9 +94,13 @@ struct PolicyServer::Pending {
 /// queue, and reusable scratch for batching. One Worker per shard thread
 /// and one per shm worker thread; nothing in here is shared.
 struct PolicyServer::Worker {
-  explicit Worker(std::size_t cache_capacity) : cache(cache_capacity) {}
+  explicit Worker(std::size_t cache_capacity)
+      : cache(cache_capacity), canary_cache(cache_capacity) {}
 
   WorkerCache cache;
+  /// Candidate-arm decisions cache separately: one key can map to
+  /// different actions under the two policies.
+  WorkerCache canary_cache;
   std::deque<Pending> pending;
   // Batch scratch (reused allocation across batches).
   std::vector<Pending> batch;
@@ -127,7 +142,8 @@ struct PolicyServer::ShmWorker {
   std::thread thread;
 };
 
-PolicyServer::PolicyServer(ServerConfig config) : config_(std::move(config)) {
+PolicyServer::PolicyServer(ServerConfig config)
+    : config_(std::move(config)), rollout_(config_.rollout) {
   if (config_.workers == 0) {
     throw std::invalid_argument("serve: workers must be >= 1");
   }
@@ -164,6 +180,22 @@ void PolicyServer::set_metrics(obs::MetricsRegistry* metrics) {
   reload_counter_ = metrics ? &metrics->counter("serve.reloads") : nullptr;
   connection_counter_ =
       metrics ? &metrics->counter("serve.connections") : nullptr;
+  report_counter_[0] =
+      metrics ? &metrics->counter("serve.rollout.incumbent_reports")
+              : nullptr;
+  report_counter_[1] =
+      metrics ? &metrics->counter("serve.rollout.candidate_reports")
+              : nullptr;
+  rollback_counter_ =
+      metrics ? &metrics->counter("serve.rollout.rollbacks") : nullptr;
+  promote_counter_ =
+      metrics ? &metrics->counter("serve.rollout.promotions") : nullptr;
+  arm_epq_gauge_[0] =
+      metrics ? &metrics->gauge("serve.rollout.incumbent_energy_per_qos")
+              : nullptr;
+  arm_epq_gauge_[1] =
+      metrics ? &metrics->gauge("serve.rollout.candidate_energy_per_qos")
+              : nullptr;
   queue_depth_gauge_ =
       metrics ? &metrics->gauge("serve.queue_depth") : nullptr;
   batch_size_hist_ =
@@ -192,6 +224,19 @@ void PolicyServer::start() {
                          << "); serving fresh-init policy";
     }
   }
+  if (!config_.registry_dir.empty()) {
+    registry_ = std::make_unique<policy::PolicyRegistry>(config_.registry_dir);
+    if (config_.policy_path.empty()) {
+      if (const auto cur = registry_->current()) {
+        try {
+          registry_->load(*cur, *governor_);
+        } catch (const std::exception& ex) {
+          PMRL_WARN("serve") << "registry CURRENT v" << *cur << " rejected ("
+                             << ex.what() << "); serving fresh-init policy";
+        }
+      }
+    }
+  }
   governor_->set_frozen(true);
   agent_count_ = governor_->agent_count();
   states_per_agent_ = governor_->agent(0).state_count();
@@ -210,6 +255,13 @@ void PolicyServer::start() {
         safe_action_ = static_cast<std::uint32_t>(m);
         break;
       }
+    }
+  }
+
+  if (registry_ && config_.rollout.canary_pct > 0.0) {
+    std::string stage_error;
+    if (!stage_candidate_from_registry(&stage_error)) {
+      PMRL_WARN("serve") << "canary not staged: " << stage_error;
     }
   }
 
@@ -325,37 +377,165 @@ void PolicyServer::stop() {
 
 bool PolicyServer::request_reload(std::string* error) {
   const std::lock_guard<std::mutex> serial(reload_mutex_);
-  if (config_.policy_path.empty()) {
+  if (config_.policy_path.empty() && !registry_) {
     if (error) *error = "no policy path configured";
     return false;
   }
-  std::ifstream in(config_.policy_path);
-  if (!in) {
-    if (error) *error = "cannot open '" + config_.policy_path + "'";
-    return false;
+  if (!config_.policy_path.empty()) {
+    std::ifstream in(config_.policy_path);
+    if (!in) {
+      if (error) *error = "cannot open '" + config_.policy_path + "'";
+      return false;
+    }
+    // Stage into a fresh governor; the serving one is untouched until the
+    // whole checkpoint has validated (same transactional stance as
+    // load_policy itself).
+    auto staged = std::make_unique<rl::RlGovernor>(config_.governor,
+                                                   config_.cluster_count);
+    std::string load_error;
+    if (!rl::try_load_policy(*staged, in, &load_error)) {
+      if (error) *error = load_error;
+      return false;
+    }
+    staged->set_frozen(true);
+    {
+      const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
+      governor_ = std::move(staged);
+      // Bump under the writer lock: every in-flight batch holds the reader
+      // side, so a worker that filled cache entries against the old
+      // governor observes the new generation (and clears them) before its
+      // next probe of the new one.
+      cache_generation_.fetch_add(1, std::memory_order_release);
+    }
   }
-  // Stage into a fresh governor; the serving one is untouched until the
-  // whole checkpoint has validated (same transactional stance as
-  // load_policy itself).
-  auto staged = std::make_unique<rl::RlGovernor>(config_.governor,
-                                                 config_.cluster_count);
-  std::string load_error;
-  if (!rl::try_load_policy(*staged, in, &load_error)) {
-    if (error) *error = load_error;
-    return false;
-  }
-  staged->set_frozen(true);
-  {
-    const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
-    governor_ = std::move(staged);
-    // Bump under the writer lock: every in-flight batch holds the reader
-    // side, so a worker that filled cache entries against the old
-    // governor observes the new generation (and clears them) before its
-    // next probe of the new one.
-    cache_generation_.fetch_add(1, std::memory_order_release);
+  // SIGHUP-staged canary: with a registry configured, every reload also
+  // re-stages the candidate (a new registry entry becomes the canary
+  // without restarting the service).
+  if (registry_ && config_.rollout.canary_pct > 0.0) {
+    std::string stage_error;
+    if (!stage_candidate_from_registry(&stage_error)) {
+      if (config_.policy_path.empty()) {
+        if (error) *error = stage_error;
+        return false;
+      }
+      PMRL_WARN("serve") << "canary not staged on reload: " << stage_error;
+    }
   }
   if (reload_counter_) reload_counter_->inc();
   return true;
+}
+
+void PolicyServer::stage_candidate(std::unique_ptr<rl::RlGovernor> candidate,
+                                   std::uint64_t version) {
+  if (!candidate) {
+    throw std::invalid_argument("serve: null candidate");
+  }
+  if (candidate->agent_count() != governor_->agent_count() ||
+      candidate->agent(0).state_count() !=
+          governor_->agent(0).state_count()) {
+    throw std::invalid_argument("serve: candidate shape mismatch");
+  }
+  candidate->set_frozen(true);
+  {
+    const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
+    candidate_ = std::move(candidate);
+    candidate_version_.store(version, std::memory_order_release);
+    candidate_active_.store(true, std::memory_order_release);
+    cache_generation_.fetch_add(1, std::memory_order_release);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(rollout_mutex_);
+    rollout_.start(version);
+    rollout_state_.store(
+        static_cast<std::uint8_t>(policy::RolloutState::Canary),
+        std::memory_order_release);
+  }
+  emit_rollout_trace("canary_start", version);
+}
+
+bool PolicyServer::stage_candidate_from_registry(std::string* error) {
+  if (!registry_) {
+    if (error) *error = "no registry configured";
+    return false;
+  }
+  std::uint64_t version = config_.candidate_version;
+  if (version == 0) {
+    const auto latest = registry_->latest_candidate();
+    if (!latest) {
+      if (error) *error = "registry has no candidate entry";
+      return false;
+    }
+    version = *latest;
+  }
+  auto staged = std::make_unique<rl::RlGovernor>(config_.governor,
+                                                 config_.cluster_count);
+  try {
+    registry_->load(version, *staged);
+  } catch (const std::exception& ex) {
+    if (error) *error = ex.what();
+    return false;
+  }
+  try {
+    registry_->set_status(version, policy::PolicyStatus::Canary);
+  } catch (const std::exception& ex) {
+    PMRL_WARN("serve") << "registry status update failed: " << ex.what();
+  }
+  stage_candidate(std::move(staged), version);
+  return true;
+}
+
+void PolicyServer::finish_rollout(policy::RolloutDecision decision) {
+  const std::uint64_t version =
+      candidate_version_.load(std::memory_order_acquire);
+  if (decision == policy::RolloutDecision::Rollback) {
+    // Rollback never touches a connection: it deactivates the candidate
+    // (canary-cohort decisions fall back to the incumbent on the very
+    // next batch) and invalidates the worker caches.
+    {
+      const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
+      candidate_active_.store(false, std::memory_order_release);
+      candidate_.reset();
+      cache_generation_.fetch_add(1, std::memory_order_release);
+    }
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (rollback_counter_) rollback_counter_->inc();
+    if (registry_) {
+      try {
+        registry_->rollback(version);
+      } catch (const std::exception& ex) {
+        PMRL_WARN("serve") << "registry rollback failed: " << ex.what();
+      }
+    }
+    emit_rollout_trace("rollback", version);
+  } else if (decision == policy::RolloutDecision::Promote) {
+    {
+      const std::unique_lock<std::shared_mutex> lock(governor_mutex_);
+      if (candidate_) governor_ = std::move(candidate_);
+      candidate_active_.store(false, std::memory_order_release);
+      cache_generation_.fetch_add(1, std::memory_order_release);
+    }
+    promotions_.fetch_add(1, std::memory_order_relaxed);
+    if (promote_counter_) promote_counter_->inc();
+    if (registry_) {
+      try {
+        registry_->promote(version);
+      } catch (const std::exception& ex) {
+        PMRL_WARN("serve") << "registry promote failed: " << ex.what();
+      }
+    }
+    emit_rollout_trace("promote", version);
+  }
+}
+
+void PolicyServer::emit_rollout_trace(const char* what,
+                                      std::uint64_t version) {
+  if (!trace_) return;
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::Rollout;
+  event.value = static_cast<double>(version);
+  event.detail = what;
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_->record(event);
 }
 
 void PolicyServer::pause_workers() {
@@ -420,7 +600,11 @@ void PolicyServer::shard_loop(Shard& shard) {
             ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
                          sizeof(one));
           }
-          conns.emplace(client, std::make_shared<Connection>(client));
+          auto conn = std::make_shared<Connection>(client);
+          conn->canary = policy::RolloutController::routes_to_candidate(
+              conn_seq_.fetch_add(1, std::memory_order_relaxed),
+              config_.rollout.canary_pct, config_.rollout.route_salt);
+          conns.emplace(client, std::move(conn));
           if (connection_counter_) connection_counter_->inc();
         }
       } else {
@@ -611,6 +795,10 @@ void PolicyServer::handle_frame(Worker& worker,
       send_to(conn, lane, out);
       return;
     }
+    case MsgType::Report: {
+      handle_report(worker, conn, lane, frame);
+      return;
+    }
     default: {
       if (wire_error_counter_) wire_error_counter_->inc();
       append_error(out, ErrorMsg{0,
@@ -624,6 +812,55 @@ void PolicyServer::handle_frame(Worker& worker,
   }
 }
 
+void PolicyServer::handle_report(Worker& worker,
+                                 const std::shared_ptr<Connection>& conn,
+                                 std::uint32_t lane,
+                                 const util::Frame& frame) {
+  (void)worker;
+  std::string out;
+  ReportMsg report;
+  if (!parse_report(frame, report)) {
+    if (wire_error_counter_) wire_error_counter_->inc();
+    append_error(out, ErrorMsg{0,
+                               static_cast<std::uint32_t>(
+                                   WireErrorCode::BadMessage),
+                               "malformed report payload"});
+    send_to(conn, lane, out);
+    return;
+  }
+  const bool route_arm =
+      conn ? conn->canary
+           : policy::RolloutController::routes_to_candidate(
+                 kLaneRouteBase + lane, config_.rollout.canary_pct,
+                 config_.rollout.route_salt);
+  // Credit the candidate arm only while the candidate actually serves the
+  // cohort; after rollback the cohort's outcomes are the incumbent's.
+  const bool credited =
+      route_arm && candidate_active_.load(std::memory_order_acquire);
+  policy::RolloutDecision decision = policy::RolloutDecision::None;
+  std::uint8_t state_now = 0;
+  {
+    const std::lock_guard<std::mutex> lock(rollout_mutex_);
+    decision = rollout_.report(credited, report.energy_j, report.qos);
+    state_now = static_cast<std::uint8_t>(rollout_.state());
+    rollout_state_.store(state_now, std::memory_order_release);
+    if (arm_epq_gauge_[credited ? 1 : 0]) {
+      arm_epq_gauge_[credited ? 1 : 0]->set(
+          rollout_.arm_energy_per_qos(credited));
+    }
+  }
+  if (report_counter_[credited ? 1 : 0]) {
+    report_counter_[credited ? 1 : 0]->inc();
+  }
+  if (decision != policy::RolloutDecision::None) {
+    finish_rollout(decision);
+    state_now = rollout_state_.load(std::memory_order_acquire);
+  }
+  append_report_ack(out,
+                    ReportAckMsg{report.request_id, credited, state_now});
+  send_to(conn, lane, out);
+}
+
 void PolicyServer::enqueue_or_shed(Worker& worker,
                                    const std::shared_ptr<Connection>& conn,
                                    std::uint32_t lane,
@@ -631,8 +868,14 @@ void PolicyServer::enqueue_or_shed(Worker& worker,
   if (requests_counter_) requests_counter_->inc();
   if (!stopping_.load(std::memory_order_relaxed) &&
       worker.pending.size() < config_.queue_capacity) {
+    const bool canary =
+        conn ? conn->canary
+             : policy::RolloutController::routes_to_candidate(
+                   kLaneRouteBase + lane, config_.rollout.canary_pct,
+                   config_.rollout.route_salt);
     worker.pending.push_back(
-        Pending{conn, lane, query, std::chrono::steady_clock::now()});
+        Pending{conn, lane, canary, query,
+                std::chrono::steady_clock::now()});
     note_queue_depth(1);
     return;
   }
@@ -673,14 +916,25 @@ void PolicyServer::process_batch(Worker& worker) {
     const std::shared_lock<std::shared_mutex> glock(governor_mutex_);
     // Reconcile reload generation while holding the reader lock: the
     // governor cannot swap mid-batch, so entries filled below belong to
-    // the generation recorded here.
-    worker.cache.sync(cache_generation_.load(std::memory_order_acquire));
+    // the generation recorded here. Both arms share one generation; a
+    // candidate swap bumps it, so both caches clear together.
+    const std::uint64_t generation =
+        cache_generation_.load(std::memory_order_acquire);
+    worker.cache.sync(generation);
+    worker.canary_cache.sync(generation);
+    // The candidate pointer only swaps under the writer lock, so this is
+    // a stable view for the whole batch.
+    const bool canary_on =
+        candidate_active_.load(std::memory_order_acquire) &&
+        candidate_ != nullptr;
     const auto now = std::chrono::steady_clock::now();
     worker.miss_slots.clear();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const Pending& pending = batch[i];
+      const bool use_candidate = canary_on && pending.canary;
       ResponseMsg& msg = worker.msgs[i];
-      msg = ResponseMsg{pending.query.request_id, 0, 0};
+      msg = ResponseMsg{pending.query.request_id, 0,
+                        use_candidate ? kRespCanary : std::uint16_t{0}};
       if (now - pending.enqueued > config_.request_timeout) {
         // Stale decision = wrong decision: a DVFS answer for a 50 ms old
         // state is worthless, so degrade to the safe default instead.
@@ -693,39 +947,49 @@ void PolicyServer::process_batch(Worker& worker) {
           static_cast<std::uint64_t>(pending.query.agent) *
               states_per_agent_ +
           pending.query.state;
-      if (const auto hit = worker.cache.get(key)) {
+      WorkerCache& cache =
+          use_candidate ? worker.canary_cache : worker.cache;
+      if (const auto hit = cache.get(key)) {
         msg.action = *hit;
-        msg.flags = kRespCacheHit;
+        msg.flags |= kRespCacheHit;
         if (cache_hit_counter_) cache_hit_counter_->inc();
         continue;
       }
       worker.miss_slots.push_back(i);
     }
     // Cache misses go through the batched argmax: one SIMD pass per agent
-    // instead of a scalar row scan per request.
-    for (std::uint32_t agent = 0;
-         !worker.miss_slots.empty() && agent < agent_count_; ++agent) {
-      worker.agent_slots.clear();
-      worker.miss_states.clear();
-      for (const std::size_t i : worker.miss_slots) {
-        if (batch[i].query.agent != agent) continue;
-        worker.agent_slots.push_back(i);
-        worker.miss_states.push_back(batch[i].query.state);
-      }
-      if (worker.agent_slots.empty()) continue;
-      worker.miss_actions.resize(worker.agent_slots.size());
-      governor_->agent(agent).greedy_actions(worker.miss_states.data(),
-                                             worker.miss_states.size(),
-                                             worker.miss_actions.data());
-      for (std::size_t j = 0; j < worker.agent_slots.size(); ++j) {
-        const std::size_t i = worker.agent_slots[j];
-        const std::uint32_t action = worker.miss_actions[j];
-        worker.msgs[i].action = action;
-        worker.cache.put(static_cast<std::uint64_t>(agent) *
-                                 states_per_agent_ +
-                             batch[i].query.state,
-                         action);
-        if (cache_miss_counter_) cache_miss_counter_->inc();
+    // (and per arm while a candidate serves) instead of a scalar row scan
+    // per request.
+    for (int arm = 0; !worker.miss_slots.empty() && arm < (canary_on ? 2 : 1);
+         ++arm) {
+      rl::RlGovernor& arm_governor = arm == 1 ? *candidate_ : *governor_;
+      WorkerCache& arm_cache =
+          arm == 1 ? worker.canary_cache : worker.cache;
+      for (std::uint32_t agent = 0; agent < agent_count_; ++agent) {
+        worker.agent_slots.clear();
+        worker.miss_states.clear();
+        for (const std::size_t i : worker.miss_slots) {
+          const bool use_candidate = canary_on && batch[i].canary;
+          if ((use_candidate ? 1 : 0) != arm) continue;
+          if (batch[i].query.agent != agent) continue;
+          worker.agent_slots.push_back(i);
+          worker.miss_states.push_back(batch[i].query.state);
+        }
+        if (worker.agent_slots.empty()) continue;
+        worker.miss_actions.resize(worker.agent_slots.size());
+        arm_governor.agent(agent).greedy_actions(
+            worker.miss_states.data(), worker.miss_states.size(),
+            worker.miss_actions.data());
+        for (std::size_t j = 0; j < worker.agent_slots.size(); ++j) {
+          const std::size_t i = worker.agent_slots[j];
+          const std::uint32_t action = worker.miss_actions[j];
+          worker.msgs[i].action = action;
+          arm_cache.put(static_cast<std::uint64_t>(agent) *
+                                states_per_agent_ +
+                            batch[i].query.state,
+                        action);
+          if (cache_miss_counter_) cache_miss_counter_->inc();
+        }
       }
     }
   }

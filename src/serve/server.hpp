@@ -55,10 +55,15 @@
 #include <thread>
 #include <vector>
 
+#include "policy/rollout.hpp"
 #include "rl/rl_governor.hpp"
 #include "serve/cache.hpp"
 #include "serve/shm_ring.hpp"
 #include "serve/wire.hpp"
+
+namespace pmrl::policy {
+class PolicyRegistry;
+}  // namespace pmrl::policy
 
 namespace pmrl::obs {
 class TraceSink;
@@ -121,6 +126,18 @@ struct ServerConfig {
   /// bench uses it to pin the service rate below the offered load so
   /// shedding behaviour is measured deterministically.
   std::chrono::microseconds batch_process_delay{0};
+
+  // ---- canary rollout -----------------------------------------------------
+  /// Policy registry directory (empty = no registry). With a registry and
+  /// an empty policy_path, the incumbent loads from the registry's CURRENT
+  /// pointer; with rollout.canary_pct > 0 a candidate is staged from the
+  /// registry at start() and on every reload (SIGHUP).
+  std::string registry_dir;
+  /// Registry version to canary; 0 picks the latest candidate entry.
+  std::uint64_t candidate_version = 0;
+  /// Canary evaluation knobs. canary_pct is the share of connections
+  /// routed to the candidate via the deterministic per-connection hash.
+  policy::RolloutConfig rollout;
 };
 
 class PolicyServer {
@@ -162,6 +179,30 @@ class PolicyServer {
   /// concurrently.
   rl::RlGovernor& governor() { return *governor_; }
 
+  /// Stages a candidate governor (already loaded + frozen) for canary
+  /// serving and starts the rollout evaluator. Thread-safe; replaces any
+  /// candidate already staged. Used by tests and the registry path.
+  void stage_candidate(std::unique_ptr<rl::RlGovernor> candidate,
+                       std::uint64_t version);
+
+  /// Canary state (all readable while serving).
+  bool candidate_active() const {
+    return candidate_active_.load(std::memory_order_acquire);
+  }
+  std::uint64_t candidate_version() const {
+    return candidate_version_.load(std::memory_order_acquire);
+  }
+  policy::RolloutState rollout_state() const {
+    return static_cast<policy::RolloutState>(
+        rollout_state_.load(std::memory_order_acquire));
+  }
+  std::uint64_t rollbacks() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+
   /// Attach observability before start(). The trace sink receives one
   /// HwInvoke-style event per processed batch (server-side latency and
   /// batch size); access is serialized internally.
@@ -187,6 +228,12 @@ class PolicyServer {
   static constexpr std::uint32_t kNoLane = 0xFFFFFFFFu;
 
   void shard_loop(Shard& shard);
+  bool stage_candidate_from_registry(std::string* error);
+  void handle_report(Worker& worker,
+                     const std::shared_ptr<Connection>& conn,
+                     std::uint32_t lane, const util::Frame& frame);
+  void finish_rollout(policy::RolloutDecision decision);
+  void emit_rollout_trace(const char* what, std::uint64_t version);
   void shm_loop(ShmWorker& worker);
   void handle_readable(Worker& worker,
                        const std::shared_ptr<Connection>& conn);
@@ -209,6 +256,21 @@ class PolicyServer {
 
   ServerConfig config_;
   std::unique_ptr<rl::RlGovernor> governor_;
+  /// Canary candidate; swapped only under the governor writer lock, read
+  /// under the shared lock in process_batch.
+  std::unique_ptr<rl::RlGovernor> candidate_;
+  std::unique_ptr<policy::PolicyRegistry> registry_;
+  /// Canary evaluator; guarded by rollout_mutex_, state mirrored in the
+  /// atomics below for lock-free reads.
+  policy::RolloutController rollout_;
+  std::mutex rollout_mutex_;
+  std::atomic<bool> candidate_active_{false};
+  std::atomic<std::uint64_t> candidate_version_{0};
+  std::atomic<std::uint8_t> rollout_state_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
+  std::atomic<std::uint64_t> promotions_{0};
+  /// Accept-order sequence: the deterministic per-connection route key.
+  std::atomic<std::uint64_t> conn_seq_{0};
   /// Guards governor_ swap on hot-reload; workers take it shared per batch.
   std::shared_mutex governor_mutex_;
   std::mutex reload_mutex_;
@@ -246,6 +308,10 @@ class PolicyServer {
   obs::Counter* wire_error_counter_ = nullptr;
   obs::Counter* reload_counter_ = nullptr;
   obs::Counter* connection_counter_ = nullptr;
+  obs::Counter* report_counter_[2] = {nullptr, nullptr};
+  obs::Counter* rollback_counter_ = nullptr;
+  obs::Counter* promote_counter_ = nullptr;
+  obs::Gauge* arm_epq_gauge_[2] = {nullptr, nullptr};
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
   obs::Histogram* latency_hist_ = nullptr;

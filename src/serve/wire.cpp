@@ -1,5 +1,7 @@
 #include "serve/wire.hpp"
 
+#include <cstring>
+
 namespace pmrl::serve {
 
 namespace {
@@ -23,6 +25,20 @@ bool check(const util::Frame& frame, MsgType type, std::size_t min_payload) {
          frame.payload.size() >= min_payload;
 }
 
+// Doubles travel as their IEEE-754 bit patterns so a report round-trips
+// bit-exactly (no text formatting in the hot feedback path).
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double f64_from_bits(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
 }  // namespace
 
 const char* msg_type_name(MsgType type) {
@@ -34,6 +50,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::Reload: return "reload";
     case MsgType::ReloadAck: return "reload-ack";
     case MsgType::Error: return "error";
+    case MsgType::Report: return "report";
+    case MsgType::ReportAck: return "report-ack";
   }
   return "unknown";
 }
@@ -95,6 +113,26 @@ void append_error(std::string& out, const ErrorMsg& msg) {
                      payload);
 }
 
+void append_report(std::string& out, const ReportMsg& msg) {
+  std::string payload;
+  payload.reserve(24);
+  put_u64(payload, msg.request_id);
+  put_u64(payload, f64_bits(msg.energy_j));
+  put_u64(payload, f64_bits(msg.qos));
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::Report), 0,
+                     payload);
+}
+
+void append_report_ack(std::string& out, const ReportAckMsg& msg) {
+  std::string payload;
+  payload.reserve(10);
+  put_u64(payload, msg.request_id);
+  payload.push_back(msg.candidate_arm ? 1 : 0);
+  payload.push_back(static_cast<char>(msg.rollout_state));
+  util::append_frame(out, static_cast<std::uint8_t>(MsgType::ReportAck), 0,
+                     payload);
+}
+
 bool parse_query(const util::Frame& frame, QueryMsg& msg) {
   if (!check(frame, MsgType::Query, 20)) return false;
   const char* p = frame.payload.data();
@@ -129,6 +167,24 @@ bool parse_reload_ack(const util::Frame& frame, ReloadAckMsg& msg) {
   if (!check(frame, MsgType::ReloadAck, 1)) return false;
   msg.ok = frame.payload[0] != 0;
   msg.error = frame.payload.substr(1);
+  return true;
+}
+
+bool parse_report(const util::Frame& frame, ReportMsg& msg) {
+  if (!check(frame, MsgType::Report, 24)) return false;
+  const char* p = frame.payload.data();
+  msg.request_id = get_u64(p);
+  msg.energy_j = f64_from_bits(get_u64(p + 8));
+  msg.qos = f64_from_bits(get_u64(p + 16));
+  return true;
+}
+
+bool parse_report_ack(const util::Frame& frame, ReportAckMsg& msg) {
+  if (!check(frame, MsgType::ReportAck, 10)) return false;
+  const char* p = frame.payload.data();
+  msg.request_id = get_u64(p);
+  msg.candidate_arm = p[8] != 0;
+  msg.rollout_state = static_cast<std::uint8_t>(p[9]);
   return true;
 }
 

@@ -10,6 +10,9 @@
 //   Reload    (empty)
 //   ReloadAck u8 ok, error text                              (1+n bytes)
 //   Error     u64 request_id, u32 code, message text         (12+n bytes)
+//   Report    u64 request_id, f64 energy_j, f64 qos          (24 bytes;
+//             doubles travel as their IEEE-754 bit patterns, u64 LE)
+//   ReportAck u64 request_id, u8 candidate_arm, u8 state     (10 bytes)
 //
 // A Query carries a *quantized* rl state: the client runs the
 // StateEncoder (or ships precomputed indices) and the server answers with
@@ -35,6 +38,13 @@ enum class MsgType : std::uint8_t {
   Reload = 5,
   ReloadAck = 6,
   Error = 7,
+  /// Decision-outcome feedback for the canary evaluator: the realized
+  /// energy/QoS of decisions this connection received. The server
+  /// attributes the report to the connection's rollout arm.
+  Report = 8,
+  /// Acknowledges a Report: which arm it was credited to and the rollout
+  /// state after evaluation (policy::RolloutState as u8).
+  ReportAck = 9,
 };
 
 const char* msg_type_name(MsgType type);
@@ -42,6 +52,8 @@ const char* msg_type_name(MsgType type);
 /// Response flag bits.
 inline constexpr std::uint16_t kRespSafeDefault = 1u << 0;  ///< shed/timeout
 inline constexpr std::uint16_t kRespCacheHit = 1u << 1;
+/// Decision was made by the canary candidate policy, not the incumbent.
+inline constexpr std::uint16_t kRespCanary = 1u << 2;
 
 /// Error codes carried by Error messages.
 enum class WireErrorCode : std::uint32_t {
@@ -73,6 +85,20 @@ struct ReloadAckMsg {
   std::string error;
 };
 
+struct ReportMsg {
+  std::uint64_t request_id = 0;
+  double energy_j = 0.0;
+  double qos = 0.0;
+};
+
+struct ReportAckMsg {
+  std::uint64_t request_id = 0;
+  /// True when the report was credited to the candidate arm.
+  bool candidate_arm = false;
+  /// policy::RolloutState of the evaluator after this report.
+  std::uint8_t rollout_state = 0;
+};
+
 // Encoders append one complete frame to `out` (sendable as-is).
 void append_query(std::string& out, const QueryMsg& msg);
 void append_response(std::string& out, const ResponseMsg& msg);
@@ -81,6 +107,8 @@ void append_pong(std::string& out, std::uint64_t token);
 void append_reload(std::string& out);
 void append_reload_ack(std::string& out, const ReloadAckMsg& msg);
 void append_error(std::string& out, const ErrorMsg& msg);
+void append_report(std::string& out, const ReportMsg& msg);
+void append_report_ack(std::string& out, const ReportAckMsg& msg);
 
 // Decoders parse the payload of an already-validated frame of the matching
 // type; they return false on a payload that is too short or malformed (the
@@ -91,5 +119,7 @@ bool parse_ping(const util::Frame& frame, std::uint64_t& token);
 bool parse_pong(const util::Frame& frame, std::uint64_t& token);
 bool parse_reload_ack(const util::Frame& frame, ReloadAckMsg& msg);
 bool parse_error(const util::Frame& frame, ErrorMsg& msg);
+bool parse_report(const util::Frame& frame, ReportMsg& msg);
+bool parse_report_ack(const util::Frame& frame, ReportAckMsg& msg);
 
 }  // namespace pmrl::serve

@@ -1,0 +1,98 @@
+#include "train/distributed_trainer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+namespace pmrl::train {
+
+DistributedTrainer::DistributedTrainer(core::runfarm::RunFarm& farm,
+                                       rl::RlGovernorConfig policy,
+                                       std::size_t cluster_count,
+                                       DistributedTrainerConfig config)
+    : farm_(farm),
+      policy_(std::move(policy)),
+      cluster_count_(cluster_count),
+      config_(std::move(config)) {
+  if (config_.actors == 0) {
+    throw std::invalid_argument("distributed trainer: actors must be >= 1");
+  }
+  if (config_.schedule.episodes == 0) {
+    throw std::invalid_argument(
+        "distributed trainer: episodes must be >= 1");
+  }
+  if (policy_.backend != rl::AgentBackend::Float) {
+    throw std::invalid_argument(
+        "distributed trainer: only the Float backend merges");
+  }
+  // More actors than episodes would leave trailing actors with empty
+  // shards; clamp so every actor trains at least one episode.
+  config_.actors = std::min(config_.actors, config_.schedule.episodes);
+}
+
+std::pair<std::size_t, std::size_t> DistributedTrainer::actor_range(
+    std::size_t actor) const {
+  const std::size_t episodes = config_.schedule.episodes;
+  const std::size_t base = episodes / config_.actors;
+  const std::size_t extra = episodes % config_.actors;
+  const std::size_t count = base + (actor < extra ? 1 : 0);
+  const std::size_t first =
+      actor * base + std::min(actor, extra);
+  return {first, count};
+}
+
+std::uint64_t DistributedTrainer::actor_seed(std::size_t actor) const {
+  return mix_seed(config_.merge_seed ^ policy_.learning.seed, actor + 1);
+}
+
+ActorDelta DistributedTrainer::run_actor(std::size_t actor) const {
+  // The actor owns everything mutable: engine, governor, trainer. All of
+  // it is constructed here, on whichever worker thread runs the task.
+  core::SimEngine engine = farm_.make_engine();
+  rl::RlGovernorConfig policy = policy_;
+  policy.learning.seed = actor_seed(actor);
+  rl::RlGovernor governor(policy, cluster_count_);
+  rl::Trainer trainer(engine, governor, config_.schedule);
+
+  const auto [first, count] = actor_range(actor);
+  ActorDelta delta;
+  delta.actor_index = actor;
+  delta.first_episode = first;
+  delta.episodes = count;
+  delta.curve.reserve(count);
+  for (std::size_t e = first; e < first + count; ++e) {
+    delta.curve.push_back(
+        trainer.train_episode(e, config_.schedule.episode_kind(e)));
+  }
+  ActorDelta extracted = extract_delta(governor);
+  extracted.actor_index = actor;
+  extracted.first_episode = first;
+  extracted.episodes = count;
+  extracted.curve = std::move(delta.curve);
+  return extracted;
+}
+
+DistributedTrainResult DistributedTrainer::train(rl::RlGovernor& merged) {
+  std::vector<std::function<ActorDelta()>> tasks;
+  tasks.reserve(config_.actors);
+  for (std::size_t actor = 0; actor < config_.actors; ++actor) {
+    tasks.push_back([this, actor] { return run_actor(actor); });
+  }
+  std::vector<ActorDelta> deltas = farm_.map<ActorDelta>(tasks);
+
+  DistributedTrainResult result;
+  result.actors = config_.actors;
+  result.episodes = config_.schedule.episodes;
+  result.merge_seed = config_.merge_seed;
+  result.curve.reserve(config_.schedule.episodes);
+  for (const ActorDelta& delta : deltas) {
+    result.curve.insert(result.curve.end(), delta.curve.begin(),
+                        delta.curve.end());
+  }
+  merge_into(merged, deltas, config_.merge_seed);
+  result.deltas = std::move(deltas);
+  return result;
+}
+
+}  // namespace pmrl::train

@@ -1,0 +1,82 @@
+#pragma once
+// DistributedTrainer: shards a training schedule across run-farm actors.
+//
+// The episode schedule (scenario rotation + workload seeds) is the serial
+// Trainer's, split into contiguous per-actor chunks by *global* episode
+// index, so actor k replays exactly the episodes the serial trainer would
+// have run at those indices. Each actor is one farm task that owns all of
+// its mutable state — its own SimEngine, its own governor whose learning
+// seed derives from (merge_seed, actor index) — per the farm's RNG-stream
+// isolation rule. Actors never share a Q-table; each exports an ActorDelta
+// and the seeded QMerge reducer combines them. The actor count is a config
+// knob *independent of the farm's thread count*, which is why the merged
+// table is bit-identical at --jobs 1/2/4 and under any completion order.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runfarm/runfarm.hpp"
+#include "rl/rl_governor.hpp"
+#include "rl/trainer.hpp"
+#include "train/qmerge.hpp"
+
+namespace pmrl::train {
+
+struct DistributedTrainerConfig {
+  /// Episode schedule (episodes, scenario rotation, workload seeds).
+  rl::TrainerConfig schedule;
+  /// Actor shards. Fixed by config, not by --jobs: changing the farm's
+  /// thread count must not change a single output bit.
+  std::size_t actors = 4;
+  /// Seeds the per-actor learning RNG streams and the merge reduction
+  /// order; the single knob that (with the schedule) determines the
+  /// merged table exactly.
+  std::uint64_t merge_seed = 1;
+};
+
+/// Outcome of one distributed training run.
+struct DistributedTrainResult {
+  /// Learning curve in global episode order (actor chunks concatenated).
+  std::vector<rl::EpisodeResult> curve;
+  std::size_t actors = 0;
+  std::size_t episodes = 0;
+  std::uint64_t merge_seed = 0;
+  /// Per-actor deltas in actor-index order (inspectable by tests/benches;
+  /// already merged into the output governor).
+  std::vector<ActorDelta> deltas;
+};
+
+class DistributedTrainer {
+ public:
+  /// `farm` supplies the SoC/engine configuration and the thread pool;
+  /// `policy` is the governor shape every actor trains (Float backend,
+  /// plain Q-learning — see qmerge). Throws std::invalid_argument on zero
+  /// actors/episodes.
+  DistributedTrainer(core::runfarm::RunFarm& farm,
+                     rl::RlGovernorConfig policy, std::size_t cluster_count,
+                     DistributedTrainerConfig config);
+
+  /// Runs every actor shard on the farm and merges the deltas into
+  /// `merged` (a freshly constructed governor of the same shape).
+  DistributedTrainResult train(rl::RlGovernor& merged);
+
+  /// Global episode range [first, first + count) of actor `k`: contiguous
+  /// chunks, remainder spread over the leading actors.
+  std::pair<std::size_t, std::size_t> actor_range(std::size_t actor) const;
+
+  /// Learning seed of actor `k`'s governor: mix_seed(merge_seed, k) folded
+  /// with the configured base seed.
+  std::uint64_t actor_seed(std::size_t actor) const;
+
+  const DistributedTrainerConfig& config() const { return config_; }
+
+ private:
+  ActorDelta run_actor(std::size_t actor) const;
+
+  core::runfarm::RunFarm& farm_;
+  rl::RlGovernorConfig policy_;
+  std::size_t cluster_count_;
+  DistributedTrainerConfig config_;
+};
+
+}  // namespace pmrl::train

@@ -1,0 +1,142 @@
+#include "train/qmerge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rl/agent.hpp"
+
+namespace pmrl::train {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+const rl::QLearningAgent& mergeable_agent(const rl::RlGovernor& governor,
+                                          std::size_t index) {
+  const auto* agent =
+      dynamic_cast<const rl::QLearningAgent*>(&governor.agent(index));
+  if (agent == nullptr) {
+    throw std::invalid_argument(
+        "qmerge: governor agents must be float QLearningAgents");
+  }
+  if (agent->table_b() != nullptr) {
+    throw std::invalid_argument(
+        "qmerge: Double Q-learning tables are not mergeable");
+  }
+  return *agent;
+}
+
+/// Seeded Fisher-Yates permutation of [0, n): the canonical reduction
+/// order. Deterministic for a given (merge_seed, n).
+std::vector<std::size_t> merge_order(std::uint64_t merge_seed,
+                                     std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::uint64_t state = mix_seed(merge_seed, 0x714d657267651ULL);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(splitmix64(state) % i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(x);
+}
+
+ActorDelta extract_delta(const rl::RlGovernor& governor) {
+  if (governor.config().backend != rl::AgentBackend::Float) {
+    throw std::invalid_argument("qmerge: only the Float backend merges");
+  }
+  ActorDelta delta;
+  delta.agents.reserve(governor.agent_count());
+  for (std::size_t a = 0; a < governor.agent_count(); ++a) {
+    const rl::QLearningAgent& agent = mergeable_agent(governor, a);
+    const rl::QTable& table = agent.table();
+    AgentDelta out;
+    out.states = table.states();
+    out.actions = table.actions();
+    out.visits.resize(out.states * out.actions, 0);
+    out.weighted_q.resize(out.states * out.actions, 0.0);
+    for (std::size_t s = 0; s < out.states; ++s) {
+      for (std::size_t act = 0; act < out.actions; ++act) {
+        const std::size_t i = s * out.actions + act;
+        const std::uint64_t visits = table.visits(s, act);
+        out.visits[i] = visits;
+        out.weighted_q[i] =
+            static_cast<double>(visits) * table.get(s, act);
+      }
+    }
+    delta.agents.push_back(std::move(out));
+  }
+  return delta;
+}
+
+void merge_into(rl::RlGovernor& governor, std::vector<ActorDelta> deltas,
+                std::uint64_t merge_seed) {
+  if (governor.config().backend != rl::AgentBackend::Float) {
+    throw std::invalid_argument("qmerge: only the Float backend merges");
+  }
+  // Canonical order: sort by actor index (completion/submission order must
+  // not matter), reject duplicates, then apply the seeded permutation.
+  std::sort(deltas.begin(), deltas.end(),
+            [](const ActorDelta& a, const ActorDelta& b) {
+              return a.actor_index < b.actor_index;
+            });
+  for (std::size_t i = 1; i < deltas.size(); ++i) {
+    if (deltas[i].actor_index == deltas[i - 1].actor_index) {
+      throw std::invalid_argument("qmerge: duplicate actor index");
+    }
+  }
+  const std::vector<std::size_t> order =
+      merge_order(merge_seed, deltas.size());
+
+  const double initial_q = governor.config().learning.initial_q;
+  for (std::size_t a = 0; a < governor.agent_count(); ++a) {
+    mergeable_agent(governor, a);  // validates backend/table shape
+    auto& agent = static_cast<rl::QLearningAgent&>(governor.agent(a));
+    rl::QTable& table = agent.table();
+    const std::size_t states = table.states();
+    const std::size_t actions = table.actions();
+    std::vector<std::uint64_t> visits(states * actions, 0);
+    std::vector<double> sums(states * actions, 0.0);
+    for (const std::size_t d : order) {
+      const ActorDelta& delta = deltas[d];
+      if (a >= delta.agents.size()) {
+        throw std::invalid_argument("qmerge: agent count mismatch");
+      }
+      const AgentDelta& part = delta.agents[a];
+      if (part.states != states || part.actions != actions ||
+          part.visits.size() != states * actions ||
+          part.weighted_q.size() != states * actions) {
+        throw std::invalid_argument("qmerge: table shape mismatch");
+      }
+      for (std::size_t i = 0; i < states * actions; ++i) {
+        visits[i] += part.visits[i];
+        sums[i] += part.weighted_q[i];
+      }
+    }
+    for (std::size_t s = 0; s < states; ++s) {
+      for (std::size_t act = 0; act < actions; ++act) {
+        const std::size_t i = s * actions + act;
+        const double value =
+            visits[i] > 0 ? sums[i] / static_cast<double>(visits[i])
+                          : initial_q;
+        table.set(s, act, value);
+        table.set_visits(s, act, visits[i]);
+      }
+    }
+  }
+}
+
+}  // namespace pmrl::train

@@ -1,0 +1,69 @@
+#pragma once
+// Order-independent merging of per-actor Q-table deltas.
+//
+// Each distributed-training actor trains a private governor on its episode
+// shard and exports one ActorDelta: per-(state, action) visit counts and
+// visit-weighted Q sums for every agent. The QMerge reducer combines the
+// deltas into one governor by visit-weighted averaging:
+//
+//   Q_merged(s, a) = sum_i visits_i(s, a) * Q_i(s, a)
+//                    ---------------------------------   (initial_q when
+//                        sum_i visits_i(s, a)             nobody visited)
+//
+// Floating-point addition is not associative, so the reduction order
+// matters for the low bits. merge_into therefore reduces in a canonical
+// order: deltas sorted by actor index, then permuted by a deterministic
+// shuffle seeded with `merge_seed`. The merged table is a pure function of
+// (deltas, merge_seed) — independent of how many farm jobs ran the actors
+// or which actor finished first.
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/rl_governor.hpp"
+#include "rl/trainer.hpp"
+
+namespace pmrl::train {
+
+/// One agent's training delta: dense per-(s, a) visit counts and
+/// visit-weighted Q sums (row-major [state][action], like QTable).
+struct AgentDelta {
+  std::size_t states = 0;
+  std::size_t actions = 0;
+  std::vector<std::uint64_t> visits;
+  std::vector<double> weighted_q;
+
+  bool operator==(const AgentDelta&) const = default;
+};
+
+/// Everything one actor hands back: its shard's learning-curve chunk plus
+/// one AgentDelta per governor agent.
+struct ActorDelta {
+  std::size_t actor_index = 0;
+  /// Global episode indices [first_episode, first_episode + episodes).
+  std::size_t first_episode = 0;
+  std::size_t episodes = 0;
+  std::vector<AgentDelta> agents;
+  std::vector<rl::EpisodeResult> curve;
+};
+
+/// Extracts the delta of a trained governor relative to the initial_q
+/// baseline. Requires the Float backend with plain per-agent tables
+/// (QLearningAgent, single table); throws std::invalid_argument otherwise —
+/// Double Q's two tables and the fixed-point agent's quantized storage have
+/// no well-defined visit-weighted sum to merge.
+ActorDelta extract_delta(const rl::RlGovernor& governor);
+
+/// Merges actor deltas into `governor` (freshly constructed, matching
+/// shape). Reduction order is the seeded canonical permutation described
+/// above; duplicate actor indices or shape mismatches throw
+/// std::invalid_argument. The merged tables also carry the summed visit
+/// counts (saturating), so visited_pairs()/visits() reflect the fleet.
+void merge_into(rl::RlGovernor& governor, std::vector<ActorDelta> deltas,
+                std::uint64_t merge_seed);
+
+/// SplitMix64 hash used for per-actor seed derivation and the merge
+/// permutation (kept here so trainer and tests agree bit-for-bit).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+}  // namespace pmrl::train

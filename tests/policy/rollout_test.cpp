@@ -1,0 +1,159 @@
+// RolloutController: config validation, deterministic cohort routing, and
+// the canary state machine — windows close only with both arms reporting,
+// settle-window hysteresis turns window verdicts into Rollback/Promote,
+// and terminal states ignore further reports.
+
+#include "policy/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pmrl::policy {
+namespace {
+
+RolloutConfig fast_config() {
+  RolloutConfig config;
+  config.canary_pct = 50.0;
+  config.regression_threshold = 0.10;
+  config.window_reports = 4;
+  config.settle_windows = 2;
+  return config;
+}
+
+/// One balanced window: half the reports from each arm at the given
+/// per-report energy (QoS 1 each), so window epq == energy.
+RolloutDecision feed_window(RolloutController& controller,
+                            double incumbent_energy,
+                            double candidate_energy) {
+  RolloutDecision last = RolloutDecision::None;
+  for (int i = 0; i < 2; ++i) {
+    last = controller.report(false, incumbent_energy, 1.0);
+    last = controller.report(true, candidate_energy, 1.0);
+  }
+  return last;
+}
+
+TEST(RolloutControllerTest, RejectsInvalidConfig) {
+  RolloutConfig bad = fast_config();
+  bad.canary_pct = 101.0;
+  EXPECT_THROW(RolloutController{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.window_reports = 0;
+  EXPECT_THROW(RolloutController{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.settle_windows = 0;
+  EXPECT_THROW(RolloutController{bad}, std::invalid_argument);
+  bad = fast_config();
+  bad.regression_threshold = -0.1;
+  EXPECT_THROW(RolloutController{bad}, std::invalid_argument);
+}
+
+TEST(RolloutControllerTest, RoutingIsDeterministicAndRespectsPct) {
+  EXPECT_FALSE(RolloutController::routes_to_candidate(123, 0.0, 0));
+  EXPECT_TRUE(RolloutController::routes_to_candidate(123, 100.0, 0));
+  int candidates = 0;
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    const bool arm = RolloutController::routes_to_candidate(key, 25.0, 9);
+    EXPECT_EQ(arm, RolloutController::routes_to_candidate(key, 25.0, 9));
+    candidates += arm ? 1 : 0;
+  }
+  // A hash split, not an exact quota: 25% +/- 2 points over 10k keys.
+  EXPECT_NEAR(candidates / 10000.0, 0.25, 0.02);
+}
+
+TEST(RolloutControllerTest, RegressionStreakTripsRollback) {
+  RolloutController controller(fast_config());
+  controller.start(7);
+  EXPECT_EQ(controller.state(), RolloutState::Canary);
+  EXPECT_EQ(controller.candidate_version(), 7u);
+  // Candidate spends 2x the energy per QoS: every window regresses.
+  EXPECT_EQ(feed_window(controller, 1.0, 2.0), RolloutDecision::None);
+  EXPECT_EQ(controller.regressed_streak(), 1u);
+  EXPECT_EQ(feed_window(controller, 1.0, 2.0), RolloutDecision::Rollback);
+  EXPECT_EQ(controller.state(), RolloutState::RolledBack);
+  EXPECT_EQ(controller.windows_evaluated(), 2u);
+}
+
+TEST(RolloutControllerTest, HealthyStreakPromotes) {
+  RolloutController controller(fast_config());
+  controller.start(3);
+  EXPECT_EQ(feed_window(controller, 1.0, 0.9), RolloutDecision::None);
+  EXPECT_EQ(feed_window(controller, 1.0, 0.9), RolloutDecision::Promote);
+  EXPECT_EQ(controller.state(), RolloutState::Promoted);
+}
+
+TEST(RolloutControllerTest, NoisyWindowResetsTheOpposingStreak) {
+  RolloutController controller(fast_config());
+  controller.start(1);
+  EXPECT_EQ(feed_window(controller, 1.0, 2.0), RolloutDecision::None);
+  EXPECT_EQ(controller.regressed_streak(), 1u);
+  // One healthy window resets the regression streak instead of tripping.
+  EXPECT_EQ(feed_window(controller, 1.0, 1.0), RolloutDecision::None);
+  EXPECT_EQ(controller.regressed_streak(), 0u);
+  EXPECT_EQ(controller.healthy_streak(), 1u);
+  EXPECT_EQ(feed_window(controller, 1.0, 2.0), RolloutDecision::None);
+  EXPECT_EQ(feed_window(controller, 1.0, 2.0), RolloutDecision::Rollback);
+}
+
+TEST(RolloutControllerTest, WithinThresholdCountsAsHealthy) {
+  RolloutController controller(fast_config());
+  controller.start(1);
+  // 8% worse with a 10% threshold: healthy.
+  EXPECT_EQ(feed_window(controller, 1.0, 1.08), RolloutDecision::None);
+  EXPECT_EQ(feed_window(controller, 1.0, 1.08), RolloutDecision::Promote);
+}
+
+TEST(RolloutControllerTest, WindowWaitsForBothArms) {
+  RolloutController controller(fast_config());
+  controller.start(1);
+  // Twice the window size from the incumbent alone: nothing to compare,
+  // the window keeps filling.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(controller.report(false, 1.0, 1.0), RolloutDecision::None);
+  }
+  EXPECT_EQ(controller.windows_evaluated(), 0u);
+  // The moment the candidate shows up, the (oversized) window closes.
+  EXPECT_EQ(controller.report(true, 0.5, 1.0), RolloutDecision::None);
+  EXPECT_EQ(controller.windows_evaluated(), 1u);
+}
+
+TEST(RolloutControllerTest, TerminalStatesIgnoreReports) {
+  RolloutController controller(fast_config());
+  controller.start(1);
+  feed_window(controller, 1.0, 2.0);
+  feed_window(controller, 1.0, 2.0);
+  ASSERT_EQ(controller.state(), RolloutState::RolledBack);
+  const auto windows = controller.windows_evaluated();
+  EXPECT_EQ(feed_window(controller, 1.0, 2.0), RolloutDecision::None);
+  EXPECT_EQ(controller.windows_evaluated(), windows);
+  EXPECT_EQ(controller.state(), RolloutState::RolledBack);
+}
+
+TEST(RolloutControllerTest, ArmAggregatesAccumulateAcrossWindows) {
+  RolloutController controller(fast_config());
+  controller.start(1);
+  feed_window(controller, 1.0, 2.0);
+  feed_window(controller, 1.0, 2.0);
+  EXPECT_EQ(controller.arm_reports(false), 4u);
+  EXPECT_EQ(controller.arm_reports(true), 4u);
+  EXPECT_DOUBLE_EQ(controller.arm_energy_j(false), 4.0);
+  EXPECT_DOUBLE_EQ(controller.arm_energy_j(true), 8.0);
+  EXPECT_DOUBLE_EQ(controller.arm_energy_per_qos(false), 1.0);
+  EXPECT_DOUBLE_EQ(controller.arm_energy_per_qos(true), 2.0);
+}
+
+TEST(RolloutControllerTest, StartResetsEverything) {
+  RolloutController controller(fast_config());
+  controller.start(1);
+  feed_window(controller, 1.0, 2.0);
+  controller.start(2);
+  EXPECT_EQ(controller.state(), RolloutState::Canary);
+  EXPECT_EQ(controller.candidate_version(), 2u);
+  EXPECT_EQ(controller.arm_reports(true), 0u);
+  EXPECT_EQ(controller.regressed_streak(), 0u);
+  EXPECT_EQ(controller.windows_evaluated(), 0u);
+}
+
+}  // namespace
+}  // namespace pmrl::policy

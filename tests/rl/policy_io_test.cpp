@@ -195,10 +195,12 @@ TEST(PolicyIoTest, LegacyV1CheckpointStillLoads) {
   RlGovernor restored(quiet(), 2);
   std::stringstream in(text);
   load_policy(restored, in);
-  for (std::size_t s = 0; s < original.agent(0).state_count(); ++s) {
-    for (std::size_t a = 0; a < original.agent(0).action_count(); ++a) {
-      ASSERT_DOUBLE_EQ(restored.agent(0).q_value(s, a),
-                       original.agent(0).q_value(s, a));
+  for (std::size_t i = 0; i < original.agent_count(); ++i) {
+    for (std::size_t s = 0; s < original.agent(i).state_count(); ++s) {
+      for (std::size_t a = 0; a < original.agent(i).action_count(); ++a) {
+        ASSERT_DOUBLE_EQ(restored.agent(i).q_value(s, a),
+                         original.agent(i).q_value(s, a));
+      }
     }
   }
 }

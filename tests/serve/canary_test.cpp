@@ -1,0 +1,236 @@
+// Canary rollout loopback integration: a PolicyServer backed by a policy
+// registry stages a candidate at 50%, routes connections deterministically,
+// and the client outcome reports drive the verdict — a worse candidate
+// must auto-rollback within the settle window with zero connection drops,
+// a better one must promote. Runs whole under TSan with the rest of
+// test_serve (acceptor/worker/report/verdict thread choreography).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "policy/registry.hpp"
+#include "policy/rollout.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace pmrl {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string test_socket_path() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "pmrl_cn_" + std::to_string(::getpid()) +
+         "_" + info->name() + ".sock";
+}
+
+std::filesystem::path test_registry_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("pmrl_canary_" + std::to_string(::getpid()) + "_" + info->name());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Governor whose greedy move at state 7 on every agent is `action`.
+rl::RlGovernor marked_governor(std::size_t action) {
+  rl::RlGovernor governor(rl::RlGovernorConfig{}, 2);
+  for (std::size_t agent = 0; agent < governor.agent_count(); ++agent) {
+    governor.agent(agent).set_q_value(7, action, 5.0);
+  }
+  return governor;
+}
+
+/// Registry with v1 = incumbent (promoted, action 1 at state 7) and
+/// v2 = candidate (action 2 at state 7).
+void seed_registry(const std::filesystem::path& dir) {
+  policy::PolicyRegistry registry(dir);
+  policy::PolicyMeta meta;
+  meta.train_seed = 1;
+  ASSERT_EQ(registry.add(marked_governor(1), meta), 1u);
+  registry.promote(1);
+  meta.parent_version = 1;
+  ASSERT_EQ(registry.add(marked_governor(2), meta), 2u);
+}
+
+serve::ServerConfig canary_config(const std::filesystem::path& dir) {
+  serve::ServerConfig config;
+  config.uds_path = test_socket_path();
+  config.workers = 2;
+  config.batch_max = 16;
+  config.batch_deadline = 100us;
+  config.queue_capacity = 64;
+  config.request_timeout = 5s;
+  config.cache_capacity = 256;
+  config.registry_dir = dir.string();
+  config.rollout.canary_pct = 50.0;
+  config.rollout.regression_threshold = 0.05;
+  config.rollout.window_reports = 8;
+  config.rollout.settle_windows = 2;
+  return config;
+}
+
+constexpr int kClients = 8;
+
+/// Connects kClients, learns each connection's arm from the response flag,
+/// and asserts the incumbent/candidate actions are served as staged.
+void connect_and_split(const serve::ServerConfig& config,
+                       std::vector<serve::Client>& clients,
+                       std::vector<bool>& canary) {
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(serve::Client::connect_uds(config.uds_path));
+  }
+  int candidates = 0;
+  for (auto& client : clients) {
+    const auto result = client.query(7);
+    canary.push_back(result.canary);
+    EXPECT_EQ(result.action, result.canary ? 2u : 1u);
+    candidates += result.canary ? 1 : 0;
+  }
+  // The 50% hash over accept sequences 0..7 must split the cohort; both
+  // arms are required for windows to close (deterministic per salt).
+  ASSERT_GT(candidates, 0);
+  ASSERT_LT(candidates, kClients);
+}
+
+/// Sends one report per connection per round until the rollout reaches
+/// `target` or the round budget runs out. Candidate-arm connections report
+/// `candidate_energy` per unit QoS; incumbent connections report 1.0.
+void drive_reports(std::vector<serve::Client>& clients,
+                   const std::vector<bool>& canary, double candidate_energy,
+                   policy::RolloutState target) {
+  const auto want = static_cast<std::uint8_t>(target);
+  for (int round = 0; round < 32; ++round) {
+    for (int i = 0; i < kClients; ++i) {
+      const auto ack =
+          clients[i].report(canary[i] ? candidate_energy : 1.0, 1.0);
+      if (ack.rollout_state == want) return;
+    }
+  }
+  FAIL() << "no verdict after 32 report rounds";
+}
+
+TEST(CanaryRollout, WorseCandidateAutoRollsBackWithZeroDrops) {
+  const auto dir = test_registry_dir();
+  seed_registry(dir);
+  auto config = canary_config(dir);
+  serve::PolicyServer server(config);
+  server.start();
+  ASSERT_TRUE(server.candidate_active());
+  EXPECT_EQ(server.candidate_version(), 2u);
+  EXPECT_EQ(server.rollout_state(), policy::RolloutState::Canary);
+  // The incumbent came from the registry's CURRENT pointer.
+  EXPECT_EQ(server.governor().agent(0).q_value(7, 1), 5.0);
+
+  std::vector<serve::Client> clients;
+  std::vector<bool> canary;
+  connect_and_split(config, clients, canary);
+
+  // Candidate spends 2x the energy per QoS: regression beyond the 5%
+  // threshold in every window -> rollback after 2 settle windows.
+  drive_reports(clients, canary, 2.0, policy::RolloutState::RolledBack);
+
+  EXPECT_EQ(server.rollout_state(), policy::RolloutState::RolledBack);
+  EXPECT_FALSE(server.candidate_active());
+  EXPECT_EQ(server.rollbacks(), 1u);
+  EXPECT_EQ(server.promotions(), 0u);
+
+  // Zero connection drops: every connection — including the canary
+  // cohort — keeps serving on the same socket, now from the incumbent.
+  for (auto& client : clients) {
+    const auto result = client.query(7);
+    EXPECT_EQ(result.action, 1u);
+    EXPECT_FALSE(result.canary);
+  }
+
+  // The registry recorded the verdict; CURRENT still names the incumbent.
+  policy::PolicyRegistry registry(dir);
+  EXPECT_EQ(registry.meta(2)->status, policy::PolicyStatus::RolledBack);
+  EXPECT_EQ(*registry.current(), 1u);
+
+  // SIGHUP (request_reload) stages the next candidate from the registry.
+  policy::PolicyMeta meta;
+  meta.parent_version = 1;
+  ASSERT_EQ(registry.add(marked_governor(0), meta), 3u);
+  EXPECT_TRUE(server.request_reload());
+  EXPECT_TRUE(server.candidate_active());
+  EXPECT_EQ(server.candidate_version(), 3u);
+  EXPECT_EQ(server.rollout_state(), policy::RolloutState::Canary);
+  server.stop();
+}
+
+TEST(CanaryRollout, BetterCandidatePromotes) {
+  const auto dir = test_registry_dir();
+  seed_registry(dir);
+  auto config = canary_config(dir);
+  serve::PolicyServer server(config);
+  server.start();
+  ASSERT_TRUE(server.candidate_active());
+
+  std::vector<serve::Client> clients;
+  std::vector<bool> canary;
+  connect_and_split(config, clients, canary);
+
+  // Candidate spends 10% less energy per QoS: healthy windows -> promote.
+  drive_reports(clients, canary, 0.9, policy::RolloutState::Promoted);
+
+  EXPECT_EQ(server.rollout_state(), policy::RolloutState::Promoted);
+  EXPECT_FALSE(server.candidate_active());
+  EXPECT_EQ(server.promotions(), 1u);
+  EXPECT_EQ(server.rollbacks(), 0u);
+
+  // The candidate is the incumbent now: every connection gets its action,
+  // with no canary flag.
+  for (auto& client : clients) {
+    const auto result = client.query(7);
+    EXPECT_EQ(result.action, 2u);
+    EXPECT_FALSE(result.canary);
+  }
+  policy::PolicyRegistry registry(dir);
+  EXPECT_EQ(registry.meta(2)->status, policy::PolicyStatus::Promoted);
+  EXPECT_EQ(*registry.current(), 2u);
+  server.stop();
+}
+
+TEST(CanaryRollout, ZeroPctStagesNothing) {
+  const auto dir = test_registry_dir();
+  seed_registry(dir);
+  auto config = canary_config(dir);
+  config.rollout.canary_pct = 0.0;
+  serve::PolicyServer server(config);
+  server.start();
+  EXPECT_FALSE(server.candidate_active());
+  // Reports are still acknowledged (and ignored — no canary running).
+  auto client = serve::Client::connect_uds(config.uds_path);
+  const auto ack = client.report(1.0, 1.0);
+  EXPECT_FALSE(ack.candidate_arm);
+  EXPECT_EQ(ack.rollout_state,
+            static_cast<std::uint8_t>(policy::RolloutState::Idle));
+  server.stop();
+}
+
+TEST(CanaryRollout, StagedCandidateServesItsSliceOverTcp) {
+  const auto dir = test_registry_dir();
+  seed_registry(dir);
+  auto config = canary_config(dir);
+  config.uds_path.clear();
+  config.tcp_enable = true;
+  config.tcp_port = 0;
+  config.rollout.canary_pct = 100.0;  // every connection is a canary
+  serve::PolicyServer server(config);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+  auto client = serve::Client::connect_tcp("127.0.0.1", server.tcp_port());
+  const auto result = client.query(7);
+  EXPECT_EQ(result.action, 2u);
+  EXPECT_TRUE(result.canary);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pmrl

@@ -1,0 +1,141 @@
+// DistributedTrainer: episode sharding, seed isolation, and the central
+// determinism contract — the merged Q-table is bit-identical at any farm
+// thread count, because the actor count (not --jobs) fixes the shards and
+// QMerge reduces in a seeded canonical order.
+
+#include "train/distributed_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "rl/policy_io.hpp"
+#include "workload/scenarios.hpp"
+
+namespace pmrl::train {
+namespace {
+
+core::EngineConfig short_engine() {
+  core::EngineConfig config;
+  config.duration_s = 4.0;
+  return config;
+}
+
+DistributedTrainerConfig small_schedule(std::size_t episodes,
+                                        std::size_t actors) {
+  DistributedTrainerConfig config;
+  config.schedule.episodes = episodes;
+  config.schedule.workload_seed = 7;
+  config.actors = actors;
+  config.merge_seed = 3;
+  return config;
+}
+
+std::string train_image(std::size_t jobs, DistributedTrainerConfig config) {
+  core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                              short_engine(), jobs);
+  rl::RlGovernorConfig policy;
+  const std::size_t clusters = farm.soc_config().clusters.size();
+  DistributedTrainer trainer(farm, policy, clusters, config);
+  rl::RlGovernor merged(policy, clusters);
+  trainer.train(merged);
+  std::ostringstream out;
+  rl::save_policy(merged, out);
+  return out.str();
+}
+
+TEST(DistributedTrainerTest, ActorRangesTileTheSchedule) {
+  core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                              short_engine(), 1);
+  DistributedTrainer trainer(farm, rl::RlGovernorConfig{},
+                             farm.soc_config().clusters.size(),
+                             small_schedule(11, 4));
+  std::size_t covered = 0;
+  std::size_t expected_first = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto [first, count] = trainer.actor_range(k);
+    EXPECT_EQ(first, expected_first) << "actor " << k;
+    EXPECT_GE(count, 11u / 4u) << "actor " << k;
+    expected_first = first + count;
+    covered += count;
+  }
+  EXPECT_EQ(covered, 11u);
+}
+
+TEST(DistributedTrainerTest, ActorSeedsAreDistinct) {
+  core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                              short_engine(), 1);
+  DistributedTrainer trainer(farm, rl::RlGovernorConfig{},
+                             farm.soc_config().clusters.size(),
+                             small_schedule(8, 8));
+  std::set<std::uint64_t> seeds;
+  for (std::size_t k = 0; k < 8; ++k) seeds.insert(trainer.actor_seed(k));
+  EXPECT_EQ(seeds.size(), 8u);
+}
+
+TEST(DistributedTrainerTest, RejectsZeroEpisodesAndClampsActors) {
+  core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                              short_engine(), 1);
+  const std::size_t clusters = farm.soc_config().clusters.size();
+  EXPECT_THROW(DistributedTrainer(farm, rl::RlGovernorConfig{}, clusters,
+                                  small_schedule(0, 4)),
+               std::invalid_argument);
+  // More actors than episodes: the surplus actors are dropped so no shard
+  // is empty.
+  DistributedTrainer trainer(farm, rl::RlGovernorConfig{}, clusters,
+                             small_schedule(3, 8));
+  EXPECT_EQ(trainer.config().actors, 3u);
+}
+
+TEST(DistributedTrainerTest, CurveFollowsTheSerialSchedule) {
+  core::runfarm::RunFarm farm(soc::default_mobile_soc_config(),
+                              short_engine(), 2);
+  const auto config = small_schedule(7, 3);
+  rl::RlGovernorConfig policy;
+  const std::size_t clusters = farm.soc_config().clusters.size();
+  DistributedTrainer trainer(farm, policy, clusters, config);
+  rl::RlGovernor merged(policy, clusters);
+  const auto result = trainer.train(merged);
+  ASSERT_EQ(result.curve.size(), 7u);
+  for (std::size_t e = 0; e < result.curve.size(); ++e) {
+    EXPECT_EQ(result.curve[e].episode, e);
+    EXPECT_EQ(result.curve[e].scenario,
+              workload::scenario_kind_name(config.schedule.episode_kind(e)));
+  }
+  ASSERT_EQ(result.deltas.size(), 3u);
+  for (std::size_t k = 0; k < result.deltas.size(); ++k) {
+    EXPECT_EQ(result.deltas[k].actor_index, k);
+  }
+}
+
+// Acceptance criterion: same config at --jobs 1/2/4 -> bit-identical
+// merged checkpoint (the farm's thread count must not change one bit).
+TEST(DistributedTrainerTest, MergedTableBitIdenticalAcrossJobs) {
+  const auto config = small_schedule(6, 3);
+  const std::string serial = train_image(1, config);
+  EXPECT_EQ(train_image(2, config), serial);
+  EXPECT_EQ(train_image(4, config), serial);
+}
+
+// Changing the merge seed re-seeds the actor RNG streams, so the merged
+// table must differ — determinism is "pure function of the seeds", not
+// "always the same answer".
+TEST(DistributedTrainerTest, MergeSeedChangesTheTable) {
+  auto config = small_schedule(6, 3);
+  const std::string baseline = train_image(2, config);
+  config.merge_seed = 99;
+  EXPECT_NE(train_image(2, config), baseline);
+}
+
+// Many actors on many threads: exercises concurrent actor execution for
+// the TSan job (each actor owns its engine/governor; a race here is a
+// bug in the farm isolation contract).
+TEST(DistributedTrainerTest, ConcurrentActorsMatchSerialExecution) {
+  const auto config = small_schedule(8, 8);
+  EXPECT_EQ(train_image(8, config), train_image(1, config));
+}
+
+}  // namespace
+}  // namespace pmrl::train

@@ -1,0 +1,188 @@
+// QMerge reducer: visit-weighted averaging semantics, shape/backend
+// guards, and the order-independence property battery — merging K shuffled
+// orderings of the same actor deltas must produce a bit-identical table.
+// Failures print the master seed so any counterexample replays exactly:
+//   PMRL_PROPERTY_SEED=<seed> ./build/tests/test_train
+
+#include "train/qmerge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rl/policy_io.hpp"
+#include "rl/rl_governor.hpp"
+#include "util/rng.hpp"
+
+namespace pmrl::train {
+namespace {
+
+std::uint64_t master_seed() {
+  if (const char* env = std::getenv("PMRL_PROPERTY_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260807;  // fixed default: CI runs are reproducible
+}
+
+rl::RlGovernorConfig float_config() {
+  rl::RlGovernorConfig config;
+  config.backend = rl::AgentBackend::Float;
+  return config;
+}
+
+/// Exact text image of the governor's tables (%.17g round-trips doubles
+/// bit-for-bit, so equal strings mean bit-identical tables).
+std::string table_image(const rl::RlGovernor& governor) {
+  std::ostringstream out;
+  rl::save_policy(governor, out);
+  return out.str();
+}
+
+/// A delta with the governor's shape and randomized (visits, weighted_q)
+/// entries; roughly half the (s, a) pairs stay unvisited.
+ActorDelta random_delta(const rl::RlGovernor& shape, std::size_t actor,
+                        Rng& rng) {
+  ActorDelta delta;
+  delta.actor_index = actor;
+  for (std::size_t i = 0; i < shape.agent_count(); ++i) {
+    AgentDelta agent;
+    agent.states = shape.agent(i).state_count();
+    agent.actions = shape.agent(i).action_count();
+    agent.visits.resize(agent.states * agent.actions, 0);
+    agent.weighted_q.resize(agent.states * agent.actions, 0.0);
+    for (std::size_t cell = 0; cell < agent.visits.size(); ++cell) {
+      if (rng.uniform() < 0.5) continue;
+      const auto visits = static_cast<std::uint64_t>(rng.uniform_int(1, 50));
+      agent.visits[cell] = visits;
+      agent.weighted_q[cell] =
+          static_cast<double>(visits) * rng.uniform(-8.0, 0.0);
+    }
+    delta.agents.push_back(std::move(agent));
+  }
+  return delta;
+}
+
+TEST(QMergeTest, VisitWeightedAverageAndInitialQFallback) {
+  auto config = float_config();
+  config.learning.initial_q = -0.25;
+  rl::RlGovernor governor(config, 2);
+  const std::size_t actions = governor.agent(0).action_count();
+
+  ActorDelta a;
+  a.actor_index = 0;
+  ActorDelta b;
+  b.actor_index = 1;
+  for (std::size_t i = 0; i < governor.agent_count(); ++i) {
+    AgentDelta agent;
+    agent.states = governor.agent(i).state_count();
+    agent.actions = actions;
+    agent.visits.assign(agent.states * actions, 0);
+    agent.weighted_q.assign(agent.states * actions, 0.0);
+    a.agents.push_back(agent);
+    b.agents.push_back(agent);
+  }
+  // Cell (0, 1): actor 0 visited 3 times averaging -2, actor 1 visited
+  // once at -6. Merged Q = (3 * -2 + 1 * -6) / 4 = -3.
+  a.agents[0].visits[1] = 3;
+  a.agents[0].weighted_q[1] = 3.0 * -2.0;
+  b.agents[0].visits[1] = 1;
+  b.agents[0].weighted_q[1] = -6.0;
+
+  merge_into(governor, {a, b}, /*merge_seed=*/5);
+  EXPECT_DOUBLE_EQ(governor.agent(0).q_value(0, 1), -3.0);
+  // Untouched cells fall back to the configured initial_q.
+  EXPECT_DOUBLE_EQ(governor.agent(0).q_value(0, 0), -0.25);
+  EXPECT_DOUBLE_EQ(governor.agent(1).q_value(3, 0), -0.25);
+}
+
+TEST(QMergeTest, RejectsDuplicateActorIndices) {
+  rl::RlGovernor governor(float_config(), 2);
+  Rng rng(master_seed());
+  auto a = random_delta(governor, 0, rng);
+  auto b = random_delta(governor, 0, rng);
+  EXPECT_THROW(merge_into(governor, {a, b}, 1), std::invalid_argument);
+}
+
+TEST(QMergeTest, RejectsShapeMismatch) {
+  rl::RlGovernor governor(float_config(), 2);
+  Rng rng(master_seed());
+  auto delta = random_delta(governor, 0, rng);
+  delta.agents[0].visits.pop_back();
+  EXPECT_THROW(merge_into(governor, {delta}, 1), std::invalid_argument);
+}
+
+TEST(QMergeTest, RejectsNonFloatBackend) {
+  rl::RlGovernorConfig config;
+  config.backend = rl::AgentBackend::Fixed;
+  rl::RlGovernor governor(config, 2);
+  EXPECT_THROW(extract_delta(governor), std::invalid_argument);
+}
+
+TEST(QMergeTest, MergedTableCarriesSummedVisits) {
+  rl::RlGovernor governor(float_config(), 2);
+  ActorDelta a;
+  a.actor_index = 0;
+  for (std::size_t i = 0; i < governor.agent_count(); ++i) {
+    AgentDelta agent;
+    agent.states = governor.agent(i).state_count();
+    agent.actions = governor.agent(i).action_count();
+    agent.visits.assign(agent.states * agent.actions, 0);
+    agent.weighted_q.assign(agent.states * agent.actions, 0.0);
+    a.agents.push_back(agent);
+  }
+  a.agents[0].visits[0] = 7;
+  a.agents[0].weighted_q[0] = -7.0;
+  auto b = a;
+  b.actor_index = 1;
+  b.agents[0].visits[0] = 5;
+  b.agents[0].weighted_q[0] = -5.0;
+  merge_into(governor, {a, b}, 1);
+  const auto& agent =
+      static_cast<const rl::QLearningAgent&>(governor.agent(0));
+  EXPECT_EQ(agent.table().visits(0, 0), 12u);
+}
+
+// The property: for random actor fleets, every shuffled delta ordering
+// merges to the same bits, and a different merge seed is allowed to (and
+// in practice does) produce different low bits — proving the canonical
+// order comes from the seed, not the input order.
+TEST(QMergeProperty, ShuffledOrderingsMergeBitIdentical) {
+  const std::uint64_t seed = master_seed();
+  Rng rng(seed);
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    SCOPED_TRACE("master_seed=" + std::to_string(seed) +
+                 " iteration=" + std::to_string(iteration));
+    const auto actors = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    const std::uint64_t merge_seed = rng();
+    rl::RlGovernor shape(float_config(), 2);
+    std::vector<ActorDelta> deltas;
+    for (std::size_t k = 0; k < actors; ++k) {
+      deltas.push_back(random_delta(shape, k, rng));
+    }
+
+    rl::RlGovernor reference(float_config(), 2);
+    merge_into(reference, deltas, merge_seed);
+    const std::string expected = table_image(reference);
+
+    for (int shuffle = 0; shuffle < 6; ++shuffle) {
+      auto permuted = deltas;
+      for (std::size_t i = permuted.size(); i > 1; --i) {
+        const auto j =
+            static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+        std::swap(permuted[i - 1], permuted[j]);
+      }
+      rl::RlGovernor merged(float_config(), 2);
+      merge_into(merged, permuted, merge_seed);
+      ASSERT_EQ(table_image(merged), expected)
+          << "shuffle " << shuffle << " changed the merged table";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmrl::train
